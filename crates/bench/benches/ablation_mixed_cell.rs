@@ -1,0 +1,67 @@
+//! Ablation bench: flexible mixed-cell-size swapping vs same-size-only
+//! swapping in detailed placement (the design choice illustrated in Fig. 4
+//! of the paper).
+//!
+//! The printout reports the quality difference (HPWL, accepted moves, WNS)
+//! on the quick circuit set; the timed section measures the detailed
+//! placement pass in both modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::design::PlacedDesign;
+use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
+use aqfp_place::global::{global_place, GlobalPlacementConfig};
+use aqfp_place::legalize::legalize;
+use aqfp_timing::{TimingAnalyzer, TimingConfig};
+use aqfp_synth::Synthesizer;
+
+fn legalized_design(circuit: Benchmark, library: &CellLibrary) -> PlacedDesign {
+    let synthesized =
+        Synthesizer::new(library.clone()).run(&benchmark_circuit(circuit)).expect("synthesis succeeds");
+    let mut design = PlacedDesign::from_synthesized(&synthesized, library);
+    global_place(&mut design, &GlobalPlacementConfig::default());
+    legalize(&mut design);
+    design
+}
+
+fn bench_mixed_cell_ablation(c: &mut Criterion) {
+    let library = CellLibrary::mit_ll();
+    let analyzer = TimingAnalyzer::new(TimingConfig::paper_default());
+
+    for circuit in [Benchmark::Apc32, Benchmark::Sorter32] {
+        let base = legalized_design(circuit, &library);
+        for (label, mixed) in [("mixed-size", true), ("same-size-only", false)] {
+            let mut design = base.clone();
+            let config = DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
+            let report = detailed_place(&mut design, &config);
+            let timing = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
+            println!(
+                "{circuit} [{label}]: HPWL {:.0} -> {:.0} um, swaps {}, slides {}, WNS {}",
+                report.hpwl_before,
+                report.hpwl_after,
+                report.swaps_accepted,
+                report.slides_accepted,
+                timing.wns_display(),
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_mixed_cell");
+    group.sample_size(10);
+    let base = legalized_design(Benchmark::Apc32, &library);
+    for (label, mixed) in [("mixed", true), ("same_size", false)] {
+        group.bench_with_input(BenchmarkId::new("detailed_place", label), &base, |b, base| {
+            let config = DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
+            b.iter(|| {
+                let mut design = base.clone();
+                detailed_place(&mut design, &config)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_cell_ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation bench: layer-wise routing with and without space expansion
+//! (§III-D of the paper).
+//!
+//! Without expansion the router must make do with the initial channel height
+//! and reports failed nets on congested designs; with expansion every net
+//! routes at the cost of slightly longer wires. The timed section measures
+//! the router in both modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_route::{Router, RouterConfig};
+use aqfp_synth::Synthesizer;
+
+fn bench_space_expansion(c: &mut Criterion) {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("synthesis succeeds");
+    let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+
+    // Narrow channels make the effect visible on a small circuit.
+    let configs = [
+        ("no-expansion", RouterConfig { initial_tracks: 2, max_expansions: 0, ..Default::default() }),
+        ("with-expansion", RouterConfig { initial_tracks: 2, max_expansions: 64, ..Default::default() }),
+    ];
+    for (label, config) in configs {
+        let router = Router::with_config(library.clone(), config);
+        let result = router.route(&placed.design);
+        println!(
+            "apc32 [{label}]: routed {} / failed {} nets, {:.0} um, {} expansions",
+            result.stats.nets_routed,
+            result.stats.failed_nets,
+            result.stats.total_wirelength_um,
+            result.stats.space_expansions,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_space_expansion");
+    group.sample_size(10);
+    for (label, config) in configs {
+        let router = Router::with_config(library.clone(), config);
+        group.bench_with_input(BenchmarkId::new("route", label), &placed.design, |b, design| {
+            b.iter(|| router.route(design));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_space_expansion);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the Fig. 5 pipeline stage: GDSII layout generation
+//! from a placed-and-routed design (the apc32 counter stands in for apc128
+//! to keep the measurement loop short; the `fig5` binary produces the full
+//! apc128 layout).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_layout::{DrcChecker, LayoutGenerator};
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_route::Router;
+use aqfp_synth::Synthesizer;
+
+fn bench_layout(c: &mut Criterion) {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("synthesis succeeds");
+    let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+    let routing = Router::new(library.clone()).route(&placed.design);
+    let generator = LayoutGenerator::new(library.clone());
+    let checker = DrcChecker::new(library.rules().clone());
+
+    let layout = generator.generate(&placed.design, &routing);
+    println!(
+        "fig5 (apc32 stand-in): {} cells, {} wire paths, {:.0} x {:.0} um, GDS {} bytes, DRC findings: {}",
+        layout.cell_instances,
+        layout.wire_paths,
+        layout.width_um,
+        layout.height_um,
+        layout.to_gds_bytes().len(),
+        checker.check(&placed.design, &routing).violations.len(),
+    );
+
+    let mut group = c.benchmark_group("fig5_layout");
+    group.sample_size(10);
+    group.bench_function("generate_gds", |b| {
+        b.iter(|| generator.generate(&placed.design, &routing).to_gds_bytes());
+    });
+    group.bench_function("drc_check", |b| {
+        b.iter(|| checker.check(&placed.design, &routing));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

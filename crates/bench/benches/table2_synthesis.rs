@@ -1,0 +1,33 @@
+//! Criterion bench for the Table II pipeline stage: majority-based logic
+//! synthesis (AOI → MAJ conversion, splitter and buffer insertion).
+//!
+//! The bench measures the synthesis stage on the quick circuit set and, as a
+//! side effect of the first iteration, prints the measured Table II columns
+//! so `cargo bench` output doubles as a small reproduction record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_synth::Synthesizer;
+use bench::table2::{format_table2, table2_rows};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let circuits = [Benchmark::Adder8, Benchmark::Apc32, Benchmark::C432];
+    println!("{}", format_table2(&table2_rows(&circuits)));
+
+    let library = CellLibrary::mit_ll();
+    let mut group = c.benchmark_group("table2_synthesis");
+    group.sample_size(10);
+    for circuit in circuits {
+        let aoi = benchmark_circuit(circuit);
+        let synthesizer = Synthesizer::new(library.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(circuit), &aoi, |b, aoi| {
+            b.iter(|| synthesizer.run(aoi).expect("synthesis succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Table III pipeline stage: the three placement
+//! strategies (GORDIAN-based, TAAS, SuperFlow) on the quick circuit set.
+//!
+//! The first run also prints the measured Table III columns side by side
+//! with the paper's reference values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_synth::Synthesizer;
+use bench::table3::{format_table3, table3_rows};
+
+fn bench_placement(c: &mut Criterion) {
+    let circuits = [Benchmark::Adder8, Benchmark::Apc32];
+    println!("{}", format_table3(&table3_rows(&circuits)));
+
+    let library = CellLibrary::mit_ll();
+    let synthesizer = Synthesizer::new(library.clone());
+    let engine = PlacementEngine::new(library);
+
+    let mut group = c.benchmark_group("table3_placement");
+    group.sample_size(10);
+    for circuit in circuits {
+        let synthesized = synthesizer.run(&benchmark_circuit(circuit)).expect("synthesis succeeds");
+        for placer in PlacerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(placer.name(), circuit),
+                &synthesized,
+                |b, synthesized| {
+                    b.iter(|| engine.place(synthesized, placer));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Table IV pipeline stage: layer-wise A* routing on
+//! SuperFlow placements of the quick circuit set.
+//!
+//! The first run also prints the measured Table IV columns next to the
+//! paper's reference values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_route::Router;
+use aqfp_synth::Synthesizer;
+use bench::table4::{format_table4, table4_rows};
+
+fn bench_routing(c: &mut Criterion) {
+    let circuits = [Benchmark::Adder8, Benchmark::Apc32];
+    println!("{}", format_table4(&table4_rows(&circuits)));
+
+    let library = CellLibrary::mit_ll();
+    let synthesizer = Synthesizer::new(library.clone());
+    let engine = PlacementEngine::new(library.clone());
+    let router = Router::new(library);
+
+    let mut group = c.benchmark_group("table4_routing");
+    group.sample_size(10);
+    for circuit in circuits {
+        let synthesized = synthesizer.run(&benchmark_circuit(circuit)).expect("synthesis succeeds");
+        let placed = engine.place(&synthesized, PlacerKind::SuperFlow);
+        group.bench_with_input(BenchmarkId::from_parameter(circuit), &placed.design, |b, design| {
+            b.iter(|| router.route(design));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

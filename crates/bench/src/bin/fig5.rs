@@ -1,0 +1,29 @@
+//! Regenerates Fig. 5: the complete GDSII layout of the `apc128` benchmark,
+//! written to `apc128.gds` in the current directory.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5 [--quick]
+//! ```
+//!
+//! With `--quick` the smaller `apc32` circuit is used instead, which
+//! exercises the same code path in a few seconds.
+
+use aqfp_netlist::generators::Benchmark;
+use superflow::{Flow, FlowConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let benchmark = if quick { Benchmark::Apc32 } else { Benchmark::Apc128 };
+    let flow = Flow::with_config(FlowConfig::paper_default());
+    let report = flow.run_benchmark(benchmark).expect("benchmark circuits are valid");
+    let bytes = report.layout.to_gds_bytes();
+    let path = format!("{}.gds", report.design_name);
+    std::fs::write(&path, &bytes).expect("write GDS file");
+    println!("Fig. 5: layout for AQFP circuit {}", report.design_name);
+    println!("  cells placed : {}", report.layout.cell_instances);
+    println!("  wire paths   : {}", report.layout.wire_paths);
+    println!("  chip size    : {:.0} x {:.0} um", report.layout.width_um, report.layout.height_um);
+    println!("  DRC          : {}", if report.drc.is_clean() { "clean".into() } else { format!("{} findings", report.drc.violations.len()) });
+    println!("  GDS written  : {path} ({} bytes)", bytes.len());
+    println!("\n{}", report.summary());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table II (majority-based logic synthesis results) for all
+//! nine benchmark circuits.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2 [--quick]
+//! ```
+
+use aqfp_netlist::generators::Benchmark;
+use bench::table2::{format_table2, table2_rows};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let circuits: &[Benchmark] = if quick { &bench::QUICK_CIRCUITS } else { &Benchmark::ALL };
+    println!("Table II: majority-based logic synthesis results\n");
+    let rows = table2_rows(circuits);
+    println!("{}", format_table2(&rows));
+    println!("(paper columns reproduced from Xie et al., DATE 2024, Table II)");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table III (placement comparison: GORDIAN-based vs TAAS vs
+//! SuperFlow) for all nine benchmark circuits.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table3 [--quick]
+//! ```
+
+use aqfp_netlist::generators::Benchmark;
+use bench::table3::{format_table3, table3_rows};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let circuits: &[Benchmark] = if quick { &bench::QUICK_CIRCUITS } else { &Benchmark::ALL };
+    println!("Table III: placement comparison (GORDIAN-based / TAAS / SuperFlow)\n");
+    let rows = table3_rows(circuits);
+    println!("{}", format_table3(&rows));
+    println!("(paper columns reproduced from Xie et al., DATE 2024, Table III)");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table IV (routing results of SuperFlow) for all nine
+//! benchmark circuits.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table4 [--quick]
+//! ```
+
+use aqfp_netlist::generators::Benchmark;
+use bench::table4::{format_table4, table4_rows};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let circuits: &[Benchmark] = if quick { &bench::QUICK_CIRCUITS } else { &Benchmark::ALL };
+    println!("Table IV: routing results of SuperFlow\n");
+    let rows = table4_rows(circuits);
+    println!("{}", format_table4(&rows));
+    println!("(paper columns reproduced from Xie et al., DATE 2024, Table IV)");
+}

@@ -1,0 +1,201 @@
+//! Reference values published in the paper, for side-by-side comparison.
+//!
+//! Absolute numbers are not expected to match this reproduction (the
+//! benchmark netlists are regenerated rather than taken from the authors'
+//! releases and the substrate is a CPU reimplementation), but the harness
+//! prints these next to the measured values so the *shape* of the results —
+//! who wins, by roughly what factor — can be checked at a glance.
+
+use aqfp_netlist::generators::Benchmark;
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable2Row {
+    /// The circuit.
+    pub circuit: Benchmark,
+    /// Josephson junctions after synthesis.
+    pub jjs: usize,
+    /// Nets after synthesis.
+    pub nets: usize,
+    /// Circuit depth in clock phases.
+    pub delay: usize,
+}
+
+/// The paper's Table II.
+pub const PAPER_TABLE2: [PaperTable2Row; 9] = [
+    PaperTable2Row { circuit: Benchmark::Adder8, jjs: 960, nets: 462, delay: 23 },
+    PaperTable2Row { circuit: Benchmark::Apc32, jjs: 746, nets: 513, delay: 21 },
+    PaperTable2Row { circuit: Benchmark::Apc128, jjs: 5048, nets: 2355, delay: 45 },
+    PaperTable2Row { circuit: Benchmark::Decoder, jjs: 2210, nets: 989, delay: 19 },
+    PaperTable2Row { circuit: Benchmark::Sorter32, jjs: 3788, nets: 1474, delay: 30 },
+    PaperTable2Row { circuit: Benchmark::C432, jjs: 2500, nets: 1048, delay: 40 },
+    PaperTable2Row { circuit: Benchmark::C499, jjs: 4946, nets: 2202, delay: 31 },
+    PaperTable2Row { circuit: Benchmark::C1355, jjs: 4996, nets: 2236, delay: 31 },
+    PaperTable2Row { circuit: Benchmark::C1908, jjs: 4716, nets: 2182, delay: 34 },
+];
+
+/// One placer's columns in a row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperPlacerColumns {
+    /// Half-perimeter wirelength in µm.
+    pub hpwl: f64,
+    /// Inserted buffer lines.
+    pub buffers: usize,
+    /// Worst negative slack in ps (`None` means timing is met, printed `-`).
+    pub wns: Option<f64>,
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable3Row {
+    /// The circuit.
+    pub circuit: Benchmark,
+    /// GORDIAN-based placer columns.
+    pub gordian: PaperPlacerColumns,
+    /// TAAS placer columns.
+    pub taas: PaperPlacerColumns,
+    /// SuperFlow columns.
+    pub superflow: PaperPlacerColumns,
+    /// SuperFlow runtime in seconds.
+    pub superflow_runtime_s: f64,
+}
+
+/// The paper's Table III.
+pub const PAPER_TABLE3: [PaperTable3Row; 9] = [
+    PaperTable3Row {
+        circuit: Benchmark::Adder8,
+        gordian: PaperPlacerColumns { hpwl: 10_948.0, buffers: 24, wns: None },
+        taas: PaperPlacerColumns { hpwl: 12_360.0, buffers: 24, wns: None },
+        superflow: PaperPlacerColumns { hpwl: 11_850.0, buffers: 16, wns: None },
+        superflow_runtime_s: 12.1,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::Apc32,
+        gordian: PaperPlacerColumns { hpwl: 15_915.0, buffers: 26, wns: None },
+        taas: PaperPlacerColumns { hpwl: 15_915.0, buffers: 26, wns: None },
+        superflow: PaperPlacerColumns { hpwl: 15_530.0, buffers: 26, wns: None },
+        superflow_runtime_s: 13.8,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::Apc128,
+        gordian: PaperPlacerColumns { hpwl: 254_068.0, buffers: 117, wns: Some(-40.7) },
+        taas: PaperPlacerColumns { hpwl: 245_416.0, buffers: 110, wns: Some(-10.1) },
+        superflow: PaperPlacerColumns { hpwl: 177_620.0, buffers: 67, wns: Some(-9.6) },
+        superflow_runtime_s: 374.8,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::Decoder,
+        gordian: PaperPlacerColumns { hpwl: 141_151.0, buffers: 34, wns: Some(-8.8) },
+        taas: PaperPlacerColumns { hpwl: 156_213.0, buffers: 33, wns: Some(-1.4) },
+        superflow: PaperPlacerColumns { hpwl: 153_030.0, buffers: 43, wns: Some(-1.0) },
+        superflow_runtime_s: 162.5,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::Sorter32,
+        gordian: PaperPlacerColumns { hpwl: 168_208.0, buffers: 29, wns: Some(-6.9) },
+        taas: PaperPlacerColumns { hpwl: 180_427.0, buffers: 29, wns: Some(-3.3) },
+        superflow: PaperPlacerColumns { hpwl: 132_640.0, buffers: 29, wns: Some(-2.3) },
+        superflow_runtime_s: 113.4,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::C432,
+        gordian: PaperPlacerColumns { hpwl: 51_009.0, buffers: 46, wns: None },
+        taas: PaperPlacerColumns { hpwl: 52_208.0, buffers: 45, wns: None },
+        superflow: PaperPlacerColumns { hpwl: 36_050.0, buffers: 29, wns: None },
+        superflow_runtime_s: 50.1,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::C499,
+        gordian: PaperPlacerColumns { hpwl: 430_658.0, buffers: 62, wns: Some(-29.9) },
+        taas: PaperPlacerColumns { hpwl: 431_108.0, buffers: 62, wns: Some(-8.9) },
+        superflow: PaperPlacerColumns { hpwl: 385_845.0, buffers: 59, wns: Some(-6.7) },
+        superflow_runtime_s: 517.5,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::C1355,
+        gordian: PaperPlacerColumns { hpwl: 422_556.0, buffers: 58, wns: Some(-31.4) },
+        taas: PaperPlacerColumns { hpwl: 426_099.0, buffers: 58, wns: Some(-9.1) },
+        superflow: PaperPlacerColumns { hpwl: 396_640.0, buffers: 56, wns: Some(-8.9) },
+        superflow_runtime_s: 690.9,
+    },
+    PaperTable3Row {
+        circuit: Benchmark::C1908,
+        gordian: PaperPlacerColumns { hpwl: 358_271.0, buffers: 67, wns: Some(-25.5) },
+        taas: PaperPlacerColumns { hpwl: 361_071.0, buffers: 66, wns: Some(-6.9) },
+        superflow: PaperPlacerColumns { hpwl: 357_570.0, buffers: 68, wns: Some(-6.9) },
+        superflow_runtime_s: 353.3,
+    },
+];
+
+/// One row of the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable4Row {
+    /// The circuit.
+    pub circuit: Benchmark,
+    /// Josephson junctions after routing.
+    pub jjs_after_routing: usize,
+    /// Nets after routing.
+    pub nets: usize,
+    /// Routed wirelength in µm.
+    pub routed_wirelength: f64,
+}
+
+/// The paper's Table IV.
+pub const PAPER_TABLE4: [PaperTable4Row; 9] = [
+    PaperTable4Row { circuit: Benchmark::Adder8, jjs_after_routing: 2_170, nets: 1_064, routed_wirelength: 21_100.0 },
+    PaperTable4Row { circuit: Benchmark::Apc32, jjs_after_routing: 2_040, nets: 986, routed_wirelength: 22_510.0 },
+    PaperTable4Row { circuit: Benchmark::Apc128, jjs_after_routing: 13_860, nets: 6_761, routed_wirelength: 260_770.0 },
+    PaperTable4Row { circuit: Benchmark::Decoder, jjs_after_routing: 7_896, nets: 3_807, routed_wirelength: 252_050.0 },
+    PaperTable4Row { circuit: Benchmark::Sorter32, jjs_after_routing: 8_768, nets: 3_938, routed_wirelength: 218_210.0 },
+    PaperTable4Row { circuit: Benchmark::C432, jjs_after_routing: 5_286, nets: 2_531, routed_wirelength: 75_710.0 },
+    PaperTable4Row { circuit: Benchmark::C499, jjs_after_routing: 19_050, nets: 9_329, routed_wirelength: 816_240.0 },
+    PaperTable4Row { circuit: Benchmark::C1355, jjs_after_routing: 21_004, nets: 10_315, routed_wirelength: 932_960.0 },
+    PaperTable4Row { circuit: Benchmark::C1908, jjs_after_routing: 15_408, nets: 7_574, routed_wirelength: 617_350.0 },
+];
+
+/// Looks up the paper's Table II row for a circuit.
+pub fn paper_table2(circuit: Benchmark) -> Option<&'static PaperTable2Row> {
+    PAPER_TABLE2.iter().find(|r| r.circuit == circuit)
+}
+
+/// Looks up the paper's Table III row for a circuit.
+pub fn paper_table3(circuit: Benchmark) -> Option<&'static PaperTable3Row> {
+    PAPER_TABLE3.iter().find(|r| r.circuit == circuit)
+}
+
+/// Looks up the paper's Table IV row for a circuit.
+pub fn paper_table4(circuit: Benchmark) -> Option<&'static PaperTable4Row> {
+    PAPER_TABLE4.iter().find(|r| r.circuit == circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_has_reference_rows() {
+        for circuit in Benchmark::ALL {
+            assert!(paper_table2(circuit).is_some(), "{circuit} missing from Table II");
+            assert!(paper_table3(circuit).is_some(), "{circuit} missing from Table III");
+            assert!(paper_table4(circuit).is_some(), "{circuit} missing from Table IV");
+        }
+    }
+
+    #[test]
+    fn paper_averages_match_the_reported_improvements() {
+        // The paper reports 12.8% average HPWL improvement over TAAS; verify
+        // the bundled reference data is self-consistent with that headline
+        // (geometric-mean ratio TAAS/SuperFlow ≈ 1.128 per the table note).
+        let ratio: f64 = PAPER_TABLE3
+            .iter()
+            .map(|r| r.taas.hpwl / r.superflow.hpwl)
+            .map(f64::ln)
+            .sum::<f64>()
+            / PAPER_TABLE3.len() as f64;
+        let geo_mean = ratio.exp();
+        assert!(
+            (geo_mean - 1.128).abs() < 0.08,
+            "reference Table III should show roughly a 12.8% HPWL gap, got {geo_mean:.3}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Table II harness: majority-based logic synthesis results.
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_synth::Synthesizer;
+
+use crate::reference;
+
+/// One measured row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// The circuit.
+    pub circuit: Benchmark,
+    /// Josephson junctions after synthesis (buffers and splitters included).
+    pub jjs: usize,
+    /// Nets after synthesis.
+    pub nets: usize,
+    /// Circuit depth in clock phases.
+    pub delay: usize,
+}
+
+/// Runs the synthesis stage for every requested circuit and collects the
+/// Table II columns.
+pub fn table2_rows(circuits: &[Benchmark]) -> Vec<Table2Row> {
+    let library = CellLibrary::mit_ll();
+    let synthesizer = Synthesizer::new(library);
+    circuits
+        .iter()
+        .map(|&circuit| {
+            let result = synthesizer
+                .run(&benchmark_circuit(circuit))
+                .expect("benchmark circuits are valid by construction");
+            Table2Row {
+                circuit,
+                jjs: result.stats.jj_count,
+                nets: result.stats.net_count,
+                delay: result.stats.delay,
+            }
+        })
+        .collect()
+}
+
+/// Formats measured rows next to the paper's reference values.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let header = [
+        "Circuit", "#JJs", "#Nets", "#Delay", "paper #JJs", "paper #Nets", "paper #Delay",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let paper = reference::paper_table2(row.circuit);
+            vec![
+                row.circuit.to_string(),
+                row.jjs.to_string(),
+                row.nets.to_string(),
+                row.delay.to_string(),
+                paper.map_or("-".into(), |p| p.jjs.to_string()),
+                paper.map_or("-".into(), |p| p.nets.to_string()),
+                paper.map_or("-".into(), |p| p.delay.to_string()),
+            ]
+        })
+        .collect();
+    crate::format_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_have_plausible_magnitudes() {
+        let rows = table2_rows(&[Benchmark::Adder8, Benchmark::Apc32]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let paper = reference::paper_table2(row.circuit).unwrap();
+            assert!(row.jjs > 0 && row.nets > 0 && row.delay > 0);
+            // The regenerated netlists should land within a factor of ~4 of
+            // the paper's JJ counts — same order of magnitude.
+            let ratio = row.jjs as f64 / paper.jjs as f64;
+            assert!(
+                (0.25..=4.0).contains(&ratio),
+                "{}: JJ count {} vs paper {} (ratio {ratio:.2})",
+                row.circuit,
+                row.jjs,
+                paper.jjs
+            );
+        }
+    }
+
+    #[test]
+    fn formatting_includes_every_circuit() {
+        let rows = table2_rows(&[Benchmark::Adder8]);
+        let text = format_table2(&rows);
+        assert!(text.contains("adder8"));
+        assert!(text.contains("paper #JJs"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Four-phase AQFP clocking model.
+//!
+//! AQFP circuits are powered and clocked by two AC signals (90° apart) plus a
+//! DC offset, yielding four clock phases per excitation period. Every logic
+//! level (placement row) of the circuit occupies exactly one phase, and data
+//! advances one phase per level — the "gate-level pipelining" the paper
+//! describes in §II-B.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four AQFP clock phases.
+///
+/// ```
+/// use aqfp_cells::ClockPhase;
+/// assert_eq!(ClockPhase::of_level(0), ClockPhase::Phase1);
+/// assert_eq!(ClockPhase::of_level(5), ClockPhase::Phase2);
+/// assert_eq!(ClockPhase::Phase4.next(), ClockPhase::Phase1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ClockPhase {
+    /// AC1 + DC.
+    Phase1,
+    /// AC2 − DC.
+    Phase2,
+    /// −(AC1 − DC).
+    Phase3,
+    /// −(AC2 + DC).
+    Phase4,
+}
+
+impl ClockPhase {
+    /// All four phases in excitation order.
+    pub const ALL: [ClockPhase; 4] =
+        [ClockPhase::Phase1, ClockPhase::Phase2, ClockPhase::Phase3, ClockPhase::Phase4];
+
+    /// The phase assigned to logic level `level` (level 0 is the first row of
+    /// gates after the primary inputs).
+    pub fn of_level(level: usize) -> ClockPhase {
+        Self::ALL[level % 4]
+    }
+
+    /// Zero-based index of the phase within the excitation period.
+    pub fn index(self) -> usize {
+        match self {
+            ClockPhase::Phase1 => 0,
+            ClockPhase::Phase2 => 1,
+            ClockPhase::Phase3 => 2,
+            ClockPhase::Phase4 => 3,
+        }
+    }
+
+    /// The phase that follows this one.
+    pub fn next(self) -> ClockPhase {
+        Self::ALL[(self.index() + 1) % 4]
+    }
+}
+
+impl fmt::Display for ClockPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase {}", self.index() + 1)
+    }
+}
+
+/// The four-phase clock configuration of a design: target frequency and the
+/// per-phase timing budget derived from it.
+///
+/// The paper evaluates all designs at a 5 GHz target clock, which gives each
+/// phase a quarter of the 200 ps excitation period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FourPhaseClock {
+    /// Target clock frequency in GHz.
+    pub frequency_ghz: f64,
+}
+
+impl FourPhaseClock {
+    /// The paper's evaluation clock: 5 GHz.
+    pub const PAPER_DEFAULT: FourPhaseClock = FourPhaseClock { frequency_ghz: 5.0 };
+
+    /// Creates a clock from a target frequency in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_ghz` is not strictly positive.
+    pub fn new(frequency_ghz: f64) -> Self {
+        assert!(frequency_ghz > 0.0, "clock frequency must be positive");
+        Self { frequency_ghz }
+    }
+
+    /// Full excitation period in picoseconds.
+    pub fn period_ps(&self) -> f64 {
+        1000.0 / self.frequency_ghz
+    }
+
+    /// Time budget of a single phase (a quarter of the period) in
+    /// picoseconds. Signals must traverse one logic level plus its
+    /// interconnect within this window.
+    pub fn phase_budget_ps(&self) -> f64 {
+        self.period_ps() / 4.0
+    }
+}
+
+impl Default for FourPhaseClock {
+    fn default() -> Self {
+        Self::PAPER_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_of_level_cycles() {
+        assert_eq!(ClockPhase::of_level(0), ClockPhase::Phase1);
+        assert_eq!(ClockPhase::of_level(1), ClockPhase::Phase2);
+        assert_eq!(ClockPhase::of_level(2), ClockPhase::Phase3);
+        assert_eq!(ClockPhase::of_level(3), ClockPhase::Phase4);
+        assert_eq!(ClockPhase::of_level(4), ClockPhase::Phase1);
+        assert_eq!(ClockPhase::of_level(402), ClockPhase::Phase3);
+    }
+
+    #[test]
+    fn next_visits_all_phases() {
+        let mut phase = ClockPhase::Phase1;
+        let mut seen = vec![phase];
+        for _ in 0..3 {
+            phase = phase.next();
+            seen.push(phase);
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(ClockPhase::Phase4.next(), ClockPhase::Phase1);
+    }
+
+    #[test]
+    fn five_ghz_clock_budget() {
+        let clk = FourPhaseClock::PAPER_DEFAULT;
+        assert!((clk.period_ps() - 200.0).abs() < 1e-9);
+        assert!((clk.phase_budget_ps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency must be positive")]
+    fn zero_frequency_rejected() {
+        FourPhaseClock::new(0.0);
+    }
+}

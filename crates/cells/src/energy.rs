@@ -1,0 +1,129 @@
+//! First-order AQFP energy model.
+//!
+//! The headline motivation for AQFP is energy: adiabatic switching
+//! dissipates a small fraction of the Josephson coupling energy `I_c·Φ₀`
+//! per junction per cycle, orders of magnitude below CMOS. The paper's
+//! introduction quotes a 10⁴–10⁵× efficiency gain; this module provides the
+//! simple bit-energy model used throughout the AQFP literature so flow
+//! reports can attach an energy estimate to a synthesized design.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clocking::FourPhaseClock;
+
+/// Magnetic flux quantum Φ₀ in weber.
+pub const FLUX_QUANTUM_WB: f64 = 2.067_833_848e-15;
+
+/// First-order switching-energy model for AQFP circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Junction critical current in microamperes (50 µA is typical for the
+    /// AIST/MIT-LL AQFP cell libraries).
+    pub critical_current_ua: f64,
+    /// Fraction of the coupling energy `I_c·Φ₀` dissipated per switching
+    /// event; adiabatic operation at a few GHz sits around 10⁻² – 10⁻⁴.
+    pub dissipation_fraction: f64,
+    /// Fraction of junctions that switch in an average cycle (activity
+    /// factor).
+    pub activity_factor: f64,
+}
+
+impl EnergyModel {
+    /// Model parameters representative of 5 GHz AQFP operation.
+    pub fn aqfp_5ghz() -> Self {
+        Self { critical_current_ua: 50.0, dissipation_fraction: 0.01, activity_factor: 0.5 }
+    }
+
+    /// The Josephson coupling energy `I_c·Φ₀` of one junction, in
+    /// attojoules.
+    pub fn coupling_energy_aj(&self) -> f64 {
+        self.critical_current_ua * 1e-6 * FLUX_QUANTUM_WB * 1e18
+    }
+
+    /// Energy dissipated by one junction in one switching event, in
+    /// attojoules.
+    pub fn switching_energy_aj(&self) -> f64 {
+        self.coupling_energy_aj() * self.dissipation_fraction
+    }
+
+    /// Energy dissipated by a circuit with `jj_count` junctions over one
+    /// clock cycle, in attojoules.
+    pub fn cycle_energy_aj(&self, jj_count: usize) -> f64 {
+        self.switching_energy_aj() * self.activity_factor * jj_count as f64
+    }
+
+    /// Average power of a circuit with `jj_count` junctions clocked by
+    /// `clock`, in nanowatts.
+    pub fn average_power_nw(&self, jj_count: usize, clock: FourPhaseClock) -> f64 {
+        // aJ per cycle × cycles per second = aJ/s = 1e-18 W = 1e-9 nW.
+        self.cycle_energy_aj(jj_count) * clock.frequency_ghz * 1e9 * 1e-9
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.critical_current_ua <= 0.0 {
+            return Err("critical current must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.dissipation_fraction) {
+            return Err("dissipation fraction must be in 0..=1".into());
+        }
+        if !(0.0..=1.0).contains(&self.activity_factor) {
+            return Err("activity factor must be in 0..=1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::aqfp_5ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_energy_is_sub_attojoule_scale() {
+        let model = EnergyModel::aqfp_5ghz();
+        let coupling = model.coupling_energy_aj();
+        // 50 µA × Φ0 ≈ 0.103 aJ.
+        assert!((coupling - 0.1034).abs() < 0.01, "coupling energy {coupling} aJ");
+        assert!(model.switching_energy_aj() < coupling);
+    }
+
+    #[test]
+    fn cycle_energy_scales_with_jj_count() {
+        let model = EnergyModel::aqfp_5ghz();
+        let small = model.cycle_energy_aj(1_000);
+        let large = model.cycle_energy_aj(10_000);
+        assert!((large / small - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let model = EnergyModel::aqfp_5ghz();
+        let slow = model.average_power_nw(5_000, FourPhaseClock::new(1.0));
+        let fast = model.average_power_nw(5_000, FourPhaseClock::new(5.0));
+        assert!((fast / slow - 5.0).abs() < 1e-9);
+        // A few thousand JJs at 5 GHz should land in the nanowatt range,
+        // which is the headline AQFP claim.
+        assert!(fast > 0.1 && fast < 100.0, "power {fast} nW out of the expected range");
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let mut model = EnergyModel::aqfp_5ghz();
+        model.dissipation_fraction = 2.0;
+        assert!(model.validate().is_err());
+        model = EnergyModel::aqfp_5ghz();
+        model.critical_current_ua = 0.0;
+        assert!(model.validate().is_err());
+        assert!(EnergyModel::default().validate().is_ok());
+    }
+}

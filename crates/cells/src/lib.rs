@@ -1,0 +1,39 @@
+//! AQFP standard cell library, process design rules and clocking model.
+//!
+//! Adiabatic Quantum-Flux-Parametron (AQFP) circuits are built from a small
+//! set of majority-based cells driven by a four-phase AC clock. This crate
+//! models the static technology information the rest of the SuperFlow flow
+//! depends on:
+//!
+//! * [`CellKind`] / [`AqfpCell`] — the cell types, their dimensions, pin
+//!   geometry and Josephson-junction (JJ) cost;
+//! * [`CellLibrary`] — a complete library for the AIST STP2 or MIT-LL SQF5ee
+//!   fabrication process;
+//! * [`ProcessRules`] — spacing, maximum-wirelength and routing-layer rules;
+//! * [`clocking`] — the four-phase zigzag clock model that gives every logic
+//!   level (row) its clock phase.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqfp_cells::{CellKind, CellLibrary};
+//!
+//! let lib = CellLibrary::mit_ll();
+//! let buf = lib.cell(CellKind::Buffer);
+//! assert_eq!(buf.jj_count, 2);
+//! assert!(buf.width < lib.cell(CellKind::Majority3).width);
+//! ```
+
+pub mod cell;
+pub mod clocking;
+pub mod energy;
+pub mod geometry;
+pub mod library;
+pub mod process;
+
+pub use cell::{AqfpCell, CellKind, PinDirection, PinGeometry};
+pub use clocking::{ClockPhase, FourPhaseClock};
+pub use energy::EnergyModel;
+pub use geometry::{Orientation, Point, Rect};
+pub use library::{CellLibrary, Process};
+pub use process::ProcessRules;

@@ -1,0 +1,225 @@
+//! The AQFP standard cell library.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::cell::{AqfpCell, CellKind, PinDirection, PinGeometry};
+use crate::clocking::FourPhaseClock;
+use crate::geometry::Point;
+use crate::process::ProcessRules;
+
+/// The fabrication process a [`CellLibrary`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Process {
+    /// AIST standard process 2.
+    Stp2,
+    /// MIT Lincoln Laboratory SQF5ee.
+    MitLl,
+}
+
+/// A complete AQFP standard cell library for one fabrication process.
+///
+/// The library bundles the cell geometry table, the process design rules and
+/// the clocking configuration, which is all the static technology data the
+/// synthesis, placement, routing and layout stages need.
+///
+/// ```
+/// use aqfp_cells::{CellKind, CellLibrary};
+/// let lib = CellLibrary::mit_ll();
+/// assert_eq!(lib.cell(CellKind::Buffer).width, 40.0);
+/// assert_eq!(lib.cell(CellKind::Majority3).width, 60.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    process: Process,
+    rules: ProcessRules,
+    clock: FourPhaseClock,
+    cells: BTreeMap<CellKind, AqfpCell>,
+}
+
+impl CellLibrary {
+    /// Builds the library for the MIT-LL SQF5ee process using the dimensions
+    /// quoted in the paper (40 × 30 µm buffers, 60 × 70 µm majority gates,
+    /// everything snapped to a 10 µm grid).
+    pub fn mit_ll() -> Self {
+        Self::build(Process::MitLl, ProcessRules::mit_ll())
+    }
+
+    /// Builds the library for the AIST STP2 process.
+    pub fn stp2() -> Self {
+        Self::build(Process::Stp2, ProcessRules::stp2())
+    }
+
+    /// Builds a library for `process` with custom design rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` fail validation; use [`ProcessRules::validate`] to
+    /// check user-provided rules first.
+    pub fn with_rules(process: Process, rules: ProcessRules) -> Self {
+        Self::build(process, rules)
+    }
+
+    fn build(process: Process, rules: ProcessRules) -> Self {
+        rules.validate().expect("process rules must be internally consistent");
+        let mut cells = BTreeMap::new();
+        for kind in CellKind::ALL {
+            cells.insert(kind, Self::make_cell(kind));
+        }
+        Self { process, rules, clock: FourPhaseClock::default(), cells }
+    }
+
+    /// Cell geometry for the updated (grid-aligned) AQFP standard cell
+    /// library: buffers and other single-input cells are 40 × 30 µm, two- and
+    /// three-input majority-based cells are 60 × 70 µm, splitters scale with
+    /// their arity. JJ counts follow the minimalist-design AQFP library.
+    fn make_cell(kind: CellKind) -> AqfpCell {
+        let (width, height, jj_count) = match kind {
+            CellKind::Buffer | CellKind::Inverter => (40.0, 30.0, 2),
+            CellKind::Constant0 | CellKind::Constant1 => (40.0, 30.0, 2),
+            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor => (60.0, 70.0, 6),
+            CellKind::Xor => (60.0, 70.0, 8),
+            CellKind::Majority3 => (60.0, 70.0, 6),
+            CellKind::Splitter2 => (40.0, 30.0, 4),
+            CellKind::Splitter3 => (60.0, 30.0, 6),
+            CellKind::Splitter4 => (80.0, 30.0, 8),
+            CellKind::Input | CellKind::Output => (10.0, 10.0, 0),
+        };
+
+        let n_in = kind.input_count();
+        let n_out = kind.output_count();
+        let input_pins = (0..n_in)
+            .map(|i| {
+                let name = ["a", "b", "c"][i].to_owned();
+                let x = Self::pin_x(width, n_in, i);
+                PinGeometry::new(name, PinDirection::Input, Point::new(x, 0.0))
+            })
+            .collect();
+        let output_pins = (0..n_out)
+            .map(|i| {
+                let name = if n_out == 1 { "xout".to_owned() } else { format!("xout{}", i + 1) };
+                let x = Self::pin_x(width, n_out, i);
+                PinGeometry::new(name, PinDirection::Output, Point::new(x, height))
+            })
+            .collect();
+
+        AqfpCell { kind, width, height, jj_count, input_pins, output_pins }
+    }
+
+    /// Evenly distributes `count` pins across the cell width, snapped to the
+    /// 10 µm grid.
+    fn pin_x(width: f64, count: usize, index: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let step = width / (count as f64 + 1.0);
+        ((step * (index as f64 + 1.0)) / 10.0).round() * 10.0
+    }
+
+    /// The process this library targets.
+    pub fn process(&self) -> Process {
+        self.process
+    }
+
+    /// The process design rules.
+    pub fn rules(&self) -> &ProcessRules {
+        &self.rules
+    }
+
+    /// The clock configuration (defaults to the paper's 5 GHz).
+    pub fn clock(&self) -> FourPhaseClock {
+        self.clock
+    }
+
+    /// Replaces the clock configuration, returning the modified library.
+    pub fn with_clock(mut self, clock: FourPhaseClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Looks up the cell definition for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the library contains every [`CellKind`].
+    pub fn cell(&self, kind: CellKind) -> &AqfpCell {
+        self.cells.get(&kind).expect("library contains every cell kind")
+    }
+
+    /// Iterates over all cells in the library in [`CellKind`] order.
+    pub fn iter(&self) -> impl Iterator<Item = &AqfpCell> {
+        self.cells.values()
+    }
+
+    /// Total JJ count of a multiset of cell kinds, e.g. an entire netlist.
+    pub fn total_jj<I: IntoIterator<Item = CellKind>>(&self, kinds: I) -> usize {
+        kinds.into_iter().map(|k| self.cell(k).jj_count).sum()
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::mit_ll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_are_respected() {
+        let lib = CellLibrary::mit_ll();
+        let buf = lib.cell(CellKind::Buffer);
+        assert_eq!((buf.width, buf.height), (40.0, 30.0));
+        let maj = lib.cell(CellKind::Majority3);
+        assert_eq!((maj.width, maj.height), (60.0, 70.0));
+    }
+
+    #[test]
+    fn all_dimensions_are_grid_aligned() {
+        let lib = CellLibrary::stp2();
+        for cell in lib.iter() {
+            assert_eq!(cell.width % 10.0, 0.0, "{} width off-grid", cell.kind);
+            assert_eq!(cell.height % 10.0, 0.0, "{} height off-grid", cell.kind);
+            for pin in cell.input_pins.iter().chain(cell.output_pins.iter()) {
+                assert_eq!(pin.offset.x % 10.0, 0.0, "{} pin {} off-grid", cell.kind, pin.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pin_counts_match_cell_arity() {
+        let lib = CellLibrary::mit_ll();
+        for cell in lib.iter() {
+            assert_eq!(cell.input_pins.len(), cell.kind.input_count());
+            assert_eq!(cell.output_pins.len(), cell.kind.output_count());
+        }
+    }
+
+    #[test]
+    fn buffer_is_double_jj() {
+        let lib = CellLibrary::mit_ll();
+        assert_eq!(lib.cell(CellKind::Buffer).jj_count, 2);
+        assert!(lib.cell(CellKind::Majority3).jj_count > 2);
+        assert_eq!(lib.cell(CellKind::Input).jj_count, 0);
+    }
+
+    #[test]
+    fn total_jj_sums_kinds() {
+        let lib = CellLibrary::mit_ll();
+        let total = lib.total_jj([CellKind::Buffer, CellKind::Buffer, CellKind::Majority3]);
+        assert_eq!(total, 2 + 2 + 6);
+    }
+
+    #[test]
+    fn pin_positions_are_inside_cell() {
+        let lib = CellLibrary::mit_ll();
+        for cell in lib.iter() {
+            for pin in cell.input_pins.iter().chain(cell.output_pins.iter()) {
+                assert!(pin.offset.x >= 0.0 && pin.offset.x <= cell.width);
+                assert!(pin.offset.y >= 0.0 && pin.offset.y <= cell.height);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Fabrication process design rules relevant to AQFP physical design.
+
+use serde::{Deserialize, Serialize};
+
+/// Design rules for an AQFP fabrication process.
+///
+/// These are the constraints §II-C of the paper enumerates: cell/zigzag
+/// spacing, the maximum single-wire length `W_max`, the number of routing
+/// layers available between adjacent clock phases, and basic metal rules used
+/// by the DRC stage.
+///
+/// ```
+/// use aqfp_cells::ProcessRules;
+/// let rules = ProcessRules::mit_ll();
+/// assert_eq!(rules.min_spacing, 10.0);
+/// assert!(rules.max_wirelength > rules.min_spacing);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessRules {
+    /// Human-readable process name.
+    pub name: String,
+    /// Minimum spacing between non-abutting neighbouring cells and between
+    /// wire zigzags, in µm (10 µm for the MIT-LL process).
+    pub min_spacing: f64,
+    /// Maximum allowed length of a single wire connection, in µm. Longer
+    /// connections require an inserted buffer row.
+    pub max_wirelength: f64,
+    /// Placement/routing grid pitch in µm; the updated AQFP library snaps all
+    /// dimensions to this grid.
+    pub grid: f64,
+    /// Number of metal layers available for signal routing between two
+    /// adjacent clock phases (two for AQFP).
+    pub routing_layers: usize,
+    /// Minimum metal wire width in µm.
+    pub wire_width: f64,
+    /// Via size (square side) in µm.
+    pub via_size: f64,
+    /// Minimum metal density required per layer by the DRC (fraction 0..1).
+    pub min_metal_density: f64,
+    /// Maximum metal density allowed per layer by the DRC (fraction 0..1).
+    pub max_metal_density: f64,
+    /// Vertical pitch between adjacent clock-phase rows before any space
+    /// expansion, in µm.
+    pub row_pitch: f64,
+}
+
+impl ProcessRules {
+    /// Design rules for the MIT Lincoln Laboratory SQF5ee process.
+    pub fn mit_ll() -> Self {
+        Self {
+            name: "MIT-LL SQF5ee".to_owned(),
+            min_spacing: 10.0,
+            max_wirelength: 400.0,
+            grid: 10.0,
+            routing_layers: 2,
+            wire_width: 2.0,
+            via_size: 4.0,
+            min_metal_density: 0.05,
+            max_metal_density: 0.85,
+            row_pitch: 100.0,
+        }
+    }
+
+    /// Design rules for the AIST standard process 2 (STP2).
+    pub fn stp2() -> Self {
+        Self {
+            name: "AIST STP2".to_owned(),
+            min_spacing: 10.0,
+            max_wirelength: 500.0,
+            grid: 10.0,
+            routing_layers: 2,
+            wire_width: 2.5,
+            via_size: 5.0,
+            min_metal_density: 0.05,
+            max_metal_density: 0.85,
+            row_pitch: 100.0,
+        }
+    }
+
+    /// Validates internal consistency of the rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (non-positive
+    /// spacing, `W_max` smaller than the spacing, empty density window, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_spacing <= 0.0 {
+            return Err("min_spacing must be positive".into());
+        }
+        if self.grid <= 0.0 {
+            return Err("grid must be positive".into());
+        }
+        if self.max_wirelength < self.min_spacing {
+            return Err("max_wirelength must be at least min_spacing".into());
+        }
+        if self.routing_layers == 0 {
+            return Err("at least one routing layer is required".into());
+        }
+        if self.wire_width <= 0.0 || self.via_size <= 0.0 {
+            return Err("wire width and via size must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.min_metal_density)
+            || !(0.0..=1.0).contains(&self.max_metal_density)
+            || self.min_metal_density > self.max_metal_density
+        {
+            return Err("metal density window must satisfy 0 <= min <= max <= 1".into());
+        }
+        if self.row_pitch <= 0.0 {
+            return Err("row pitch must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProcessRules {
+    fn default() -> Self {
+        Self::mit_ll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_rules_are_valid() {
+        ProcessRules::mit_ll().validate().expect("MIT-LL rules valid");
+        ProcessRules::stp2().validate().expect("STP2 rules valid");
+    }
+
+    #[test]
+    fn default_is_mit_ll() {
+        assert_eq!(ProcessRules::default(), ProcessRules::mit_ll());
+    }
+
+    #[test]
+    fn invalid_rules_are_rejected() {
+        let mut rules = ProcessRules::mit_ll();
+        rules.min_spacing = 0.0;
+        assert!(rules.validate().is_err());
+
+        let mut rules = ProcessRules::mit_ll();
+        rules.max_wirelength = 1.0;
+        assert!(rules.validate().is_err());
+
+        let mut rules = ProcessRules::mit_ll();
+        rules.min_metal_density = 0.9;
+        rules.max_metal_density = 0.1;
+        assert!(rules.validate().is_err());
+
+        let mut rules = ProcessRules::mit_ll();
+        rules.routing_layers = 0;
+        assert!(rules.validate().is_err());
+    }
+}

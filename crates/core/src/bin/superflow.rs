@@ -1,0 +1,205 @@
+//! `superflow` command-line interface.
+//!
+//! Runs the complete RTL-to-GDS flow on a structural-Verilog or BLIF file,
+//! or on one of the built-in benchmark circuits, and writes the resulting
+//! GDSII (and optionally an SVG rendering).
+//!
+//! ```text
+//! superflow [OPTIONS] <input>
+//!
+//!   <input>                 path to a .v / .blif file, or a benchmark name
+//!                           (adder8, apc32, apc128, decoder, sorter32,
+//!                            c432, c499, c1355, c1908)
+//!   --placer <name>         superflow | gordian | taas        [superflow]
+//!   --process <name>        mit-ll | stp2                     [mit-ll]
+//!   --output <file.gds>     GDSII output path                 [<design>.gds]
+//!   --svg <file.svg>        also write an SVG rendering
+//!   --fast                  use the reduced-effort placement configuration
+//!   --quiet                 print only the one-line summary
+//! ```
+
+use std::process::ExitCode;
+
+use aqfp_cells::{EnergyModel, Process};
+use aqfp_layout::{render_svg, SvgOptions};
+use aqfp_netlist::generators::Benchmark;
+use aqfp_place::PlacerKind;
+use superflow::{Flow, FlowConfig, FlowReport};
+
+struct CliOptions {
+    input: String,
+    placer: PlacerKind,
+    process: Process,
+    output: Option<String>,
+    svg: Option<String>,
+    fast: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        input: String::new(),
+        placer: PlacerKind::SuperFlow,
+        process: Process::MitLl,
+        output: None,
+        svg: None,
+        fast: false,
+        quiet: false,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--placer" => {
+                let value = iter.next().ok_or("--placer needs a value")?;
+                options.placer = match value.as_str() {
+                    "superflow" => PlacerKind::SuperFlow,
+                    "gordian" => PlacerKind::GordianBased,
+                    "taas" => PlacerKind::Taas,
+                    other => return Err(format!("unknown placer `{other}`")),
+                };
+            }
+            "--process" => {
+                let value = iter.next().ok_or("--process needs a value")?;
+                options.process = match value.as_str() {
+                    "mit-ll" | "mitll" => Process::MitLl,
+                    "stp2" => Process::Stp2,
+                    other => return Err(format!("unknown process `{other}`")),
+                };
+            }
+            "--output" => options.output = Some(iter.next().ok_or("--output needs a value")?.clone()),
+            "--svg" => options.svg = Some(iter.next().ok_or("--svg needs a value")?.clone()),
+            "--fast" => options.fast = true,
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => {
+                if !options.input.is_empty() {
+                    return Err("more than one input given".to_owned());
+                }
+                options.input = other.to_owned();
+            }
+        }
+    }
+    if options.input.is_empty() {
+        return Err("no input given".to_owned());
+    }
+    Ok(options)
+}
+
+fn usage() -> &'static str {
+    "usage: superflow [--placer superflow|gordian|taas] [--process mit-ll|stp2] \
+     [--output out.gds] [--svg out.svg] [--fast] [--quiet] <input.v|input.blif|benchmark>"
+}
+
+fn run(options: &CliOptions) -> Result<FlowReport, String> {
+    let mut config = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
+    config.process = options.process;
+    config.placer = options.placer;
+    let flow = Flow::with_config(config);
+
+    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == options.input) {
+        return flow.run_benchmark(benchmark).map_err(|e| e.to_string());
+    }
+    let source = std::fs::read_to_string(&options.input)
+        .map_err(|e| format!("cannot read `{}`: {e}", options.input))?;
+    if options.input.ends_with(".blif") {
+        flow.run_blif(&source).map_err(|e| e.to_string())
+    } else {
+        flow.run_verilog(&source).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match run(&options) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let gds_path =
+        options.output.clone().unwrap_or_else(|| format!("{}.gds", report.design_name));
+    if let Err(e) = std::fs::write(&gds_path, report.layout.to_gds_bytes()) {
+        eprintln!("error: cannot write `{gds_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(svg_path) = &options.svg {
+        let svg = render_svg(&report.placement.design, &report.routing, &SvgOptions::default());
+        if let Err(e) = std::fs::write(svg_path, svg) {
+            eprintln!("error: cannot write `{svg_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("{}", report.summary());
+    if !options.quiet {
+        let energy = EnergyModel::default();
+        println!("placer            : {}", report.placement.placer);
+        println!("clock phases      : {}", report.synthesis_stats.delay);
+        println!("JJs after routing : {}", report.jj_after_routing());
+        println!(
+            "energy estimate   : {:.1} aJ/cycle ({:.2} nW at 5 GHz)",
+            report.cycle_energy_aj(&energy),
+            report.average_power_nw(&energy, aqfp_cells::FourPhaseClock::PAPER_DEFAULT),
+        );
+        println!("GDS written to    : {gds_path}");
+        if let Some(svg_path) = &options.svg {
+            println!("SVG written to    : {svg_path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let options = parse_args(&args(&[
+            "--placer", "taas", "--process", "stp2", "--output", "out.gds", "--svg", "out.svg",
+            "--fast", "--quiet", "adder8",
+        ]))
+        .expect("parses");
+        assert_eq!(options.placer, PlacerKind::Taas);
+        assert_eq!(options.process, Process::Stp2);
+        assert_eq!(options.output.as_deref(), Some("out.gds"));
+        assert_eq!(options.svg.as_deref(), Some("out.svg"));
+        assert!(options.fast && options.quiet);
+        assert_eq!(options.input, "adder8");
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--placer"])).is_err());
+        assert!(parse_args(&args(&["--placer", "magic", "adder8"])).is_err());
+        assert!(parse_args(&args(&["--frobnicate", "adder8"])).is_err());
+        assert!(parse_args(&args(&["a.v", "b.v"])).is_err());
+    }
+
+    #[test]
+    fn benchmark_names_resolve_without_touching_the_filesystem() {
+        let options = parse_args(&args(&["--fast", "adder8"])).expect("parses");
+        let report = run(&options).expect("flow runs");
+        assert_eq!(report.design_name, "adder8");
+    }
+}

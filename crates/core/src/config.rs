@@ -1,0 +1,103 @@
+//! Flow-level configuration.
+
+use aqfp_cells::{CellLibrary, Process};
+use aqfp_place::{PlacementOptions, PlacerKind};
+use aqfp_route::RouterConfig;
+use aqfp_synth::SynthesisOptions;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a complete RTL-to-GDS run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Fabrication process to target (selects the cell library and rules).
+    pub process: Process,
+    /// Placement strategy (SuperFlow or one of the baselines).
+    pub placer: PlacerKind,
+    /// Logic synthesis options.
+    pub synthesis: SynthesisOptions,
+    /// Placement options.
+    pub placement: PlacementOptions,
+    /// Router options.
+    pub router: RouterConfig,
+    /// Maximum number of DRC-fix iterations before the flow gives up and
+    /// reports the remaining violations.
+    pub max_drc_iterations: usize,
+}
+
+impl FlowConfig {
+    /// The configuration used for the paper's evaluation: MIT-LL process,
+    /// SuperFlow placer, default stage options.
+    pub fn paper_default() -> Self {
+        Self {
+            process: Process::MitLl,
+            placer: PlacerKind::SuperFlow,
+            synthesis: SynthesisOptions::default(),
+            placement: PlacementOptions::default(),
+            router: RouterConfig::default(),
+            max_drc_iterations: 3,
+        }
+    }
+
+    /// A faster configuration for tests and examples: fewer global-placement
+    /// iterations and detailed-placement passes, same flow structure.
+    pub fn fast() -> Self {
+        let mut config = Self::paper_default();
+        config.placement.global.iterations = 150;
+        config.placement.detailed.passes = 2;
+        config
+    }
+
+    /// Returns the same configuration with a different placer, for baseline
+    /// comparisons.
+    pub fn with_placer(mut self, placer: PlacerKind) -> Self {
+        self.placer = placer;
+        self
+    }
+
+    /// Builds the cell library selected by [`FlowConfig::process`].
+    pub fn library(&self) -> CellLibrary {
+        match self.process {
+            Process::MitLl => CellLibrary::mit_ll(),
+            Process::Stp2 => CellLibrary::stp2(),
+        }
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_targets_mit_ll_and_superflow() {
+        let config = FlowConfig::default();
+        assert_eq!(config.process, Process::MitLl);
+        assert_eq!(config.placer, PlacerKind::SuperFlow);
+        assert!(config.max_drc_iterations >= 1);
+    }
+
+    #[test]
+    fn fast_config_is_cheaper() {
+        let fast = FlowConfig::fast();
+        let full = FlowConfig::paper_default();
+        assert!(fast.placement.global.iterations < full.placement.global.iterations);
+    }
+
+    #[test]
+    fn with_placer_switches_strategy() {
+        let config = FlowConfig::default().with_placer(PlacerKind::Taas);
+        assert_eq!(config.placer, PlacerKind::Taas);
+    }
+
+    #[test]
+    fn library_matches_process() {
+        let stp2 = FlowConfig { process: Process::Stp2, ..FlowConfig::default() };
+        assert_eq!(stp2.library().rules().name, "AIST STP2");
+        assert_eq!(FlowConfig::default().library().rules().name, "MIT-LL SQF5ee");
+    }
+}

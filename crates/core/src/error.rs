@@ -1,0 +1,74 @@
+//! Flow-level error type.
+
+use aqfp_netlist::parsers::ParseNetlistError;
+use aqfp_netlist::NetlistError;
+use aqfp_synth::SynthesisError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors a complete flow run can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The RTL/netlist input could not be parsed.
+    Parse(ParseNetlistError),
+    /// The input netlist failed validation.
+    InvalidNetlist(NetlistError),
+    /// The synthesis stage failed.
+    Synthesis(SynthesisError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "failed to parse input: {e}"),
+            FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
+            FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            FlowError::InvalidNetlist(e) => Some(e),
+            FlowError::Synthesis(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseNetlistError> for FlowError {
+    fn from(value: ParseNetlistError) -> Self {
+        FlowError::Parse(value)
+    }
+}
+
+impl From<SynthesisError> for FlowError {
+    fn from(value: SynthesisError) -> Self {
+        FlowError::Synthesis(value)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(value: NetlistError) -> Self {
+        FlowError::InvalidNetlist(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::GateId;
+
+    #[test]
+    fn errors_display_their_stage() {
+        let parse: FlowError = FlowError::Parse(ParseNetlistError {
+            line: 3,
+            message: "bad token".to_owned(),
+        });
+        assert!(parse.to_string().contains("parse"));
+        let invalid: FlowError = NetlistError::Cycle { gate: GateId(0) }.into();
+        assert!(invalid.to_string().contains("invalid"));
+        assert!(std::error::Error::source(&invalid).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! The flow driver: RTL in, GDSII out.
+
+use std::time::Instant;
+
+use aqfp_cells::CellLibrary;
+use aqfp_layout::{DrcChecker, DrcViolationKind, LayoutGenerator};
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_netlist::parsers::{parse_blif, parse_verilog};
+use aqfp_netlist::Netlist;
+use aqfp_place::buffer_rows::insert_buffer_rows;
+use aqfp_place::detailed::detailed_place;
+use aqfp_place::legalize::legalize;
+use aqfp_place::PlacementEngine;
+use aqfp_route::Router;
+use aqfp_synth::Synthesizer;
+
+use crate::config::FlowConfig;
+use crate::error::FlowError;
+use crate::report::FlowReport;
+
+/// The SuperFlow RTL-to-GDS driver (Fig. 3 of the paper).
+///
+/// A [`Flow`] owns the cell library and the per-stage configuration; every
+/// `run_*` method executes the whole pipeline — synthesis, placement,
+/// routing, layout generation and DRC with automatic violation repair — and
+/// returns a [`FlowReport`].
+#[derive(Debug, Clone)]
+pub struct Flow {
+    library: CellLibrary,
+    config: FlowConfig,
+}
+
+impl Flow {
+    /// Creates a flow with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::with_config(FlowConfig::paper_default())
+    }
+
+    /// Creates a flow from an explicit configuration.
+    pub fn with_config(config: FlowConfig) -> Self {
+        Self { library: config.library(), config }
+    }
+
+    /// The cell library the flow targets.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the flow on a structural-Verilog module (the RTL entry point of
+    /// Fig. 3, substituting for the Yosys front-end).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Parse`] for unsupported Verilog and the same
+    /// errors as [`Flow::run`] afterwards.
+    pub fn run_verilog(&self, source: &str) -> Result<FlowReport, FlowError> {
+        let netlist = parse_verilog(source)?;
+        self.run(&netlist)
+    }
+
+    /// Runs the flow on a gate-level BLIF description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Parse`] for malformed BLIF and the same errors
+    /// as [`Flow::run`] afterwards.
+    pub fn run_blif(&self, source: &str) -> Result<FlowReport, FlowError> {
+        let netlist = parse_blif(source)?;
+        self.run(&netlist)
+    }
+
+    /// Runs the flow on one of the paper's benchmark circuits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Flow::run`]; benchmark generation itself
+    /// cannot fail.
+    pub fn run_benchmark(&self, benchmark: Benchmark) -> Result<FlowReport, FlowError> {
+        self.run(&benchmark_circuit(benchmark))
+    }
+
+    /// Runs the complete flow on a gate-level netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
+    /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
+    pub fn run(&self, netlist: &Netlist) -> Result<FlowReport, FlowError> {
+        let start = Instant::now();
+        netlist.validate()?;
+
+        // 1. Majority-based logic synthesis, splitter and buffer insertion.
+        let synthesizer = Synthesizer::with_options(self.library.clone(), self.config.synthesis);
+        let synthesis = synthesizer.run(netlist)?;
+        let synthesis_stats = synthesis.stats.clone();
+
+        // 2. Placement (global, legalization, detailed) + buffer rows.
+        let engine = PlacementEngine::with_options(self.library.clone(), self.config.placement);
+        let mut placement = engine.place(&synthesis, self.config.placer);
+
+        // 3. Layer-wise routing with space expansion.
+        let router = Router::with_config(self.library.clone(), self.config.router);
+        let mut routing = router.route(&placement.design);
+
+        // 4. Layout generation + DRC, with automatic repair of violations:
+        //    spacing problems are fixed by re-legalization, max-wirelength
+        //    problems by another round of buffer rows, and both trigger a
+        //    reroute before the layout is regenerated.
+        let generator = LayoutGenerator::new(self.library.clone());
+        let checker = DrcChecker::new(self.library.rules().clone());
+        let mut layout = generator.generate(&placement.design, &routing);
+        let mut drc = checker.check(&placement.design, &routing);
+        let mut drc_iterations = 0;
+        while !drc.is_clean() && drc_iterations < self.config.max_drc_iterations {
+            drc_iterations += 1;
+            if drc.count(DrcViolationKind::CellSpacing) > 0 {
+                legalize(&mut placement.design);
+            }
+            if drc.count(DrcViolationKind::MaxWirelength) > 0 {
+                // Split over-long connections with buffer rows, then let the
+                // detailed placer pull the new buffers toward their nets so
+                // each hop actually fits within the limit.
+                insert_buffer_rows(&mut placement.design, &self.library);
+                legalize(&mut placement.design);
+                detailed_place(&mut placement.design, &self.config.placement.detailed);
+            }
+            // Unrouted nets and zigzag violations are addressed by rerouting
+            // (the router's space expansion kicks in with a fresh channel).
+            routing = router.route(&placement.design);
+            layout = generator.generate(&placement.design, &routing);
+            drc = checker.check(&placement.design, &routing);
+        }
+
+        // Refresh the placement metrics in case DRC repair moved cells.
+        placement.hpwl_um = placement.design.hpwl();
+
+        Ok(FlowReport {
+            design_name: netlist.name().to_owned(),
+            synthesis,
+            synthesis_stats,
+            placement,
+            routing,
+            drc,
+            drc_iterations,
+            layout,
+            runtime_s: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+impl Default for Flow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_place::PlacerKind;
+
+    fn fast_flow() -> Flow {
+        Flow::with_config(FlowConfig::fast())
+    }
+
+    #[test]
+    fn adder8_runs_end_to_end() {
+        let report = fast_flow().run_benchmark(Benchmark::Adder8).expect("flow succeeds");
+        assert_eq!(report.design_name, "adder8");
+        assert!(report.synthesis_stats.jj_count > 0);
+        assert!(report.placement.hpwl_um > 0.0);
+        assert!(report.routing.stats.nets_routed > 0);
+        assert_eq!(report.routing.stats.failed_nets, 0);
+        assert!(report.layout.cell_instances > 0);
+        // Geometric rules must be clean after the automatic repair loop.
+        // Residual max-wirelength findings can remain when the inserted
+        // buffer rows run out of horizontal capacity; they are reported, not
+        // hidden.
+        for kind in [
+            DrcViolationKind::CellSpacing,
+            DrcViolationKind::ZigzagSpacing,
+            DrcViolationKind::Unrouted,
+            DrcViolationKind::MetalDensity,
+        ] {
+            assert_eq!(report.drc.count(kind), 0, "unexpected {kind:?} violations");
+        }
+        assert!(!report.summary().is_empty());
+        assert!(report.jj_after_routing() >= report.synthesis_stats.jj_count);
+    }
+
+    #[test]
+    fn verilog_entry_point_works() {
+        let source = r#"
+            module majority_vote(a, b, c, y);
+              input a, b, c;
+              output y;
+              wire ab, bc, ca, t;
+              and g1(ab, a, b);
+              and g2(bc, b, c);
+              and g3(ca, c, a);
+              or g4(t, ab, bc);
+              or g5(y, t, ca);
+            endmodule
+        "#;
+        let report = fast_flow().run_verilog(source).expect("flow succeeds");
+        assert_eq!(report.design_name, "majority_vote");
+        assert!(report.drc.is_clean(), "violations: {:?}", report.drc.violations);
+        assert!(report.layout.to_gds_bytes().len() > 100);
+    }
+
+    #[test]
+    fn blif_entry_point_works() {
+        let source = ".model tiny\n.inputs a b\n.outputs y\n.gate AND2 a=a b=b O=y\n.end\n";
+        let report = fast_flow().run_blif(source).expect("flow succeeds");
+        assert_eq!(report.design_name, "tiny");
+        assert!(report.routing.stats.nets_routed > 0);
+    }
+
+    #[test]
+    fn invalid_verilog_is_rejected() {
+        let err = fast_flow().run_verilog("module m(a); input a; flipflop f(a); endmodule");
+        assert!(matches!(err, Err(FlowError::Parse(_))));
+    }
+
+    #[test]
+    fn baseline_placers_run_through_the_same_flow() {
+        for placer in [PlacerKind::GordianBased, PlacerKind::Taas] {
+            let flow = Flow::with_config(FlowConfig::fast().with_placer(placer));
+            let report = flow.run_benchmark(Benchmark::Adder8).expect("flow succeeds");
+            assert_eq!(report.placement.placer, placer);
+            assert!(report.placement.hpwl_um > 0.0);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! SuperFlow: a fully-customized RTL-to-GDS design automation flow for
+//! Adiabatic Quantum-Flux-Parametron (AQFP) superconducting circuits.
+//!
+//! This crate is the top of the SuperFlow workspace: it wires the individual
+//! stages — majority-based logic synthesis ([`aqfp_synth`]), timing-aware
+//! row-wise placement ([`aqfp_place`]), layer-wise A* routing
+//! ([`aqfp_route`]) and GDSII layout generation with DRC
+//! ([`aqfp_layout`]) — into the single push-button pipeline of Fig. 3 in the
+//! paper, from an RTL-level netlist to a final GDSII layout.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aqfp_netlist::generators::Benchmark;
+//! use superflow::{Flow, FlowConfig};
+//!
+//! let flow = Flow::with_config(FlowConfig::fast());
+//! let report = flow.run_benchmark(Benchmark::Adder8)?;
+//! println!(
+//!     "{}: {} JJs, HPWL {:.0} µm, WNS {}, DRC clean: {}",
+//!     report.design_name,
+//!     report.synthesis_stats.jj_count,
+//!     report.placement.hpwl_um,
+//!     report.placement.wns_display(),
+//!     report.drc.is_clean(),
+//! );
+//! let gds_bytes = report.layout.to_gds_bytes();
+//! assert!(!gds_bytes.is_empty());
+//! # Ok::<(), superflow::FlowError>(())
+//! ```
+//!
+//! The individual stages remain available through the re-exported crates for
+//! users who want to customize a single step (e.g. swap in their own placer)
+//! while keeping the rest of the flow.
+
+pub mod config;
+pub mod error;
+pub mod flow;
+pub mod report;
+
+pub use config::FlowConfig;
+pub use error::FlowError;
+pub use flow::Flow;
+pub use report::FlowReport;
+
+// Re-export the stage crates so downstream users can depend on `superflow`
+// alone.
+pub use aqfp_cells as cells;
+pub use aqfp_layout as layout;
+pub use aqfp_netlist as netlist;
+pub use aqfp_place as place;
+pub use aqfp_route as route;
+pub use aqfp_synth as synth;
+pub use aqfp_timing as timing;

@@ -1,0 +1,78 @@
+//! The end-to-end flow report.
+
+use aqfp_cells::{EnergyModel, FourPhaseClock};
+use aqfp_layout::{DrcReport, Layout};
+use aqfp_netlist::NetlistStats;
+use aqfp_place::PlacementResult;
+use aqfp_route::RoutingResult;
+use aqfp_synth::SynthesizedNetlist;
+
+/// Everything a complete RTL-to-GDS run produces: per-stage results plus the
+/// final layout. The fields map directly onto the paper's tables — synthesis
+/// statistics (Table II), placement quality (Table III) and routing results
+/// (Table IV).
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Design name.
+    pub design_name: String,
+    /// The synthesized (majority-converted, buffered, path-balanced)
+    /// netlist.
+    pub synthesis: SynthesizedNetlist,
+    /// Synthesis statistics: #JJs, #Nets, #Delay (Table II).
+    pub synthesis_stats: NetlistStats,
+    /// Placement result: HPWL, buffer lines, WNS, runtime (Table III).
+    pub placement: PlacementResult,
+    /// Routing result: routed wirelength, vias, per-channel reports
+    /// (Table IV).
+    pub routing: RoutingResult,
+    /// Design-rule-check report after the final layout generation.
+    pub drc: DrcReport,
+    /// Number of DRC-fix iterations the flow executed.
+    pub drc_iterations: usize,
+    /// The generated GDSII layout.
+    pub layout: Layout,
+    /// Total wall-clock runtime of the flow in seconds.
+    pub runtime_s: f64,
+}
+
+impl FlowReport {
+    /// JJ count after routing (the Table IV column): every placed cell,
+    /// including buffers added by placement, counted with its library cost.
+    pub fn jj_after_routing(&self) -> usize {
+        self.routing.jj_count
+    }
+
+    /// First-order energy estimate of the routed design over one clock
+    /// cycle, in attojoules, using `model`.
+    pub fn cycle_energy_aj(&self, model: &EnergyModel) -> f64 {
+        model.cycle_energy_aj(self.jj_after_routing())
+    }
+
+    /// First-order average power of the routed design at `clock`, in
+    /// nanowatts, using `model`.
+    pub fn average_power_nw(&self, model: &EnergyModel, clock: FourPhaseClock) -> f64 {
+        model.average_power_nw(self.jj_after_routing(), clock)
+    }
+
+    /// A compact human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        format!(
+            "{name}: {jjs} JJs / {nets} nets / {delay} phases after synthesis; \
+             HPWL {hpwl:.0} µm, {buffers} buffer lines, WNS {wns}; \
+             routed {routed} nets, {wl:.0} µm, {vias} vias; \
+             DRC {drc}; {runtime:.1}s",
+            name = self.design_name,
+            jjs = self.synthesis_stats.jj_count,
+            nets = self.synthesis_stats.net_count,
+            delay = self.synthesis_stats.delay,
+            hpwl = self.placement.hpwl_um,
+            buffers = self.placement.buffer_lines,
+            wns = self.placement.wns_display(),
+            routed = self.routing.stats.nets_routed,
+            wl = self.routing.stats.total_wirelength_um,
+            vias = self.routing.stats.total_vias,
+            drc = if self.drc.is_clean() { "clean".to_owned() } else { format!("{} violations", self.drc.violations.len()) },
+            runtime = self.runtime_s,
+        )
+    }
+}

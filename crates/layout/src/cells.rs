@@ -1,0 +1,150 @@
+//! Abstract GDSII layouts for the AQFP standard cells.
+//!
+//! The real MIT-LL / AIST cell layouts are proprietary, so this module
+//! generates abstract cell views that carry the information the rest of the
+//! flow (and a layout viewer) needs: the cell outline on the boundary layer,
+//! one marker per Josephson junction, the input/output pin shapes and a name
+//! label. The geometry respects the library's cell dimensions, so chip-level
+//! density and spacing checks remain meaningful.
+
+use aqfp_cells::{AqfpCell, CellKind, CellLibrary, Point};
+
+use crate::gds::{GdsElement, GdsStructure};
+
+/// GDS layer numbers used by the abstract layouts.
+pub mod layers {
+    /// Cell outline (placement boundary).
+    pub const OUTLINE: i16 = 1;
+    /// Josephson-junction markers.
+    pub const JJ: i16 = 2;
+    /// Pin shapes.
+    pub const PIN: i16 = 3;
+    /// First wiring metal (horizontal segments).
+    pub const METAL1: i16 = 10;
+    /// Second wiring metal (vertical segments).
+    pub const METAL2: i16 = 11;
+    /// Text labels.
+    pub const LABEL: i16 = 63;
+}
+
+/// The GDS structure name used for a cell kind.
+pub fn structure_name(kind: CellKind) -> String {
+    format!("AQFP_{kind}")
+}
+
+/// Builds the abstract layout structure for one cell kind.
+pub fn cell_structure(library: &CellLibrary, kind: CellKind) -> GdsStructure {
+    let cell = library.cell(kind);
+    let mut structure = GdsStructure::new(structure_name(kind));
+
+    structure.elements.push(GdsElement::Boundary {
+        layer: layers::OUTLINE,
+        points: rectangle(0.0, 0.0, cell.width, cell.height),
+    });
+    for (index, center) in jj_positions(cell).into_iter().enumerate() {
+        let half = 2.0;
+        structure.elements.push(GdsElement::Boundary {
+            layer: layers::JJ,
+            points: rectangle(center.x - half, center.y - half, 2.0 * half, 2.0 * half),
+        });
+        let _ = index;
+    }
+    for pin in cell.input_pins.iter().chain(cell.output_pins.iter()) {
+        structure.elements.push(GdsElement::Boundary {
+            layer: layers::PIN,
+            points: rectangle(pin.offset.x - 2.0, pin.offset.y - 2.0, 4.0, 4.0),
+        });
+    }
+    structure.elements.push(GdsElement::Text {
+        layer: layers::LABEL,
+        position: Point::new(cell.width / 2.0, cell.height / 2.0),
+        text: kind.to_string(),
+    });
+    structure
+}
+
+/// Builds the structures for every cell kind in the library.
+pub fn all_cell_structures(library: &CellLibrary) -> Vec<GdsStructure> {
+    CellKind::ALL.iter().map(|&kind| cell_structure(library, kind)).collect()
+}
+
+/// Evenly distributes the cell's Josephson junctions inside its outline.
+fn jj_positions(cell: &AqfpCell) -> Vec<Point> {
+    let count = cell.jj_count;
+    if count == 0 {
+        return Vec::new();
+    }
+    let columns = count.div_ceil(2);
+    let mut positions = Vec::with_capacity(count);
+    for i in 0..count {
+        let column = i % columns;
+        let row = i / columns;
+        let x = cell.width * (column as f64 + 1.0) / (columns as f64 + 1.0);
+        let y = cell.height * (row as f64 + 1.0) / 3.0;
+        positions.push(Point::new(x, y));
+    }
+    positions
+}
+
+fn rectangle(x: f64, y: f64, width: f64, height: f64) -> Vec<Point> {
+    vec![
+        Point::new(x, y),
+        Point::new(x + width, y),
+        Point::new(x + width, y + height),
+        Point::new(x, y + height),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_kind_gets_a_structure() {
+        let library = CellLibrary::mit_ll();
+        let structures = all_cell_structures(&library);
+        assert_eq!(structures.len(), CellKind::ALL.len());
+        let mut names: Vec<&str> = structures.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), CellKind::ALL.len(), "structure names are unique");
+    }
+
+    #[test]
+    fn jj_markers_match_the_cell_cost() {
+        let library = CellLibrary::mit_ll();
+        for kind in [CellKind::Buffer, CellKind::Majority3, CellKind::Splitter4] {
+            let structure = cell_structure(&library, kind);
+            let jj_markers = structure
+                .elements
+                .iter()
+                .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == layers::JJ))
+                .count();
+            assert_eq!(jj_markers, library.cell(kind).jj_count, "{kind}");
+        }
+    }
+
+    #[test]
+    fn jj_markers_stay_inside_the_outline() {
+        let library = CellLibrary::mit_ll();
+        for &kind in &CellKind::ALL {
+            let cell = library.cell(kind);
+            for p in jj_positions(cell) {
+                assert!(p.x > 0.0 && p.x < cell.width, "{kind} JJ x inside");
+                assert!(p.y > 0.0 && p.y < cell.height, "{kind} JJ y inside");
+            }
+        }
+    }
+
+    #[test]
+    fn pins_get_shapes() {
+        let library = CellLibrary::mit_ll();
+        let structure = cell_structure(&library, CellKind::Majority3);
+        let pin_shapes = structure
+            .elements
+            .iter()
+            .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == layers::PIN))
+            .count();
+        assert_eq!(pin_shapes, 3 + 1, "three inputs plus one output");
+    }
+}

@@ -1,0 +1,265 @@
+//! Design rule checking (the KLayout DRC step of the paper's flow).
+//!
+//! The checker works on the placed design and routing result rather than on
+//! the raw GDSII polygons: every rule the paper mentions — cell spacing,
+//! zigzag (wire turn) spacing, maximum wirelength, metal density, via size —
+//! is expressed directly over those data structures, which keeps the checks
+//! exact and fast. The flow runs DRC after layout generation and, when
+//! violations are found, re-runs the corresponding physical-design step
+//! (legalization or space expansion) before finalizing the GDS.
+
+use aqfp_cells::ProcessRules;
+use aqfp_place::PlacedDesign;
+use aqfp_route::RoutingResult;
+use serde::{Deserialize, Serialize};
+
+/// The category of a DRC violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DrcViolationKind {
+    /// Two cells in a row overlap or sit closer than the minimum spacing
+    /// without abutting.
+    CellSpacing,
+    /// A wire turns after less than the minimum zigzag spacing.
+    ZigzagSpacing,
+    /// A connection is longer than the maximum wirelength.
+    MaxWirelength,
+    /// A row's metal density falls outside the allowed window.
+    MetalDensity,
+    /// A net could not be routed at all.
+    Unrouted,
+}
+
+/// A single DRC violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrcViolation {
+    /// The violated rule.
+    pub kind: DrcViolationKind,
+    /// Human-readable description with the offending objects.
+    pub message: String,
+    /// Row index the violation occurred in, when applicable.
+    pub row: Option<usize>,
+}
+
+/// The outcome of a DRC run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DrcReport {
+    /// All violations found.
+    pub violations: Vec<DrcViolation>,
+}
+
+impl DrcReport {
+    /// Whether the layout is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of a given kind.
+    pub fn count(&self, kind: DrcViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+}
+
+/// The design rule checker.
+#[derive(Debug, Clone)]
+pub struct DrcChecker {
+    rules: ProcessRules,
+}
+
+impl DrcChecker {
+    /// Creates a checker for the given process rules.
+    pub fn new(rules: ProcessRules) -> Self {
+        Self { rules }
+    }
+
+    /// The process rules being checked.
+    pub fn rules(&self) -> &ProcessRules {
+        &self.rules
+    }
+
+    /// Checks a placed and routed design against all rules.
+    pub fn check(&self, design: &PlacedDesign, routing: &RoutingResult) -> DrcReport {
+        let mut report = DrcReport::default();
+        self.check_cell_spacing(design, &mut report);
+        self.check_max_wirelength(design, &mut report);
+        self.check_metal_density(design, &mut report);
+        self.check_zigzag_spacing(routing, &mut report);
+        self.check_unrouted(routing, &mut report);
+        report
+    }
+
+    fn check_cell_spacing(&self, design: &PlacedDesign, report: &mut DrcReport) {
+        let tolerance = 1e-6;
+        for (row_index, row) in design.rows.iter().enumerate() {
+            let mut sorted: Vec<usize> = row.clone();
+            sorted.sort_by(|&a, &b| {
+                design.cells[a].x.partial_cmp(&design.cells[b].x).expect("finite coordinates")
+            });
+            for pair in sorted.windows(2) {
+                let left = &design.cells[pair[0]];
+                let right = &design.cells[pair[1]];
+                let gap = right.x - left.right();
+                let violating = gap < -tolerance
+                    || (gap > tolerance && gap < self.rules.min_spacing - tolerance);
+                if violating {
+                    report.violations.push(DrcViolation {
+                        kind: DrcViolationKind::CellSpacing,
+                        message: format!(
+                            "cells `{}` and `{}` in row {row_index} have an illegal gap of {gap:.1} µm",
+                            left.name, right.name
+                        ),
+                        row: Some(row_index),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_max_wirelength(&self, design: &PlacedDesign, report: &mut DrcReport) {
+        for (index, net) in design.nets.iter().enumerate() {
+            let length = design.net_length(net);
+            if length > self.rules.max_wirelength {
+                report.violations.push(DrcViolation {
+                    kind: DrcViolationKind::MaxWirelength,
+                    message: format!(
+                        "net {index} is {length:.0} µm long (limit {:.0} µm)",
+                        self.rules.max_wirelength
+                    ),
+                    row: Some(design.cells[net.driver].row),
+                });
+            }
+        }
+    }
+
+    /// Over-density check per row window: the cell area of a row may not
+    /// exceed the maximum metal density of the row's window (row pitch ×
+    /// layer width). Under-density is not flagged — sparse rows are handled
+    /// by metal fill, which this abstract layout does not model.
+    fn check_metal_density(&self, design: &PlacedDesign, report: &mut DrcReport) {
+        let width = design.layer_width();
+        if width <= 0.0 {
+            return;
+        }
+        let window_area = width * design.row_pitch;
+        for (row_index, row) in design.rows.iter().enumerate() {
+            if row.is_empty() {
+                continue;
+            }
+            let occupied: f64 = row.iter().map(|&i| design.cells[i].width * design.cells[i].height).sum();
+            let density = occupied / window_area;
+            if density > self.rules.max_metal_density {
+                report.violations.push(DrcViolation {
+                    kind: DrcViolationKind::MetalDensity,
+                    message: format!(
+                        "row {row_index} density {density:.2} exceeds {:.2}",
+                        self.rules.max_metal_density
+                    ),
+                    row: Some(row_index),
+                });
+            }
+        }
+    }
+
+    fn check_zigzag_spacing(&self, routing: &RoutingResult, report: &mut DrcReport) {
+        for wire in &routing.wires {
+            // Positions where the wire changes direction (vias).
+            let mut turns = Vec::new();
+            for (i, window) in wire.path.windows(3).enumerate() {
+                let first_horizontal = (window[0].y - window[1].y).abs() < 1e-9;
+                let second_horizontal = (window[1].y - window[2].y).abs() < 1e-9;
+                if first_horizontal != second_horizontal {
+                    turns.push(wire.path[i + 1]);
+                }
+            }
+            // Consecutive turns must be at least the minimum zigzag spacing
+            // apart.
+            for pair in turns.windows(2) {
+                let run = pair[0].manhattan_distance(pair[1]);
+                if run < self.rules.min_spacing - 1e-9 {
+                    report.violations.push(DrcViolation {
+                        kind: DrcViolationKind::ZigzagSpacing,
+                        message: format!(
+                            "net {} turns after only {run:.1} µm (minimum {:.1} µm)",
+                            wire.net, self.rules.min_spacing
+                        ),
+                        row: None,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    fn check_unrouted(&self, routing: &RoutingResult, report: &mut DrcReport) {
+        if routing.stats.failed_nets > 0 {
+            report.violations.push(DrcViolation {
+                kind: DrcViolationKind::Unrouted,
+                message: format!("{} nets could not be routed", routing.stats.failed_nets),
+                row: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_place::{PlacementEngine, PlacerKind};
+    use aqfp_route::Router;
+    use aqfp_synth::Synthesizer;
+
+    fn routed(benchmark: Benchmark) -> (PlacedDesign, RoutingResult, CellLibrary) {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let routing = Router::new(library.clone()).route(&placed.design);
+        (placed.design, routing, library)
+    }
+
+    #[test]
+    fn flow_output_has_no_spacing_or_routing_violations() {
+        let (design, routing, library) = routed(Benchmark::Adder8);
+        let report = DrcChecker::new(library.rules().clone()).check(&design, &routing);
+        assert_eq!(report.count(DrcViolationKind::CellSpacing), 0);
+        assert_eq!(report.count(DrcViolationKind::Unrouted), 0);
+        assert_eq!(report.count(DrcViolationKind::ZigzagSpacing), 0);
+    }
+
+    #[test]
+    fn overlapping_cells_are_flagged() {
+        let (mut design, routing, library) = routed(Benchmark::Adder8);
+        if let Some(row) = design.rows.iter().find(|r| r.len() >= 2) {
+            let (a, b) = (row[0], row[1]);
+            design.cells[b].x = design.cells[a].x + 1.0;
+        }
+        let report = DrcChecker::new(library.rules().clone()).check(&design, &routing);
+        assert!(report.count(DrcViolationKind::CellSpacing) > 0);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn overlong_nets_are_flagged() {
+        let (mut design, routing, library) = routed(Benchmark::Adder8);
+        let net = design.nets[0];
+        design.cells[net.driver].x = design.rules.max_wirelength * 5.0;
+        let report = DrcChecker::new(library.rules().clone()).check(&design, &routing);
+        assert!(report.count(DrcViolationKind::MaxWirelength) > 0);
+    }
+
+    #[test]
+    fn failed_routing_is_reported() {
+        let (design, mut routing, library) = routed(Benchmark::Adder8);
+        routing.stats.failed_nets = 3;
+        let report = DrcChecker::new(library.rules().clone()).check(&design, &routing);
+        assert_eq!(report.count(DrcViolationKind::Unrouted), 1);
+    }
+
+    #[test]
+    fn clean_report_counts_zero() {
+        let report = DrcReport::default();
+        assert!(report.is_clean());
+        assert_eq!(report.count(DrcViolationKind::MetalDensity), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Chip-level layout assembly.
+//!
+//! The generator takes a placed design and its routing result and assembles
+//! the final GDSII library: one structure per standard cell, plus a top
+//! structure containing a structure reference per placed cell and a routed
+//! path per wire, alternating the two wiring metals segment by segment.
+
+use std::collections::BTreeSet;
+
+use aqfp_cells::{CellLibrary, Point};
+use aqfp_place::PlacedDesign;
+use aqfp_route::RoutingResult;
+
+use crate::cells::{self, layers};
+use crate::gds::{GdsElement, GdsLibrary, GdsStructure};
+
+/// A generated chip layout: the GDSII library plus a few summary numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// The GDSII library ready to be serialized with
+    /// [`GdsLibrary::to_bytes`].
+    pub gds: GdsLibrary,
+    /// Name of the top-level structure.
+    pub top_name: String,
+    /// Number of cell instances referenced by the top structure.
+    pub cell_instances: usize,
+    /// Number of routed wire paths in the top structure.
+    pub wire_paths: usize,
+    /// Chip bounding-box width in µm.
+    pub width_um: f64,
+    /// Chip bounding-box height in µm.
+    pub height_um: f64,
+}
+
+impl Layout {
+    /// Serializes the layout to GDSII bytes.
+    pub fn to_gds_bytes(&self) -> Vec<u8> {
+        self.gds.to_bytes()
+    }
+}
+
+/// Assembles GDSII layouts from placement and routing results.
+///
+/// ```
+/// use aqfp_cells::CellLibrary;
+/// use aqfp_layout::LayoutGenerator;
+/// let generator = LayoutGenerator::new(CellLibrary::mit_ll());
+/// assert_eq!(generator.library().rules().min_spacing, 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayoutGenerator {
+    library: CellLibrary,
+}
+
+impl LayoutGenerator {
+    /// Creates a generator for the given cell library.
+    pub fn new(library: CellLibrary) -> Self {
+        Self { library }
+    }
+
+    /// The cell library backing the generated layouts.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Generates the chip layout for a placed and routed design.
+    pub fn generate(&self, design: &PlacedDesign, routing: &RoutingResult) -> Layout {
+        let mut gds = GdsLibrary::new(design.name.clone());
+
+        // Only emit the cell structures that are actually instantiated.
+        let used_kinds: BTreeSet<_> = design.cells.iter().map(|c| c.kind).collect();
+        for kind in &used_kinds {
+            gds.add_structure(cells::cell_structure(&self.library, *kind));
+        }
+
+        let top_name = format!("{}_top", design.name);
+        let mut top = GdsStructure::new(top_name.clone());
+        for cell in &design.cells {
+            top.elements.push(GdsElement::Sref {
+                name: cells::structure_name(cell.kind),
+                origin: Point::new(cell.x, design.row_y(cell.row)),
+            });
+        }
+        let mut wire_paths = 0usize;
+        for wire in &routing.wires {
+            if wire.path.len() < 2 {
+                continue;
+            }
+            // Split the path into maximal straight segments, alternating the
+            // two wiring metals: horizontal runs on METAL1, vertical runs on
+            // METAL2, mirroring the two-layer channel model of the router.
+            for segment in straight_segments(&wire.path) {
+                let layer = if (segment[0].y - segment[segment.len() - 1].y).abs() < 1e-9 {
+                    layers::METAL1
+                } else {
+                    layers::METAL2
+                };
+                top.elements.push(GdsElement::Path {
+                    layer,
+                    width: self.library.rules().wire_width,
+                    points: segment,
+                });
+                wire_paths += 1;
+            }
+        }
+        let cell_instances = design.cells.len();
+        gds.add_structure(top);
+
+        Layout {
+            gds,
+            top_name,
+            cell_instances,
+            wire_paths,
+            width_um: design.layer_width(),
+            height_um: design.rows.len() as f64 * design.row_pitch,
+        }
+    }
+}
+
+/// Splits a rectilinear point sequence into maximal straight segments.
+fn straight_segments(path: &[Point]) -> Vec<Vec<Point>> {
+    if path.len() < 2 {
+        return Vec::new();
+    }
+    let mut segments = Vec::new();
+    let mut current = vec![path[0], path[1]];
+    let mut horizontal = (path[0].y - path[1].y).abs() < 1e-9;
+    for window in path.windows(2).skip(1) {
+        let next_horizontal = (window[0].y - window[1].y).abs() < 1e-9;
+        if next_horizontal == horizontal {
+            current.push(window[1]);
+        } else {
+            segments.push(std::mem::take(&mut current));
+            current = vec![window[0], window[1]];
+            horizontal = next_horizontal;
+        }
+    }
+    segments.push(current);
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gds::{parse_records, RecordTag};
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_place::{PlacementEngine, PlacerKind};
+    use aqfp_route::Router;
+    use aqfp_synth::Synthesizer;
+
+    fn routed_design() -> (PlacedDesign, RoutingResult, CellLibrary) {
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
+        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let routing = Router::new(library.clone()).route(&placed.design);
+        (placed.design, routing, library)
+    }
+
+    #[test]
+    fn layout_references_every_cell_and_wire() {
+        let (design, routing, library) = routed_design();
+        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        assert_eq!(layout.cell_instances, design.cell_count());
+        assert!(layout.wire_paths >= routing.wires.len());
+        assert!(layout.width_um > 0.0 && layout.height_um > 0.0);
+
+        let top = layout.gds.structure(&layout.top_name).expect("top exists");
+        let srefs =
+            top.elements.iter().filter(|e| matches!(e, GdsElement::Sref { .. })).count();
+        assert_eq!(srefs, design.cell_count());
+    }
+
+    #[test]
+    fn generated_stream_is_well_formed() {
+        let (design, routing, library) = routed_design();
+        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        let bytes = layout.to_gds_bytes();
+        let records = parse_records(&bytes).expect("parsable GDSII");
+        assert_eq!(records.last().and_then(|r| r.tag), Some(RecordTag::EndLib));
+        let boundaries = records.iter().filter(|r| r.tag == Some(RecordTag::Boundary)).count();
+        assert!(boundaries > 0);
+        let paths = records.iter().filter(|r| r.tag == Some(RecordTag::Path)).count();
+        assert_eq!(paths, layout.wire_paths);
+    }
+
+    #[test]
+    fn straight_segment_splitting() {
+        let path = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(20.0, 10.0),
+            Point::new(30.0, 10.0),
+        ];
+        let segments = straight_segments(&path);
+        assert_eq!(segments.len(), 3);
+        assert_eq!(segments[0].len(), 3);
+        assert_eq!(segments[1].len(), 2);
+        assert_eq!(segments[2].len(), 2);
+        assert!(straight_segments(&[Point::new(0.0, 0.0)]).is_empty());
+    }
+
+    #[test]
+    fn only_used_cell_kinds_are_emitted() {
+        let (design, routing, library) = routed_design();
+        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        // The design never uses, e.g., a NOR cell after majority conversion of
+        // the adder; the library must not contain structures for unused kinds.
+        let used: BTreeSet<_> = design.cells.iter().map(|c| cells::structure_name(c.kind)).collect();
+        for structure in &layout.gds.structures {
+            if structure.name == layout.top_name {
+                continue;
+            }
+            assert!(used.contains(&structure.name), "unexpected structure {}", structure.name);
+        }
+    }
+}

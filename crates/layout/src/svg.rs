@@ -1,0 +1,152 @@
+//! SVG rendering of placed-and-routed designs.
+//!
+//! The paper's Fig. 5 shows the finished apc128 layout; GDSII needs an
+//! external viewer, so this module additionally renders the same information
+//! as a self-contained SVG: one rectangle per cell (colored by cell class),
+//! one polyline per routed wire, and the row grid. Useful for quick visual
+//! inspection in a browser and for documentation.
+
+use std::fmt::Write as _;
+
+use aqfp_place::PlacedDesign;
+use aqfp_route::RoutingResult;
+
+use aqfp_cells::CellKind;
+
+/// Options controlling the SVG rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Scale factor from micrometers to SVG user units.
+    pub scale: f64,
+    /// Whether to draw the routed wires.
+    pub draw_wires: bool,
+    /// Whether to draw row separator lines.
+    pub draw_rows: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self { scale: 0.25, draw_wires: true, draw_rows: true }
+    }
+}
+
+/// Fill color per cell class.
+fn cell_color(kind: CellKind) -> &'static str {
+    match kind {
+        CellKind::Buffer => "#9ecae1",
+        CellKind::Inverter => "#6baed6",
+        CellKind::Constant0 | CellKind::Constant1 => "#c6dbef",
+        CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor | CellKind::Xor => "#fd8d3c",
+        CellKind::Majority3 => "#e6550d",
+        CellKind::Splitter2 | CellKind::Splitter3 | CellKind::Splitter4 => "#74c476",
+        CellKind::Input | CellKind::Output => "#969696",
+    }
+}
+
+/// Renders a placed and routed design as an SVG document.
+pub fn render_svg(design: &PlacedDesign, routing: &RoutingResult, options: &SvgOptions) -> String {
+    let scale = options.scale.max(1e-3);
+    let width = (design.layer_width() * scale).ceil().max(1.0);
+    let height = (design.rows.len() as f64 * design.row_pitch * scale).ceil().max(1.0);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#ffffff"/>"##);
+
+    if options.draw_rows {
+        for row in 0..=design.rows.len() {
+            let y = height - design.row_y(row) * scale;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="0" y1="{y:.1}" x2="{width}" y2="{y:.1}" stroke="#dddddd" stroke-width="0.5"/>"##
+            );
+        }
+    }
+
+    for cell in &design.cells {
+        let x = cell.x * scale;
+        let w = cell.width * scale;
+        let h = cell.height * scale;
+        // SVG y grows downward; flip so row 0 is at the bottom like a chip plot.
+        let y = height - (design.row_y(cell.row) + cell.height) * scale;
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{}" stroke="#333333" stroke-width="0.3"><title>{} ({})</title></rect>"##,
+            cell_color(cell.kind),
+            cell.name,
+            cell.kind,
+        );
+    }
+
+    if options.draw_wires {
+        for wire in &routing.wires {
+            if wire.path.len() < 2 {
+                continue;
+            }
+            let points: Vec<String> = wire
+                .path
+                .iter()
+                .map(|p| format!("{:.1},{:.1}", p.x * scale, height - p.y * scale))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="#5254a3" stroke-width="0.4" opacity="0.6"/>"##,
+                points.join(" ")
+            );
+        }
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_place::{PlacementEngine, PlacerKind};
+    use aqfp_route::Router;
+    use aqfp_synth::Synthesizer;
+
+    fn routed() -> (PlacedDesign, RoutingResult) {
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
+        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let routing = Router::new(library).route(&placed.design);
+        (placed.design, routing)
+    }
+
+    #[test]
+    fn svg_contains_a_rect_per_cell_and_a_polyline_per_wire() {
+        let (design, routing) = routed();
+        let svg = render_svg(&design, &routing, &SvgOptions::default());
+        let rects = svg.matches("<rect ").count();
+        // One background rectangle plus one per cell.
+        assert_eq!(rects, design.cell_count() + 1);
+        let polylines = svg.matches("<polyline").count();
+        assert_eq!(polylines, routing.wires.iter().filter(|w| w.path.len() >= 2).count());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn wires_and_rows_can_be_disabled() {
+        let (design, routing) = routed();
+        let options = SvgOptions { draw_wires: false, draw_rows: false, ..Default::default() };
+        let svg = render_svg(&design, &routing, &options);
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert_eq!(svg.matches("<line ").count(), 0);
+    }
+
+    #[test]
+    fn every_cell_class_has_a_distinct_color_from_terminals() {
+        assert_ne!(cell_color(CellKind::Majority3), cell_color(CellKind::Input));
+        assert_ne!(cell_color(CellKind::Buffer), cell_color(CellKind::Majority3));
+        assert_ne!(cell_color(CellKind::Splitter3), cell_color(CellKind::Buffer));
+    }
+}

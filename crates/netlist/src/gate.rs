@@ -1,0 +1,77 @@
+//! Gate instances and their identifiers.
+
+use aqfp_cells::CellKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a gate within a [`crate::Netlist`].
+///
+/// Gate ids are dense indices assigned in insertion order, which lets the
+/// rest of the flow use plain vectors for per-gate annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GateId(pub usize);
+
+impl GateId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A gate instance: a cell kind plus its ordered fan-in drivers.
+///
+/// The output of a gate is implicit — in the hypergraph view each gate drives
+/// exactly one net whose sinks are the gates that list it in their `fanin`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Instance name. Unique within a netlist for parser round-tripping.
+    pub name: String,
+    /// The cell kind implementing the gate.
+    pub kind: CellKind,
+    /// Ordered driver gates: `fanin[0]` feeds pin `a`, `fanin[1]` pin `b`, ...
+    pub fanin: Vec<GateId>,
+}
+
+impl Gate {
+    /// Creates a gate from its name, kind and fan-in list.
+    pub fn new(name: impl Into<String>, kind: CellKind, fanin: Vec<GateId>) -> Self {
+        Self { name: name.into(), kind, fanin }
+    }
+
+    /// Whether this gate is a primary input terminal.
+    pub fn is_primary_input(&self) -> bool {
+        self.kind == CellKind::Input
+    }
+
+    /// Whether this gate is a primary output terminal.
+    pub fn is_primary_output(&self) -> bool {
+        self.kind == CellKind::Output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_id_display_and_index() {
+        let id = GateId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "g42");
+    }
+
+    #[test]
+    fn terminal_predicates() {
+        let pi = Gate::new("x", CellKind::Input, vec![]);
+        assert!(pi.is_primary_input());
+        assert!(!pi.is_primary_output());
+        let po = Gate::new("y", CellKind::Output, vec![GateId(0)]);
+        assert!(po.is_primary_output());
+    }
+}

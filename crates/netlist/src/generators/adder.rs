@@ -1,0 +1,140 @@
+//! Kogge-Stone parallel-prefix adder generator.
+
+use aqfp_cells::CellKind;
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Builds an `width`-bit Kogge-Stone adder with carry-in and carry-out.
+///
+/// Primary inputs (in order): `a0..a{w-1}`, `b0..b{w-1}`, `cin`.
+/// Primary outputs (in order): `sum0..sum{w-1}`, `cout`.
+///
+/// The prefix network uses the classic generate/propagate formulation:
+/// `g_i = a_i & b_i`, `p_i = a_i ^ b_i`, combined over log₂(width) prefix
+/// levels, exactly the structure of the `adder8` benchmark in the paper.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn kogge_stone_adder(width: usize) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut n = Netlist::new(format!("adder{width}"));
+
+    let a: Vec<GateId> = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    let cin = n.add_input("cin");
+
+    // Bit-level generate and propagate.
+    let g0: Vec<GateId> = (0..width)
+        .map(|i| n.add_gate(CellKind::And, format!("g0_{i}"), vec![a[i], b[i]]))
+        .collect();
+    let p0: Vec<GateId> = (0..width)
+        .map(|i| n.add_gate(CellKind::Xor, format!("p0_{i}"), vec![a[i], b[i]]))
+        .collect();
+
+    // Parallel-prefix combination: after the last level, g[i] is the carry
+    // generated out of bits 0..=i (ignoring cin) and p[i] is the group
+    // propagate over bits 0..=i.
+    let mut g = g0.clone();
+    let mut p = p0.clone();
+    let mut stride = 1;
+    let mut level = 1;
+    while stride < width {
+        let mut next_g = g.clone();
+        let mut next_p = p.clone();
+        for i in stride..width {
+            let j = i - stride;
+            // G' = G_i | (P_i & G_j)
+            let t = n.add_gate(CellKind::And, format!("ks{level}_t{i}"), vec![p[i], g[j]]);
+            next_g[i] = n.add_gate(CellKind::Or, format!("ks{level}_g{i}"), vec![g[i], t]);
+            // P' = P_i & P_j
+            next_p[i] = n.add_gate(CellKind::And, format!("ks{level}_p{i}"), vec![p[i], p[j]]);
+        }
+        g = next_g;
+        p = next_p;
+        stride *= 2;
+        level += 1;
+    }
+
+    // Carries: c_0 = cin, c_{i+1} = G_{0..i} | (P_{0..i} & cin).
+    let mut carries = Vec::with_capacity(width + 1);
+    carries.push(cin);
+    for i in 0..width {
+        let t = n.add_gate(CellKind::And, format!("c_t{i}"), vec![p[i], cin]);
+        let c = n.add_gate(CellKind::Or, format!("c{}", i + 1), vec![g[i], t]);
+        carries.push(c);
+    }
+
+    // Sums: s_i = p0_i ^ c_i.
+    for i in 0..width {
+        let s = n.add_gate(CellKind::Xor, format!("s{i}"), vec![p0[i], carries[i]]);
+        n.add_output(format!("sum{i}"), s);
+    }
+    n.add_output("cout", carries[width]);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    /// Evaluates the generated adder on integer operands.
+    fn add_via_netlist(netlist: &Netlist, width: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let mut inputs = Vec::new();
+        for i in 0..width {
+            inputs.push(a & (1 << i) != 0);
+        }
+        for i in 0..width {
+            inputs.push(b & (1 << i) != 0);
+        }
+        inputs.push(cin);
+        let outputs = simulate(netlist, &inputs).expect("acyclic");
+        let mut value = 0u64;
+        for (i, bit) in outputs.iter().enumerate() {
+            if *bit {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn adder8_matches_integer_addition() {
+        let n = kogge_stone_adder(8);
+        n.validate().expect("valid");
+        let cases =
+            [(0u64, 0u64, false), (1, 1, false), (255, 1, false), (200, 100, true), (173, 91, false)];
+        for (a, b, cin) in cases {
+            let expected = a + b + cin as u64;
+            assert_eq!(add_via_netlist(&n, 8, a, b, cin), expected, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn adder_width_four_exhaustive() {
+        let n = kogge_stone_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    assert_eq!(add_via_netlist(&n, 4, a, b, cin), a + b + cin as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_has_logarithmic_depth() {
+        let n = kogge_stone_adder(8);
+        let depth = crate::traverse::depth(&n).unwrap();
+        // g/p (1) + 3 prefix levels (2 gates each) + carry (2) + sum (1) + PO (1)
+        assert!(depth <= 12, "depth {depth} too large for a prefix adder");
+    }
+
+    #[test]
+    #[should_panic(expected = "adder width must be positive")]
+    fn zero_width_rejected() {
+        kogge_stone_adder(0);
+    }
+}

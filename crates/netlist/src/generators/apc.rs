@@ -1,0 +1,181 @@
+//! Approximate parallel counter (APC) generator.
+//!
+//! The APC benchmarks (apc32, apc128) used by the AQFP community count the
+//! number of asserted bits among `n` inputs with a tree of 3:2 compressors
+//! (full adders) followed by a small carry-propagate adder. AQFP implements
+//! the full-adder carry as a native 3-input majority gate, which is exactly
+//! why these counters are attractive for the technology.
+
+use aqfp_cells::CellKind;
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Builds an `n`-input parallel (population-count) counter.
+///
+/// Primary inputs: `x0..x{n-1}`. Primary outputs: the binary count
+/// `cnt0..cnt{k-1}` with `k = ceil(log2(n+1))`.
+///
+/// The reduction tree uses full adders (`sum = a⊕b⊕c`, `carry = MAJ(a,b,c)`)
+/// and half adders on each bit-weight column until at most two bits remain
+/// per column, then a ripple carry-propagate adder produces the final count.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn approximate_parallel_counter(n: usize) -> Netlist {
+    assert!(n >= 2, "parallel counter needs at least two inputs");
+    let mut net = Netlist::new(format!("apc{n}"));
+    let inputs: Vec<GateId> = (0..n).map(|i| net.add_input(format!("x{i}"))).collect();
+
+    // columns[w] holds the signals of binary weight 2^w awaiting reduction.
+    let mut columns: Vec<Vec<GateId>> = vec![inputs];
+    let mut uid = 0usize;
+
+    // Wallace-style column reduction with full/half adders.
+    loop {
+        let needs_reduction = columns.iter().any(|c| c.len() > 2);
+        if !needs_reduction {
+            break;
+        }
+        let mut next: Vec<Vec<GateId>> = vec![Vec::new(); columns.len() + 1];
+        for (w, column) in columns.iter().enumerate() {
+            let mut idx = 0;
+            while column.len() - idx >= 3 {
+                let (a, b, c) = (column[idx], column[idx + 1], column[idx + 2]);
+                idx += 3;
+                let (sum, carry) = full_adder(&mut net, a, b, c, &mut uid);
+                next[w].push(sum);
+                next[w + 1].push(carry);
+            }
+            if column.len() - idx == 2 {
+                let (a, b) = (column[idx], column[idx + 1]);
+                idx += 2;
+                let (sum, carry) = half_adder(&mut net, a, b, &mut uid);
+                next[w].push(sum);
+                next[w + 1].push(carry);
+            }
+            if column.len() - idx == 1 {
+                next[w].push(column[idx]);
+            }
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+    }
+
+    // Final carry-propagate (ripple) addition of the at-most-two rows.
+    let mut carry: Option<GateId> = None;
+    let mut outputs = Vec::new();
+    for (w, column) in columns.iter().enumerate() {
+        let mut operands: Vec<GateId> = column.clone();
+        if let Some(c) = carry.take() {
+            operands.push(c);
+        }
+        let (sum, cout) = match operands.len() {
+            0 => break,
+            1 => (operands[0], None),
+            2 => {
+                let (s, c) = half_adder(&mut net, operands[0], operands[1], &mut uid);
+                (s, Some(c))
+            }
+            3 => {
+                let (s, c) = full_adder(&mut net, operands[0], operands[1], operands[2], &mut uid);
+                (s, Some(c))
+            }
+            _ => unreachable!("columns are reduced to at most two rows plus a carry"),
+        };
+        outputs.push((w, sum));
+        carry = cout;
+    }
+    if let Some(c) = carry {
+        outputs.push((outputs.len(), c));
+    }
+
+    for (w, signal) in outputs {
+        net.add_output(format!("cnt{w}"), signal);
+    }
+    net
+}
+
+/// Full adder: returns `(sum, carry)` where `carry` is a native majority gate.
+fn full_adder(
+    net: &mut Netlist,
+    a: GateId,
+    b: GateId,
+    c: GateId,
+    uid: &mut usize,
+) -> (GateId, GateId) {
+    *uid += 1;
+    let id = *uid;
+    let ab = net.add_gate(CellKind::Xor, format!("fa{id}_ab"), vec![a, b]);
+    let sum = net.add_gate(CellKind::Xor, format!("fa{id}_s"), vec![ab, c]);
+    let carry = net.add_gate(CellKind::Majority3, format!("fa{id}_c"), vec![a, b, c]);
+    (sum, carry)
+}
+
+/// Half adder: returns `(sum, carry)`.
+fn half_adder(net: &mut Netlist, a: GateId, b: GateId, uid: &mut usize) -> (GateId, GateId) {
+    *uid += 1;
+    let id = *uid;
+    let sum = net.add_gate(CellKind::Xor, format!("ha{id}_s"), vec![a, b]);
+    let carry = net.add_gate(CellKind::And, format!("ha{id}_c"), vec![a, b]);
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    fn count_via_netlist(netlist: &Netlist, bits: &[bool]) -> u64 {
+        let outputs = simulate(netlist, bits).expect("acyclic");
+        outputs.iter().enumerate().fold(0u64, |acc, (i, b)| acc | ((*b as u64) << i))
+    }
+
+    #[test]
+    fn counts_population_of_small_vectors() {
+        let n = approximate_parallel_counter(8);
+        n.validate().expect("valid");
+        for pattern in 0u16..256 {
+            let bits: Vec<bool> = (0..8).map(|i| pattern & (1 << i) != 0).collect();
+            let expected = bits.iter().filter(|b| **b).count() as u64;
+            assert_eq!(count_via_netlist(&n, &bits), expected, "pattern {pattern:08b}");
+        }
+    }
+
+    #[test]
+    fn output_width_is_logarithmic() {
+        let n = approximate_parallel_counter(32);
+        assert_eq!(n.primary_inputs().len(), 32);
+        assert_eq!(n.primary_outputs().len(), 6); // ceil(log2(33)) = 6
+        n.validate().expect("valid");
+    }
+
+    #[test]
+    fn apc32_spot_checks() {
+        let n = approximate_parallel_counter(32);
+        let all_ones = vec![true; 32];
+        assert_eq!(count_via_netlist(&n, &all_ones), 32);
+        let none = vec![false; 32];
+        assert_eq!(count_via_netlist(&n, &none), 0);
+        let mut half = vec![false; 32];
+        for (i, bit) in half.iter_mut().enumerate() {
+            *bit = i % 2 == 0;
+        }
+        assert_eq!(count_via_netlist(&n, &half), 16);
+    }
+
+    #[test]
+    fn uses_native_majority_carries() {
+        let n = approximate_parallel_counter(16);
+        assert!(n.count_kind(CellKind::Majority3) > 0, "full-adder carries should be majority gates");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn tiny_counter_rejected() {
+        approximate_parallel_counter(1);
+    }
+}

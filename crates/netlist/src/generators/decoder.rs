@@ -1,0 +1,99 @@
+//! Binary decoder generator.
+
+use aqfp_cells::CellKind;
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Builds an `n`-to-2ⁿ binary decoder.
+///
+/// Primary inputs: `a0..a{n-1}` (the binary select). Primary outputs:
+/// `d0..d{2^n - 1}`, where `d_k` is asserted exactly when the select equals
+/// `k`. Each output is a balanced tree of 2-input AND gates over the select
+/// literals, with inverters providing the complemented literals — the same
+/// AOI structure a synthesis tool would emit.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 16.
+pub fn binary_decoder(n: usize) -> Netlist {
+    assert!(n > 0 && n <= 16, "decoder select width must be in 1..=16");
+    let mut net = Netlist::new("decoder");
+    let inputs: Vec<GateId> = (0..n).map(|i| net.add_input(format!("a{i}"))).collect();
+    let inverted: Vec<GateId> = (0..n)
+        .map(|i| net.add_gate(CellKind::Inverter, format!("an{i}"), vec![inputs[i]]))
+        .collect();
+
+    for k in 0..(1usize << n) {
+        // Literals for this minterm.
+        let literals: Vec<GateId> =
+            (0..n).map(|i| if k & (1 << i) != 0 { inputs[i] } else { inverted[i] }).collect();
+        let root = and_tree(&mut net, &literals, &format!("d{k}"));
+        net.add_output(format!("d{k}"), root);
+    }
+    net
+}
+
+/// Reduces `signals` with a balanced tree of 2-input AND gates.
+fn and_tree(net: &mut Netlist, signals: &[GateId], prefix: &str) -> GateId {
+    assert!(!signals.is_empty());
+    let mut layer: Vec<GateId> = signals.to_vec();
+    let mut level = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(net.add_gate(
+                    CellKind::And,
+                    format!("{prefix}_and{level}_{i}"),
+                    vec![pair[0], pair[1]],
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    #[test]
+    fn three_bit_decoder_is_one_hot() {
+        let n = binary_decoder(3);
+        n.validate().expect("valid");
+        for select in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| select & (1 << i) != 0).collect();
+            let outputs = simulate(&n, &inputs).unwrap();
+            for (k, bit) in outputs.iter().enumerate() {
+                assert_eq!(*bit, k == select, "select={select}, output d{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_output_count() {
+        let n = binary_decoder(6);
+        assert_eq!(n.primary_inputs().len(), 6);
+        assert_eq!(n.primary_outputs().len(), 64);
+        n.validate().expect("valid");
+    }
+
+    #[test]
+    fn decoder_depth_is_logarithmic() {
+        let n = binary_decoder(6);
+        let depth = crate::traverse::depth(&n).unwrap();
+        assert!(depth <= 6, "6-input AND tree plus inverter should be shallow, got {depth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "select width")]
+    fn zero_width_rejected() {
+        binary_decoder(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic stand-ins for the ISCAS'85 benchmark circuits.
+//!
+//! The paper evaluates on c432, c499, c1355 and c1908 from the EPFL
+//! SCE-benchmarks. Those `.bench` files are not redistributed here, so this
+//! module generates synthetic circuits with the same primary-input count,
+//! primary-output count, gate count and logic depth as the originals.
+//! Because every downstream stage (majority conversion, buffering,
+//! placement, routing) only observes the gate-level hypergraph, the workload
+//! characteristics that matter — size, depth, fan-out distribution — are
+//! preserved; the logic function is not. See `DESIGN.md` for the
+//! substitution rationale. Real ISCAS netlists can be used instead through
+//! [`crate::parsers::parse_blif`].
+
+use crate::generators::random::{random_dag, RandomDagConfig};
+use crate::netlist::Netlist;
+
+/// Generates a synthetic ISCAS'85-like circuit.
+///
+/// `inputs`, `outputs`, `gates` and `depth` should be the published
+/// statistics of the original circuit; `seed` keeps generation
+/// deterministic per benchmark.
+pub fn synthetic_iscas(
+    name: &str,
+    inputs: usize,
+    outputs: usize,
+    gates: usize,
+    depth: usize,
+    seed: u64,
+) -> Netlist {
+    let config = RandomDagConfig { name: name.to_owned(), inputs, outputs, gates, depth, seed };
+    random_dag(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse;
+
+    #[test]
+    fn c432_like_statistics() {
+        let n = synthetic_iscas("c432", 36, 7, 160, 17, 0x432);
+        assert_eq!(n.name(), "c432");
+        assert_eq!(n.primary_inputs().len(), 36);
+        assert_eq!(n.primary_outputs().len(), 7);
+        assert_eq!(n.cell_count(), 160);
+        n.validate().expect("valid");
+    }
+
+    #[test]
+    fn deeper_circuits_have_larger_depth() {
+        let c499 = synthetic_iscas("c499", 41, 32, 202, 11, 0x499);
+        let c1908 = synthetic_iscas("c1908", 33, 25, 880, 40, 0x1908);
+        let d499 = traverse::depth(&c499).unwrap();
+        let d1908 = traverse::depth(&c1908).unwrap();
+        assert!(d1908 > d499, "c1908 ({d1908}) should be deeper than c499 ({d499})");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = synthetic_iscas("c1355", 41, 32, 546, 24, 0x1355);
+        let b = synthetic_iscas("c1355", 41, 32, 546, 24, 0x1355);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Programmatic constructions of the paper's benchmark circuits.
+//!
+//! The paper evaluates SuperFlow on classic AQFP benchmark circuits
+//! (8-bit Kogge-Stone adder, 32/128-bit approximate parallel counters, a
+//! decoder, a 32-bit sorter) and on four ISCAS'85 circuits. The first group
+//! is generated here from their well-known structures; the ISCAS'85 circuits
+//! are substituted by synthetic circuits of matching size and depth (see
+//! `DESIGN.md`), because the original `.bench` files are not bundled.
+//!
+//! All generators return plain AOI (and/or/inverter/xor) netlists — the
+//! majority conversion and buffer/splitter insertion are performed later by
+//! the `aqfp-synth` crate, exactly as in the paper's flow.
+
+pub mod adder;
+pub mod apc;
+pub mod decoder;
+pub mod iscas;
+pub mod random;
+pub mod sorter;
+
+pub use adder::kogge_stone_adder;
+pub use apc::approximate_parallel_counter;
+pub use decoder::binary_decoder;
+pub use iscas::synthetic_iscas;
+pub use random::{random_dag, RandomDagConfig};
+pub use sorter::bitonic_sorter;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::netlist::Netlist;
+
+/// The benchmark circuits used in the paper's evaluation (Tables II–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// 8-bit Kogge-Stone adder.
+    Adder8,
+    /// 32-bit approximate parallel counter.
+    Apc32,
+    /// 128-bit approximate parallel counter.
+    Apc128,
+    /// 6-to-64 binary decoder.
+    Decoder,
+    /// 32-input sorting network.
+    Sorter32,
+    /// ISCAS'85 c432-like circuit (27-channel interrupt controller).
+    C432,
+    /// ISCAS'85 c499-like circuit (32-bit SEC circuit).
+    C499,
+    /// ISCAS'85 c1355-like circuit (32-bit SEC circuit, expanded).
+    C1355,
+    /// ISCAS'85 c1908-like circuit (16-bit SEC/DED circuit).
+    C1908,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's tables list them.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Adder8,
+        Benchmark::Apc32,
+        Benchmark::Apc128,
+        Benchmark::Decoder,
+        Benchmark::Sorter32,
+        Benchmark::C432,
+        Benchmark::C499,
+        Benchmark::C1355,
+        Benchmark::C1908,
+    ];
+
+    /// The subset of benchmarks small enough for quick tests and CI.
+    pub const SMALL: [Benchmark; 4] =
+        [Benchmark::Adder8, Benchmark::Apc32, Benchmark::Decoder, Benchmark::C432];
+
+    /// The benchmark's name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Adder8 => "adder8",
+            Benchmark::Apc32 => "apc32",
+            Benchmark::Apc128 => "apc128",
+            Benchmark::Decoder => "decoder",
+            Benchmark::Sorter32 => "sorter32",
+            Benchmark::C432 => "c432",
+            Benchmark::C499 => "c499",
+            Benchmark::C1355 => "c1355",
+            Benchmark::C1908 => "c1908",
+        }
+    }
+
+    /// Whether this benchmark is one of the synthetic ISCAS'85 substitutes.
+    pub fn is_iscas(self) -> bool {
+        matches!(self, Benchmark::C432 | Benchmark::C499 | Benchmark::C1355 | Benchmark::C1908)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the AOI netlist for a benchmark circuit.
+///
+/// ```
+/// use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+/// let apc = benchmark_circuit(Benchmark::Apc32);
+/// assert_eq!(apc.primary_inputs().len(), 32);
+/// ```
+pub fn benchmark_circuit(benchmark: Benchmark) -> Netlist {
+    match benchmark {
+        Benchmark::Adder8 => kogge_stone_adder(8),
+        Benchmark::Apc32 => approximate_parallel_counter(32),
+        Benchmark::Apc128 => approximate_parallel_counter(128),
+        Benchmark::Decoder => binary_decoder(6),
+        Benchmark::Sorter32 => bitonic_sorter(32),
+        Benchmark::C432 => synthetic_iscas("c432", 36, 7, 160, 17, 0x432),
+        Benchmark::C499 => synthetic_iscas("c499", 41, 32, 202, 11, 0x499),
+        Benchmark::C1355 => synthetic_iscas("c1355", 41, 32, 546, 24, 0x1355),
+        Benchmark::C1908 => synthetic_iscas("c1908", 33, 25, 880, 40, 0x1908),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_is_valid() {
+        for b in Benchmark::ALL {
+            let n = benchmark_circuit(b);
+            n.validate().unwrap_or_else(|e| panic!("{b} invalid: {e}"));
+            assert!(n.cell_count() > 0, "{b} has no logic");
+            assert_eq!(n.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Benchmark::ALL.len());
+    }
+
+    #[test]
+    fn iscas_classification() {
+        assert!(Benchmark::C432.is_iscas());
+        assert!(!Benchmark::Adder8.is_iscas());
+    }
+}

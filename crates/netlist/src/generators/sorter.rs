@@ -1,0 +1,117 @@
+//! Bitonic (Batcher) sorting-network generator.
+//!
+//! The `sorter32` benchmark is a 32-input single-bit sorting network: every
+//! comparator on bits reduces to a pair of AND/OR gates (`min = a & b`,
+//! `max = a | b`), so the whole network is a regular AOI structure with heavy
+//! reconvergent fan-out — a good stress test for splitter insertion and
+//! placement.
+
+use aqfp_cells::CellKind;
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Builds an `n`-input bitonic sorting network over single-bit values.
+///
+/// Primary inputs: `x0..x{n-1}`. Primary outputs: `y0..y{n-1}` holding the
+/// input bits sorted in descending order (`y0` is the OR of everything,
+/// `y{n-1}` the AND of everything).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is smaller than 2.
+pub fn bitonic_sorter(n: usize) -> Netlist {
+    assert!(n >= 2 && n.is_power_of_two(), "sorter size must be a power of two >= 2");
+    let mut net = Netlist::new(format!("sorter{n}"));
+    let mut wires: Vec<GateId> = (0..n).map(|i| net.add_input(format!("x{i}"))).collect();
+    let mut uid = 0usize;
+
+    // Iterative bitonic sort (ascending = descending order of bit values is
+    // symmetric; we sort so that larger values come first).
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = i & k == 0;
+                    let (a, b) = (wires[i], wires[partner]);
+                    uid += 1;
+                    let max = net.add_gate(CellKind::Or, format!("cmp{uid}_max"), vec![a, b]);
+                    let min = net.add_gate(CellKind::And, format!("cmp{uid}_min"), vec![a, b]);
+                    if ascending {
+                        // Big values bubble toward index i.
+                        wires[i] = max;
+                        wires[partner] = min;
+                    } else {
+                        wires[i] = min;
+                        wires[partner] = max;
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+
+    for (i, w) in wires.iter().enumerate() {
+        net.add_output(format!("y{i}"), *w);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    fn sorted_by_netlist(netlist: &Netlist, bits: &[bool]) -> Vec<bool> {
+        simulate(netlist, bits).expect("acyclic")
+    }
+
+    #[test]
+    fn eight_input_sorter_exhaustive() {
+        let n = bitonic_sorter(8);
+        n.validate().expect("valid");
+        for pattern in 0u16..256 {
+            let bits: Vec<bool> = (0..8).map(|i| pattern & (1 << i) != 0).collect();
+            let out = sorted_by_netlist(&n, &bits);
+            let ones = bits.iter().filter(|b| **b).count();
+            // Descending order: the first `ones` outputs are true.
+            let expected: Vec<bool> = (0..8).map(|i| i < ones).collect();
+            assert_eq!(out, expected, "pattern {pattern:08b}");
+        }
+    }
+
+    #[test]
+    fn sorter32_shape() {
+        let n = bitonic_sorter(32);
+        assert_eq!(n.primary_inputs().len(), 32);
+        assert_eq!(n.primary_outputs().len(), 32);
+        n.validate().expect("valid");
+        // Batcher network for 32 inputs has 15 stages of comparators.
+        let depth = crate::traverse::depth(&n).unwrap();
+        assert!(depth >= 15, "expected at least 15 comparator stages, got {depth}");
+    }
+
+    #[test]
+    fn sorter_output_is_monotone() {
+        let n = bitonic_sorter(16);
+        let mut bits = vec![false; 16];
+        bits[3] = true;
+        bits[9] = true;
+        bits[15] = true;
+        let out = sorted_by_netlist(&n, &bits);
+        for w in out.windows(2) {
+            assert!(w[0] as u8 >= w[1] as u8, "output must be sorted descending");
+        }
+        assert_eq!(out.iter().filter(|b| **b).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        bitonic_sorter(12);
+    }
+}

@@ -1,0 +1,337 @@
+//! Gate-level BLIF front-end.
+//!
+//! Supports the `.gate` flavour of BLIF used by standard-cell mapped
+//! netlists (and by the EPFL SCE-benchmarks the paper cites), plus simple
+//! `.names` covers for constants, buffers and inverters:
+//!
+//! ```text
+//! .model c17
+//! .inputs a b c
+//! .outputs y
+//! .gate AND2 a=a b=b O=n1
+//! .gate OR2  a=n1 b=c O=y
+//! .end
+//! ```
+
+use aqfp_cells::CellKind;
+use std::collections::HashMap;
+
+use super::ParseNetlistError;
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Parses a gate-level BLIF description into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] for unknown gate types, undriven signals,
+/// duplicate drivers or malformed records.
+pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut model = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // (line, kind, ordered input signals, output signal)
+    let mut gates: Vec<(usize, CellKind, Vec<String>, String)> = Vec::new();
+
+    let logical_lines = join_continuations(source);
+    let mut pending_names: Option<(usize, Vec<String>)> = None;
+    let mut pending_cover: Vec<String> = Vec::new();
+
+    let flush_names = |pending: &mut Option<(usize, Vec<String>)>,
+                           cover: &mut Vec<String>,
+                           gates: &mut Vec<(usize, CellKind, Vec<String>, String)>|
+     -> Result<(), ParseNetlistError> {
+        if let Some((line, signals)) = pending.take() {
+            let kind = names_kind(&signals, cover)
+                .ok_or_else(|| ParseNetlistError::new(line, "unsupported .names cover"))?;
+            let output = signals.last().expect(".names has at least an output").clone();
+            let inputs = signals[..signals.len() - 1].to_vec();
+            gates.push((line, kind, inputs, output));
+            cover.clear();
+        }
+        Ok(())
+    };
+
+    for (line_no, line) in logical_lines {
+        let line = line.split('#').next().unwrap_or("").trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('.') {
+            // Part of a .names cover.
+            if pending_names.is_some() {
+                pending_cover.push(line);
+            }
+            continue;
+        }
+        flush_names(&mut pending_names, &mut pending_cover, &mut gates)?;
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().unwrap_or("");
+        match directive {
+            ".model" => {
+                model = tokens.next().unwrap_or("blif").to_owned();
+            }
+            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".gate" => {
+                let cell = tokens
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(line_no, ".gate missing cell name"))?;
+                let kind = gate_kind(cell).ok_or_else(|| {
+                    ParseNetlistError::new(line_no, format!("unknown gate type `{cell}`"))
+                })?;
+                let mut pin_map: HashMap<String, String> = HashMap::new();
+                for binding in tokens {
+                    let (pin, signal) = binding.split_once('=').ok_or_else(|| {
+                        ParseNetlistError::new(line_no, format!("malformed binding `{binding}`"))
+                    })?;
+                    pin_map.insert(pin.to_lowercase(), signal.to_owned());
+                }
+                let output = pin_map
+                    .remove("o")
+                    .or_else(|| pin_map.remove("y"))
+                    .or_else(|| pin_map.remove("out"))
+                    .or_else(|| pin_map.remove("xout"))
+                    .ok_or_else(|| ParseNetlistError::new(line_no, ".gate missing output pin"))?;
+                let mut gate_inputs = Vec::new();
+                for pin in ["a", "b", "c"].iter().take(kind.input_count()) {
+                    let signal = pin_map.remove(*pin).ok_or_else(|| {
+                        ParseNetlistError::new(line_no, format!(".gate missing input pin `{pin}`"))
+                    })?;
+                    gate_inputs.push(signal);
+                }
+                gates.push((line_no, kind, gate_inputs, output));
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                if signals.is_empty() {
+                    return Err(ParseNetlistError::new(line_no, ".names needs at least an output"));
+                }
+                pending_names = Some((line_no, signals));
+            }
+            ".end" => break,
+            ".latch" => {
+                return Err(ParseNetlistError::new(
+                    line_no,
+                    "sequential elements (.latch) are not supported",
+                ))
+            }
+            _ => {
+                // Ignore other directives (.clock, .area, ...).
+            }
+        }
+    }
+    flush_names(&mut pending_names, &mut pending_cover, &mut gates)?;
+
+    build(&model, &inputs, &outputs, &gates)
+}
+
+/// Joins BLIF continuation lines (trailing `\`) and returns numbered lines.
+fn join_continuations(source: &str) -> Vec<(usize, String)> {
+    let mut lines = Vec::new();
+    let mut buffer = String::new();
+    let mut start = 1;
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        if buffer.is_empty() {
+            start = line_no;
+        }
+        if let Some(stripped) = raw.trim_end().strip_suffix('\\') {
+            buffer.push_str(stripped);
+            buffer.push(' ');
+        } else {
+            buffer.push_str(raw);
+            lines.push((start, std::mem::take(&mut buffer)));
+        }
+    }
+    if !buffer.is_empty() {
+        lines.push((start, buffer));
+    }
+    lines
+}
+
+fn gate_kind(cell: &str) -> Option<CellKind> {
+    let upper = cell.to_uppercase();
+    let base = upper.trim_end_matches(|c: char| c.is_ascii_digit() || c == '_' || c == 'X');
+    match base {
+        "AND" => Some(CellKind::And),
+        "OR" => Some(CellKind::Or),
+        "NAND" => Some(CellKind::Nand),
+        "NOR" => Some(CellKind::Nor),
+        "XOR" => Some(CellKind::Xor),
+        "INV" | "NOT" => Some(CellKind::Inverter),
+        "BUF" | "BUFF" => Some(CellKind::Buffer),
+        "MAJ" | "MAJORITY" => Some(CellKind::Majority3),
+        "ZERO" | "CONST" => Some(CellKind::Constant0),
+        "ONE" | "VDD" => Some(CellKind::Constant1),
+        _ => None,
+    }
+}
+
+/// Recognizes the small set of `.names` covers needed for mapped netlists:
+/// constants, buffers, inverters, 2-input AND/OR.
+fn names_kind(signals: &[String], cover: &[String]) -> Option<CellKind> {
+    let n_inputs = signals.len() - 1;
+    match n_inputs {
+        0 => {
+            if cover.iter().any(|c| c.trim() == "1") {
+                Some(CellKind::Constant1)
+            } else {
+                Some(CellKind::Constant0)
+            }
+        }
+        1 => {
+            let c: Vec<&str> = cover.iter().map(|s| s.trim()).collect();
+            if c == ["1 1"] {
+                Some(CellKind::Buffer)
+            } else if c == ["0 1"] {
+                Some(CellKind::Inverter)
+            } else {
+                None
+            }
+        }
+        2 => {
+            let mut rows: Vec<&str> = cover.iter().map(|s| s.trim()).collect();
+            rows.sort_unstable();
+            if rows == ["11 1"] {
+                Some(CellKind::And)
+            } else if rows == ["-1 1", "1- 1"] {
+                Some(CellKind::Or)
+            } else if rows == ["01 1", "10 1"] {
+                Some(CellKind::Xor)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn build(
+    model: &str,
+    inputs: &[String],
+    outputs: &[String],
+    gates: &[(usize, CellKind, Vec<String>, String)],
+) -> Result<Netlist, ParseNetlistError> {
+    let mut netlist = Netlist::new(model);
+    let mut driver: HashMap<String, GateId> = HashMap::new();
+    for name in inputs {
+        let id = netlist.add_input(name.clone());
+        driver.insert(name.clone(), id);
+    }
+    let mut pending: Vec<(usize, GateId, Vec<String>)> = Vec::new();
+    for (line, kind, gate_inputs, output) in gates {
+        let id = netlist.add_gate(*kind, format!("u_{output}"), vec![]);
+        if driver.insert(output.clone(), id).is_some() {
+            return Err(ParseNetlistError::new(
+                *line,
+                format!("signal `{output}` has multiple drivers"),
+            ));
+        }
+        pending.push((*line, id, gate_inputs.clone()));
+    }
+    for (line, id, gate_inputs) in pending {
+        let mut fanin = Vec::with_capacity(gate_inputs.len());
+        for signal in &gate_inputs {
+            let src = driver.get(signal).ok_or_else(|| {
+                ParseNetlistError::new(line, format!("signal `{signal}` is never driven"))
+            })?;
+            fanin.push(*src);
+        }
+        netlist.gate_mut(id).fanin = fanin;
+    }
+    for name in outputs {
+        let src = driver.get(name).ok_or_else(|| {
+            ParseNetlistError::new(0, format!("output `{name}` is never driven"))
+        })?;
+        netlist.add_output(format!("po_{name}"), *src);
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+
+    const C17_LIKE: &str = r#"
+# a tiny mapped netlist
+.model c17ish
+.inputs a b c
+.outputs y z
+.gate AND2 a=a b=b O=n1
+.gate OR2  a=n1 b=c O=y
+.gate NAND2 a=b b=c O=z
+.end
+"#;
+
+    #[test]
+    fn parses_gate_records() {
+        let n = parse_blif(C17_LIKE).expect("parses");
+        assert_eq!(n.name(), "c17ish");
+        assert_eq!(n.primary_inputs().len(), 3);
+        assert_eq!(n.primary_outputs().len(), 2);
+        n.validate().expect("valid");
+        // y = (a&b)|c, z = !(b&c)
+        assert_eq!(simulate::simulate(&n, &[true, true, false]).unwrap(), vec![true, true]);
+        assert_eq!(simulate::simulate(&n, &[false, false, true]).unwrap(), vec![true, true]);
+        assert_eq!(simulate::simulate(&n, &[false, true, true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn parses_names_covers() {
+        let src = r#"
+.model names_demo
+.inputs a b
+.outputs y n k one
+.names a b y
+11 1
+.names a n
+0 1
+.names a k
+1 1
+.names one
+1
+.end
+"#;
+        let n = parse_blif(src).expect("parses");
+        n.validate().expect("valid");
+        // y = a&b, n = !a, k = a, one = 1
+        assert_eq!(
+            simulate::simulate(&n, &[true, false]).unwrap(),
+            vec![false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let src = ".model m\n.inputs a\n.outputs y\n.gate LUT4 a=a O=y\n.end\n";
+        assert!(parse_blif(src).unwrap_err().message.contains("unknown gate type"));
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let src = ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        assert!(parse_blif(src).unwrap_err().message.contains("not supported"));
+    }
+
+    #[test]
+    fn rejects_undriven_output() {
+        let src = ".model m\n.inputs a\n.outputs y\n.end\n";
+        assert!(parse_blif(src).unwrap_err().message.contains("never driven"));
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let src = ".model m\n.inputs a \\\nb\n.outputs y\n.gate AND2 a=a b=b O=y\n.end\n";
+        let n = parse_blif(src).expect("parses");
+        assert_eq!(n.primary_inputs().len(), 2);
+    }
+
+    #[test]
+    fn majority_gate_records() {
+        let src = ".model m\n.inputs a b c\n.outputs y\n.gate MAJ3 a=a b=b c=c O=y\n.end\n";
+        let n = parse_blif(src).expect("parses");
+        assert_eq!(simulate::simulate(&n, &[true, false, true]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Netlist file-format parsers.
+//!
+//! SuperFlow's paper uses Yosys to turn RTL Verilog into a gate-level AOI
+//! netlist. Yosys is an external C++ tool, so this reproduction substitutes
+//! two light-weight front-ends that produce the same in-memory [`crate::Netlist`]:
+//!
+//! * [`verilog`] — a structural-Verilog subset (gate-primitive instantiations
+//!   of `and`/`or`/`not`/...), sufficient for hand-written RTL netlists;
+//! * [`blif`] — gate-level BLIF using `.gate` records, the format the EPFL
+//!   SCE-benchmarks distribute their AQFP benchmarks in.
+
+pub mod blif;
+pub mod verilog;
+
+pub use blif::parse_blif;
+pub use verilog::parse_verilog;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a netlist file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number where the problem was found (0 if global).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseNetlistError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}

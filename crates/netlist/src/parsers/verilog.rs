@@ -1,0 +1,319 @@
+//! Structural-Verilog front-end.
+//!
+//! The supported subset covers gate-level structural Verilog as produced by
+//! logic-synthesis tools when mapped to a simple gate library:
+//!
+//! ```verilog
+//! module half_adder(a, b, sum, carry);
+//!   input a, b;
+//!   output sum, carry;
+//!   wire n1;
+//!   xor g1(sum, a, b);
+//!   and g2(carry, a, b);
+//! endmodule
+//! ```
+//!
+//! Supported primitives: `and`, `or`, `nand`, `nor`, `xor`, `not`, `buf`,
+//! `maj` (3-input majority). The first port of a primitive is its output.
+//! Vectors, assigns, parameters and behavioural constructs are not supported.
+
+use aqfp_cells::CellKind;
+use std::collections::HashMap;
+
+use super::ParseNetlistError;
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// Parses a structural-Verilog module into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] when the text is not in the supported
+/// subset: missing module header, unknown primitive, undeclared signal,
+/// wrong pin count, or a signal driven by more than one gate.
+pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
+    let statements = split_statements(source);
+    let mut module_name = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut wires: Vec<String> = Vec::new();
+    let mut instances: Vec<(usize, String, String, Vec<String>)> = Vec::new();
+
+    for (line, stmt) in &statements {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module") {
+            let name = rest.split(['(', ';']).next().unwrap_or("").trim();
+            if name.is_empty() {
+                return Err(ParseNetlistError::new(*line, "module name missing"));
+            }
+            module_name = name.to_owned();
+            continue;
+        }
+        if let Some(rest) = strip_keyword(stmt, "input") {
+            inputs.extend(parse_signal_list(rest));
+            continue;
+        }
+        if let Some(rest) = strip_keyword(stmt, "output") {
+            outputs.extend(parse_signal_list(rest));
+            continue;
+        }
+        if let Some(rest) = strip_keyword(stmt, "wire") {
+            wires.extend(parse_signal_list(rest));
+            continue;
+        }
+        // Gate primitive instantiation: `<prim> <name>(<out>, <in>...)`.
+        let (prim, rest) = stmt.split_once(char::is_whitespace).ok_or_else(|| {
+            ParseNetlistError::new(*line, format!("unrecognised statement `{stmt}`"))
+        })?;
+        let open = rest.find('(').ok_or_else(|| {
+            ParseNetlistError::new(*line, "expected `(` in gate instantiation")
+        })?;
+        let close = rest.rfind(')').ok_or_else(|| {
+            ParseNetlistError::new(*line, "expected `)` in gate instantiation")
+        })?;
+        let inst_name = rest[..open].trim().to_owned();
+        let ports: Vec<String> =
+            rest[open + 1..close].split(',').map(|p| p.trim().to_owned()).collect();
+        if ports.iter().any(|p| p.is_empty()) {
+            return Err(ParseNetlistError::new(*line, "empty port in gate instantiation"));
+        }
+        instances.push((*line, prim.trim().to_owned(), inst_name, ports));
+    }
+
+    if module_name.is_empty() {
+        return Err(ParseNetlistError::new(0, "no module declaration found"));
+    }
+
+    build_netlist(&module_name, &inputs, &outputs, &wires, &instances)
+}
+
+fn strip_keyword<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = stmt.strip_prefix(keyword)?;
+    if rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+/// Splits the source into `;`-terminated statements with line numbers,
+/// stripping `//` comments.
+fn split_statements(source: &str) -> Vec<(usize, String)> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1;
+    for (i, raw_line) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.split("//").next().unwrap_or("");
+        for ch in line.chars() {
+            if current.trim().is_empty() {
+                start_line = line_no;
+            }
+            if ch == ';' {
+                statements.push((start_line, current.trim().to_owned()));
+                current.clear();
+            } else {
+                current.push(ch);
+            }
+        }
+        current.push(' ');
+    }
+    let tail = current.trim();
+    if !tail.is_empty() {
+        statements.push((start_line, tail.to_owned()));
+    }
+    statements
+}
+
+fn parse_signal_list(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
+}
+
+fn primitive_kind(prim: &str) -> Option<CellKind> {
+    match prim {
+        "and" => Some(CellKind::And),
+        "or" => Some(CellKind::Or),
+        "nand" => Some(CellKind::Nand),
+        "nor" => Some(CellKind::Nor),
+        "xor" => Some(CellKind::Xor),
+        "not" => Some(CellKind::Inverter),
+        "buf" => Some(CellKind::Buffer),
+        "maj" => Some(CellKind::Majority3),
+        _ => None,
+    }
+}
+
+fn build_netlist(
+    module_name: &str,
+    inputs: &[String],
+    outputs: &[String],
+    wires: &[String],
+    instances: &[(usize, String, String, Vec<String>)],
+) -> Result<Netlist, ParseNetlistError> {
+    let mut netlist = Netlist::new(module_name);
+    // Map from signal name to the gate that drives it.
+    let mut driver: HashMap<String, GateId> = HashMap::new();
+    for name in inputs {
+        let id = netlist.add_input(name.clone());
+        driver.insert(name.clone(), id);
+    }
+
+    let declared: std::collections::HashSet<&str> = inputs
+        .iter()
+        .chain(outputs.iter())
+        .chain(wires.iter())
+        .map(String::as_str)
+        .collect();
+
+    // First pass: create the gates so forward references resolve; we place
+    // gates in instance order and patch fan-ins in a second pass.
+    let mut pending: Vec<(usize, GateId, Vec<String>)> = Vec::new();
+    for (line, prim, inst_name, ports) in instances {
+        let kind = primitive_kind(prim).ok_or_else(|| {
+            ParseNetlistError::new(*line, format!("unknown gate primitive `{prim}`"))
+        })?;
+        if ports.len() != kind.input_count() + 1 {
+            return Err(ParseNetlistError::new(
+                *line,
+                format!(
+                    "primitive `{prim}` expects {} ports, found {}",
+                    kind.input_count() + 1,
+                    ports.len()
+                ),
+            ));
+        }
+        let out_signal = &ports[0];
+        if !declared.contains(out_signal.as_str()) {
+            return Err(ParseNetlistError::new(*line, format!("undeclared signal `{out_signal}`")));
+        }
+        let gate_name =
+            if inst_name.is_empty() { format!("u_{out_signal}") } else { inst_name.clone() };
+        let id = netlist.add_gate(kind, gate_name, vec![]);
+        if driver.insert(out_signal.clone(), id).is_some() {
+            return Err(ParseNetlistError::new(
+                *line,
+                format!("signal `{out_signal}` has multiple drivers"),
+            ));
+        }
+        pending.push((*line, id, ports[1..].to_vec()));
+    }
+
+    // Second pass: resolve fan-ins now that all drivers are known.
+    for (line, id, input_signals) in pending {
+        let mut fanin = Vec::with_capacity(input_signals.len());
+        for signal in &input_signals {
+            if !declared.contains(signal.as_str()) {
+                return Err(ParseNetlistError::new(line, format!("undeclared signal `{signal}`")));
+            }
+            let src = driver.get(signal).ok_or_else(|| {
+                ParseNetlistError::new(line, format!("signal `{signal}` is never driven"))
+            })?;
+            fanin.push(*src);
+        }
+        netlist.gate_mut(id).fanin = fanin;
+    }
+
+    for name in outputs {
+        let src = driver.get(name).ok_or_else(|| {
+            ParseNetlistError::new(0, format!("output `{name}` is never driven"))
+        })?;
+        netlist.add_output(format!("po_{name}"), *src);
+    }
+
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+
+    const HALF_ADDER: &str = r#"
+        // A half adder in the supported structural subset.
+        module half_adder(a, b, sum, carry);
+          input a, b;
+          output sum, carry;
+          xor g1(sum, a, b);
+          and g2(carry, a, b);
+        endmodule
+    "#;
+
+    #[test]
+    fn parses_half_adder() {
+        let n = parse_verilog(HALF_ADDER).expect("parses");
+        assert_eq!(n.name(), "half_adder");
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 2);
+        n.validate().expect("valid");
+        // sum = a ^ b, carry = a & b
+        assert_eq!(simulate::simulate(&n, &[true, false]).unwrap(), vec![true, false]);
+        assert_eq!(simulate::simulate(&n, &[true, true]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn parses_wires_and_not() {
+        let src = r#"
+            module inv_chain(a, y);
+              input a;
+              output y;
+              wire w1;
+              not g1(w1, a);
+              not g2(y, w1);
+            endmodule
+        "#;
+        let n = parse_verilog(src).expect("parses");
+        assert_eq!(simulate::simulate(&n, &[true]).unwrap(), vec![true]);
+        assert_eq!(simulate::simulate(&n, &[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn rejects_unknown_primitive() {
+        let src = "module m(a, y); input a; output y; dff g1(y, a); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("unknown gate primitive"));
+    }
+
+    #[test]
+    fn rejects_undeclared_signal() {
+        let src = "module m(a, y); input a; output y; and g1(y, a, ghost); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("undeclared signal"));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let src = "module m(a, y); input a; output y; buf g1(y, a); buf g2(y, a); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("multiple drivers"));
+    }
+
+    #[test]
+    fn rejects_wrong_port_count() {
+        let src = "module m(a, y); input a; output y; and g1(y, a); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("expects 3 ports"));
+    }
+
+    #[test]
+    fn rejects_missing_module() {
+        let err = parse_verilog("input a;").unwrap_err();
+        assert!(err.message.contains("unrecognised statement") || err.message.contains("module"));
+    }
+
+    #[test]
+    fn majority_primitive_is_supported() {
+        let src = r#"
+            module m(a, b, c, y);
+              input a, b, c;
+              output y;
+              maj g1(y, a, b, c);
+            endmodule
+        "#;
+        let n = parse_verilog(src).expect("parses");
+        assert_eq!(simulate::simulate(&n, &[true, true, false]).unwrap(), vec![true]);
+        assert_eq!(simulate::simulate(&n, &[true, false, false]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Boolean simulation of netlists.
+//!
+//! Simulation is used throughout the test suite to prove that synthesis
+//! transformations (AOI→MAJ conversion, buffer/splitter insertion) preserve
+//! the logic function of the circuit.
+
+use aqfp_cells::CellKind;
+
+use crate::gate::GateId;
+use crate::netlist::{Netlist, NetlistError};
+use crate::traverse;
+
+/// Evaluates the netlist on one input assignment.
+///
+/// `inputs[i]` is the value of the `i`-th primary input in
+/// [`Netlist::primary_inputs`] order. Returns the values of the primary
+/// outputs in [`Netlist::primary_outputs`] order.
+///
+/// Splitters and buffers forward their single input; constant cells produce
+/// their constant regardless of the input vector.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if the netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of primary inputs.
+pub fn simulate(netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+    let values = simulate_all(netlist, inputs)?;
+    Ok(netlist.primary_outputs().iter().map(|id| values[id.0]).collect())
+}
+
+/// Evaluates the netlist and returns the value of every gate output, indexed
+/// by [`GateId`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if the netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of primary inputs.
+pub fn simulate_all(netlist: &Netlist, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+    assert_eq!(
+        inputs.len(),
+        netlist.primary_inputs().len(),
+        "input vector length must match the number of primary inputs"
+    );
+    let order = traverse::topological_order(netlist)?;
+    let mut values = vec![false; netlist.gate_count()];
+    for (value, id) in inputs.iter().zip(netlist.primary_inputs()) {
+        values[id.0] = *value;
+    }
+    for id in order {
+        let gate = netlist.gate(id);
+        if gate.kind == CellKind::Input {
+            continue;
+        }
+        let f: Vec<bool> = gate.fanin.iter().map(|d| values[d.0]).collect();
+        values[id.0] = eval_kind(gate.kind, &f);
+    }
+    Ok(values)
+}
+
+/// Evaluates a single cell kind on its input values.
+///
+/// # Panics
+///
+/// Panics if the number of inputs does not match the kind's arity.
+pub fn eval_kind(kind: CellKind, inputs: &[bool]) -> bool {
+    assert_eq!(inputs.len(), kind.input_count(), "arity mismatch evaluating {kind}");
+    match kind {
+        CellKind::Buffer
+        | CellKind::Splitter2
+        | CellKind::Splitter3
+        | CellKind::Splitter4
+        | CellKind::Output => inputs[0],
+        CellKind::Inverter => !inputs[0],
+        CellKind::Constant0 => false,
+        CellKind::Constant1 => true,
+        CellKind::And => inputs[0] && inputs[1],
+        CellKind::Or => inputs[0] || inputs[1],
+        CellKind::Nand => !(inputs[0] && inputs[1]),
+        CellKind::Nor => !(inputs[0] || inputs[1]),
+        CellKind::Xor => inputs[0] ^ inputs[1],
+        CellKind::Majority3 => {
+            (inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8) >= 2
+        }
+        CellKind::Input => false,
+    }
+}
+
+/// Exhaustively compares two netlists with identical primary-input counts and
+/// primary-output counts, returning the first differing input assignment.
+///
+/// Intended for small cones (the number of inputs must be ≤ 20 to keep the
+/// truth-table enumeration tractable).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if either netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if the interface sizes differ or if there are more than 20 inputs.
+pub fn first_mismatch(a: &Netlist, b: &Netlist) -> Result<Option<Vec<bool>>, NetlistError> {
+    assert_eq!(a.primary_inputs().len(), b.primary_inputs().len(), "input count mismatch");
+    assert_eq!(a.primary_outputs().len(), b.primary_outputs().len(), "output count mismatch");
+    let n = a.primary_inputs().len();
+    assert!(n <= 20, "exhaustive comparison limited to 20 inputs");
+    for pattern in 0u32..(1u32 << n) {
+        let inputs: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+        if simulate(a, &inputs)? != simulate(b, &inputs)? {
+            return Ok(Some(inputs));
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience wrapper around [`first_mismatch`] returning a boolean verdict.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if either netlist is cyclic.
+pub fn equivalent(a: &Netlist, b: &Netlist) -> Result<bool, NetlistError> {
+    Ok(first_mismatch(a, b)?.is_none())
+}
+
+/// Pseudo-random equivalence check for netlists too wide for exhaustive
+/// enumeration: compares the two netlists on `samples` random input vectors
+/// derived from a simple deterministic LCG seeded with `seed`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if either netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if the interface sizes differ.
+pub fn equivalent_sampled(
+    a: &Netlist,
+    b: &Netlist,
+    samples: usize,
+    seed: u64,
+) -> Result<bool, NetlistError> {
+    assert_eq!(a.primary_inputs().len(), b.primary_inputs().len(), "input count mismatch");
+    assert_eq!(a.primary_outputs().len(), b.primary_outputs().len(), "output count mismatch");
+    let n = a.primary_inputs().len();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for _ in 0..samples {
+        let inputs: Vec<bool> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) & 1 == 1
+            })
+            .collect();
+        if simulate(a, &inputs)? != simulate(b, &inputs)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Identifiers of gates whose value is `true` under the given inputs; handy
+/// for debugging small circuits.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cycle`] if the netlist is cyclic.
+pub fn active_gates(netlist: &Netlist, inputs: &[bool]) -> Result<Vec<GateId>, NetlistError> {
+    let values = simulate_all(netlist, inputs)?;
+    Ok(netlist.ids().filter(|id| values[id.0]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn majority_netlist() -> Netlist {
+        let mut n = Netlist::new("maj");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let m = n.add_gate(CellKind::Majority3, "m", vec![a, b, c]);
+        n.add_output("y", m);
+        n
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let n = majority_netlist();
+        let cases = [
+            ([false, false, false], false),
+            ([true, false, false], false),
+            ([true, true, false], true),
+            ([true, true, true], true),
+            ([false, true, true], true),
+        ];
+        for (inputs, expected) in cases {
+            assert_eq!(simulate(&n, &inputs).unwrap(), vec![expected], "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn and_or_equivalence_via_majority_constants() {
+        // AND(a,b) == MAJ(a,b,0) and OR(a,b) == MAJ(a,b,1).
+        let mut and_net = Netlist::new("and");
+        let a = and_net.add_input("a");
+        let b = and_net.add_input("b");
+        let g = and_net.add_gate(CellKind::And, "g", vec![a, b]);
+        and_net.add_output("y", g);
+
+        let mut maj_net = Netlist::new("maj_and");
+        let a = maj_net.add_input("a");
+        let b = maj_net.add_input("b");
+        let zero = maj_net.add_gate(CellKind::Constant0, "zero", vec![]);
+        let g = maj_net.add_gate(CellKind::Majority3, "g", vec![a, b, zero]);
+        maj_net.add_output("y", g);
+
+        assert!(equivalent(&and_net, &maj_net).unwrap());
+    }
+
+    #[test]
+    fn xor_differs_from_or() {
+        let mut xor_net = Netlist::new("xor");
+        let a = xor_net.add_input("a");
+        let b = xor_net.add_input("b");
+        let g = xor_net.add_gate(CellKind::Xor, "g", vec![a, b]);
+        xor_net.add_output("y", g);
+
+        let mut or_net = Netlist::new("or");
+        let a = or_net.add_input("a");
+        let b = or_net.add_input("b");
+        let g = or_net.add_gate(CellKind::Or, "g", vec![a, b]);
+        or_net.add_output("y", g);
+
+        let mismatch = first_mismatch(&xor_net, &or_net).unwrap();
+        assert_eq!(mismatch, Some(vec![true, true]));
+        assert!(!equivalent_sampled(&xor_net, &or_net, 64, 7).unwrap());
+    }
+
+    #[test]
+    fn buffers_and_splitters_forward_values() {
+        let mut n = Netlist::new("fwd");
+        let a = n.add_input("a");
+        let s = n.add_gate(CellKind::Splitter2, "s", vec![a]);
+        let b1 = n.add_gate(CellKind::Buffer, "b1", vec![s]);
+        let b2 = n.add_gate(CellKind::Inverter, "b2", vec![s]);
+        n.add_output("y1", b1);
+        n.add_output("y2", b2);
+        assert_eq!(simulate(&n, &[true]).unwrap(), vec![true, false]);
+        assert_eq!(simulate(&n, &[false]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn active_gates_reports_true_valued_gates() {
+        let n = majority_netlist();
+        let active = active_gates(&n, &[true, true, false]).unwrap();
+        // a, b, the majority gate and the output are true.
+        assert_eq!(active.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input vector length")]
+    fn wrong_input_length_panics() {
+        let n = majority_netlist();
+        let _ = simulate(&n, &[true]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Netlist summary statistics (the quantities Table II of the paper reports).
+
+use aqfp_cells::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::netlist::Netlist;
+use crate::traverse;
+
+/// Summary statistics of a netlist under a given cell library.
+///
+/// `jj_count`, `net_count` and `delay` correspond to the `#JJs`, `#Nets` and
+/// `#Delay` columns of Table II in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total number of gates including virtual terminals.
+    pub gate_count: usize,
+    /// Logic gates (majority-based cells and inverters).
+    pub logic_count: usize,
+    /// Path-balancing buffers.
+    pub buffer_count: usize,
+    /// Splitter cells of any arity.
+    pub splitter_count: usize,
+    /// Primary inputs.
+    pub input_count: usize,
+    /// Primary outputs.
+    pub output_count: usize,
+    /// Total Josephson junctions.
+    pub jj_count: usize,
+    /// Number of logical nets.
+    pub net_count: usize,
+    /// Circuit depth in clock phases (levels).
+    pub delay: usize,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist` under `library`.
+    pub fn of(netlist: &Netlist, library: &CellLibrary) -> Self {
+        let delay = traverse::depth(netlist).unwrap_or(0);
+        let splitter_count = netlist.count_kind(CellKind::Splitter2)
+            + netlist.count_kind(CellKind::Splitter3)
+            + netlist.count_kind(CellKind::Splitter4);
+        let logic_count = netlist.iter().filter(|(_, g)| g.kind.is_logic()).count();
+        Self {
+            name: netlist.name().to_owned(),
+            gate_count: netlist.gate_count(),
+            logic_count,
+            buffer_count: netlist.count_kind(CellKind::Buffer),
+            splitter_count,
+            input_count: netlist.primary_inputs().len(),
+            output_count: netlist.primary_outputs().len(),
+            jj_count: netlist.jj_count(library),
+            net_count: netlist.net_count(),
+            delay,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} logic, {} buffers, {} splitters), {} JJs, {} nets, delay {}",
+            self.name,
+            self.gate_count,
+            self.logic_count,
+            self.buffer_count,
+            self.splitter_count,
+            self.jj_count,
+            self.net_count,
+            self.delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_cells::CellKind;
+
+    #[test]
+    fn stats_count_cell_classes() {
+        let lib = CellLibrary::mit_ll();
+        let mut n = Netlist::new("stats");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.add_gate(CellKind::Splitter2, "s", vec![a]);
+        let g = n.add_gate(CellKind::And, "g", vec![s, b]);
+        let buf = n.add_gate(CellKind::Buffer, "buf", vec![s]);
+        let m = n.add_gate(CellKind::Majority3, "m", vec![g, buf, b]);
+        n.add_output("y", m);
+
+        let stats = n.stats(&lib);
+        assert_eq!(stats.logic_count, 2);
+        assert_eq!(stats.buffer_count, 1);
+        assert_eq!(stats.splitter_count, 1);
+        assert_eq!(stats.input_count, 2);
+        assert_eq!(stats.output_count, 1);
+        assert_eq!(stats.jj_count, 4 + 6 + 2 + 6);
+        assert_eq!(stats.delay, 4);
+        assert!(stats.to_string().contains("stats"));
+    }
+}

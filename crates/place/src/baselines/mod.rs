@@ -1,0 +1,19 @@
+//! Baseline AQFP placers used as comparison points in Table III.
+//!
+//! * [`gordian`] — a GORDIAN-style quadratic, wirelength-only placer in the
+//!   spirit of "Towards AQFP-capable physical design automation"
+//!   (Li et al., DATE 2021);
+//! * [`taas`] — a timing-aware analytical placer in the spirit of TAAS
+//!   (Dong et al., DAC 2022), which optimizes timing during the analytical
+//!   phase but restricts detailed-placement swaps to identically sized
+//!   cells.
+//!
+//! Both baselines are reimplemented from their papers' descriptions; they
+//! share the row/legalization infrastructure with the SuperFlow placer so
+//! the comparison isolates the placement *strategy*.
+
+pub mod gordian;
+pub mod taas;
+
+pub use gordian::gordian_place;
+pub use taas::taas_place;

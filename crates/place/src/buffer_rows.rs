@@ -1,0 +1,256 @@
+//! Buffer-row insertion for maximum-wirelength violations.
+//!
+//! AQFP interconnect between two clock phases may not exceed the process
+//! maximum wirelength `W_max`. When a placed connection is longer than that,
+//! the paper inserts an entire row of buffers between the two rows so the
+//! connection is split into two shorter hops (§II, constraint ii). The
+//! number of inserted buffer lines is one of the quality metrics Table III
+//! reports — fewer lines mean less area and fewer JJs.
+
+use aqfp_cells::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+
+use crate::design::{PhysNet, PlacedCell, PlacedDesign};
+
+/// Summary of a buffer-row insertion run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferRowReport {
+    /// Number of buffer rows (lines) inserted.
+    pub buffer_lines: usize,
+    /// Number of buffer cells inserted across all lines.
+    pub buffer_cells: usize,
+    /// Number of nets that violated the maximum wirelength before insertion.
+    pub violating_nets: usize,
+}
+
+/// Number of intermediate rows needed so every hop of a connection with
+/// horizontal span `dx` stays within the maximum wirelength (each hop also
+/// pays one row pitch of vertical distance).
+fn lines_for_span(dx: f64, design: &PlacedDesign) -> usize {
+    let budget = (design.rules.max_wirelength - design.row_pitch).max(design.rules.grid);
+    let hops = (dx / budget).ceil().max(1.0) as usize;
+    hops - 1
+}
+
+/// Counts the buffer lines a placement would need without modifying it.
+///
+/// For every pair of adjacent rows, the longest connection crossing the pair
+/// determines how many intermediate buffer rows that gap needs; the total is
+/// the "Buffers" column of Table III.
+pub fn required_buffer_lines(design: &PlacedDesign) -> usize {
+    let mut per_gap: Vec<usize> = vec![0; design.rows.len()];
+    for net in &design.nets {
+        if design.net_length(net) <= design.rules.max_wirelength {
+            continue;
+        }
+        let dx =
+            (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
+        let gap = design.cells[net.driver].row;
+        per_gap[gap] = per_gap[gap].max(lines_for_span(dx, design).max(1));
+    }
+    per_gap.iter().sum()
+}
+
+/// Inserts buffer rows so every connection respects the maximum wirelength.
+///
+/// Every row gap that contains at least one violating net receives enough
+/// full buffer lines to split its longest connection into legal hops; every
+/// net crossing such a gap is re-routed through one buffer per inserted
+/// line, keeping the design path-balanced (all nets crossing the gap gain
+/// the same number of phases).
+pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> BufferRowReport {
+    let violating = design.max_wirelength_violations();
+    if violating.is_empty() {
+        return BufferRowReport { buffer_lines: 0, buffer_cells: 0, violating_nets: 0 };
+    }
+
+    // Lines needed per row gap (indexed by the driver row of the gap).
+    let mut lines_per_gap: Vec<usize> = vec![0; design.rows.len()];
+    for &net_index in &violating {
+        let net = design.nets[net_index];
+        let dx =
+            (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
+        let gap = design.cells[net.driver].row;
+        lines_per_gap[gap] = lines_per_gap[gap].max(lines_for_span(dx, design).max(1));
+    }
+
+    let buffer_proto = library.cell(CellKind::Buffer);
+    let mut report = BufferRowReport {
+        buffer_lines: lines_per_gap.iter().sum(),
+        buffer_cells: 0,
+        violating_nets: violating.len(),
+    };
+
+    // Rows above an expanded gap shift up by the lines inserted below them.
+    let old_row_count = design.rows.len();
+    let new_row_index: Vec<usize> =
+        (0..old_row_count).map(|r| r + lines_per_gap[..r].iter().sum::<usize>()).collect();
+    let total_rows = old_row_count + report.buffer_lines;
+
+    for cell in &mut design.cells {
+        cell.row = new_row_index[cell.row];
+    }
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); total_rows];
+    for (index, cell) in design.cells.iter().enumerate() {
+        rows[cell.row].push(index);
+    }
+    design.rows = rows;
+
+    // Split every net that now spans more than one row through one buffer per
+    // intermediate row.
+    let original_net_count = design.nets.len();
+    for net_index in 0..original_net_count {
+        let net = design.nets[net_index];
+        let driver_row = design.cells[net.driver].row;
+        let sink_row = design.cells[net.sink].row;
+        let hops = sink_row - driver_row;
+        if hops <= 1 {
+            continue;
+        }
+        let driver_x = design.cells[net.driver].center_x();
+        let sink_x = design.cells[net.sink].center_x();
+        let mut previous = net.driver;
+        for hop in 1..hops {
+            let t = hop as f64 / hops as f64;
+            let x = ((driver_x + t * (sink_x - driver_x)) / design.rules.grid).round()
+                * design.rules.grid;
+            let row = driver_row + hop;
+            let cell_index = design.cells.len();
+            design.cells.push(PlacedCell {
+                gate: None,
+                name: format!("wlbuf_{net_index}_{hop}"),
+                kind: CellKind::Buffer,
+                width: buffer_proto.width,
+                height: buffer_proto.height,
+                row,
+                x: (x - buffer_proto.width / 2.0).max(0.0),
+            });
+            design.rows[row].push(cell_index);
+            report.buffer_cells += 1;
+            design.nets.push(PhysNet { driver: previous, sink: cell_index });
+            previous = cell_index;
+        }
+        // The original net now covers only the last hop.
+        design.nets[net_index] = PhysNet { driver: previous, sink: net.sink };
+    }
+
+    design.sort_rows_by_x();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_synth::Synthesizer;
+
+    fn design_for(benchmark: Benchmark) -> (PlacedDesign, CellLibrary) {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        (PlacedDesign::from_synthesized(&synthesized, &library), library)
+    }
+
+    /// A two-cell design whose single net is comfortably within the maximum
+    /// wirelength.
+    fn tiny_legal_design(library: &CellLibrary) -> PlacedDesign {
+        let proto = library.cell(CellKind::Buffer);
+        let cells = vec![
+            PlacedCell {
+                gate: None,
+                name: "a".into(),
+                kind: CellKind::Buffer,
+                width: proto.width,
+                height: proto.height,
+                row: 0,
+                x: 0.0,
+            },
+            PlacedCell {
+                gate: None,
+                name: "b".into(),
+                kind: CellKind::Buffer,
+                width: proto.width,
+                height: proto.height,
+                row: 1,
+                x: 40.0,
+            },
+        ];
+        PlacedDesign {
+            name: "tiny".into(),
+            cells,
+            nets: vec![PhysNet { driver: 0, sink: 1 }],
+            rows: vec![vec![0], vec![1]],
+            row_pitch: library.rules().row_pitch,
+            rules: library.rules().clone(),
+        }
+    }
+
+    #[test]
+    fn compact_designs_need_no_buffer_lines() {
+        let library = CellLibrary::mit_ll();
+        let design = tiny_legal_design(&library);
+        assert!(design.max_wirelength_violations().is_empty());
+        assert_eq!(required_buffer_lines(&design), 0);
+    }
+
+    #[test]
+    fn stretched_nets_trigger_buffer_rows() {
+        let (mut design, library) = design_for(Benchmark::Adder8);
+        let net = design.nets[0];
+        design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
+        assert!(required_buffer_lines(&design) >= 1);
+
+        let report = insert_buffer_rows(&mut design, &library);
+        assert!(report.buffer_lines >= 1);
+        assert!(report.buffer_cells >= report.buffer_lines);
+        assert!(report.violating_nets >= 1);
+        assert!(
+            design.max_wirelength_violations().is_empty(),
+            "all hops must be legal after buffer-row insertion"
+        );
+    }
+
+    #[test]
+    fn insertion_keeps_nets_on_adjacent_rows() {
+        let (mut design, library) = design_for(Benchmark::Apc32);
+        let net = design.nets[0];
+        design.cells[net.driver].x = design.rules.max_wirelength * 2.5;
+        insert_buffer_rows(&mut design, &library);
+        for net in &design.nets {
+            let dr = design.cells[net.driver].row;
+            let sr = design.cells[net.sink].row;
+            assert_eq!(sr, dr + 1, "all hops must span exactly one row after insertion");
+        }
+    }
+
+    #[test]
+    fn no_violation_means_no_change() {
+        let library = CellLibrary::mit_ll();
+        let mut design = tiny_legal_design(&library);
+        let cells_before = design.cell_count();
+        let report = insert_buffer_rows(&mut design, &library);
+        assert_eq!(report.buffer_lines, 0);
+        assert_eq!(design.cell_count(), cells_before);
+    }
+
+    #[test]
+    fn buffer_cells_scale_with_nets_crossing_the_gap() {
+        let (mut design, library) = design_for(Benchmark::Adder8);
+        // Count nets leaving the row of the stretched driver.
+        let net = design.nets[0];
+        let row = design.cells[net.driver].row;
+        let crossing = design
+            .nets
+            .iter()
+            .filter(|n| design.cells[n.driver].row == row)
+            .count();
+        design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
+        let report = insert_buffer_rows(&mut design, &library);
+        assert!(
+            report.buffer_cells >= crossing,
+            "every net crossing the expanded gap needs at least one buffer ({} < {crossing})",
+            report.buffer_cells
+        );
+    }
+}

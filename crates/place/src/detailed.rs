@@ -1,0 +1,387 @@
+//! Timing-aware detailed placement (§III-C.3 of the paper).
+//!
+//! Detailed placement refines a legalized placement row by row. Because
+//! AQFP rows are clock phases, a cell can never change rows; the moves are
+//! horizontal: swapping neighbouring cells and sliding cells inside the free
+//! space between their neighbours. The paper's key observation (Fig. 4) is
+//! that restricting swaps to identically-sized cells — what earlier placers
+//! do — gets stuck in sub-optimal states when a dense row mixes buffer-sized
+//! and majority-sized cells; SuperFlow therefore allows swaps between cells
+//! of different sizes, re-packing the affected span so no overlap appears.
+
+use serde::{Deserialize, Serialize};
+
+use aqfp_timing::{PlacedNet, TimingAnalyzer, TimingConfig};
+
+use crate::design::PlacedDesign;
+
+/// Tuning parameters of the detailed placer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetailedPlacementConfig {
+    /// Weight converting picoseconds of negative slack into µm of equivalent
+    /// wirelength in the move-acceptance cost.
+    pub timing_weight: f64,
+    /// Number of improvement passes over the whole design.
+    pub passes: usize,
+    /// Whether cells of different sizes may swap (the SuperFlow behaviour).
+    /// Disabling this reproduces the same-size-only restriction of earlier
+    /// placers (Fig. 4a).
+    pub allow_mixed_size_swaps: bool,
+    /// Timing model used to evaluate slack during move acceptance.
+    pub timing: TimingConfig,
+}
+
+impl Default for DetailedPlacementConfig {
+    fn default() -> Self {
+        Self {
+            timing_weight: 25.0,
+            passes: 4,
+            allow_mixed_size_swaps: true,
+            timing: TimingConfig::paper_default(),
+        }
+    }
+}
+
+/// Summary of a detailed-placement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetailedPlacementReport {
+    /// Accepted swap moves.
+    pub swaps_accepted: usize,
+    /// Accepted slide moves.
+    pub slides_accepted: usize,
+    /// HPWL before detailed placement, µm.
+    pub hpwl_before: f64,
+    /// HPWL after detailed placement, µm.
+    pub hpwl_after: f64,
+}
+
+/// Runs detailed placement in place on a legalized design.
+///
+/// The design must be overlap-free (run legalization first); the output is
+/// again overlap-free and grid-aligned.
+pub fn detailed_place(
+    design: &mut PlacedDesign,
+    config: &DetailedPlacementConfig,
+) -> DetailedPlacementReport {
+    let hpwl_before = design.hpwl();
+    let analyzer = TimingAnalyzer::new(config.timing);
+    let incident = incident_nets(design);
+    let mut report = DetailedPlacementReport {
+        swaps_accepted: 0,
+        slides_accepted: 0,
+        hpwl_before,
+        hpwl_after: hpwl_before,
+    };
+
+    for _ in 0..config.passes {
+        let layer_width = design.layer_width().max(1.0);
+        let mut improved = false;
+
+        design.sort_rows_by_x();
+        let rows = design.rows.clone();
+        for row in &rows {
+            // `order` tracks the left-to-right adjacency as moves are applied
+            // within this pass, so neighbour lookups never go stale.
+            let mut order = row.clone();
+            // Adjacent swaps.
+            for i in 0..order.len().saturating_sub(1) {
+                let (a, b) = (order[i], order[i + 1]);
+                if !config.allow_mixed_size_swaps
+                    && (design.cells[a].width - design.cells[b].width).abs() > 1e-9
+                {
+                    continue;
+                }
+                if try_swap(design, &analyzer, &incident, config, layer_width, a, b) {
+                    order.swap(i, i + 1);
+                    report.swaps_accepted += 1;
+                    improved = true;
+                }
+            }
+            // Slides inside the free space around each cell.
+            for i in 0..order.len() {
+                let cell = order[i];
+                let left_limit = if i == 0 {
+                    0.0
+                } else {
+                    design.cells[order[i - 1]].right()
+                };
+                let right_limit = if i + 1 == order.len() {
+                    f64::INFINITY
+                } else {
+                    design.cells[order[i + 1]].x
+                };
+                if try_slide(
+                    design,
+                    &analyzer,
+                    &incident,
+                    config,
+                    layer_width,
+                    cell,
+                    left_limit,
+                    right_limit,
+                ) {
+                    report.slides_accepted += 1;
+                    improved = true;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    design.sort_rows_by_x();
+    report.hpwl_after = design.hpwl();
+    report
+}
+
+/// Builds the list of net indices incident to each cell.
+fn incident_nets(design: &PlacedDesign) -> Vec<Vec<usize>> {
+    let mut incident = vec![Vec::new(); design.cells.len()];
+    for (index, net) in design.nets.iter().enumerate() {
+        incident[net.driver].push(index);
+        incident[net.sink].push(index);
+    }
+    incident
+}
+
+/// Local cost of the nets incident to `cells`: wirelength plus weighted
+/// negative slack.
+fn local_cost(
+    design: &PlacedDesign,
+    analyzer: &TimingAnalyzer,
+    incident: &[Vec<usize>],
+    config: &DetailedPlacementConfig,
+    layer_width: f64,
+    cells: &[usize],
+) -> f64 {
+    let mut seen: Vec<usize> = cells.iter().flat_map(|&c| incident[c].iter().copied()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    let mut cost = 0.0;
+    for net_index in seen {
+        let net = &design.nets[net_index];
+        let driver = &design.cells[net.driver];
+        let sink = &design.cells[net.sink];
+        let length = design.net_length(net);
+        cost += length;
+        let slack = analyzer.net_slack(
+            &PlacedNet {
+                phase: driver.row,
+                source_x: driver.center_x(),
+                sink_x: sink.center_x(),
+                length_um: length,
+            },
+            layer_width,
+        );
+        if slack < 0.0 {
+            cost += config.timing_weight * (-slack);
+        }
+        // A connection longer than the process limit would force an extra
+        // buffer row; weigh it heavily so detailed placement avoids it.
+        let excess = length - design.rules.max_wirelength;
+        if excess > 0.0 {
+            cost += 4.0 * excess;
+        }
+    }
+    cost
+}
+
+/// Attempts to swap two horizontally adjacent cells, re-packing them inside
+/// their combined span. Returns whether the move was accepted.
+#[allow(clippy::too_many_arguments)]
+fn try_swap(
+    design: &mut PlacedDesign,
+    analyzer: &TimingAnalyzer,
+    incident: &[Vec<usize>],
+    config: &DetailedPlacementConfig,
+    layer_width: f64,
+    left: usize,
+    right: usize,
+) -> bool {
+    let old_left_x = design.cells[left].x;
+    let old_right_x = design.cells[right].x;
+    let gap = design.cells[right].x - design.cells[left].right();
+    debug_assert!(gap >= -1e-6, "detailed placement expects a legal design");
+
+    let before = local_cost(design, analyzer, incident, config, layer_width, &[left, right]);
+    // Swap order: the former right cell starts at the span origin, the former
+    // left cell follows it, preserving the original gap so the span width
+    // (and therefore legality with respect to the outer neighbours) is
+    // unchanged.
+    design.cells[right].x = old_left_x;
+    design.cells[left].x = old_left_x + design.cells[right].width + gap.max(0.0);
+    let after = local_cost(design, analyzer, incident, config, layer_width, &[left, right]);
+
+    if after + 1e-9 < before {
+        true
+    } else {
+        design.cells[left].x = old_left_x;
+        design.cells[right].x = old_right_x;
+        false
+    }
+}
+
+/// Attempts to slide a cell toward the position that minimizes its local
+/// cost, staying inside `[left_limit, right_limit]` and keeping either
+/// abutment or minimum spacing to both neighbours.
+#[allow(clippy::too_many_arguments)]
+fn try_slide(
+    design: &mut PlacedDesign,
+    analyzer: &TimingAnalyzer,
+    incident: &[Vec<usize>],
+    config: &DetailedPlacementConfig,
+    layer_width: f64,
+    cell: usize,
+    left_limit: f64,
+    right_limit: f64,
+) -> bool {
+    let original_x = design.cells[cell].x;
+    let width = design.cells[cell].width;
+    let grid = design.rules.grid;
+    let spacing = design.rules.min_spacing;
+
+    // Candidate target: the average position of the cells this one connects
+    // to (its force-directed optimum), clamped to the legal span.
+    let mut neighbour_sum = 0.0;
+    let mut neighbour_count = 0.0;
+    for &net_index in &incident[cell] {
+        let net = &design.nets[net_index];
+        let other = if net.driver == cell { net.sink } else { net.driver };
+        neighbour_sum += design.cells[other].center_x();
+        neighbour_count += 1.0;
+    }
+    if neighbour_count == 0.0 {
+        return false;
+    }
+    let optimal_center = neighbour_sum / neighbour_count;
+    let optimal_x = ((optimal_center - width / 2.0) / grid).round() * grid;
+
+    let mut candidates: Vec<f64> = Vec::new();
+    // Abutting the left neighbour is always legal.
+    candidates.push(left_limit);
+    // Keeping minimum spacing from the left neighbour.
+    candidates.push(left_limit + spacing);
+    if right_limit.is_finite() {
+        candidates.push(right_limit - width);
+        candidates.push(right_limit - width - spacing);
+    }
+    candidates.push(optimal_x);
+
+    let legal = |x: f64| -> bool {
+        if x < left_limit - 1e-9 {
+            return false;
+        }
+        let left_gap = x - left_limit;
+        if left_gap > 1e-9 && left_gap < spacing - 1e-9 {
+            return false;
+        }
+        if right_limit.is_finite() {
+            let right_gap = right_limit - (x + width);
+            if right_gap < -1e-9 {
+                return false;
+            }
+            if right_gap > 1e-9 && right_gap < spacing - 1e-9 {
+                return false;
+            }
+        }
+        true
+    };
+
+    let before = local_cost(design, analyzer, incident, config, layer_width, &[cell]);
+    let mut best = (before, original_x);
+    for candidate in candidates {
+        let snapped = (candidate / grid).round() * grid;
+        if !legal(snapped) || (snapped - original_x).abs() < 1e-9 {
+            continue;
+        }
+        design.cells[cell].x = snapped;
+        let cost = local_cost(design, analyzer, incident, config, layer_width, &[cell]);
+        if cost + 1e-9 < best.0 {
+            best = (cost, snapped);
+        }
+    }
+    design.cells[cell].x = best.1;
+    (best.1 - original_x).abs() > 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{global_place, GlobalPlacementConfig};
+    use crate::legalize::legalize;
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_synth::Synthesizer;
+
+    fn legal_design(benchmark: Benchmark) -> PlacedDesign {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        global_place(&mut design, &GlobalPlacementConfig::default());
+        legalize(&mut design);
+        design
+    }
+
+    #[test]
+    fn detailed_placement_keeps_design_legal() {
+        let mut design = legal_design(Benchmark::Adder8);
+        detailed_place(&mut design, &DetailedPlacementConfig::default());
+        assert_eq!(design.overlap_count(), 0, "no overlaps after detailed placement");
+        assert_eq!(design.spacing_violations(), 0, "spacing rule holds after detailed placement");
+    }
+
+    #[test]
+    fn detailed_placement_does_not_worsen_hpwl_much() {
+        let mut design = legal_design(Benchmark::Adder8);
+        let report = detailed_place(&mut design, &DetailedPlacementConfig::default());
+        assert!(
+            report.hpwl_after <= report.hpwl_before * 1.05,
+            "detailed placement should not significantly degrade HPWL ({} -> {})",
+            report.hpwl_before,
+            report.hpwl_after
+        );
+    }
+
+    #[test]
+    fn mixed_size_swapping_finds_at_least_as_many_moves() {
+        let base = legal_design(Benchmark::Apc32);
+
+        let mut flexible = base.clone();
+        let flexible_report = detailed_place(
+            &mut flexible,
+            &DetailedPlacementConfig { allow_mixed_size_swaps: true, ..Default::default() },
+        );
+        let mut restricted = base;
+        let restricted_report = detailed_place(
+            &mut restricted,
+            &DetailedPlacementConfig { allow_mixed_size_swaps: false, ..Default::default() },
+        );
+        assert!(
+            flexible_report.swaps_accepted >= restricted_report.swaps_accepted,
+            "mixed-size swapping explores a superset of moves"
+        );
+    }
+
+    #[test]
+    fn rows_never_change_in_detailed_placement() {
+        let mut design = legal_design(Benchmark::Adder8);
+        let rows_before: Vec<usize> = design.cells.iter().map(|c| c.row).collect();
+        detailed_place(&mut design, &DetailedPlacementConfig::default());
+        let rows_after: Vec<usize> = design.cells.iter().map(|c| c.row).collect();
+        assert_eq!(rows_before, rows_after);
+    }
+
+    #[test]
+    fn zero_passes_is_a_no_op() {
+        let mut design = legal_design(Benchmark::Adder8);
+        let xs: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        let report =
+            detailed_place(&mut design, &DetailedPlacementConfig { passes: 0, ..Default::default() });
+        let xs_after: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        assert_eq!(xs, xs_after);
+        assert_eq!(report.swaps_accepted, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The placement engine: the full placement pipeline plus the baselines.
+
+use std::time::Instant;
+
+use aqfp_cells::CellLibrary;
+use aqfp_synth::SynthesizedNetlist;
+use aqfp_timing::{TimingAnalyzer, TimingConfig, TimingReport};
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::gordian::{gordian_place, GordianConfig};
+use crate::baselines::taas::{taas_place, TaasConfig};
+use crate::buffer_rows::{insert_buffer_rows, BufferRowReport};
+use crate::design::PlacedDesign;
+use crate::detailed::{detailed_place, DetailedPlacementConfig};
+use crate::global::{global_place, GlobalPlacementConfig};
+use crate::legalize::legalize;
+
+/// Which placement strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacerKind {
+    /// The paper's placer: timing-aware analytical global placement, Tetris
+    /// legalization, mixed-cell-size detailed placement.
+    SuperFlow,
+    /// Quadratic wirelength-only baseline (Li et al., DATE 2021).
+    GordianBased,
+    /// Timing-aware analytical baseline with same-size-only detailed
+    /// placement (Dong et al., DAC 2022).
+    Taas,
+}
+
+impl PlacerKind {
+    /// All placers, in the column order of Table III.
+    pub const ALL: [PlacerKind; 3] = [PlacerKind::GordianBased, PlacerKind::Taas, PlacerKind::SuperFlow];
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacerKind::SuperFlow => "SuperFlow",
+            PlacerKind::GordianBased => "GORDIAN-based",
+            PlacerKind::Taas => "TAAS",
+        }
+    }
+}
+
+impl std::fmt::Display for PlacerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options shared by every placement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOptions {
+    /// Global-placement tuning for the SuperFlow placer.
+    pub global: GlobalPlacementConfig,
+    /// Detailed-placement tuning for the SuperFlow placer.
+    pub detailed: DetailedPlacementConfig,
+    /// Timing model used for the final WNS report.
+    pub timing: TimingConfig,
+    /// Whether to insert buffer rows for max-wirelength violations after
+    /// placement.
+    pub insert_buffer_rows: bool,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        Self {
+            global: GlobalPlacementConfig::default(),
+            detailed: DetailedPlacementConfig::default(),
+            timing: TimingConfig::paper_default(),
+            insert_buffer_rows: true,
+        }
+    }
+}
+
+/// The outcome of one placement run — the rows Table III reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementResult {
+    /// Which placer produced the result.
+    pub placer: PlacerKind,
+    /// Design name.
+    pub design_name: String,
+    /// The placed design (legal, grid-aligned).
+    pub design: PlacedDesign,
+    /// Half-perimeter wirelength in µm.
+    pub hpwl_um: f64,
+    /// Buffer lines inserted for max-wirelength violations.
+    pub buffer_lines: usize,
+    /// Buffer-row insertion details.
+    pub buffer_report: BufferRowReport,
+    /// Static timing report at the target clock.
+    pub timing: TimingReport,
+    /// Wall-clock runtime of the placement pipeline in seconds.
+    pub runtime_s: f64,
+}
+
+impl PlacementResult {
+    /// Worst negative slack formatted like the paper's Table III (`-` when
+    /// timing is met).
+    pub fn wns_display(&self) -> String {
+        self.timing.wns_display()
+    }
+}
+
+/// The placement engine: builds the physical design from a synthesized
+/// netlist and runs the selected placement strategy.
+///
+/// ```
+/// use aqfp_cells::CellLibrary;
+/// use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+/// use aqfp_place::{PlacementEngine, PlacerKind};
+/// use aqfp_synth::Synthesizer;
+///
+/// let library = CellLibrary::mit_ll();
+/// let synthesized = Synthesizer::new(library.clone())
+///     .run(&benchmark_circuit(Benchmark::Adder8))?;
+/// let result = PlacementEngine::new(library).place(&synthesized, PlacerKind::SuperFlow);
+/// println!("{}: HPWL {:.0} µm, WNS {}", result.design_name, result.hpwl_um, result.wns_display());
+/// # Ok::<(), aqfp_synth::SynthesisError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementEngine {
+    library: CellLibrary,
+    options: PlacementOptions,
+}
+
+impl PlacementEngine {
+    /// Creates an engine with default options.
+    pub fn new(library: CellLibrary) -> Self {
+        Self { library, options: PlacementOptions::default() }
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(library: CellLibrary, options: PlacementOptions) -> Self {
+        Self { library, options }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &PlacementOptions {
+        &self.options
+    }
+
+    /// Places a synthesized netlist with the selected strategy.
+    pub fn place(&self, synthesized: &SynthesizedNetlist, placer: PlacerKind) -> PlacementResult {
+        let start = Instant::now();
+        let mut design = PlacedDesign::from_synthesized(synthesized, &self.library);
+
+        match placer {
+            PlacerKind::SuperFlow => {
+                global_place(&mut design, &self.options.global);
+                legalize(&mut design);
+                detailed_place(&mut design, &self.options.detailed);
+            }
+            PlacerKind::GordianBased => {
+                gordian_place(&mut design, &GordianConfig::default());
+            }
+            PlacerKind::Taas => {
+                taas_place(&mut design, &TaasConfig::default());
+            }
+        }
+
+        let buffer_report = if self.options.insert_buffer_rows {
+            let report = insert_buffer_rows(&mut design, &self.library);
+            if report.buffer_cells > 0 {
+                // The freshly inserted buffer rows are packed onto legal,
+                // grid-aligned positions; already-legal rows are untouched
+                // because legalization is idempotent.
+                legalize(&mut design);
+            }
+            report
+        } else {
+            BufferRowReport {
+                buffer_lines: crate::buffer_rows::required_buffer_lines(&design),
+                buffer_cells: 0,
+                violating_nets: design.max_wirelength_violations().len(),
+            }
+        };
+
+        let analyzer = TimingAnalyzer::new(self.options.timing);
+        let timing = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
+        let hpwl_um = design.hpwl();
+
+        PlacementResult {
+            placer,
+            design_name: design.name.clone(),
+            hpwl_um,
+            buffer_lines: buffer_report.buffer_lines,
+            buffer_report,
+            timing,
+            runtime_s: start.elapsed().as_secs_f64(),
+            design,
+        }
+    }
+
+    /// Places a synthesized netlist with every placer, in Table III column
+    /// order.
+    pub fn place_all(&self, synthesized: &SynthesizedNetlist) -> Vec<PlacementResult> {
+        PlacerKind::ALL.iter().map(|&placer| self.place(synthesized, placer)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_synth::Synthesizer;
+
+    fn synthesized(benchmark: Benchmark) -> (SynthesizedNetlist, CellLibrary) {
+        let library = CellLibrary::mit_ll();
+        let result =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        (result, library)
+    }
+
+    #[test]
+    fn superflow_placement_is_legal_and_reported() {
+        let (synth, library) = synthesized(Benchmark::Adder8);
+        let engine = PlacementEngine::new(library);
+        let result = engine.place(&synth, PlacerKind::SuperFlow);
+        assert_eq!(result.design.overlap_count(), 0);
+        assert_eq!(result.design.spacing_violations(), 0);
+        assert!(result.hpwl_um > 0.0);
+        assert!(result.runtime_s >= 0.0);
+    }
+
+    #[test]
+    fn all_three_placers_run_on_the_same_design() {
+        let (synth, library) = synthesized(Benchmark::Adder8);
+        let engine = PlacementEngine::new(library);
+        let results = engine.place_all(&synth);
+        assert_eq!(results.len(), 3);
+        let names: Vec<&str> = results.iter().map(|r| r.placer.name()).collect();
+        assert_eq!(names, vec!["GORDIAN-based", "TAAS", "SuperFlow"]);
+        for result in &results {
+            assert_eq!(result.design.overlap_count(), 0, "{} overlaps", result.placer);
+            assert!(result.hpwl_um > 0.0);
+        }
+    }
+
+    #[test]
+    fn superflow_timing_is_no_worse_than_gordian() {
+        let (synth, library) = synthesized(Benchmark::Apc32);
+        let engine = PlacementEngine::new(library);
+        let gordian = engine.place(&synth, PlacerKind::GordianBased);
+        let superflow = engine.place(&synth, PlacerKind::SuperFlow);
+        assert!(
+            superflow.timing.wns_ps >= gordian.timing.wns_ps - 1.0,
+            "SuperFlow WNS ({}) should not be materially worse than GORDIAN ({})",
+            superflow.timing.wns_ps,
+            gordian.timing.wns_ps
+        );
+    }
+
+    #[test]
+    fn buffer_row_insertion_can_be_disabled() {
+        let (synth, library) = synthesized(Benchmark::Adder8);
+        let options = PlacementOptions { insert_buffer_rows: false, ..Default::default() };
+        let engine = PlacementEngine::with_options(library, options);
+        let result = engine.place(&synth, PlacerKind::SuperFlow);
+        assert_eq!(result.buffer_report.buffer_cells, 0);
+    }
+
+    #[test]
+    fn placer_kind_display_names() {
+        assert_eq!(PlacerKind::SuperFlow.to_string(), "SuperFlow");
+        assert_eq!(PlacerKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,325 @@
+//! Analytical global placement (§III-C.2 of the paper).
+//!
+//! The global placer optimizes the horizontal position of every cell while
+//! its row (clock phase) stays fixed, minimizing the relaxed objective of
+//! Eq. (3):
+//!
+//! ```text
+//! min_x  Σ_e  W(e) + λ_t·T(e) + λ_w·max(0, W(e) − W_max)²
+//! ```
+//!
+//! `W(e)` is a smooth wirelength model (the weighted-average model reduces
+//! to a smoothed |Δx| for AQFP's two-pin nets), `T(e)` is the four-phase
+//! timing cost of Eq. (2) and the last term penalizes connections longer
+//! than the process maximum. A light pairwise spreading force keeps cells in
+//! the same row from collapsing onto each other before legalization.
+//!
+//! The paper uses DREAMPlace as the optimization engine; this reproduction
+//! uses a CPU gradient-descent optimizer with momentum (Adam-style step
+//! scaling), which is sufficient for the benchmark sizes involved.
+
+use serde::{Deserialize, Serialize};
+
+use aqfp_timing::model::{phase_timing_cost, phase_timing_cost_grad_end, phase_timing_cost_grad_start};
+
+use crate::design::PlacedDesign;
+
+/// Tuning parameters of the global placer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalPlacementConfig {
+    /// Weight λ_t of the timing cost.
+    pub timing_weight: f64,
+    /// Weight λ_w of the max-wirelength penalty.
+    pub max_wirelength_weight: f64,
+    /// Weight of the intra-row spreading (overlap) force.
+    pub spreading_weight: f64,
+    /// Smoothing epsilon of the wirelength model, in µm.
+    pub smoothing_um: f64,
+    /// Exponent α of the timing model.
+    pub alpha: f64,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Initial learning rate, in µm per unit gradient.
+    pub learning_rate: f64,
+}
+
+impl Default for GlobalPlacementConfig {
+    fn default() -> Self {
+        Self {
+            timing_weight: 0.02,
+            max_wirelength_weight: 0.002,
+            spreading_weight: 0.05,
+            smoothing_um: 5.0,
+            alpha: 2.0,
+            iterations: 500,
+            learning_rate: 1.0,
+        }
+    }
+}
+
+impl GlobalPlacementConfig {
+    /// A wirelength-only configuration (timing and max-wirelength terms
+    /// disabled), used by the GORDIAN-style baseline.
+    pub fn wirelength_only() -> Self {
+        Self { timing_weight: 0.0, max_wirelength_weight: 0.0, ..Self::default() }
+    }
+}
+
+/// Summary of one global-placement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalPlacementReport {
+    /// HPWL before optimization, µm.
+    pub hpwl_before: f64,
+    /// HPWL after optimization, µm.
+    pub hpwl_after: f64,
+    /// Objective value at the final iteration.
+    pub final_objective: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs analytical global placement in place, returning a report.
+///
+/// Cell rows never change; only x coordinates move. The result typically
+/// contains overlaps — run legalization afterwards.
+pub fn global_place(design: &mut PlacedDesign, config: &GlobalPlacementConfig) -> GlobalPlacementReport {
+    let hpwl_before = design.hpwl();
+    let n = design.cells.len();
+    if n == 0 || design.nets.is_empty() {
+        return GlobalPlacementReport {
+            hpwl_before,
+            hpwl_after: hpwl_before,
+            final_objective: 0.0,
+            iterations: 0,
+        };
+    }
+
+    // Warm start: a few Gauss-Seidel "average of neighbours" sweeps give the
+    // quadratic wirelength optimum as the starting point, so the gradient
+    // refinement only has to trade wirelength against the timing and
+    // max-wirelength terms instead of dragging cells across the whole row.
+    warm_start(design, 40);
+
+    let mut velocity = vec![0.0f64; n];
+    let mut final_objective = 0.0;
+    let layer_width = design.layer_width().max(1.0);
+    let momentum = 0.7;
+
+    for iteration in 0..config.iterations {
+        let mut gradient = vec![0.0f64; n];
+        final_objective = accumulate_net_terms(design, config, layer_width, &mut gradient);
+        // Ramp the spreading force: early iterations let cells cluster near
+        // their wirelength optimum, late iterations push them apart so the
+        // hand-off to Tetris legalization displaces cells as little as
+        // possible.
+        let progress = iteration as f64 / config.iterations.max(1) as f64;
+        let spreading = GlobalPlacementConfig {
+            spreading_weight: config.spreading_weight * (0.2 + 3.0 * progress),
+            ..*config
+        };
+        final_objective += accumulate_spreading(design, &spreading, &mut gradient);
+
+        // Momentum update with a learning rate that decays over the run so
+        // late iterations refine rather than oscillate.
+        let rate = config.learning_rate * (1.0 - 0.9 * progress);
+        for (i, cell) in design.cells.iter_mut().enumerate() {
+            velocity[i] = momentum * velocity[i] - rate * gradient[i].clamp(-50.0, 50.0);
+            cell.x = (cell.x + velocity[i]).max(0.0);
+        }
+    }
+
+    design.sort_rows_by_x();
+    GlobalPlacementReport {
+        hpwl_before,
+        hpwl_after: design.hpwl(),
+        final_objective,
+        iterations: config.iterations,
+    }
+}
+
+/// Quadratic-wirelength warm start: every movable cell is repeatedly moved to
+/// the average position of the cells it connects to (the closed-form optimum
+/// of the squared-wirelength objective for two-pin nets).
+fn warm_start(design: &mut PlacedDesign, sweeps: usize) {
+    let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); design.cells.len()];
+    for net in &design.nets {
+        neighbours[net.driver].push(net.sink);
+        neighbours[net.sink].push(net.driver);
+    }
+    for _ in 0..sweeps {
+        for index in 0..design.cells.len() {
+            if neighbours[index].is_empty() {
+                continue;
+            }
+            let sum: f64 = neighbours[index].iter().map(|&n| design.cells[n].center_x()).sum();
+            let target_center = sum / neighbours[index].len() as f64;
+            design.cells[index].x = (target_center - design.cells[index].width / 2.0).max(0.0);
+        }
+    }
+}
+
+/// Adds the wirelength, timing and max-wirelength gradients of every net;
+/// returns the accumulated objective value.
+fn accumulate_net_terms(
+    design: &PlacedDesign,
+    config: &GlobalPlacementConfig,
+    layer_width: f64,
+    gradient: &mut [f64],
+) -> f64 {
+    let mut objective = 0.0;
+    for net in &design.nets {
+        let driver = &design.cells[net.driver];
+        let sink = &design.cells[net.sink];
+        let dx = sink.center_x() - driver.center_x();
+        let smooth = (dx * dx + config.smoothing_um * config.smoothing_um).sqrt();
+        objective += smooth;
+        // d smooth / d sink.x = dx / smooth ; driver gets the opposite sign.
+        let wl_grad = dx / smooth;
+        gradient[net.sink] += wl_grad;
+        gradient[net.driver] -= wl_grad;
+
+        if config.timing_weight > 0.0 {
+            let phase = driver.row;
+            // Normalize by the layer width so the timing term stays a
+            // tie-breaker relative to the O(1) wirelength gradient instead of
+            // overwhelming it on wide designs (the quadratic grows as Ŵ²).
+            let scale = config.timing_weight / layer_width;
+            objective += scale
+                * phase_timing_cost(phase, driver.center_x(), sink.center_x(), layer_width, config.alpha);
+            gradient[net.driver] += scale
+                * phase_timing_cost_grad_start(
+                    phase,
+                    driver.center_x(),
+                    sink.center_x(),
+                    layer_width,
+                    config.alpha,
+                );
+            gradient[net.sink] += scale
+                * phase_timing_cost_grad_end(
+                    phase,
+                    driver.center_x(),
+                    sink.center_x(),
+                    layer_width,
+                    config.alpha,
+                );
+        }
+
+        if config.max_wirelength_weight > 0.0 {
+            let length = dx.abs() + design.row_pitch;
+            let excess = length - design.rules.max_wirelength;
+            if excess > 0.0 {
+                objective += config.max_wirelength_weight * excess * excess;
+                let d_len = if dx >= 0.0 { 1.0 } else { -1.0 };
+                let g = 2.0 * config.max_wirelength_weight * excess * d_len;
+                gradient[net.sink] += g;
+                gradient[net.driver] -= g;
+            }
+        }
+    }
+    objective
+}
+
+/// Adds a pairwise spreading force between overlapping neighbours in each
+/// row; returns the overlap penalty value.
+fn accumulate_spreading(
+    design: &PlacedDesign,
+    config: &GlobalPlacementConfig,
+    gradient: &mut [f64],
+) -> f64 {
+    if config.spreading_weight <= 0.0 {
+        return 0.0;
+    }
+    let mut penalty = 0.0;
+    for row in &design.rows {
+        let mut sorted: Vec<usize> = row.clone();
+        sorted.sort_by(|&a, &b| {
+            design.cells[a].x.partial_cmp(&design.cells[b].x).expect("finite coordinates")
+        });
+        for pair in sorted.windows(2) {
+            let left = &design.cells[pair[0]];
+            let right = &design.cells[pair[1]];
+            let overlap = left.right() - right.x;
+            if overlap > 0.0 {
+                penalty += config.spreading_weight * overlap * overlap;
+                let g = 2.0 * config.spreading_weight * overlap;
+                gradient[pair[0]] += g;
+                gradient[pair[1]] -= g;
+            }
+        }
+    }
+    penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_synth::Synthesizer;
+
+    fn design_for(benchmark: Benchmark) -> PlacedDesign {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        PlacedDesign::from_synthesized(&synthesized, &library)
+    }
+
+    #[test]
+    fn global_placement_reduces_hpwl() {
+        let mut design = design_for(Benchmark::Adder8);
+        let report = global_place(&mut design, &GlobalPlacementConfig::default());
+        assert!(
+            report.hpwl_after < report.hpwl_before,
+            "HPWL should improve: {} -> {}",
+            report.hpwl_before,
+            report.hpwl_after
+        );
+        assert!(design.cells.iter().all(|c| c.x >= 0.0), "cells stay in the positive quadrant");
+    }
+
+    #[test]
+    fn rows_are_never_changed() {
+        let mut design = design_for(Benchmark::Apc32);
+        let rows_before: Vec<usize> = design.cells.iter().map(|c| c.row).collect();
+        global_place(&mut design, &GlobalPlacementConfig::default());
+        let rows_after: Vec<usize> = design.cells.iter().map(|c| c.row).collect();
+        assert_eq!(rows_before, rows_after);
+    }
+
+    #[test]
+    fn wirelength_only_config_ignores_timing() {
+        let config = GlobalPlacementConfig::wirelength_only();
+        assert_eq!(config.timing_weight, 0.0);
+        assert_eq!(config.max_wirelength_weight, 0.0);
+        let mut design = design_for(Benchmark::Adder8);
+        let report = global_place(&mut design, &config);
+        assert!(report.hpwl_after <= report.hpwl_before * 1.01);
+    }
+
+    #[test]
+    fn empty_design_is_a_no_op() {
+        let library = CellLibrary::mit_ll();
+        let mut design = PlacedDesign {
+            name: "empty".into(),
+            cells: vec![],
+            nets: vec![],
+            rows: vec![],
+            row_pitch: 100.0,
+            rules: library.rules().clone(),
+        };
+        let report = global_place(&mut design, &GlobalPlacementConfig::default());
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn any_iteration_budget_improves_on_the_initial_packing() {
+        let mut short = design_for(Benchmark::Adder8);
+        let mut long = short.clone();
+        let base = GlobalPlacementConfig { iterations: 20, ..Default::default() };
+        let more = GlobalPlacementConfig { iterations: 300, ..Default::default() };
+        let r_short = global_place(&mut short, &base);
+        let r_long = global_place(&mut long, &more);
+        assert!(r_short.hpwl_after < r_short.hpwl_before);
+        assert!(r_long.hpwl_after < r_long.hpwl_before);
+    }
+}

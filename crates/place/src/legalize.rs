@@ -1,0 +1,136 @@
+//! Tetris-based legalization (§III-C.2 of the paper).
+//!
+//! After analytical global placement, cells in a row may overlap and sit off
+//! the manufacturing grid. Legalization walks each row from left to right in
+//! order of desired position and drops every cell at the closest legal spot
+//! — the classic Tetris scheme — preserving the global-placement intent
+//! while eliminating overlaps and snapping to the 10 µm grid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::PlacedDesign;
+
+/// Summary of a legalization run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LegalizationReport {
+    /// Total displacement applied to cells, in µm.
+    pub total_displacement: f64,
+    /// Largest single-cell displacement, in µm.
+    pub max_displacement: f64,
+    /// Overlapping pairs found before legalization.
+    pub overlaps_before: usize,
+}
+
+/// Legalizes every row in place: cells keep their left-to-right order from
+/// global placement, are snapped to the process grid and packed so that
+/// consecutive cells either abut or keep the minimum spacing.
+pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
+    let overlaps_before = design.overlap_count();
+    let grid = design.rules.grid;
+    let spacing = design.rules.min_spacing;
+    let mut total_displacement = 0.0;
+    let mut max_displacement: f64 = 0.0;
+
+    design.sort_rows_by_x();
+    let rows = design.rows.clone();
+    for row in &rows {
+        let mut cursor = 0.0;
+        for &cell_index in row {
+            let desired = design.cells[cell_index].x;
+            // Closest legal position at or right of the packing cursor: either
+            // abut the previous cell (cursor) or leave at least the minimum
+            // spacing; any position in between is illegal.
+            let snapped_desired = (desired / grid).round() * grid;
+            let position = if snapped_desired <= cursor + 1e-9 {
+                cursor
+            } else if snapped_desired < cursor + spacing {
+                // Too close to abut cleanly but closer than the minimum
+                // spacing: clamp to abutment, which keeps displacement small.
+                cursor
+            } else {
+                snapped_desired
+            };
+            let displacement = (position - desired).abs();
+            total_displacement += displacement;
+            max_displacement = max_displacement.max(displacement);
+            design.cells[cell_index].x = position;
+            cursor = position + design.cells[cell_index].width;
+        }
+    }
+
+    design.sort_rows_by_x();
+    LegalizationReport { total_displacement, max_displacement, overlaps_before }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{global_place, GlobalPlacementConfig};
+    use aqfp_cells::CellLibrary;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_synth::Synthesizer;
+
+    fn placed_design(benchmark: Benchmark) -> PlacedDesign {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        global_place(&mut design, &GlobalPlacementConfig::default());
+        design
+    }
+
+    #[test]
+    fn legalization_removes_all_overlaps() {
+        let mut design = placed_design(Benchmark::Adder8);
+        let report = legalize(&mut design);
+        assert_eq!(design.overlap_count(), 0);
+        assert_eq!(design.spacing_violations(), 0);
+        assert!(report.total_displacement >= 0.0);
+    }
+
+    #[test]
+    fn legalization_snaps_to_grid() {
+        let mut design = placed_design(Benchmark::Apc32);
+        legalize(&mut design);
+        let grid = design.rules.grid;
+        for cell in &design.cells {
+            let remainder = (cell.x / grid).fract().abs();
+            assert!(
+                remainder < 1e-6 || (1.0 - remainder) < 1e-6,
+                "cell {} at x={} is off the {} µm grid",
+                cell.name,
+                cell.x,
+                grid
+            );
+        }
+    }
+
+    #[test]
+    fn legalization_is_idempotent() {
+        let mut design = placed_design(Benchmark::Adder8);
+        legalize(&mut design);
+        let xs: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        let second = legalize(&mut design);
+        let xs_after: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        assert_eq!(xs, xs_after, "already-legal placement must not move");
+        assert_eq!(second.overlaps_before, 0);
+        assert_eq!(second.total_displacement, 0.0);
+    }
+
+    #[test]
+    fn legalized_hpwl_beats_the_initial_packing() {
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        let initial = design.hpwl();
+        global_place(&mut design, &GlobalPlacementConfig::default());
+        legalize(&mut design);
+        assert!(
+            design.hpwl() < initial,
+            "global placement + legalization should beat the initial packing ({} vs {initial})",
+            design.hpwl()
+        );
+    }
+}

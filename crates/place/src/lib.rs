@@ -1,0 +1,50 @@
+//! Timing-aware row-wise placement for AQFP circuits.
+//!
+//! AQFP placement differs from CMOS placement in two fundamental ways: the
+//! row of every cell is fixed by its clock phase (path balancing already
+//! assigned it), and the four-phase zigzag clock couples a cell's horizontal
+//! position to its timing margin. This crate implements the placement stage
+//! of SuperFlow (§III-C of the paper):
+//!
+//! * [`design`] — the physical view of a synthesized netlist: rows, cells,
+//!   two-pin nets, HPWL and spacing checks;
+//! * [`global`] — an analytical global placer with a smooth weighted-average
+//!   wirelength model, the phase-dependent timing cost of Eq. (2) and a
+//!   max-wirelength penalty (a CPU stand-in for the DREAMPlace engine);
+//! * [`legalize`] — Tetris-based row legalization on the 10 µm grid;
+//! * [`detailed`] — timing-aware detailed placement with flexible
+//!   mixed-cell-size swapping (Fig. 4 of the paper);
+//! * [`buffer_rows`] — insertion of buffer rows for connections exceeding
+//!   the maximum wirelength;
+//! * [`baselines`] — the GORDIAN-based placer of [Li et al., DATE'21] and
+//!   the timing-aware TAAS placer of [Dong et al., DAC'22] used as
+//!   comparison points in Table III;
+//! * [`engine`] — the [`PlacementEngine`] tying the pipeline together.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqfp_cells::CellLibrary;
+//! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+//! use aqfp_place::{PlacementEngine, PlacerKind};
+//! use aqfp_synth::Synthesizer;
+//!
+//! let library = CellLibrary::mit_ll();
+//! let synthesized = Synthesizer::new(library.clone())
+//!     .run(&benchmark_circuit(Benchmark::Adder8))?;
+//! let engine = PlacementEngine::new(library);
+//! let result = engine.place(&synthesized, PlacerKind::SuperFlow);
+//! assert!(result.hpwl_um > 0.0);
+//! # Ok::<(), aqfp_synth::SynthesisError>(())
+//! ```
+
+pub mod baselines;
+pub mod buffer_rows;
+pub mod design;
+pub mod detailed;
+pub mod engine;
+pub mod global;
+pub mod legalize;
+
+pub use design::{PhysNet, PlacedCell, PlacedDesign};
+pub use engine::{PlacementEngine, PlacementOptions, PlacementResult, PlacerKind};

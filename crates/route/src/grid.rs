@@ -1,0 +1,296 @@
+//! Two-layer channel routing grid and A* search.
+//!
+//! Each inter-phase channel is discretized into a grid whose pitch is the
+//! process minimum spacing (10 µm for MIT-LL), so a wire can only turn after
+//! at least that distance — the "dynamic step size" of Algorithm 1.
+//! Horizontal segments run on one metal layer and vertical segments on the
+//! other, so two wires may cross but may never share a grid edge on the same
+//! layer.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// A node of the channel grid: `column` indexes the horizontal position,
+/// `track` the vertical position inside the channel (track 0 is the driver
+/// side, the last track is the sink side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// Horizontal grid index.
+    pub column: i64,
+    /// Vertical grid index within the channel.
+    pub track: i64,
+}
+
+impl GridPoint {
+    /// Creates a grid point.
+    pub fn new(column: i64, track: i64) -> Self {
+        Self { column, track }
+    }
+
+    /// Manhattan distance to another grid point, in grid units.
+    pub fn manhattan(self, other: GridPoint) -> i64 {
+        (self.column - other.column).abs() + (self.track - other.track).abs()
+    }
+}
+
+/// An undirected grid edge, normalized so the smaller endpoint comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Edge(GridPoint, GridPoint);
+
+impl Edge {
+    fn new(a: GridPoint, b: GridPoint) -> Self {
+        if (a.column, a.track) <= (b.column, b.track) {
+            Edge(a, b)
+        } else {
+            Edge(b, a)
+        }
+    }
+
+    fn is_horizontal(&self) -> bool {
+        self.0.track == self.1.track
+    }
+}
+
+/// The routing grid of one channel: `columns × tracks` nodes, two wiring
+/// layers, per-edge occupancy.
+#[derive(Debug, Clone)]
+pub struct ChannelGrid {
+    columns: i64,
+    tracks: i64,
+    occupied_horizontal: HashSet<Edge>,
+    occupied_vertical: HashSet<Edge>,
+}
+
+impl ChannelGrid {
+    /// Creates an empty grid with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    pub fn new(columns: i64, tracks: i64) -> Self {
+        assert!(columns >= 2 && tracks >= 2, "a channel needs at least a 2x2 grid");
+        Self {
+            columns,
+            tracks,
+            occupied_horizontal: HashSet::new(),
+            occupied_vertical: HashSet::new(),
+        }
+    }
+
+    /// Number of horizontal grid positions.
+    pub fn columns(&self) -> i64 {
+        self.columns
+    }
+
+    /// Number of vertical tracks.
+    pub fn tracks(&self) -> i64 {
+        self.tracks
+    }
+
+    /// Grows the channel by `extra` tracks (space expansion).
+    pub fn expand(&mut self, extra: i64) {
+        self.tracks += extra;
+    }
+
+    /// Removes all routed wires (used when a channel is rerouted after a
+    /// space expansion).
+    pub fn clear(&mut self) {
+        self.occupied_horizontal.clear();
+        self.occupied_vertical.clear();
+    }
+
+    /// Whether a point lies inside the grid.
+    pub fn contains(&self, p: GridPoint) -> bool {
+        p.column >= 0 && p.column < self.columns && p.track >= 0 && p.track < self.tracks
+    }
+
+    fn edge_free(&self, edge: &Edge) -> bool {
+        if edge.is_horizontal() {
+            !self.occupied_horizontal.contains(edge)
+        } else {
+            !self.occupied_vertical.contains(edge)
+        }
+    }
+
+    /// Marks every edge along `path` as occupied on its layer.
+    pub fn occupy_path(&mut self, path: &[GridPoint]) {
+        for pair in path.windows(2) {
+            let edge = Edge::new(pair[0], pair[1]);
+            if edge.is_horizontal() {
+                self.occupied_horizontal.insert(edge);
+            } else {
+                self.occupied_vertical.insert(edge);
+            }
+        }
+    }
+
+    /// Fraction of horizontal-layer edges already occupied (a congestion
+    /// estimate used in reports).
+    pub fn horizontal_utilization(&self) -> f64 {
+        let capacity = ((self.columns - 1) * self.tracks).max(1) as f64;
+        self.occupied_horizontal.len() as f64 / capacity
+    }
+
+    /// Finds a shortest path from `start` to `goal` with A* (Algorithm 1's
+    /// `A_star` function): a binary-heap priority queue ordered by cost plus
+    /// the Manhattan-distance estimate, expanding only edges that are free on
+    /// their layer.
+    ///
+    /// Returns the node sequence including both endpoints, or `None` if the
+    /// goal is unreachable with the current occupancy.
+    pub fn a_star(&self, start: GridPoint, goal: GridPoint) -> Option<Vec<GridPoint>> {
+        if !self.contains(start) || !self.contains(goal) {
+            return None;
+        }
+        if start == goal {
+            return Some(vec![start]);
+        }
+
+        let index = |p: GridPoint| (p.track * self.columns + p.column) as usize;
+        let node_count = (self.columns * self.tracks) as usize;
+        let mut best_cost = vec![i64::MAX; node_count];
+        let mut parent: Vec<Option<GridPoint>> = vec![None; node_count];
+        // Priority queue keyed by estimated total cost; `Reverse` turns the
+        // max-heap into a min-heap.
+        let mut queue: BinaryHeap<Reverse<(i64, GridPoint)>> = BinaryHeap::new();
+
+        best_cost[index(start)] = 0;
+        queue.push(Reverse((start.manhattan(goal), start)));
+
+        while let Some(Reverse((_, current))) = queue.pop() {
+            if current == goal {
+                let mut path = vec![goal];
+                let mut cursor = goal;
+                while let Some(prev) = parent[index(cursor)] {
+                    path.push(prev);
+                    cursor = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let current_cost = best_cost[index(current)];
+            let neighbours = [
+                GridPoint::new(current.column + 1, current.track),
+                GridPoint::new(current.column - 1, current.track),
+                GridPoint::new(current.column, current.track + 1),
+                GridPoint::new(current.column, current.track - 1),
+            ];
+            for next in neighbours {
+                if !self.contains(next) {
+                    continue;
+                }
+                let edge = Edge::new(current, next);
+                if !self.edge_free(&edge) {
+                    continue;
+                }
+                let cost = current_cost + 1;
+                if cost < best_cost[index(next)] {
+                    best_cost[index(next)] = cost;
+                    parent[index(next)] = Some(current);
+                    queue.push(Reverse((cost + next.manhattan(goal), next)));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_path_has_manhattan_length() {
+        let grid = ChannelGrid::new(20, 5);
+        let path = grid.a_star(GridPoint::new(2, 0), GridPoint::new(10, 4)).expect("routable");
+        assert_eq!(path.len() as i64 - 1, 8 + 4, "empty grid path is the Manhattan distance");
+        assert_eq!(path[0], GridPoint::new(2, 0));
+        assert_eq!(*path.last().unwrap(), GridPoint::new(10, 4));
+        // Consecutive nodes are grid neighbours.
+        for pair in path.windows(2) {
+            assert_eq!(pair[0].manhattan(pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn crossing_wires_are_allowed_on_different_layers() {
+        let mut grid = ChannelGrid::new(10, 4);
+        // First net: vertical at column 5.
+        let first = grid.a_star(GridPoint::new(5, 0), GridPoint::new(5, 3)).expect("routable");
+        grid.occupy_path(&first);
+        // Second net: horizontal across track 2, crossing column 5.
+        let second = grid.a_star(GridPoint::new(0, 2), GridPoint::new(9, 2)).expect("crossing is legal");
+        assert_eq!(second.len(), 10);
+    }
+
+    #[test]
+    fn same_layer_conflicts_force_detours() {
+        let mut grid = ChannelGrid::new(10, 4);
+        let first = grid.a_star(GridPoint::new(0, 1), GridPoint::new(9, 1)).expect("routable");
+        grid.occupy_path(&first);
+        // A second horizontal net on the same track must detour to another track.
+        let second = grid.a_star(GridPoint::new(0, 1), GridPoint::new(9, 1));
+        // Start/goal nodes themselves are free, but every horizontal edge of
+        // track 1 is taken; the router must change tracks, making the path longer.
+        let second = second.expect("a detour exists");
+        assert!(second.len() > first.len());
+    }
+
+    #[test]
+    fn blocked_channel_reports_unroutable() {
+        let mut grid = ChannelGrid::new(3, 2);
+        // Occupy every edge by routing the full perimeter.
+        for track in 0..2 {
+            let path = grid
+                .a_star(GridPoint::new(0, track), GridPoint::new(2, track))
+                .expect("routable");
+            grid.occupy_path(&path);
+        }
+        for column in 0..3 {
+            let path = vec![GridPoint::new(column, 0), GridPoint::new(column, 1)];
+            grid.occupy_path(&path);
+        }
+        assert!(grid.a_star(GridPoint::new(0, 0), GridPoint::new(2, 1)).is_none());
+    }
+
+    #[test]
+    fn expansion_adds_tracks_and_restores_routability() {
+        let mut grid = ChannelGrid::new(6, 2);
+        // Saturate both horizontal tracks.
+        for track in 0..2 {
+            let path =
+                grid.a_star(GridPoint::new(0, track), GridPoint::new(5, track)).expect("routable");
+            grid.occupy_path(&path);
+        }
+        // A third horizontal net cannot fit: both tracks' edges are used and
+        // with only two tracks there is no free detour.
+        assert!(grid.a_star(GridPoint::new(0, 0), GridPoint::new(5, 0)).is_none());
+        grid.expand(1);
+        grid.clear();
+        assert!(grid.a_star(GridPoint::new(0, 0), GridPoint::new(5, 0)).is_some());
+        assert_eq!(grid.tracks(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_endpoints_are_rejected() {
+        let grid = ChannelGrid::new(4, 4);
+        assert!(grid.a_star(GridPoint::new(-1, 0), GridPoint::new(2, 2)).is_none());
+        assert!(grid.a_star(GridPoint::new(0, 0), GridPoint::new(10, 2)).is_none());
+    }
+
+    #[test]
+    fn utilization_grows_as_paths_are_committed() {
+        let mut grid = ChannelGrid::new(10, 4);
+        assert_eq!(grid.horizontal_utilization(), 0.0);
+        let path = grid.a_star(GridPoint::new(0, 2), GridPoint::new(9, 2)).expect("routable");
+        grid.occupy_path(&path);
+        assert!(grid.horizontal_utilization() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn degenerate_grid_rejected() {
+        ChannelGrid::new(1, 5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Layer-wise A* routing with space expansion for AQFP circuits.
+//!
+//! AQFP routing is simpler than CMOS routing in one way and harder in
+//! another: every net is a point-to-point connection between two adjacent
+//! clock phases (no global routing across the chip is needed), but only two
+//! metal layers are available in each inter-phase channel and the wire
+//! geometry must respect the zigzag spacing rule (turns only on the 10 µm
+//! grid). SuperFlow therefore routes each channel independently
+//! ("layer-wise" routing, §III-D and Algorithm 1 of the paper):
+//!
+//! * [`grid`] — the two-layer channel routing grid with per-edge occupancy
+//!   and an A* shortest-path search with Manhattan heuristic;
+//! * [`router`] — the [`Router`] driving channel-by-channel routing with
+//!   iterative *space expansion*: when a channel runs out of capacity, the
+//!   distance between the two rows grows by one grid step and the channel is
+//!   rerouted, exactly as Algorithm 1 describes.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqfp_cells::CellLibrary;
+//! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+//! use aqfp_place::{PlacementEngine, PlacerKind};
+//! use aqfp_route::Router;
+//! use aqfp_synth::Synthesizer;
+//!
+//! let library = CellLibrary::mit_ll();
+//! let synthesized = Synthesizer::new(library.clone())
+//!     .run(&benchmark_circuit(Benchmark::Adder8))?;
+//! let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+//! let routing = Router::new(library).route(&placed.design);
+//! assert_eq!(routing.stats.failed_nets, 0);
+//! # Ok::<(), aqfp_synth::SynthesisError>(())
+//! ```
+
+pub mod grid;
+pub mod router;
+
+pub use grid::{ChannelGrid, GridPoint};
+pub use router::{ChannelReport, Router, RouterConfig, RoutedWire, RoutingResult, RoutingStats};

@@ -1,0 +1,346 @@
+//! The channel-by-channel router with space expansion (Algorithm 1).
+
+use aqfp_cells::{CellLibrary, Point};
+use aqfp_place::PlacedDesign;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{ChannelGrid, GridPoint};
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Routing grid pitch in µm; wires only turn on this grid (the paper's
+    /// dynamic step size, equal to the process minimum spacing).
+    pub grid_step_um: f64,
+    /// Initial number of routing tracks per channel (derived from the row
+    /// pitch when 0).
+    pub initial_tracks: usize,
+    /// Maximum space expansions per channel before giving up.
+    pub max_expansions: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { grid_step_um: 10.0, initial_tracks: 0, max_expansions: 64 }
+    }
+}
+
+/// One routed net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedWire {
+    /// Index of the net in [`PlacedDesign::nets`].
+    pub net: usize,
+    /// The wire path in absolute layout coordinates (µm), including both
+    /// pin endpoints.
+    pub path: Vec<Point>,
+    /// Total routed length in µm.
+    pub length_um: f64,
+    /// Number of vias (direction changes between the two wiring layers).
+    pub via_count: usize,
+}
+
+/// Per-channel routing report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelReport {
+    /// The driver row of the channel (nets go from this row to the next).
+    pub row: usize,
+    /// Nets routed through the channel.
+    pub nets: usize,
+    /// Space expansions applied before the channel became routable.
+    pub expansions: usize,
+    /// Final number of tracks in the channel.
+    pub tracks: usize,
+    /// Fraction of horizontal-layer capacity in use after routing.
+    pub utilization: f64,
+}
+
+/// Aggregate routing statistics (the quantities Table IV reports, except the
+/// JJ count which is a property of the placed cells).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Nets successfully routed.
+    pub nets_routed: usize,
+    /// Nets that could not be routed within the expansion limit.
+    pub failed_nets: usize,
+    /// Total routed wirelength in µm.
+    pub total_wirelength_um: f64,
+    /// Total via count.
+    pub total_vias: usize,
+    /// Total space expansions across all channels.
+    pub space_expansions: usize,
+}
+
+/// The result of routing a placed design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingResult {
+    /// Every routed wire.
+    pub wires: Vec<RoutedWire>,
+    /// Aggregate statistics.
+    pub stats: RoutingStats,
+    /// Per-channel reports.
+    pub channels: Vec<ChannelReport>,
+    /// Josephson junctions in the routed design (all placed cells, including
+    /// buffers added by synthesis and placement).
+    pub jj_count: usize,
+}
+
+/// The layer-wise AQFP router.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone)]
+pub struct Router {
+    library: CellLibrary,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Creates a router with default configuration for the given library.
+    pub fn new(library: CellLibrary) -> Self {
+        let config = RouterConfig { grid_step_um: library.rules().min_spacing, ..Default::default() };
+        Self { library, config }
+    }
+
+    /// Creates a router with an explicit configuration.
+    pub fn with_config(library: CellLibrary, config: RouterConfig) -> Self {
+        Self { library, config }
+    }
+
+    /// The router configuration.
+    pub fn config(&self) -> RouterConfig {
+        self.config
+    }
+
+    /// Routes every net of a placed design, channel by channel.
+    pub fn route(&self, design: &PlacedDesign) -> RoutingResult {
+        let step = self.config.grid_step_um.max(1.0);
+        let columns = ((design.layer_width() / step).ceil() as i64 + 2).max(2);
+        let initial_tracks = if self.config.initial_tracks >= 2 {
+            self.config.initial_tracks as i64
+        } else {
+            ((design.row_pitch / step).round() as i64).max(2)
+        };
+
+        // Group nets by channel (driver row) and assign pin offsets so
+        // multiple nets at the same cell use distinct grid columns.
+        let channel_count = design.rows.len();
+        let mut channels: Vec<Vec<(usize, i64, i64)>> = vec![Vec::new(); channel_count];
+        let mut driver_counter = vec![0i64; design.cells.len()];
+        let mut sink_counter = vec![0i64; design.cells.len()];
+        for (net_index, net) in design.nets.iter().enumerate() {
+            let driver = &design.cells[net.driver];
+            let sink = &design.cells[net.sink];
+            let start_col = pin_column(driver.center_x(), driver_counter[net.driver], step, columns);
+            let goal_col = pin_column(sink.center_x(), sink_counter[net.sink], step, columns);
+            driver_counter[net.driver] += 1;
+            sink_counter[net.sink] += 1;
+            channels[driver.row].push((net_index, start_col, goal_col));
+        }
+
+        let mut wires = Vec::with_capacity(design.nets.len());
+        let mut channel_reports = Vec::new();
+        let mut stats = RoutingStats {
+            nets_routed: 0,
+            failed_nets: 0,
+            total_wirelength_um: 0.0,
+            total_vias: 0,
+            space_expansions: 0,
+        };
+
+        for (row, mut nets) in channels.into_iter().enumerate() {
+            if nets.is_empty() {
+                continue;
+            }
+            // Route short nets first; long nets benefit most from the
+            // remaining free tracks.
+            nets.sort_by_key(|(_, start, goal)| (start - goal).abs());
+
+            let mut grid = ChannelGrid::new(columns, initial_tracks);
+            let mut expansions = 0usize;
+            let mut routed: Vec<(usize, Vec<GridPoint>)> = Vec::new();
+            loop {
+                grid.clear();
+                routed.clear();
+                let mut all_routed = true;
+                for &(net_index, start_col, goal_col) in &nets {
+                    let start = GridPoint::new(start_col, 0);
+                    let goal = GridPoint::new(goal_col, grid.tracks() - 1);
+                    match grid.a_star(start, goal) {
+                        Some(path) => {
+                            grid.occupy_path(&path);
+                            routed.push((net_index, path));
+                        }
+                        None => {
+                            all_routed = false;
+                            break;
+                        }
+                    }
+                }
+                if all_routed || expansions >= self.config.max_expansions {
+                    break;
+                }
+                // Space expansion: push the two rows one grid step further
+                // apart and reroute the whole channel (Algorithm 1, line 21).
+                grid.expand(1);
+                expansions += 1;
+            }
+
+            stats.space_expansions += expansions;
+            let routed_count = routed.len();
+            stats.failed_nets += nets.len() - routed_count;
+            stats.nets_routed += routed_count;
+
+            let y_base = design.row_y(row) + channel_base_offset(design);
+            for (net_index, path) in &routed {
+                let wire = materialize_wire(*net_index, path, step, y_base);
+                stats.total_wirelength_um += wire.length_um;
+                stats.total_vias += wire.via_count;
+                wires.push(wire);
+            }
+            channel_reports.push(ChannelReport {
+                row,
+                nets: nets.len(),
+                expansions,
+                tracks: grid.tracks() as usize,
+                utilization: grid.horizontal_utilization(),
+            });
+        }
+
+        let jj_count = design.cells.iter().map(|c| self.library.cell(c.kind).jj_count).sum();
+        RoutingResult { wires, stats, channels: channel_reports, jj_count }
+    }
+}
+
+/// The vertical offset of a channel's first track above its driver row: the
+/// tallest cell in the library, so tracks clear the cell area.
+fn channel_base_offset(design: &PlacedDesign) -> f64 {
+    design.cells.iter().map(|c| c.height).fold(30.0, f64::max)
+}
+
+/// Grid column of a pin: the cell center plus a per-pin offset so that
+/// several pins of the same cell land on distinct columns.
+fn pin_column(center_x: f64, pin_index: i64, step: f64, columns: i64) -> i64 {
+    let base = (center_x / step).round() as i64;
+    (base + pin_index).clamp(0, columns - 1)
+}
+
+/// Converts a grid path into an absolute-coordinate wire with length and via
+/// count.
+fn materialize_wire(net: usize, path: &[GridPoint], step: f64, y_base: f64) -> RoutedWire {
+    let points: Vec<Point> =
+        path.iter().map(|p| Point::new(p.column as f64 * step, y_base + p.track as f64 * step)).collect();
+    let length_um = (path.len().saturating_sub(1)) as f64 * step;
+    let mut via_count = 0;
+    for window in path.windows(3) {
+        let first_horizontal = window[0].track == window[1].track;
+        let second_horizontal = window[1].track == window[2].track;
+        if first_horizontal != second_horizontal {
+            via_count += 1;
+        }
+    }
+    RoutedWire { net, path: points, length_um, via_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_place::{PlacementEngine, PlacerKind};
+    use aqfp_synth::Synthesizer;
+
+    fn placed(benchmark: Benchmark) -> (PlacedDesign, CellLibrary) {
+        let library = CellLibrary::mit_ll();
+        let synthesized =
+            Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
+        let result = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        (result.design, library)
+    }
+
+    #[test]
+    fn routes_every_net_of_a_small_benchmark() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let routing = Router::new(library).route(&design);
+        assert_eq!(routing.stats.failed_nets, 0, "every net must route");
+        assert_eq!(routing.stats.nets_routed, design.net_count());
+        assert_eq!(routing.wires.len(), design.net_count());
+        assert!(routing.stats.total_wirelength_um > 0.0);
+        assert!(routing.jj_count > 0);
+    }
+
+    #[test]
+    fn routed_length_is_at_least_the_placed_estimate() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let routing = Router::new(library).route(&design);
+        // Routed wirelength can only be longer than the straight-line
+        // estimate used during placement (detours plus pin offsets).
+        let estimate: f64 = design.nets.iter().map(|n| design.net_length(n)).sum();
+        assert!(
+            routing.stats.total_wirelength_um >= estimate * 0.5,
+            "routed length {} suspiciously shorter than estimate {}",
+            routing.stats.total_wirelength_um,
+            estimate
+        );
+    }
+
+    #[test]
+    fn wire_paths_are_grid_aligned_and_connected() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let config = RouterConfig { grid_step_um: 10.0, ..Default::default() };
+        let routing = Router::with_config(library, config).route(&design);
+        for wire in routing.wires.iter().take(200) {
+            for point in &wire.path {
+                assert!((point.x / 10.0).fract().abs() < 1e-9, "x {} off grid", point.x);
+            }
+            for pair in wire.path.windows(2) {
+                let dx = (pair[0].x - pair[1].x).abs();
+                let dy = (pair[0].y - pair[1].y).abs();
+                assert!(
+                    (dx - 10.0).abs() < 1e-9 && dy < 1e-9 || (dy - 10.0).abs() < 1e-9 && dx < 1e-9,
+                    "segments advance one grid step at a time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn congested_channels_use_space_expansion() {
+        // A deliberately narrow initial channel (2 tracks) forces expansions
+        // on any benchmark with more than a couple of nets per channel.
+        let (design, library) = placed(Benchmark::Apc32);
+        let config = RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 64 };
+        let routing = Router::with_config(library, config).route(&design);
+        assert!(routing.stats.space_expansions > 0, "narrow channels must expand");
+        assert_eq!(routing.stats.failed_nets, 0);
+    }
+
+    #[test]
+    fn expansion_limit_reports_failures_instead_of_hanging() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let config = RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 0 };
+        let routing = Router::with_config(library, config).route(&design);
+        // With no expansions allowed some channel is very likely to fail;
+        // the router must report it rather than loop forever.
+        assert_eq!(routing.stats.nets_routed + routing.stats.failed_nets, design.net_count());
+    }
+
+    #[test]
+    fn via_counts_match_turns() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let routing = Router::new(library).route(&design);
+        for wire in routing.wires.iter().take(100) {
+            // A two-pin channel wire needs at most a handful of turns.
+            assert!(wire.via_count <= wire.path.len());
+        }
+        assert!(routing.stats.total_vias > 0);
+    }
+
+    #[test]
+    fn channel_reports_cover_all_driver_rows_with_nets() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let routing = Router::new(library).route(&design);
+        let rows_with_nets: std::collections::BTreeSet<usize> =
+            design.nets.iter().map(|n| design.cells[n.driver].row).collect();
+        let reported: std::collections::BTreeSet<usize> =
+            routing.channels.iter().map(|c| c.row).collect();
+        assert_eq!(rows_with_nets, reported);
+    }
+}

@@ -1,0 +1,203 @@
+//! Path-balancing buffer insertion (§III-B.2 of the paper).
+//!
+//! AQFP's gate-level pipelining requires every input of a gate to arrive with
+//! the same delay (number of clock phases) from the primary inputs. After
+//! splitter insertion the logic structure is fixed, so buffers can be
+//! inserted edge by edge in any order without changing the total number of
+//! clock phases or the critical path.
+
+use aqfp_cells::CellKind;
+use aqfp_netlist::{traverse, GateId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a path-balancing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// Buffers inserted on internal edges.
+    pub buffers_inserted: usize,
+    /// Buffers inserted to align primary outputs to the final phase.
+    pub output_buffers: usize,
+    /// Final circuit depth in clock phases.
+    pub depth: usize,
+}
+
+/// The result of path balancing: the buffered netlist plus the clock-phase
+/// (row) assignment of every gate, indexed by [`GateId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalancedNetlist {
+    /// The buffered, fan-out-legal netlist.
+    pub netlist: Netlist,
+    /// Clock phase (logic level) of every gate. Primary inputs are phase 0;
+    /// primary outputs share the phase one past the deepest logic cell.
+    pub levels: Vec<usize>,
+    /// Insertion statistics.
+    pub report: BalanceReport,
+}
+
+impl BalancedNetlist {
+    /// The circuit depth in clock phases (the `#Delay` column of Table II).
+    pub fn depth(&self) -> usize {
+        self.report.depth
+    }
+
+    /// Whether every gate's fan-ins sit exactly one phase above it — the
+    /// AQFP path-balancing invariant.
+    pub fn is_path_balanced(&self) -> bool {
+        self.netlist.iter().all(|(id, gate)| {
+            gate.fanin.iter().all(|f| self.levels[f.index()] + 1 == self.levels[id.index()])
+        })
+    }
+}
+
+/// Inserts path-balancing buffers and assigns a clock phase to every gate.
+///
+/// The input netlist must already satisfy the fan-out rule (buffers are
+/// single-fan-out cells, so balancing never creates new fan-out violations).
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic (callers validate first).
+pub fn balance(netlist: &Netlist) -> BalancedNetlist {
+    let mut work = netlist.clone();
+    let mut levels = traverse::logic_levels(&work).expect("netlist must be acyclic");
+    let mut report = BalanceReport::default();
+
+    // Align every primary output to the same final phase so the whole design
+    // retires in one wave, as the AQFP deep pipeline requires.
+    let max_po_level =
+        work.primary_outputs().iter().map(|id| levels[id.index()]).max().unwrap_or(0);
+    for id in work.ids() {
+        if work.gate(id).is_primary_output() {
+            levels[id.index()] = max_po_level;
+        }
+    }
+
+    // Insert buffers on every edge whose endpoints are more than one phase
+    // apart. New gates are appended, so iterate over a snapshot of the edges.
+    let edges: Vec<(GateId, usize, GateId)> = work
+        .iter()
+        .flat_map(|(id, gate)| {
+            gate.fanin.iter().enumerate().map(move |(pin, &driver)| (id, pin, driver)).collect::<Vec<_>>()
+        })
+        .collect();
+
+    for (sink, pin, driver) in edges {
+        let sink_level = levels[sink.index()];
+        let driver_level = levels[driver.index()];
+        debug_assert!(sink_level > driver_level, "levels follow topological order");
+        let missing = sink_level - driver_level - 1;
+        if missing == 0 {
+            continue;
+        }
+        let is_po = work.gate(sink).is_primary_output();
+        let mut previous = driver;
+        for step in 0..missing {
+            let buffer = work.add_gate(
+                CellKind::Buffer,
+                format!("bal_{}_{}_{}", sink.index(), pin, step),
+                vec![previous],
+            );
+            levels.push(driver_level + step + 1);
+            previous = buffer;
+            if is_po {
+                report.output_buffers += 1;
+            } else {
+                report.buffers_inserted += 1;
+            }
+        }
+        work.gate_mut(sink).fanin[pin] = previous;
+    }
+
+    report.depth = work
+        .iter()
+        .filter(|(_, g)| !g.kind.is_terminal())
+        .map(|(id, _)| levels[id.index()])
+        .max()
+        .unwrap_or(0);
+
+    BalancedNetlist { netlist: work, levels, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fanout::{insert_splitters, respects_fanout_limit};
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+    use aqfp_netlist::simulate;
+
+    #[test]
+    fn unbalanced_join_gets_buffers() {
+        // a feeds the join directly (level 1) while b goes through two
+        // buffers (level 3): the short path needs two balancing buffers.
+        let mut n = Netlist::new("skew");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let b1 = n.add_gate(CellKind::Buffer, "b1", vec![b]);
+        let b2 = n.add_gate(CellKind::Buffer, "b2", vec![b1]);
+        let join = n.add_gate(CellKind::And, "join", vec![a, b2]);
+        n.add_output("y", join);
+
+        let balanced = balance(&n);
+        balanced.netlist.validate().expect("valid");
+        assert!(balanced.is_path_balanced());
+        assert_eq!(balanced.report.buffers_inserted, 2);
+        assert!(simulate::equivalent(&n, &balanced.netlist).unwrap());
+    }
+
+    #[test]
+    fn already_balanced_netlist_is_untouched() {
+        let mut n = Netlist::new("flat");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(CellKind::And, "g", vec![a, b]);
+        n.add_output("y", g);
+        let balanced = balance(&n);
+        assert_eq!(balanced.report.buffers_inserted, 0);
+        assert_eq!(balanced.netlist.gate_count(), n.gate_count());
+        assert!(balanced.is_path_balanced());
+    }
+
+    #[test]
+    fn primary_outputs_are_aligned() {
+        let mut n = Netlist::new("po_skew");
+        let a = n.add_input("a");
+        let shallow = n.add_gate(CellKind::Buffer, "shallow", vec![a]);
+        let d1 = n.add_gate(CellKind::Inverter, "d1", vec![a]);
+        let d2 = n.add_gate(CellKind::Inverter, "d2", vec![d1]);
+        let d3 = n.add_gate(CellKind::Inverter, "d3", vec![d2]);
+        n.add_output("y_short", shallow);
+        n.add_output("y_long", d3);
+
+        let balanced = balance(&n);
+        assert!(balanced.is_path_balanced());
+        assert!(balanced.report.output_buffers >= 2, "short output path must be padded");
+        let po_levels: Vec<usize> =
+            balanced.netlist.primary_outputs().iter().map(|id| balanced.levels[id.index()]).collect();
+        assert!(po_levels.windows(2).all(|w| w[0] == w[1]), "all POs in the same phase");
+    }
+
+    #[test]
+    fn balancing_benchmarks_preserves_function_and_fanout() {
+        for b in [Benchmark::Adder8, Benchmark::Apc32] {
+            let raw = benchmark_circuit(b);
+            let (split, _) = insert_splitters(&raw, 4);
+            let balanced = balance(&split);
+            balanced.netlist.validate().expect("valid");
+            assert!(balanced.is_path_balanced(), "{b} must be path balanced");
+            assert!(respects_fanout_limit(&balanced.netlist), "{b} fan-out rule must survive");
+            assert!(simulate::equivalent_sampled(&raw, &balanced.netlist, 64, 3).unwrap());
+            assert!(balanced.depth() > 0);
+        }
+    }
+
+    #[test]
+    fn depth_counts_logic_phases() {
+        let mut n = Netlist::new("depth");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(CellKind::Inverter, "g1", vec![a]);
+        let g2 = n.add_gate(CellKind::Inverter, "g2", vec![g1]);
+        n.add_output("y", g2);
+        let balanced = balance(&n);
+        assert_eq!(balanced.depth(), 2);
+    }
+}

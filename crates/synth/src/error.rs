@@ -1,0 +1,54 @@
+//! Synthesis error type.
+
+use aqfp_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the synthesis stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The input netlist failed structural validation.
+    InvalidInput(NetlistError),
+    /// An internal rewrite produced an invalid netlist (a bug in the
+    /// synthesis stage; reported rather than panicking so callers can save
+    /// the offending input).
+    InternalRewrite(NetlistError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidInput(e) => write!(f, "input netlist is invalid: {e}"),
+            SynthesisError::InternalRewrite(e) => {
+                write!(f, "synthesis rewrite produced an invalid netlist: {e}")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::InvalidInput(e) | SynthesisError::InternalRewrite(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for SynthesisError {
+    fn from(value: NetlistError) -> Self {
+        SynthesisError::InvalidInput(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::GateId;
+
+    #[test]
+    fn display_includes_cause() {
+        let err = SynthesisError::InvalidInput(NetlistError::Cycle { gate: GateId(3) });
+        assert!(err.to_string().contains("cycle"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

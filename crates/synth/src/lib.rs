@@ -1,0 +1,39 @@
+//! Majority-based logic synthesis for AQFP circuits.
+//!
+//! This crate implements the logic-synthesis stage of SuperFlow (§III-B of
+//! the paper): starting from an AOI (and/or/inverter) gate-level netlist, it
+//!
+//! 1. converts feasible three-input cones to majority-based logic using a
+//!    table-based (Karnaugh-map) matching method ([`maj`]),
+//! 2. inserts splitter cells so every gate drives at most one sink, as the
+//!    AQFP fan-out rule requires ([`fanout`]),
+//! 3. inserts path-balancing buffers so all inputs of every gate arrive in
+//!    the same clock phase ([`balance`]),
+//!
+//! and reports the statistics Table II of the paper lists (#JJs, #Nets,
+//! #Delay).
+//!
+//! # Examples
+//!
+//! ```
+//! use aqfp_cells::CellLibrary;
+//! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+//! use aqfp_synth::Synthesizer;
+//!
+//! let aoi = benchmark_circuit(Benchmark::Adder8);
+//! let synth = Synthesizer::new(CellLibrary::mit_ll());
+//! let result = synth.run(&aoi)?;
+//! assert!(result.is_path_balanced());
+//! assert!(result.respects_fanout_limit());
+//! # Ok::<(), aqfp_synth::SynthesisError>(())
+//! ```
+
+pub mod balance;
+pub mod error;
+pub mod fanout;
+pub mod maj;
+pub mod synthesizer;
+pub mod truth;
+
+pub use error::SynthesisError;
+pub use synthesizer::{SynthesisOptions, SynthesizedNetlist, Synthesizer};

@@ -1,0 +1,143 @@
+//! The phase-dependent timing cost of Eq. (2) in the paper.
+//!
+//! The four-phase AC excitation zigzags across the rows: in some phases the
+//! clock sweeps left-to-right, in others right-to-left, and in the remaining
+//! phases the relevant distance is measured from the layer boundary. A
+//! connection whose sink lies "downstream" of the clock sweep enjoys extra
+//! margin; one whose sink lies upstream loses margin. Eq. (2) captures this
+//! with a per-phase signed horizontal distance raised to the power α.
+
+/// Signed horizontal distance of a connection under the zigzag clocking
+/// scheme (the inner term of Eq. 2, before the exponent).
+///
+/// * `phase % 4 == 0` — clock sweeps with increasing x: distance is
+///   `x_end − x_start`;
+/// * `phase % 4 == 1` — the return path charges from the row edge:
+///   `x_end + x_start`;
+/// * `phase % 4 == 2` — clock sweeps with decreasing x: `x_start − x_end`;
+/// * `phase % 4 == 3` — return path from the far edge: `2·Ŵ − x_end − x_start`,
+///   where `Ŵ` is the layer (row) width.
+pub fn signed_phase_distance(phase: usize, x_start: f64, x_end: f64, layer_width: f64) -> f64 {
+    match phase % 4 {
+        0 => x_end - x_start,
+        1 => x_end + x_start,
+        2 => x_start - x_end,
+        _ => 2.0 * layer_width - x_end - x_start,
+    }
+}
+
+/// The timing cost `T(e_i)` of Eq. (2): the signed phase distance raised to
+/// the exponent `alpha` (the paper uses α = 2), preserving the sign so that
+/// favourable placements (negative distance) reduce the cost.
+///
+/// With α = 2 the cost is `d·|d|`, i.e. a signed quadratic: smooth,
+/// monotonic in the distance, and strongly penalizing long upstream hops —
+/// which is what the analytical placer needs for its gradient.
+pub fn phase_timing_cost(
+    phase: usize,
+    x_start: f64,
+    x_end: f64,
+    layer_width: f64,
+    alpha: f64,
+) -> f64 {
+    let d = signed_phase_distance(phase, x_start, x_end, layer_width);
+    d.signum() * d.abs().powf(alpha)
+}
+
+/// Derivative of [`phase_timing_cost`] with respect to `x_start`, used by the
+/// analytical global placer.
+pub fn phase_timing_cost_grad_start(
+    phase: usize,
+    x_start: f64,
+    x_end: f64,
+    layer_width: f64,
+    alpha: f64,
+) -> f64 {
+    let d = signed_phase_distance(phase, x_start, x_end, layer_width);
+    let dd_dstart = match phase % 4 {
+        0 => -1.0,
+        1 => 1.0,
+        2 => 1.0,
+        _ => -1.0,
+    };
+    alpha * d.abs().powf(alpha - 1.0) * dd_dstart
+}
+
+/// Derivative of [`phase_timing_cost`] with respect to `x_end`.
+pub fn phase_timing_cost_grad_end(
+    phase: usize,
+    x_start: f64,
+    x_end: f64,
+    layer_width: f64,
+    alpha: f64,
+) -> f64 {
+    let d = signed_phase_distance(phase, x_start, x_end, layer_width);
+    let dd_dend = match phase % 4 {
+        0 => 1.0,
+        1 => 1.0,
+        2 => -1.0,
+        _ => -1.0,
+    };
+    alpha * d.abs().powf(alpha - 1.0) * dd_dend
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_distances_follow_the_zigzag() {
+        let w = 1000.0;
+        assert_eq!(signed_phase_distance(0, 100.0, 300.0, w), 200.0);
+        assert_eq!(signed_phase_distance(1, 100.0, 300.0, w), 400.0);
+        assert_eq!(signed_phase_distance(2, 100.0, 300.0, w), -200.0);
+        assert_eq!(signed_phase_distance(3, 100.0, 300.0, w), 2.0 * w - 400.0);
+        // The pattern repeats every four phases.
+        assert_eq!(
+            signed_phase_distance(4, 10.0, 20.0, w),
+            signed_phase_distance(0, 10.0, 20.0, w)
+        );
+    }
+
+    #[test]
+    fn cost_is_signed_quadratic_for_alpha_two() {
+        let cost = phase_timing_cost(0, 0.0, 30.0, 1000.0, 2.0);
+        assert!((cost - 900.0).abs() < 1e-9);
+        let cost = phase_timing_cost(2, 0.0, 30.0, 1000.0, 2.0);
+        assert!((cost + 900.0).abs() < 1e-9, "upstream hop in phase 2 is favourable");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (w, alpha) = (800.0, 2.0);
+        let eps = 1e-4;
+        for phase in 0..4 {
+            for (xs, xe) in [(100.0, 400.0), (350.0, 20.0), (0.0, 0.0)] {
+                let g_start = phase_timing_cost_grad_start(phase, xs, xe, w, alpha);
+                let num_start = (phase_timing_cost(phase, xs + eps, xe, w, alpha)
+                    - phase_timing_cost(phase, xs - eps, xe, w, alpha))
+                    / (2.0 * eps);
+                assert!(
+                    (g_start - num_start).abs() < 1e-2,
+                    "phase {phase} start grad {g_start} vs {num_start}"
+                );
+                let g_end = phase_timing_cost_grad_end(phase, xs, xe, w, alpha);
+                let num_end = (phase_timing_cost(phase, xs, xe + eps, w, alpha)
+                    - phase_timing_cost(phase, xs, xe - eps, w, alpha))
+                    / (2.0 * eps);
+                assert!(
+                    (g_end - num_end).abs() < 1e-2,
+                    "phase {phase} end grad {g_end} vs {num_end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moving_sink_downstream_reduces_phase0_cost() {
+        let w = 1000.0;
+        let near = phase_timing_cost(0, 500.0, 520.0, w, 2.0);
+        let far = phase_timing_cost(0, 500.0, 900.0, w, 2.0);
+        assert!(near < far);
+    }
+}

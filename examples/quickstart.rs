@@ -1,0 +1,58 @@
+//! Quickstart: run the complete SuperFlow RTL-to-GDS pipeline on a small
+//! hand-written structural-Verilog module and write the resulting layout.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use superflow_suite::prelude::*;
+
+const FULL_ADDER: &str = r#"
+    // A one-bit full adder: the classic AQFP showcase, because the carry
+    // function maps onto a single majority gate.
+    module full_adder(a, b, cin, sum, cout);
+      input a, b, cin;
+      output sum, cout;
+      wire ab, s1, t1, t2, t3, u1;
+      xor g1(ab, a, b);
+      xor g2(sum, ab, cin);
+      and g3(t1, a, b);
+      and g4(t2, b, cin);
+      and g5(t3, cin, a);
+      or  g6(u1, t1, t2);
+      or  g7(cout, u1, t3);
+    endmodule
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure the flow: MIT-LL process, SuperFlow placer, default knobs.
+    let flow = Flow::with_config(FlowConfig::paper_default());
+
+    // 2. Run RTL -> GDS in one call.
+    let report = flow.run_verilog(FULL_ADDER)?;
+
+    // 3. Inspect the per-stage results.
+    println!("design          : {}", report.design_name);
+    println!("-- synthesis (Table II columns) --");
+    println!("  JJs           : {}", report.synthesis_stats.jj_count);
+    println!("  nets          : {}", report.synthesis_stats.net_count);
+    println!("  delay (phases): {}", report.synthesis_stats.delay);
+    println!("  buffers       : {}", report.synthesis_stats.buffer_count);
+    println!("  splitters     : {}", report.synthesis_stats.splitter_count);
+    println!("-- placement (Table III columns) --");
+    println!("  HPWL          : {:.0} um", report.placement.hpwl_um);
+    println!("  buffer lines  : {}", report.placement.buffer_lines);
+    println!("  WNS           : {} ps", report.placement.wns_display());
+    println!("-- routing (Table IV columns) --");
+    println!("  routed nets   : {}", report.routing.stats.nets_routed);
+    println!("  routed length : {:.0} um", report.routing.stats.total_wirelength_um);
+    println!("  vias          : {}", report.routing.stats.total_vias);
+    println!("-- signoff --");
+    println!("  DRC           : {}", if report.drc.is_clean() { "clean" } else { "violations remain" });
+
+    // 4. Write the GDSII layout.
+    let gds = report.layout.to_gds_bytes();
+    std::fs::write("full_adder.gds", &gds)?;
+    println!("  GDS           : full_adder.gds ({} bytes)", gds.len());
+    Ok(())
+}

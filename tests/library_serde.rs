@@ -1,0 +1,45 @@
+//! Serialization round-trips for the technology data structures.
+//!
+//! Design teams exchange library and rule data as JSON-like documents; the
+//! serde implementations must round-trip without loss so a library tweaked
+//! by an external tool can be fed back into the flow.
+
+use aqfp_cells::{CellKind, CellLibrary, EnergyModel, FourPhaseClock, ProcessRules};
+use aqfp_timing::TimingConfig;
+
+#[test]
+fn cell_library_round_trips_through_json() {
+    let library = CellLibrary::mit_ll();
+    let json = serde_json::to_string(&library).expect("serialize");
+    let back: CellLibrary = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(library, back);
+    assert_eq!(back.cell(CellKind::Majority3).jj_count, 6);
+}
+
+#[test]
+fn process_rules_round_trip_and_stay_valid() {
+    for rules in [ProcessRules::mit_ll(), ProcessRules::stp2()] {
+        let json = serde_json::to_string(&rules).expect("serialize");
+        let back: ProcessRules = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(rules, back);
+        back.validate().expect("still valid");
+    }
+}
+
+#[test]
+fn timing_and_energy_configs_round_trip() {
+    let timing = TimingConfig::paper_default();
+    let back: TimingConfig =
+        serde_json::from_str(&serde_json::to_string(&timing).expect("serialize")).expect("deserialize");
+    assert_eq!(timing, back);
+
+    let energy = EnergyModel::aqfp_5ghz();
+    let back: EnergyModel =
+        serde_json::from_str(&serde_json::to_string(&energy).expect("serialize")).expect("deserialize");
+    assert_eq!(energy, back);
+
+    let clock = FourPhaseClock::new(6.5);
+    let back: FourPhaseClock =
+        serde_json::from_str(&serde_json::to_string(&clock).expect("serialize")).expect("deserialize");
+    assert_eq!(clock, back);
+}

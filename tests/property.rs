@@ -1,0 +1,117 @@
+//! Property-based tests over the core data structures and flow invariants.
+//!
+//! These use random AOI netlists (generated through the same
+//! `RandomDagConfig` machinery as the synthetic ISCAS benchmarks) to check
+//! that the synthesis and placement stages uphold their invariants for
+//! arbitrary — not just benchmark — circuits.
+
+use proptest::prelude::*;
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{random_dag, RandomDagConfig};
+use aqfp_netlist::simulate;
+use aqfp_place::design::PlacedDesign;
+use aqfp_place::global::{global_place, GlobalPlacementConfig};
+use aqfp_place::legalize::legalize;
+use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
+use aqfp_synth::{SynthesisOptions, Synthesizer};
+
+/// A strategy over small random netlist configurations.
+fn dag_config() -> impl Strategy<Value = RandomDagConfig> {
+    (2usize..10, 1usize..6, 5usize..80, 2usize..10, any::<u64>()).prop_map(
+        |(inputs, outputs, gates, depth, seed)| RandomDagConfig {
+            name: format!("prop_{seed}"),
+            inputs,
+            outputs,
+            gates,
+            depth,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Synthesis output is always fan-out legal, path balanced and
+    /// functionally equivalent to its input.
+    #[test]
+    fn synthesis_invariants_hold_for_random_netlists(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let result = Synthesizer::new(library).run(&netlist).expect("synthesis succeeds");
+
+        prop_assert!(result.respects_fanout_limit());
+        prop_assert!(result.is_path_balanced());
+        prop_assert!(result.netlist.validate().is_ok());
+        prop_assert!(
+            simulate::equivalent_sampled(&netlist, &result.netlist, 32, config.seed).unwrap(),
+            "synthesis must preserve the circuit function"
+        );
+    }
+
+    /// Majority conversion never increases the JJ count.
+    #[test]
+    fn majority_conversion_never_increases_jj_cost(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+
+        let with = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let without = Synthesizer::with_options(
+            library,
+            SynthesisOptions { majority_conversion: false, ..Default::default() },
+        )
+        .run(&netlist)
+        .expect("ok");
+
+        prop_assert!(
+            with.maj_report.jj_after <= with.maj_report.jj_before,
+            "conversion must not add JJs"
+        );
+        prop_assert!(
+            with.maj_report.jj_after <= without.maj_report.jj_after,
+            "conversion must not be worse than skipping it"
+        );
+    }
+
+    /// Placement always produces a legal, grid-aligned arrangement whose
+    /// rows match the synthesized clock phases.
+    #[test]
+    fn placement_pipeline_is_always_legal(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        let gp = GlobalPlacementConfig { iterations: 60, ..Default::default() };
+        global_place(&mut design, &gp);
+        legalize(&mut design);
+        detailed_place(&mut design, &DetailedPlacementConfig { passes: 1, ..Default::default() });
+
+        prop_assert_eq!(design.overlap_count(), 0);
+        prop_assert_eq!(design.spacing_violations(), 0);
+        for cell in &design.cells {
+            let gate = cell.gate.expect("no buffer rows inserted in this test");
+            prop_assert_eq!(cell.row, synthesized.levels[gate.index()]);
+            let grid = design.rules.grid;
+            let remainder = (cell.x / grid).fract().abs();
+            prop_assert!(remainder < 1e-6 || (1.0 - remainder) < 1e-6, "off-grid cell");
+        }
+    }
+
+    /// Every net of a path-balanced design spans exactly one clock phase.
+    #[test]
+    fn placed_nets_always_span_adjacent_phases(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let design = PlacedDesign::from_synthesized(&synthesized, &library);
+        for net in &design.nets {
+            prop_assert_eq!(design.cells[net.sink].row, design.cells[net.driver].row + 1);
+        }
+    }
+}
