@@ -14,12 +14,13 @@ use aqfp_place::design::PlacedDesign;
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
 use aqfp_place::global::{global_place, GlobalPlacementConfig};
 use aqfp_place::legalize::legalize;
-use aqfp_timing::{TimingAnalyzer, TimingConfig};
 use aqfp_synth::Synthesizer;
+use aqfp_timing::{TimingAnalyzer, TimingConfig};
 
 fn legalized_design(circuit: Benchmark, library: &CellLibrary) -> PlacedDesign {
-    let synthesized =
-        Synthesizer::new(library.clone()).run(&benchmark_circuit(circuit)).expect("synthesis succeeds");
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(circuit))
+        .expect("synthesis succeeds");
     let mut design = PlacedDesign::from_synthesized(&synthesized, library);
     global_place(&mut design, &GlobalPlacementConfig::default());
     legalize(&mut design);
@@ -34,7 +35,8 @@ fn bench_mixed_cell_ablation(c: &mut Criterion) {
         let base = legalized_design(circuit, &library);
         for (label, mixed) in [("mixed-size", true), ("same-size-only", false)] {
             let mut design = base.clone();
-            let config = DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
+            let config =
+                DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
             let report = detailed_place(&mut design, &config);
             let timing = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
             println!(
@@ -53,7 +55,8 @@ fn bench_mixed_cell_ablation(c: &mut Criterion) {
     let base = legalized_design(Benchmark::Apc32, &library);
     for (label, mixed) in [("mixed", true), ("same_size", false)] {
         group.bench_with_input(BenchmarkId::new("detailed_place", label), &base, |b, base| {
-            let config = DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
+            let config =
+                DetailedPlacementConfig { allow_mixed_size_swaps: mixed, ..Default::default() };
             b.iter(|| {
                 let mut design = base.clone();
                 detailed_place(&mut design, &config)

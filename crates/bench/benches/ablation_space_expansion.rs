@@ -23,8 +23,14 @@ fn bench_space_expansion(c: &mut Criterion) {
 
     // Narrow channels make the effect visible on a small circuit.
     let configs = [
-        ("no-expansion", RouterConfig { initial_tracks: 2, max_expansions: 0, ..Default::default() }),
-        ("with-expansion", RouterConfig { initial_tracks: 2, max_expansions: 64, ..Default::default() }),
+        (
+            "no-expansion",
+            RouterConfig { initial_tracks: 2, max_expansions: 0, ..Default::default() },
+        ),
+        (
+            "with-expansion",
+            RouterConfig { initial_tracks: 2, max_expansions: 64, ..Default::default() },
+        ),
     ];
     for (label, config) in configs {
         let router = Router::with_config(library.clone(), config);

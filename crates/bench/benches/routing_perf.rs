@@ -1,0 +1,160 @@
+//! Perf-trajectory benches for the routing and global-placement hot paths,
+//! introduced together with the zero-allocation routing core:
+//!
+//! * `route_channel` — full serial channel routing of `apc32` on a SuperFlow
+//!   placement (the per-channel A*/rip-up/expansion core);
+//! * `route_parallel_scaling` — the same routing at 1/2/4/8 worker threads.
+//!   Results are asserted byte-identical across thread counts; on a
+//!   multi-core host the higher thread counts should be measurably faster
+//!   (on a single-core host they tie);
+//! * `global_place_iteration` — 100 analytical global-placement iterations
+//!   on the `apc32` initial design (gradient/sort-index buffer reuse path).
+//!
+//! After measuring, the run writes `BENCH_routing.json` at the workspace
+//! root so future PRs can track the trajectory against this baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::Serialize;
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::design::PlacedDesign;
+use aqfp_place::global::{global_place, GlobalPlacementConfig};
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_route::{Router, RouterConfig};
+use aqfp_synth::Synthesizer;
+
+/// Thread counts exercised by `route_parallel_scaling`.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn placed_apc32() -> (PlacedDesign, CellLibrary) {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("benchmark circuits synthesize");
+    let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+    (placed.design, library)
+}
+
+fn bench_route_channel(c: &mut Criterion) {
+    let (design, library) = placed_apc32();
+    let router =
+        Router::with_config(library, RouterConfig { threads: 1, ..RouterConfig::default() });
+    let mut group = c.benchmark_group("route_channel");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(Benchmark::Apc32), &design, |b, design| {
+        b.iter(|| router.route(design));
+    });
+    group.finish();
+}
+
+fn bench_route_parallel_scaling(c: &mut Criterion) {
+    let (design, library) = placed_apc32();
+
+    // Guard the bench's meaning: every thread count must produce the same
+    // routed result, otherwise the timings compare different work.
+    let reference = Router::with_config(
+        library.clone(),
+        RouterConfig { threads: 1, ..RouterConfig::default() },
+    )
+    .route(&design);
+    for threads in SCALING_THREADS {
+        let routed = Router::with_config(
+            library.clone(),
+            RouterConfig { threads, ..RouterConfig::default() },
+        )
+        .route(&design);
+        assert_eq!(reference, routed, "thread count {threads} changed the routed result");
+    }
+
+    let mut group = c.benchmark_group("route_parallel_scaling");
+    group.sample_size(10);
+    for threads in SCALING_THREADS {
+        let router = Router::with_config(
+            library.clone(),
+            RouterConfig { threads, ..RouterConfig::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &design, |b, design| {
+            b.iter(|| router.route(design));
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_place_iteration(c: &mut Criterion) {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("benchmark circuits synthesize");
+    let base = PlacedDesign::from_synthesized(&synthesized, &library);
+    let config = GlobalPlacementConfig { iterations: 100, ..GlobalPlacementConfig::default() };
+
+    let mut group = c.benchmark_group("global_place_iteration");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(Benchmark::Apc32), &base, |b, base| {
+        b.iter(|| {
+            let mut design = base.clone();
+            global_place(&mut design, &config)
+        });
+    });
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct BaselineEntry {
+    id: String,
+    mean_ns: u64,
+    min_ns: u64,
+    samples: usize,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    circuit: String,
+    host_threads: usize,
+    results: Vec<BaselineEntry>,
+}
+
+/// Writes the measured baseline to `BENCH_routing.json` at the workspace
+/// root. Skipped in `--test` smoke mode (nothing is measured) and in
+/// filtered runs (a partial result set must not clobber the full baseline).
+fn emit_baseline(c: &mut Criterion) {
+    if c.filter().is_some() {
+        println!("skipping BENCH_routing.json update: name filter active");
+        return;
+    }
+    let results: Vec<BaselineEntry> = c
+        .summaries()
+        .iter()
+        .map(|summary| BaselineEntry {
+            id: summary.id.clone(),
+            mean_ns: summary.mean().as_nanos() as u64,
+            min_ns: summary.samples.iter().min().map_or(0, |d| d.as_nanos() as u64),
+            samples: summary.samples.len(),
+        })
+        .collect();
+    if results.is_empty() {
+        return;
+    }
+    let baseline = Baseline {
+        circuit: Benchmark::Apc32.to_string(),
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
+    if let Err(error) = std::fs::write(path, json + "\n") {
+        eprintln!("warning: could not write BENCH_routing.json: {error}");
+    } else {
+        println!("wrote baseline to BENCH_routing.json");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_route_channel,
+    bench_route_parallel_scaling,
+    bench_global_place_iteration,
+    emit_baseline
+);
+criterion_main!(benches);

@@ -27,9 +27,13 @@ fn bench_routing(c: &mut Criterion) {
     for circuit in circuits {
         let synthesized = synthesizer.run(&benchmark_circuit(circuit)).expect("synthesis succeeds");
         let placed = engine.place(&synthesized, PlacerKind::SuperFlow);
-        group.bench_with_input(BenchmarkId::from_parameter(circuit), &placed.design, |b, design| {
-            b.iter(|| router.route(design));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit),
+            &placed.design,
+            |b, design| {
+                b.iter(|| router.route(design));
+            },
+        );
     }
     group.finish();
 }

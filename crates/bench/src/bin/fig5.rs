@@ -23,7 +23,14 @@ fn main() {
     println!("  cells placed : {}", report.layout.cell_instances);
     println!("  wire paths   : {}", report.layout.wire_paths);
     println!("  chip size    : {:.0} x {:.0} um", report.layout.width_um, report.layout.height_um);
-    println!("  DRC          : {}", if report.drc.is_clean() { "clean".into() } else { format!("{} findings", report.drc.violations.len()) });
+    println!(
+        "  DRC          : {}",
+        if report.drc.is_clean() {
+            "clean".into()
+        } else {
+            format!("{} findings", report.drc.violations.len())
+        }
+    );
     println!("  GDS written  : {path} ({} bytes)", bytes.len());
     println!("\n{}", report.summary());
 }

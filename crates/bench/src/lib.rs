@@ -67,10 +67,7 @@ mod tests {
     fn table_formatting_aligns_columns() {
         let table = format_table(
             &["circuit", "value"],
-            &[
-                vec!["adder8".into(), "1".into()],
-                vec!["a-very-long-name".into(), "22".into()],
-            ],
+            &[vec!["adder8".into(), "1".into()], vec!["a-very-long-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -42,9 +42,8 @@ pub fn table2_rows(circuits: &[Benchmark]) -> Vec<Table2Row> {
 
 /// Formats measured rows next to the paper's reference values.
 pub fn format_table2(rows: &[Table2Row]) -> String {
-    let header = [
-        "Circuit", "#JJs", "#Nets", "#Delay", "paper #JJs", "paper #Nets", "paper #Delay",
-    ];
+    let header =
+        ["Circuit", "#JJs", "#Nets", "#Delay", "paper #JJs", "paper #Nets", "paper #Delay"];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {

@@ -153,8 +153,14 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
              GORDIAN/SuperFlow buffers: {:.3}   TAAS/SuperFlow buffers: {:.3}\n",
             geo_mean_ratio(rows, |r| (r.gordian.hpwl, r.superflow.hpwl)),
             geo_mean_ratio(rows, |r| (r.taas.hpwl, r.superflow.hpwl)),
-            geo_mean_ratio(rows, |r| (r.gordian.buffers.max(1) as f64, r.superflow.buffers.max(1) as f64)),
-            geo_mean_ratio(rows, |r| (r.taas.buffers.max(1) as f64, r.superflow.buffers.max(1) as f64)),
+            geo_mean_ratio(rows, |r| (
+                r.gordian.buffers.max(1) as f64,
+                r.superflow.buffers.max(1) as f64
+            )),
+            geo_mean_ratio(rows, |r| (
+                r.taas.buffers.max(1) as f64,
+                r.superflow.buffers.max(1) as f64
+            )),
         ));
     }
     out

@@ -265,8 +265,10 @@ mod tests {
     #[test]
     fn classification_predicates_are_disjoint() {
         for kind in CellKind::ALL {
-            let classes =
-                [kind.is_splitter(), kind.is_logic(), kind.is_terminal()].iter().filter(|b| **b).count();
+            let classes = [kind.is_splitter(), kind.is_logic(), kind.is_terminal()]
+                .iter()
+                .filter(|b| **b)
+                .count();
             assert!(classes <= 1, "{kind} belongs to more than one class");
         }
     }

@@ -188,12 +188,8 @@ pub enum Orientation {
 
 impl Orientation {
     /// All orientations, useful for exhaustive tests.
-    pub const ALL: [Orientation; 4] = [
-        Orientation::R0,
-        Orientation::R180,
-        Orientation::MirrorY,
-        Orientation::MirrorX,
-    ];
+    pub const ALL: [Orientation; 4] =
+        [Orientation::R0, Orientation::R180, Orientation::MirrorY, Orientation::MirrorX];
 }
 
 #[cfg(test)]

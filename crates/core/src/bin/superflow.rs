@@ -66,7 +66,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     other => return Err(format!("unknown process `{other}`")),
                 };
             }
-            "--output" => options.output = Some(iter.next().ok_or("--output needs a value")?.clone()),
+            "--output" => {
+                options.output = Some(iter.next().ok_or("--output needs a value")?.clone())
+            }
             "--svg" => options.svg = Some(iter.next().ok_or("--svg needs a value")?.clone()),
             "--fast" => options.fast = true,
             "--quiet" => options.quiet = true,
@@ -131,8 +133,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let gds_path =
-        options.output.clone().unwrap_or_else(|| format!("{}.gds", report.design_name));
+    let gds_path = options.output.clone().unwrap_or_else(|| format!("{}.gds", report.design_name));
     if let Err(e) = std::fs::write(&gds_path, report.layout.to_gds_bytes()) {
         eprintln!("error: cannot write `{gds_path}`: {e}");
         return ExitCode::FAILURE;
@@ -175,8 +176,17 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let options = parse_args(&args(&[
-            "--placer", "taas", "--process", "stp2", "--output", "out.gds", "--svg", "out.svg",
-            "--fast", "--quiet", "adder8",
+            "--placer",
+            "taas",
+            "--process",
+            "stp2",
+            "--output",
+            "out.gds",
+            "--svg",
+            "out.svg",
+            "--fast",
+            "--quiet",
+            "adder8",
         ]))
         .expect("parses");
         assert_eq!(options.placer, PlacerKind::Taas);

@@ -54,6 +54,21 @@ impl FlowConfig {
         self
     }
 
+    /// Returns the same configuration with an explicit worker-thread count
+    /// for the parallel flow stages (currently channel routing). `0` uses
+    /// every available core, `1` forces strictly serial execution; the flow
+    /// result is identical for every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.router.threads = threads;
+        self
+    }
+
+    /// The worker-thread count the parallel flow stages will use (`0` =
+    /// every available core).
+    pub fn threads(&self) -> usize {
+        self.router.threads
+    }
+
     /// Builds the cell library selected by [`FlowConfig::process`].
     pub fn library(&self) -> CellLibrary {
         match self.process {
@@ -92,6 +107,15 @@ mod tests {
     fn with_placer_switches_strategy() {
         let config = FlowConfig::default().with_placer(PlacerKind::Taas);
         assert_eq!(config.placer, PlacerKind::Taas);
+    }
+
+    #[test]
+    fn with_threads_reaches_the_router() {
+        let config = FlowConfig::default().with_threads(3);
+        assert_eq!(config.threads(), 3);
+        assert_eq!(config.router.threads, 3);
+        // Default is auto (0): use every available core.
+        assert_eq!(FlowConfig::default().threads(), 0);
     }
 
     #[test]

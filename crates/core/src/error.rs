@@ -62,10 +62,8 @@ mod tests {
 
     #[test]
     fn errors_display_their_stage() {
-        let parse: FlowError = FlowError::Parse(ParseNetlistError {
-            line: 3,
-            message: "bad token".to_owned(),
-        });
+        let parse: FlowError =
+            FlowError::Parse(ParseNetlistError { line: 3, message: "bad token".to_owned() });
         assert!(parse.to_string().contains("parse"));
         let invalid: FlowError = NetlistError::Cycle { gate: GateId(0) }.into();
         assert!(invalid.to_string().contains("invalid"));

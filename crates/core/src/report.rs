@@ -71,7 +71,11 @@ impl FlowReport {
             routed = self.routing.stats.nets_routed,
             wl = self.routing.stats.total_wirelength_um,
             vias = self.routing.stats.total_vias,
-            drc = if self.drc.is_clean() { "clean".to_owned() } else { format!("{} violations", self.drc.violations.len()) },
+            drc = if self.drc.is_clean() {
+                "clean".to_owned()
+            } else {
+                format!("{} violations", self.drc.violations.len())
+            },
             runtime = self.runtime_s,
         )
     }

@@ -144,7 +144,8 @@ impl DrcChecker {
             if row.is_empty() {
                 continue;
             }
-            let occupied: f64 = row.iter().map(|&i| design.cells[i].width * design.cells[i].height).sum();
+            let occupied: f64 =
+                row.iter().map(|&i| design.cells[i].width * design.cells[i].height).sum();
             let density = occupied / window_area;
             if density > self.rules.max_metal_density {
                 report.violations.push(DrcViolation {
@@ -213,7 +214,8 @@ mod tests {
         let library = CellLibrary::mit_ll();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
-        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let placed =
+            PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
         let routing = Router::new(library.clone()).route(&placed.design);
         (placed.design, routing, library)
     }

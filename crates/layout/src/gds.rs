@@ -391,7 +391,11 @@ mod tests {
                         Point::new(0.0, 30.0),
                     ],
                 })
-                .with(GdsElement::Text { layer: 63, position: Point::new(5.0, 5.0), text: "BUF".into() }),
+                .with(GdsElement::Text {
+                    layer: 63,
+                    position: Point::new(5.0, 5.0),
+                    text: "BUF".into(),
+                }),
         );
         library.add_structure(
             GdsStructure::new("TOP")
@@ -399,7 +403,11 @@ mod tests {
                 .with(GdsElement::Path {
                     layer: 10,
                     width: 2.0,
-                    points: vec![Point::new(0.0, 0.0), Point::new(0.0, 50.0), Point::new(30.0, 50.0)],
+                    points: vec![
+                        Point::new(0.0, 0.0),
+                        Point::new(0.0, 50.0),
+                        Point::new(30.0, 50.0),
+                    ],
                 }),
         );
         library
@@ -448,10 +456,7 @@ mod tests {
         for value in [1e-9, 1e-3, 1.0, 0.5, 123.456, 1e-6] {
             let encoded = gds_real(value);
             let decoded = gds_real_to_f64(&encoded);
-            assert!(
-                (decoded - value).abs() / value < 1e-9,
-                "{value} round-tripped to {decoded}"
-            );
+            assert!((decoded - value).abs() / value < 1e-9, "{value} round-tripped to {decoded}");
         }
         assert_eq!(gds_real(0.0), [0u8; 8]);
     }

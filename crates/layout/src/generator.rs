@@ -153,7 +153,8 @@ mod tests {
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");
-        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let placed =
+            PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
         let routing = Router::new(library.clone()).route(&placed.design);
         (placed.design, routing, library)
     }
@@ -167,8 +168,7 @@ mod tests {
         assert!(layout.width_um > 0.0 && layout.height_um > 0.0);
 
         let top = layout.gds.structure(&layout.top_name).expect("top exists");
-        let srefs =
-            top.elements.iter().filter(|e| matches!(e, GdsElement::Sref { .. })).count();
+        let srefs = top.elements.iter().filter(|e| matches!(e, GdsElement::Sref { .. })).count();
         assert_eq!(srefs, design.cell_count());
     }
 
@@ -208,7 +208,8 @@ mod tests {
         let layout = LayoutGenerator::new(library).generate(&design, &routing);
         // The design never uses, e.g., a NOR cell after majority conversion of
         // the adder; the library must not contain structures for unused kinds.
-        let used: BTreeSet<_> = design.cells.iter().map(|c| cells::structure_name(c.kind)).collect();
+        let used: BTreeSet<_> =
+            design.cells.iter().map(|c| cells::structure_name(c.kind)).collect();
         for structure in &layout.gds.structures {
             if structure.name == layout.top_name {
                 continue;

@@ -116,7 +116,8 @@ mod tests {
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");
-        let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let placed =
+            PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
         let routing = Router::new(library).route(&placed.design);
         (placed.design, routing)
     }

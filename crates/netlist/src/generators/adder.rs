@@ -104,8 +104,13 @@ mod tests {
     fn adder8_matches_integer_addition() {
         let n = kogge_stone_adder(8);
         n.validate().expect("valid");
-        let cases =
-            [(0u64, 0u64, false), (1, 1, false), (255, 1, false), (200, 100, true), (173, 91, false)];
+        let cases = [
+            (0u64, 0u64, false),
+            (1, 1, false),
+            (255, 1, false),
+            (200, 100, true),
+            (173, 91, false),
+        ];
         for (a, b, cin) in cases {
             let expected = a + b + cin as u64;
             assert_eq!(add_via_netlist(&n, 8, a, b, cin), expected, "{a}+{b}+{cin}");

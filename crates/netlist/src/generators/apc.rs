@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn uses_native_majority_carries() {
         let n = approximate_parallel_counter(16);
-        assert!(n.count_kind(CellKind::Majority3) > 0, "full-adder carries should be majority gates");
+        assert!(
+            n.count_kind(CellKind::Majority3) > 0,
+            "full-adder carries should be majority gates"
+        );
     }
 
     #[test]

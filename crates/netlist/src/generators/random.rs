@@ -100,11 +100,7 @@ pub fn random_dag(config: &RandomDagConfig) -> Netlist {
 /// previous layer (guaranteeing the layer's depth), the rest from any earlier
 /// layer.
 fn pick_driver(rng: &mut StdRng, layers: &[Vec<GateId>], layer_idx: usize, pin: usize) -> GateId {
-    let source_layer = if pin == 0 {
-        layer_idx - 1
-    } else {
-        rng.gen_range(0..layer_idx)
-    };
+    let source_layer = if pin == 0 { layer_idx - 1 } else { rng.gen_range(0..layer_idx) };
     // Fall back to the closest non-empty layer at or below `source_layer`.
     let layer = (0..=source_layer)
         .rev()
@@ -151,7 +147,7 @@ mod tests {
         assert_eq!(n.cell_count(), 100);
         let depth = traverse::depth(&n).unwrap();
         // Depth includes the PO terminal level; the logic itself spans ~10 layers.
-        assert!(depth >= 10 && depth <= 12, "depth {depth} should be close to requested 10");
+        assert!((10..=12).contains(&depth), "depth {depth} should be close to requested 10");
     }
 
     #[test]

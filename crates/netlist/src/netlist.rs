@@ -54,10 +54,9 @@ impl fmt::Display for NetlistError {
             NetlistError::DanglingFanin { gate, missing } => {
                 write!(f, "gate {gate} references missing driver {missing}")
             }
-            NetlistError::ArityMismatch { gate, kind, expected, found } => write!(
-                f,
-                "gate {gate} of kind {kind} expects {expected} fan-ins but has {found}"
-            ),
+            NetlistError::ArityMismatch { gate, kind, expected, found } => {
+                write!(f, "gate {gate} of kind {kind} expects {expected} fan-ins but has {found}")
+            }
             NetlistError::Cycle { gate } => {
                 write!(f, "combinational cycle detected through gate {gate}")
             }
@@ -100,7 +99,12 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist with the given design name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), gates: Vec::new(), primary_inputs: Vec::new(), primary_outputs: Vec::new() }
+        Self {
+            name: name.into(),
+            gates: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
     }
 
     /// The design name.
@@ -128,7 +132,12 @@ impl Netlist {
     }
 
     /// Adds a logic gate and returns its id. Fan-in order is pin order.
-    pub fn add_gate(&mut self, kind: CellKind, name: impl Into<String>, fanin: Vec<GateId>) -> GateId {
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        fanin: Vec<GateId>,
+    ) -> GateId {
         self.push(Gate::new(name, kind, fanin))
     }
 

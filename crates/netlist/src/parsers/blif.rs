@@ -38,8 +38,8 @@ pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
     let mut pending_cover: Vec<String> = Vec::new();
 
     let flush_names = |pending: &mut Option<(usize, Vec<String>)>,
-                           cover: &mut Vec<String>,
-                           gates: &mut Vec<(usize, CellKind, Vec<String>, String)>|
+                       cover: &mut Vec<String>,
+                       gates: &mut Vec<(usize, CellKind, Vec<String>, String)>|
      -> Result<(), ParseNetlistError> {
         if let Some((line, signals)) = pending.take() {
             let kind = names_kind(&signals, cover)
@@ -241,9 +241,9 @@ fn build(
         netlist.gate_mut(id).fanin = fanin;
     }
     for name in outputs {
-        let src = driver.get(name).ok_or_else(|| {
-            ParseNetlistError::new(0, format!("output `{name}` is never driven"))
-        })?;
+        let src = driver
+            .get(name)
+            .ok_or_else(|| ParseNetlistError::new(0, format!("output `{name}` is never driven")))?;
         netlist.add_output(format!("po_{name}"), *src);
     }
     Ok(netlist)
@@ -297,10 +297,7 @@ mod tests {
         let n = parse_blif(src).expect("parses");
         n.validate().expect("valid");
         // y = a&b, n = !a, k = a, one = 1
-        assert_eq!(
-            simulate::simulate(&n, &[true, false]).unwrap(),
-            vec![false, false, true, true]
-        );
+        assert_eq!(simulate::simulate(&n, &[true, false]).unwrap(), vec![false, false, true, true]);
     }
 
     #[test]

@@ -68,12 +68,12 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
         let (prim, rest) = stmt.split_once(char::is_whitespace).ok_or_else(|| {
             ParseNetlistError::new(*line, format!("unrecognised statement `{stmt}`"))
         })?;
-        let open = rest.find('(').ok_or_else(|| {
-            ParseNetlistError::new(*line, "expected `(` in gate instantiation")
-        })?;
-        let close = rest.rfind(')').ok_or_else(|| {
-            ParseNetlistError::new(*line, "expected `)` in gate instantiation")
-        })?;
+        let open = rest
+            .find('(')
+            .ok_or_else(|| ParseNetlistError::new(*line, "expected `(` in gate instantiation"))?;
+        let close = rest
+            .rfind(')')
+            .ok_or_else(|| ParseNetlistError::new(*line, "expected `)` in gate instantiation"))?;
         let inst_name = rest[..open].trim().to_owned();
         let ports: Vec<String> =
             rest[open + 1..close].split(',').map(|p| p.trim().to_owned()).collect();
@@ -161,12 +161,8 @@ fn build_netlist(
         driver.insert(name.clone(), id);
     }
 
-    let declared: std::collections::HashSet<&str> = inputs
-        .iter()
-        .chain(outputs.iter())
-        .chain(wires.iter())
-        .map(String::as_str)
-        .collect();
+    let declared: std::collections::HashSet<&str> =
+        inputs.iter().chain(outputs.iter()).chain(wires.iter()).map(String::as_str).collect();
 
     // First pass: create the gates so forward references resolve; we place
     // gates in instance order and patch fan-ins in a second pass.
@@ -217,9 +213,9 @@ fn build_netlist(
     }
 
     for name in outputs {
-        let src = driver.get(name).ok_or_else(|| {
-            ParseNetlistError::new(0, format!("output `{name}` is never driven"))
-        })?;
+        let src = driver
+            .get(name)
+            .ok_or_else(|| ParseNetlistError::new(0, format!("output `{name}` is never driven")))?;
         netlist.add_output(format!("po_{name}"), *src);
     }
 

@@ -84,9 +84,7 @@ pub fn eval_kind(kind: CellKind, inputs: &[bool]) -> bool {
         CellKind::Nand => !(inputs[0] && inputs[1]),
         CellKind::Nor => !(inputs[0] || inputs[1]),
         CellKind::Xor => inputs[0] ^ inputs[1],
-        CellKind::Majority3 => {
-            (inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8) >= 2
-        }
+        CellKind::Majority3 => (inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8) >= 2,
         CellKind::Input => false,
     }
 }

@@ -22,8 +22,7 @@ pub fn topological_order(netlist: &Netlist) -> Result<Vec<GateId>, NetlistError>
     }
 
     let fanouts = netlist.fanouts();
-    let mut queue: VecDeque<GateId> =
-        (0..n).filter(|&i| indegree[i] == 0).map(GateId).collect();
+    let mut queue: VecDeque<GateId> = (0..n).filter(|&i| indegree[i] == 0).map(GateId).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(id) = queue.pop_front() {
         order.push(id);

@@ -13,10 +13,8 @@ use crate::netlist::Netlist;
 
 /// Sanitizes an instance name into a Verilog/BLIF-safe identifier.
 fn identifier(name: &str) -> String {
-    let mut id: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut id: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         id.insert(0, 'n');
     }
@@ -74,8 +72,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
             continue;
         }
         let output = signal_name(netlist, id);
-        let operands: Vec<String> =
-            gate.fanin.iter().map(|&f| signal_name(netlist, f)).collect();
+        let operands: Vec<String> = gate.fanin.iter().map(|&f| signal_name(netlist, f)).collect();
         let primitive = match gate.kind {
             CellKind::And => "and",
             CellKind::Or => "or",
@@ -84,10 +81,9 @@ pub fn to_verilog(netlist: &Netlist) -> String {
             CellKind::Xor => "xor",
             CellKind::Inverter => "not",
             CellKind::Majority3 => "maj",
-            CellKind::Buffer
-            | CellKind::Splitter2
-            | CellKind::Splitter3
-            | CellKind::Splitter4 => "buf",
+            CellKind::Buffer | CellKind::Splitter2 | CellKind::Splitter3 | CellKind::Splitter4 => {
+                "buf"
+            }
             CellKind::Constant0 | CellKind::Constant1 | CellKind::Input | CellKind::Output => "",
         };
         if primitive.is_empty() {

@@ -33,13 +33,12 @@ pub fn gordian_place(design: &mut PlacedDesign, config: &GordianConfig) -> Legal
     }
 
     for _ in 0..config.sweeps {
-        for index in 0..design.cells.len() {
-            if neighbours[index].is_empty() {
+        for (index, adjacent) in neighbours.iter().enumerate() {
+            if adjacent.is_empty() {
                 continue;
             }
-            let sum: f64 =
-                neighbours[index].iter().map(|&n| design.cells[n].center_x()).sum();
-            let target_center = sum / neighbours[index].len() as f64;
+            let sum: f64 = adjacent.iter().map(|&n| design.cells[n].center_x()).sum();
+            let target_center = sum / adjacent.len() as f64;
             design.cells[index].x = (target_center - design.cells[index].width / 2.0).max(0.0);
         }
     }

@@ -43,8 +43,7 @@ pub fn required_buffer_lines(design: &PlacedDesign) -> usize {
         if design.net_length(net) <= design.rules.max_wirelength {
             continue;
         }
-        let dx =
-            (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
+        let dx = (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
         let gap = design.cells[net.driver].row;
         per_gap[gap] = per_gap[gap].max(lines_for_span(dx, design).max(1));
     }
@@ -68,8 +67,7 @@ pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> B
     let mut lines_per_gap: Vec<usize> = vec![0; design.rows.len()];
     for &net_index in &violating {
         let net = design.nets[net_index];
-        let dx =
-            (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
+        let dx = (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
         let gap = design.cells[net.driver].row;
         lines_per_gap[gap] = lines_per_gap[gap].max(lines_for_span(dx, design).max(1));
     }
@@ -240,11 +238,7 @@ mod tests {
         // Count nets leaving the row of the stretched driver.
         let net = design.nets[0];
         let row = design.cells[net.driver].row;
-        let crossing = design
-            .nets
-            .iter()
-            .filter(|n| design.cells[n.driver].row == row)
-            .count();
+        let crossing = design.nets.iter().filter(|n| design.cells[n.driver].row == row).count();
         design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
         let report = insert_buffer_rows(&mut design, &library);
         assert!(

@@ -123,7 +123,14 @@ impl PlacedDesign {
             }
         }
 
-        Self { name: netlist.name().to_owned(), cells, nets, rows, row_pitch: rules.row_pitch, rules }
+        Self {
+            name: netlist.name().to_owned(),
+            cells,
+            nets,
+            rows,
+            row_pitch: rules.row_pitch,
+            rules,
+        }
     }
 
     /// Number of cells.
@@ -270,16 +277,18 @@ mod tests {
 
     fn small_design() -> PlacedDesign {
         let library = CellLibrary::mit_ll();
-        let synthesized =
-            Synthesizer::new(library.clone()).run(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
         PlacedDesign::from_synthesized(&synthesized, &library)
     }
 
     #[test]
     fn construction_covers_every_gate_and_edge() {
         let library = CellLibrary::mit_ll();
-        let synthesized =
-            Synthesizer::new(library.clone()).run(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
         let design = PlacedDesign::from_synthesized(&synthesized, &library);
         assert_eq!(design.cell_count(), synthesized.netlist.gate_count());
         assert_eq!(design.net_count(), synthesized.netlist.connection_count());

@@ -100,16 +100,9 @@ pub fn detailed_place(
             // Slides inside the free space around each cell.
             for i in 0..order.len() {
                 let cell = order[i];
-                let left_limit = if i == 0 {
-                    0.0
-                } else {
-                    design.cells[order[i - 1]].right()
-                };
-                let right_limit = if i + 1 == order.len() {
-                    f64::INFINITY
-                } else {
-                    design.cells[order[i + 1]].x
-                };
+                let left_limit = if i == 0 { 0.0 } else { design.cells[order[i - 1]].right() };
+                let right_limit =
+                    if i + 1 == order.len() { f64::INFINITY } else { design.cells[order[i + 1]].x };
                 if try_slide(
                     design,
                     &analyzer,
@@ -378,8 +371,10 @@ mod tests {
     fn zero_passes_is_a_no_op() {
         let mut design = legal_design(Benchmark::Adder8);
         let xs: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
-        let report =
-            detailed_place(&mut design, &DetailedPlacementConfig { passes: 0, ..Default::default() });
+        let report = detailed_place(
+            &mut design,
+            &DetailedPlacementConfig { passes: 0, ..Default::default() },
+        );
         let xs_after: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
         assert_eq!(xs, xs_after);
         assert_eq!(report.swaps_accepted, 0);

@@ -20,7 +20,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use aqfp_timing::model::{phase_timing_cost, phase_timing_cost_grad_end, phase_timing_cost_grad_start};
+use aqfp_timing::model::{
+    phase_timing_cost, phase_timing_cost_grad_end, phase_timing_cost_grad_start,
+};
 
 use crate::design::PlacedDesign;
 
@@ -82,7 +84,10 @@ pub struct GlobalPlacementReport {
 ///
 /// Cell rows never change; only x coordinates move. The result typically
 /// contains overlaps — run legalization afterwards.
-pub fn global_place(design: &mut PlacedDesign, config: &GlobalPlacementConfig) -> GlobalPlacementReport {
+pub fn global_place(
+    design: &mut PlacedDesign,
+    config: &GlobalPlacementConfig,
+) -> GlobalPlacementReport {
     let hpwl_before = design.hpwl();
     let n = design.cells.len();
     if n == 0 || design.nets.is_empty() {
@@ -94,19 +99,29 @@ pub fn global_place(design: &mut PlacedDesign, config: &GlobalPlacementConfig) -
         };
     }
 
+    // The neighbour adjacency is shared by the warm start and (potentially)
+    // later analysis; build it exactly once per run.
+    let neighbours = build_adjacency(design);
+
     // Warm start: a few Gauss-Seidel "average of neighbours" sweeps give the
     // quadratic wirelength optimum as the starting point, so the gradient
     // refinement only has to trade wirelength against the timing and
     // max-wirelength terms instead of dragging cells across the whole row.
-    warm_start(design, 40);
+    warm_start(design, 40, &neighbours);
 
+    // Hot-loop buffers, allocated once for the whole run: the gradient is
+    // zeroed in place each iteration, and the per-row order index is
+    // re-sorted in place (cells barely move between iterations, so the
+    // adaptive sort runs near O(n) on the almost-sorted data).
+    let mut gradient = vec![0.0f64; n];
     let mut velocity = vec![0.0f64; n];
+    let mut sorted_rows: Vec<Vec<usize>> = design.rows.clone();
     let mut final_objective = 0.0;
     let layer_width = design.layer_width().max(1.0);
     let momentum = 0.7;
 
     for iteration in 0..config.iterations {
-        let mut gradient = vec![0.0f64; n];
+        gradient.fill(0.0);
         final_objective = accumulate_net_terms(design, config, layer_width, &mut gradient);
         // Ramp the spreading force: early iterations let cells cluster near
         // their wirelength optimum, late iterations push them apart so the
@@ -117,7 +132,8 @@ pub fn global_place(design: &mut PlacedDesign, config: &GlobalPlacementConfig) -
             spreading_weight: config.spreading_weight * (0.2 + 3.0 * progress),
             ..*config
         };
-        final_objective += accumulate_spreading(design, &spreading, &mut gradient);
+        final_objective +=
+            accumulate_spreading(design, &spreading, &mut sorted_rows, &mut gradient);
 
         // Momentum update with a learning rate that decays over the run so
         // late iterations refine rather than oscillate.
@@ -137,22 +153,27 @@ pub fn global_place(design: &mut PlacedDesign, config: &GlobalPlacementConfig) -
     }
 }
 
-/// Quadratic-wirelength warm start: every movable cell is repeatedly moved to
-/// the average position of the cells it connects to (the closed-form optimum
-/// of the squared-wirelength objective for two-pin nets).
-fn warm_start(design: &mut PlacedDesign, sweeps: usize) {
+/// Builds the cell-to-cell adjacency of the two-pin net list once per run.
+fn build_adjacency(design: &PlacedDesign) -> Vec<Vec<usize>> {
     let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); design.cells.len()];
     for net in &design.nets {
         neighbours[net.driver].push(net.sink);
         neighbours[net.sink].push(net.driver);
     }
+    neighbours
+}
+
+/// Quadratic-wirelength warm start: every movable cell is repeatedly moved to
+/// the average position of the cells it connects to (the closed-form optimum
+/// of the squared-wirelength objective for two-pin nets).
+fn warm_start(design: &mut PlacedDesign, sweeps: usize, neighbours: &[Vec<usize>]) {
     for _ in 0..sweeps {
-        for index in 0..design.cells.len() {
-            if neighbours[index].is_empty() {
+        for (index, adjacent) in neighbours.iter().enumerate() {
+            if adjacent.is_empty() {
                 continue;
             }
-            let sum: f64 = neighbours[index].iter().map(|&n| design.cells[n].center_x()).sum();
-            let target_center = sum / neighbours[index].len() as f64;
+            let sum: f64 = adjacent.iter().map(|&n| design.cells[n].center_x()).sum();
+            let target_center = sum / adjacent.len() as f64;
             design.cells[index].x = (target_center - design.cells[index].width / 2.0).max(0.0);
         }
     }
@@ -185,7 +206,13 @@ fn accumulate_net_terms(
             // overwhelming it on wide designs (the quadratic grows as Ŵ²).
             let scale = config.timing_weight / layer_width;
             objective += scale
-                * phase_timing_cost(phase, driver.center_x(), sink.center_x(), layer_width, config.alpha);
+                * phase_timing_cost(
+                    phase,
+                    driver.center_x(),
+                    sink.center_x(),
+                    layer_width,
+                    config.alpha,
+                );
             gradient[net.driver] += scale
                 * phase_timing_cost_grad_start(
                     phase,
@@ -220,18 +247,20 @@ fn accumulate_net_terms(
 }
 
 /// Adds a pairwise spreading force between overlapping neighbours in each
-/// row; returns the overlap penalty value.
+/// row; returns the overlap penalty value. `sorted_rows` is a persistent
+/// per-row order index, re-sorted in place every call instead of cloning and
+/// sorting each row from scratch.
 fn accumulate_spreading(
     design: &PlacedDesign,
     config: &GlobalPlacementConfig,
+    sorted_rows: &mut [Vec<usize>],
     gradient: &mut [f64],
 ) -> f64 {
     if config.spreading_weight <= 0.0 {
         return 0.0;
     }
     let mut penalty = 0.0;
-    for row in &design.rows {
-        let mut sorted: Vec<usize> = row.clone();
+    for sorted in sorted_rows.iter_mut() {
         sorted.sort_by(|&a, &b| {
             design.cells[a].x.partial_cmp(&design.cells[b].x).expect("finite coordinates")
         });

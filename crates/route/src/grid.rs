@@ -1,4 +1,4 @@
-//! Two-layer channel routing grid and A* search.
+//! Two-layer channel routing grid and the zero-allocation A* core.
 //!
 //! Each inter-phase channel is discretized into a grid whose pitch is the
 //! process minimum spacing (10 µm for MIT-LL), so a wire can only turn after
@@ -6,10 +6,26 @@
 //! Horizontal segments run on one metal layer and vertical segments on the
 //! other, so two wires may cross but may never share a grid edge on the same
 //! layer.
+//!
+//! # Performance
+//!
+//! Edge occupancy is stored in two flat arrays indexed by
+//! `track * columns + column` (one per wiring layer), each slot holding the
+//! occupying net id or [`FREE`]. The A* search keeps all per-search state —
+//! cost table, parent table, priority queue, result path — in a reusable
+//! [`SearchScratch`] arena whose entries are invalidated by bumping a
+//! generation counter instead of clearing, so the per-net search performs no
+//! heap allocation once the channel is set up.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+
+/// Occupancy slot value for a free edge.
+pub const FREE: u32 = u32::MAX;
+
+/// Net id used by [`ChannelGrid::occupy_path`] when the caller does not care
+/// about rip-up (compatibility API and tests).
+const ANONYMOUS_NET: u32 = u32::MAX - 1;
 
 /// A node of the channel grid: `column` indexes the horizontal position,
 /// `track` the vertical position inside the channel (track 0 is the driver
@@ -34,32 +50,96 @@ impl GridPoint {
     }
 }
 
-/// An undirected grid edge, normalized so the smaller endpoint comes first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Edge(GridPoint, GridPoint);
+/// Reusable A* state: cost/parent/visit tables sized to the grid, the open
+/// queue and the reconstructed path. One instance routes any number of nets
+/// (and any number of channels) without allocating, growing only when a
+/// larger grid is attached.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    generation: u32,
+    stamp: Vec<u32>,
+    best_cost: Vec<u32>,
+    parent: Vec<u32>,
+    queue: BinaryHeap<Reverse<(i64, GridPoint)>>,
+    path: Vec<GridPoint>,
+    /// Occupant net ids of the occupied edges crossed by the last
+    /// penalty-mode search, deduplicated and sorted (the rip-up candidates).
+    blockers: Vec<u32>,
+}
 
-impl Edge {
-    fn new(a: GridPoint, b: GridPoint) -> Self {
-        if (a.column, a.track) <= (b.column, b.track) {
-            Edge(a, b)
-        } else {
-            Edge(b, a)
-        }
+impl SearchScratch {
+    /// Creates an empty scratch; tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    fn is_horizontal(&self) -> bool {
-        self.0.track == self.1.track
+    /// The node path found by the last successful search.
+    pub fn path(&self) -> &[GridPoint] {
+        &self.path
+    }
+
+    /// Blocker net ids recorded by the last penalty-mode search.
+    pub fn blockers(&self) -> &[u32] {
+        &self.blockers
+    }
+
+    /// Sizes the tables for a grid with `nodes` nodes and starts a new
+    /// search generation. Reallocates only when the grid grew.
+    fn begin(&mut self, nodes: usize) {
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+            self.best_cost.resize(nodes, 0);
+            self.parent.resize(nodes, 0);
+            // One-off reservations so the queue and path never reallocate
+            // mid-search.
+            let extra = nodes.saturating_sub(self.queue.capacity());
+            self.queue.reserve(extra);
+            let extra = nodes.saturating_sub(self.path.capacity());
+            self.path.reserve(extra);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wrap: stamps from 4 billion searches ago could
+            // alias, so reset them once.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.queue.clear();
+        self.path.clear();
+        self.blockers.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, node: usize, cost: u32, parent: u32) {
+        self.stamp[node] = self.generation;
+        self.best_cost[node] = cost;
+        self.parent[node] = parent;
+    }
+
+    #[inline]
+    fn cost(&self, node: usize) -> u32 {
+        if self.stamp[node] == self.generation {
+            self.best_cost[node]
+        } else {
+            u32::MAX
+        }
     }
 }
 
 /// The routing grid of one channel: `columns × tracks` nodes, two wiring
-/// layers, per-edge occupancy.
+/// layers, flat per-edge occupancy.
 #[derive(Debug, Clone)]
 pub struct ChannelGrid {
     columns: i64,
     tracks: i64,
-    occupied_horizontal: HashSet<Edge>,
-    occupied_vertical: HashSet<Edge>,
+    /// Occupant of the horizontal edge `(c, t) — (c + 1, t)`, indexed
+    /// `t * columns + c` (the last column of each row is unused padding).
+    occupied_horizontal: Vec<u32>,
+    /// Occupant of the vertical edge `(c, t) — (c, t + 1)`, indexed
+    /// `t * columns + c` (the last track row is unused padding).
+    occupied_vertical: Vec<u32>,
+    /// Number of occupied horizontal edges (for the utilization report).
+    horizontal_in_use: usize,
 }
 
 impl ChannelGrid {
@@ -70,11 +150,13 @@ impl ChannelGrid {
     /// Panics if either dimension is smaller than 2.
     pub fn new(columns: i64, tracks: i64) -> Self {
         assert!(columns >= 2 && tracks >= 2, "a channel needs at least a 2x2 grid");
+        let nodes = (columns * tracks) as usize;
         Self {
             columns,
             tracks,
-            occupied_horizontal: HashSet::new(),
-            occupied_vertical: HashSet::new(),
+            occupied_horizontal: vec![FREE; nodes],
+            occupied_vertical: vec![FREE; nodes],
+            horizontal_in_use: 0,
         }
     }
 
@@ -88,16 +170,27 @@ impl ChannelGrid {
         self.tracks
     }
 
-    /// Grows the channel by `extra` tracks (space expansion).
-    pub fn expand(&mut self, extra: i64) {
-        self.tracks += extra;
+    /// Number of grid nodes (`columns × tracks`).
+    pub fn node_count(&self) -> usize {
+        (self.columns * self.tracks) as usize
     }
 
-    /// Removes all routed wires (used when a channel is rerouted after a
-    /// space expansion).
+    /// Grows the channel by `extra` tracks (space expansion). Existing
+    /// occupancy is preserved: the flat arrays are row-major in `track`, so
+    /// new rows append at the end.
+    pub fn expand(&mut self, extra: i64) {
+        self.tracks += extra;
+        let nodes = self.node_count();
+        self.occupied_horizontal.resize(nodes, FREE);
+        self.occupied_vertical.resize(nodes, FREE);
+    }
+
+    /// Removes all routed wires (used when a channel is rerouted from
+    /// scratch).
     pub fn clear(&mut self) {
-        self.occupied_horizontal.clear();
-        self.occupied_vertical.clear();
+        self.occupied_horizontal.fill(FREE);
+        self.occupied_vertical.fill(FREE);
+        self.horizontal_in_use = 0;
     }
 
     /// Whether a point lies inside the grid.
@@ -105,23 +198,65 @@ impl ChannelGrid {
         p.column >= 0 && p.column < self.columns && p.track >= 0 && p.track < self.tracks
     }
 
-    fn edge_free(&self, edge: &Edge) -> bool {
-        if edge.is_horizontal() {
-            !self.occupied_horizontal.contains(edge)
+    #[inline]
+    fn node_index(&self, p: GridPoint) -> usize {
+        (p.track * self.columns + p.column) as usize
+    }
+
+    /// The occupancy slot of the edge between two neighbouring points:
+    /// `(layer array, edge index)`.
+    #[inline]
+    fn edge_slot(&self, a: GridPoint, b: GridPoint) -> (bool, usize) {
+        let horizontal = a.track == b.track;
+        let (column, track) = (a.column.min(b.column), a.track.min(b.track));
+        (horizontal, (track * self.columns + column) as usize)
+    }
+
+    /// The net occupying the edge between two neighbouring points.
+    #[inline]
+    pub fn edge_occupant(&self, a: GridPoint, b: GridPoint) -> u32 {
+        let (horizontal, index) = self.edge_slot(a, b);
+        if horizontal {
+            self.occupied_horizontal[index]
         } else {
-            !self.occupied_vertical.contains(edge)
+            self.occupied_vertical[index]
         }
     }
 
-    /// Marks every edge along `path` as occupied on its layer.
-    pub fn occupy_path(&mut self, path: &[GridPoint]) {
-        for pair in path.windows(2) {
-            let edge = Edge::new(pair[0], pair[1]);
-            if edge.is_horizontal() {
-                self.occupied_horizontal.insert(edge);
-            } else {
-                self.occupied_vertical.insert(edge);
+    fn set_edge(&mut self, a: GridPoint, b: GridPoint, occupant: u32) {
+        let (horizontal, index) = self.edge_slot(a, b);
+        if horizontal {
+            let previous = self.occupied_horizontal[index];
+            if (previous == FREE) != (occupant == FREE) {
+                if occupant == FREE {
+                    self.horizontal_in_use -= 1;
+                } else {
+                    self.horizontal_in_use += 1;
+                }
             }
+            self.occupied_horizontal[index] = occupant;
+        } else {
+            self.occupied_vertical[index] = occupant;
+        }
+    }
+
+    /// Marks every edge along `path` as occupied by `net`.
+    pub fn occupy_path_for(&mut self, net: u32, path: &[GridPoint]) {
+        for pair in path.windows(2) {
+            self.set_edge(pair[0], pair[1], net);
+        }
+    }
+
+    /// Marks every edge along `path` as occupied (anonymous net;
+    /// compatibility API for callers that never rip up).
+    pub fn occupy_path(&mut self, path: &[GridPoint]) {
+        self.occupy_path_for(ANONYMOUS_NET, path);
+    }
+
+    /// Frees every edge along `path` (rip-up of one net).
+    pub fn rip_up(&mut self, path: &[GridPoint]) {
+        for pair in path.windows(2) {
+            self.set_edge(pair[0], pair[1], FREE);
         }
     }
 
@@ -129,47 +264,64 @@ impl ChannelGrid {
     /// estimate used in reports).
     pub fn horizontal_utilization(&self) -> f64 {
         let capacity = ((self.columns - 1) * self.tracks).max(1) as f64;
-        self.occupied_horizontal.len() as f64 / capacity
+        self.horizontal_in_use as f64 / capacity
     }
 
     /// Finds a shortest path from `start` to `goal` with A* (Algorithm 1's
-    /// `A_star` function): a binary-heap priority queue ordered by cost plus
-    /// the Manhattan-distance estimate, expanding only edges that are free on
-    /// their layer.
+    /// `A_star` function), writing the node sequence into `scratch`.
     ///
-    /// Returns the node sequence including both endpoints, or `None` if the
-    /// goal is unreachable with the current occupancy.
-    pub fn a_star(&self, start: GridPoint, goal: GridPoint) -> Option<Vec<GridPoint>> {
+    /// Returns `true` and fills [`SearchScratch::path`] (including both
+    /// endpoints) on success. Performs no heap allocation once the scratch
+    /// tables match the grid size.
+    pub fn a_star_into(
+        &self,
+        start: GridPoint,
+        goal: GridPoint,
+        scratch: &mut SearchScratch,
+    ) -> bool {
+        self.search(start, goal, scratch, None)
+    }
+
+    /// Like [`ChannelGrid::a_star_into`], but occupied edges are passable at
+    /// `penalty` extra cost instead of blocked. On success,
+    /// [`SearchScratch::blockers`] holds the sorted, deduplicated net ids
+    /// whose edges the path crosses — the rip-up candidates of the
+    /// incremental reroute scheme.
+    pub fn a_star_with_penalty(
+        &self,
+        start: GridPoint,
+        goal: GridPoint,
+        scratch: &mut SearchScratch,
+        penalty: u32,
+    ) -> bool {
+        self.search(start, goal, scratch, Some(penalty))
+    }
+
+    fn search(
+        &self,
+        start: GridPoint,
+        goal: GridPoint,
+        scratch: &mut SearchScratch,
+        penalty: Option<u32>,
+    ) -> bool {
         if !self.contains(start) || !self.contains(goal) {
-            return None;
+            return false;
         }
+        scratch.begin(self.node_count());
         if start == goal {
-            return Some(vec![start]);
+            scratch.path.push(start);
+            return true;
         }
 
-        let index = |p: GridPoint| (p.track * self.columns + p.column) as usize;
-        let node_count = (self.columns * self.tracks) as usize;
-        let mut best_cost = vec![i64::MAX; node_count];
-        let mut parent: Vec<Option<GridPoint>> = vec![None; node_count];
-        // Priority queue keyed by estimated total cost; `Reverse` turns the
-        // max-heap into a min-heap.
-        let mut queue: BinaryHeap<Reverse<(i64, GridPoint)>> = BinaryHeap::new();
+        scratch.visit(self.node_index(start), 0, u32::MAX);
+        scratch.queue.push(Reverse((start.manhattan(goal), start)));
 
-        best_cost[index(start)] = 0;
-        queue.push(Reverse((start.manhattan(goal), start)));
-
-        while let Some(Reverse((_, current))) = queue.pop() {
+        while let Some(Reverse((_, current))) = scratch.queue.pop() {
             if current == goal {
-                let mut path = vec![goal];
-                let mut cursor = goal;
-                while let Some(prev) = parent[index(cursor)] {
-                    path.push(prev);
-                    cursor = prev;
-                }
-                path.reverse();
-                return Some(path);
+                self.reconstruct(start, goal, scratch, penalty.is_some());
+                return true;
             }
-            let current_cost = best_cost[index(current)];
+            let current_cost = scratch.cost(self.node_index(current));
             let neighbours = [
                 GridPoint::new(current.column + 1, current.track),
                 GridPoint::new(current.column - 1, current.track),
@@ -180,19 +332,66 @@ impl ChannelGrid {
                 if !self.contains(next) {
                     continue;
                 }
-                let edge = Edge::new(current, next);
-                if !self.edge_free(&edge) {
-                    continue;
-                }
-                let cost = current_cost + 1;
-                if cost < best_cost[index(next)] {
-                    best_cost[index(next)] = cost;
-                    parent[index(next)] = Some(current);
-                    queue.push(Reverse((cost + next.manhattan(goal), next)));
+                let occupant = self.edge_occupant(current, next);
+                let step = if occupant == FREE {
+                    1
+                } else {
+                    match penalty {
+                        Some(extra) => 1 + extra,
+                        None => continue,
+                    }
+                };
+                let cost = current_cost + step;
+                let next_index = self.node_index(next);
+                if cost < scratch.cost(next_index) {
+                    scratch.visit(next_index, cost, self.node_index(current) as u32);
+                    scratch.queue.push(Reverse((cost as i64 + next.manhattan(goal), next)));
                 }
             }
         }
-        None
+        false
+    }
+
+    /// Rebuilds the found path into `scratch.path` (start → goal) and, in
+    /// penalty mode, collects the occupants of crossed edges.
+    fn reconstruct(
+        &self,
+        start: GridPoint,
+        goal: GridPoint,
+        scratch: &mut SearchScratch,
+        collect_blockers: bool,
+    ) {
+        let mut cursor = goal;
+        scratch.path.push(goal);
+        while cursor != start {
+            let parent_index = scratch.parent[self.node_index(cursor)];
+            let parent = GridPoint::new(
+                parent_index as i64 % self.columns,
+                parent_index as i64 / self.columns,
+            );
+            if collect_blockers {
+                let occupant = self.edge_occupant(parent, cursor);
+                if occupant != FREE {
+                    scratch.blockers.push(occupant);
+                }
+            }
+            scratch.path.push(parent);
+            cursor = parent;
+        }
+        scratch.path.reverse();
+        scratch.blockers.sort_unstable();
+        scratch.blockers.dedup();
+    }
+
+    /// Allocating convenience wrapper around [`ChannelGrid::a_star_into`]
+    /// (compatibility API; the router's hot path reuses a scratch instead).
+    pub fn a_star(&self, start: GridPoint, goal: GridPoint) -> Option<Vec<GridPoint>> {
+        let mut scratch = SearchScratch::new();
+        if self.a_star_into(start, goal, &mut scratch) {
+            Some(scratch.path)
+        } else {
+            None
+        }
     }
 }
 
@@ -220,7 +419,8 @@ mod tests {
         let first = grid.a_star(GridPoint::new(5, 0), GridPoint::new(5, 3)).expect("routable");
         grid.occupy_path(&first);
         // Second net: horizontal across track 2, crossing column 5.
-        let second = grid.a_star(GridPoint::new(0, 2), GridPoint::new(9, 2)).expect("crossing is legal");
+        let second =
+            grid.a_star(GridPoint::new(0, 2), GridPoint::new(9, 2)).expect("crossing is legal");
         assert_eq!(second.len(), 10);
     }
 
@@ -242,9 +442,8 @@ mod tests {
         let mut grid = ChannelGrid::new(3, 2);
         // Occupy every edge by routing the full perimeter.
         for track in 0..2 {
-            let path = grid
-                .a_star(GridPoint::new(0, track), GridPoint::new(2, track))
-                .expect("routable");
+            let path =
+                grid.a_star(GridPoint::new(0, track), GridPoint::new(2, track)).expect("routable");
             grid.occupy_path(&path);
         }
         for column in 0..3 {
@@ -270,6 +469,73 @@ mod tests {
         grid.clear();
         assert!(grid.a_star(GridPoint::new(0, 0), GridPoint::new(5, 0)).is_some());
         assert_eq!(grid.tracks(), 3);
+    }
+
+    #[test]
+    fn expansion_preserves_existing_occupancy() {
+        let mut grid = ChannelGrid::new(6, 2);
+        let path = grid.a_star(GridPoint::new(0, 0), GridPoint::new(5, 0)).expect("routable");
+        grid.occupy_path_for(7, &path);
+        grid.expand(1);
+        assert_eq!(grid.edge_occupant(GridPoint::new(0, 0), GridPoint::new(1, 0)), 7);
+        // The new track's edges are free.
+        assert_eq!(grid.edge_occupant(GridPoint::new(0, 2), GridPoint::new(1, 2)), FREE);
+    }
+
+    #[test]
+    fn rip_up_frees_exactly_the_ripped_net() {
+        let mut grid = ChannelGrid::new(8, 3);
+        let a = grid.a_star(GridPoint::new(0, 1), GridPoint::new(7, 1)).expect("routable");
+        grid.occupy_path_for(1, &a);
+        let b = grid.a_star(GridPoint::new(3, 0), GridPoint::new(3, 2)).expect("routable");
+        grid.occupy_path_for(2, &b);
+        grid.rip_up(&a);
+        assert_eq!(grid.edge_occupant(GridPoint::new(0, 1), GridPoint::new(1, 1)), FREE);
+        assert_eq!(grid.edge_occupant(GridPoint::new(3, 0), GridPoint::new(3, 1)), 2);
+        assert_eq!(grid.horizontal_utilization(), 0.0, "only net 2's vertical edges remain");
+    }
+
+    #[test]
+    fn penalty_search_reports_blockers() {
+        let mut grid = ChannelGrid::new(6, 2);
+        // Saturate both horizontal tracks with two different nets.
+        for (net, track) in [(10u32, 0i64), (11, 1)] {
+            let path =
+                grid.a_star(GridPoint::new(0, track), GridPoint::new(5, track)).expect("routable");
+            grid.occupy_path_for(net, &path);
+        }
+        let mut scratch = SearchScratch::new();
+        assert!(!grid.a_star_into(GridPoint::new(0, 0), GridPoint::new(5, 0), &mut scratch));
+        assert!(grid.a_star_with_penalty(
+            GridPoint::new(0, 0),
+            GridPoint::new(5, 0),
+            &mut scratch,
+            8
+        ));
+        assert!(!scratch.blockers().is_empty());
+        assert!(scratch.blockers().iter().all(|&b| b == 10 || b == 11));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_searches() {
+        let mut grid = ChannelGrid::new(16, 6);
+        let first = grid.a_star(GridPoint::new(1, 0), GridPoint::new(14, 5)).expect("routable");
+        grid.occupy_path(&first);
+
+        // A dirty scratch (used for an unrelated search) must give the same
+        // answers as a fresh one.
+        let mut dirty = SearchScratch::new();
+        assert!(grid.a_star_into(GridPoint::new(15, 0), GridPoint::new(0, 5), &mut dirty));
+
+        for (start, goal) in [
+            (GridPoint::new(0, 0), GridPoint::new(15, 5)),
+            (GridPoint::new(3, 0), GridPoint::new(3, 5)),
+        ] {
+            let mut fresh = SearchScratch::new();
+            assert!(grid.a_star_into(start, goal, &mut fresh));
+            assert!(grid.a_star_into(start, goal, &mut dirty));
+            assert_eq!(fresh.path(), dirty.path(), "dirty scratch altered the search result");
+        }
     }
 
     #[test]

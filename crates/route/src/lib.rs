@@ -15,6 +15,38 @@
 //!   distance between the two rows grows by one grid step and the channel is
 //!   rerouted, exactly as Algorithm 1 describes.
 //!
+//! # Performance
+//!
+//! The routing core is built for zero allocation and multi-core operation:
+//!
+//! * **Flat occupancy** — [`ChannelGrid`] stores per-layer edge occupancy in
+//!   flat arrays indexed `track * columns + column` (occupant net id or
+//!   free), not hash sets. Lookups in the A* inner loop are a bounds-checked
+//!   load, and space expansion appends rows without invalidating existing
+//!   entries.
+//! * **Search arena** — all A* state (cost, parent and visit tables, the
+//!   open queue, the result path) lives in a reusable
+//!   [`grid::SearchScratch`] owned per worker. Visit tables are invalidated
+//!   by bumping a generation counter, so the search itself performs no
+//!   heap allocation after channel setup; routed paths land in a
+//!   pre-reserved per-channel point arena referenced by spans, which only
+//!   grows under heavy rip-up churn.
+//! * **Incremental rip-up and expansion** — when a net fails, a penalty-mode
+//!   A* (occupied edges passable at high cost) identifies the minimal set of
+//!   blocking nets; if that set is small, the blockers are ripped up and
+//!   rerouted instead of expanding. When expansion is needed, routed nets
+//!   are *kept* and their sink terminals extended onto the new tracks —
+//!   only failed nets reroute. Auto-sized channels start at the classic
+//!   density lower bound so congested channels do not discover their track
+//!   count one failed round at a time.
+//! * **Parallel channels** — channels share no routing state and run on a
+//!   worker pool ([`RouterConfig::threads`], `0` = all cores); results merge
+//!   in row order, so serial and parallel runs are byte-identical.
+//!
+//! The `routing_perf` bench in `crates/bench` tracks these paths
+//! (`route_channel`, `route_parallel_scaling`, `global_place_iteration`) and
+//! refreshes the `BENCH_routing.json` baseline at the workspace root.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,4 +69,4 @@ pub mod grid;
 pub mod router;
 
 pub use grid::{ChannelGrid, GridPoint};
-pub use router::{ChannelReport, Router, RouterConfig, RoutedWire, RoutingResult, RoutingStats};
+pub use router::{ChannelReport, RoutedWire, Router, RouterConfig, RoutingResult, RoutingStats};

@@ -1,10 +1,46 @@
 //! The channel-by-channel router with space expansion (Algorithm 1).
+//!
+//! # Performance
+//!
+//! The hot loop is engineered around three ideas (see the crate docs for the
+//! full design notes):
+//!
+//! 1. **Zero-allocation search** — every A* runs inside a per-worker
+//!    [`SearchScratch`] arena, so the search itself performs no heap
+//!    allocation; routed paths are appended to a pre-reserved per-channel
+//!    point arena and referenced by span (arena growth only occurs under
+//!    heavy rip-up churn, never per routed net).
+//! 2. **Incremental space expansion** — when a channel runs out of capacity
+//!    the grid grows by one track and already-routed nets are *kept*: their
+//!    sink-side terminals are extended by one vertical step instead of
+//!    throwing the whole channel away and rerouting it from scratch. Before
+//!    expanding, the router first tries rip-up-and-reroute: a penalty-mode
+//!    A* finds the cheapest path through occupied edges, the (few) blocking
+//!    nets are ripped up, the failed net takes the freed path, and the
+//!    blockers are rerouted.
+//! 3. **Parallel channels** — inter-phase channels share no routing
+//!    resources, so they are distributed over a worker pool
+//!    ([`RouterConfig::threads`]) and merged in row order. Each channel is
+//!    routed by the same sequential procedure regardless of the thread
+//!    count, so serial and parallel runs produce identical results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use aqfp_cells::{CellLibrary, Point};
 use aqfp_place::PlacedDesign;
 use serde::{Deserialize, Serialize};
 
-use crate::grid::{ChannelGrid, GridPoint};
+use crate::grid::{ChannelGrid, GridPoint, SearchScratch};
+
+/// Upper bound on how many nets one rip-up event may displace; pricier
+/// conflicts fall through to space expansion instead.
+const MAX_RIP_UP_BLOCKERS: usize = 8;
+
+/// Once this many nets have failed in one routing round, further rip-up
+/// attempts are skipped for the round: the congestion is structural and the
+/// penalty searches would only burn time before the inevitable expansion.
+const MAX_RIP_UP_ROUND_FAILURES: usize = 4;
 
 /// Router configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,11 +53,15 @@ pub struct RouterConfig {
     pub initial_tracks: usize,
     /// Maximum space expansions per channel before giving up.
     pub max_expansions: usize,
+    /// Worker threads for channel-level parallel routing. `0` uses every
+    /// available core; `1` routes strictly serially. The routed result is
+    /// identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        Self { grid_step_um: 10.0, initial_tracks: 0, max_expansions: 64 }
+        Self { grid_step_um: 10.0, initial_tracks: 0, max_expansions: 64, threads: 0 }
     }
 }
 
@@ -84,6 +124,32 @@ pub struct RoutingResult {
     pub jj_count: usize,
 }
 
+/// A net assigned to a channel, with its resolved pin columns.
+#[derive(Debug, Clone, Copy)]
+struct ChannelNet {
+    /// Index into [`PlacedDesign::nets`].
+    net: usize,
+    /// Driver pin column on track 0.
+    start_col: i64,
+    /// Sink pin column on the top track.
+    goal_col: i64,
+}
+
+/// One channel's routing work item.
+#[derive(Debug, Clone)]
+struct ChannelJob {
+    row: usize,
+    y_base: f64,
+    nets: Vec<ChannelNet>,
+}
+
+/// The result of routing one channel.
+#[derive(Debug)]
+struct ChannelOutcome {
+    report: ChannelReport,
+    wires: Vec<RoutedWire>,
+}
+
 /// The layer-wise AQFP router.
 ///
 /// See the crate-level example for typical usage.
@@ -96,7 +162,8 @@ pub struct Router {
 impl Router {
     /// Creates a router with default configuration for the given library.
     pub fn new(library: CellLibrary) -> Self {
-        let config = RouterConfig { grid_step_um: library.rules().min_spacing, ..Default::default() };
+        let config =
+            RouterConfig { grid_step_um: library.rules().min_spacing, ..Default::default() };
         Self { library, config }
     }
 
@@ -114,30 +181,17 @@ impl Router {
     pub fn route(&self, design: &PlacedDesign) -> RoutingResult {
         let step = self.config.grid_step_um.max(1.0);
         let columns = ((design.layer_width() / step).ceil() as i64 + 2).max(2);
-        let initial_tracks = if self.config.initial_tracks >= 2 {
-            self.config.initial_tracks as i64
+        let (initial_tracks, auto_tracks) = if self.config.initial_tracks >= 2 {
+            (self.config.initial_tracks as i64, false)
         } else {
-            ((design.row_pitch / step).round() as i64).max(2)
+            (((design.row_pitch / step).round() as i64).max(2), true)
         };
 
-        // Group nets by channel (driver row) and assign pin offsets so
-        // multiple nets at the same cell use distinct grid columns.
-        let channel_count = design.rows.len();
-        let mut channels: Vec<Vec<(usize, i64, i64)>> = vec![Vec::new(); channel_count];
-        let mut driver_counter = vec![0i64; design.cells.len()];
-        let mut sink_counter = vec![0i64; design.cells.len()];
-        for (net_index, net) in design.nets.iter().enumerate() {
-            let driver = &design.cells[net.driver];
-            let sink = &design.cells[net.sink];
-            let start_col = pin_column(driver.center_x(), driver_counter[net.driver], step, columns);
-            let goal_col = pin_column(sink.center_x(), sink_counter[net.sink], step, columns);
-            driver_counter[net.driver] += 1;
-            sink_counter[net.sink] += 1;
-            channels[driver.row].push((net_index, start_col, goal_col));
-        }
+        let jobs = build_channel_jobs(design, step, columns);
+        let outcomes = self.route_channels(&jobs, columns, initial_tracks, auto_tracks, step);
 
         let mut wires = Vec::with_capacity(design.nets.len());
-        let mut channel_reports = Vec::new();
+        let mut channel_reports = Vec::with_capacity(outcomes.len());
         let mut stats = RoutingStats {
             nets_routed: 0,
             failed_nets: 0,
@@ -145,69 +199,139 @@ impl Router {
             total_vias: 0,
             space_expansions: 0,
         };
-
-        for (row, mut nets) in channels.into_iter().enumerate() {
-            if nets.is_empty() {
-                continue;
-            }
-            // Route short nets first; long nets benefit most from the
-            // remaining free tracks.
-            nets.sort_by_key(|(_, start, goal)| (start - goal).abs());
-
-            let mut grid = ChannelGrid::new(columns, initial_tracks);
-            let mut expansions = 0usize;
-            let mut routed: Vec<(usize, Vec<GridPoint>)> = Vec::new();
-            loop {
-                grid.clear();
-                routed.clear();
-                let mut all_routed = true;
-                for &(net_index, start_col, goal_col) in &nets {
-                    let start = GridPoint::new(start_col, 0);
-                    let goal = GridPoint::new(goal_col, grid.tracks() - 1);
-                    match grid.a_star(start, goal) {
-                        Some(path) => {
-                            grid.occupy_path(&path);
-                            routed.push((net_index, path));
-                        }
-                        None => {
-                            all_routed = false;
-                            break;
-                        }
-                    }
-                }
-                if all_routed || expansions >= self.config.max_expansions {
-                    break;
-                }
-                // Space expansion: push the two rows one grid step further
-                // apart and reroute the whole channel (Algorithm 1, line 21).
-                grid.expand(1);
-                expansions += 1;
-            }
-
-            stats.space_expansions += expansions;
-            let routed_count = routed.len();
-            stats.failed_nets += nets.len() - routed_count;
-            stats.nets_routed += routed_count;
-
-            let y_base = design.row_y(row) + channel_base_offset(design);
-            for (net_index, path) in &routed {
-                let wire = materialize_wire(*net_index, path, step, y_base);
+        // Channels merge in row order, so the output is independent of the
+        // worker-pool schedule.
+        for outcome in outcomes {
+            stats.nets_routed += outcome.wires.len();
+            stats.failed_nets += outcome.report.nets - outcome.wires.len();
+            stats.space_expansions += outcome.report.expansions;
+            for wire in &outcome.wires {
                 stats.total_wirelength_um += wire.length_um;
                 stats.total_vias += wire.via_count;
-                wires.push(wire);
             }
-            channel_reports.push(ChannelReport {
-                row,
-                nets: nets.len(),
-                expansions,
-                tracks: grid.tracks() as usize,
-                utilization: grid.horizontal_utilization(),
-            });
+            wires.extend(outcome.wires);
+            channel_reports.push(outcome.report);
         }
 
         let jj_count = design.cells.iter().map(|c| self.library.cell(c.kind).jj_count).sum();
         RoutingResult { wires, stats, channels: channel_reports, jj_count }
     }
+
+    /// Routes every channel job, serially or on a worker pool.
+    fn route_channels(
+        &self,
+        jobs: &[ChannelJob],
+        columns: i64,
+        initial_tracks: i64,
+        auto_tracks: bool,
+        step: f64,
+    ) -> Vec<ChannelOutcome> {
+        let workers = effective_threads(self.config.threads, jobs.len());
+        let max_expansions = self.config.max_expansions;
+        if workers <= 1 {
+            let mut scratch = SearchScratch::new();
+            return jobs
+                .iter()
+                .map(|job| {
+                    route_channel(
+                        job,
+                        columns,
+                        initial_tracks,
+                        auto_tracks,
+                        max_expansions,
+                        step,
+                        &mut scratch,
+                    )
+                })
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<ChannelOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Each worker owns one scratch arena for its whole run.
+                    let mut scratch = SearchScratch::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let outcome = route_channel(
+                            job,
+                            columns,
+                            initial_tracks,
+                            auto_tracks,
+                            max_expansions,
+                            step,
+                            &mut scratch,
+                        );
+                        *slots[index].lock().expect("no poisoned channel slot") = Some(outcome);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no poisoned channel slot")
+                    .expect("every channel job produces an outcome")
+            })
+            .collect()
+    }
+}
+
+/// Resolves the worker count: `0` means every available core, and there is
+/// never a reason to spawn more workers than channels.
+fn effective_threads(configured: usize, jobs: usize) -> usize {
+    let threads = if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    };
+    threads.min(jobs).max(1)
+}
+
+/// Groups nets by channel (driver row) and assigns every pin a distinct grid
+/// column on its side of the channel, spilling to the nearest free column
+/// when the preferred one is taken or clamped at the boundary.
+fn build_channel_jobs(design: &PlacedDesign, step: f64, columns: i64) -> Vec<ChannelJob> {
+    let channel_count = design.rows.len();
+    // The first track sits above the tallest cell so wires clear the cell
+    // area; computed once per route() call, not per channel.
+    let base_offset = channel_base_offset(design);
+
+    let mut nets_by_channel: Vec<Vec<ChannelNet>> = vec![Vec::new(); channel_count];
+    let mut start_used: Vec<Vec<bool>> = vec![Vec::new(); channel_count];
+    let mut goal_used: Vec<Vec<bool>> = vec![Vec::new(); channel_count];
+    let mut driver_counter = vec![0i64; design.cells.len()];
+    let mut sink_counter = vec![0i64; design.cells.len()];
+
+    for (net_index, net) in design.nets.iter().enumerate() {
+        let driver = &design.cells[net.driver];
+        let sink = &design.cells[net.sink];
+        let row = driver.row;
+        let start_col = pin_column(
+            driver.center_x(),
+            driver_counter[net.driver],
+            step,
+            columns,
+            &mut start_used[row],
+        );
+        let goal_col =
+            pin_column(sink.center_x(), sink_counter[net.sink], step, columns, &mut goal_used[row]);
+        driver_counter[net.driver] += 1;
+        sink_counter[net.sink] += 1;
+        nets_by_channel[row].push(ChannelNet { net: net_index, start_col, goal_col });
+    }
+
+    nets_by_channel
+        .into_iter()
+        .enumerate()
+        .filter(|(_, nets)| !nets.is_empty())
+        .map(|(row, nets)| ChannelJob { row, y_base: design.row_y(row) + base_offset, nets })
+        .collect()
 }
 
 /// The vertical offset of a channel's first track above its driver row: the
@@ -217,17 +341,248 @@ fn channel_base_offset(design: &PlacedDesign) -> f64 {
 }
 
 /// Grid column of a pin: the cell center plus a per-pin offset so that
-/// several pins of the same cell land on distinct columns.
-fn pin_column(center_x: f64, pin_index: i64, step: f64, columns: i64) -> i64 {
+/// several pins of the same cell land on distinct columns. When the
+/// preferred column is already taken on this side of the channel (which
+/// happens when the boundary clamp folds neighbouring pins together), the
+/// pin spills to the nearest free column instead of silently overlapping.
+fn pin_column(center_x: f64, pin_index: i64, step: f64, columns: i64, used: &mut Vec<bool>) -> i64 {
+    if used.is_empty() {
+        used.resize(columns as usize, false);
+    }
     let base = (center_x / step).round() as i64;
-    (base + pin_index).clamp(0, columns - 1)
+    let preferred = (base + pin_index).clamp(0, columns - 1);
+    for distance in 0..columns {
+        for candidate in [preferred + distance, preferred - distance] {
+            if (0..columns).contains(&candidate) && !used[candidate as usize] {
+                used[candidate as usize] = true;
+                return candidate;
+            }
+        }
+    }
+    // Every column on this side is taken (more nets than columns); fall back
+    // to the preferred column and let the router report the conflict.
+    preferred
+}
+
+/// The classic channel-routing density lower bound: the maximum number of
+/// nets whose column intervals overlap at any single column. No assignment
+/// of horizontal spans to tracks can use fewer tracks than this, so sizing
+/// the channel below it just buys guaranteed expansion rounds.
+fn channel_density(nets: &[ChannelNet]) -> i64 {
+    let mut events: Vec<(i64, i64)> = Vec::with_capacity(nets.len() * 2);
+    for net in nets {
+        let low = net.start_col.min(net.goal_col);
+        let high = net.start_col.max(net.goal_col);
+        events.push((low, 1));
+        events.push((high + 1, -1));
+    }
+    events.sort_unstable();
+    let mut current = 0i64;
+    let mut max = 0i64;
+    for (_, delta) in events {
+        current += delta;
+        max = max.max(current);
+    }
+    max
+}
+
+/// Routes one channel with incremental space expansion and
+/// rip-up-and-reroute. Purely sequential and deterministic; the parallel
+/// driver calls this per channel.
+fn route_channel(
+    job: &ChannelJob,
+    columns: i64,
+    initial_tracks: i64,
+    auto_tracks: bool,
+    max_expansions: usize,
+    step: f64,
+    scratch: &mut SearchScratch,
+) -> ChannelOutcome {
+    let nets = &job.nets;
+    // When the track count is derived (not pinned by the config), start at
+    // the density lower bound instead of discovering it one expansion at a
+    // time — congested channels would otherwise pay a full failed-search
+    // round per missing track.
+    let start_tracks =
+        if auto_tracks { initial_tracks.max(channel_density(nets) + 2) } else { initial_tracks };
+    let mut grid = ChannelGrid::new(columns, start_tracks);
+
+    // Route short nets first; long nets benefit most from the remaining free
+    // tracks. `order` holds slot indices into `nets`.
+    let mut order: Vec<usize> = (0..nets.len()).collect();
+    order.sort_by_key(|&slot| {
+        let net = nets[slot];
+        ((net.start_col - net.goal_col).abs(), slot)
+    });
+
+    // Per-channel path storage: one shared point arena plus a span per slot.
+    // Re-committing a net after rip-up appends a fresh span (the old one is
+    // abandoned), so reserve room for every net's Manhattan path up front —
+    // growth beyond that only happens under heavy rip-up churn.
+    let mut arena: Vec<GridPoint> = Vec::with_capacity(
+        nets.iter().map(|net| ((net.start_col - net.goal_col).abs() + start_tracks) as usize).sum(),
+    );
+    let mut spans: Vec<(usize, usize)> = vec![(0, 0); nets.len()];
+    let mut routed: Vec<bool> = vec![false; nets.len()];
+    // The top track at the time each slot was (last) routed; the difference
+    // to the final top is the net's sink-side extension from later
+    // expansions.
+    let mut top_at_route: Vec<i64> = vec![0; nets.len()];
+    let mut rip_blockers: Vec<u32> = Vec::new();
+
+    let mut pending: Vec<usize> = order;
+    let mut failed: Vec<usize> = Vec::new();
+    let mut expansions = 0usize;
+
+    loop {
+        failed.clear();
+        for &slot in &pending {
+            let net = nets[slot];
+            let top = grid.tracks() - 1;
+            let start = GridPoint::new(net.start_col, 0);
+            let goal = GridPoint::new(net.goal_col, top);
+            if grid.a_star_into(start, goal, scratch) {
+                commit(slot, &mut grid, scratch.path(), &mut arena, &mut spans, &mut routed);
+                top_at_route[slot] = top;
+                continue;
+            }
+
+            // Rip-up-and-reroute: find the cheapest path through occupied
+            // edges; if it displaces only a few nets, take it and reroute
+            // the blockers. The penalty makes one crossed edge costlier
+            // than any clean detour, so the path crosses a minimal set of
+            // nets. Only worth trying while the round is close to clean —
+            // once several nets have already failed the congestion is
+            // structural and the expansion below is the cheaper fix.
+            if failed.len() >= MAX_RIP_UP_ROUND_FAILURES {
+                failed.push(slot);
+                continue;
+            }
+            let penalty = (columns + grid.tracks()) as u32;
+            if !grid.a_star_with_penalty(start, goal, scratch, penalty)
+                || scratch.blockers().is_empty()
+                || scratch.blockers().len() > MAX_RIP_UP_BLOCKERS
+            {
+                failed.push(slot);
+                continue;
+            }
+            rip_blockers.clear();
+            rip_blockers.extend_from_slice(scratch.blockers());
+            for &blocker in &rip_blockers {
+                let blocker = blocker as usize;
+                let (span_start, span_end) = spans[blocker];
+                grid.rip_up(&arena[span_start..span_end]);
+                rip_extension(&mut grid, nets[blocker].goal_col, top_at_route[blocker], top);
+                routed[blocker] = false;
+            }
+            commit(slot, &mut grid, scratch.path(), &mut arena, &mut spans, &mut routed);
+            top_at_route[slot] = top;
+            // Reroute the displaced nets strictly, in slot order; whatever
+            // no longer fits waits for the next expansion.
+            for &blocker in &rip_blockers {
+                let blocker = blocker as usize;
+                let net = nets[blocker];
+                let start = GridPoint::new(net.start_col, 0);
+                let goal = GridPoint::new(net.goal_col, top);
+                if grid.a_star_into(start, goal, scratch) {
+                    commit(blocker, &mut grid, scratch.path(), &mut arena, &mut spans, &mut routed);
+                    top_at_route[blocker] = top;
+                } else {
+                    failed.push(blocker);
+                }
+            }
+        }
+
+        if failed.is_empty() || expansions >= max_expansions {
+            break;
+        }
+
+        // Space expansion (Algorithm 1, line 21), incrementally: grow the
+        // channel and keep every routed net, extending its sink terminal
+        // onto the new top track; only the failed nets are rerouted. The
+        // growth is proportional to the failure count (one track per four
+        // failed nets, at least one) so heavily congested channels converge
+        // in a few rounds instead of one round per missing track.
+        let budget = max_expansions - expansions;
+        let extra = (failed.len().div_ceil(4)).clamp(1, budget) as i64;
+        let old_top = grid.tracks() - 1;
+        grid.expand(extra);
+        expansions += extra as usize;
+        let new_top = grid.tracks() - 1;
+        for (slot, net) in nets.iter().enumerate() {
+            if routed[slot] {
+                for track in old_top..new_top {
+                    let a = GridPoint::new(net.goal_col, track);
+                    let b = GridPoint::new(net.goal_col, track + 1);
+                    grid.occupy_path_for(slot as u32, &[a, b]);
+                }
+            }
+        }
+        std::mem::swap(&mut pending, &mut failed);
+    }
+
+    // Materialize wires in net order (deterministic, independent of the
+    // routing order and of rip-up history).
+    let final_top = grid.tracks() - 1;
+    let mut wires = Vec::with_capacity(nets.len());
+    let mut full_path: Vec<GridPoint> = Vec::new();
+    for (slot, net) in nets.iter().enumerate() {
+        if !routed[slot] {
+            continue;
+        }
+        let (span_start, span_end) = spans[slot];
+        full_path.clear();
+        full_path.extend_from_slice(&arena[span_start..span_end]);
+        for track in top_at_route[slot] + 1..=final_top {
+            full_path.push(GridPoint::new(net.goal_col, track));
+        }
+        wires.push(materialize_wire(net.net, &full_path, step, job.y_base));
+    }
+
+    let report = ChannelReport {
+        row: job.row,
+        nets: nets.len(),
+        expansions,
+        tracks: grid.tracks() as usize,
+        utilization: grid.horizontal_utilization(),
+    };
+    ChannelOutcome { report, wires }
+}
+
+/// Records a found path for `slot`: appends it to the arena, updates the
+/// span and marks the path's edges occupied.
+fn commit(
+    slot: usize,
+    grid: &mut ChannelGrid,
+    path: &[GridPoint],
+    arena: &mut Vec<GridPoint>,
+    spans: &mut [(usize, usize)],
+    routed: &mut [bool],
+) {
+    let span_start = arena.len();
+    arena.extend_from_slice(path);
+    spans[slot] = (span_start, arena.len());
+    grid.occupy_path_for(slot as u32, path);
+    routed[slot] = true;
+}
+
+/// Frees the sink-side extension edges a routed net accumulated through
+/// expansions after it was routed.
+fn rip_extension(grid: &mut ChannelGrid, goal_col: i64, routed_top: i64, current_top: i64) {
+    for track in routed_top..current_top {
+        let a = GridPoint::new(goal_col, track);
+        let b = GridPoint::new(goal_col, track + 1);
+        grid.rip_up(&[a, b]);
+    }
 }
 
 /// Converts a grid path into an absolute-coordinate wire with length and via
 /// count.
 fn materialize_wire(net: usize, path: &[GridPoint], step: f64, y_base: f64) -> RoutedWire {
-    let points: Vec<Point> =
-        path.iter().map(|p| Point::new(p.column as f64 * step, y_base + p.track as f64 * step)).collect();
+    let points: Vec<Point> = path
+        .iter()
+        .map(|p| Point::new(p.column as f64 * step, y_base + p.track as f64 * step))
+        .collect();
     let length_um = (path.len().saturating_sub(1)) as f64 * step;
     let mut via_count = 0;
     for window in path.windows(3) {
@@ -251,7 +606,8 @@ mod tests {
         let library = CellLibrary::mit_ll();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
-        let result = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let result =
+            PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
         (result.design, library)
     }
 
@@ -306,7 +662,8 @@ mod tests {
         // A deliberately narrow initial channel (2 tracks) forces expansions
         // on any benchmark with more than a couple of nets per channel.
         let (design, library) = placed(Benchmark::Apc32);
-        let config = RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 64 };
+        let config =
+            RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 64, threads: 0 };
         let routing = Router::with_config(library, config).route(&design);
         assert!(routing.stats.space_expansions > 0, "narrow channels must expand");
         assert_eq!(routing.stats.failed_nets, 0);
@@ -315,7 +672,8 @@ mod tests {
     #[test]
     fn expansion_limit_reports_failures_instead_of_hanging() {
         let (design, library) = placed(Benchmark::Adder8);
-        let config = RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 0 };
+        let config =
+            RouterConfig { grid_step_um: 10.0, initial_tracks: 2, max_expansions: 0, threads: 0 };
         let routing = Router::with_config(library, config).route(&design);
         // With no expansions allowed some channel is very likely to fail;
         // the router must report it rather than loop forever.
@@ -342,5 +700,49 @@ mod tests {
         let reported: std::collections::BTreeSet<usize> =
             routing.channels.iter().map(|c| c.row).collect();
         assert_eq!(rows_with_nets, reported);
+    }
+
+    #[test]
+    fn pin_columns_are_unique_per_channel_side() {
+        let (design, library) = placed(Benchmark::Apc32);
+        let routing = Router::new(library).route(&design);
+        // With the spill fix, no two wires in the same channel may start or
+        // end on the same column: endpoints are pin terminals.
+        use std::collections::BTreeSet;
+        let mut starts: std::collections::BTreeMap<usize, BTreeSet<i64>> = Default::default();
+        let mut goals: std::collections::BTreeMap<usize, BTreeSet<i64>> = Default::default();
+        for wire in &routing.wires {
+            let row = design.cells[design.nets[wire.net].driver].row;
+            let start = wire.path.first().expect("non-empty path");
+            let goal = wire.path.last().expect("non-empty path");
+            assert!(
+                starts.entry(row).or_default().insert(start.x.round() as i64),
+                "two driver pins share column {} in channel {row}",
+                start.x
+            );
+            assert!(
+                goals.entry(row).or_default().insert(goal.x.round() as i64),
+                "two sink pins share column {} in channel {row}",
+                goal.x
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_routing_are_byte_identical() {
+        let (design, library) = placed(Benchmark::Apc32);
+        let serial = Router::with_config(
+            library.clone(),
+            RouterConfig { threads: 1, ..RouterConfig::default() },
+        )
+        .route(&design);
+        let parallel =
+            Router::with_config(library, RouterConfig { threads: 4, ..RouterConfig::default() })
+                .route(&design);
+        assert_eq!(serial, parallel, "thread count must not change the routed result");
+        // Byte-level check on the serialized artifacts, not just PartialEq.
+        let serial_json = serde_json::to_string(&serial).expect("serialize");
+        let parallel_json = serde_json::to_string(&parallel).expect("serialize");
+        assert_eq!(serial_json, parallel_json);
     }
 }

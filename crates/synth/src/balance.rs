@@ -77,7 +77,11 @@ pub fn balance(netlist: &Netlist) -> BalancedNetlist {
     let edges: Vec<(GateId, usize, GateId)> = work
         .iter()
         .flat_map(|(id, gate)| {
-            gate.fanin.iter().enumerate().map(move |(pin, &driver)| (id, pin, driver)).collect::<Vec<_>>()
+            gate.fanin
+                .iter()
+                .enumerate()
+                .map(move |(pin, &driver)| (id, pin, driver))
+                .collect::<Vec<_>>()
         })
         .collect();
 
@@ -171,8 +175,12 @@ mod tests {
         let balanced = balance(&n);
         assert!(balanced.is_path_balanced());
         assert!(balanced.report.output_buffers >= 2, "short output path must be padded");
-        let po_levels: Vec<usize> =
-            balanced.netlist.primary_outputs().iter().map(|id| balanced.levels[id.index()]).collect();
+        let po_levels: Vec<usize> = balanced
+            .netlist
+            .primary_outputs()
+            .iter()
+            .map(|id| balanced.levels[id.index()])
+            .collect();
         assert!(po_levels.windows(2).all(|w| w[0] == w[1]), "all POs in the same phase");
     }
 

@@ -41,9 +41,8 @@ pub fn insert_splitters(netlist: &Netlist, max_arity: usize) -> (Netlist, Splitt
         }
     }
 
-    for driver_index in 0..netlist.gate_count() {
+    for (driver_index, pins) in sink_pins.iter().enumerate() {
         let driver = GateId(driver_index);
-        let pins = &sink_pins[driver_index];
         let fanout = pins.len();
         report.max_fanout = report.max_fanout.max(fanout);
         if fanout <= 1 {

@@ -37,7 +37,10 @@ pub struct MajConversionReport {
 /// The conversion is function-preserving; the output may still contain
 /// non-majority cells (e.g. XOR) where a majority implementation would be
 /// more expensive.
-pub fn convert_to_majority(netlist: &Netlist, library: &CellLibrary) -> (Netlist, MajConversionReport) {
+pub fn convert_to_majority(
+    netlist: &Netlist,
+    library: &CellLibrary,
+) -> (Netlist, MajConversionReport) {
     let mut work = netlist.clone();
     let table = MappingTable::global();
     let mut report = MajConversionReport {
@@ -195,7 +198,7 @@ fn cone_truth_table(netlist: &Netlist, cone: &Cone) -> TruthTable3 {
         for (i, &leaf) in cone.leaves.iter().enumerate() {
             values.insert(leaf, assignment & (1 << i) != 0);
         }
-        let value = eval_cone(netlist, cone, cone.root, &mut values);
+        let value = eval_cone(netlist, cone.root, &mut values);
         if value {
             tt |= 1 << assignment;
         }
@@ -203,18 +206,12 @@ fn cone_truth_table(netlist: &Netlist, cone: &Cone) -> TruthTable3 {
     TruthTable3(tt)
 }
 
-fn eval_cone(
-    netlist: &Netlist,
-    cone: &Cone,
-    gate: GateId,
-    values: &mut HashMap<GateId, bool>,
-) -> bool {
+fn eval_cone(netlist: &Netlist, gate: GateId, values: &mut HashMap<GateId, bool>) -> bool {
     if let Some(&v) = values.get(&gate) {
         return v;
     }
     let g = netlist.gate(gate);
-    let inputs: Vec<bool> =
-        g.fanin.iter().map(|&f| eval_cone(netlist, cone, f, values)).collect();
+    let inputs: Vec<bool> = g.fanin.iter().map(|&f| eval_cone(netlist, f, values)).collect();
     let v = aqfp_netlist::simulate::eval_kind(g.kind, &inputs);
     values.insert(gate, v);
     v
@@ -309,7 +306,15 @@ fn materialize(
                 .iter()
                 .enumerate()
                 .map(|(i, sub)| {
-                    materialize(netlist, cone, sub, inverter_cache, constant_cache, suffix, slot * 4 + i + 1)
+                    materialize(
+                        netlist,
+                        cone,
+                        sub,
+                        inverter_cache,
+                        constant_cache,
+                        suffix,
+                        slot * 4 + i + 1,
+                    )
                 })
                 .collect();
             netlist.add_gate(CellKind::Majority3, format!("majl1_{suffix}_{slot}"), operands)

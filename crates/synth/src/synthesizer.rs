@@ -159,15 +159,21 @@ fn decompose_to_aoi(netlist: &Netlist) -> Netlist {
         let gate = work.gate(id).clone();
         match gate.kind {
             CellKind::Nand => {
-                let and =
-                    work.add_gate(CellKind::And, format!("aoi_and_{}", id.index()), gate.fanin.clone());
+                let and = work.add_gate(
+                    CellKind::And,
+                    format!("aoi_and_{}", id.index()),
+                    gate.fanin.clone(),
+                );
                 let g = work.gate_mut(id);
                 g.kind = CellKind::Inverter;
                 g.fanin = vec![and];
             }
             CellKind::Nor => {
-                let or =
-                    work.add_gate(CellKind::Or, format!("aoi_or_{}", id.index()), gate.fanin.clone());
+                let or = work.add_gate(
+                    CellKind::Or,
+                    format!("aoi_or_{}", id.index()),
+                    gate.fanin.clone(),
+                );
                 let g = work.gate_mut(id);
                 g.kind = CellKind::Inverter;
                 g.fanin = vec![or];
@@ -175,10 +181,14 @@ fn decompose_to_aoi(netlist: &Netlist) -> Netlist {
             CellKind::Xor => {
                 let a = gate.fanin[0];
                 let b = gate.fanin[1];
-                let not_a = work.add_gate(CellKind::Inverter, format!("aoi_na_{}", id.index()), vec![a]);
-                let not_b = work.add_gate(CellKind::Inverter, format!("aoi_nb_{}", id.index()), vec![b]);
-                let left = work.add_gate(CellKind::And, format!("aoi_l_{}", id.index()), vec![a, not_b]);
-                let right = work.add_gate(CellKind::And, format!("aoi_r_{}", id.index()), vec![not_a, b]);
+                let not_a =
+                    work.add_gate(CellKind::Inverter, format!("aoi_na_{}", id.index()), vec![a]);
+                let not_b =
+                    work.add_gate(CellKind::Inverter, format!("aoi_nb_{}", id.index()), vec![b]);
+                let left =
+                    work.add_gate(CellKind::And, format!("aoi_l_{}", id.index()), vec![a, not_b]);
+                let right =
+                    work.add_gate(CellKind::And, format!("aoi_r_{}", id.index()), vec![not_a, b]);
                 let g = work.gate_mut(id);
                 g.kind = CellKind::Or;
                 g.fanin = vec![left, right];

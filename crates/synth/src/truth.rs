@@ -45,6 +45,7 @@ impl TruthTable3 {
     }
 
     /// Complement of the function.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TruthTable3 {
         TruthTable3(!self.0)
     }
@@ -364,8 +365,7 @@ mod tests {
     #[test]
     fn single_majority_functions_use_one_gate() {
         let table = MappingTable::global();
-        let maj =
-            TruthTable3::maj(TruthTable3::VAR_A, TruthTable3::VAR_B, TruthTable3::VAR_C);
+        let maj = TruthTable3::maj(TruthTable3::VAR_A, TruthTable3::VAR_B, TruthTable3::VAR_C);
         assert_eq!(table.lookup(maj).unwrap().maj_count(), 1);
         let and = TruthTable3::and(TruthTable3::VAR_A, TruthTable3::VAR_B);
         assert_eq!(table.lookup(and).unwrap().maj_count(), 1);

@@ -84,12 +84,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut config = TimingConfig::default();
-        config.wire_delay_ps_per_um = 0.0;
+        let config = TimingConfig { wire_delay_ps_per_um: 0.0, ..TimingConfig::default() };
         assert!(config.validate().is_err());
 
-        let mut config = TimingConfig::default();
-        config.alpha = -1.0;
+        let config = TimingConfig { alpha: -1.0, ..TimingConfig::default() };
         assert!(config.validate().is_err());
     }
 }

@@ -93,8 +93,7 @@ impl TimingAnalyzer {
     /// the clock sweep must wait for the excitation to reach it, eating into
     /// the budget.
     pub fn net_slack(&self, net: &PlacedNet, layer_width: f64) -> f64 {
-        let skew_distance =
-            signed_phase_distance(net.phase, net.source_x, net.sink_x, layer_width);
+        let skew_distance = signed_phase_distance(net.phase, net.source_x, net.sink_x, layer_width);
         let skew_ps = self.config.clock_skew_ps_per_um * skew_distance.max(0.0);
         self.config.phase_budget_ps() - self.net_delay_ps(net) - skew_ps
     }
@@ -118,7 +117,12 @@ impl TimingAnalyzer {
         if nets.is_empty() {
             wns = 0.0;
         }
-        TimingReport { wns_ps: wns, tns_ps: tns, violation_count: violations, net_count: nets.len() }
+        TimingReport {
+            wns_ps: wns,
+            tns_ps: tns,
+            violation_count: violations,
+            net_count: nets.len(),
+        }
     }
 }
 

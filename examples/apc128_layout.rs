@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("layout statistics:");
     println!("  cell instances : {}", report.layout.cell_instances);
     println!("  wire paths     : {}", report.layout.wire_paths);
-    println!("  chip size      : {:.0} x {:.0} um", report.layout.width_um, report.layout.height_um);
+    println!(
+        "  chip size      : {:.0} x {:.0} um",
+        report.layout.width_um, report.layout.height_um
+    );
     println!("  DRC iterations : {}", report.drc_iterations);
 
     let path = format!("{}.gds", report.design_name);

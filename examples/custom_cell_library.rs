@@ -14,7 +14,8 @@ use superflow_suite::prelude::*;
 fn run_with_library(label: &str, library: CellLibrary) -> Result<(), Box<dyn std::error::Error>> {
     let synthesized =
         Synthesizer::new(library.clone()).run(&benchmark_circuit(Benchmark::Adder8))?;
-    let result = PlacementEngine::new(library).place(&synthesized, aqfp_place::PlacerKind::SuperFlow);
+    let result =
+        PlacementEngine::new(library).place(&synthesized, aqfp_place::PlacerKind::SuperFlow);
     println!(
         "{label:<28} HPWL {:>9.0} um, buffer lines {:>3}, WNS {:>6}",
         result.hpwl_um,

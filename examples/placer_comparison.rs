@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let engine = PlacementEngine::new(library);
-    println!("{:<15} {:>12} {:>10} {:>10} {:>12}", "placer", "HPWL (um)", "buffers", "WNS (ps)", "runtime (s)");
+    println!(
+        "{:<15} {:>12} {:>10} {:>10} {:>12}",
+        "placer", "HPWL (um)", "buffers", "WNS (ps)", "runtime (s)"
+    );
     for result in engine.place_all(&synthesized) {
         println!(
             "{:<15} {:>12.0} {:>10} {:>10} {:>12.2}",

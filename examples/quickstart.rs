@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  routed length : {:.0} um", report.routing.stats.total_wirelength_um);
     println!("  vias          : {}", report.routing.stats.total_vias);
     println!("-- signoff --");
-    println!("  DRC           : {}", if report.drc.is_clean() { "clean" } else { "violations remain" });
+    println!(
+        "  DRC           : {}",
+        if report.drc.is_clean() { "clean" } else { "violations remain" }
+    );
 
     // 4. Write the GDSII layout.
     let gds = report.layout.to_gds_bytes();

@@ -34,7 +34,8 @@ fn adder8_full_flow_produces_consistent_artifacts() {
 
     // The layout references every placed cell and the GDS stream parses.
     assert_eq!(report.layout.cell_instances, report.placement.design.cell_count());
-    let records = aqfp_layout::gds::parse_records(&report.layout.to_gds_bytes()).expect("valid GDSII");
+    let records =
+        aqfp_layout::gds::parse_records(&report.layout.to_gds_bytes()).expect("valid GDSII");
     assert!(records.len() > 100);
 
     // Geometric DRC is clean.

@@ -20,7 +20,9 @@ fn flow_layout_stream_is_structurally_valid() {
     // Balanced structure and element brackets.
     let count = |tag: RecordTag| records.iter().filter(|r| r.tag == Some(tag)).count();
     assert_eq!(count(RecordTag::BgnStr), count(RecordTag::EndStr));
-    let elements = count(RecordTag::Boundary) + count(RecordTag::Path) + count(RecordTag::Sref)
+    let elements = count(RecordTag::Boundary)
+        + count(RecordTag::Path)
+        + count(RecordTag::Sref)
         + count(RecordTag::Text);
     assert_eq!(elements, count(RecordTag::EndEl));
 
@@ -35,7 +37,8 @@ fn flow_layout_stream_is_structurally_valid() {
         match record.tag {
             Some(RecordTag::Sref) => expecting_sname = true,
             Some(RecordTag::SName) if expecting_sname => {
-                let name = String::from_utf8_lossy(&record.payload).trim_end_matches('\0').to_owned();
+                let name =
+                    String::from_utf8_lossy(&record.payload).trim_end_matches('\0').to_owned();
                 assert!(defined.contains(&name), "SREF to undefined structure `{name}`");
                 expecting_sname = false;
             }

@@ -30,16 +30,19 @@ fn process_rules_round_trip_and_stay_valid() {
 fn timing_and_energy_configs_round_trip() {
     let timing = TimingConfig::paper_default();
     let back: TimingConfig =
-        serde_json::from_str(&serde_json::to_string(&timing).expect("serialize")).expect("deserialize");
+        serde_json::from_str(&serde_json::to_string(&timing).expect("serialize"))
+            .expect("deserialize");
     assert_eq!(timing, back);
 
     let energy = EnergyModel::aqfp_5ghz();
     let back: EnergyModel =
-        serde_json::from_str(&serde_json::to_string(&energy).expect("serialize")).expect("deserialize");
+        serde_json::from_str(&serde_json::to_string(&energy).expect("serialize"))
+            .expect("deserialize");
     assert_eq!(energy, back);
 
     let clock = FourPhaseClock::new(6.5);
     let back: FourPhaseClock =
-        serde_json::from_str(&serde_json::to_string(&clock).expect("serialize")).expect("deserialize");
+        serde_json::from_str(&serde_json::to_string(&clock).expect("serialize"))
+            .expect("deserialize");
     assert_eq!(clock, back);
 }

@@ -11,9 +11,9 @@ use aqfp_cells::CellLibrary;
 use aqfp_netlist::generators::{random_dag, RandomDagConfig};
 use aqfp_netlist::simulate;
 use aqfp_place::design::PlacedDesign;
+use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
 use aqfp_place::global::{global_place, GlobalPlacementConfig};
 use aqfp_place::legalize::legalize;
-use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
 use aqfp_synth::{SynthesisOptions, Synthesizer};
 
 /// A strategy over small random netlist configurations.

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`) on a simple wall-clock harness:
+//! every benchmark runs one warm-up iteration plus `sample_size` timed
+//! iterations and reports min / mean / max. Statistical analysis, plots and
+//! HTML reports are out of scope.
+//!
+//! Supported CLI flags (so `cargo bench -- --test` smoke runs work in CI):
+//! `--test` runs every benchmark exactly once without timing output;
+//! `--bench`/`--nocapture` are accepted and ignored; any other non-flag
+//! argument is a substring filter on benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a value computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Timed samples.
+    pub samples: Vec<Duration>,
+}
+
+impl Summary {
+    /// Mean of the timed samples.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    sink: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Runs the routine `sample_size` times (once in `--test` mode),
+    /// recording wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // One warm-up iteration, then the timed samples.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.sink.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark harness driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    results: Vec<Summary>,
+}
+
+impl Criterion {
+    /// Builds a driver from `cargo bench` command-line arguments.
+    pub fn from_args() -> Self {
+        let mut criterion = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => criterion.test_mode = true,
+                _ if arg.starts_with('-') => {}
+                _ => criterion.filter = Some(arg),
+            }
+        }
+        criterion
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id: BenchmarkId = id.into();
+        let name = id.name.clone();
+        self.run(&name, 10, |bencher| f(bencher));
+    }
+
+    /// Measured results so far (used by benches that export baselines).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// The active name filter, if any (baseline exporters should skip
+    /// writing when a filter hid part of the suite).
+    pub fn filter(&self) -> Option<&str> {
+        self.filter.as_deref()
+    }
+
+    /// Prints the closing line of a bench run.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
+    }
+
+    fn run(&mut self, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        let mut bencher =
+            Bencher { samples: sample_size, test_mode: self.test_mode, sink: &mut samples };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let summary = Summary { id: id.to_owned(), samples };
+        let min = summary.samples.iter().min().copied().unwrap_or_default();
+        let max = summary.samples.iter().max().copied().unwrap_or_default();
+        println!("{:<60} time: [{:?} {:?} {:?}]", summary.id, min, summary.mean(), max);
+        self.results.push(summary);
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let samples = self.sample_size;
+        self.criterion.run(&full, samples, |bencher| f(bencher));
+    }
+
+    /// Benchmarks a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let samples = self.sample_size;
+        self.criterion.run(&full, samples, |bencher| f(bencher, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that drives one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_record_samples() {
+        let mut criterion = Criterion::default();
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        }
+        assert_eq!(criterion.summaries().len(), 1);
+        assert_eq!(criterion.summaries()[0].samples.len(), 3);
+        assert_eq!(criterion.summaries()[0].id, "g/f");
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `crossbeam`: scoped threads implemented on top of
+//! `std::thread::scope` (which did not exist when crossbeam introduced the
+//! pattern). Only the `thread::scope` / `Scope::spawn` surface is provided.
+//!
+//! One semantic difference: if a spawned thread panics, `std::thread::scope`
+//! resumes the panic on the scoping thread instead of returning `Err`, so
+//! the `Result` returned here is always `Ok`. Callers that `.expect(...)`
+//! the result behave identically either way.
+
+/// Scoped thread spawning.
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam passes it so threads can spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local data can be
+    /// spawned; all spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicI32::new(0);
+        super::thread::scope(|scope| {
+            for &v in &data {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.into_inner(), 6);
+    }
+}

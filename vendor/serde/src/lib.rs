@@ -1,0 +1,405 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization framework under the same crate name.
+//! Instead of serde's visitor-based zero-copy architecture, types convert to
+//! and from a [`Value`] tree; `serde_json` renders that tree as JSON. The
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! `serde_derive`) generate the conversions for plain structs and enums,
+//! which is all this workspace uses — `#[serde(...)]` field attributes are
+//! intentionally unsupported.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model JSON maps onto).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (order preserved for determinism).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| value)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => {
+                Err(Error::new(format!("expected map with field `{name}`, got {}", other.kind())))
+            }
+        }
+    }
+
+    /// The string payload of a [`Value::Str`].
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::I64(v) => *v,
+                    Value::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::new("unsigned value out of signed range"))?,
+                    Value::F64(v) if v.fract() == 0.0 => *v as i64,
+                    other => return Err(Error::new(format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match value {
+                    Value::U64(v) => *v,
+                    Value::I64(v) => u64::try_from(*v)
+                        .map_err(|_| Error::new("negative value for unsigned field"))?,
+                    Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 => *v as u64,
+                    other => return Err(Error::new(format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(v) => Ok(*v as $t),
+                    Value::I64(v) => Ok(*v as $t),
+                    Value::U64(v) => Ok(*v as $t),
+                    other => Err(Error::new(format!("expected number, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str()?.to_owned())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected sequence, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::new("wrong array length"))
+    }
+}
+
+/// Map keys must serialize to strings (unit enum variants and strings do).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        Value::I64(v) => v.to_string(),
+        Value::U64(v) => v.to_string(),
+        other => panic!("map keys must serialize to strings, got {}", other.kind()),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    // Try the string representation first (unit variants, String keys), then
+    // fall back to integer keys.
+    let as_str = Value::Str(key.to_owned());
+    if let Ok(parsed) = K::from_value(&as_str) {
+        return Ok(parsed);
+    }
+    if let Ok(v) = key.parse::<i64>() {
+        if let Ok(parsed) = K::from_value(&Value::I64(v)) {
+            return Ok(parsed);
+        }
+    }
+    Err(Error::new(format!("cannot deserialize map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (key_to_string(k), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_to_string(k), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+ ))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) => {
+                        let mut iter = items.iter();
+                        Ok(($(
+                            $name::from_value(
+                                iter.next().ok_or_else(|| Error::new("tuple too short"))?,
+                            )?,
+                        )+))
+                    }
+                    other => Err(Error::new(format!("expected sequence, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1.0f64);
+        assert_eq!(BTreeMap::<String, f64>::from_value(&map.to_value()).unwrap(), map);
+    }
+}

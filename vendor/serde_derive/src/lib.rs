@@ -1,0 +1,377 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes this workspace actually uses: named-field structs,
+//! tuple structs, unit structs, and enums whose variants are unit, tuple or
+//! struct-like. Generics and `#[serde(...)]` attributes are unsupported and
+//! rejected with a compile error. Parsing is done directly on the
+//! `proc_macro` token stream because `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().expect("valid error tokens")
+        }
+    };
+    let code = match direction {
+        Direction::Serialize => generate_serialize(&name, &shape),
+        Direction::Deserialize => generate_deserialize(&name, &shape),
+    };
+    code.parse().expect("generated impl must be valid Rust")
+}
+
+/// Parses `struct`/`enum` definitions into a [`Shape`].
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde derive (vendored) does not support generics on `{name}`"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(parse_named_fields(group.stream())?)))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::Tuple(count_tuple_fields(group.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(group.stream())?)))
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}`")),
+    }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility and types (types are never needed: generated code relies on
+/// inference against the struct definition).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(ident) => {
+                fields.push(ident.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => {
+                        return Err(format!(
+                            "expected `:` after field `{}`",
+                            fields.last().unwrap()
+                        ))
+                    }
+                }
+                // Skip the type: scan to the next comma outside angle brackets.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token `{other}` in struct body")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(ident) => {
+                let name = ident.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(group.stream())?)
+                    }
+                    Some(TokenTree::Group(group))
+                        if group.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        i += 1;
+                        VariantShape::Tuple(count_tuple_fields(group.stream()))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    return Err(format!(
+                        "explicit discriminant on variant `{name}` is unsupported"
+                    ));
+                }
+                variants.push((name, shape));
+            }
+            other => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let mut out = String::from("::serde::Value::Map(<[_]>::into_vec(::std::boxed::Box::new([");
+    for field in fields {
+        out.push_str(&format!(
+            "(::std::string::String::from({field:?}), ::serde::Serialize::to_value(&{access_prefix}{field})),"
+        ));
+    }
+    out.push_str("])))");
+    out
+}
+
+fn generate_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut out =
+                String::from("::serde::Value::Seq(<[_]>::into_vec(::std::boxed::Box::new([");
+            for i in 0..*n {
+                out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            out.push_str("])))");
+            out
+        }
+        Shape::Named(fields) => named_to_value(fields, "self."),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (variant, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::Str(::std::string::String::from({variant:?})),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let mut seq = String::from(
+                                "::serde::Value::Seq(<[_]>::into_vec(::std::boxed::Box::new([",
+                            );
+                            for b in &binders {
+                                seq.push_str(&format!("::serde::Serialize::to_value({b}),"));
+                            }
+                            seq.push_str("])))");
+                            seq
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{variant}({binds}) => ::serde::Value::Map(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({variant:?}), {payload})]))),",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let payload = named_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {binds} }} => ::serde::Value::Map(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({variant:?}), {payload})]))),",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn generate_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut fields = String::new();
+            for i in 0..*n {
+                fields.push_str(&format!(
+                    "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| ::serde::Error::new(\"tuple too short\"))?)?,"
+                ));
+            }
+            format!(
+                "match __value {{ ::serde::Value::Seq(__items) => ::std::result::Result::Ok({name}({fields})), _ => ::std::result::Result::Err(::serde::Error::new(\"expected sequence\")) }}"
+            )
+        }
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(__value.field({field:?})?)?,"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (variant, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant}),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!(
+                                "{name}::{variant}(::serde::Deserialize::from_value(__payload)?)"
+                            )
+                        } else {
+                            let mut fields = String::new();
+                            for i in 0..*n {
+                                fields.push_str(&format!(
+                                    "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| ::serde::Error::new(\"tuple too short\"))?)?,"
+                                ));
+                            }
+                            format!(
+                                "match __payload {{ ::serde::Value::Seq(__items) => {name}::{variant}({fields}), _ => return ::std::result::Result::Err(::serde::Error::new(\"expected sequence payload\")) }}"
+                            )
+                        };
+                        data_arms.push_str(&format!(
+                            "{variant:?} => ::std::result::Result::Ok({ctor}),"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for field in fields {
+                            inits.push_str(&format!(
+                                "{field}: ::serde::Deserialize::from_value(__payload.field({field:?})?)?,"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{variant:?} => ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\
+                 ::serde::Value::Str(__tag) => match __tag.as_str() {{ {unit_arms} __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{__other}}`\"))) }},\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                     let (__tag, __payload) = &__entries[0];\
+                     match __tag.as_str() {{ {data_arms} __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{__other}}`\"))) }}\
+                 }},\
+                 _ => ::std::result::Result::Err(::serde::Error::new(\"expected enum representation\")),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+    )
+}
