@@ -7,6 +7,10 @@
 //!   Results are asserted byte-identical across thread counts; on a
 //!   multi-core host the higher thread counts should be measurably faster
 //!   (on a single-core host they tie);
+//! * `drc_repair_reroute` — one DRC-repair iteration's reroute after two
+//!   cells moved: `from_scratch` routes every channel again, `incremental`
+//!   uses `Router::route_partial` to reroute only the dirty channels
+//!   (results asserted byte-identical);
 //! * `global_place_iteration` — 100 analytical global-placement iterations
 //!   on the `apc32` initial design (gradient/sort-index buffer reuse path).
 //!
@@ -78,6 +82,48 @@ fn bench_route_parallel_scaling(c: &mut Criterion) {
             b.iter(|| router.route(design));
         });
     }
+    group.finish();
+}
+
+fn bench_incremental_reroute(c: &mut Criterion) {
+    let (mut design, library) = placed_apc32();
+    let router =
+        Router::with_config(library, RouterConfig { threads: 1, ..RouterConfig::default() });
+    let before = router.route(&design);
+
+    // Reproduce a typical DRC-repair iteration: legalization nudged one cell
+    // in each of two rows, dirtying the (at most) two channels each cell
+    // touches. Leftmost cells are moved so the routing grid keeps its column
+    // count and the partial path is actually taken; mid-design rows are
+    // chosen because repairs land on arbitrary rows, while the few
+    // splitter-heavy channels near the inputs dominate a from-scratch route
+    // whichever strategy runs.
+    let mut dirty: Vec<usize> = Vec::new();
+    for row in [13usize, 20] {
+        let cell = design.rows[row][0];
+        design.cells[cell].x += design.rules.grid;
+        dirty.push(row);
+        dirty.push(row - 1);
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+
+    // Guard the bench's meaning: both strategies must produce the same
+    // routed result, otherwise the timings compare different work.
+    assert_eq!(
+        router.route(&design),
+        router.route_partial(&design, &before, &dirty),
+        "incremental reroute diverged from the from-scratch reroute"
+    );
+
+    let mut group = c.benchmark_group("drc_repair_reroute");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("from_scratch"), &design, |b, design| {
+        b.iter(|| router.route(design));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("incremental"), &design, |b, design| {
+        b.iter(|| router.route_partial(design, &before, &dirty));
+    });
     group.finish();
 }
 
@@ -154,6 +200,7 @@ criterion_group!(
     benches,
     bench_route_channel,
     bench_route_parallel_scaling,
+    bench_incremental_reroute,
     bench_global_place_iteration,
     emit_baseline
 );

@@ -7,19 +7,49 @@
 //!
 //! With `--quick` the smaller `apc32` circuit is used instead, which
 //! exercises the same code path in a few seconds.
+//!
+//! The run drives the staged `FlowSession` API with an observer so each
+//! stage reports its wall-clock share as it completes.
 
-use aqfp_netlist::generators::Benchmark;
-use superflow::{Flow, FlowConfig};
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use superflow::{Flow, FlowConfig, FlowObserver, FlowStage, RepairScope};
+
+/// Prints one line per completed stage and per DRC-repair iteration.
+struct Progress;
+
+impl FlowObserver for Progress {
+    fn stage_finished(&mut self, stage: FlowStage, elapsed_s: f64) {
+        println!("  {:<9} : {elapsed_s:.2}s", stage.name());
+    }
+
+    fn drc_iteration(
+        &mut self,
+        iteration: usize,
+        report: &aqfp_layout::DrcReport,
+        scope: RepairScope<'_>,
+    ) {
+        println!("  repair #{iteration}: {} violation(s), {scope}", report.violations.len());
+    }
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let benchmark = if quick { Benchmark::Apc32 } else { Benchmark::Apc128 };
     let flow = Flow::with_config(FlowConfig::paper_default());
-    let report = flow.run_benchmark(benchmark).expect("benchmark circuits are valid");
+
+    println!("Fig. 5: staged flow for AQFP circuit {benchmark}");
+    let mut session = flow.session();
+    session.add_observer(Box::new(Progress));
+    let synthesized =
+        session.synthesize(&benchmark_circuit(benchmark)).expect("benchmark circuits are valid");
+    let placed = session.place(synthesized);
+    let routed = session.route(placed);
+    let checked = session.check(routed);
+    let report = session.finish(checked);
+
     let bytes = report.layout.to_gds_bytes();
     let path = format!("{}.gds", report.design_name);
     std::fs::write(&path, &bytes).expect("write GDS file");
-    println!("Fig. 5: layout for AQFP circuit {}", report.design_name);
     println!("  cells placed : {}", report.layout.cell_instances);
     println!("  wire paths   : {}", report.layout.wire_paths);
     println!("  chip size    : {:.0} x {:.0} um", report.layout.width_um, report.layout.height_um);

@@ -15,7 +15,7 @@
 //! Each table has a binary (`cargo run --release -p bench --bin table2` …)
 //! that regenerates the full table over all nine circuits, and a Criterion
 //! bench that measures the corresponding pipeline stage on a representative
-//! subset. Paper reference values are bundled in [`reference`] so the
+//! subset. Paper reference values are bundled in [`mod@reference`] so the
 //! binaries can print a side-by-side comparison.
 
 pub mod reference;

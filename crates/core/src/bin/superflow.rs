@@ -1,17 +1,25 @@
 //! `superflow` command-line interface.
 //!
-//! Runs the complete RTL-to-GDS flow on a structural-Verilog or BLIF file,
-//! or on one of the built-in benchmark circuits, and writes the resulting
-//! GDSII (and optionally an SVG rendering).
+//! Runs the RTL-to-GDS flow on a structural-Verilog or BLIF file, or on one
+//! of the built-in benchmark circuits, and writes the resulting GDSII (and
+//! optionally an SVG rendering, a JSON report, or a resumable stage
+//! checkpoint).
 //!
 //! ```text
 //! superflow [OPTIONS] <input>
 //!
-//!   <input>                 path to a .v / .blif file, or a benchmark name
-//!                           (adder8, apc32, apc128, decoder, sorter32,
+//!   <input>                 path to a .v / .sv / .blif file, or a benchmark
+//!                           name (adder8, apc32, apc128, decoder, sorter32,
 //!                            c432, c499, c1355, c1908)
 //!   --placer <name>         superflow | gordian | taas        [superflow]
 //!   --process <name>        mit-ll | stp2                     [mit-ll]
+//!   --threads <n>           worker threads for parallel stages; 0 = all
+//!                           cores                             [0]
+//!   --stop-after <stage>    stop after synthesis | placement | routing |
+//!                           check and (with --report) write that stage's
+//!                           resumable JSON checkpoint instead of a GDS
+//!   --report <file.json>    write the full flow report — or, with
+//!                           --stop-after, the stage checkpoint — as JSON
 //!   --output <file.gds>     GDSII output path                 [<design>.gds]
 //!   --svg <file.svg>        also write an SVG rendering
 //!   --fast                  use the reduced-effort placement configuration
@@ -21,15 +29,21 @@
 use std::process::ExitCode;
 
 use aqfp_cells::{EnergyModel, Process};
-use aqfp_layout::{render_svg, SvgOptions};
-use aqfp_netlist::generators::Benchmark;
+use aqfp_layout::{render_svg, DrcReport, SvgOptions};
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_netlist::parsers::{parse_blif, parse_verilog};
+use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
-use superflow::{Flow, FlowConfig, FlowReport};
+use superflow::{Flow, FlowConfig, FlowObserver, FlowReport, FlowStage, RepairScope};
 
+#[derive(Debug)]
 struct CliOptions {
     input: String,
     placer: PlacerKind,
     process: Process,
+    threads: Option<usize>,
+    stop_after: Option<FlowStage>,
+    report: Option<String>,
     output: Option<String>,
     svg: Option<String>,
     fast: bool,
@@ -41,6 +55,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         input: String::new(),
         placer: PlacerKind::SuperFlow,
         process: Process::MitLl,
+        threads: None,
+        stop_after: None,
+        report: None,
         output: None,
         svg: None,
         fast: false,
@@ -66,6 +83,27 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     other => return Err(format!("unknown process `{other}`")),
                 };
             }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--threads needs a number, got `{value}`"))?,
+                );
+            }
+            "--stop-after" => {
+                let value = iter.next().ok_or("--stop-after needs a value")?;
+                options.stop_after = Some(match value.as_str() {
+                    "synthesis" | "synth" => FlowStage::Synthesis,
+                    "placement" | "place" => FlowStage::Placement,
+                    "routing" | "route" => FlowStage::Routing,
+                    "check" | "drc" => FlowStage::Check,
+                    other => return Err(format!("unknown stage `{other}`")),
+                });
+            }
+            "--report" => {
+                options.report = Some(iter.next().ok_or("--report needs a value")?.clone())
+            }
             "--output" => {
                 options.output = Some(iter.next().ok_or("--output needs a value")?.clone())
             }
@@ -85,30 +123,160 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if options.input.is_empty() {
         return Err("no input given".to_owned());
     }
+    if options.stop_after.is_some() && (options.output.is_some() || options.svg.is_some()) {
+        return Err("--output/--svg write final layout artifacts, which --stop-after skips; \
+             drop --stop-after (or use --report to keep that stage's checkpoint)"
+            .to_owned());
+    }
     Ok(options)
 }
 
 fn usage() -> &'static str {
     "usage: superflow [--placer superflow|gordian|taas] [--process mit-ll|stp2] \
-     [--output out.gds] [--svg out.svg] [--fast] [--quiet] <input.v|input.blif|benchmark>"
+     [--threads n] [--stop-after synthesis|placement|routing|check] \
+     [--report out.json] [--output out.gds] [--svg out.svg] [--fast] [--quiet] \
+     <input.v|input.sv|input.blif|benchmark>"
 }
 
-fn run(options: &CliOptions) -> Result<FlowReport, String> {
-    let mut config = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
-    config.process = options.process;
-    config.placer = options.placer;
-    let flow = Flow::with_config(config);
+/// The flow configuration the command line selects, assembled through the
+/// `FlowConfig` builders.
+fn build_config(options: &CliOptions) -> FlowConfig {
+    let config = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
+    let config = config.with_process(options.process).with_placer(options.placer);
+    match options.threads {
+        Some(threads) => config.with_threads(threads),
+        None => config,
+    }
+}
 
-    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == options.input) {
-        return flow.run_benchmark(benchmark).map_err(|e| e.to_string());
+/// Loads the input netlist: benchmark names resolve to generated circuits,
+/// file paths dispatch on their extension.
+fn load_netlist(input: &str) -> Result<Netlist, String> {
+    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
+        return Ok(benchmark_circuit(benchmark));
     }
-    let source = std::fs::read_to_string(&options.input)
-        .map_err(|e| format!("cannot read `{}`: {e}", options.input))?;
-    if options.input.ends_with(".blif") {
-        flow.run_blif(&source).map_err(|e| e.to_string())
-    } else {
-        flow.run_verilog(&source).map_err(|e| e.to_string())
+    let extension = std::path::Path::new(input)
+        .extension()
+        .and_then(|extension| extension.to_str())
+        .unwrap_or("");
+    let parse: fn(&str) -> Result<Netlist, aqfp_netlist::parsers::ParseNetlistError> =
+        match extension {
+            "v" | "sv" => parse_verilog,
+            "blif" => parse_blif,
+            _ => {
+                return Err(format!(
+                    "cannot tell the format of `{input}` from its extension: expected a .v/.sv \
+                     (structural Verilog) or .blif file, or one of the benchmark names ({})",
+                    Benchmark::ALL.map(|b| b.name()).join(", ")
+                ))
+            }
+        };
+    let source =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    parse(&source).map_err(|e| e.to_string())
+}
+
+/// Prints stage progress unless `--quiet` is given.
+struct StageLog;
+
+impl FlowObserver for StageLog {
+    fn stage_finished(&mut self, stage: FlowStage, elapsed_s: f64) {
+        println!("[{:<9}] finished in {elapsed_s:.2}s", stage.name());
     }
+
+    fn drc_iteration(&mut self, iteration: usize, report: &DrcReport, scope: RepairScope<'_>) {
+        println!(
+            "[{:<9}] repair iteration {iteration}: {} violation(s), {scope}",
+            "check",
+            report.violations.len(),
+        );
+    }
+}
+
+/// What a CLI invocation produced.
+enum Outcome {
+    /// The whole pipeline ran.
+    Complete(Box<FlowReport>),
+    /// `--stop-after` ended the run early; the checkpoint JSON is only
+    /// rendered when `--report` asks for it.
+    Stopped { stage: FlowStage, summary: String, checkpoint: Option<String> },
+}
+
+fn run(options: &CliOptions) -> Result<Outcome, String> {
+    let netlist = load_netlist(&options.input)?;
+    let flow = Flow::with_config(build_config(options));
+    let mut session = flow.session();
+    if !options.quiet {
+        session.add_observer(Box::new(StageLog));
+    }
+    let want_checkpoint = options.report.is_some();
+    let checkpoint_of =
+        |json: Result<String, superflow::FlowError>| json.map_err(|e| e.to_string()).map(Some);
+
+    let synthesized = session.synthesize(&netlist).map_err(|e| e.to_string())?;
+    if options.stop_after == Some(FlowStage::Synthesis) {
+        return Ok(Outcome::Stopped {
+            stage: FlowStage::Synthesis,
+            summary: format!(
+                "{}: {} JJs / {} nets / {} phases after synthesis",
+                synthesized.design_name,
+                synthesized.stats().jj_count,
+                synthesized.stats().net_count,
+                synthesized.stats().delay
+            ),
+            checkpoint: if want_checkpoint { checkpoint_of(synthesized.to_json())? } else { None },
+        });
+    }
+
+    let placed = session.place(synthesized);
+    if options.stop_after == Some(FlowStage::Placement) {
+        return Ok(Outcome::Stopped {
+            stage: FlowStage::Placement,
+            summary: format!(
+                "{}: HPWL {:.0} µm, {} buffer lines, WNS {}",
+                placed.synthesized.design_name,
+                placed.placement.hpwl_um,
+                placed.placement.buffer_lines,
+                placed.placement.wns_display()
+            ),
+            checkpoint: if want_checkpoint { checkpoint_of(placed.to_json())? } else { None },
+        });
+    }
+
+    let routed = session.route(placed);
+    if options.stop_after == Some(FlowStage::Routing) {
+        return Ok(Outcome::Stopped {
+            stage: FlowStage::Routing,
+            summary: format!(
+                "{}: routed {} nets, {:.0} µm, {} vias",
+                routed.placed.synthesized.design_name,
+                routed.routing.stats.nets_routed,
+                routed.routing.stats.total_wirelength_um,
+                routed.routing.stats.total_vias
+            ),
+            checkpoint: if want_checkpoint { checkpoint_of(routed.to_json())? } else { None },
+        });
+    }
+
+    let checked = session.check(routed);
+    if options.stop_after == Some(FlowStage::Check) {
+        return Ok(Outcome::Stopped {
+            stage: FlowStage::Check,
+            summary: format!(
+                "{}: DRC {} after {} repair iteration(s)",
+                checked.routed.placed.synthesized.design_name,
+                if checked.drc.is_clean() {
+                    "clean".to_owned()
+                } else {
+                    format!("{} violations", checked.drc.violations.len())
+                },
+                checked.drc_iterations
+            ),
+            checkpoint: if want_checkpoint { checkpoint_of(checked.to_json())? } else { None },
+        });
+    }
+
+    Ok(Outcome::Complete(Box::new(session.finish(checked))))
 }
 
 fn main() -> ExitCode {
@@ -126,12 +294,40 @@ fn main() -> ExitCode {
     };
 
     let report = match run(&options) {
-        Ok(report) => report,
+        Ok(Outcome::Complete(report)) => report,
+        Ok(Outcome::Stopped { stage, summary, checkpoint }) => {
+            println!("{summary}");
+            match (&options.report, checkpoint) {
+                (Some(path), Some(json)) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("error: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("stopped after {stage}; checkpoint written to {path}");
+                }
+                _ => println!("stopped after {stage} (pass --report to keep a checkpoint)"),
+            }
+            return ExitCode::SUCCESS;
+        }
         Err(message) => {
             eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &options.report {
+        let json = match serde_json::to_string_pretty(&*report) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: cannot serialize report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let gds_path = options.output.clone().unwrap_or_else(|| format!("{}.gds", report.design_name));
     if let Err(e) = std::fs::write(&gds_path, report.layout.to_gds_bytes()) {
@@ -149,6 +345,7 @@ fn main() -> ExitCode {
     println!("{}", report.summary());
     if !options.quiet {
         let energy = EnergyModel::default();
+        let timings = report.stage_timings;
         println!("placer            : {}", report.placement.placer);
         println!("clock phases      : {}", report.synthesis_stats.delay);
         println!("JJs after routing : {}", report.jj_after_routing());
@@ -157,6 +354,13 @@ fn main() -> ExitCode {
             report.cycle_energy_aj(&energy),
             report.average_power_nw(&energy, aqfp_cells::FourPhaseClock::PAPER_DEFAULT),
         );
+        println!(
+            "stage timings     : synth {:.2}s / place {:.2}s / route {:.2}s / check {:.2}s",
+            timings.synthesis_s, timings.placement_s, timings.routing_s, timings.check_s,
+        );
+        if let Some(path) = &options.report {
+            println!("report written to : {path}");
+        }
         println!("GDS written to    : {gds_path}");
         if let Some(svg_path) = &options.svg {
             println!("SVG written to    : {svg_path}");
@@ -180,6 +384,10 @@ mod tests {
             "taas",
             "--process",
             "stp2",
+            "--threads",
+            "3",
+            "--report",
+            "out.json",
             "--output",
             "out.gds",
             "--svg",
@@ -191,10 +399,16 @@ mod tests {
         .expect("parses");
         assert_eq!(options.placer, PlacerKind::Taas);
         assert_eq!(options.process, Process::Stp2);
+        assert_eq!(options.threads, Some(3));
+        assert_eq!(options.report.as_deref(), Some("out.json"));
         assert_eq!(options.output.as_deref(), Some("out.gds"));
         assert_eq!(options.svg.as_deref(), Some("out.svg"));
         assert!(options.fast && options.quiet);
         assert_eq!(options.input, "adder8");
+        // --stop-after composes with --report (the checkpoint sink).
+        let stopped = parse_args(&args(&["--stop-after", "routing", "--report", "r.json", "a.v"]))
+            .expect("parses");
+        assert_eq!(stopped.stop_after, Some(FlowStage::Routing));
     }
 
     #[test]
@@ -202,14 +416,75 @@ mod tests {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["--placer"])).is_err());
         assert!(parse_args(&args(&["--placer", "magic", "adder8"])).is_err());
+        assert!(parse_args(&args(&["--threads", "many", "adder8"])).is_err());
+        assert!(parse_args(&args(&["--stop-after", "teardown", "adder8"])).is_err());
         assert!(parse_args(&args(&["--frobnicate", "adder8"])).is_err());
         assert!(parse_args(&args(&["a.v", "b.v"])).is_err());
+        // --stop-after skips the layout outputs, so combining it with
+        // --output/--svg is a contradiction, not a silent no-op.
+        let error = parse_args(&args(&["--stop-after", "route", "--output", "o.gds", "adder8"]))
+            .expect_err("contradictory flags");
+        assert!(error.contains("--stop-after"), "unhelpful message: {error}");
+        assert!(parse_args(&args(&["--stop-after", "route", "--svg", "o.svg", "adder8"])).is_err());
+    }
+
+    #[test]
+    fn config_builders_reflect_the_flags() {
+        let options =
+            parse_args(&args(&["--process", "stp2", "--threads", "2", "--fast", "adder8"]))
+                .expect("parses");
+        let config = build_config(&options);
+        assert_eq!(config.process, Process::Stp2);
+        assert_eq!(config.threads(), 2);
+        // --fast lowers the placement effort.
+        assert!(
+            config.placement.global.iterations
+                < FlowConfig::paper_default().placement.global.iterations
+        );
     }
 
     #[test]
     fn benchmark_names_resolve_without_touching_the_filesystem() {
-        let options = parse_args(&args(&["--fast", "adder8"])).expect("parses");
-        let report = run(&options).expect("flow runs");
-        assert_eq!(report.design_name, "adder8");
+        let options = parse_args(&args(&["--fast", "--quiet", "adder8"])).expect("parses");
+        match run(&options).expect("flow runs") {
+            Outcome::Complete(report) => assert_eq!(report.design_name, "adder8"),
+            Outcome::Stopped { .. } => panic!("no --stop-after given"),
+        }
+    }
+
+    #[test]
+    fn stop_after_produces_a_resumable_checkpoint() {
+        let options = parse_args(&args(&[
+            "--fast",
+            "--quiet",
+            "--stop-after",
+            "place",
+            "--report",
+            "unused.json",
+            "adder8",
+        ]))
+        .expect("parses");
+        match run(&options).expect("flow runs") {
+            Outcome::Stopped { stage, checkpoint, .. } => {
+                assert_eq!(stage, FlowStage::Placement);
+                let json = checkpoint.expect("--report requests a checkpoint");
+                let placed = superflow::Placed::from_json(&json).expect("checkpoint parses");
+                assert_eq!(placed.synthesized.design_name, "adder8");
+            }
+            Outcome::Complete(_) => panic!("--stop-after placement must stop early"),
+        }
+    }
+
+    #[test]
+    fn unknown_extensions_get_a_clear_error() {
+        let error = load_netlist("design.vhdl").expect_err("vhdl is unsupported");
+        assert!(error.contains("extension"), "unhelpful message: {error}");
+        assert!(error.contains(".blif"), "should name the supported formats: {error}");
+        // Benchmark names keep working without a file.
+        assert!(load_netlist("adder8").is_ok());
+        // A supported extension on a missing file reports the I/O problem,
+        // not a parse failure.
+        let missing = load_netlist("no_such_file.v").expect_err("missing file");
+        assert!(missing.contains("cannot read"), "unhelpful message: {missing}");
     }
 }

@@ -54,6 +54,15 @@ impl FlowConfig {
         self
     }
 
+    /// Returns the same configuration targeting a different fabrication
+    /// process (which selects the cell library and design rules), for
+    /// symmetry with [`FlowConfig::with_placer`] and
+    /// [`FlowConfig::with_threads`].
+    pub fn with_process(mut self, process: Process) -> Self {
+        self.process = process;
+        self
+    }
+
     /// Returns the same configuration with an explicit worker-thread count
     /// for the parallel flow stages (currently channel routing). `0` uses
     /// every available core, `1` forces strictly serial execution; the flow
@@ -107,6 +116,21 @@ mod tests {
     fn with_placer_switches_strategy() {
         let config = FlowConfig::default().with_placer(PlacerKind::Taas);
         assert_eq!(config.placer, PlacerKind::Taas);
+    }
+
+    #[test]
+    fn with_process_switches_library_and_rules() {
+        let config = FlowConfig::default().with_process(Process::Stp2);
+        assert_eq!(config.process, Process::Stp2);
+        assert_eq!(config.library().rules().name, "AIST STP2");
+        // Builders chain in any order.
+        let chained = FlowConfig::fast()
+            .with_process(Process::MitLl)
+            .with_placer(PlacerKind::GordianBased)
+            .with_threads(2);
+        assert_eq!(chained.process, Process::MitLl);
+        assert_eq!(chained.placer, PlacerKind::GordianBased);
+        assert_eq!(chained.threads(), 2);
     }
 
     #[test]

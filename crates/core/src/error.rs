@@ -15,6 +15,8 @@ pub enum FlowError {
     InvalidNetlist(NetlistError),
     /// The synthesis stage failed.
     Synthesis(SynthesisError),
+    /// A stage-artifact checkpoint could not be serialized or parsed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for FlowError {
@@ -23,6 +25,7 @@ impl fmt::Display for FlowError {
             FlowError::Parse(e) => write!(f, "failed to parse input: {e}"),
             FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
             FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
+            FlowError::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
         }
     }
 }
@@ -33,6 +36,7 @@ impl Error for FlowError {
             FlowError::Parse(e) => Some(e),
             FlowError::InvalidNetlist(e) => Some(e),
             FlowError::Synthesis(e) => Some(e),
+            FlowError::Checkpoint(_) => None,
         }
     }
 }

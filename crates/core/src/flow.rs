@@ -1,32 +1,33 @@
 //! The flow driver: RTL in, GDSII out.
+//!
+//! [`Flow`] is the push-button wrapper around the staged
+//! [`FlowSession`] API: every `run_*` method opens a
+//! session, drives all five stages and returns the final report. Use a
+//! session directly to inspect or checkpoint intermediate artifacts, attach
+//! observers, or stop after a specific stage.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use aqfp_cells::CellLibrary;
-use aqfp_layout::{DrcChecker, DrcViolationKind, LayoutGenerator};
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_netlist::parsers::{parse_blif, parse_verilog};
 use aqfp_netlist::Netlist;
-use aqfp_place::buffer_rows::insert_buffer_rows;
-use aqfp_place::detailed::detailed_place;
-use aqfp_place::legalize::legalize;
-use aqfp_place::PlacementEngine;
-use aqfp_route::Router;
-use aqfp_synth::Synthesizer;
 
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::report::FlowReport;
+use crate::session::FlowSession;
 
 /// The SuperFlow RTL-to-GDS driver (Fig. 3 of the paper).
 ///
 /// A [`Flow`] owns the cell library and the per-stage configuration; every
 /// `run_*` method executes the whole pipeline — synthesis, placement,
 /// routing, layout generation and DRC with automatic violation repair — and
-/// returns a [`FlowReport`].
+/// returns a [`FlowReport`]. Each run is a [`FlowSession`] under the hood,
+/// sharing the flow's cell library by `Arc` across stages and sessions.
 #[derive(Debug, Clone)]
 pub struct Flow {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
     config: FlowConfig,
 }
 
@@ -38,7 +39,7 @@ impl Flow {
 
     /// Creates a flow from an explicit configuration.
     pub fn with_config(config: FlowConfig) -> Self {
-        Self { library: config.library(), config }
+        Self { library: Arc::new(config.library()), config }
     }
 
     /// The cell library the flow targets.
@@ -49,6 +50,13 @@ impl Flow {
     /// The flow configuration.
     pub fn config(&self) -> &FlowConfig {
         &self.config
+    }
+
+    /// Opens a staged session over this flow's configuration and shared
+    /// cell library, for callers that want to drive (or stop after, or
+    /// checkpoint) individual stages.
+    pub fn session(&self) -> FlowSession {
+        FlowSession::with_library(self.config.clone(), Arc::clone(&self.library))
     }
 
     /// Runs the flow on a structural-Verilog module (the RTL entry point of
@@ -86,70 +94,20 @@ impl Flow {
 
     /// Runs the complete flow on a gate-level netlist.
     ///
+    /// Equivalent to driving a fresh [`FlowSession`] through all of its
+    /// stages: synthesize → place → route → check → finish.
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
     /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
     pub fn run(&self, netlist: &Netlist) -> Result<FlowReport, FlowError> {
-        let start = Instant::now();
-        netlist.validate()?;
-
-        // 1. Majority-based logic synthesis, splitter and buffer insertion.
-        let synthesizer = Synthesizer::with_options(self.library.clone(), self.config.synthesis);
-        let synthesis = synthesizer.run(netlist)?;
-        let synthesis_stats = synthesis.stats.clone();
-
-        // 2. Placement (global, legalization, detailed) + buffer rows.
-        let engine = PlacementEngine::with_options(self.library.clone(), self.config.placement);
-        let mut placement = engine.place(&synthesis, self.config.placer);
-
-        // 3. Layer-wise routing with space expansion.
-        let router = Router::with_config(self.library.clone(), self.config.router);
-        let mut routing = router.route(&placement.design);
-
-        // 4. Layout generation + DRC, with automatic repair of violations:
-        //    spacing problems are fixed by re-legalization, max-wirelength
-        //    problems by another round of buffer rows, and both trigger a
-        //    reroute before the layout is regenerated.
-        let generator = LayoutGenerator::new(self.library.clone());
-        let checker = DrcChecker::new(self.library.rules().clone());
-        let mut layout = generator.generate(&placement.design, &routing);
-        let mut drc = checker.check(&placement.design, &routing);
-        let mut drc_iterations = 0;
-        while !drc.is_clean() && drc_iterations < self.config.max_drc_iterations {
-            drc_iterations += 1;
-            if drc.count(DrcViolationKind::CellSpacing) > 0 {
-                legalize(&mut placement.design);
-            }
-            if drc.count(DrcViolationKind::MaxWirelength) > 0 {
-                // Split over-long connections with buffer rows, then let the
-                // detailed placer pull the new buffers toward their nets so
-                // each hop actually fits within the limit.
-                insert_buffer_rows(&mut placement.design, &self.library);
-                legalize(&mut placement.design);
-                detailed_place(&mut placement.design, &self.config.placement.detailed);
-            }
-            // Unrouted nets and zigzag violations are addressed by rerouting
-            // (the router's space expansion kicks in with a fresh channel).
-            routing = router.route(&placement.design);
-            layout = generator.generate(&placement.design, &routing);
-            drc = checker.check(&placement.design, &routing);
-        }
-
-        // Refresh the placement metrics in case DRC repair moved cells.
-        placement.hpwl_um = placement.design.hpwl();
-
-        Ok(FlowReport {
-            design_name: netlist.name().to_owned(),
-            synthesis,
-            synthesis_stats,
-            placement,
-            routing,
-            drc,
-            drc_iterations,
-            layout,
-            runtime_s: start.elapsed().as_secs_f64(),
-        })
+        let mut session = self.session();
+        let synthesized = session.synthesize(netlist)?;
+        let placed = session.place(synthesized);
+        let routed = session.route(placed);
+        let checked = session.check(routed);
+        Ok(session.finish(checked))
     }
 }
 
@@ -162,6 +120,7 @@ impl Default for Flow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqfp_layout::DrcViolationKind;
     use aqfp_place::PlacerKind;
 
     fn fast_flow() -> Flow {

@@ -29,19 +29,34 @@
 //! # Ok::<(), superflow::FlowError>(())
 //! ```
 //!
-//! The individual stages remain available through the re-exported crates for
-//! users who want to customize a single step (e.g. swap in their own placer)
-//! while keeping the rest of the flow.
+//! # Staged sessions
+//!
+//! [`Flow::run`] is a thin wrapper over the staged [`FlowSession`] API:
+//! each stage returns a typed, inspectable artifact
+//! ([`Synthesized`] → [`Placed`] → [`Routed`] → [`Checked`]) that
+//! serializes to a resumable JSON checkpoint, observers
+//! ([`FlowObserver`]) watch stage boundaries and DRC-repair iterations, and
+//! per-stage wall-clock timings land in [`FlowReport::stage_timings`]. The
+//! DRC-repair loop is incremental: only the channels whose cells actually
+//! moved are rerouted (see [`session`]).
+//!
+//! The individual stages also remain available through the re-exported
+//! crates for users who want to customize a single step (e.g. swap in their
+//! own placer) while keeping the rest of the flow.
 
 pub mod config;
 pub mod error;
 pub mod flow;
 pub mod report;
+pub mod session;
 
 pub use config::FlowConfig;
 pub use error::FlowError;
 pub use flow::Flow;
-pub use report::FlowReport;
+pub use report::{FlowReport, StageTimings};
+pub use session::{
+    Checked, FlowObserver, FlowSession, FlowStage, Placed, RepairScope, Routed, Synthesized,
+};
 
 // Re-export the stage crates so downstream users can depend on `superflow`
 // alone.

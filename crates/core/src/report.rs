@@ -6,12 +6,64 @@ use aqfp_netlist::NetlistStats;
 use aqfp_place::PlacementResult;
 use aqfp_route::RoutingResult;
 use aqfp_synth::SynthesizedNetlist;
+use serde::{Deserialize, Serialize};
+
+use crate::session::FlowStage;
+
+/// Wall-clock seconds spent in each stage of a flow run, collected by the
+/// session and reported in [`FlowReport::stage_timings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Seconds spent in logic synthesis.
+    pub synthesis_s: f64,
+    /// Seconds spent in placement (including buffer rows).
+    pub placement_s: f64,
+    /// Seconds spent in the initial routing.
+    pub routing_s: f64,
+    /// Seconds spent in layout generation, DRC and the repair loop
+    /// (including incremental reroutes).
+    pub check_s: f64,
+}
+
+impl StageTimings {
+    /// Adds `seconds` to the accumulator of `stage`.
+    pub fn record(&mut self, stage: FlowStage, seconds: f64) {
+        *self.slot(stage) += seconds;
+    }
+
+    /// Seconds accumulated for `stage`.
+    pub fn get(&self, stage: FlowStage) -> f64 {
+        match stage {
+            FlowStage::Synthesis => self.synthesis_s,
+            FlowStage::Placement => self.placement_s,
+            FlowStage::Routing => self.routing_s,
+            FlowStage::Check => self.check_s,
+        }
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_s(&self) -> f64 {
+        self.synthesis_s + self.placement_s + self.routing_s + self.check_s
+    }
+
+    fn slot(&mut self, stage: FlowStage) -> &mut f64 {
+        match stage {
+            FlowStage::Synthesis => &mut self.synthesis_s,
+            FlowStage::Placement => &mut self.placement_s,
+            FlowStage::Routing => &mut self.routing_s,
+            FlowStage::Check => &mut self.check_s,
+        }
+    }
+}
 
 /// Everything a complete RTL-to-GDS run produces: per-stage results plus the
 /// final layout. The fields map directly onto the paper's tables — synthesis
 /// statistics (Table II), placement quality (Table III) and routing results
 /// (Table IV).
-#[derive(Debug, Clone)]
+///
+/// The report serializes to JSON (`serde_json::to_string_pretty`) for
+/// machine consumption — the CLI's `--report` flag writes exactly that.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowReport {
     /// Design name.
     pub design_name: String,
@@ -31,7 +83,10 @@ pub struct FlowReport {
     pub drc_iterations: usize,
     /// The generated GDSII layout.
     pub layout: Layout,
-    /// Total wall-clock runtime of the flow in seconds.
+    /// Wall-clock seconds per stage, as collected by the session.
+    pub stage_timings: StageTimings,
+    /// Total wall-clock runtime of the flow in seconds (the sum of the
+    /// stage timings).
     pub runtime_s: f64,
 }
 

@@ -1,0 +1,722 @@
+//! The staged flow driver: one session, four inspectable stages.
+//!
+//! [`FlowSession`] decomposes the push-button [`Flow`](crate::Flow) pipeline
+//! (Fig. 3 of the paper) into explicit, resumable stages:
+//!
+//! ```text
+//! synthesize() → Synthesized
+//!     place()  → Placed
+//!     route()  → Routed
+//!     check()  → Checked       (DRC + incremental violation repair)
+//!     finish() → FlowReport
+//! ```
+//!
+//! Each stage returns a typed artifact that is **inspectable** (public
+//! fields), **serializable** (`to_json`/`from_json` checkpoints) and
+//! **resumable**: a deserialized artifact continues through the remaining
+//! stages of any session with the same configuration and produces the same
+//! final GDS. Stage options may be edited between stages through
+//! [`FlowSession::config_mut`].
+//!
+//! The session shares one [`CellLibrary`] across all stages via `Arc`
+//! (instead of cloning it per stage) and repairs DRC violations
+//! *incrementally*: legalization reports which cells it displaced, the
+//! session maps those cells onto the inter-phase channels they touch, and
+//! only those channels are rerouted ([`Router::route_partial`]) — the
+//! result is byte-identical to a from-scratch reroute.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+//! use superflow::{FlowConfig, FlowSession};
+//!
+//! let mut session = FlowSession::new(FlowConfig::fast());
+//! let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8))?;
+//! println!("{} JJs after synthesis", synthesized.stats().jj_count);
+//!
+//! let placed = session.place(synthesized);
+//! let checkpoint = placed.to_json()?; // resumable JSON snapshot
+//!
+//! let routed = session.route(placed);
+//! let checked = session.check(routed);
+//! let report = session.finish(checked);
+//! assert!(report.stage_timings.total_s() > 0.0);
+//! # let _ = checkpoint;
+//! # Ok::<(), superflow::FlowError>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aqfp_cells::CellLibrary;
+use aqfp_layout::{DrcChecker, DrcReport, DrcViolationKind, Layout, LayoutGenerator};
+use aqfp_netlist::{Netlist, NetlistStats};
+use aqfp_place::buffer_rows::insert_buffer_rows;
+use aqfp_place::detailed::detailed_place;
+use aqfp_place::legalize::legalize;
+use aqfp_place::{PlacedDesign, PlacementEngine, PlacementResult};
+use aqfp_route::{Router, RoutingResult};
+use aqfp_synth::{SynthesizedNetlist, Synthesizer};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowConfig;
+use crate::error::FlowError;
+use crate::report::{FlowReport, StageTimings};
+
+/// The stages of the RTL-to-GDS pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowStage {
+    /// Majority-based logic synthesis, splitter and buffer insertion.
+    Synthesis,
+    /// Placement (global, legalization, detailed) plus buffer rows.
+    Placement,
+    /// Layer-wise channel routing with space expansion.
+    Routing,
+    /// Layout generation and DRC with automatic violation repair.
+    Check,
+}
+
+impl FlowStage {
+    /// All stages in execution order.
+    pub const ALL: [FlowStage; 4] =
+        [FlowStage::Synthesis, FlowStage::Placement, FlowStage::Routing, FlowStage::Check];
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::Synthesis => "synthesis",
+            FlowStage::Placement => "placement",
+            FlowStage::Routing => "routing",
+            FlowStage::Check => "check",
+        }
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a DRC-repair iteration brings the routing back in sync with the
+/// repaired placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairScope<'a> {
+    /// The repair renumbered rows (buffer-row insertion); every channel
+    /// reroutes from scratch.
+    Full,
+    /// Only these channel rows reroute; every other channel's wires are
+    /// reused verbatim.
+    Channels(&'a [usize]),
+    /// The repair moved no cells; the previous routing is reused verbatim.
+    Unchanged,
+}
+
+impl fmt::Display for RepairScope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairScope::Full => f.write_str("full reroute"),
+            RepairScope::Channels(rows) => {
+                write!(f, "rerouting {} dirty channel(s)", rows.len())
+            }
+            RepairScope::Unchanged => f.write_str("routing unchanged"),
+        }
+    }
+}
+
+/// Observes a [`FlowSession`]'s progress.
+///
+/// All methods have empty default bodies, so an observer implements only the
+/// events it cares about. Observers are invoked synchronously from the
+/// session's stage methods, in registration order.
+pub trait FlowObserver {
+    /// A stage is about to run.
+    fn stage_started(&mut self, _stage: FlowStage) {}
+
+    /// A stage finished after `elapsed_s` seconds of wall-clock time.
+    fn stage_finished(&mut self, _stage: FlowStage, _elapsed_s: f64) {}
+
+    /// The DRC-repair loop begins iteration `iteration` (1-based) to fix
+    /// `report`; `scope` says how much of the design will be rerouted
+    /// afterwards.
+    fn drc_iteration(&mut self, _iteration: usize, _report: &DrcReport, _scope: RepairScope<'_>) {}
+}
+
+/// Serializes a stage artifact to its JSON checkpoint.
+fn checkpoint_to_json<T: Serialize>(artifact: &T) -> Result<String, FlowError> {
+    serde_json::to_string_pretty(artifact).map_err(|e| FlowError::Checkpoint(e.to_string()))
+}
+
+/// Restores a stage artifact from its JSON checkpoint.
+fn checkpoint_from_json<T: Deserialize>(text: &str) -> Result<T, FlowError> {
+    serde_json::from_str(text).map_err(|e| FlowError::Checkpoint(e.to_string()))
+}
+
+/// The synthesis-stage artifact: the AQFP-legal netlist and its statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Synthesized {
+    /// Design name (propagated from the input netlist).
+    pub design_name: String,
+    /// The synthesized (majority-converted, buffered, path-balanced)
+    /// netlist.
+    pub synthesis: SynthesizedNetlist,
+}
+
+impl Synthesized {
+    /// The stage this artifact completes.
+    pub fn stage(&self) -> FlowStage {
+        FlowStage::Synthesis
+    }
+
+    /// Synthesis statistics: #JJs, #Nets, #Delay (Table II).
+    pub fn stats(&self) -> &NetlistStats {
+        &self.synthesis.stats
+    }
+
+    /// Serializes the artifact to a resumable JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, FlowError> {
+        checkpoint_to_json(self)
+    }
+
+    /// Restores an artifact from a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    pub fn from_json(text: &str) -> Result<Self, FlowError> {
+        checkpoint_from_json(text)
+    }
+}
+
+/// The placement-stage artifact: the synthesis artifact plus the placed
+/// design and its quality metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placed {
+    /// The synthesis artifact this placement was built from.
+    pub synthesized: Synthesized,
+    /// Placement result: HPWL, buffer lines, WNS, runtime (Table III).
+    pub placement: PlacementResult,
+}
+
+impl Placed {
+    /// The stage this artifact completes.
+    pub fn stage(&self) -> FlowStage {
+        FlowStage::Placement
+    }
+
+    /// The placed physical design.
+    pub fn design(&self) -> &PlacedDesign {
+        &self.placement.design
+    }
+
+    /// Serializes the artifact to a resumable JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, FlowError> {
+        checkpoint_to_json(self)
+    }
+
+    /// Restores an artifact from a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    pub fn from_json(text: &str) -> Result<Self, FlowError> {
+        checkpoint_from_json(text)
+    }
+}
+
+/// The routing-stage artifact: placement plus the routed wires, and the set
+/// of channels whose placement has changed since routing.
+///
+/// The dirty-channel set is what makes DRC repair incremental: when
+/// legalization (or a caller editing the placement) moves a cell, only the
+/// channels that cell touches are recorded here and rerouted by
+/// [`FlowSession::check`]; every clean channel reuses its wires from
+/// [`Routed::routing`] byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routed {
+    /// The placement artifact this routing was built from.
+    pub placed: Placed,
+    /// Routing result: routed wirelength, vias, per-channel reports
+    /// (Table IV).
+    pub routing: RoutingResult,
+    /// Channel rows whose placement changed after `routing` was computed
+    /// (sorted, deduplicated). [`FlowSession::check`] reroutes exactly these
+    /// channels before running DRC.
+    pub dirty_channels: Vec<usize>,
+}
+
+impl Routed {
+    /// The stage this artifact completes.
+    pub fn stage(&self) -> FlowStage {
+        FlowStage::Routing
+    }
+
+    /// The placed physical design the wires were routed on.
+    pub fn design(&self) -> &PlacedDesign {
+        &self.placed.placement.design
+    }
+
+    /// Whether any channel needs rerouting before the routing matches the
+    /// placement again.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty_channels.is_empty()
+    }
+
+    /// Records that the placement of `cell` changed, marking the (at most
+    /// two) channels the cell touches — the channel above its row, which
+    /// carries its driven nets, and the one below, which carries the nets it
+    /// sinks — as needing a reroute.
+    pub fn mark_cell_moved(&mut self, cell: usize) {
+        let row = self.placed.placement.design.cells[cell].row;
+        self.mark_channel_dirty(row);
+        if row > 0 {
+            self.mark_channel_dirty(row - 1);
+        }
+    }
+
+    /// Marks the channel with driver row `row` as needing a reroute.
+    pub fn mark_channel_dirty(&mut self, row: usize) {
+        if let Err(position) = self.dirty_channels.binary_search(&row) {
+            self.dirty_channels.insert(position, row);
+        }
+    }
+
+    /// Serializes the artifact to a resumable JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, FlowError> {
+        checkpoint_to_json(self)
+    }
+
+    /// Restores an artifact from a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    pub fn from_json(text: &str) -> Result<Self, FlowError> {
+        checkpoint_from_json(text)
+    }
+}
+
+/// The check-stage artifact: the (possibly repaired) routed design plus the
+/// generated layout and the final DRC report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checked {
+    /// The routed artifact after DRC repair (placement and routing reflect
+    /// every fix the repair loop applied; the dirty-channel set is empty).
+    pub routed: Routed,
+    /// The generated GDSII layout.
+    pub layout: Layout,
+    /// Design-rule-check report after the final layout generation.
+    pub drc: DrcReport,
+    /// Number of DRC-fix iterations the repair loop executed.
+    pub drc_iterations: usize,
+}
+
+impl Checked {
+    /// The stage this artifact completes.
+    pub fn stage(&self) -> FlowStage {
+        FlowStage::Check
+    }
+
+    /// Serializes the artifact to a resumable JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, FlowError> {
+        checkpoint_to_json(self)
+    }
+
+    /// Restores an artifact from a JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    pub fn from_json(text: &str) -> Result<Self, FlowError> {
+        checkpoint_from_json(text)
+    }
+}
+
+/// A staged RTL-to-GDS run: drives the pipeline one stage at a time, shares
+/// the cell library across stages, notifies observers and collects per-stage
+/// timings.
+///
+/// See the [module documentation](self) for the stage sequence and a full
+/// example; [`Flow`](crate::Flow) wraps a session into the original
+/// push-button API.
+pub struct FlowSession {
+    library: Arc<CellLibrary>,
+    config: FlowConfig,
+    observers: Vec<Box<dyn FlowObserver>>,
+    timings: StageTimings,
+}
+
+impl fmt::Debug for FlowSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowSession")
+            .field("config", &self.config)
+            .field("observers", &self.observers.len())
+            .field("timings", &self.timings)
+            .finish()
+    }
+}
+
+impl FlowSession {
+    /// Creates a session, building the cell library the configuration
+    /// selects.
+    pub fn new(config: FlowConfig) -> Self {
+        let library = Arc::new(config.library());
+        Self::with_library(config, library)
+    }
+
+    /// Creates a session around an existing shared library (so several
+    /// sessions — or a [`Flow`](crate::Flow) and its sessions — reuse one
+    /// allocation).
+    pub fn with_library(config: FlowConfig, library: Arc<CellLibrary>) -> Self {
+        Self { library, config, observers: Vec::new(), timings: StageTimings::default() }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration, for editing stage options
+    /// between stages (the next stage call picks up the changes).
+    ///
+    /// Note that [`FlowConfig::process`] is fixed once the session exists —
+    /// the library was built from it — so only the per-stage options are
+    /// meaningful to edit here.
+    pub fn config_mut(&mut self) -> &mut FlowConfig {
+        &mut self.config
+    }
+
+    /// The shared cell library all stages target.
+    pub fn library(&self) -> &Arc<CellLibrary> {
+        &self.library
+    }
+
+    /// Registers an observer for stage and DRC-repair events.
+    pub fn add_observer(&mut self, observer: Box<dyn FlowObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Per-stage wall-clock timings accumulated so far in this session.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    fn stage_started(&mut self, stage: FlowStage) {
+        for observer in &mut self.observers {
+            observer.stage_started(stage);
+        }
+    }
+
+    fn stage_finished(&mut self, stage: FlowStage, elapsed_s: f64) {
+        self.timings.record(stage, elapsed_s);
+        for observer in &mut self.observers {
+            observer.stage_finished(stage, elapsed_s);
+        }
+    }
+
+    /// Runs logic synthesis (majority conversion, splitter and buffer
+    /// insertion, path balancing) on a gate-level netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
+    /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
+    pub fn synthesize(&mut self, netlist: &Netlist) -> Result<Synthesized, FlowError> {
+        self.stage_started(FlowStage::Synthesis);
+        let start = Instant::now();
+        netlist.validate()?;
+        let synthesizer =
+            Synthesizer::with_options(Arc::clone(&self.library), self.config.synthesis);
+        let synthesis = synthesizer.run(netlist)?;
+        self.stage_finished(FlowStage::Synthesis, start.elapsed().as_secs_f64());
+        Ok(Synthesized { design_name: netlist.name().to_owned(), synthesis })
+    }
+
+    /// Runs placement (global, legalization, detailed, buffer rows) with the
+    /// placer selected by [`FlowConfig::placer`].
+    pub fn place(&mut self, synthesized: Synthesized) -> Placed {
+        self.stage_started(FlowStage::Placement);
+        let start = Instant::now();
+        let engine =
+            PlacementEngine::with_options(Arc::clone(&self.library), self.config.placement);
+        let placement = engine.place(&synthesized.synthesis, self.config.placer);
+        self.stage_finished(FlowStage::Placement, start.elapsed().as_secs_f64());
+        Placed { synthesized, placement }
+    }
+
+    /// Routes every net of the placed design, channel by channel.
+    pub fn route(&mut self, placed: Placed) -> Routed {
+        self.stage_started(FlowStage::Routing);
+        let start = Instant::now();
+        let router = Router::with_config(Arc::clone(&self.library), self.config.router);
+        let routing = router.route(&placed.placement.design);
+        self.stage_finished(FlowStage::Routing, start.elapsed().as_secs_f64());
+        Routed { placed, routing, dirty_channels: Vec::new() }
+    }
+
+    /// Generates the layout and runs DRC, repairing violations in place:
+    /// spacing problems are fixed by re-legalization, max-wirelength
+    /// problems by another round of buffer rows, and both trigger a reroute
+    /// before the layout is regenerated.
+    ///
+    /// The reroute is *incremental*: only the channels touched by cells the
+    /// repair actually moved are rerouted ([`Router::route_partial`]);
+    /// buffer-row insertion renumbers rows and therefore falls back to a
+    /// from-scratch reroute. Either way the routing is byte-identical to
+    /// rerouting the repaired design from scratch.
+    pub fn check(&mut self, routed: Routed) -> Checked {
+        self.stage_started(FlowStage::Check);
+        let start = Instant::now();
+        let Routed { mut placed, mut routing, mut dirty_channels } = routed;
+        let generator = LayoutGenerator::new(Arc::clone(&self.library));
+        let checker = DrcChecker::new(self.library.rules().clone());
+        let router = Router::with_config(Arc::clone(&self.library), self.config.router);
+
+        // The caller may have edited the placement since routing (that is
+        // what the dirty-channel set records); bring the routing up to date
+        // before checking anything.
+        if !dirty_channels.is_empty() {
+            routing = router.route_partial(&placed.placement.design, &routing, &dirty_channels);
+            dirty_channels.clear();
+        }
+
+        let mut layout = generator.generate(&placed.placement.design, &routing);
+        let mut drc = checker.check(&placed.placement.design, &routing);
+        let mut drc_iterations = 0;
+        while !drc.is_clean() && drc_iterations < self.config.max_drc_iterations {
+            drc_iterations += 1;
+            let design = &mut placed.placement.design;
+            let mut full_reroute = false;
+            let mut dirty_rows: BTreeSet<usize> = BTreeSet::new();
+            if drc.count(DrcViolationKind::CellSpacing) > 0 {
+                // Spacing problems are fixed by re-legalization; only the
+                // channels the displaced cells touch need rerouting.
+                let report = legalize(design);
+                for &cell in &report.moved_cells {
+                    let row = design.cells[cell].row;
+                    dirty_rows.insert(row);
+                    if row > 0 {
+                        dirty_rows.insert(row - 1);
+                    }
+                }
+            }
+            if drc.count(DrcViolationKind::MaxWirelength) > 0 {
+                // Split over-long connections with buffer rows, then let the
+                // detailed placer pull the new buffers toward their nets so
+                // each hop actually fits within the limit. This renumbers
+                // rows and nets, so the whole design reroutes from scratch.
+                insert_buffer_rows(design, &self.library);
+                legalize(design);
+                detailed_place(design, &self.config.placement.detailed);
+                full_reroute = true;
+            }
+            let dirty: Vec<usize> =
+                if full_reroute { Vec::new() } else { dirty_rows.into_iter().collect() };
+            let scope = if full_reroute {
+                RepairScope::Full
+            } else if dirty.is_empty() {
+                RepairScope::Unchanged
+            } else {
+                RepairScope::Channels(&dirty)
+            };
+            for observer in &mut self.observers {
+                observer.drc_iteration(drc_iterations, &drc, scope);
+            }
+            if scope == RepairScope::Unchanged {
+                // The repair moved nothing: rerouting, layout and DRC would
+                // all reproduce themselves exactly (routing is
+                // deterministic), so the loop has reached a fixed point and
+                // further iterations cannot make progress. The remaining
+                // violations are reported, not hidden.
+                break;
+            }
+            // Unrouted nets and zigzag violations are addressed by
+            // rerouting (the router's space expansion kicks in with a fresh
+            // channel); untouched channels are reused verbatim.
+            routing = if full_reroute {
+                router.route(&placed.placement.design)
+            } else {
+                router.route_partial(&placed.placement.design, &routing, &dirty)
+            };
+            layout = generator.generate(&placed.placement.design, &routing);
+            drc = checker.check(&placed.placement.design, &routing);
+        }
+
+        // Refresh the placement metrics in case DRC repair moved cells.
+        placed.placement.hpwl_um = placed.placement.design.hpwl();
+
+        self.stage_finished(FlowStage::Check, start.elapsed().as_secs_f64());
+        Checked { routed: Routed { placed, routing, dirty_channels }, layout, drc, drc_iterations }
+    }
+
+    /// Assembles the final [`FlowReport`] from the check-stage artifact,
+    /// folding in the per-stage timings this session collected. The timing
+    /// accumulators reset afterwards, so a session reused for another run
+    /// starts timing from zero.
+    ///
+    /// When a session resumes from a deserialized checkpoint, the timings
+    /// cover only the stages this session actually executed.
+    pub fn finish(&mut self, checked: Checked) -> FlowReport {
+        let Checked { routed, layout, drc, drc_iterations } = checked;
+        let Routed { placed, routing, .. } = routed;
+        let Placed { synthesized, placement } = placed;
+        let stage_timings = std::mem::take(&mut self.timings);
+        FlowReport {
+            design_name: synthesized.design_name,
+            synthesis_stats: synthesized.synthesis.stats.clone(),
+            synthesis: synthesized.synthesis,
+            placement,
+            routing,
+            drc,
+            drc_iterations,
+            layout,
+            stage_timings,
+            runtime_s: stage_timings.total_s(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+
+    /// Records every observer event as a string, for order assertions.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+    }
+
+    impl FlowObserver for Recorder {
+        fn stage_started(&mut self, stage: FlowStage) {
+            self.events.push(format!("start:{stage}"));
+        }
+        fn stage_finished(&mut self, stage: FlowStage, elapsed_s: f64) {
+            assert!(elapsed_s >= 0.0);
+            self.events.push(format!("finish:{stage}"));
+        }
+        fn drc_iteration(&mut self, iteration: usize, report: &DrcReport, scope: RepairScope<'_>) {
+            self.events.push(format!(
+                "drc:{iteration}:{violations}:{scope}",
+                violations = report.violations.len(),
+            ));
+        }
+    }
+
+    /// An observer shim sharing the recorder through a cell so the test can
+    /// read the events after the session consumed the box.
+    struct SharedRecorder(std::rc::Rc<std::cell::RefCell<Recorder>>);
+
+    impl FlowObserver for SharedRecorder {
+        fn stage_started(&mut self, stage: FlowStage) {
+            self.0.borrow_mut().stage_started(stage);
+        }
+        fn stage_finished(&mut self, stage: FlowStage, elapsed_s: f64) {
+            self.0.borrow_mut().stage_finished(stage, elapsed_s);
+        }
+        fn drc_iteration(&mut self, iteration: usize, report: &DrcReport, scope: RepairScope<'_>) {
+            self.0.borrow_mut().drc_iteration(iteration, report, scope);
+        }
+    }
+
+    #[test]
+    fn stages_run_in_order_and_notify_observers() {
+        let recorder = std::rc::Rc::new(std::cell::RefCell::new(Recorder::default()));
+        let mut session = FlowSession::new(FlowConfig::fast());
+        session.add_observer(Box::new(SharedRecorder(std::rc::Rc::clone(&recorder))));
+
+        let netlist = benchmark_circuit(Benchmark::Adder8);
+        let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
+        assert_eq!(synthesized.stage(), FlowStage::Synthesis);
+        let placed = session.place(synthesized);
+        assert!(placed.design().cell_count() > 0);
+        let routed = session.route(placed);
+        assert!(!routed.is_dirty());
+        let checked = session.check(routed);
+        assert_eq!(checked.stage(), FlowStage::Check);
+        let report = session.finish(checked);
+        assert_eq!(report.design_name, "adder8");
+        assert!(report.stage_timings.total_s() > 0.0);
+        assert!((report.runtime_s - report.stage_timings.total_s()).abs() < 1e-12);
+
+        let events = recorder.borrow().events.clone();
+        let stage_events: Vec<&String> = events.iter().filter(|e| !e.starts_with("drc:")).collect();
+        assert_eq!(
+            stage_events,
+            vec![
+                "start:synthesis",
+                "finish:synthesis",
+                "start:placement",
+                "finish:placement",
+                "start:routing",
+                "finish:routing",
+                "start:check",
+                "finish:check"
+            ]
+        );
+    }
+
+    #[test]
+    fn session_report_matches_the_push_button_flow() {
+        let netlist = benchmark_circuit(Benchmark::Adder8);
+        let push_button =
+            crate::Flow::with_config(FlowConfig::fast()).run(&netlist).expect("flow runs");
+
+        let mut session = FlowSession::new(FlowConfig::fast());
+        let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
+        let placed = session.place(synthesized);
+        let routed = session.route(placed);
+        let checked = session.check(routed);
+        let staged = session.finish(checked);
+
+        assert_eq!(push_button.layout.to_gds_bytes(), staged.layout.to_gds_bytes());
+        assert_eq!(push_button.routing, staged.routing);
+        assert_eq!(push_button.drc, staged.drc);
+        assert_eq!(push_button.drc_iterations, staged.drc_iterations);
+    }
+
+    #[test]
+    fn options_can_change_between_stages() {
+        let mut session = FlowSession::new(FlowConfig::fast());
+        let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
+        // Force strictly serial routing from this point on; the routed
+        // result must be identical either way.
+        session.config_mut().router.threads = 1;
+        let placed = session.place(synthesized);
+        let routed = session.route(placed);
+        assert_eq!(routed.routing.stats.failed_nets, 0);
+    }
+
+    #[test]
+    fn marking_a_moved_cell_dirties_its_two_channels() {
+        let mut session = FlowSession::new(FlowConfig::fast());
+        let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
+        let placed = session.place(synthesized);
+        let mut routed = session.route(placed);
+        let cell = routed.design().rows[3][0];
+        routed.mark_cell_moved(cell);
+        assert_eq!(routed.dirty_channels, vec![2, 3]);
+        // Marking again is idempotent.
+        routed.mark_cell_moved(cell);
+        assert_eq!(routed.dirty_channels, vec![2, 3]);
+    }
+}

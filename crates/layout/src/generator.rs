@@ -6,16 +6,18 @@
 //! path per wire, alternating the two wiring metals segment by segment.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use aqfp_cells::{CellLibrary, Point};
 use aqfp_place::PlacedDesign;
 use aqfp_route::RoutingResult;
+use serde::{Deserialize, Serialize};
 
 use crate::cells::{self, layers};
 use crate::gds::{GdsElement, GdsLibrary, GdsStructure};
 
 /// A generated chip layout: the GDSII library plus a few summary numbers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Layout {
     /// The GDSII library ready to be serialized with
     /// [`GdsLibrary::to_bytes`].
@@ -49,13 +51,15 @@ impl Layout {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LayoutGenerator {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
 }
 
 impl LayoutGenerator {
-    /// Creates a generator for the given cell library.
-    pub fn new(library: CellLibrary) -> Self {
-        Self { library }
+    /// Creates a generator for the given cell library. Accepts either an
+    /// owned [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver
+    /// shares one library across all stages).
+    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
+        Self { library: library.into() }
     }
 
     /// The cell library backing the generated layouts.

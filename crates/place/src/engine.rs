@@ -1,5 +1,6 @@
 //! The placement engine: the full placement pipeline plus the baselines.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use aqfp_cells::CellLibrary;
@@ -121,19 +122,21 @@ impl PlacementResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlacementEngine {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
     options: PlacementOptions,
 }
 
 impl PlacementEngine {
-    /// Creates an engine with default options.
-    pub fn new(library: CellLibrary) -> Self {
-        Self { library, options: PlacementOptions::default() }
+    /// Creates an engine with default options. Accepts either an owned
+    /// [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver shares
+    /// one library across all stages).
+    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
+        Self { library: library.into(), options: PlacementOptions::default() }
     }
 
     /// Creates an engine with explicit options.
-    pub fn with_options(library: CellLibrary, options: PlacementOptions) -> Self {
-        Self { library, options }
+    pub fn with_options(library: impl Into<Arc<CellLibrary>>, options: PlacementOptions) -> Self {
+        Self { library: library.into(), options }
     }
 
     /// The engine's options.

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::design::PlacedDesign;
 
 /// Summary of a legalization run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LegalizationReport {
     /// Total displacement applied to cells, in µm.
     pub total_displacement: f64,
@@ -19,6 +19,10 @@ pub struct LegalizationReport {
     pub max_displacement: f64,
     /// Overlapping pairs found before legalization.
     pub overlaps_before: usize,
+    /// Indices (into [`PlacedDesign::cells`]) of every cell legalization
+    /// actually displaced. The flow's incremental DRC repair uses this to
+    /// reroute only the channels touched by the moved cells.
+    pub moved_cells: Vec<usize>,
 }
 
 /// Legalizes every row in place: cells keep their left-to-right order from
@@ -30,6 +34,7 @@ pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
     let spacing = design.rules.min_spacing;
     let mut total_displacement = 0.0;
     let mut max_displacement: f64 = 0.0;
+    let mut moved_cells = Vec::new();
 
     design.sort_rows_by_x();
     let rows = design.rows.clone();
@@ -53,13 +58,16 @@ pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
             let displacement = (position - desired).abs();
             total_displacement += displacement;
             max_displacement = max_displacement.max(displacement);
+            if displacement > 1e-9 {
+                moved_cells.push(cell_index);
+            }
             design.cells[cell_index].x = position;
             cursor = position + design.cells[cell_index].width;
         }
     }
 
     design.sort_rows_by_x();
-    LegalizationReport { total_displacement, max_displacement, overlaps_before }
+    LegalizationReport { total_displacement, max_displacement, overlaps_before, moved_cells }
 }
 
 #[cfg(test)]
@@ -115,6 +123,28 @@ mod tests {
         assert_eq!(xs, xs_after, "already-legal placement must not move");
         assert_eq!(second.overlaps_before, 0);
         assert_eq!(second.total_displacement, 0.0);
+        assert!(second.moved_cells.is_empty(), "a no-op run must report no moved cells");
+    }
+
+    #[test]
+    fn moved_cells_name_exactly_the_displaced_cells() {
+        let mut design = placed_design(Benchmark::Adder8);
+        legalize(&mut design);
+        // Knock one legal cell onto its left neighbour to force a repack.
+        let row = design.rows.iter().position(|r| r.len() >= 2).expect("a row with two cells");
+        let victim = design.rows[row][1];
+        design.cells[victim].x = design.cells[design.rows[row][0]].x;
+        let before: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        let report = legalize(&mut design);
+        assert!(report.moved_cells.contains(&victim), "the displaced cell must be reported");
+        for (index, cell) in design.cells.iter().enumerate() {
+            let moved = (cell.x - before[index]).abs() > 1e-9;
+            assert_eq!(
+                report.moved_cells.contains(&index),
+                moved,
+                "cell {index} moved={moved} but the report disagrees"
+            );
+        }
     }
 
     #[test]

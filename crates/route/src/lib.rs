@@ -42,6 +42,12 @@
 //! * **Parallel channels** — channels share no routing state and run on a
 //!   worker pool ([`RouterConfig::threads`], `0` = all cores); results merge
 //!   in row order, so serial and parallel runs are byte-identical.
+//! * **Partial reroute** — [`Router::route_partial`] reroutes only the
+//!   channels named dirty (because DRC repair moved cells in them) and
+//!   reuses every other channel's wires from the previous
+//!   [`RoutingResult`]. Channel routing is deterministic, so the outcome is
+//!   byte-identical to a from-scratch [`Router::route`] of the same design;
+//!   the flow's DRC-repair loop is built on this entry point.
 //!
 //! The `routing_perf` bench in `crates/bench` tracks these paths
 //! (`route_channel`, `route_parallel_scaling`, `global_place_iteration`) and

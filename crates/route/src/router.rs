@@ -25,7 +25,7 @@
 //!    count, so serial and parallel runs produce identical results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use aqfp_cells::{CellLibrary, Point};
 use aqfp_place::PlacedDesign;
@@ -122,6 +122,10 @@ pub struct RoutingResult {
     /// Josephson junctions in the routed design (all placed cells, including
     /// buffers added by synthesis and placement).
     pub jj_count: usize,
+    /// Width of the routing grid (in columns) the result was routed on.
+    /// [`Router::route_partial`] reuses a channel's wires only while the
+    /// grid the new design derives still has this column count.
+    pub grid_columns: i64,
 }
 
 /// A net assigned to a channel, with its resolved pin columns.
@@ -155,21 +159,25 @@ struct ChannelOutcome {
 /// See the crate-level example for typical usage.
 #[derive(Debug, Clone)]
 pub struct Router {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
     config: RouterConfig,
 }
 
 impl Router {
     /// Creates a router with default configuration for the given library.
-    pub fn new(library: CellLibrary) -> Self {
+    /// Accepts either an owned [`CellLibrary`] or a shared
+    /// `Arc<CellLibrary>` (the flow driver shares one library across all
+    /// stages).
+    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
+        let library = library.into();
         let config =
             RouterConfig { grid_step_um: library.rules().min_spacing, ..Default::default() };
         Self { library, config }
     }
 
     /// Creates a router with an explicit configuration.
-    pub fn with_config(library: CellLibrary, config: RouterConfig) -> Self {
-        Self { library, config }
+    pub fn with_config(library: impl Into<Arc<CellLibrary>>, config: RouterConfig) -> Self {
+        Self { library: library.into(), config }
     }
 
     /// The router configuration.
@@ -179,6 +187,80 @@ impl Router {
 
     /// Routes every net of a placed design, channel by channel.
     pub fn route(&self, design: &PlacedDesign) -> RoutingResult {
+        let (step, columns, initial_tracks, auto_tracks) = self.grid_params(design);
+        let jobs = build_channel_jobs(design, step, columns);
+        let outcomes = self.route_channels(&jobs, columns, initial_tracks, auto_tracks, step);
+        self.assemble(outcomes, design, columns)
+    }
+
+    /// Reroutes only the channels whose driver row is in `dirty_rows`,
+    /// reusing every other channel's wires and report from `previous`.
+    ///
+    /// This is the flow's incremental DRC-repair entry point: legalization
+    /// reports which cells it displaced, the flow maps those cells to the
+    /// (at most two) channels each one touches, and only those channels are
+    /// rerouted. Channel routing is deterministic and channels share no
+    /// routing state, so the result is byte-identical to a from-scratch
+    /// [`Router::route`] of the same design.
+    ///
+    /// The byte-identical guarantee requires `dirty_rows` to cover every
+    /// channel whose cells moved since `previous` was routed — a channel
+    /// wrongly reported clean keeps its stale wires. Grid-shape drift is
+    /// handled defensively on top of that: when the column count changed (a
+    /// moved cell widened the layer), the net list changed (buffer rows were
+    /// inserted), or a supposedly clean channel disagrees with its previous
+    /// report, the affected channels reroute from scratch.
+    pub fn route_partial(
+        &self,
+        design: &PlacedDesign,
+        previous: &RoutingResult,
+        dirty_rows: &[usize],
+    ) -> RoutingResult {
+        let (step, columns, initial_tracks, auto_tracks) = self.grid_params(design);
+        let previous_nets = previous.stats.nets_routed + previous.stats.failed_nets;
+        if columns != previous.grid_columns || previous_nets != design.net_count() {
+            return self.route(design);
+        }
+
+        let dirty: std::collections::BTreeSet<usize> = dirty_rows.iter().copied().collect();
+        let previous_reports: std::collections::BTreeMap<usize, ChannelReport> =
+            previous.channels.iter().map(|report| (report.row, *report)).collect();
+        // Previous wires grouped by channel row, skipping the dirty rows
+        // whose wires are about to be replaced anyway. Rows never change
+        // outside a full reroute (legalization only moves cells
+        // horizontally), so the wire → channel mapping through the current
+        // design is the mapping the previous run used.
+        let mut previous_wires: std::collections::BTreeMap<usize, Vec<RoutedWire>> =
+            Default::default();
+        for wire in &previous.wires {
+            let row = design.cells[design.nets[wire.net].driver].row;
+            if !dirty.contains(&row) {
+                previous_wires.entry(row).or_default().push(wire.clone());
+            }
+        }
+
+        let jobs = build_channel_jobs(design, step, columns);
+        let (dirty_jobs, clean_jobs): (Vec<ChannelJob>, Vec<ChannelJob>) =
+            jobs.into_iter().partition(|job| {
+                dirty.contains(&job.row)
+                    || previous_reports.get(&job.row).is_none_or(|r| r.nets != job.nets.len())
+            });
+
+        let mut outcomes =
+            self.route_channels(&dirty_jobs, columns, initial_tracks, auto_tracks, step);
+        for job in &clean_jobs {
+            outcomes.push(ChannelOutcome {
+                report: previous_reports[&job.row],
+                wires: previous_wires.remove(&job.row).unwrap_or_default(),
+            });
+        }
+        outcomes.sort_by_key(|outcome| outcome.report.row);
+        self.assemble(outcomes, design, columns)
+    }
+
+    /// The grid parameters a design derives under this configuration:
+    /// `(step, columns, initial_tracks, auto_tracks)`.
+    fn grid_params(&self, design: &PlacedDesign) -> (f64, i64, i64, bool) {
         let step = self.config.grid_step_um.max(1.0);
         let columns = ((design.layer_width() / step).ceil() as i64 + 2).max(2);
         let (initial_tracks, auto_tracks) = if self.config.initial_tracks >= 2 {
@@ -186,10 +268,17 @@ impl Router {
         } else {
             (((design.row_pitch / step).round() as i64).max(2), true)
         };
+        (step, columns, initial_tracks, auto_tracks)
+    }
 
-        let jobs = build_channel_jobs(design, step, columns);
-        let outcomes = self.route_channels(&jobs, columns, initial_tracks, auto_tracks, step);
-
+    /// Merges per-channel outcomes (already in row order, or sorted by the
+    /// caller) into the final result.
+    fn assemble(
+        &self,
+        outcomes: Vec<ChannelOutcome>,
+        design: &PlacedDesign,
+        columns: i64,
+    ) -> RoutingResult {
         let mut wires = Vec::with_capacity(design.nets.len());
         let mut channel_reports = Vec::with_capacity(outcomes.len());
         let mut stats = RoutingStats {
@@ -214,7 +303,7 @@ impl Router {
         }
 
         let jj_count = design.cells.iter().map(|c| self.library.cell(c.kind).jj_count).sum();
-        RoutingResult { wires, stats, channels: channel_reports, jj_count }
+        RoutingResult { wires, stats, channels: channel_reports, jj_count, grid_columns: columns }
     }
 
     /// Routes every channel job, serially or on a worker pool.
@@ -726,6 +815,60 @@ mod tests {
                 goal.x
             );
         }
+    }
+
+    #[test]
+    fn partial_reroute_with_no_dirty_channels_returns_the_previous_result() {
+        let (design, library) = placed(Benchmark::Adder8);
+        let router = Router::new(library);
+        let before = router.route(&design);
+        let rerouted = router.route_partial(&design, &before, &[]);
+        assert_eq!(before, rerouted, "an untouched design must reuse every channel verbatim");
+    }
+
+    #[test]
+    fn partial_reroute_is_byte_identical_to_from_scratch() {
+        let (mut design, library) = placed(Benchmark::Apc32);
+        let router = Router::new(library);
+        let before = router.route(&design);
+
+        // Nudge the leftmost cell of two rows by one grid step (leftmost so
+        // the overall layer width — and with it the grid column count —
+        // stays put and the partial path is actually exercised).
+        let mut dirty = Vec::new();
+        for row in [2usize, 5] {
+            let cell = design.rows[row][0];
+            design.cells[cell].x += design.rules.grid;
+            dirty.push(row);
+            if row > 0 {
+                dirty.push(row - 1);
+            }
+        }
+
+        let scratch = router.route(&design);
+        let partial = router.route_partial(&design, &before, &dirty);
+        assert_eq!(scratch, partial, "incremental reroute must match a from-scratch reroute");
+        let scratch_json = serde_json::to_string(&scratch).expect("serialize");
+        let partial_json = serde_json::to_string(&partial).expect("serialize");
+        assert_eq!(scratch_json, partial_json, "… down to the serialized bytes");
+        // The nudges must actually have changed something, or the assertion
+        // above would hold trivially.
+        assert_ne!(before, scratch, "the perturbation must change the routed result");
+    }
+
+    #[test]
+    fn partial_reroute_falls_back_to_full_on_netlist_changes() {
+        let (mut design, library) = placed(Benchmark::Adder8);
+        let router = Router::new(library);
+        let before = router.route(&design);
+        // Splice in an extra net: the previous result no longer covers the
+        // design, so every channel must reroute regardless of the dirty set.
+        let net = design.nets[0];
+        design.nets.push(net);
+        let partial = router.route_partial(&design, &before, &[]);
+        let scratch = router.route(&design);
+        assert_eq!(scratch, partial);
+        assert_eq!(partial.stats.nets_routed + partial.stats.failed_nets, design.net_count());
     }
 
     #[test]

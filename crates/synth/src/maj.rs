@@ -5,7 +5,7 @@
 //! other fan-out and whose leaves are at most three independent signals),
 //! computes each cone's truth table, and replaces the cone by the cheapest
 //! majority-based implementation found in the precomputed
-//! [`MappingTable`](crate::truth::MappingTable) — the paper's table-based
+//! [`MappingTable`] — the paper's table-based
 //! Karnaugh-map matching. A cone is only rewritten when the replacement uses
 //! no more Josephson junctions than the original (ties are broken in favour
 //! of fewer logic levels).

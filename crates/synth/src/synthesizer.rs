@@ -1,6 +1,8 @@
 //! The synthesis driver tying conversion, splitter insertion and balancing
 //! together.
 
+use std::sync::Arc;
+
 use aqfp_cells::{CellKind, CellLibrary};
 use aqfp_netlist::{Netlist, NetlistStats};
 use serde::{Deserialize, Serialize};
@@ -81,19 +83,21 @@ impl SynthesizedNetlist {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
-    library: CellLibrary,
+    library: Arc<CellLibrary>,
     options: SynthesisOptions,
 }
 
 impl Synthesizer {
-    /// Creates a synthesizer with default options.
-    pub fn new(library: CellLibrary) -> Self {
-        Self { library, options: SynthesisOptions::default() }
+    /// Creates a synthesizer with default options. Accepts either an owned
+    /// [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver shares
+    /// one library across all stages).
+    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
+        Self { library: library.into(), options: SynthesisOptions::default() }
     }
 
     /// Creates a synthesizer with explicit options.
-    pub fn with_options(library: CellLibrary, options: SynthesisOptions) -> Self {
-        Self { library, options }
+    pub fn with_options(library: impl Into<Arc<CellLibrary>>, options: SynthesisOptions) -> Self {
+        Self { library: library.into(), options }
     }
 
     /// The cell library the synthesizer targets.

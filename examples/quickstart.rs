@@ -1,5 +1,11 @@
-//! Quickstart: run the complete SuperFlow RTL-to-GDS pipeline on a small
-//! hand-written structural-Verilog module and write the resulting layout.
+//! Quickstart: drive the SuperFlow RTL-to-GDS pipeline stage by stage on a
+//! small hand-written structural-Verilog module and write the resulting
+//! layout.
+//!
+//! The staged [`FlowSession`] API runs the same pipeline as the push-button
+//! `Flow::run_verilog`, but hands back a typed artifact after every stage —
+//! synthesis, placement, routing, DRC — so each one can be inspected (or
+//! serialized as a resumable JSON checkpoint) before the next stage runs.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -25,37 +31,64 @@ const FULL_ADDER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Configure the flow: MIT-LL process, SuperFlow placer, default knobs.
-    let flow = Flow::with_config(FlowConfig::paper_default());
+    // 1. Configure the flow with the builder API: MIT-LL process, SuperFlow
+    //    placer, default knobs — then open a staged session.
+    let config = FlowConfig::paper_default()
+        .with_process(aqfp_cells::Process::MitLl)
+        .with_placer(aqfp_place::PlacerKind::SuperFlow);
+    let mut session = FlowSession::new(config);
 
-    // 2. Run RTL -> GDS in one call.
-    let report = flow.run_verilog(FULL_ADDER)?;
-
-    // 3. Inspect the per-stage results.
-    println!("design          : {}", report.design_name);
+    // 2. Synthesis: majority conversion, splitters, path balancing
+    //    (Table II columns).
+    let netlist = aqfp_netlist::parsers::parse_verilog(FULL_ADDER)?;
+    let synthesized = session.synthesize(&netlist)?;
+    println!("design          : {}", synthesized.design_name);
     println!("-- synthesis (Table II columns) --");
-    println!("  JJs           : {}", report.synthesis_stats.jj_count);
-    println!("  nets          : {}", report.synthesis_stats.net_count);
-    println!("  delay (phases): {}", report.synthesis_stats.delay);
-    println!("  buffers       : {}", report.synthesis_stats.buffer_count);
-    println!("  splitters     : {}", report.synthesis_stats.splitter_count);
+    println!("  JJs           : {}", synthesized.stats().jj_count);
+    println!("  nets          : {}", synthesized.stats().net_count);
+    println!("  delay (phases): {}", synthesized.stats().delay);
+    println!("  buffers       : {}", synthesized.stats().buffer_count);
+    println!("  splitters     : {}", synthesized.stats().splitter_count);
+
+    // 3. Placement: global + legalization + detailed, then buffer rows
+    //    (Table III columns). The artifact could be checkpointed here with
+    //    `placed.to_json()` and resumed in a later session.
+    let placed = session.place(synthesized);
     println!("-- placement (Table III columns) --");
-    println!("  HPWL          : {:.0} um", report.placement.hpwl_um);
-    println!("  buffer lines  : {}", report.placement.buffer_lines);
-    println!("  WNS           : {} ps", report.placement.wns_display());
+    println!("  HPWL          : {:.0} um", placed.placement.hpwl_um);
+    println!("  buffer lines  : {}", placed.placement.buffer_lines);
+    println!("  WNS           : {} ps", placed.placement.wns_display());
+
+    // 4. Routing: layer-wise channel routing with space expansion
+    //    (Table IV columns).
+    let routed = session.route(placed);
     println!("-- routing (Table IV columns) --");
-    println!("  routed nets   : {}", report.routing.stats.nets_routed);
-    println!("  routed length : {:.0} um", report.routing.stats.total_wirelength_um);
-    println!("  vias          : {}", report.routing.stats.total_vias);
+    println!("  routed nets   : {}", routed.routing.stats.nets_routed);
+    println!("  routed length : {:.0} um", routed.routing.stats.total_wirelength_um);
+    println!("  vias          : {}", routed.routing.stats.total_vias);
+
+    // 5. Signoff: layout generation + DRC with incremental violation repair
+    //    (only channels whose cells moved are rerouted).
+    let checked = session.check(routed);
     println!("-- signoff --");
     println!(
-        "  DRC           : {}",
-        if report.drc.is_clean() { "clean" } else { "violations remain" }
+        "  DRC           : {} ({} repair iterations)",
+        if checked.drc.is_clean() { "clean" } else { "violations remain" },
+        checked.drc_iterations,
     );
 
-    // 4. Write the GDSII layout.
+    // 6. Finish: fold everything, plus the per-stage timings the session
+    //    collected, into the final report and write the GDSII layout.
+    let report = session.finish(checked);
     let gds = report.layout.to_gds_bytes();
     std::fs::write("full_adder.gds", &gds)?;
     println!("  GDS           : full_adder.gds ({} bytes)", gds.len());
+    println!(
+        "  stage times   : synth {:.2}s / place {:.2}s / route {:.2}s / check {:.2}s",
+        report.stage_timings.synthesis_s,
+        report.stage_timings.placement_s,
+        report.stage_timings.routing_s,
+        report.stage_timings.check_s,
+    );
     Ok(())
 }

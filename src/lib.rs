@@ -20,5 +20,8 @@ pub mod prelude {
     pub use aqfp_route::Router;
     pub use aqfp_synth::Synthesizer;
     pub use aqfp_timing::TimingAnalyzer;
-    pub use superflow::{Flow, FlowConfig, FlowReport};
+    pub use superflow::{
+        Checked, Flow, FlowConfig, FlowObserver, FlowReport, FlowSession, FlowStage, Placed,
+        RepairScope, Routed, StageTimings, Synthesized,
+    };
 }

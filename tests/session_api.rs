@@ -1,0 +1,186 @@
+//! Integration tests for the staged `FlowSession` API: JSON checkpoint
+//! round-trips that resume to bit-identical GDS, and incremental DRC repair
+//! that matches a from-scratch reroute byte for byte.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use aqfp_layout::DrcReport;
+use aqfp_route::Router;
+use superflow_suite::prelude::*;
+
+fn fast_config() -> FlowConfig {
+    FlowConfig::fast()
+}
+
+#[test]
+fn every_stage_checkpoint_resumes_to_identical_gds() {
+    let netlist = benchmark_circuit(Benchmark::Adder8);
+
+    // Uninterrupted reference run, snapshotting every stage artifact.
+    let mut session = FlowSession::new(fast_config());
+    let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
+    let synth_json = synthesized.to_json().expect("serialize synthesized");
+    let placed = session.place(synthesized);
+    let placed_json = placed.to_json().expect("serialize placed");
+    let routed = session.route(placed);
+    let routed_json = routed.to_json().expect("serialize routed");
+    let checked = session.check(routed);
+    let checked_json = checked.to_json().expect("serialize checked");
+    let reference = session.finish(checked);
+    let reference_gds = reference.layout.to_gds_bytes();
+
+    // Resume from the synthesis checkpoint: place → route → check → finish.
+    {
+        let mut resumed = FlowSession::new(fast_config());
+        let synthesized = Synthesized::from_json(&synth_json).expect("checkpoint parses");
+        let placed = resumed.place(synthesized);
+        let routed = resumed.route(placed);
+        let checked = resumed.check(routed);
+        let report = resumed.finish(checked);
+        assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from synthesis");
+        // A resumed session only times the stages it actually ran.
+        assert_eq!(report.stage_timings.synthesis_s, 0.0);
+        assert!(report.stage_timings.placement_s >= 0.0);
+    }
+
+    // Resume from the placement checkpoint: route → check → finish.
+    {
+        let mut resumed = FlowSession::new(fast_config());
+        let placed = Placed::from_json(&placed_json).expect("checkpoint parses");
+        let routed = resumed.route(placed);
+        let checked = resumed.check(routed);
+        let report = resumed.finish(checked);
+        assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from placement");
+    }
+
+    // Resume from the routing checkpoint: check → finish.
+    {
+        let mut resumed = FlowSession::new(fast_config());
+        let routed = Routed::from_json(&routed_json).expect("checkpoint parses");
+        let checked = resumed.check(routed);
+        let report = resumed.finish(checked);
+        assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from routing");
+    }
+
+    // Resume from the check checkpoint: finish only.
+    {
+        let mut resumed = FlowSession::new(fast_config());
+        let checked = Checked::from_json(&checked_json).expect("checkpoint parses");
+        let report = resumed.finish(checked);
+        assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from check");
+        assert_eq!(report.drc_iterations, reference.drc_iterations);
+        assert_eq!(report.drc, reference.drc);
+        assert_eq!(report.jj_after_routing(), reference.jj_after_routing());
+    }
+}
+
+#[test]
+fn flow_reports_round_trip_through_json() {
+    let report =
+        Flow::with_config(fast_config()).run_benchmark(Benchmark::Adder8).expect("flow succeeds");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let parsed: FlowReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(parsed.design_name, report.design_name);
+    assert_eq!(parsed.layout.to_gds_bytes(), report.layout.to_gds_bytes());
+    assert_eq!(parsed.routing, report.routing);
+    assert_eq!(parsed.drc, report.drc);
+    assert_eq!(parsed.stage_timings, report.stage_timings);
+}
+
+/// Captures the reroute scope of each DRC-repair iteration: `None` for a
+/// full reroute, `Some(rows)` for an incremental one (empty = unchanged).
+struct RepairWatch(Rc<RefCell<Vec<Option<Vec<usize>>>>>);
+
+impl FlowObserver for RepairWatch {
+    fn drc_iteration(&mut self, _iteration: usize, _report: &DrcReport, scope: RepairScope<'_>) {
+        self.0.borrow_mut().push(match scope {
+            RepairScope::Full => None,
+            RepairScope::Channels(rows) => Some(rows.to_vec()),
+            RepairScope::Unchanged => Some(Vec::new()),
+        });
+    }
+}
+
+/// A small structural-Verilog module whose flow run is naturally DRC-clean
+/// (no max-wirelength residuals), so the only violations the repair loop
+/// ever sees in this test are the ones the test plants itself.
+const MAJORITY_VOTE: &str = r#"
+    module majority_vote(a, b, c, y);
+      input a, b, c;
+      output y;
+      wire ab, bc, ca, t;
+      and g1(ab, a, b);
+      and g2(bc, b, c);
+      and g3(ca, c, a);
+      or g4(t, ab, bc);
+      or g5(y, t, ca);
+    endmodule
+"#;
+
+#[test]
+fn incremental_repair_is_byte_identical_to_a_from_scratch_reroute() {
+    let netlist = aqfp_netlist::parsers::parse_verilog(MAJORITY_VOTE).expect("valid Verilog");
+    let iterations = Rc::new(RefCell::new(Vec::new()));
+
+    let mut session = FlowSession::new(fast_config());
+    session.add_observer(Box::new(RepairWatch(Rc::clone(&iterations))));
+    let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
+    let placed = session.place(synthesized);
+    let mut routed = session.route(placed);
+
+    // Sabotage the placement *after* routing: drop one cell exactly onto its
+    // left-hand row neighbour. The overlap is a CellSpacing violation the
+    // check stage must repair by re-legalizing; the victim is chosen so it
+    // is not the design's rightmost cell, which keeps the routing grid's
+    // column count unchanged and genuinely exercises the incremental path.
+    let victim = {
+        let design = &routed.placed.placement.design;
+        let layer_width = design.layer_width();
+        design
+            .rows
+            .iter()
+            .filter(|row| row.len() >= 2)
+            .map(|row| row[1])
+            .find(|&cell| design.cells[cell].right() < layer_width - 1e-9)
+            .expect("a row with two cells away from the right edge")
+    };
+    {
+        let design = &mut routed.placed.placement.design;
+        let left = design.rows[design.cells[victim].row][0];
+        design.cells[victim].x = design.cells[left].x;
+    }
+    routed.mark_cell_moved(victim);
+    assert!(routed.is_dirty());
+
+    let checked = session.check(routed);
+
+    // The repair loop must have run at least once, and at least one
+    // iteration must have rerouted a bounded dirty set rather than the
+    // whole design.
+    assert!(checked.drc_iterations >= 1, "the sabotage must trigger a repair iteration");
+    let seen = iterations.borrow().clone();
+    assert!(!seen.is_empty());
+    let channel_count = checked.routed.routing.channels.len();
+    assert!(
+        seen.iter().any(|scope| {
+            scope.as_ref().is_some_and(|rows| !rows.is_empty() && rows.len() < channel_count)
+        }),
+        "at least one repair iteration must reroute only dirty channels \
+         (observed {seen:?} over {channel_count} channels)"
+    );
+
+    // Byte-identical guarantee: rerouting the repaired design from scratch
+    // gives exactly the routing the incremental loop produced.
+    let library = Arc::clone(session.library());
+    let router = Router::with_config(library, session.config().router);
+    let scratch = router.route(&checked.routed.placed.placement.design);
+    assert_eq!(scratch, checked.routed.routing);
+    let scratch_json = serde_json::to_string(&scratch).expect("serialize");
+    let incremental_json = serde_json::to_string(&checked.routed.routing).expect("serialize");
+    assert_eq!(scratch_json, incremental_json, "… down to the serialized bytes");
+
+    // And the repair genuinely fixed the overlap it was given.
+    assert_eq!(checked.routed.placed.placement.design.overlap_count(), 0);
+}
