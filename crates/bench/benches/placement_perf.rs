@@ -1,0 +1,235 @@
+//! Perf-trajectory benches for the placement/timing hot paths, introduced
+//! together with the batched SoA timing engine and the delta-cost parallel
+//! detailed placer:
+//!
+//! * `detailed_place` — a full detailed-placement run on a legalized `apc32`
+//!   design: `scalar_baseline` is the pre-rewrite placer (per-candidate
+//!   `Vec` + sort + dedup, serial Gauss-Seidel sweeps), `delta_1thread` is
+//!   the CSR + cached-delta-cost path at one worker thread;
+//! * `sta_full_analysis` — one full timing analysis of the placed design:
+//!   `scalar_rebuild` allocates `to_placed_nets()` and runs the scalar
+//!   analyzer (the old engine path), `batched` refills the SoA
+//!   [`TimingBatch`] in place and runs `analyze_batch`;
+//! * `drc_repair_timing` — the timing call of one DRC-repair iteration
+//!   after legalization displaced two cells: `from_scratch` rebuilds the
+//!   whole net view per call, `incremental` refreshes only the nets
+//!   incident to the moved cells and re-analyzes the batch.
+//!
+//! The two STA pairs are asserted bit-identical before timing, so those
+//! rows compare exactly equal work. The detailed-place pair compares two
+//! placers with intentionally different evaluation order (the baseline's
+//! Gauss-Seidel sweeps vs the rewrite's frozen-snapshot half-sweeps); they
+//! accept slightly different move sets of equivalent quality, which the
+//! placer's unit tests pin. After measuring, the run prints a comparison
+//! against the committed `BENCH_placement.json` (report-only) and rewrites
+//! the file so future PRs can track the trajectory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use serde::{Deserialize, Serialize};
+
+use aqfp_cells::CellLibrary;
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_place::design::{NetIncidence, PlacedDesign};
+use aqfp_place::detailed::{detailed_place, detailed_place_reference, DetailedPlacementConfig};
+use aqfp_place::global::{global_place, GlobalPlacementConfig};
+use aqfp_place::legalize::legalize;
+use aqfp_place::{PlacementEngine, PlacerKind};
+use aqfp_synth::Synthesizer;
+use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
+
+/// A legalized (but not detailed-placed) apc32 design — the detailed
+/// placer's input.
+fn legalized_apc32() -> PlacedDesign {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("benchmark circuits synthesize");
+    let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+    global_place(&mut design, &GlobalPlacementConfig::default());
+    legalize(&mut design);
+    design
+}
+
+/// A fully placed apc32 design — the timing analyzer's input.
+fn placed_apc32() -> PlacedDesign {
+    let library = CellLibrary::mit_ll();
+    let synthesized = Synthesizer::new(library.clone())
+        .run(&benchmark_circuit(Benchmark::Apc32))
+        .expect("benchmark circuits synthesize");
+    PlacementEngine::new(library).place(&synthesized, PlacerKind::SuperFlow).design
+}
+
+fn bench_detailed_place(c: &mut Criterion) {
+    let base = legalized_apc32();
+    let config = DetailedPlacementConfig { threads: 1, ..Default::default() };
+
+    let mut group = c.benchmark_group("detailed_place");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("scalar_baseline"), &base, |b, base| {
+        b.iter_batched(
+            || base.clone(),
+            |mut design| detailed_place_reference(&mut design, &config),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("delta_1thread"), &base, |b, base| {
+        b.iter_batched(
+            || base.clone(),
+            |mut design| detailed_place(&mut design, &config),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_sta_full_analysis(c: &mut Criterion) {
+    let design = placed_apc32();
+    let analyzer = TimingAnalyzer::new(TimingConfig::paper_default());
+    let layer_width = design.layer_width().max(1.0);
+
+    // Guard the bench's meaning: both paths must produce bit-identical
+    // reports, otherwise the timings compare different work.
+    let scalar = analyzer.analyze(&design.to_placed_nets(), layer_width);
+    let mut batch = TimingBatch::with_capacity(design.net_count());
+    design.fill_timing_batch(&mut batch);
+    let batched = analyzer.analyze_batch(&batch, layer_width);
+    assert_eq!(scalar.wns_ps.to_bits(), batched.wns_ps.to_bits());
+    assert_eq!(scalar, batched, "batched STA diverged from the scalar analysis");
+
+    let mut group = c.benchmark_group("sta_full_analysis");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("scalar_rebuild"), &design, |b, design| {
+        b.iter(|| analyzer.analyze(&design.to_placed_nets(), layer_width));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batched"), &design, |b, design| {
+        b.iter(|| {
+            design.fill_timing_batch(&mut batch);
+            analyzer.analyze_batch(&batch, layer_width)
+        });
+    });
+    group.finish();
+}
+
+fn bench_drc_repair_timing(c: &mut Criterion) {
+    let mut design = placed_apc32();
+    let analyzer = TimingAnalyzer::new(TimingConfig::paper_default());
+    let incidence = NetIncidence::build(&design);
+    let mut batch = TimingBatch::with_capacity(design.net_count());
+    design.fill_timing_batch(&mut batch);
+
+    // Reproduce a typical DRC-repair iteration: legalization nudged one
+    // cell in each of two mid-design rows. The batch then only needs the
+    // nets incident to those two cells refreshed before re-analysis, while
+    // the scalar path rebuilds the whole net view.
+    let moved: Vec<usize> = [13usize, 20].iter().map(|&row| design.rows[row][0]).collect();
+    for &cell in &moved {
+        design.cells[cell].x += design.rules.grid;
+    }
+    design.refresh_timing_batch(&mut batch, &incidence, &moved);
+    let layer_width = design.layer_width().max(1.0);
+
+    let scalar = analyzer.analyze(&design.to_placed_nets(), layer_width);
+    let incremental = analyzer.analyze_batch(&batch, layer_width);
+    assert_eq!(scalar.wns_ps.to_bits(), incremental.wns_ps.to_bits());
+    assert_eq!(scalar, incremental, "incremental timing diverged from the rebuild");
+
+    let mut group = c.benchmark_group("drc_repair_timing");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("from_scratch"), &design, |b, design| {
+        b.iter(|| analyzer.analyze(&design.to_placed_nets(), layer_width));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("incremental"), &design, |b, design| {
+        b.iter(|| {
+            design.refresh_timing_batch(&mut batch, &incidence, &moved);
+            analyzer.analyze_batch(&batch, layer_width)
+        });
+    });
+    group.finish();
+}
+
+#[derive(Serialize, Deserialize)]
+struct BaselineEntry {
+    id: String,
+    mean_ns: u64,
+    min_ns: u64,
+    samples: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    circuit: String,
+    host_threads: usize,
+    results: Vec<BaselineEntry>,
+}
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_placement.json");
+
+/// Prints a report-only comparison of this run against the committed
+/// `BENCH_placement.json`, then rewrites the file with the fresh numbers.
+/// Skipped in `--test` smoke mode (nothing is measured) and in filtered
+/// runs (a partial result set must not clobber the full baseline).
+fn compare_and_emit_baseline(c: &mut Criterion) {
+    if c.filter().is_some() {
+        println!("skipping BENCH_placement.json update: name filter active");
+        return;
+    }
+    let results: Vec<BaselineEntry> = c
+        .summaries()
+        .iter()
+        .map(|summary| BaselineEntry {
+            id: summary.id.clone(),
+            mean_ns: summary.mean().as_nanos() as u64,
+            min_ns: summary.samples.iter().min().map_or(0, |d| d.as_nanos() as u64),
+            samples: summary.samples.len(),
+        })
+        .collect();
+    if results.is_empty() {
+        return;
+    }
+
+    // Report-only trajectory check against the committed baseline: print
+    // the delta per row, never fail.
+    if let Ok(text) = std::fs::read_to_string(BASELINE_PATH) {
+        match serde_json::from_str::<Baseline>(&text) {
+            Ok(committed) => {
+                println!("placement perf vs committed baseline ({}):", committed.circuit);
+                for entry in &results {
+                    match committed.results.iter().find(|old| old.id == entry.id) {
+                        Some(old) if old.mean_ns > 0 => {
+                            let ratio = entry.mean_ns as f64 / old.mean_ns as f64;
+                            println!(
+                                "  {:<36} {:>12} ns -> {:>12} ns  ({:.2}x)",
+                                entry.id, old.mean_ns, entry.mean_ns, ratio
+                            );
+                        }
+                        _ => println!("  {:<36} (new row, no baseline)", entry.id),
+                    }
+                }
+            }
+            Err(error) => println!("could not parse committed BENCH_placement.json: {error}"),
+        }
+    } else {
+        println!("no committed BENCH_placement.json yet; writing the first baseline");
+    }
+
+    let baseline = Baseline {
+        circuit: Benchmark::Apc32.to_string(),
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Err(error) = std::fs::write(BASELINE_PATH, json + "\n") {
+        eprintln!("warning: could not write BENCH_placement.json: {error}");
+    } else {
+        println!("wrote baseline to BENCH_placement.json");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_detailed_place,
+    bench_sta_full_analysis,
+    bench_drc_repair_timing,
+    compare_and_emit_baseline
+);
+criterion_main!(benches);

@@ -64,11 +64,13 @@ impl FlowConfig {
     }
 
     /// Returns the same configuration with an explicit worker-thread count
-    /// for the parallel flow stages (currently channel routing). `0` uses
-    /// every available core, `1` forces strictly serial execution; the flow
-    /// result is identical for every setting.
+    /// for the parallel flow stages: channel routing and the detailed
+    /// placer's row sweeps. `0` uses every available core, `1` forces
+    /// strictly serial execution; the flow result is identical for every
+    /// setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.router.threads = threads;
+        self.placement.detailed.threads = threads;
         self
     }
 
@@ -134,12 +136,14 @@ mod tests {
     }
 
     #[test]
-    fn with_threads_reaches_the_router() {
+    fn with_threads_reaches_every_parallel_stage() {
         let config = FlowConfig::default().with_threads(3);
         assert_eq!(config.threads(), 3);
         assert_eq!(config.router.threads, 3);
+        assert_eq!(config.placement.detailed.threads, 3);
         // Default is auto (0): use every available core.
         assert_eq!(FlowConfig::default().threads(), 0);
+        assert_eq!(FlowConfig::default().placement.detailed.threads, 0);
     }
 
     #[test]

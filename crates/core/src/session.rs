@@ -23,7 +23,10 @@
 //! *incrementally*: legalization reports which cells it displaced, the
 //! session maps those cells onto the inter-phase channels they touch, and
 //! only those channels are rerouted ([`Router::route_partial`]) — the
-//! result is byte-identical to a from-scratch reroute.
+//! result is byte-identical to a from-scratch reroute. Timing follows the
+//! same discipline: the repair loop maintains one structure-of-arrays
+//! [`TimingBatch`], refreshing only the nets incident to moved cells, and
+//! the final placement report carries the post-repair timing.
 //!
 //! # Examples
 //!
@@ -57,9 +60,10 @@ use aqfp_netlist::{Netlist, NetlistStats};
 use aqfp_place::buffer_rows::insert_buffer_rows;
 use aqfp_place::detailed::detailed_place;
 use aqfp_place::legalize::legalize;
-use aqfp_place::{PlacedDesign, PlacementEngine, PlacementResult};
+use aqfp_place::{NetIncidence, PlacedDesign, PlacementEngine, PlacementResult};
 use aqfp_route::{Router, RoutingResult};
 use aqfp_synth::{SynthesizedNetlist, Synthesizer};
+use aqfp_timing::{TimingAnalyzer, TimingBatch};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowConfig;
@@ -483,6 +487,15 @@ impl FlowSession {
     /// buffer-row insertion renumbers rows and therefore falls back to a
     /// from-scratch reroute. Either way the routing is byte-identical to
     /// rerouting the repaired design from scratch.
+    ///
+    /// Timing bookkeeping is incremental too: the session keeps one
+    /// structure-of-arrays [`TimingBatch`] alive across the repair loop and
+    /// refreshes only the nets incident to the cells each repair moved
+    /// (falling back to a full refill when buffer-row insertion renumbers
+    /// the design). The final [`PlacementResult::timing`] therefore reflects
+    /// the *repaired* placement — bit-identical to a from-scratch scalar
+    /// analysis of the final design — instead of going stale the moment the
+    /// repair loop moves a cell.
     pub fn check(&mut self, routed: Routed) -> Checked {
         self.stage_started(FlowStage::Check);
         let start = Instant::now();
@@ -490,6 +503,14 @@ impl FlowSession {
         let generator = LayoutGenerator::new(Arc::clone(&self.library));
         let checker = DrcChecker::new(self.library.rules().clone());
         let router = Router::with_config(Arc::clone(&self.library), self.config.router);
+
+        // The batched timing state survives the whole repair loop: the SoA
+        // batch is refreshed in place (incrementally where possible) instead
+        // of re-allocating a `Vec<PlacedNet>` per iteration.
+        let analyzer = TimingAnalyzer::new(self.config.placement.timing);
+        let mut timing_batch = TimingBatch::with_capacity(placed.placement.design.net_count());
+        placed.placement.design.fill_timing_batch(&mut timing_batch);
+        let mut incidence = NetIncidence::build(&placed.placement.design);
 
         // The caller may have edited the placement since routing (that is
         // what the dirty-channel set records); bring the routing up to date
@@ -507,6 +528,7 @@ impl FlowSession {
             let design = &mut placed.placement.design;
             let mut full_reroute = false;
             let mut dirty_rows: BTreeSet<usize> = BTreeSet::new();
+            let mut moved_cells: Vec<usize> = Vec::new();
             if drc.count(DrcViolationKind::CellSpacing) > 0 {
                 // Spacing problems are fixed by re-legalization; only the
                 // channels the displaced cells touch need rerouting.
@@ -518,6 +540,7 @@ impl FlowSession {
                         dirty_rows.insert(row - 1);
                     }
                 }
+                moved_cells = report.moved_cells;
             }
             if drc.count(DrcViolationKind::MaxWirelength) > 0 {
                 // Split over-long connections with buffer rows, then let the
@@ -528,6 +551,16 @@ impl FlowSession {
                 legalize(design);
                 detailed_place(design, &self.config.placement.detailed);
                 full_reroute = true;
+            }
+            // Keep the timing batch in sync with the repaired placement:
+            // buffer rows renumber cells and nets (rebuild everything), a
+            // legalization touch-up refreshes only the nets incident to the
+            // displaced cells.
+            if full_reroute {
+                design.fill_timing_batch(&mut timing_batch);
+                incidence = NetIncidence::build(design);
+            } else if !moved_cells.is_empty() {
+                design.refresh_timing_batch(&mut timing_batch, &incidence, &moved_cells);
             }
             let dirty: Vec<usize> =
                 if full_reroute { Vec::new() } else { dirty_rows.into_iter().collect() };
@@ -561,8 +594,13 @@ impl FlowSession {
             drc = checker.check(&placed.placement.design, &routing);
         }
 
-        // Refresh the placement metrics in case DRC repair moved cells.
+        // Refresh the placement metrics in case DRC repair moved cells. The
+        // timing report re-runs on the incrementally maintained batch, so it
+        // matches the repaired design exactly without rebuilding the net
+        // view.
         placed.placement.hpwl_um = placed.placement.design.hpwl();
+        placed.placement.timing =
+            analyzer.analyze_batch(&timing_batch, placed.placement.design.layer_width().max(1.0));
 
         self.stage_finished(FlowStage::Check, start.elapsed().as_secs_f64());
         Checked { routed: Routed { placed, routing, dirty_channels }, layout, drc, drc_iterations }
@@ -704,6 +742,26 @@ mod tests {
         let placed = session.place(synthesized);
         let routed = session.route(placed);
         assert_eq!(routed.routing.stats.failed_nets, 0);
+    }
+
+    #[test]
+    fn post_check_timing_matches_a_fresh_scalar_analysis() {
+        let mut session = FlowSession::new(FlowConfig::fast());
+        let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
+        let placed = session.place(synthesized);
+        let routed = session.route(placed);
+        let checked = session.check(routed);
+
+        let design = &checked.routed.placed.placement.design;
+        let analyzer = TimingAnalyzer::new(session.config().placement.timing);
+        let fresh = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
+        let incremental = &checked.routed.placed.placement.timing;
+        assert_eq!(
+            fresh.wns_ps.to_bits(),
+            incremental.wns_ps.to_bits(),
+            "incrementally maintained timing must be bit-identical to a rebuild"
+        );
+        assert_eq!(&fresh, incremental);
     }
 
     #[test]

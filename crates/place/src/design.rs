@@ -4,7 +4,7 @@
 use aqfp_cells::{CellKind, CellLibrary, ProcessRules};
 use aqfp_netlist::GateId;
 use aqfp_synth::SynthesizedNetlist;
-use aqfp_timing::PlacedNet;
+use aqfp_timing::{PlacedNet, TimingBatch};
 use serde::{Deserialize, Serialize};
 
 /// A placed cell instance.
@@ -47,6 +47,60 @@ pub struct PhysNet {
     pub driver: usize,
     /// Index of the sink cell.
     pub sink: usize,
+}
+
+/// Flat CSR (compressed sparse row) incidence structure mapping each cell to
+/// the nets that touch it.
+///
+/// Built once from a [`PlacedDesign`], it replaces the per-cell
+/// `Vec<Vec<usize>>` adjacency with two contiguous arrays, so the detailed
+/// placer's move evaluation and the timing batch's incremental refresh walk
+/// dense memory without chasing per-cell heap allocations. The structure
+/// stays valid as long as the design's cell and net *indices* are stable —
+/// moving cells is fine, inserting buffer rows (which renumbers both)
+/// requires a rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetIncidence {
+    /// `offsets[c]..offsets[c + 1]` spans cell `c`'s entries in `nets`.
+    offsets: Vec<u32>,
+    /// Net indices, grouped by cell.
+    nets: Vec<u32>,
+}
+
+impl NetIncidence {
+    /// Builds the incidence structure with two counting passes over the
+    /// design's nets (no intermediate per-cell vectors).
+    pub fn build(design: &PlacedDesign) -> Self {
+        let cell_count = design.cells.len();
+        let mut offsets = vec![0u32; cell_count + 1];
+        for net in &design.nets {
+            offsets[net.driver + 1] += 1;
+            offsets[net.sink + 1] += 1;
+        }
+        for cell in 0..cell_count {
+            offsets[cell + 1] += offsets[cell];
+        }
+        let mut nets = vec![0u32; offsets[cell_count] as usize];
+        let mut cursor = offsets.clone();
+        for (index, net) in design.nets.iter().enumerate() {
+            nets[cursor[net.driver] as usize] = index as u32;
+            cursor[net.driver] += 1;
+            nets[cursor[net.sink] as usize] = index as u32;
+            cursor[net.sink] += 1;
+        }
+        Self { offsets, nets }
+    }
+
+    /// The nets incident to `cell` (each net index appears once per endpoint
+    /// on the cell).
+    pub fn of(&self, cell: usize) -> &[u32] {
+        &self.nets[self.offsets[cell] as usize..self.offsets[cell + 1] as usize]
+    }
+
+    /// Number of cells the structure was built for.
+    pub fn cell_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 /// The physical design: all cells with their row/x positions plus the
@@ -188,22 +242,63 @@ impl PlacedDesign {
         self.layer_width() * (self.rows.len() as f64 * self.row_pitch)
     }
 
+    /// The timing view of a single net: driver phase, endpoint centers and
+    /// estimated length.
+    pub fn placed_net(&self, net: &PhysNet) -> PlacedNet {
+        let driver = &self.cells[net.driver];
+        let sink = &self.cells[net.sink];
+        PlacedNet {
+            phase: driver.row,
+            source_x: driver.center_x(),
+            sink_x: sink.center_x(),
+            length_um: self.net_length(net),
+        }
+    }
+
     /// Converts the design into the per-net view the timing analyzer
     /// consumes.
+    ///
+    /// Allocates a fresh vector on every call; hot paths that re-analyze
+    /// timing repeatedly (the DRC-repair loop) should maintain a
+    /// [`TimingBatch`] via [`PlacedDesign::fill_timing_batch`] /
+    /// [`PlacedDesign::refresh_timing_batch`] instead.
     pub fn to_placed_nets(&self) -> Vec<PlacedNet> {
-        self.nets
-            .iter()
-            .map(|net| {
-                let driver = &self.cells[net.driver];
-                let sink = &self.cells[net.sink];
-                PlacedNet {
-                    phase: driver.row,
-                    source_x: driver.center_x(),
-                    sink_x: sink.center_x(),
-                    length_um: self.net_length(net),
-                }
-            })
-            .collect()
+        self.nets.iter().map(|net| self.placed_net(net)).collect()
+    }
+
+    /// Rebuilds `batch` from every net of the design, reusing the batch's
+    /// allocations (no allocation once the batch has reached the design's
+    /// net count).
+    pub fn fill_timing_batch(&self, batch: &mut TimingBatch) {
+        batch.resize(self.nets.len());
+        for (index, net) in self.nets.iter().enumerate() {
+            batch.set(index, self.placed_net(net));
+        }
+    }
+
+    /// Incrementally refreshes `batch` after the cells in `moved_cells`
+    /// changed position: only the nets incident to those cells are
+    /// recomputed, every other slot keeps its (still exact) value.
+    ///
+    /// `incidence` must have been built from this design with the current
+    /// cell/net numbering, and `batch` must have been filled from it; after
+    /// any edit that renumbers cells or nets (buffer-row insertion), rebuild
+    /// both with [`NetIncidence::build`] and
+    /// [`PlacedDesign::fill_timing_batch`].
+    pub fn refresh_timing_batch(
+        &self,
+        batch: &mut TimingBatch,
+        incidence: &NetIncidence,
+        moved_cells: &[usize],
+    ) {
+        debug_assert_eq!(batch.len(), self.nets.len(), "batch was filled from this design");
+        debug_assert_eq!(incidence.cell_count(), self.cells.len());
+        for &cell in moved_cells {
+            for &net_index in incidence.of(cell) {
+                let net_index = net_index as usize;
+                batch.set(net_index, self.placed_net(&self.nets[net_index]));
+            }
+        }
     }
 
     /// Nets whose length exceeds the process maximum wirelength.
@@ -327,6 +422,51 @@ mod tests {
     fn placed_nets_match_net_count() {
         let design = small_design();
         assert_eq!(design.to_placed_nets().len(), design.net_count());
+    }
+
+    #[test]
+    fn incidence_matches_the_net_list() {
+        let design = small_design();
+        let incidence = NetIncidence::build(&design);
+        assert_eq!(incidence.cell_count(), design.cell_count());
+        // Every net appears exactly once in its driver's and its sink's
+        // incidence list.
+        for (index, net) in design.nets.iter().enumerate() {
+            for cell in [net.driver, net.sink] {
+                let hits = incidence.of(cell).iter().filter(|&&n| n as usize == index).count();
+                assert_eq!(hits, 1, "net {index} in cell {cell}'s list");
+            }
+        }
+        let total: usize = (0..design.cell_count()).map(|c| incidence.of(c).len()).sum();
+        assert_eq!(total, 2 * design.net_count(), "two endpoints per net");
+    }
+
+    #[test]
+    fn filled_batch_matches_to_placed_nets() {
+        let design = small_design();
+        let mut batch = aqfp_timing::TimingBatch::new();
+        design.fill_timing_batch(&mut batch);
+        let nets = design.to_placed_nets();
+        assert_eq!(batch.len(), nets.len());
+        for (index, net) in nets.iter().enumerate() {
+            assert_eq!(batch.get(index), *net);
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_tracks_a_moved_cell() {
+        let mut design = small_design();
+        let incidence = NetIncidence::build(&design);
+        let mut batch = aqfp_timing::TimingBatch::new();
+        design.fill_timing_batch(&mut batch);
+
+        let cell = design.nets[0].driver;
+        design.cells[cell].x += 120.0;
+        design.refresh_timing_batch(&mut batch, &incidence, &[cell]);
+
+        let mut fresh = aqfp_timing::TimingBatch::new();
+        design.fill_timing_batch(&mut fresh);
+        assert_eq!(batch, fresh, "incremental refresh equals a full rebuild");
     }
 
     #[test]

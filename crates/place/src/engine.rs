@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use aqfp_cells::CellLibrary;
 use aqfp_synth::SynthesizedNetlist;
-use aqfp_timing::{TimingAnalyzer, TimingConfig, TimingReport};
+use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig, TimingReport};
 use serde::{Deserialize, Serialize};
 
 use crate::baselines::gordian::{gordian_place, GordianConfig};
@@ -186,7 +186,9 @@ impl PlacementEngine {
         };
 
         let analyzer = TimingAnalyzer::new(self.options.timing);
-        let timing = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
+        let mut batch = TimingBatch::with_capacity(design.net_count());
+        design.fill_timing_batch(&mut batch);
+        let timing = analyzer.analyze_batch(&batch, design.layer_width().max(1.0));
         let hpwl_um = design.hpwl();
 
         PlacementResult {

@@ -7,13 +7,19 @@
 //! of SuperFlow (§III-C of the paper):
 //!
 //! * [`design`] — the physical view of a synthesized netlist: rows, cells,
-//!   two-pin nets, HPWL and spacing checks;
+//!   two-pin nets, HPWL and spacing checks, plus the bridge to the batched
+//!   timing engine (a cell→net [`NetIncidence`] and in-place
+//!   fill/incremental-refresh of an `aqfp_timing::TimingBatch`);
 //! * [`global`] — an analytical global placer with a smooth weighted-average
 //!   wirelength model, the phase-dependent timing cost of Eq. (2) and a
 //!   max-wirelength penalty (a CPU stand-in for the DREAMPlace engine);
 //! * [`legalize`] — Tetris-based row legalization on the 10 µm grid;
 //! * [`detailed`] — timing-aware detailed placement with flexible
-//!   mixed-cell-size swapping (Fig. 4 of the paper);
+//!   mixed-cell-size swapping (Fig. 4 of the paper), evaluated by delta
+//!   cost over a flat [`NetIncidence`] with parallel, deterministic row
+//!   sweeps (serial and parallel results are byte-identical — see the
+//!   module docs for the contract);
+//! * [`parallel`] — the worker-count policy shared with the channel router;
 //! * [`buffer_rows`] — insertion of buffer rows for connections exceeding
 //!   the maximum wirelength;
 //! * [`baselines`] — the GORDIAN-based placer of [Li et al., DATE'21] and
@@ -45,6 +51,8 @@ pub mod detailed;
 pub mod engine;
 pub mod global;
 pub mod legalize;
+pub mod parallel;
 
-pub use design::{PhysNet, PlacedCell, PlacedDesign};
+pub use design::{NetIncidence, PhysNet, PlacedCell, PlacedDesign};
 pub use engine::{PlacementEngine, PlacementOptions, PlacementResult, PlacerKind};
+pub use parallel::effective_threads;

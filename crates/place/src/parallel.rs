@@ -1,0 +1,44 @@
+//! Shared worker-pool helpers for the flow's parallel stages.
+//!
+//! Both the channel router (`aqfp-route`) and the detailed placer
+//! ([`crate::detailed`]) distribute independent jobs (channels, rows) over a
+//! `std::thread::scope` pool and merge the results in job order, so serial
+//! and parallel runs are byte-identical. This module hosts the one policy
+//! decision they share: how a configured thread knob resolves to an actual
+//! worker count.
+
+/// Resolves a configured worker count against a job count: `0` means every
+/// available core, and there is never a reason to spawn more workers than
+/// jobs (nor fewer than one).
+pub fn effective_threads(configured: usize, jobs: usize) -> usize {
+    let threads = if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    };
+    threads.min(jobs).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_thread_counts_cap_at_the_job_count() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(2, 8), 2);
+        assert_eq!(effective_threads(1, 8), 1);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_cores() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(effective_threads(0, usize::MAX), cores);
+    }
+
+    #[test]
+    fn worker_count_is_at_least_one() {
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(5, 0), 1);
+    }
+}

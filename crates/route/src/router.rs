@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use aqfp_cells::{CellLibrary, Point};
+use aqfp_place::parallel::effective_threads;
 use aqfp_place::PlacedDesign;
 use serde::{Deserialize, Serialize};
 
@@ -369,17 +370,6 @@ impl Router {
             })
             .collect()
     }
-}
-
-/// Resolves the worker count: `0` means every available core, and there is
-/// never a reason to spawn more workers than channels.
-fn effective_threads(configured: usize, jobs: usize) -> usize {
-    let threads = if configured == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        configured
-    };
-    threads.min(jobs).max(1)
 }
 
 /// Groups nets by channel (driver row) and assigns every pin a distinct grid

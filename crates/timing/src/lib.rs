@@ -12,6 +12,10 @@
 //! * [`sta`] — a simple static timing analysis engine computing per-net
 //!   slack, worst negative slack (WNS) and total negative slack (TNS) at a
 //!   target clock frequency (5 GHz in the paper's evaluation);
+//! * [`batch`] — a structure-of-arrays [`TimingBatch`] and the batched
+//!   [`TimingAnalyzer::analyze_batch`] path, bit-for-bit identical to the
+//!   scalar analysis but allocation-free and refreshable in place (the hot
+//!   path of the DRC-repair loop);
 //! * [`TimingConfig`] — the delay coefficients of the model.
 //!
 //! # Examples
@@ -25,10 +29,12 @@
 //! assert_eq!(report.net_count, 1);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod model;
 pub mod sta;
 
+pub use batch::TimingBatch;
 pub use config::TimingConfig;
 pub use model::{phase_timing_cost, signed_phase_distance};
 pub use sta::{PlacedNet, TimingAnalyzer, TimingReport};

@@ -17,6 +17,7 @@
 /// * `phase % 4 == 2` — clock sweeps with decreasing x: `x_start − x_end`;
 /// * `phase % 4 == 3` — return path from the far edge: `2·Ŵ − x_end − x_start`,
 ///   where `Ŵ` is the layer (row) width.
+#[inline]
 pub fn signed_phase_distance(phase: usize, x_start: f64, x_end: f64, layer_width: f64) -> f64 {
     match phase % 4 {
         0 => x_end - x_start,

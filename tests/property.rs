@@ -10,11 +10,12 @@ use proptest::prelude::*;
 use aqfp_cells::CellLibrary;
 use aqfp_netlist::generators::{random_dag, RandomDagConfig};
 use aqfp_netlist::simulate;
-use aqfp_place::design::PlacedDesign;
+use aqfp_place::design::{NetIncidence, PlacedDesign};
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
 use aqfp_place::global::{global_place, GlobalPlacementConfig};
 use aqfp_place::legalize::legalize;
 use aqfp_synth::{SynthesisOptions, Synthesizer};
+use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
 
 /// A strategy over small random netlist configurations.
 fn dag_config() -> impl Strategy<Value = RandomDagConfig> {
@@ -113,5 +114,90 @@ proptest! {
         for net in &design.nets {
             prop_assert_eq!(design.cells[net.sink].row, design.cells[net.driver].row + 1);
         }
+    }
+
+    /// Batched SoA timing analysis is bit-for-bit identical to the scalar
+    /// path on arbitrary random designs.
+    #[test]
+    fn batched_sta_matches_scalar_on_random_designs(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        global_place(&mut design, &GlobalPlacementConfig { iterations: 40, ..Default::default() });
+        legalize(&mut design);
+
+        let analyzer = TimingAnalyzer::new(TimingConfig::paper_default());
+        let layer_width = design.layer_width().max(1.0);
+        let scalar = analyzer.analyze(&design.to_placed_nets(), layer_width);
+        let mut batch = TimingBatch::new();
+        design.fill_timing_batch(&mut batch);
+        let batched = analyzer.analyze_batch(&batch, layer_width);
+        prop_assert_eq!(scalar.wns_ps.to_bits(), batched.wns_ps.to_bits());
+        prop_assert_eq!(scalar.tns_ps.to_bits(), batched.tns_ps.to_bits());
+        prop_assert_eq!(scalar, batched);
+    }
+
+    /// Incrementally refreshing the timing batch after cell moves equals a
+    /// full rebuild, bit for bit.
+    #[test]
+    fn incremental_batch_refresh_equals_rebuild(input in (dag_config(), any::<u64>())) {
+        let (config, seed) = input;
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+
+        let incidence = NetIncidence::build(&design);
+        let mut batch = TimingBatch::new();
+        design.fill_timing_batch(&mut batch);
+
+        // Nudge a handful of seed-chosen cells by whole grid steps.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut moved = Vec::new();
+        for _ in 0..(1 + next() % 7) {
+            let cell = (next() as usize) % design.cell_count();
+            let steps = (next() % 11) as i64 - 5;
+            design.cells[cell].x += design.rules.grid * steps as f64;
+            moved.push(cell);
+        }
+        design.refresh_timing_batch(&mut batch, &incidence, &moved);
+
+        let mut rebuilt = TimingBatch::new();
+        design.fill_timing_batch(&mut rebuilt);
+        prop_assert_eq!(batch, rebuilt);
+    }
+
+    /// Detailed placement is byte-identical for every worker-thread count on
+    /// arbitrary random designs.
+    #[test]
+    fn detailed_placement_is_thread_count_invariant(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let mut base = PlacedDesign::from_synthesized(&synthesized, &library);
+        global_place(&mut base, &GlobalPlacementConfig { iterations: 40, ..Default::default() });
+        legalize(&mut base);
+
+        let mut serial = base.clone();
+        detailed_place(
+            &mut serial,
+            &DetailedPlacementConfig { passes: 2, threads: 1, ..Default::default() },
+        );
+        let mut parallel = base;
+        detailed_place(
+            &mut parallel,
+            &DetailedPlacementConfig { passes: 2, threads: 2, ..Default::default() },
+        );
+        let serial_bits: Vec<u64> = serial.cells.iter().map(|c| c.x.to_bits()).collect();
+        let parallel_bits: Vec<u64> = parallel.cells.iter().map(|c| c.x.to_bits()).collect();
+        prop_assert_eq!(serial_bits, parallel_bits);
     }
 }

@@ -91,6 +91,42 @@ impl Bencher<'_> {
             self.sink.push(start.elapsed());
         }
     }
+
+    /// Runs `setup` *outside* the timed section before every `routine`
+    /// invocation — for routines that consume or mutate their input (the
+    /// real criterion's `iter_batched`). `size` is accepted for API
+    /// compatibility and ignored by this wall-clock harness.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = size;
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // One warm-up iteration, then the timed samples (setup untimed).
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.sink.push(start.elapsed());
+        }
+    }
+}
+
+/// Batching hint of the real criterion API; this shim times every routine
+/// invocation individually, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation in the real criterion.
+    SmallInput,
+    /// Large inputs: one per allocation in the real criterion.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
 }
 
 /// The benchmark harness driver.
