@@ -25,7 +25,6 @@
 //! the file so future PRs can track the trajectory.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use serde::{Deserialize, Serialize};
 
 use aqfp_cells::CellLibrary;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
@@ -147,82 +146,16 @@ fn bench_drc_repair_timing(c: &mut Criterion) {
     group.finish();
 }
 
-#[derive(Serialize, Deserialize)]
-struct BaselineEntry {
-    id: String,
-    mean_ns: u64,
-    min_ns: u64,
-    samples: usize,
-}
-
-#[derive(Serialize, Deserialize)]
-struct Baseline {
-    circuit: String,
-    host_threads: usize,
-    results: Vec<BaselineEntry>,
-}
-
-const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_placement.json");
-
 /// Prints a report-only comparison of this run against the committed
-/// `BENCH_placement.json`, then rewrites the file with the fresh numbers.
-/// Skipped in `--test` smoke mode (nothing is measured) and in filtered
-/// runs (a partial result set must not clobber the full baseline).
+/// `BENCH_placement.json`, then rewrites the file with the fresh numbers
+/// (shared procedure: [`bench::baseline::compare_and_emit`]).
 fn compare_and_emit_baseline(c: &mut Criterion) {
-    if c.filter().is_some() {
-        println!("skipping BENCH_placement.json update: name filter active");
-        return;
-    }
-    let results: Vec<BaselineEntry> = c
-        .summaries()
-        .iter()
-        .map(|summary| BaselineEntry {
-            id: summary.id.clone(),
-            mean_ns: summary.mean().as_nanos() as u64,
-            min_ns: summary.samples.iter().min().map_or(0, |d| d.as_nanos() as u64),
-            samples: summary.samples.len(),
-        })
-        .collect();
-    if results.is_empty() {
-        return;
-    }
-
-    // Report-only trajectory check against the committed baseline: print
-    // the delta per row, never fail.
-    if let Ok(text) = std::fs::read_to_string(BASELINE_PATH) {
-        match serde_json::from_str::<Baseline>(&text) {
-            Ok(committed) => {
-                println!("placement perf vs committed baseline ({}):", committed.circuit);
-                for entry in &results {
-                    match committed.results.iter().find(|old| old.id == entry.id) {
-                        Some(old) if old.mean_ns > 0 => {
-                            let ratio = entry.mean_ns as f64 / old.mean_ns as f64;
-                            println!(
-                                "  {:<36} {:>12} ns -> {:>12} ns  ({:.2}x)",
-                                entry.id, old.mean_ns, entry.mean_ns, ratio
-                            );
-                        }
-                        _ => println!("  {:<36} (new row, no baseline)", entry.id),
-                    }
-                }
-            }
-            Err(error) => println!("could not parse committed BENCH_placement.json: {error}"),
-        }
-    } else {
-        println!("no committed BENCH_placement.json yet; writing the first baseline");
-    }
-
-    let baseline = Baseline {
-        circuit: Benchmark::Apc32.to_string(),
-        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        results,
-    };
-    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    if let Err(error) = std::fs::write(BASELINE_PATH, json + "\n") {
-        eprintln!("warning: could not write BENCH_placement.json: {error}");
-    } else {
-        println!("wrote baseline to BENCH_placement.json");
-    }
+    bench::baseline::compare_and_emit(
+        c,
+        "placement",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_placement.json"),
+        &Benchmark::Apc32.to_string(),
+    );
 }
 
 criterion_group!(

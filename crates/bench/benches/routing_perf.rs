@@ -11,14 +11,20 @@
 //!   cells moved: `from_scratch` routes every channel again, `incremental`
 //!   uses `Router::route_partial` to reroute only the dirty channels
 //!   (results asserted byte-identical);
+//! * `drc_repair_buffer_rows` — one buffer-row DRC-repair iteration (rows
+//!   renumbered, cells/nets appended): `full_reroute` is the old
+//!   fallback that routes every channel of the edited design again,
+//!   `incremental` hands the `DesignEdit` to `Router::route_partial`,
+//!   which re-keys clean channels and routes only the edited/moved ones
+//!   (results asserted byte-identical);
 //! * `global_place_iteration` — 100 analytical global-placement iterations
 //!   on the `apc32` initial design (gradient/sort-index buffer reuse path).
 //!
-//! After measuring, the run writes `BENCH_routing.json` at the workspace
+//! After measuring, the run prints a report-only comparison against the
+//! committed `BENCH_routing.json` and rewrites the file at the workspace
 //! root so future PRs can track the trajectory against this baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use serde::Serialize;
 
 use aqfp_cells::CellLibrary;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
@@ -112,7 +118,7 @@ fn bench_incremental_reroute(c: &mut Criterion) {
     // routed result, otherwise the timings compare different work.
     assert_eq!(
         router.route(&design),
-        router.route_partial(&design, &before, &dirty),
+        router.route_partial(&design, &before, &dirty, None),
         "incremental reroute diverged from the from-scratch reroute"
     );
 
@@ -122,7 +128,88 @@ fn bench_incremental_reroute(c: &mut Criterion) {
         b.iter(|| router.route(design));
     });
     group.bench_with_input(BenchmarkId::from_parameter("incremental"), &design, |b, design| {
-        b.iter(|| router.route_partial(design, &before, &dirty));
+        b.iter(|| router.route_partial(design, &before, &dirty, None));
+    });
+    group.finish();
+}
+
+fn bench_buffer_row_repair(c: &mut Criterion) {
+    use aqfp_place::buffer_rows::repair_buffer_rows;
+    use aqfp_place::detailed::DetailedPlacementConfig;
+
+    let (mut design, library) = placed_apc32();
+    let router = Router::with_config(
+        library.clone(),
+        RouterConfig { threads: 1, ..RouterConfig::default() },
+    );
+    let detailed_config = DetailedPlacementConfig { threads: 1, ..Default::default() };
+
+    // The scenario the incremental buffer-row repair is built for: a
+    // violation-free design in which one connection regresses. The apc32
+    // placement under the stock W_max carries a large residual violation
+    // set concentrated in its heaviest channels — grinding that down
+    // reroutes most nets whichever strategy runs — so the bench relaxes
+    // W_max to just above the longest placed net (a clean steady state) and
+    // then stretches a single mid-design connection past the limit.
+    let grid = design.rules.grid;
+    let longest = design.nets.iter().map(|net| design.net_length(net)).fold(0.0f64, f64::max);
+    design.rules.max_wirelength = (longest / grid).ceil() * grid + design.row_pitch;
+    assert!(
+        design.max_wirelength_violations().is_empty(),
+        "the relaxed limit must leave the placement violation-free"
+    );
+
+    // Stretch one interior connection past the relaxed limit, keeping both
+    // endpoints inside the layer width so the routing grid's column count
+    // (and with it the incremental path) is preserved.
+    let victim_row = 13usize;
+    let net_index = design
+        .nets
+        .iter()
+        .position(|net| design.cells[net.driver].row == victim_row)
+        .expect("a net driven from the victim row");
+    let (driver, sink) = (design.nets[net_index].driver, design.nets[net_index].sink);
+    design.cells[driver].x = 0.0;
+    design.cells[sink].x = ((design.rules.max_wirelength * 1.3) / grid).round() * grid;
+    assert!(design.cells[sink].right() < design.layer_width(), "the stretch stays interior");
+    design.sort_rows_by_x();
+    assert_eq!(design.max_wirelength_violations().len(), 1, "exactly the stretched net violates");
+    let before = router.route(&design);
+
+    // One repair iteration, tracking the edit and the moved cells; the
+    // channels of the two cells the regression itself moved are dirty too.
+    let (_, edit, mut moved) = repair_buffer_rows(&mut design, &library, &detailed_config);
+    assert!(!edit.is_noop(), "the repair must insert buffer rows");
+    moved.extend([driver, sink]);
+    let mut dirty: Vec<usize> = Vec::new();
+    for &cell in &moved {
+        let row = design.cells[cell].row;
+        dirty.push(row);
+        dirty.extend((row > 0).then(|| row - 1));
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+
+    // Guard the bench's meaning: the edit-aware incremental reroute must be
+    // byte-identical to the from-scratch baseline it is measured against.
+    let scratch = router.route(&design);
+    assert_eq!(
+        scratch.grid_columns, before.grid_columns,
+        "the repair must keep the column count so the incremental path is exercised"
+    );
+    assert_eq!(
+        scratch,
+        router.route_partial(&design, &before, &dirty, Some(&edit)),
+        "edit-aware incremental reroute diverged from the from-scratch reroute"
+    );
+
+    let mut group = c.benchmark_group("drc_repair_buffer_rows");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("full_reroute"), &design, |b, design| {
+        b.iter(|| router.route(design));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("incremental"), &design, |b, design| {
+        b.iter(|| router.route_partial(design, &before, &dirty, Some(&edit)));
     });
     group.finish();
 }
@@ -146,54 +233,16 @@ fn bench_global_place_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-#[derive(Serialize)]
-struct BaselineEntry {
-    id: String,
-    mean_ns: u64,
-    min_ns: u64,
-    samples: usize,
-}
-
-#[derive(Serialize)]
-struct Baseline {
-    circuit: String,
-    host_threads: usize,
-    results: Vec<BaselineEntry>,
-}
-
-/// Writes the measured baseline to `BENCH_routing.json` at the workspace
-/// root. Skipped in `--test` smoke mode (nothing is measured) and in
-/// filtered runs (a partial result set must not clobber the full baseline).
+/// Prints a report-only comparison of this run against the committed
+/// `BENCH_routing.json`, then rewrites the file with the fresh numbers
+/// (shared procedure: [`bench::baseline::compare_and_emit`]).
 fn emit_baseline(c: &mut Criterion) {
-    if c.filter().is_some() {
-        println!("skipping BENCH_routing.json update: name filter active");
-        return;
-    }
-    let results: Vec<BaselineEntry> = c
-        .summaries()
-        .iter()
-        .map(|summary| BaselineEntry {
-            id: summary.id.clone(),
-            mean_ns: summary.mean().as_nanos() as u64,
-            min_ns: summary.samples.iter().min().map_or(0, |d| d.as_nanos() as u64),
-            samples: summary.samples.len(),
-        })
-        .collect();
-    if results.is_empty() {
-        return;
-    }
-    let baseline = Baseline {
-        circuit: Benchmark::Apc32.to_string(),
-        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        results,
-    };
-    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
-    if let Err(error) = std::fs::write(path, json + "\n") {
-        eprintln!("warning: could not write BENCH_routing.json: {error}");
-    } else {
-        println!("wrote baseline to BENCH_routing.json");
-    }
+    bench::baseline::compare_and_emit(
+        c,
+        "routing",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json"),
+        &Benchmark::Apc32.to_string(),
+    );
 }
 
 criterion_group!(
@@ -201,6 +250,7 @@ criterion_group!(
     bench_route_channel,
     bench_route_parallel_scaling,
     bench_incremental_reroute,
+    bench_buffer_row_repair,
     bench_global_place_iteration,
     emit_baseline
 );

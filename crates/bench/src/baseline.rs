@@ -1,0 +1,101 @@
+//! Shared perf-baseline bookkeeping for the trajectory benches.
+//!
+//! `routing_perf` and `placement_perf` both persist their measurements to a
+//! committed JSON baseline (`BENCH_routing.json` / `BENCH_placement.json`)
+//! and print a report-only comparison of the current run against it. The
+//! file format and the compare-then-rewrite procedure live here so the two
+//! benches cannot drift apart.
+
+use criterion::Criterion;
+use serde::{Deserialize, Serialize};
+
+/// One measured bench row of a committed baseline.
+#[derive(Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Criterion benchmark id (`group/parameter`).
+    pub id: String,
+    /// Mean sample duration in nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+/// A committed perf baseline: every row of one bench run plus the host
+/// shape it was measured on.
+#[derive(Serialize, Deserialize)]
+pub struct Baseline {
+    /// The circuit the rows were measured on.
+    pub circuit: String,
+    /// Available hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// All measured rows.
+    pub results: Vec<BaselineEntry>,
+}
+
+/// Prints a report-only comparison of this run's summaries against the
+/// committed baseline at `path`, then rewrites the file with the fresh
+/// numbers. Skipped in `--test` smoke mode (nothing is measured) and in
+/// filtered runs (a partial result set must not clobber the full baseline).
+pub fn compare_and_emit(c: &mut Criterion, label: &str, path: &str, circuit: &str) {
+    let file_name = std::path::Path::new(path)
+        .file_name()
+        .and_then(|name| name.to_str())
+        .unwrap_or(path)
+        .to_owned();
+    if c.filter().is_some() {
+        println!("skipping {file_name} update: name filter active");
+        return;
+    }
+    let results: Vec<BaselineEntry> = c
+        .summaries()
+        .iter()
+        .map(|summary| BaselineEntry {
+            id: summary.id.clone(),
+            mean_ns: summary.mean().as_nanos() as u64,
+            min_ns: summary.samples.iter().min().map_or(0, |d| d.as_nanos() as u64),
+            samples: summary.samples.len(),
+        })
+        .collect();
+    if results.is_empty() {
+        return;
+    }
+
+    // Report-only trajectory check against the committed baseline: print
+    // the delta per row, never fail.
+    if let Ok(text) = std::fs::read_to_string(path) {
+        match serde_json::from_str::<Baseline>(&text) {
+            Ok(committed) => {
+                println!("{label} perf vs committed baseline ({}):", committed.circuit);
+                for entry in &results {
+                    match committed.results.iter().find(|old| old.id == entry.id) {
+                        Some(old) if old.mean_ns > 0 => {
+                            let ratio = entry.mean_ns as f64 / old.mean_ns as f64;
+                            println!(
+                                "  {:<44} {:>12} ns -> {:>12} ns  ({ratio:.2}x)",
+                                entry.id, old.mean_ns, entry.mean_ns
+                            );
+                        }
+                        _ => println!("  {:<44} (new row, no baseline)", entry.id),
+                    }
+                }
+            }
+            Err(error) => println!("could not parse committed {file_name}: {error}"),
+        }
+    } else {
+        println!("no committed {file_name} yet; writing the first baseline");
+    }
+
+    let baseline = Baseline {
+        circuit: circuit.to_owned(),
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    if let Err(error) = std::fs::write(path, json + "\n") {
+        eprintln!("warning: could not write {file_name}: {error}");
+    } else {
+        println!("wrote baseline to {file_name}");
+    }
+}

@@ -18,6 +18,7 @@
 //! subset. Paper reference values are bundled in [`mod@reference`] so the
 //! binaries can print a side-by-side comparison.
 
+pub mod baseline;
 pub mod reference;
 pub mod table2;
 pub mod table3;

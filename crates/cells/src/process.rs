@@ -15,13 +15,19 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(rules.min_spacing, 10.0);
 /// assert!(rules.max_wirelength > rules.min_spacing);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ProcessRules {
     /// Human-readable process name.
     pub name: String,
-    /// Minimum spacing between non-abutting neighbouring cells and between
-    /// wire zigzags, in µm (10 µm for the MIT-LL process).
+    /// Minimum spacing between non-abutting neighbouring cells, in µm
+    /// (10 µm for the MIT-LL process).
     pub min_spacing: f64,
+    /// Minimum distance between two consecutive turns (vias) of one wire,
+    /// in µm. Defaults to [`ProcessRules::min_spacing`] in the built-in
+    /// rule sets, so layouts checked under the historical shared rule are
+    /// unchanged; processes with a dedicated zigzag rule can set it
+    /// independently.
+    pub zigzag_spacing: f64,
     /// Maximum allowed length of a single wire connection, in µm. Longer
     /// connections require an inserted buffer row.
     pub max_wirelength: f64,
@@ -50,6 +56,7 @@ impl ProcessRules {
         Self {
             name: "MIT-LL SQF5ee".to_owned(),
             min_spacing: 10.0,
+            zigzag_spacing: 10.0,
             max_wirelength: 400.0,
             grid: 10.0,
             routing_layers: 2,
@@ -66,6 +73,7 @@ impl ProcessRules {
         Self {
             name: "AIST STP2".to_owned(),
             min_spacing: 10.0,
+            zigzag_spacing: 10.0,
             max_wirelength: 500.0,
             grid: 10.0,
             routing_layers: 2,
@@ -86,6 +94,9 @@ impl ProcessRules {
     pub fn validate(&self) -> Result<(), String> {
         if self.min_spacing <= 0.0 {
             return Err("min_spacing must be positive".into());
+        }
+        if self.zigzag_spacing <= 0.0 {
+            return Err("zigzag_spacing must be positive".into());
         }
         if self.grid <= 0.0 {
             return Err("grid must be positive".into());
@@ -118,6 +129,33 @@ impl Default for ProcessRules {
     }
 }
 
+// Hand-written so documents serialized before `zigzag_spacing` existed keep
+// deserializing: the field falls back to `min_spacing`, the value the DRC
+// historically applied to zigzag turns (the vendored serde derive has no
+// `#[serde(default)]`).
+impl Deserialize for ProcessRules {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let min_spacing = f64::from_value(value.field("min_spacing")?)?;
+        let zigzag_spacing = match value.field("zigzag_spacing") {
+            Ok(field) => f64::from_value(field)?,
+            Err(_) => min_spacing,
+        };
+        Ok(Self {
+            name: String::from_value(value.field("name")?)?,
+            min_spacing,
+            zigzag_spacing,
+            max_wirelength: f64::from_value(value.field("max_wirelength")?)?,
+            grid: f64::from_value(value.field("grid")?)?,
+            routing_layers: usize::from_value(value.field("routing_layers")?)?,
+            wire_width: f64::from_value(value.field("wire_width")?)?,
+            via_size: f64::from_value(value.field("via_size")?)?,
+            min_metal_density: f64::from_value(value.field("min_metal_density")?)?,
+            max_metal_density: f64::from_value(value.field("max_metal_density")?)?,
+            row_pitch: f64::from_value(value.field("row_pitch")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,9 +172,43 @@ mod tests {
     }
 
     #[test]
+    fn zigzag_spacing_defaults_to_min_spacing() {
+        for rules in [ProcessRules::mit_ll(), ProcessRules::stp2()] {
+            assert_eq!(rules.zigzag_spacing, rules.min_spacing);
+        }
+    }
+
+    /// Documents serialized before `zigzag_spacing` existed (old flow
+    /// checkpoints, externally exchanged rule files) must keep parsing,
+    /// with the zigzag rule falling back to the historically applied
+    /// `min_spacing`.
+    #[test]
+    fn deserialization_defaults_missing_zigzag_spacing() {
+        use serde::{Deserialize, Serialize, Value};
+        let mut rules = ProcessRules::mit_ll();
+        rules.min_spacing = 20.0;
+        rules.zigzag_spacing = 5.0;
+        let Value::Map(entries) = rules.to_value() else { panic!("rules serialize to a map") };
+        let legacy =
+            Value::Map(entries.into_iter().filter(|(key, _)| key != "zigzag_spacing").collect());
+        let parsed = ProcessRules::from_value(&legacy).expect("legacy document parses");
+        assert_eq!(parsed.zigzag_spacing, 20.0, "falls back to min_spacing");
+        assert_eq!(parsed.min_spacing, 20.0);
+        assert_eq!(parsed.max_wirelength, rules.max_wirelength);
+
+        // A present field round-trips unchanged.
+        let back = ProcessRules::from_value(&rules.to_value()).expect("round-trips");
+        assert_eq!(back, rules);
+    }
+
+    #[test]
     fn invalid_rules_are_rejected() {
         let mut rules = ProcessRules::mit_ll();
         rules.min_spacing = 0.0;
+        assert!(rules.validate().is_err());
+
+        let mut rules = ProcessRules::mit_ll();
+        rules.zigzag_spacing = 0.0;
         assert!(rules.validate().is_err());
 
         let mut rules = ProcessRules::mit_ll();

@@ -20,13 +20,17 @@
 //!
 //! The session shares one [`CellLibrary`] across all stages via `Arc`
 //! (instead of cloning it per stage) and repairs DRC violations
-//! *incrementally*: legalization reports which cells it displaced, the
-//! session maps those cells onto the inter-phase channels they touch, and
-//! only those channels are rerouted ([`Router::route_partial`]) — the
-//! result is byte-identical to a from-scratch reroute. Timing follows the
-//! same discipline: the repair loop maintains one structure-of-arrays
-//! [`TimingBatch`], refreshing only the nets incident to moved cells, and
-//! the final placement report carries the post-repair timing.
+//! *incrementally*: legalization and detailed placement report which cells
+//! they displaced, buffer-row insertion returns a structured
+//! [`DesignEdit`](aqfp_place::DesignEdit) describing its row renumbering,
+//! and the session hands both to [`Router::route_partial`], which routes
+//! only the affected channels and re-keys every clean one — the result is
+//! byte-identical to a from-scratch reroute even across buffer-row
+//! insertions. Timing follows the same discipline: the repair loop
+//! maintains one structure-of-arrays [`TimingBatch`], appending the nets an
+//! edit created and refreshing only the slots it rewrote plus those
+//! incident to moved cells, and the final placement report carries the
+//! post-repair timing.
 //!
 //! # Examples
 //!
@@ -57,8 +61,7 @@ use std::time::Instant;
 use aqfp_cells::CellLibrary;
 use aqfp_layout::{DrcChecker, DrcReport, DrcViolationKind, Layout, LayoutGenerator};
 use aqfp_netlist::{Netlist, NetlistStats};
-use aqfp_place::buffer_rows::insert_buffer_rows;
-use aqfp_place::detailed::detailed_place;
+use aqfp_place::buffer_rows::repair_buffer_rows;
 use aqfp_place::legalize::legalize;
 use aqfp_place::{NetIncidence, PlacedDesign, PlacementEngine, PlacementResult};
 use aqfp_route::{Router, RoutingResult};
@@ -109,11 +112,14 @@ impl fmt::Display for FlowStage {
 /// repaired placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairScope<'a> {
-    /// The repair renumbered rows (buffer-row insertion); every channel
-    /// reroutes from scratch.
+    /// Every channel reroutes from scratch. The built-in repair loop no
+    /// longer produces this scope — buffer-row insertion is rerouted
+    /// incrementally through its `DesignEdit` — but the variant remains for
+    /// observers of external drivers that invalidate the whole routing.
     Full,
-    /// Only these channel rows reroute; every other channel's wires are
-    /// reused verbatim.
+    /// Only these channel rows route fresh; every other channel's wires are
+    /// reused — verbatim, or re-keyed onto their renumbered rows when a
+    /// buffer-row edit shifted them.
     Channels(&'a [usize]),
     /// The repair moved no cells; the previous routing is reused verbatim.
     Unchanged,
@@ -482,20 +488,27 @@ impl FlowSession {
     /// problems by another round of buffer rows, and both trigger a reroute
     /// before the layout is regenerated.
     ///
-    /// The reroute is *incremental*: only the channels touched by cells the
-    /// repair actually moved are rerouted ([`Router::route_partial`]);
-    /// buffer-row insertion renumbers rows and therefore falls back to a
-    /// from-scratch reroute. Either way the routing is byte-identical to
-    /// rerouting the repaired design from scratch.
+    /// Every repair — including buffer-row insertion — is *incremental*.
+    /// A spacing fix reroutes only the channels touched by the cells
+    /// legalization displaced. A buffer-row fix hands the
+    /// [`DesignEdit`](aqfp_place::DesignEdit) that `insert_buffer_rows`
+    /// returns to [`Router::route_partial`], which re-keys every clean
+    /// channel onto its renumbered row and routes only the channels the
+    /// edit created plus those touched by cells the post-insertion
+    /// legalization/detailed-placement moved; there is no from-scratch
+    /// reroute fallback left in the loop. Either way the routing is
+    /// byte-identical to rerouting the repaired design from scratch.
     ///
-    /// Timing bookkeeping is incremental too: the session keeps one
-    /// structure-of-arrays [`TimingBatch`] alive across the repair loop and
-    /// refreshes only the nets incident to the cells each repair moved
-    /// (falling back to a full refill when buffer-row insertion renumbers
-    /// the design). The final [`PlacementResult::timing`] therefore reflects
-    /// the *repaired* placement — bit-identical to a from-scratch scalar
-    /// analysis of the final design — instead of going stale the moment the
-    /// repair loop moves a cell.
+    /// Timing bookkeeping follows the same discipline: the session keeps
+    /// one structure-of-arrays [`TimingBatch`] alive across the repair
+    /// loop; a buffer-row edit appends the new nets and refreshes the split
+    /// and renumbered slots in place
+    /// (`PlacedDesign::extend_timing_batch_for_edit`), and moved cells
+    /// refresh just their incident nets over the (rebuilt-on-edit)
+    /// incidence map. The final [`PlacementResult::timing`] therefore
+    /// reflects the *repaired* placement — bit-identical to a from-scratch
+    /// scalar analysis of the final design — instead of going stale the
+    /// moment the repair loop moves a cell.
     pub fn check(&mut self, routed: Routed) -> Checked {
         self.stage_started(FlowStage::Check);
         let start = Instant::now();
@@ -516,7 +529,8 @@ impl FlowSession {
         // what the dirty-channel set records); bring the routing up to date
         // before checking anything.
         if !dirty_channels.is_empty() {
-            routing = router.route_partial(&placed.placement.design, &routing, &dirty_channels);
+            routing =
+                router.route_partial(&placed.placement.design, &routing, &dirty_channels, None);
             dirty_channels.clear();
         }
 
@@ -526,47 +540,62 @@ impl FlowSession {
         while !drc.is_clean() && drc_iterations < self.config.max_drc_iterations {
             drc_iterations += 1;
             let design = &mut placed.placement.design;
-            let mut full_reroute = false;
-            let mut dirty_rows: BTreeSet<usize> = BTreeSet::new();
             let mut moved_cells: Vec<usize> = Vec::new();
             if drc.count(DrcViolationKind::CellSpacing) > 0 {
                 // Spacing problems are fixed by re-legalization; only the
                 // channels the displaced cells touch need rerouting.
-                let report = legalize(design);
-                for &cell in &report.moved_cells {
-                    let row = design.cells[cell].row;
-                    dirty_rows.insert(row);
-                    if row > 0 {
-                        dirty_rows.insert(row - 1);
-                    }
-                }
-                moved_cells = report.moved_cells;
+                moved_cells.extend(legalize(design).moved_cells);
             }
+            let mut edit: Option<aqfp_place::DesignEdit> = None;
             if drc.count(DrcViolationKind::MaxWirelength) > 0 {
-                // Split over-long connections with buffer rows, then let the
-                // detailed placer pull the new buffers toward their nets so
-                // each hop actually fits within the limit. This renumbers
-                // rows and nets, so the whole design reroutes from scratch.
-                insert_buffer_rows(design, &self.library);
-                legalize(design);
-                detailed_place(design, &self.config.placement.detailed);
-                full_reroute = true;
+                // Split over-long connections with buffer rows, re-legalize,
+                // and let a *scoped* detailed-placement pass pull the new
+                // buffers toward their nets so each hop actually fits within
+                // the limit — only the inserted rows and the gap-boundary
+                // rows are swept, so the already-optimized rest of the
+                // design stays put and the dirty-channel set below stays
+                // bounded by the edit. The returned `DesignEdit` records
+                // the row renumbering and the appended cells/nets, and the
+                // moved-cell list covers both follow-up passes, so the
+                // reroute and the timing refresh below stay incremental.
+                let (_, buffer_edit, repair_moved) =
+                    repair_buffer_rows(design, &self.library, &self.config.placement.detailed);
+                moved_cells.extend(repair_moved);
+                if !buffer_edit.is_noop() {
+                    edit = Some(buffer_edit);
+                }
             }
-            // Keep the timing batch in sync with the repaired placement:
-            // buffer rows renumber cells and nets (rebuild everything), a
-            // legalization touch-up refreshes only the nets incident to the
-            // displaced cells.
-            if full_reroute {
-                design.fill_timing_batch(&mut timing_batch);
+            moved_cells.sort_unstable();
+            moved_cells.dedup();
+            // Keep the timing batch in sync with the repaired placement: a
+            // buffer-row edit appends the new nets and refreshes the split
+            // and renumbered slots in place (the incidence map is rebuilt —
+            // cell/net indices grew), then the moved cells refresh just
+            // their incident nets.
+            if let Some(edit) = &edit {
+                design.extend_timing_batch_for_edit(&mut timing_batch, edit);
                 incidence = NetIncidence::build(design);
-            } else if !moved_cells.is_empty() {
+            }
+            if !moved_cells.is_empty() {
                 design.refresh_timing_batch(&mut timing_batch, &incidence, &moved_cells);
             }
-            let dirty: Vec<usize> =
-                if full_reroute { Vec::new() } else { dirty_rows.into_iter().collect() };
-            let scope = if full_reroute {
-                RepairScope::Full
-            } else if dirty.is_empty() {
+            // Dirty channels: the ones the buffer edit created or rewrote
+            // plus the (at most two) channels each moved cell touches. Cell
+            // rows are read *after* every repair of this iteration, so the
+            // set is in the current row numbering either way.
+            let mut dirty_rows: BTreeSet<usize> = BTreeSet::new();
+            if let Some(edit) = &edit {
+                dirty_rows.extend(edit.edited_channel_rows());
+            }
+            for &cell in &moved_cells {
+                let row = design.cells[cell].row;
+                dirty_rows.insert(row);
+                if row > 0 {
+                    dirty_rows.insert(row - 1);
+                }
+            }
+            let dirty: Vec<usize> = dirty_rows.into_iter().collect();
+            let scope = if dirty.is_empty() {
                 RepairScope::Unchanged
             } else {
                 RepairScope::Channels(&dirty)
@@ -584,12 +613,10 @@ impl FlowSession {
             }
             // Unrouted nets and zigzag violations are addressed by
             // rerouting (the router's space expansion kicks in with a fresh
-            // channel); untouched channels are reused verbatim.
-            routing = if full_reroute {
-                router.route(&placed.placement.design)
-            } else {
-                router.route_partial(&placed.placement.design, &routing, &dirty)
-            };
+            // channel); untouched channels are reused verbatim — re-keyed
+            // onto their renumbered rows when the edit shifted them.
+            routing =
+                router.route_partial(&placed.placement.design, &routing, &dirty, edit.as_ref());
             layout = generator.generate(&placed.placement.design, &routing);
             drc = checker.check(&placed.placement.design, &routing);
         }

@@ -171,20 +171,21 @@ impl DrcChecker {
                     turns.push(wire.path[i + 1]);
                 }
             }
-            // Consecutive turns must be at least the minimum zigzag spacing
-            // apart.
+            // Consecutive turns must be at least the zigzag spacing apart.
+            // Every violating pair is reported individually, so
+            // `DrcReport::count(ZigzagSpacing)` is the number of violations,
+            // not the number of wires that have at least one.
             for pair in turns.windows(2) {
                 let run = pair[0].manhattan_distance(pair[1]);
-                if run < self.rules.min_spacing - 1e-9 {
+                if run < self.rules.zigzag_spacing - 1e-9 {
                     report.violations.push(DrcViolation {
                         kind: DrcViolationKind::ZigzagSpacing,
                         message: format!(
                             "net {} turns after only {run:.1} µm (minimum {:.1} µm)",
-                            wire.net, self.rules.min_spacing
+                            wire.net, self.rules.zigzag_spacing
                         ),
                         row: None,
                     });
-                    break;
                 }
             }
         }
@@ -263,5 +264,45 @@ mod tests {
         let report = DrcReport::default();
         assert!(report.is_clean());
         assert_eq!(report.count(DrcViolationKind::MetalDensity), 0);
+    }
+
+    /// A wire whose path turns every 5 µm: four turns, three consecutive
+    /// turn pairs, all closer than the 10 µm zigzag rule.
+    fn tight_zigzag_wire() -> aqfp_route::RoutedWire {
+        use aqfp_cells::Point;
+        let path = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(10.0, 5.0),
+            Point::new(10.0, 10.0),
+            Point::new(15.0, 10.0),
+        ];
+        aqfp_route::RoutedWire { net: 0, path, length_um: 25.0, via_count: 4 }
+    }
+
+    #[test]
+    fn zigzag_check_reports_every_violating_turn_pair() {
+        let (design, mut routing, library) = routed(Benchmark::Adder8);
+        routing.wires.clear();
+        routing.wires.push(tight_zigzag_wire());
+        let report = DrcChecker::new(library.rules().clone()).check(&design, &routing);
+        // Four turns -> three consecutive pairs, each 5 µm apart: every one
+        // is a separate violation, not one per wire.
+        assert_eq!(report.count(DrcViolationKind::ZigzagSpacing), 3);
+    }
+
+    #[test]
+    fn zigzag_spacing_rule_is_independent_of_cell_spacing() {
+        let (design, mut routing, library) = routed(Benchmark::Adder8);
+        routing.wires.clear();
+        routing.wires.push(tight_zigzag_wire());
+        // Relaxing only the zigzag rule clears the violations even though
+        // the cell-spacing rule still reads 10 µm.
+        let mut rules = library.rules().clone();
+        rules.zigzag_spacing = 5.0;
+        assert_eq!(rules.min_spacing, 10.0);
+        let report = DrcChecker::new(rules).check(&design, &routing);
+        assert_eq!(report.count(DrcViolationKind::ZigzagSpacing), 0);
     }
 }

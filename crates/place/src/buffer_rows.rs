@@ -11,9 +11,11 @@ use aqfp_cells::{CellKind, CellLibrary};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{PhysNet, PlacedCell, PlacedDesign};
+use crate::detailed::{detailed_place_in_rows, DetailedPlacementConfig};
+use crate::legalize::legalize;
 
 /// Summary of a buffer-row insertion run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct BufferRowReport {
     /// Number of buffer rows (lines) inserted.
     pub buffer_lines: usize,
@@ -21,6 +23,113 @@ pub struct BufferRowReport {
     pub buffer_cells: usize,
     /// Number of nets that violated the maximum wirelength before insertion.
     pub violating_nets: usize,
+    /// Violating nets insertion could not fix because their sink row is at
+    /// or below their driver row (buffer rows only split connections that
+    /// climb to the next clock phase). Always zero for path-balanced
+    /// designs; hand-built designs with such nets are reported here instead
+    /// of aborting.
+    pub skipped_nets: usize,
+}
+
+// Hand-written so flow checkpoints serialized before `skipped_nets` existed
+// keep deserializing: the field falls back to 0, which is what every report
+// of that era actually recorded (the vendored serde derive has no
+// `#[serde(default)]`).
+impl Deserialize for BufferRowReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let skipped_nets = match value.field("skipped_nets") {
+            Ok(field) => usize::from_value(field)?,
+            Err(_) => 0,
+        };
+        Ok(Self {
+            buffer_lines: usize::from_value(value.field("buffer_lines")?)?,
+            buffer_cells: usize::from_value(value.field("buffer_cells")?)?,
+            violating_nets: usize::from_value(value.field("violating_nets")?)?,
+            skipped_nets,
+        })
+    }
+}
+
+/// A structured record of what [`insert_buffer_rows`] did to the design,
+/// precise enough for downstream engines to update incrementally instead of
+/// rebuilding: the router re-keys clean channels through
+/// [`DesignEdit::row_remap`] and reroutes only
+/// [`DesignEdit::edited_channel_rows`], and the timing batch appends the
+/// nets past [`DesignEdit::first_new_net`] and refreshes the rewritten
+/// [`DesignEdit::split_nets`] in place.
+///
+/// Cell and net *indices* below [`DesignEdit::first_new_cell`] /
+/// [`DesignEdit::first_new_net`] are stable across the edit; only the
+/// `split_nets` among them changed contents (each now covers the last hop
+/// of its split connection), and every pre-existing cell keeps its x while
+/// its row moves from `old` to `row_remap[old]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignEdit {
+    /// Old row index → new row index, monotonically increasing (rows only
+    /// ever shift upward, by the number of buffer lines inserted below
+    /// them).
+    pub row_remap: Vec<usize>,
+    /// Number of rows after the edit.
+    pub row_count: usize,
+    /// Cells `first_new_cell..` were appended by the edit (buffer cells).
+    pub first_new_cell: usize,
+    /// Nets `first_new_net..` were appended by the edit (the leading hops
+    /// of every split connection).
+    pub first_new_net: usize,
+    /// Pre-existing nets the edit rewrote in place: each listed net's
+    /// driver is now the last buffer of its chain and the net covers only
+    /// the final hop.
+    pub split_nets: Vec<usize>,
+}
+
+impl DesignEdit {
+    /// The identity edit of a design: nothing inserted, nothing split.
+    pub fn identity(design: &PlacedDesign) -> Self {
+        Self {
+            row_remap: (0..design.rows.len()).collect(),
+            row_count: design.rows.len(),
+            first_new_cell: design.cells.len(),
+            first_new_net: design.nets.len(),
+            split_nets: Vec::new(),
+        }
+    }
+
+    /// Whether the edit changed the design at all.
+    pub fn is_noop(&self) -> bool {
+        self.split_nets.is_empty()
+            && self.row_remap.len() == self.row_count
+            && self.row_remap.iter().enumerate().all(|(old, &new)| old == new)
+    }
+
+    /// The first old row whose index changed, if any.
+    pub fn first_remapped_row(&self) -> Option<usize> {
+        self.row_remap.iter().enumerate().find(|&(old, &new)| old != new).map(|(old, _)| old)
+    }
+
+    /// New-numbering rows of every channel the edit created or rewrote: for
+    /// each expanded gap, the channels from the gap's (remapped) driver row
+    /// up to but excluding its (remapped) sink row. Every net crossing such
+    /// a gap was split, so all of these channels carry new or rewritten
+    /// nets; every other channel's net list is unchanged.
+    pub fn edited_channel_rows(&self) -> Vec<usize> {
+        let mut rows = Vec::new();
+        for gap in 0..self.row_remap.len().saturating_sub(1) {
+            let (low, high) = (self.row_remap[gap], self.row_remap[gap + 1]);
+            if high - low > 1 {
+                rows.extend(low..high);
+            }
+        }
+        rows
+    }
+
+    /// New row index → old row index (`None` for rows the edit inserted).
+    pub fn inverse_row_remap(&self) -> Vec<Option<usize>> {
+        let mut inverse = vec![None; self.row_count];
+        for (old, &new) in self.row_remap.iter().enumerate() {
+            inverse[new] = Some(old);
+        }
+        inverse
+    }
 }
 
 /// Number of intermediate rows needed so every hop of a connection with
@@ -43,6 +152,11 @@ pub fn required_buffer_lines(design: &PlacedDesign) -> usize {
         if design.net_length(net) <= design.rules.max_wirelength {
             continue;
         }
+        // Only nets climbing to a higher clock phase can be split by buffer
+        // rows; see [`BufferRowReport::skipped_nets`].
+        if design.cells[net.sink].row <= design.cells[net.driver].row {
+            continue;
+        }
         let dx = (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
         let gap = design.cells[net.driver].row;
         per_gap[gap] = per_gap[gap].max(lines_for_span(dx, design).max(1));
@@ -57,16 +171,43 @@ pub fn required_buffer_lines(design: &PlacedDesign) -> usize {
 /// net crossing such a gap is re-routed through one buffer per inserted
 /// line, keeping the design path-balanced (all nets crossing the gap gain
 /// the same number of phases).
-pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> BufferRowReport {
+///
+/// Violating nets whose sink row is at or below their driver row cannot be
+/// fixed this way; they are counted in [`BufferRowReport::skipped_nets`]
+/// and left alone instead of aborting (such nets are constructible through
+/// the public [`PlacedDesign`] API even though the flow never produces
+/// them).
+///
+/// Besides the summary report, the returned [`DesignEdit`] records the
+/// old→new row remap, the appended cell/net ranges and the split nets, so
+/// the routing and timing engines can update incrementally instead of
+/// rebuilding from scratch.
+pub fn insert_buffer_rows(
+    design: &mut PlacedDesign,
+    library: &CellLibrary,
+) -> (BufferRowReport, DesignEdit) {
     let violating = design.max_wirelength_violations();
     if violating.is_empty() {
-        return BufferRowReport { buffer_lines: 0, buffer_cells: 0, violating_nets: 0 };
+        let report = BufferRowReport {
+            buffer_lines: 0,
+            buffer_cells: 0,
+            violating_nets: 0,
+            skipped_nets: 0,
+        };
+        return (report, DesignEdit::identity(design));
     }
 
     // Lines needed per row gap (indexed by the driver row of the gap).
     let mut lines_per_gap: Vec<usize> = vec![0; design.rows.len()];
+    let mut skipped_nets = 0;
     for &net_index in &violating {
         let net = design.nets[net_index];
+        if design.cells[net.sink].row <= design.cells[net.driver].row {
+            // A sink at or below its driver: no gap between the two rows to
+            // expand. Report and skip instead of underflowing below.
+            skipped_nets += 1;
+            continue;
+        }
         let dx = (design.cells[net.driver].center_x() - design.cells[net.sink].center_x()).abs();
         let gap = design.cells[net.driver].row;
         lines_per_gap[gap] = lines_per_gap[gap].max(lines_for_span(dx, design).max(1));
@@ -77,7 +218,12 @@ pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> B
         buffer_lines: lines_per_gap.iter().sum(),
         buffer_cells: 0,
         violating_nets: violating.len(),
+        skipped_nets,
     };
+    if report.buffer_lines == 0 {
+        // Every violation was a skipped (non-climbing) net.
+        return (report, DesignEdit::identity(design));
+    }
 
     // Rows above an expanded gap shift up by the lines inserted below them.
     let old_row_count = design.rows.len();
@@ -96,12 +242,16 @@ pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> B
 
     // Split every net that now spans more than one row through one buffer per
     // intermediate row.
+    let first_new_cell = design.cells.len();
     let original_net_count = design.nets.len();
+    let mut split_nets = Vec::new();
     for net_index in 0..original_net_count {
         let net = design.nets[net_index];
         let driver_row = design.cells[net.driver].row;
         let sink_row = design.cells[net.sink].row;
-        let hops = sink_row - driver_row;
+        // Skipped (non-climbing) nets keep `hops` at zero instead of
+        // underflowing.
+        let hops = sink_row.saturating_sub(driver_row);
         if hops <= 1 {
             continue;
         }
@@ -130,10 +280,51 @@ pub fn insert_buffer_rows(design: &mut PlacedDesign, library: &CellLibrary) -> B
         }
         // The original net now covers only the last hop.
         design.nets[net_index] = PhysNet { driver: previous, sink: net.sink };
+        split_nets.push(net_index);
     }
 
     design.sort_rows_by_x();
-    report
+    let edit = DesignEdit {
+        row_remap: new_row_index,
+        row_count: total_rows,
+        first_new_cell,
+        first_new_net: original_net_count,
+        split_nets,
+    };
+    (report, edit)
+}
+
+/// One complete buffer-row repair iteration, exactly as the flow's
+/// DRC-repair loop runs it: insert buffer rows, re-legalize, then a
+/// *scoped* detailed placement over the inserted rows plus the rows
+/// bordering each expanded gap — the hop endpoints live there, so the pass
+/// can shorten every leg of a split connection while rows far from any
+/// edit stay untouched (which keeps the repair's dirty-channel set bounded
+/// by the edit).
+///
+/// Returns the insertion report, the structured [`DesignEdit`] and the
+/// cells the follow-up legalize/detailed passes displaced (sorted,
+/// deduplicated). `FlowSession::check` and the `drc_repair_buffer_rows`
+/// bench both run this one function, so the bench measures exactly the
+/// iteration the flow executes.
+pub fn repair_buffer_rows(
+    design: &mut PlacedDesign,
+    library: &CellLibrary,
+    detailed: &DetailedPlacementConfig,
+) -> (BufferRowReport, DesignEdit, Vec<usize>) {
+    let (report, edit) = insert_buffer_rows(design, library);
+    let mut moved = legalize(design).moved_cells;
+    let mut repair_rows: Vec<usize> = design.cells[edit.first_new_cell..]
+        .iter()
+        .flat_map(|cell| [cell.row.saturating_sub(1), cell.row, cell.row + 1])
+        .filter(|&row| row < design.rows.len())
+        .collect();
+    repair_rows.sort_unstable();
+    repair_rows.dedup();
+    moved.extend(detailed_place_in_rows(design, detailed, &repair_rows).moved_cells);
+    moved.sort_unstable();
+    moved.dedup();
+    (report, edit, moved)
 }
 
 #[cfg(test)]
@@ -199,10 +390,12 @@ mod tests {
         design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
         assert!(required_buffer_lines(&design) >= 1);
 
-        let report = insert_buffer_rows(&mut design, &library);
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
         assert!(report.buffer_lines >= 1);
         assert!(report.buffer_cells >= report.buffer_lines);
         assert!(report.violating_nets >= 1);
+        assert_eq!(report.skipped_nets, 0);
+        assert!(!edit.is_noop());
         assert!(
             design.max_wirelength_violations().is_empty(),
             "all hops must be legal after buffer-row insertion"
@@ -227,9 +420,144 @@ mod tests {
         let library = CellLibrary::mit_ll();
         let mut design = tiny_legal_design(&library);
         let cells_before = design.cell_count();
-        let report = insert_buffer_rows(&mut design, &library);
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
         assert_eq!(report.buffer_lines, 0);
         assert_eq!(design.cell_count(), cells_before);
+        assert!(edit.is_noop());
+        assert_eq!(edit, DesignEdit::identity(&design));
+    }
+
+    /// Regression: a hand-built design (constructible through the public
+    /// API, like `examples/custom_cell_library.rs` builds its rule sets)
+    /// whose violating net has its sink at or below the driver row used to
+    /// abort on `sink_row - driver_row` underflow; it must be reported and
+    /// skipped instead.
+    #[test]
+    fn non_climbing_violations_are_skipped_not_a_panic() {
+        let library = CellLibrary::mit_ll();
+        let mut design = tiny_legal_design(&library);
+        // Net 0 goes row 0 -> row 1; add the reverse net plus a same-row
+        // net, then stretch everything far past the maximum wirelength.
+        design.nets.push(PhysNet { driver: 1, sink: 0 });
+        let proto = library.cell(CellKind::Buffer);
+        design.cells.push(PlacedCell {
+            gate: None,
+            name: "c".into(),
+            kind: CellKind::Buffer,
+            width: proto.width,
+            height: proto.height,
+            row: 0,
+            x: 40.0,
+        });
+        design.rows[0].push(2);
+        design.nets.push(PhysNet { driver: 0, sink: 2 });
+        design.cells[0].x = design.rules.max_wirelength * 3.0;
+
+        assert!(design.max_wirelength_violations().len() >= 3);
+        // Both entry points tolerate the malformed nets.
+        let required = required_buffer_lines(&design);
+        assert!(required >= 1, "the climbing violation still needs lines");
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
+        assert_eq!(report.skipped_nets, 2, "one downward and one same-row net are skipped");
+        assert!(report.buffer_lines >= 1, "the climbing violation is still repaired");
+        assert!(!edit.is_noop());
+        // The skipped nets are untouched; the climbing net's hops are legal.
+        for net in &design.nets {
+            let (dr, sr) = (design.cells[net.driver].row, design.cells[net.sink].row);
+            if sr > dr {
+                assert!(design.net_length(net) <= design.rules.max_wirelength);
+            }
+        }
+    }
+
+    /// When every violating net is non-climbing there is nothing to insert:
+    /// the design is untouched and the edit is the identity.
+    #[test]
+    fn all_skipped_violations_leave_the_design_untouched() {
+        let library = CellLibrary::mit_ll();
+        let mut design = tiny_legal_design(&library);
+        design.nets[0] = PhysNet { driver: 1, sink: 0 };
+        design.cells[1].x = design.rules.max_wirelength * 3.0;
+        let before = design.clone();
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
+        assert_eq!(report.buffer_lines, 0);
+        assert_eq!(report.skipped_nets, 1);
+        assert_eq!(report.violating_nets, 1);
+        assert!(edit.is_noop());
+        assert_eq!(design, before);
+        assert_eq!(required_buffer_lines(&design), 0);
+    }
+
+    /// Flow checkpoints serialized before `skipped_nets` existed must keep
+    /// parsing, with the count falling back to 0.
+    #[test]
+    fn report_deserialization_defaults_missing_skipped_nets() {
+        use serde::{Deserialize, Serialize, Value};
+        let report = BufferRowReport {
+            buffer_lines: 3,
+            buffer_cells: 17,
+            violating_nets: 5,
+            skipped_nets: 2,
+        };
+        let Value::Map(entries) = report.to_value() else { panic!("report serializes to a map") };
+        let legacy =
+            Value::Map(entries.into_iter().filter(|(key, _)| key != "skipped_nets").collect());
+        let parsed = BufferRowReport::from_value(&legacy).expect("legacy checkpoint parses");
+        assert_eq!(parsed.skipped_nets, 0, "absent field falls back to 0");
+        assert_eq!(parsed.buffer_lines, 3);
+        assert_eq!(parsed.buffer_cells, 17);
+        assert_eq!(parsed.violating_nets, 5);
+        // A present field round-trips unchanged.
+        assert_eq!(BufferRowReport::from_value(&report.to_value()), Ok(report));
+    }
+
+    #[test]
+    fn design_edit_records_the_remap_and_appended_ranges() {
+        let (mut design, library) = design_for(Benchmark::Adder8);
+        let net = design.nets[0];
+        design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
+        let cells_before = design.cell_count();
+        let nets_before = design.net_count();
+        let rows_before = design.rows.len();
+
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
+
+        assert_eq!(edit.first_new_cell, cells_before);
+        assert_eq!(edit.first_new_net, nets_before);
+        assert_eq!(edit.row_count, design.rows.len());
+        assert_eq!(edit.row_count, rows_before + report.buffer_lines);
+        assert_eq!(edit.row_remap.len(), rows_before);
+        // The remap is monotone, shifts only upward, and matches the final
+        // row of every pre-existing cell.
+        for pair in edit.row_remap.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        for (old, &new) in edit.row_remap.iter().enumerate() {
+            assert!(new >= old);
+        }
+        assert_eq!(edit.first_remapped_row().is_some(), report.buffer_lines > 0);
+        // Split nets: rewritten in place, driver now a fresh buffer cell on
+        // the row right below the sink.
+        assert!(!edit.split_nets.is_empty());
+        for &net_index in &edit.split_nets {
+            assert!(net_index < edit.first_new_net);
+            let net = design.nets[net_index];
+            assert!(net.driver >= edit.first_new_cell, "split nets are driven by new buffers");
+            assert_eq!(design.cells[net.sink].row, design.cells[net.driver].row + 1);
+        }
+        // Edited channel rows cover the rows of every appended cell and the
+        // (remapped) driver rows of every split net's chain.
+        let edited: std::collections::BTreeSet<usize> =
+            edit.edited_channel_rows().into_iter().collect();
+        for cell in &design.cells[edit.first_new_cell..] {
+            assert!(edited.contains(&cell.row) || edited.contains(&(cell.row - 1)));
+        }
+        // The inverse remap round-trips and marks inserted rows as new.
+        let inverse = edit.inverse_row_remap();
+        for (old, &new) in edit.row_remap.iter().enumerate() {
+            assert_eq!(inverse[new], Some(old));
+        }
+        assert_eq!(inverse.iter().filter(|slot| slot.is_none()).count(), report.buffer_lines);
     }
 
     #[test]
@@ -240,7 +568,7 @@ mod tests {
         let row = design.cells[net.driver].row;
         let crossing = design.nets.iter().filter(|n| design.cells[n.driver].row == row).count();
         design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
-        let report = insert_buffer_rows(&mut design, &library);
+        let (report, _) = insert_buffer_rows(&mut design, &library);
         assert!(
             report.buffer_cells >= crossing,
             "every net crossing the expanded gap needs at least one buffer ({} < {crossing})",

@@ -7,6 +7,8 @@ use aqfp_synth::SynthesizedNetlist;
 use aqfp_timing::{PlacedNet, TimingBatch};
 use serde::{Deserialize, Serialize};
 
+use crate::buffer_rows::DesignEdit;
+
 /// A placed cell instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacedCell {
@@ -301,6 +303,43 @@ impl PlacedDesign {
         }
     }
 
+    /// Brings `batch` (filled from this design *before* a buffer-row edit)
+    /// up to date with the edited design: the appended nets are pushed, the
+    /// split nets are overwritten in place, and every pre-existing net whose
+    /// driver the edit moved to a renumbered row has its phase-dependent
+    /// slot recomputed. Together with a
+    /// [`refresh_timing_batch`](PlacedDesign::refresh_timing_batch) over the
+    /// cells later repairs moved, the result is value-identical to a
+    /// from-scratch [`fill_timing_batch`](PlacedDesign::fill_timing_batch)
+    /// — without recomputing the (typically dominant) untouched slots.
+    ///
+    /// Only a net's `phase` depends on absolute row numbers (the vertical
+    /// span of an adjacent-row net is one row pitch before and after the
+    /// edit), so the renumbered-row refresh is exactly the set of nets
+    /// driven from at or above the first remapped row.
+    pub fn extend_timing_batch_for_edit(&self, batch: &mut TimingBatch, edit: &DesignEdit) {
+        debug_assert_eq!(batch.len(), edit.first_new_net, "batch predates the edit");
+        batch.extend_for_edit(
+            self.nets[edit.first_new_net..].iter().map(|net| self.placed_net(net)),
+        );
+        for &net_index in &edit.split_nets {
+            batch.set(net_index, self.placed_net(&self.nets[net_index]));
+        }
+        if let Some(first_old) = edit.first_remapped_row() {
+            // Pre-existing cells sat on old row `r` and now sit on
+            // `row_remap[r]`; the remap is strictly monotone, so exactly the
+            // cells at or above `row_remap[first_old]` changed phase. (Split
+            // nets are driven by appended buffer cells and were refreshed
+            // above.)
+            let threshold = edit.row_remap[first_old];
+            for (index, net) in self.nets[..edit.first_new_net].iter().enumerate() {
+                if net.driver < edit.first_new_cell && self.cells[net.driver].row >= threshold {
+                    batch.set(index, self.placed_net(net));
+                }
+            }
+        }
+    }
+
     /// Nets whose length exceeds the process maximum wirelength.
     pub fn max_wirelength_violations(&self) -> Vec<usize> {
         (0..self.nets.len())
@@ -467,6 +506,43 @@ mod tests {
         let mut fresh = aqfp_timing::TimingBatch::new();
         design.fill_timing_batch(&mut fresh);
         assert_eq!(batch, fresh, "incremental refresh equals a full rebuild");
+    }
+
+    /// `extend_timing_batch_for_edit` + a moved-cell refresh after a real
+    /// buffer-row edit must equal a from-scratch refill, bit for bit.
+    #[test]
+    fn extend_for_edit_plus_refresh_equals_full_rebuild() {
+        use crate::buffer_rows::insert_buffer_rows;
+        use crate::legalize::legalize;
+
+        let library = CellLibrary::mit_ll();
+        let synthesized = Synthesizer::new(library.clone())
+            .run(&benchmark_circuit(Benchmark::Adder8))
+            .expect("ok");
+        let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
+        let net = design.nets[0];
+        design.cells[net.driver].x = design.rules.max_wirelength * 3.0;
+        let mut batch = aqfp_timing::TimingBatch::new();
+        design.fill_timing_batch(&mut batch);
+
+        let (report, edit) = insert_buffer_rows(&mut design, &library);
+        assert!(report.buffer_lines > 0, "the edit must actually insert rows");
+        let moved = legalize(&mut design).moved_cells;
+        design.extend_timing_batch_for_edit(&mut batch, &edit);
+        let incidence = NetIncidence::build(&design);
+        design.refresh_timing_batch(&mut batch, &incidence, &moved);
+
+        let mut rebuilt = aqfp_timing::TimingBatch::new();
+        design.fill_timing_batch(&mut rebuilt);
+        assert_eq!(batch.len(), rebuilt.len());
+        let (ap, asx, akx, al) = batch.as_slices();
+        let (bp, bsx, bkx, bl) = rebuilt.as_slices();
+        assert_eq!(ap, bp, "phases match");
+        for i in 0..al.len() {
+            assert_eq!(asx[i].to_bits(), bsx[i].to_bits(), "source_x of net {i}");
+            assert_eq!(akx[i].to_bits(), bkx[i].to_bits(), "sink_x of net {i}");
+            assert_eq!(al[i].to_bits(), bl[i].to_bits(), "length of net {i}");
+        }
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub struct DetailedPlacementReport {
     /// Accepted moves (swaps + slides) per executed pass, in pass order —
     /// the convergence trajectory observers and benches inspect.
     pub pass_moves: Vec<usize>,
+    /// Indices (into `PlacedDesign::cells`) of every cell at least one
+    /// accepted move displaced, sorted and deduplicated. The flow's
+    /// incremental DRC repair reroutes (and re-times) only the channels
+    /// these cells touch. A cell that moved and later moved back is still
+    /// listed — the set is a conservative superset of the cells whose final
+    /// position differs.
+    pub moved_cells: Vec<usize>,
 }
 
 /// Runs detailed placement in place on a legalized design.
@@ -109,6 +116,40 @@ pub fn detailed_place(
     design: &mut PlacedDesign,
     config: &DetailedPlacementConfig,
 ) -> DetailedPlacementReport {
+    detailed_place_impl(design, config, None)
+}
+
+/// Runs detailed placement restricted to the given rows: only cells in
+/// `rows` may move; every other row is read (through the frozen snapshots)
+/// but never swept.
+///
+/// This is the scoped pass the flow's DRC-repair loop runs after buffer-row
+/// insertion: the freshly inserted buffers are pulled toward their nets
+/// while the — already optimized — rest of the design stays put, which
+/// keeps the repair's dirty-channel set (and with it the incremental
+/// reroute and timing refresh) bounded by the edit instead of the whole
+/// design. The same determinism contract as [`detailed_place`] applies.
+pub fn detailed_place_in_rows(
+    design: &mut PlacedDesign,
+    config: &DetailedPlacementConfig,
+    rows: &[usize],
+) -> DetailedPlacementReport {
+    let mut in_scope = vec![false; design.rows.len()];
+    for &row in rows {
+        if row < in_scope.len() {
+            in_scope[row] = true;
+        }
+    }
+    detailed_place_impl(design, config, Some(&in_scope))
+}
+
+/// Shared implementation of [`detailed_place`] (no scope) and
+/// [`detailed_place_in_rows`] (`scope[row]` gates which rows are swept).
+fn detailed_place_impl(
+    design: &mut PlacedDesign,
+    config: &DetailedPlacementConfig,
+    scope: Option<&[bool]>,
+) -> DetailedPlacementReport {
     let hpwl_before = design.hpwl();
     let mut report = DetailedPlacementReport {
         swaps_accepted: 0,
@@ -117,6 +158,7 @@ pub fn detailed_place(
         hpwl_after: hpwl_before,
         passes_run: 0,
         pass_moves: Vec::new(),
+        moved_cells: Vec::new(),
     };
 
     let incidence = NetIncidence::build(design);
@@ -152,6 +194,7 @@ pub fn detailed_place(
             frozen_x.extend(design.cells.iter().map(|cell| cell.x));
             let half_rows: Vec<usize> = (parity..design.rows.len())
                 .step_by(2)
+                .filter(|&row| scope.is_none_or(|in_scope| in_scope[row]))
                 .filter(|&row| {
                     layer_width_changed
                         || row_is_dirty(design, &incidence, row, &moved_half, parity)
@@ -176,6 +219,7 @@ pub fn detailed_place(
                 for &(cell, x) in &outcome.moves {
                     design.cells[cell].x = x;
                     moved_half[parity][cell] = true;
+                    report.moved_cells.push(cell);
                 }
                 report.swaps_accepted += outcome.swaps;
                 report.slides_accepted += outcome.slides;
@@ -192,6 +236,8 @@ pub fn detailed_place(
 
     design.sort_rows_by_x();
     report.hpwl_after = design.hpwl();
+    report.moved_cells.sort_unstable();
+    report.moved_cells.dedup();
     report
 }
 
@@ -787,6 +833,7 @@ pub fn detailed_place_reference(
     let hpwl_before = design.hpwl();
     let analyzer = TimingAnalyzer::new(config.timing);
     let incident = reference_incident_nets(design);
+    let start_x: Vec<f64> = design.cells.iter().map(|cell| cell.x).collect();
     let mut report = DetailedPlacementReport {
         swaps_accepted: 0,
         slides_accepted: 0,
@@ -794,6 +841,7 @@ pub fn detailed_place_reference(
         hpwl_after: hpwl_before,
         passes_run: 0,
         pass_moves: Vec::new(),
+        moved_cells: Vec::new(),
     };
 
     for _ in 0..config.passes {
@@ -848,6 +896,12 @@ pub fn detailed_place_reference(
 
     design.sort_rows_by_x();
     report.hpwl_after = design.hpwl();
+    // The baseline mutates coordinates in place, so moved cells are
+    // recovered from a start-of-run snapshot (cells that moved and returned
+    // exactly are not listed; the baseline is a bench-only path).
+    report.moved_cells = (0..design.cells.len())
+        .filter(|&cell| (design.cells[cell].x - start_x[cell]).abs() > 1e-9)
+        .collect();
     report
 }
 
@@ -1111,6 +1165,26 @@ mod tests {
         for &moves in &report.pass_moves[..report.passes_run - 1] {
             assert!(moves > 0, "only the final pass may accept no move");
         }
+    }
+
+    #[test]
+    fn moved_cells_cover_every_displaced_cell() {
+        let mut design = legal_design(Benchmark::Adder8);
+        let before: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        let report = detailed_place(&mut design, &DetailedPlacementConfig::default());
+        assert!(report.moved_cells.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        for (index, cell) in design.cells.iter().enumerate() {
+            if (cell.x - before[index]).abs() > 1e-9 {
+                assert!(
+                    report.moved_cells.binary_search(&index).is_ok(),
+                    "cell {index} moved but is not reported"
+                );
+            }
+        }
+        assert!(
+            report.moved_cells.is_empty() == (report.swaps_accepted + report.slides_accepted == 0),
+            "moves and moved cells agree on whether anything happened"
+        );
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl PlacementEngine {
         }
 
         let buffer_report = if self.options.insert_buffer_rows {
-            let report = insert_buffer_rows(&mut design, &self.library);
+            let (report, _edit) = insert_buffer_rows(&mut design, &self.library);
             if report.buffer_cells > 0 {
                 // The freshly inserted buffer rows are packed onto legal,
                 // grid-aligned positions; already-legal rows are untouched
@@ -182,6 +182,7 @@ impl PlacementEngine {
                 buffer_lines: crate::buffer_rows::required_buffer_lines(&design),
                 buffer_cells: 0,
                 violating_nets: design.max_wirelength_violations().len(),
+                skipped_nets: 0,
             }
         };
 

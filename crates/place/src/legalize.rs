@@ -44,15 +44,25 @@ pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
             let desired = design.cells[cell_index].x;
             // Closest legal position at or right of the packing cursor: either
             // abut the previous cell (cursor) or leave at least the minimum
-            // spacing; any position in between is illegal.
-            let snapped_desired = (desired / grid).round() * grid;
-            let position = if snapped_desired <= cursor + 1e-9 {
-                cursor
-            } else if snapped_desired < cursor + spacing {
-                // Too close to abut cleanly but closer than the minimum
-                // spacing: clamp to abutment, which keeps displacement small.
+            // spacing; any position in between is illegal. Abutment is only
+            // available while the cursor itself sits on the grid — a library
+            // whose cell widths are not grid multiples leaves it off-grid, and
+            // the cell must instead take the first grid point at legal
+            // spacing (clamping to the raw cursor would place it off-grid).
+            let cursor_on_grid = ((cursor / grid).round() * grid - cursor).abs() < 1e-9;
+            let legal_min = if cursor_on_grid {
                 cursor
             } else {
+                ((cursor + spacing) / grid - 1e-9).ceil() * grid
+            };
+            let snapped_desired = (desired / grid).round() * grid;
+            let position = if snapped_desired < cursor + spacing {
+                // At, left of, or too close to the previous cell: clamp to
+                // the closest legal spot, which keeps displacement small.
+                legal_min
+            } else {
+                // A grid multiple at legal spacing is never below
+                // `legal_min`, so the desired spot stands as is.
                 snapped_desired
             };
             let displacement = (position - desired).abs();
@@ -145,6 +155,56 @@ mod tests {
                 "cell {index} moved={moved} but the report disagrees"
             );
         }
+    }
+
+    #[test]
+    fn off_grid_cell_widths_still_legalize_onto_the_grid() {
+        // A custom library whose cell width (35 µm) is not a multiple of the
+        // 10 µm grid: abutting the previous cell would land off-grid, so the
+        // packer must advance to the next grid point at legal spacing.
+        use crate::design::{PhysNet, PlacedCell};
+        use aqfp_cells::{CellKind, ProcessRules};
+
+        let rules = ProcessRules::mit_ll();
+        let cell = |name: &str, row: usize, x: f64| PlacedCell {
+            gate: None,
+            name: name.into(),
+            kind: CellKind::Buffer,
+            width: 35.0,
+            height: 40.0,
+            row,
+            x,
+        };
+        let mut design = PlacedDesign {
+            name: "odd_widths".into(),
+            cells: vec![cell("a", 0, 0.0), cell("b", 0, 20.0), cell("c", 0, 20.0)],
+            nets: vec![PhysNet { driver: 0, sink: 1 }],
+            rows: vec![vec![0, 1, 2]],
+            row_pitch: rules.row_pitch,
+            rules,
+        };
+
+        let report = legalize(&mut design);
+        assert!(report.overlaps_before > 0, "the fixture must start overlapping");
+        assert_eq!(design.overlap_count(), 0);
+        assert_eq!(design.spacing_violations(), 0);
+        let grid = design.rules.grid;
+        for cell in &design.cells {
+            let remainder = (cell.x / grid).fract().abs();
+            assert!(
+                remainder < 1e-6 || (1.0 - remainder) < 1e-6,
+                "cell {} at x={} is off the {} µm grid",
+                cell.name,
+                cell.x,
+                grid
+            );
+        }
+        // Idempotence holds for off-grid widths too.
+        let xs: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        let second = legalize(&mut design);
+        let xs_after: Vec<f64> = design.cells.iter().map(|c| c.x).collect();
+        assert_eq!(xs, xs_after);
+        assert!(second.moved_cells.is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod global;
 pub mod legalize;
 pub mod parallel;
 
+pub use buffer_rows::{BufferRowReport, DesignEdit};
 pub use design::{NetIncidence, PhysNet, PlacedCell, PlacedDesign};
 pub use engine::{PlacementEngine, PlacementOptions, PlacementResult, PlacerKind};
 pub use parallel::effective_threads;

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 
 use aqfp_cells::{CellLibrary, Point};
 use aqfp_place::parallel::effective_threads;
-use aqfp_place::PlacedDesign;
+use aqfp_place::{DesignEdit, PlacedDesign};
 use serde::{Deserialize, Serialize};
 
 use crate::grid::{ChannelGrid, GridPoint, SearchScratch};
@@ -197,40 +197,77 @@ impl Router {
     /// Reroutes only the channels whose driver row is in `dirty_rows`,
     /// reusing every other channel's wires and report from `previous`.
     ///
-    /// This is the flow's incremental DRC-repair entry point: legalization
-    /// reports which cells it displaced, the flow maps those cells to the
-    /// (at most two) channels each one touches, and only those channels are
-    /// rerouted. Channel routing is deterministic and channels share no
-    /// routing state, so the result is byte-identical to a from-scratch
-    /// [`Router::route`] of the same design.
+    /// This is the flow's incremental DRC-repair entry point. Two kinds of
+    /// repair feed it:
+    ///
+    /// * **Pure moves** (`edit: None`) — legalization or detailed placement
+    ///   displaced cells without touching the row or net numbering. The
+    ///   flow maps each moved cell to the (at most two) channels it
+    ///   touches; only those channels reroute.
+    /// * **Buffer-row edits** (`edit: Some`) — `insert_buffer_rows`
+    ///   renumbered rows and appended cells/nets. The edit's row remap
+    ///   re-keys every clean channel to its new row index (reports take the
+    ///   new row, wires translate vertically onto the channel's new track
+    ///   base); only the channels the edit created or rewrote
+    ///   ([`DesignEdit::edited_channel_rows`] — callers pass them inside
+    ///   `dirty_rows`) and the channels of cells the post-edit
+    ///   legalize/detailed-place pass moved are routed fresh.
+    ///
+    /// Channel routing is deterministic and channels share no routing
+    /// state, so the result is byte-identical to a from-scratch
+    /// [`Router::route`] of the same design in both modes.
     ///
     /// The byte-identical guarantee requires `dirty_rows` to cover every
     /// channel whose cells moved since `previous` was routed — a channel
     /// wrongly reported clean keeps its stale wires. Grid-shape drift is
     /// handled defensively on top of that: when the column count changed (a
-    /// moved cell widened the layer), the net list changed (buffer rows were
-    /// inserted), or a supposedly clean channel disagrees with its previous
-    /// report, the affected channels reroute from scratch.
+    /// moved or inserted cell widened the layer), the net list changed in a
+    /// way the edit does not describe, or a supposedly clean channel
+    /// disagrees with its previous report, the affected channels reroute
+    /// from scratch.
     pub fn route_partial(
         &self,
         design: &PlacedDesign,
         previous: &RoutingResult,
         dirty_rows: &[usize],
+        edit: Option<&DesignEdit>,
     ) -> RoutingResult {
         let (step, columns, initial_tracks, auto_tracks) = self.grid_params(design);
         let previous_nets = previous.stats.nets_routed + previous.stats.failed_nets;
-        if columns != previous.grid_columns || previous_nets != design.net_count() {
+        // The nets `previous` covered must be exactly the pre-edit nets
+        // (all of today's nets when there was no edit).
+        let expected_nets = edit.map_or(design.net_count(), |edit| edit.first_new_net);
+        let rows_consistent = edit.is_none_or(|edit| {
+            edit.row_count == design.rows.len()
+                && edit.row_remap.last().is_none_or(|&last| last < edit.row_count)
+        });
+        if columns != previous.grid_columns || previous_nets != expected_nets || !rows_consistent {
             return self.route(design);
         }
 
-        let dirty: std::collections::BTreeSet<usize> = dirty_rows.iter().copied().collect();
+        // New row → old row; identity when no edit renumbered the rows.
+        let new_to_old: Vec<Option<usize>> = match edit {
+            Some(edit) => edit.inverse_row_remap(),
+            None => (0..design.rows.len()).map(Some).collect(),
+        };
+
+        let mut dirty: std::collections::BTreeSet<usize> = dirty_rows.iter().copied().collect();
+        if let Some(edit) = edit {
+            // The channels the edit created or rewrote carry new or
+            // renumbered nets and can never reuse previous wires; fold them
+            // in here so the guarantee does not depend on the caller
+            // remembering to.
+            dirty.extend(edit.edited_channel_rows());
+        }
+        // Previous reports keyed by their *old* row index.
         let previous_reports: std::collections::BTreeMap<usize, ChannelReport> =
             previous.channels.iter().map(|report| (report.row, *report)).collect();
-        // Previous wires grouped by channel row, skipping the dirty rows
-        // whose wires are about to be replaced anyway. Rows never change
-        // outside a full reroute (legalization only moves cells
-        // horizontally), so the wire → channel mapping through the current
-        // design is the mapping the previous run used.
+        // Previous wires grouped by their *new* channel row, skipping the
+        // dirty rows whose wires are about to be replaced anyway. Mapping
+        // through the current design is correct in both modes: pure moves
+        // never change a driver's row, and under an edit a pre-existing
+        // net's driver either kept its cell (row remapped with the channel)
+        // or became a buffer in an edited — hence dirty — channel.
         let mut previous_wires: std::collections::BTreeMap<usize, Vec<RoutedWire>> =
             Default::default();
         for wire in &previous.wires {
@@ -244,16 +281,20 @@ impl Router {
         let (dirty_jobs, clean_jobs): (Vec<ChannelJob>, Vec<ChannelJob>) =
             jobs.into_iter().partition(|job| {
                 dirty.contains(&job.row)
-                    || previous_reports.get(&job.row).is_none_or(|r| r.nets != job.nets.len())
+                    || new_to_old[job.row].is_none()
+                    || previous_reports
+                        .get(&new_to_old[job.row].expect("checked above"))
+                        .is_none_or(|report| report.nets != job.nets.len())
             });
 
         let mut outcomes =
             self.route_channels(&dirty_jobs, columns, initial_tracks, auto_tracks, step);
         for job in &clean_jobs {
-            outcomes.push(ChannelOutcome {
-                report: previous_reports[&job.row],
-                wires: previous_wires.remove(&job.row).unwrap_or_default(),
-            });
+            let old_row = new_to_old[job.row].expect("clean channels map to a previous row");
+            let mut report = previous_reports[&old_row];
+            report.row = job.row;
+            let wires = previous_wires.remove(&job.row).unwrap_or_default();
+            outcomes.push(ChannelOutcome { report, wires: rekey_wires(wires, job.y_base, step) });
         }
         outcomes.sort_by_key(|outcome| outcome.report.row);
         self.assemble(outcomes, design, columns)
@@ -655,6 +696,29 @@ fn rip_extension(grid: &mut ChannelGrid, goal_col: i64, routed_top: i64, current
     }
 }
 
+/// Translates reused channel wires onto their channel's (possibly new)
+/// vertical base after a row-renumbering edit.
+///
+/// A channel wire's y coordinates are `y_base + track × step` with the
+/// driver pin on track 0, so the old base is the wire's minimum y and each
+/// point's track index is recovered exactly. The new y is then computed by
+/// the same expression [`materialize_wire`] uses, which keeps re-keyed wires
+/// bit-identical to freshly routed ones; wires whose base did not move are
+/// returned untouched.
+fn rekey_wires(mut wires: Vec<RoutedWire>, y_base: f64, step: f64) -> Vec<RoutedWire> {
+    for wire in &mut wires {
+        let old_base = wire.path.iter().map(|point| point.y).fold(f64::INFINITY, f64::min);
+        if old_base.to_bits() == y_base.to_bits() {
+            continue;
+        }
+        for point in &mut wire.path {
+            let track = ((point.y - old_base) / step).round();
+            point.y = y_base + track * step;
+        }
+    }
+    wires
+}
+
 /// Converts a grid path into an absolute-coordinate wire with length and via
 /// count.
 fn materialize_wire(net: usize, path: &[GridPoint], step: f64, y_base: f64) -> RoutedWire {
@@ -812,7 +876,7 @@ mod tests {
         let (design, library) = placed(Benchmark::Adder8);
         let router = Router::new(library);
         let before = router.route(&design);
-        let rerouted = router.route_partial(&design, &before, &[]);
+        let rerouted = router.route_partial(&design, &before, &[], None);
         assert_eq!(before, rerouted, "an untouched design must reuse every channel verbatim");
     }
 
@@ -836,7 +900,7 @@ mod tests {
         }
 
         let scratch = router.route(&design);
-        let partial = router.route_partial(&design, &before, &dirty);
+        let partial = router.route_partial(&design, &before, &dirty, None);
         assert_eq!(scratch, partial, "incremental reroute must match a from-scratch reroute");
         let scratch_json = serde_json::to_string(&scratch).expect("serialize");
         let partial_json = serde_json::to_string(&partial).expect("serialize");
@@ -844,6 +908,93 @@ mod tests {
         // The nudges must actually have changed something, or the assertion
         // above would hold trivially.
         assert_ne!(before, scratch, "the perturbation must change the routed result");
+    }
+
+    /// The tentpole guarantee: after a real buffer-row edit (rows
+    /// renumbered, cells and nets appended, originals split), consuming the
+    /// [`DesignEdit`] reroutes only the edited/moved channels and is still
+    /// byte-identical to a from-scratch route of the edited design.
+    #[test]
+    fn partial_reroute_consumes_a_buffer_row_edit() {
+        use aqfp_place::buffer_rows::insert_buffer_rows;
+        use aqfp_place::legalize::legalize;
+
+        let (mut design, library) = placed(Benchmark::Apc32);
+        let router = Router::new(library.clone());
+        let before = router.route(&design);
+
+        // Stretch one mid-design driver far enough to force buffer rows,
+        // then repair exactly like the flow does: insert, re-legalize.
+        let victim_row = 13usize;
+        let net_index = design
+            .nets
+            .iter()
+            .position(|net| design.cells[net.driver].row == victim_row)
+            .expect("a net driven from the victim row");
+        let driver = design.nets[net_index].driver;
+        design.cells[driver].x = 0.0;
+        let sink = design.nets[net_index].sink;
+        design.cells[sink].x = design.rules.max_wirelength * 2.5;
+        // Keep the perturbation horizontal-only and interior so the routing
+        // grid's column count stays put (clamp the sink back inside the
+        // layer width).
+        let width = design.layer_width();
+        if design.cells[sink].right() > width {
+            design.cells[sink].x = (width - design.cells[sink].width) - design.rules.grid;
+        }
+        design.sort_rows_by_x();
+        assert!(!design.max_wirelength_violations().is_empty(), "the stretch must violate");
+
+        let (_, edit) = insert_buffer_rows(&mut design, &library);
+        assert!(!edit.is_noop(), "the repair must renumber rows");
+        let moved = legalize(&mut design).moved_cells;
+
+        // Dirty set: the channels touched by every cell that moved since
+        // `before` was routed — the two the test stretched plus whatever
+        // the post-insert legalization displaced. (The edit's own channels
+        // are folded in by route_partial itself.)
+        let mut dirty: Vec<usize> = Vec::new();
+        for cell in moved.iter().copied().chain([driver, sink]) {
+            let row = design.cells[cell].row;
+            dirty.push(row);
+            if row > 0 {
+                dirty.push(row - 1);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        let scratch = router.route(&design);
+        let partial = router.route_partial(&design, &before, &dirty, Some(&edit));
+        assert_eq!(
+            before.grid_columns, partial.grid_columns,
+            "the perturbation must keep the column count so the incremental path is exercised"
+        );
+        assert_eq!(scratch, partial, "edit-aware reroute must match a from-scratch reroute");
+        let scratch_json = serde_json::to_string(&scratch).expect("serialize");
+        let partial_json = serde_json::to_string(&partial).expect("serialize");
+        assert_eq!(scratch_json, partial_json, "… down to the serialized bytes");
+        // The edit must have genuinely moved channels upward, so clean
+        // channels were re-keyed rather than reused trivially.
+        assert!(design.rows.len() > before.channels.len(), "rows were inserted");
+    }
+
+    /// An edit whose description disagrees with the design (stale edit)
+    /// falls back to a from-scratch route instead of mixing stale wires in.
+    #[test]
+    fn partial_reroute_rejects_inconsistent_edits() {
+        let (mut design, library) = placed(Benchmark::Adder8);
+        let router = Router::new(library);
+        let before = router.route(&design);
+        // A fabricated edit claiming one more net than the previous result
+        // covered: expected nets mismatch => full route.
+        let mut edit = aqfp_place::DesignEdit::identity(&design);
+        edit.first_new_net -= 1;
+        let net = design.nets[0];
+        design.nets.push(net);
+        let partial = router.route_partial(&design, &before, &[], Some(&edit));
+        let scratch = router.route(&design);
+        assert_eq!(scratch, partial);
     }
 
     #[test]
@@ -855,7 +1006,7 @@ mod tests {
         // design, so every channel must reroute regardless of the dirty set.
         let net = design.nets[0];
         design.nets.push(net);
-        let partial = router.route_partial(&design, &before, &[]);
+        let partial = router.route_partial(&design, &before, &[], None);
         let scratch = router.route(&design);
         assert_eq!(scratch, partial);
         assert_eq!(partial.stats.nets_routed + partial.stats.failed_nets, design.net_count());

@@ -114,6 +114,20 @@ impl TimingBatch {
         self.length_um.push(net.length_um);
     }
 
+    /// Appends the nets a design edit added at the end of the net list —
+    /// the batch-growth primitive of the incremental repair loop.
+    ///
+    /// A design edit that only *appends* nets (buffer-row insertion) leaves
+    /// every existing slot's index valid, so the batch extends in place and
+    /// the caller then refreshes just the slots the edit rewrote (via
+    /// [`TimingBatch::set`]) instead of refilling the whole batch. See
+    /// `PlacedDesign::extend_timing_batch_for_edit` in the placement crate.
+    pub fn extend_for_edit<I: IntoIterator<Item = PlacedNet>>(&mut self, appended: I) {
+        for net in appended {
+            self.push(net);
+        }
+    }
+
     /// Overwrites the net at `index` in place — the incremental-refresh
     /// primitive.
     ///
@@ -338,5 +352,17 @@ mod tests {
     fn from_iterator_collects() {
         let batch: TimingBatch = sample_nets().into_iter().collect();
         assert_eq!(batch.len(), 5);
+    }
+
+    #[test]
+    fn extend_for_edit_appends_without_touching_existing_slots() {
+        let nets = sample_nets();
+        let mut batch = TimingBatch::from_nets(&nets[..3]);
+        batch.extend_for_edit(nets[3..].iter().copied());
+        assert_eq!(batch.len(), nets.len());
+        for (i, net) in nets.iter().enumerate() {
+            assert_eq!(batch.get(i), *net);
+        }
+        assert_eq!(batch, TimingBatch::from_nets(&nets));
     }
 }

@@ -8,14 +8,17 @@
 use proptest::prelude::*;
 
 use aqfp_cells::CellLibrary;
+use aqfp_layout::DrcViolationKind;
 use aqfp_netlist::generators::{random_dag, RandomDagConfig};
 use aqfp_netlist::simulate;
+use aqfp_place::buffer_rows::required_buffer_lines;
 use aqfp_place::design::{NetIncidence, PlacedDesign};
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
 use aqfp_place::global::{global_place, GlobalPlacementConfig};
 use aqfp_place::legalize::legalize;
 use aqfp_synth::{SynthesisOptions, Synthesizer};
 use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
+use superflow::{FlowConfig, FlowSession};
 
 /// A strategy over small random netlist configurations.
 fn dag_config() -> impl Strategy<Value = RandomDagConfig> {
@@ -172,6 +175,56 @@ proptest! {
         let mut rebuilt = TimingBatch::new();
         design.fill_timing_batch(&mut rebuilt);
         prop_assert_eq!(batch, rebuilt);
+    }
+
+    /// The DRC-repair loop converges on randomized stretched placements:
+    /// after `FlowSession::check` repairs a connection stretched far past
+    /// the maximum wirelength, no `MaxWirelength` violation remains and the
+    /// row count has converged (another buffer-row pass would insert
+    /// nothing).
+    #[test]
+    fn repair_loop_clears_stretched_placements(input in (dag_config(), any::<u64>())) {
+        let (config, pick) = input;
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+
+        let mut flow_config = FlowConfig::fast();
+        // Give pathological random designs room to converge; typical runs
+        // need one or two iterations.
+        flow_config.max_drc_iterations = 8;
+        let mut session = FlowSession::new(flow_config);
+        let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
+        let placed = session.place(synthesized);
+        let mut routed = session.route(placed);
+
+        // Stretch a seed-chosen driver far past the maximum wirelength.
+        let moved = {
+            let design = &mut routed.placed.placement.design;
+            prop_assume!(design.net_count() > 0);
+            let net = design.nets[(pick as usize) % design.net_count()];
+            design.cells[net.driver].x += design.rules.max_wirelength * 2.0;
+            design.sort_rows_by_x();
+            net.driver
+        };
+        routed.mark_cell_moved(moved);
+        prop_assert!(
+            !routed.placed.placement.design.max_wirelength_violations().is_empty(),
+            "the stretch must create a violation"
+        );
+
+        let checked = session.check(routed);
+        let design = &checked.routed.placed.placement.design;
+        prop_assert_eq!(
+            checked.drc.count(DrcViolationKind::MaxWirelength),
+            0,
+            "the repair loop must clear every max-wirelength violation"
+        );
+        prop_assert_eq!(
+            required_buffer_lines(design),
+            0,
+            "the row count must have converged (no further buffer lines needed)"
+        );
+        prop_assert!(design.max_wirelength_violations().is_empty());
     }
 
     /// Detailed placement is byte-identical for every worker-thread count on

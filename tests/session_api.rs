@@ -184,3 +184,90 @@ fn incremental_repair_is_byte_identical_to_a_from_scratch_reroute() {
     // And the repair genuinely fixed the overlap it was given.
     assert_eq!(checked.routed.placed.placement.design.overlap_count(), 0);
 }
+
+/// The tentpole guarantee, asserted over benchmark circuits: every one of
+/// them reaches `check` with max-wirelength residuals, so the repair loop
+/// takes the buffer-row branch (rows and nets renumbered) on each — and
+/// that repair stays incremental. The loop never falls back to
+/// `RepairScope::Full`, and the final routing, GDS and timing are
+/// byte-identical to a from-scratch route/layout/scalar-analysis of the
+/// repaired design.
+#[test]
+fn buffer_row_repair_is_incremental_and_byte_identical() {
+    use aqfp_layout::LayoutGenerator;
+    use aqfp_timing::TimingAnalyzer;
+
+    for benchmark in [Benchmark::Adder8, Benchmark::C432, Benchmark::Apc32] {
+        let iterations = Rc::new(RefCell::new(Vec::new()));
+        let mut session = FlowSession::new(fast_config());
+        session.add_observer(Box::new(RepairWatch(Rc::clone(&iterations))));
+        let synthesized =
+            session.synthesize(&benchmark_circuit(benchmark)).expect("synthesis succeeds");
+        let placed = session.place(synthesized);
+        let rows_before = placed.design().rows.len();
+        let routed = session.route(placed);
+        assert!(
+            !routed.design().max_wirelength_violations().is_empty(),
+            "{benchmark:?} must reach check with max-wirelength residuals \
+             for this test to exercise the buffer-row branch"
+        );
+
+        let checked = session.check(routed);
+
+        // The buffer-row branch ran (rows were inserted) and every repair
+        // iteration stayed incremental.
+        assert!(checked.drc_iterations >= 1, "{benchmark:?}: repair must run");
+        let design = &checked.routed.placed.placement.design;
+        assert!(
+            design.rows.len() > rows_before,
+            "{benchmark:?}: buffer rows must have been inserted ({} rows before, {} after)",
+            rows_before,
+            design.rows.len()
+        );
+        let seen = iterations.borrow().clone();
+        assert!(!seen.is_empty());
+        assert!(
+            seen.iter().all(|scope| scope.is_some()),
+            "{benchmark:?}: no repair iteration may fall back to a full reroute \
+             (observed {seen:?})"
+        );
+        assert!(
+            seen.iter().any(|scope| scope.as_ref().is_some_and(|rows| !rows.is_empty())),
+            "{benchmark:?}: the buffer-row iterations must reroute through a dirty-channel set"
+        );
+        // Byte-identical guarantee, end to end: routing, GDS and timing all
+        // equal a from-scratch run over the repaired design.
+        let library = Arc::clone(session.library());
+        let router = Router::with_config(Arc::clone(&library), session.config().router);
+        let scratch_routing = router.route(design);
+        assert_eq!(scratch_routing, checked.routed.routing, "{benchmark:?}: routing matches");
+        let scratch_json = serde_json::to_string(&scratch_routing).expect("serialize");
+        let incremental_json = serde_json::to_string(&checked.routed.routing).expect("serialize");
+        assert_eq!(
+            scratch_json, incremental_json,
+            "{benchmark:?}: routing matches down to the serialized bytes"
+        );
+
+        let scratch_layout = LayoutGenerator::new(library).generate(design, &scratch_routing);
+        assert_eq!(
+            scratch_layout.to_gds_bytes(),
+            checked.layout.to_gds_bytes(),
+            "{benchmark:?}: GDS bytes match a from-scratch layout generation"
+        );
+
+        let analyzer = TimingAnalyzer::new(session.config().placement.timing);
+        let fresh = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
+        let incremental = &checked.routed.placed.placement.timing;
+        assert_eq!(
+            fresh.wns_ps.to_bits(),
+            incremental.wns_ps.to_bits(),
+            "{benchmark:?}: timing is bit-identical to a scalar rebuild"
+        );
+        assert_eq!(
+            fresh.tns_ps.to_bits(),
+            incremental.tns_ps.to_bits(),
+            "{benchmark:?}: TNS accumulates to the same bits"
+        );
+        assert_eq!(&fresh, incremental);
+    }
+}
