@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::design::PlacedDesign;
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
@@ -17,7 +17,7 @@ use aqfp_place::legalize::legalize;
 use aqfp_synth::Synthesizer;
 use aqfp_timing::{TimingAnalyzer, TimingConfig};
 
-fn legalized_design(circuit: Benchmark, library: &CellLibrary) -> PlacedDesign {
+fn legalized_design(circuit: Benchmark, library: &Technology) -> PlacedDesign {
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(circuit))
         .expect("synthesis succeeds");
@@ -28,7 +28,7 @@ fn legalized_design(circuit: Benchmark, library: &CellLibrary) -> PlacedDesign {
 }
 
 fn bench_mixed_cell_ablation(c: &mut Criterion) {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let analyzer = TimingAnalyzer::new(TimingConfig::paper_default());
 
     for circuit in [Benchmark::Apc32, Benchmark::Sorter32] {

@@ -8,14 +8,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::{PlacementEngine, PlacerKind};
 use aqfp_route::{Router, RouterConfig};
 use aqfp_synth::Synthesizer;
 
 fn bench_space_expansion(c: &mut Criterion) {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("synthesis succeeds");

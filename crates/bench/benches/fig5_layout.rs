@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_layout::{DrcChecker, LayoutGenerator};
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::{PlacementEngine, PlacerKind};
@@ -13,7 +13,7 @@ use aqfp_route::Router;
 use aqfp_synth::Synthesizer;
 
 fn bench_layout(c: &mut Criterion) {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("synthesis succeeds");

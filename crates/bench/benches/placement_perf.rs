@@ -26,7 +26,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::design::{NetIncidence, PlacedDesign};
 use aqfp_place::detailed::{detailed_place, detailed_place_reference, DetailedPlacementConfig};
@@ -39,7 +39,7 @@ use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
 /// A legalized (but not detailed-placed) apc32 design — the detailed
 /// placer's input.
 fn legalized_apc32() -> PlacedDesign {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("benchmark circuits synthesize");
@@ -51,7 +51,7 @@ fn legalized_apc32() -> PlacedDesign {
 
 /// A fully placed apc32 design — the timing analyzer's input.
 fn placed_apc32() -> PlacedDesign {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("benchmark circuits synthesize");

@@ -26,7 +26,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::design::PlacedDesign;
 use aqfp_place::global::{global_place, GlobalPlacementConfig};
@@ -37,8 +37,8 @@ use aqfp_synth::Synthesizer;
 /// Thread counts exercised by `route_parallel_scaling`.
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn placed_apc32() -> (PlacedDesign, CellLibrary) {
-    let library = CellLibrary::mit_ll();
+fn placed_apc32() -> (PlacedDesign, Technology) {
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("benchmark circuits synthesize");
@@ -215,7 +215,7 @@ fn bench_buffer_row_repair(c: &mut Criterion) {
 }
 
 fn bench_global_place_iteration(c: &mut Criterion) {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(Benchmark::Apc32))
         .expect("benchmark circuits synthesize");

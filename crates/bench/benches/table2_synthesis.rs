@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_synth::Synthesizer;
 use bench::table2::{format_table2, table2_rows};
@@ -16,7 +16,7 @@ fn bench_synthesis(c: &mut Criterion) {
     let circuits = [Benchmark::Adder8, Benchmark::Apc32, Benchmark::C432];
     println!("{}", format_table2(&table2_rows(&circuits)));
 
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let mut group = c.benchmark_group("table2_synthesis");
     group.sample_size(10);
     for circuit in circuits {

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::{PlacementEngine, PlacerKind};
 use aqfp_route::Router;
@@ -17,7 +17,7 @@ fn bench_routing(c: &mut Criterion) {
     let circuits = [Benchmark::Adder8, Benchmark::Apc32];
     println!("{}", format_table4(&table4_rows(&circuits)));
 
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesizer = Synthesizer::new(library.clone());
     let engine = PlacementEngine::new(library.clone());
     let router = Router::new(library);

@@ -38,13 +38,13 @@ fn main() {
     let flow = Flow::with_config(FlowConfig::paper_default());
 
     println!("Fig. 5: staged flow for AQFP circuit {benchmark}");
-    let mut session = flow.session();
+    let mut session = flow.session().expect("built-in technology resolves");
     session.add_observer(Box::new(Progress));
     let synthesized =
         session.synthesize(&benchmark_circuit(benchmark)).expect("benchmark circuits are valid");
-    let placed = session.place(synthesized);
-    let routed = session.route(placed);
-    let checked = session.check(routed);
+    let placed = session.place(synthesized).expect("same-technology placement");
+    let routed = session.route(placed).expect("same-technology routing");
+    let checked = session.check(routed).expect("same-technology check");
     let report = session.finish(checked);
 
     let bytes = report.layout.to_gds_bytes();

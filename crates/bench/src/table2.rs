@@ -1,6 +1,6 @@
 //! Table II harness: majority-based logic synthesis results.
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_synth::Synthesizer;
 
@@ -22,7 +22,7 @@ pub struct Table2Row {
 /// Runs the synthesis stage for every requested circuit and collects the
 /// Table II columns.
 pub fn table2_rows(circuits: &[Benchmark]) -> Vec<Table2Row> {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesizer = Synthesizer::new(library);
     circuits
         .iter()

@@ -1,7 +1,7 @@
 //! Table III harness: placement comparison between the GORDIAN-based
 //! baseline, TAAS and SuperFlow.
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::{PlacementEngine, PlacementResult, PlacerKind};
 use aqfp_synth::Synthesizer;
@@ -60,7 +60,7 @@ pub struct Table3Row {
 /// with crossbeam) because the nine Table III rows are independent; results
 /// are returned in the requested order.
 pub fn table3_rows(circuits: &[Benchmark]) -> Vec<Table3Row> {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let results: Mutex<Vec<Option<Table3Row>>> = Mutex::new(vec![None; circuits.len()]);
 
     crossbeam::thread::scope(|scope| {

@@ -1,6 +1,6 @@
 //! Table IV harness: routing results of the complete SuperFlow pipeline.
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::{PlacementEngine, PlacerKind};
 use aqfp_route::Router;
@@ -35,7 +35,7 @@ pub struct Table4Row {
 /// Circuits are processed in parallel (scoped worker threads), since each
 /// Table IV row is independent of the others.
 pub fn table4_rows(circuits: &[Benchmark]) -> Vec<Table4Row> {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let results: Mutex<Vec<Option<Table4Row>>> = Mutex::new(vec![None; circuits.len()]);
 
     crossbeam::thread::scope(|scope| {

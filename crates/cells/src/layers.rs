@@ -1,0 +1,108 @@
+//! GDS layer/datatype assignments of a fabrication process.
+
+use serde::{Deserialize, Serialize};
+
+/// The GDS layer numbers a technology's layouts are drawn on.
+///
+/// These used to be hard-coded constants inside the layout crate; they are
+/// process facts (each foundry documents its own GDS layer table), so they
+/// live in the loadable [`Technology`](crate::Technology) description
+/// instead. The defaults match the abstract-layout convention the flow has
+/// always used.
+///
+/// ```
+/// use aqfp_cells::LayerMap;
+/// let layers = LayerMap::default();
+/// assert_eq!(layers.outline, 1);
+/// assert_eq!(layers.metal2, 11);
+/// layers.validate().expect("defaults are valid");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMap {
+    /// Cell outline (placement boundary).
+    pub outline: i16,
+    /// Josephson-junction markers.
+    pub jj: i16,
+    /// Pin shapes.
+    pub pin: i16,
+    /// First wiring metal (horizontal segments).
+    pub metal1: i16,
+    /// Second wiring metal (vertical segments).
+    pub metal2: i16,
+    /// Text labels.
+    pub label: i16,
+}
+
+impl LayerMap {
+    /// All layer numbers, in declaration order, with their names.
+    pub fn entries(&self) -> [(&'static str, i16); 6] {
+        [
+            ("outline", self.outline),
+            ("jj", self.jj),
+            ("pin", self.pin),
+            ("metal1", self.metal1),
+            ("metal2", self.metal2),
+            ("label", self.label),
+        ]
+    }
+
+    /// Validates the assignment: every layer must be a legal GDS layer
+    /// number (0–255) and no two purposes may share a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the offending layer(s).
+    pub fn validate(&self) -> Result<(), String> {
+        let entries = self.entries();
+        for (name, layer) in entries {
+            if !(0..=255).contains(&layer) {
+                return Err(format!("layer `{name}` is {layer}, outside the GDS range 0..=255"));
+            }
+        }
+        for (i, (name_a, layer_a)) in entries.iter().enumerate() {
+            for (name_b, layer_b) in &entries[i + 1..] {
+                if layer_a == layer_b {
+                    return Err(format!(
+                        "layers `{name_a}` and `{name_b}` both map to GDS layer {layer_a}; \
+                         every purpose needs its own layer"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LayerMap {
+    fn default() -> Self {
+        Self { outline: 1, jj: 2, pin: 3, metal1: 10, metal2: 11, label: 63 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_map_is_valid_and_matches_the_historical_constants() {
+        let layers = LayerMap::default();
+        layers.validate().expect("valid");
+        assert_eq!(
+            (layers.outline, layers.jj, layers.pin, layers.metal1, layers.metal2, layers.label),
+            (1, 2, 3, 10, 11, 63)
+        );
+    }
+
+    #[test]
+    fn shared_and_out_of_range_layers_are_rejected() {
+        let mut layers = LayerMap::default();
+        layers.metal2 = layers.metal1;
+        let err = layers.validate().expect_err("shared layer");
+        assert!(err.contains("metal1") && err.contains("metal2"), "{err}");
+
+        let layers = LayerMap { label: 256, ..LayerMap::default() };
+        assert!(layers.validate().is_err());
+        let layers = LayerMap { label: -1, ..LayerMap::default() };
+        assert!(layers.validate().is_err());
+    }
+}

@@ -1,12 +1,21 @@
-//! The AQFP standard cell library.
+//! The AQFP standard cell library — a legacy view over a [`Technology`].
+//!
+//! The flow's stage engines consume a full [`Technology`] (rules, cells,
+//! clock, timing coefficients and GDS layers). [`CellLibrary`] remains as
+//! the smaller rules-plus-cells bundle older call sites were built around;
+//! its constructors are thin lookups into the same built-in technology data,
+//! and it converts into a [`Technology`] (filling the timing and layer
+//! fields from the matching built-in), so it is accepted anywhere an
+//! `impl Into<Arc<Technology>>` is.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::cell::{AqfpCell, CellKind, PinDirection, PinGeometry};
+use crate::cell::{AqfpCell, CellKind};
 use crate::clocking::FourPhaseClock;
-use crate::geometry::Point;
 use crate::process::ProcessRules;
+use crate::technology::{standard_cell_table, Technology};
 
 /// The fabrication process a [`CellLibrary`] targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -17,11 +26,30 @@ pub enum Process {
     MitLl,
 }
 
+impl Process {
+    /// The registry name of the built-in [`Technology`] for this process.
+    pub fn tech_name(self) -> &'static str {
+        match self {
+            Process::MitLl => crate::technology::MIT_LL_SQF5EE,
+            Process::Stp2 => crate::technology::AIST_STP2,
+        }
+    }
+
+    /// The built-in [`Technology`] for this process.
+    pub fn technology(self) -> Technology {
+        match self {
+            Process::MitLl => Technology::mit_ll_sqf5ee(),
+            Process::Stp2 => Technology::aist_stp2(),
+        }
+    }
+}
+
 /// A complete AQFP standard cell library for one fabrication process.
 ///
 /// The library bundles the cell geometry table, the process design rules and
-/// the clocking configuration, which is all the static technology data the
-/// synthesis, placement, routing and layout stages need.
+/// the clocking configuration. New code should prefer [`Technology`], which
+/// additionally carries the timing coefficients and GDS layer map; a
+/// `CellLibrary` converts into one.
 ///
 /// ```
 /// use aqfp_cells::{CellKind, CellLibrary};
@@ -38,82 +66,66 @@ pub struct CellLibrary {
 }
 
 impl CellLibrary {
-    /// Builds the library for the MIT-LL SQF5ee process using the dimensions
-    /// quoted in the paper (40 × 30 µm buffers, 60 × 70 µm majority gates,
-    /// everything snapped to a 10 µm grid).
+    /// The library view of the built-in MIT-LL SQF5ee technology (40 × 30 µm
+    /// buffers, 60 × 70 µm majority gates, everything snapped to a 10 µm
+    /// grid).
     pub fn mit_ll() -> Self {
-        Self::build(Process::MitLl, ProcessRules::mit_ll())
+        Self::from_technology(&Technology::mit_ll_sqf5ee())
     }
 
-    /// Builds the library for the AIST STP2 process.
+    /// The library view of the built-in AIST STP2 technology.
     pub fn stp2() -> Self {
-        Self::build(Process::Stp2, ProcessRules::stp2())
+        Self::from_technology(&Technology::aist_stp2())
     }
 
-    /// Builds a library for `process` with custom design rules.
+    /// Builds a library for `process` with custom design rules and the
+    /// standard cell table.
     ///
     /// # Panics
     ///
     /// Panics if `rules` fail validation; use [`ProcessRules::validate`] to
     /// check user-provided rules first.
     pub fn with_rules(process: Process, rules: ProcessRules) -> Self {
-        Self::build(process, rules)
-    }
-
-    fn build(process: Process, rules: ProcessRules) -> Self {
         rules.validate().expect("process rules must be internally consistent");
-        let mut cells = BTreeMap::new();
-        for kind in CellKind::ALL {
-            cells.insert(kind, Self::make_cell(kind));
-        }
-        Self { process, rules, clock: FourPhaseClock::default(), cells }
+        Self { process, rules, clock: FourPhaseClock::default(), cells: standard_cell_table() }
     }
 
-    /// Cell geometry for the updated (grid-aligned) AQFP standard cell
-    /// library: buffers and other single-input cells are 40 × 30 µm, two- and
-    /// three-input majority-based cells are 60 × 70 µm, splitters scale with
-    /// their arity. JJ counts follow the minimalist-design AQFP library.
-    fn make_cell(kind: CellKind) -> AqfpCell {
-        let (width, height, jj_count) = match kind {
-            CellKind::Buffer | CellKind::Inverter => (40.0, 30.0, 2),
-            CellKind::Constant0 | CellKind::Constant1 => (40.0, 30.0, 2),
-            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor => (60.0, 70.0, 6),
-            CellKind::Xor => (60.0, 70.0, 8),
-            CellKind::Majority3 => (60.0, 70.0, 6),
-            CellKind::Splitter2 => (40.0, 30.0, 4),
-            CellKind::Splitter3 => (60.0, 30.0, 6),
-            CellKind::Splitter4 => (80.0, 30.0, 8),
-            CellKind::Input | CellKind::Output => (10.0, 10.0, 0),
+    /// The library view (process, rules, clock, cells) of a [`Technology`].
+    ///
+    /// The view is **lossy**: a `CellLibrary` stores no timing coefficients
+    /// or layer map, and the `process` tag is inferred from the technology's
+    /// registry name (anything that is not `aist-stp2` maps to
+    /// [`Process::MitLl`]). Converting back with
+    /// [`CellLibrary::technology`] therefore fills those fields from the
+    /// mapped *built-in* — custom technologies should stay [`Technology`]
+    /// end to end and never round-trip through this legacy view.
+    pub fn from_technology(technology: &Technology) -> Self {
+        let process = if technology.name == crate::technology::AIST_STP2 {
+            Process::Stp2
+        } else {
+            Process::MitLl
         };
-
-        let n_in = kind.input_count();
-        let n_out = kind.output_count();
-        let input_pins = (0..n_in)
-            .map(|i| {
-                let name = ["a", "b", "c"][i].to_owned();
-                let x = Self::pin_x(width, n_in, i);
-                PinGeometry::new(name, PinDirection::Input, Point::new(x, 0.0))
-            })
-            .collect();
-        let output_pins = (0..n_out)
-            .map(|i| {
-                let name = if n_out == 1 { "xout".to_owned() } else { format!("xout{}", i + 1) };
-                let x = Self::pin_x(width, n_out, i);
-                PinGeometry::new(name, PinDirection::Output, Point::new(x, height))
-            })
-            .collect();
-
-        AqfpCell { kind, width, height, jj_count, input_pins, output_pins }
+        Self {
+            process,
+            rules: technology.rules.clone(),
+            clock: technology.clock(),
+            cells: technology.cells.clone(),
+        }
     }
 
-    /// Evenly distributes `count` pins across the cell width, snapped to the
-    /// 10 µm grid.
-    fn pin_x(width: f64, count: usize, index: usize) -> f64 {
-        if count == 0 {
-            return 0.0;
-        }
-        let step = width / (count as f64 + 1.0);
-        ((step * (index as f64 + 1.0)) / 10.0).round() * 10.0
+    /// The full [`Technology`] this library corresponds to: the library's
+    /// process, rules, clock and cells, with the name, description, timing
+    /// coefficients and layer map of the matching *built-in* technology
+    /// (the library does not store them). This is the legacy bridge behind
+    /// `From<CellLibrary> for Arc<Technology>`; see
+    /// [`CellLibrary::from_technology`] for why custom technologies should
+    /// not round-trip through it.
+    pub fn technology(&self) -> Technology {
+        let mut technology = self.process.technology();
+        technology.rules = self.rules.clone();
+        technology.timing.clock = self.clock;
+        technology.cells = self.cells.clone();
+        technology
     }
 
     /// The process this library targets.
@@ -160,6 +172,18 @@ impl CellLibrary {
 impl Default for CellLibrary {
     fn default() -> Self {
         Self::mit_ll()
+    }
+}
+
+impl From<CellLibrary> for Technology {
+    fn from(library: CellLibrary) -> Self {
+        library.technology()
+    }
+}
+
+impl From<CellLibrary> for Arc<Technology> {
+    fn from(library: CellLibrary) -> Self {
+        Arc::new(library.technology())
     }
 }
 
@@ -221,5 +245,41 @@ mod tests {
                 assert!(pin.offset.y >= 0.0 && pin.offset.y <= cell.height);
             }
         }
+    }
+
+    #[test]
+    fn library_is_a_thin_lookup_over_the_technology_data() {
+        // The old constructors and the registry data must stay byte-for-byte
+        // aligned: same rules, same clock, same cell table.
+        let lib = CellLibrary::mit_ll();
+        let tech = Technology::mit_ll_sqf5ee();
+        assert_eq!(lib.rules(), tech.rules());
+        assert_eq!(lib.clock(), tech.clock());
+        assert_eq!(lib.cells, tech.cells);
+        assert_eq!(CellLibrary::stp2().rules(), Technology::aist_stp2().rules());
+    }
+
+    #[test]
+    fn library_round_trips_through_technology() {
+        let lib = CellLibrary::mit_ll();
+        let tech: Technology = lib.clone().into();
+        tech.validate().expect("converted technology is valid");
+        assert_eq!(CellLibrary::from_technology(&tech), lib);
+        assert_eq!(tech, Technology::mit_ll_sqf5ee());
+
+        // Custom rules survive the conversion.
+        let mut rules = ProcessRules::mit_ll();
+        rules.max_wirelength = 250.0;
+        let custom = CellLibrary::with_rules(Process::MitLl, rules.clone());
+        let tech: Technology = custom.into();
+        assert_eq!(tech.rules().max_wirelength, 250.0);
+        assert_eq!(tech.timing, Technology::mit_ll_sqf5ee().timing);
+    }
+
+    #[test]
+    fn process_maps_to_registry_names() {
+        assert_eq!(Process::MitLl.tech_name(), "mit-ll-sqf5ee");
+        assert_eq!(Process::Stp2.tech_name(), "aist-stp2");
+        assert_eq!(Process::Stp2.technology().name, "aist-stp2");
     }
 }

@@ -129,10 +129,13 @@ impl Default for ProcessRules {
     }
 }
 
-// Hand-written so documents serialized before `zigzag_spacing` existed keep
-// deserializing: the field falls back to `min_spacing`, the value the DRC
-// historically applied to zigzag turns (the vendored serde derive has no
-// `#[serde(default)]`).
+// Hand-written for two reasons. First, documents serialized before
+// `zigzag_spacing` existed keep deserializing: the field falls back to
+// `min_spacing`, the value the DRC historically applied to zigzag turns
+// (the vendored serde derive has no `#[serde(default)]`). Second, the impl
+// *validates*: rules coming out of a session checkpoint or a technology
+// file are as untrusted as user input, so an inconsistent rule set fails at
+// the deserialization boundary instead of deep inside a flow stage.
 impl Deserialize for ProcessRules {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         let min_spacing = f64::from_value(value.field("min_spacing")?)?;
@@ -140,7 +143,7 @@ impl Deserialize for ProcessRules {
             Ok(field) => f64::from_value(field)?,
             Err(_) => min_spacing,
         };
-        Ok(Self {
+        let rules = Self {
             name: String::from_value(value.field("name")?)?,
             min_spacing,
             zigzag_spacing,
@@ -152,7 +155,9 @@ impl Deserialize for ProcessRules {
             min_metal_density: f64::from_value(value.field("min_metal_density")?)?,
             max_metal_density: f64::from_value(value.field("max_metal_density")?)?,
             row_pitch: f64::from_value(value.field("row_pitch")?)?,
-        })
+        };
+        rules.validate().map_err(|e| serde::Error::new(format!("invalid process rules: {e}")))?;
+        Ok(rules)
     }
 }
 
@@ -199,6 +204,30 @@ mod tests {
         // A present field round-trips unchanged.
         let back = ProcessRules::from_value(&rules.to_value()).expect("round-trips");
         assert_eq!(back, rules);
+    }
+
+    /// Deserialization validates: an inconsistent rule set (here a negative
+    /// spacing and an inverted density window) is rejected at the parsing
+    /// boundary, and a valid one round-trips through JSON unchanged.
+    #[test]
+    fn deserialization_validates_and_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let rules = ProcessRules::mit_ll();
+        let json = serde_json::to_string(&rules).expect("serializes");
+        let back: ProcessRules = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back, rules);
+
+        let mut broken = ProcessRules::mit_ll();
+        broken.min_spacing = -4.0;
+        let err = ProcessRules::from_value(&broken.to_value()).expect_err("invalid rejected");
+        assert!(err.to_string().contains("min_spacing"), "{err}");
+
+        let mut broken = ProcessRules::mit_ll();
+        broken.min_metal_density = 0.9;
+        broken.max_metal_density = 0.1;
+        let json = serde_json::to_string(&broken).expect("serializes");
+        let err = serde_json::from_str::<ProcessRules>(&json).expect_err("invalid rejected");
+        assert!(err.to_string().contains("density"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Delay coefficients of the AQFP timing model.
+//!
+//! The coefficients live here in `aqfp_cells` — next to the process rules
+//! and the clocking model — because they are process facts: a
+//! [`Technology`](crate::Technology) bundles them with the cell geometry and
+//! design rules, and the timing engine (`aqfp_timing`) re-exports the type.
+
+use crate::clocking::FourPhaseClock;
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the AQFP timing model.
+///
+/// The defaults are calibrated so that a typical AQFP connection (a few
+/// hundred micrometers between adjacent rows) fits comfortably inside the
+/// 50 ps phase budget of a 5 GHz clock, while connections near the maximum
+/// wirelength start eating into the margin — the behaviour the paper's WNS
+/// numbers exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Target four-phase clock.
+    pub clock: FourPhaseClock,
+    /// Fixed switching delay of an AQFP gate, in picoseconds.
+    pub gate_delay_ps: f64,
+    /// Signal propagation delay per micrometer of interconnect, in ps/µm.
+    pub wire_delay_ps_per_um: f64,
+    /// Clock arrival skew per micrometer of horizontal offset along the
+    /// clock propagation direction, in ps/µm.
+    pub clock_skew_ps_per_um: f64,
+    /// Exponent of the phase-dependent placement cost (the paper sets α = 2).
+    pub alpha: f64,
+}
+
+impl TimingConfig {
+    /// The configuration used throughout the paper's evaluation: 5 GHz clock
+    /// and MIT-LL-like interconnect delays.
+    pub fn paper_default() -> Self {
+        Self {
+            clock: FourPhaseClock::PAPER_DEFAULT,
+            gate_delay_ps: 8.0,
+            wire_delay_ps_per_um: 0.03,
+            clock_skew_ps_per_um: 0.004,
+            alpha: 2.0,
+        }
+    }
+
+    /// Phase budget in picoseconds (a quarter of the clock period).
+    pub fn phase_budget_ps(&self) -> f64 {
+        self.clock.phase_budget_ps()
+    }
+
+    /// Validates that every coefficient is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-positive coefficient (or a
+    /// non-positive clock frequency — deserialized configurations bypass
+    /// [`FourPhaseClock::new`]'s assertion, so the clock is re-checked here).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clock.frequency_ghz <= 0.0 || !self.clock.frequency_ghz.is_finite() {
+            return Err("clock frequency must be positive and finite".into());
+        }
+        if self.gate_delay_ps < 0.0 {
+            return Err("gate delay must be non-negative".into());
+        }
+        if self.wire_delay_ps_per_um <= 0.0 {
+            return Err("wire delay must be positive".into());
+        }
+        if self.clock_skew_ps_per_um < 0.0 {
+            return Err("clock skew must be non-negative".into());
+        }
+        if self.alpha <= 0.0 {
+            return Err("alpha must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_50ps() {
+        let config = TimingConfig::default();
+        assert!((config.phase_budget_ps() - 50.0).abs() < 1e-9);
+        config.validate().expect("default config is valid");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let config = TimingConfig { wire_delay_ps_per_um: 0.0, ..TimingConfig::default() };
+        assert!(config.validate().is_err());
+
+        let config = TimingConfig { alpha: -1.0, ..TimingConfig::default() };
+        assert!(config.validate().is_err());
+
+        let config = TimingConfig {
+            clock: FourPhaseClock { frequency_ghz: 0.0 },
+            ..TimingConfig::default()
+        };
+        assert!(config.validate().is_err(), "a zero-frequency clock is caught");
+    }
+}

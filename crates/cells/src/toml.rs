@@ -1,0 +1,711 @@
+//! A minimal TOML writer and parser over the vendored [`serde::Value`] tree.
+//!
+//! Technology description files are TOML so a process engineer can dump a
+//! built-in technology, edit one number in a text editor and feed the file
+//! back to the flow. This module implements exactly the TOML subset those
+//! files need — and that [`write_toml`] emits — rather than the full spec:
+//!
+//! * top-level and nested tables (`[rules]`, `[cells.Buffer]`),
+//! * arrays of tables (`[[cells.Buffer.input_pins]]`),
+//! * basic strings with the standard escapes (`\"`, `\\`, `\n`, `\t`, `\r`,
+//!   `\uXXXX`),
+//! * booleans, integers, floats and single-line arrays of scalars,
+//! * `#` comments and blank lines.
+//!
+//! Values must fit on one line (multi-line strings and multi-line arrays are
+//! not supported) and keys are bare (`A-Z a-z 0-9 _ -`) or basic-quoted.
+//! Duplicate keys and duplicate table headers are errors, so a file that
+//! accidentally defines `max_wirelength` twice fails loudly instead of
+//! silently keeping one of the two.
+
+use serde::{Error, Value};
+
+/// Renders a [`Value::Map`] as a TOML document.
+///
+/// Scalar entries (and arrays of scalars) of each table are written before
+/// its sub-tables, as TOML requires. Map values inside sequences become
+/// arrays of tables; sequences must be homogeneous (all scalars or all
+/// maps).
+///
+/// # Errors
+///
+/// Returns an error when the root is not a map, a value is `Null` (TOML has
+/// no null), a float is not finite, or a sequence mixes scalars and maps.
+pub fn write_toml(root: &Value) -> Result<String, Error> {
+    let Value::Map(entries) = root else {
+        return Err(Error::new(format!("TOML document root must be a map, got {}", root.kind())));
+    };
+    let mut out = String::new();
+    write_table(&mut out, &mut Vec::new(), entries)?;
+    Ok(out)
+}
+
+/// Parses a TOML document into a [`Value::Map`].
+///
+/// # Errors
+///
+/// Returns an error naming the offending line for malformed headers,
+/// unparsable values, duplicate keys or duplicate table headers.
+pub fn parse_toml(text: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table the following `key = value` lines belong to.
+    let mut current: Vec<String> = Vec::new();
+    // Paths of explicitly written `[header]`s: per the TOML spec a
+    // supertable may be *implicitly* created by a subtable header (e.g.
+    // `[timing.clock]` before `[timing]`) and opened explicitly later, but
+    // writing the same `[header]` twice is an error.
+    let mut explicit: Vec<Vec<String>> = Vec::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| Error::new(format!("line {line_no}: unterminated `[[` header")))?;
+            current = parse_key_path(header, line_no)?;
+            append_array_table(&mut root, &current, line_no)?;
+            // Headers under the array path now refer to the *new* element,
+            // so their textual paths may legitimately repeat — forget the
+            // ones recorded for previous elements.
+            explicit
+                .retain(|path| path.len() < current.len() || path[..current.len()] != current[..]);
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| Error::new(format!("line {line_no}: unterminated `[` header")))?;
+            current = parse_key_path(header, line_no)?;
+            if explicit.contains(&current) {
+                return Err(Error::new(format!(
+                    "line {line_no}: duplicate table `[{}]`",
+                    current.join(".")
+                )));
+            }
+            explicit.push(current.clone());
+            open_table(&mut root, &current, line_no)?;
+        } else {
+            let (key, value) = parse_key_value(line, line_no)?;
+            insert_value(&mut root, &current, key, value, line_no)?;
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Whether `value` is rendered inline (scalar or array of scalars) rather
+/// than as a `[table]` / `[[array-of-tables]]` section.
+fn is_inline(value: &Value) -> bool {
+    match value {
+        Value::Map(_) => false,
+        Value::Seq(items) => !items.iter().any(|item| matches!(item, Value::Map(_))),
+        _ => true,
+    }
+}
+
+fn write_table(
+    out: &mut String,
+    path: &mut Vec<String>,
+    entries: &[(String, Value)],
+) -> Result<(), Error> {
+    for (key, value) in entries.iter().filter(|(_, value)| is_inline(value)) {
+        out.push_str(&format_key(key));
+        out.push_str(" = ");
+        write_inline(out, value)?;
+        out.push('\n');
+    }
+    for (key, value) in entries.iter().filter(|(_, value)| !is_inline(value)) {
+        path.push(key.clone());
+        match value {
+            Value::Map(inner) => {
+                out.push_str("\n[");
+                out.push_str(&format_key_path(path));
+                out.push_str("]\n");
+                write_table(out, path, inner)?;
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    let Value::Map(inner) = item else {
+                        return Err(Error::new(format!(
+                            "sequence `{}` mixes tables and scalars",
+                            format_key_path(path)
+                        )));
+                    };
+                    out.push_str("\n[[");
+                    out.push_str(&format_key_path(path));
+                    out.push_str("]]\n");
+                    write_table(out, path, inner)?;
+                }
+            }
+            _ => unreachable!("is_inline covers every other variant"),
+        }
+        path.pop();
+    }
+    Ok(())
+}
+
+fn write_inline(out: &mut String, value: &Value) -> Result<(), Error> {
+    match value {
+        Value::Null => return Err(Error::new("TOML cannot represent null values")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_float(out, *v)?,
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(_) => return Err(Error::new("inline tables are not emitted")),
+    }
+    Ok(())
+}
+
+/// Writes a float using Rust's shortest round-trip representation, forcing a
+/// decimal point so the literal parses back as a float.
+fn write_float(out: &mut String, value: f64) -> Result<(), Error> {
+    if !value.is_finite() {
+        return Err(Error::new("TOML floats must be finite"));
+    }
+    let text = format!("{value}");
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn format_key(key: &str) -> String {
+    if is_bare_key(key) {
+        key.to_owned()
+    } else {
+        let mut quoted = String::new();
+        write_string(&mut quoted, key);
+        quoted
+    }
+}
+
+fn format_key_path(path: &[String]) -> String {
+    path.iter().map(|part| format_key(part)).collect::<Vec<_>>().join(".")
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Removes a trailing `#` comment, respecting `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (index, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..index],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses a dotted key path like `cells.Buffer` or `"odd key".inner`.
+fn parse_key_path(text: &str, line_no: usize) -> Result<Vec<String>, Error> {
+    let mut parts = Vec::new();
+    let mut cursor = Cursor { bytes: text.trim().as_bytes(), pos: 0, line_no };
+    loop {
+        cursor.skip_spaces();
+        parts.push(cursor.parse_key()?);
+        cursor.skip_spaces();
+        match cursor.peek() {
+            Some(b'.') => cursor.pos += 1,
+            None => break,
+            Some(other) => {
+                return Err(Error::new(format!(
+                    "line {line_no}: unexpected `{}` in table header",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(parts)
+}
+
+fn parse_key_value(line: &str, line_no: usize) -> Result<(String, Value), Error> {
+    let mut cursor = Cursor { bytes: line.as_bytes(), pos: 0, line_no };
+    cursor.skip_spaces();
+    let key = cursor.parse_key()?;
+    cursor.skip_spaces();
+    if cursor.peek() == Some(b'.') {
+        return Err(Error::new(format!(
+            "line {line_no}: dotted keys are not supported; use a `[{key}.…]` table header"
+        )));
+    }
+    if cursor.peek() != Some(b'=') {
+        return Err(Error::new(format!("line {line_no}: expected `=` after key `{key}`")));
+    }
+    cursor.pos += 1;
+    cursor.skip_spaces();
+    let value = cursor.parse_value()?;
+    cursor.skip_spaces();
+    if cursor.pos != cursor.bytes.len() {
+        return Err(Error::new(format!("line {line_no}: trailing characters after value")));
+    }
+    Ok((key, value))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line_no: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, Error> {
+        if self.peek() == Some(b'"') {
+            return self.parse_string();
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(Error::new(format!("line {}: expected a key", self.line_no)));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "line {}: unexpected `{}` at start of value",
+                self.line_no, other as char
+            ))),
+            None => Err(Error::new(format!("line {}: missing value", self.line_no))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        let text = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| Error::new(format!("line {}: invalid UTF-8", self.line_no)))?;
+        let mut chars = text.char_indices();
+        while let Some((offset, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += offset + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, escape) = chars.next().ok_or_else(|| {
+                        Error::new(format!("line {}: unterminated escape", self.line_no))
+                    })?;
+                    match escape {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, digit) = chars.next().ok_or_else(|| {
+                                    Error::new(format!(
+                                        "line {}: truncated \\u escape",
+                                        self.line_no
+                                    ))
+                                })?;
+                                code = code * 16
+                                    + digit.to_digit(16).ok_or_else(|| {
+                                        Error::new(format!(
+                                            "line {}: invalid \\u escape",
+                                            self.line_no
+                                        ))
+                                    })?;
+                            }
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error::new(format!("line {}: invalid \\u code point", self.line_no))
+                            })?);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "line {}: unsupported escape `\\{other}`",
+                                self.line_no
+                            )))
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err(Error::new(format!("line {}: unterminated string", self.line_no)))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.pos += 1;
+        let mut items = Vec::new();
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                None => {
+                    return Err(Error::new(format!(
+                        "line {}: unterminated array (arrays must fit on one line)",
+                        self.line_no
+                    )))
+                }
+                _ => {}
+            }
+            items.push(self.parse_value()?);
+            self.skip_spaces();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {}
+                _ => {
+                    return Err(Error::new(format!(
+                        "line {}: expected `,` or `]` after array item",
+                        self.line_no
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, Error> {
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if rest.starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(Error::new(format!("line {}: expected `true` or `false`", self.line_no)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number characters are valid UTF-8");
+        if text.contains(['.', 'e', 'E']) {
+            let value: f64 = text.parse().map_err(|_| {
+                Error::new(format!("line {}: invalid float `{text}`", self.line_no))
+            })?;
+            Ok(Value::F64(value))
+        } else if let Some(negative) = text.strip_prefix('-') {
+            let value: i64 = negative.parse().map(|v: i64| -v).map_err(|_| {
+                Error::new(format!("line {}: invalid integer `{text}`", self.line_no))
+            })?;
+            Ok(Value::I64(value))
+        } else {
+            let value: u64 = text.strip_prefix('+').unwrap_or(text).parse().map_err(|_| {
+                Error::new(format!("line {}: invalid integer `{text}`", self.line_no))
+            })?;
+            Ok(Value::U64(value))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser tree assembly
+// ---------------------------------------------------------------------------
+
+/// Walks `path` down the tree, creating empty tables as needed, and returns
+/// the entry list of the table the path names. A `[[…]]` element along the
+/// way resolves to its most recent table.
+fn descend<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    let mut table = root;
+    for part in path {
+        if !table.iter().any(|(key, _)| key == part) {
+            table.push((part.clone(), Value::Map(Vec::new())));
+        }
+        let slot = &mut table.iter_mut().find(|(key, _)| key == part).expect("just ensured").1;
+        table = match slot {
+            Value::Map(inner) => inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => inner,
+                _ => {
+                    return Err(Error::new(format!(
+                        "line {line_no}: `{part}` is not a table of tables"
+                    )))
+                }
+            },
+            _ => return Err(Error::new(format!("line {line_no}: `{part}` is not a table"))),
+        };
+    }
+    Ok(table)
+}
+
+fn open_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), Error> {
+    let (last, parents) =
+        path.split_last().ok_or_else(|| Error::new(format!("line {line_no}: empty header")))?;
+    let parent = descend(root, parents, line_no)?;
+    match parent.iter().find(|(key, _)| key == last) {
+        // Already implicitly created by a subtable header — opening it
+        // explicitly is fine (the caller rejects duplicate *explicit*
+        // headers).
+        Some((_, Value::Map(_))) => Ok(()),
+        Some(_) => Err(Error::new(format!(
+            "line {line_no}: `[{}]` already defined as a non-table value",
+            path.join(".")
+        ))),
+        None => {
+            parent.push((last.clone(), Value::Map(Vec::new())));
+            Ok(())
+        }
+    }
+}
+
+fn append_array_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), Error> {
+    let (last, parents) =
+        path.split_last().ok_or_else(|| Error::new(format!("line {line_no}: empty header")))?;
+    let parent = descend(root, parents, line_no)?;
+    match parent.iter_mut().find(|(key, _)| key == last) {
+        None => parent.push((last.clone(), Value::Seq(vec![Value::Map(Vec::new())]))),
+        Some((_, Value::Seq(items))) => items.push(Value::Map(Vec::new())),
+        Some(_) => {
+            return Err(Error::new(format!(
+                "line {line_no}: `{last}` already defined as a non-array value"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn insert_value(
+    root: &mut Vec<(String, Value)>,
+    current: &[String],
+    key: String,
+    value: Value,
+    line_no: usize,
+) -> Result<(), Error> {
+    let table = descend(root, current, line_no)?;
+    if table.iter().any(|(existing, _)| *existing == key) {
+        return Err(Error::new(format!("line {line_no}: duplicate key `{key}`")));
+    }
+    table.push((key, value));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: Vec<(&str, Value)>) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    #[test]
+    fn scalars_and_tables_round_trip() {
+        let doc = map(vec![
+            ("name", Value::Str("demo".into())),
+            ("count", Value::U64(3)),
+            ("offset", Value::I64(-2)),
+            ("scale", Value::F64(0.03)),
+            ("enabled", Value::Bool(true)),
+            ("rules", map(vec![("grid", Value::F64(10.0)), ("layers", Value::U64(2))])),
+        ]);
+        let text = write_toml(&doc).expect("writes");
+        assert!(text.contains("name = \"demo\""));
+        assert!(text.contains("[rules]"));
+        assert!(text.contains("grid = 10.0"), "floats keep a decimal point: {text}");
+        let parsed = parse_toml(&text).expect("parses");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn arrays_of_tables_round_trip() {
+        let doc = map(vec![(
+            "cells",
+            map(vec![(
+                "Buffer",
+                map(vec![
+                    ("width", Value::F64(40.0)),
+                    (
+                        "pins",
+                        Value::Seq(vec![
+                            map(vec![("name", Value::Str("a".into())), ("x", Value::F64(20.0))]),
+                            map(vec![("name", Value::Str("b".into())), ("x", Value::F64(30.0))]),
+                        ]),
+                    ),
+                ]),
+            )]),
+        )]);
+        let text = write_toml(&doc).expect("writes");
+        assert_eq!(text.matches("[[cells.Buffer.pins]]").count(), 2, "{text}");
+        assert_eq!(parse_toml(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn scalar_arrays_and_empty_arrays_round_trip() {
+        let doc = map(vec![
+            ("xs", Value::Seq(vec![Value::U64(1), Value::U64(2)])),
+            ("empty", Value::Seq(vec![])),
+        ]);
+        let text = write_toml(&doc).expect("writes");
+        assert!(text.contains("xs = [1, 2]"));
+        assert!(text.contains("empty = []"));
+        assert_eq!(parse_toml(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let doc = map(vec![("s", Value::Str("a \"quoted\"\nline\tand \\ slash".into()))]);
+        let text = write_toml(&doc).expect("writes");
+        assert_eq!(parse_toml(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header comment\n\nname = \"x\" # trailing\nhash = \"a#b\"\n\n[t]\nv = 1\n";
+        let parsed = parse_toml(text).expect("parses");
+        assert_eq!(
+            parsed,
+            map(vec![
+                ("name", Value::Str("x".into())),
+                ("hash", Value::Str("a#b".into())),
+                ("t", map(vec![("v", Value::U64(1))])),
+            ])
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_and_tables_are_rejected() {
+        assert!(parse_toml("a = 1\na = 2\n").is_err());
+        assert!(parse_toml("[t]\n[t]\n").is_err());
+        let nested = "[t]\na = 1\n[t.inner]\nb = 2\n";
+        assert!(parse_toml(nested).is_ok(), "sub-tables of an open table are fine");
+    }
+
+    /// Per the TOML spec, a supertable may be opened *after* a subtable
+    /// header implicitly created it — hand-reordered tech files stay
+    /// loadable — while re-opening an explicitly written header is still a
+    /// duplicate.
+    #[test]
+    fn supertable_after_subtable_is_accepted() {
+        let reordered = "[t.inner]\nb = 2\n\n[t]\na = 1\n";
+        let parsed = parse_toml(reordered).expect("reordered supertable parses");
+        assert_eq!(
+            parsed,
+            map(vec![(
+                "t",
+                map(vec![("inner", map(vec![("b", Value::U64(2))])), ("a", Value::U64(1))]),
+            )])
+        );
+        let duplicated = "[t.inner]\nb = 2\n[t]\na = 1\n[t]\nc = 3\n";
+        let err = parse_toml(duplicated).expect_err("explicit duplicate still rejected");
+        assert!(err.to_string().contains("duplicate table"), "{err}");
+    }
+
+    #[test]
+    fn arrays_require_commas_between_items() {
+        assert!(parse_toml("xs = [1 2]\n").is_err(), "missing comma must not parse");
+        assert_eq!(
+            parse_toml("xs = [1, 2,]\n").expect("trailing comma is fine"),
+            map(vec![("xs", Value::Seq(vec![Value::U64(1), Value::U64(2)]))])
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let err = parse_toml("ok = 1\nbroken ?= 2\n").expect_err("malformed");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_toml("[unterminated\n").expect_err("malformed");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(parse_toml("x = nonsense\n").is_err());
+        assert!(parse_toml("x = \"open\n").is_err());
+    }
+
+    #[test]
+    fn floats_survive_exactly() {
+        for value in [0.03, 1e-9, 123.456, 400.0, -0.25, 5.0] {
+            let doc = map(vec![("v", Value::F64(value))]);
+            let text = write_toml(&doc).expect("writes");
+            let parsed = parse_toml(&text).expect("parses");
+            let Value::Map(entries) = parsed else { panic!("map") };
+            let Value::F64(back) = entries[0].1 else { panic!("float, got {:?}", entries[0].1) };
+            assert_eq!(back.to_bits(), value.to_bits(), "{value} round-trips bit-exactly");
+        }
+    }
+
+    #[test]
+    fn null_and_non_finite_are_unrepresentable() {
+        assert!(write_toml(&map(vec![("n", Value::Null)])).is_err());
+        assert!(write_toml(&map(vec![("f", Value::F64(f64::NAN))])).is_err());
+        assert!(write_toml(&Value::Seq(vec![])).is_err(), "root must be a map");
+    }
+}

@@ -3,7 +3,8 @@
 //! Runs the RTL-to-GDS flow on a structural-Verilog or BLIF file, or on one
 //! of the built-in benchmark circuits, and writes the resulting GDSII (and
 //! optionally an SVG rendering, a JSON report, or a resumable stage
-//! checkpoint).
+//! checkpoint). The `tech` subcommand inspects and dumps the technology
+//! (PDK) descriptions the flow can target.
 //!
 //! ```text
 //! superflow [OPTIONS] <input>
@@ -12,7 +13,11 @@
 //!                           name (adder8, apc32, apc128, decoder, sorter32,
 //!                            c432, c499, c1355, c1908)
 //!   --placer <name>         superflow | gordian | taas        [superflow]
-//!   --process <name>        mit-ll | stp2                     [mit-ll]
+//!   --tech <name|file>      technology to target: a built-in name
+//!                           (mit-ll-sqf5ee, aist-stp2) or a technology
+//!                           file (.toml, or .json)            [mit-ll-sqf5ee]
+//!   --process <name>        mit-ll | stp2 — legacy alias for the built-in
+//!                           technologies
 //!   --threads <n>           worker threads for parallel stages; 0 = all
 //!                           cores                             [0]
 //!   --stop-after <stage>    stop after synthesis | placement | routing |
@@ -24,23 +29,31 @@
 //!   --svg <file.svg>        also write an SVG rendering
 //!   --fast                  use the reduced-effort placement configuration
 //!   --quiet                 print only the one-line summary
+//!
+//! superflow tech list [--quiet]     list known technologies (--quiet:
+//!                                   names only, one per line)
+//! superflow tech show <name|file>   validate a technology and print its
+//!                                   summary
+//! superflow tech dump <name> [--output <file>]
+//!                                   write a built-in technology as an
+//!                                   editable TOML file (stdout by default)
 //! ```
 
 use std::process::ExitCode;
 
-use aqfp_cells::{EnergyModel, Process};
+use aqfp_cells::{EnergyModel, Technology, TechnologyRegistry};
 use aqfp_layout::{render_svg, DrcReport, SvgOptions};
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_netlist::parsers::{parse_blif, parse_verilog};
 use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
-use superflow::{Flow, FlowConfig, FlowObserver, FlowReport, FlowStage, RepairScope};
+use superflow::{Flow, FlowConfig, FlowObserver, FlowReport, FlowStage, RepairScope, TechSpec};
 
 #[derive(Debug)]
 struct CliOptions {
     input: String,
     placer: PlacerKind,
-    process: Process,
+    tech: Option<String>,
     threads: Option<usize>,
     stop_after: Option<FlowStage>,
     report: Option<String>,
@@ -54,7 +67,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut options = CliOptions {
         input: String::new(),
         placer: PlacerKind::SuperFlow,
-        process: Process::MitLl,
+        tech: None,
         threads: None,
         stop_after: None,
         report: None,
@@ -75,13 +88,24 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     other => return Err(format!("unknown placer `{other}`")),
                 };
             }
+            "--tech" => {
+                let value = iter.next().ok_or("--tech needs a value")?;
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(value.clone());
+            }
             "--process" => {
                 let value = iter.next().ok_or("--process needs a value")?;
-                options.process = match value.as_str() {
-                    "mit-ll" | "mitll" => Process::MitLl,
-                    "stp2" => Process::Stp2,
+                let name = match value.as_str() {
+                    "mit-ll" | "mitll" => aqfp_cells::MIT_LL_SQF5EE,
+                    "stp2" => aqfp_cells::AIST_STP2,
                     other => return Err(format!("unknown process `{other}`")),
                 };
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(name.to_owned());
             }
             "--threads" => {
                 let value = iter.next().ok_or("--threads needs a value")?;
@@ -132,17 +156,43 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: superflow [--placer superflow|gordian|taas] [--process mit-ll|stp2] \
-     [--threads n] [--stop-after synthesis|placement|routing|check] \
-     [--report out.json] [--output out.gds] [--svg out.svg] [--fast] [--quiet] \
-     <input.v|input.sv|input.blif|benchmark>"
+    "usage: superflow [--placer superflow|gordian|taas] [--tech name|file.toml] \
+     [--process mit-ll|stp2] [--threads n] \
+     [--stop-after synthesis|placement|routing|check] [--report out.json] \
+     [--output out.gds] [--svg out.svg] [--fast] [--quiet] \
+     <input.v|input.sv|input.blif|benchmark>\n\
+     \x20      superflow tech list [--quiet]\n\
+     \x20      superflow tech show <name|file>\n\
+     \x20      superflow tech dump <name> [--output file.toml]"
+}
+
+/// Interprets a `--tech` value: a known registry name (or one of the
+/// legacy `--process` aliases) resolves to the built-in; anything that
+/// looks like a path — it contains a separator or an extension dot — is a
+/// technology file. A bare name that matches nothing still resolves as
+/// `Builtin`, so the error lists the available registry names instead of a
+/// confusing missing-file message.
+fn tech_spec(value: &str) -> TechSpec {
+    if TechnologyRegistry::global().get(value).is_some() {
+        return TechSpec::builtin(value);
+    }
+    match value {
+        "mit-ll" | "mitll" => TechSpec::builtin(aqfp_cells::MIT_LL_SQF5EE),
+        "stp2" => TechSpec::builtin(aqfp_cells::AIST_STP2),
+        _ if !value.contains(['/', '\\', '.']) => TechSpec::builtin(value),
+        _ => TechSpec::file(value),
+    }
 }
 
 /// The flow configuration the command line selects, assembled through the
 /// `FlowConfig` builders.
 fn build_config(options: &CliOptions) -> FlowConfig {
     let config = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
-    let config = config.with_process(options.process).with_placer(options.placer);
+    let config = match &options.tech {
+        Some(value) => config.with_tech(tech_spec(value)),
+        None => config,
+    };
+    let config = config.with_placer(options.placer);
     match options.threads {
         Some(threads) => config.with_threads(threads),
         None => config,
@@ -205,8 +255,14 @@ enum Outcome {
 fn run(options: &CliOptions) -> Result<Outcome, String> {
     let netlist = load_netlist(&options.input)?;
     let flow = Flow::with_config(build_config(options));
-    let mut session = flow.session();
+    let mut session = flow.session().map_err(|e| e.to_string())?;
     if !options.quiet {
+        println!(
+            "[{:<9}] technology {} ({})",
+            "tech",
+            session.technology().name,
+            session.config().tech.describe()
+        );
         session.add_observer(Box::new(StageLog));
     }
     let want_checkpoint = options.report.is_some();
@@ -228,7 +284,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let placed = session.place(synthesized);
+    let placed = session.place(synthesized).map_err(|e| e.to_string())?;
     if options.stop_after == Some(FlowStage::Placement) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Placement,
@@ -243,7 +299,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let routed = session.route(placed);
+    let routed = session.route(placed).map_err(|e| e.to_string())?;
     if options.stop_after == Some(FlowStage::Routing) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Routing,
@@ -258,7 +314,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let checked = session.check(routed);
+    let checked = session.check(routed).map_err(|e| e.to_string())?;
     if options.stop_after == Some(FlowStage::Check) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Check,
@@ -279,8 +335,145 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
     Ok(Outcome::Complete(Box::new(session.finish(checked))))
 }
 
+// ---------------------------------------------------------------------------
+// `superflow tech …` subcommands
+// ---------------------------------------------------------------------------
+
+/// The header `tech dump` prepends to the pure-TOML body; the parser treats
+/// it as comments, so a dumped file loads back unchanged.
+fn dump_header(technology: &Technology) -> String {
+    format!(
+        "# SuperFlow technology description — dumped from `{}`.\n\
+         # Edit any value and pass the file back with `superflow --tech <file>`;\n\
+         # loading re-validates every field.\n",
+        technology.name
+    )
+}
+
+/// Resolves a `tech show` target: a registry name or a technology file
+/// (the same dispatch `--tech` uses, so the two can never diverge).
+fn resolve_tech_target(target: &str) -> Result<Technology, String> {
+    match tech_spec(target).resolve() {
+        Ok(technology) => Ok((*technology).clone()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// A multi-line human-readable summary of a technology.
+fn tech_summary(technology: &Technology) -> String {
+    let rules = technology.rules();
+    let layers = technology.layers();
+    let cell_count = technology.iter().count();
+    format!(
+        "technology    : {}\n\
+         description   : {}\n\
+         fingerprint   : {}\n\
+         rules         : {} (grid {} µm, spacing {} µm, W_max {} µm, {} routing layers)\n\
+         clock         : {} GHz ({} ps phase budget)\n\
+         timing        : gate {} ps, wire {} ps/µm, skew {} ps/µm, α = {}\n\
+         layers        : outline {} / jj {} / pin {} / metal1 {} / metal2 {} / label {}\n\
+         cells         : {} kinds, {} total JJs in the table",
+        technology.name,
+        technology.description,
+        technology.fingerprint(),
+        rules.name,
+        rules.grid,
+        rules.min_spacing,
+        rules.max_wirelength,
+        rules.routing_layers,
+        technology.clock().frequency_ghz,
+        technology.clock().phase_budget_ps(),
+        technology.timing.gate_delay_ps,
+        technology.timing.wire_delay_ps_per_um,
+        technology.timing.clock_skew_ps_per_um,
+        technology.timing.alpha,
+        layers.outline,
+        layers.jj,
+        layers.pin,
+        layers.metal1,
+        layers.metal2,
+        layers.label,
+        cell_count,
+        technology.iter().map(|c| c.jj_count).sum::<usize>(),
+    )
+}
+
+fn run_tech_command(args: &[String]) -> Result<String, String> {
+    let command = args.first().map(String::as_str).ok_or_else(|| {
+        format!("tech subcommand needs an action: list, show or dump\n{}", usage())
+    })?;
+    match command {
+        "list" => {
+            let quiet = args[1..].iter().any(|a| a == "--quiet");
+            let registry = TechnologyRegistry::global();
+            let mut out = String::new();
+            for technology in registry.iter() {
+                if quiet {
+                    out.push_str(&technology.name);
+                    out.push('\n');
+                } else {
+                    out.push_str(&format!("{:<16} {}\n", technology.name, technology.description));
+                }
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        "show" => {
+            let target = args.get(1).ok_or("tech show needs a technology name or file")?;
+            let technology = resolve_tech_target(target)?;
+            // Files were validated by the loader; re-validate registry
+            // entries too so `tech show` is always a full check.
+            technology.validate().map_err(|e| format!("technology `{target}` invalid: {e}"))?;
+            Ok(tech_summary(&technology))
+        }
+        "dump" => {
+            let name = args.get(1).ok_or("tech dump needs a built-in technology name")?;
+            let technology = TechnologyRegistry::global().get(name).ok_or_else(|| {
+                format!(
+                    "no built-in technology named `{name}` (available: {})",
+                    TechnologyRegistry::global().names().collect::<Vec<_>>().join(", ")
+                )
+            })?;
+            let body = technology.to_toml().map_err(|e| format!("cannot dump `{name}`: {e}"))?;
+            let text = format!("{}{body}", dump_header(&technology));
+            let mut output = None;
+            let mut iter = args[2..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--output" => {
+                        output = Some(iter.next().ok_or("--output needs a value")?.clone())
+                    }
+                    other => return Err(format!("unknown tech dump option `{other}`")),
+                }
+            }
+            match output {
+                Some(path) => {
+                    std::fs::write(&path, &text)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    Ok(format!("technology `{name}` written to {path}"))
+                }
+                None => Ok(text.trim_end().to_owned()),
+            }
+        }
+        other => Err(format!("unknown tech subcommand `{other}`\n{}", usage())),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("tech") {
+        return match run_tech_command(&args[1..]) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let options = match parse_args(&args) {
         Ok(options) => options,
         Err(message) => {
@@ -372,6 +565,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqfp_cells::{AIST_STP2, MIT_LL_SQF5EE};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -382,8 +576,8 @@ mod tests {
         let options = parse_args(&args(&[
             "--placer",
             "taas",
-            "--process",
-            "stp2",
+            "--tech",
+            "aist-stp2",
             "--threads",
             "3",
             "--report",
@@ -398,7 +592,7 @@ mod tests {
         ]))
         .expect("parses");
         assert_eq!(options.placer, PlacerKind::Taas);
-        assert_eq!(options.process, Process::Stp2);
+        assert_eq!(options.tech.as_deref(), Some("aist-stp2"));
         assert_eq!(options.threads, Some(3));
         assert_eq!(options.report.as_deref(), Some("out.json"));
         assert_eq!(options.output.as_deref(), Some("out.gds"));
@@ -420,6 +614,10 @@ mod tests {
         assert!(parse_args(&args(&["--stop-after", "teardown", "adder8"])).is_err());
         assert!(parse_args(&args(&["--frobnicate", "adder8"])).is_err());
         assert!(parse_args(&args(&["a.v", "b.v"])).is_err());
+        // --tech and --process both name the technology; passing both is a
+        // contradiction.
+        assert!(parse_args(&args(&["--tech", "x.toml", "--process", "stp2", "adder8"])).is_err());
+        assert!(parse_args(&args(&["--process", "vaporware", "adder8"])).is_err());
         // --stop-after skips the layout outputs, so combining it with
         // --output/--svg is a contradiction, not a silent no-op.
         let error = parse_args(&args(&["--stop-after", "route", "--output", "o.gds", "adder8"]))
@@ -431,16 +629,29 @@ mod tests {
     #[test]
     fn config_builders_reflect_the_flags() {
         let options =
-            parse_args(&args(&["--process", "stp2", "--threads", "2", "--fast", "adder8"]))
+            parse_args(&args(&["--tech", "aist-stp2", "--threads", "2", "--fast", "adder8"]))
                 .expect("parses");
         let config = build_config(&options);
-        assert_eq!(config.process, Process::Stp2);
+        assert_eq!(config.tech, TechSpec::builtin(AIST_STP2));
         assert_eq!(config.threads(), 2);
         // --fast lowers the placement effort.
         assert!(
             config.placement.global.iterations
                 < FlowConfig::paper_default().placement.global.iterations
         );
+        // The legacy --process alias reaches the same registry entries.
+        let legacy = parse_args(&args(&["--process", "stp2", "adder8"])).expect("parses");
+        assert_eq!(build_config(&legacy).tech, TechSpec::builtin(AIST_STP2));
+        // A non-registry value with an extension is treated as a file path.
+        let file = parse_args(&args(&["--tech", "custom.toml", "adder8"])).expect("parses");
+        assert_eq!(build_config(&file).tech, TechSpec::file("custom.toml"));
+        // The legacy --process names also work directly as --tech values...
+        assert_eq!(tech_spec("mit-ll"), TechSpec::builtin(MIT_LL_SQF5EE));
+        assert_eq!(tech_spec("stp2"), TechSpec::builtin(AIST_STP2));
+        // ...and a bare unknown name resolves as Builtin, so its error
+        // lists the registry instead of complaining about a missing file.
+        let err = tech_spec("mit-ll-sqfee").resolve().expect_err("unknown name");
+        assert!(err.to_string().contains(MIT_LL_SQF5EE), "{err}");
     }
 
     #[test]
@@ -486,5 +697,80 @@ mod tests {
         // not a parse failure.
         let missing = load_netlist("no_such_file.v").expect_err("missing file");
         assert!(missing.contains("cannot read"), "unhelpful message: {missing}");
+    }
+
+    #[test]
+    fn tech_list_names_every_registry_entry() {
+        let listing = run_tech_command(&args(&["list"])).expect("lists");
+        assert!(listing.contains(MIT_LL_SQF5EE) && listing.contains(AIST_STP2), "{listing}");
+        let quiet = run_tech_command(&args(&["list", "--quiet"])).expect("lists");
+        assert_eq!(quiet.lines().collect::<Vec<_>>(), vec![MIT_LL_SQF5EE, AIST_STP2]);
+    }
+
+    #[test]
+    fn tech_show_summarizes_builtins_and_files() {
+        let shown = run_tech_command(&args(&["show", MIT_LL_SQF5EE])).expect("shows");
+        assert!(shown.contains("MIT-LL SQF5ee"), "{shown}");
+        assert!(shown.contains("fingerprint"), "{shown}");
+
+        let dir = std::env::temp_dir().join("superflow_cli_tech_show");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("dumped.toml");
+        let technology = Technology::aist_stp2();
+        std::fs::write(
+            &path,
+            format!("{}{}", dump_header(&technology), technology.to_toml().unwrap()),
+        )
+        .expect("writes");
+        let shown = run_tech_command(&args(&["show", path.to_str().unwrap()])).expect("shows file");
+        assert!(shown.contains("AIST STP2"), "{shown}");
+
+        assert!(run_tech_command(&args(&["show", "missing.toml"])).is_err());
+        assert!(run_tech_command(&args(&["bogus"])).is_err());
+        assert!(run_tech_command(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn tech_dump_round_trips_through_the_loader() {
+        let dumped = run_tech_command(&args(&["dump", MIT_LL_SQF5EE])).expect("dumps");
+        let loaded = Technology::from_toml(&dumped).expect("dump parses (header is comments)");
+        assert_eq!(loaded, Technology::mit_ll_sqf5ee());
+        assert!(run_tech_command(&args(&["dump", "no-such-tech"])).is_err());
+    }
+
+    /// The acceptance path: dump a built-in, edit one number, run the full
+    /// flow on the edited file via `--tech`.
+    #[test]
+    fn edited_tech_dump_drives_the_full_flow() {
+        let dir = std::env::temp_dir().join("superflow_cli_tech_flow");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tight.toml");
+        let dumped = run_tech_command(&args(&["dump", MIT_LL_SQF5EE])).expect("dumps");
+        let edited = dumped
+            .replace("max_wirelength = 400.0", "max_wirelength = 300.0")
+            .replace("name = \"mit-ll-sqf5ee\"", "name = \"mit-ll-tight\"");
+        assert_ne!(edited, dumped);
+        std::fs::write(&path, &edited).expect("writes");
+
+        let options =
+            parse_args(&args(&["--fast", "--quiet", "--tech", path.to_str().unwrap(), "adder8"]))
+                .expect("parses");
+        match run(&options).expect("flow runs on the edited technology") {
+            Outcome::Complete(report) => {
+                assert_eq!(report.design_name, "adder8");
+                // The tighter W_max forces at least as many buffer lines as
+                // the stock process.
+                let stock = run(&parse_args(&args(&["--fast", "--quiet", "adder8"])).unwrap())
+                    .expect("stock flow runs");
+                let Outcome::Complete(stock) = stock else { panic!("no --stop-after") };
+                assert!(
+                    report.placement.buffer_lines >= stock.placement.buffer_lines,
+                    "tighter W_max cannot need fewer buffer lines ({} < {})",
+                    report.placement.buffer_lines,
+                    stock.placement.buffer_lines
+                );
+            }
+            Outcome::Stopped { .. } => panic!("no --stop-after given"),
+        }
     }
 }

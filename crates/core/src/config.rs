@@ -1,16 +1,117 @@
 //! Flow-level configuration.
 
-use aqfp_cells::{CellLibrary, Process};
+use std::sync::Arc;
+
+use aqfp_cells::{Process, Technology, TechnologyRegistry};
 use aqfp_place::{PlacementOptions, PlacerKind};
 use aqfp_route::RouterConfig;
 use aqfp_synth::SynthesisOptions;
 use serde::{Deserialize, Serialize};
 
+use crate::error::FlowError;
+
+/// Where the flow's technology (PDK) description comes from.
+///
+/// The flow is generic over the fabrication process: everything
+/// process-specific lives in one [`Technology`] value, and this spec says
+/// how to obtain it — by registry name, from a dumped-and-edited file, or
+/// inline.
+///
+/// ```
+/// use superflow::{FlowConfig, TechSpec};
+/// let config = FlowConfig::fast().with_tech(TechSpec::builtin("aist-stp2"));
+/// assert_eq!(config.resolve_technology().unwrap().rules().max_wirelength, 500.0);
+/// ```
+// The `Inline` variant dwarfs the other two; that is fine — a `FlowConfig`
+// is constructed a handful of times per run, never stored in bulk, and an
+// unboxed `Technology` keeps `TechSpec::Inline(tech)` ergonomic (the
+// vendored serde has no `Box` support).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TechSpec {
+    /// A built-in technology from the [`TechnologyRegistry`]
+    /// (`mit-ll-sqf5ee`, `aist-stp2`).
+    Builtin(String),
+    /// A technology file on disk — TOML (`superflow tech dump` format) or
+    /// JSON, dispatched on a case-insensitive `.json` extension.
+    File(String),
+    /// A fully constructed technology value.
+    Inline(Technology),
+}
+
+impl TechSpec {
+    /// A builtin spec from a registry name.
+    pub fn builtin(name: impl Into<String>) -> Self {
+        TechSpec::Builtin(name.into())
+    }
+
+    /// A file spec from a path.
+    pub fn file(path: impl Into<String>) -> Self {
+        TechSpec::File(path.into())
+    }
+
+    /// Resolves the spec to a shared technology, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Technology`] for unknown registry names,
+    /// unreadable files, and parse or validation failures.
+    pub fn resolve(&self) -> Result<Arc<Technology>, FlowError> {
+        match self {
+            TechSpec::Builtin(name) => TechnologyRegistry::global().get(name).ok_or_else(|| {
+                FlowError::Technology(format!(
+                    "no built-in technology named `{name}` (available: {})",
+                    TechnologyRegistry::global().names().collect::<Vec<_>>().join(", ")
+                ))
+            }),
+            TechSpec::File(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    FlowError::Technology(format!("cannot read technology file `{path}`: {e}"))
+                })?;
+                let is_json = std::path::Path::new(path)
+                    .extension()
+                    .is_some_and(|ext| ext.eq_ignore_ascii_case("json"));
+                let technology = if is_json {
+                    Technology::from_json(&text)
+                } else {
+                    Technology::from_toml(&text)
+                }
+                .map_err(|e| FlowError::Technology(format!("technology file `{path}`: {e}")))?;
+                Ok(Arc::new(technology))
+            }
+            TechSpec::Inline(technology) => {
+                technology
+                    .validate()
+                    .map_err(|e| FlowError::Technology(format!("inline technology: {e}")))?;
+                Ok(Arc::new(technology.clone()))
+            }
+        }
+    }
+
+    /// A short human-readable description of the spec, for logs.
+    pub fn describe(&self) -> String {
+        match self {
+            TechSpec::Builtin(name) => format!("builtin `{name}`"),
+            TechSpec::File(path) => format!("file `{path}`"),
+            TechSpec::Inline(technology) => format!("inline `{}`", technology.name),
+        }
+    }
+}
+
+impl Default for TechSpec {
+    fn default() -> Self {
+        TechSpec::Builtin(aqfp_cells::MIT_LL_SQF5EE.to_owned())
+    }
+}
+
 /// Configuration of a complete RTL-to-GDS run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowConfig {
-    /// Fabrication process to target (selects the cell library and rules).
-    pub process: Process,
+    /// The technology (PDK) to target — a built-in registry name, a
+    /// technology file, or an inline value. Selects the cell geometry,
+    /// design rules, clock, timing coefficients and GDS layer map for every
+    /// stage at once.
+    pub tech: TechSpec,
     /// Placement strategy (SuperFlow or one of the baselines).
     pub placer: PlacerKind,
     /// Logic synthesis options.
@@ -29,7 +130,7 @@ impl FlowConfig {
     /// SuperFlow placer, default stage options.
     pub fn paper_default() -> Self {
         Self {
-            process: Process::MitLl,
+            tech: TechSpec::default(),
             placer: PlacerKind::SuperFlow,
             synthesis: SynthesisOptions::default(),
             placement: PlacementOptions::default(),
@@ -54,13 +155,23 @@ impl FlowConfig {
         self
     }
 
-    /// Returns the same configuration targeting a different fabrication
-    /// process (which selects the cell library and design rules), for
-    /// symmetry with [`FlowConfig::with_placer`] and
-    /// [`FlowConfig::with_threads`].
-    pub fn with_process(mut self, process: Process) -> Self {
-        self.process = process;
+    /// Returns the same configuration targeting a different technology.
+    pub fn with_tech(mut self, tech: TechSpec) -> Self {
+        self.tech = tech;
         self
+    }
+
+    /// Returns the same configuration targeting an inline technology value.
+    pub fn with_technology(self, technology: Technology) -> Self {
+        self.with_tech(TechSpec::Inline(technology))
+    }
+
+    /// Returns the same configuration targeting the built-in technology of
+    /// a legacy [`Process`] value (kept for symmetry with the old
+    /// `Process`-based API; equivalent to
+    /// `with_tech(TechSpec::builtin(process.tech_name()))`).
+    pub fn with_process(self, process: Process) -> Self {
+        self.with_tech(TechSpec::builtin(process.tech_name()))
     }
 
     /// Returns the same configuration with an explicit worker-thread count
@@ -80,12 +191,14 @@ impl FlowConfig {
         self.router.threads
     }
 
-    /// Builds the cell library selected by [`FlowConfig::process`].
-    pub fn library(&self) -> CellLibrary {
-        match self.process {
-            Process::MitLl => CellLibrary::mit_ll(),
-            Process::Stp2 => CellLibrary::stp2(),
-        }
+    /// Resolves [`FlowConfig::tech`] to the shared, validated technology
+    /// every stage of a session built from this configuration will target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Technology`] when the spec cannot be resolved.
+    pub fn resolve_technology(&self) -> Result<Arc<Technology>, FlowError> {
+        self.tech.resolve()
     }
 }
 
@@ -98,13 +211,15 @@ impl Default for FlowConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqfp_cells::MIT_LL_SQF5EE;
 
     #[test]
     fn default_targets_mit_ll_and_superflow() {
         let config = FlowConfig::default();
-        assert_eq!(config.process, Process::MitLl);
+        assert_eq!(config.tech, TechSpec::builtin(MIT_LL_SQF5EE));
         assert_eq!(config.placer, PlacerKind::SuperFlow);
         assert!(config.max_drc_iterations >= 1);
+        assert_eq!(config.resolve_technology().unwrap().name, MIT_LL_SQF5EE);
     }
 
     #[test]
@@ -121,18 +236,48 @@ mod tests {
     }
 
     #[test]
-    fn with_process_switches_library_and_rules() {
-        let config = FlowConfig::default().with_process(Process::Stp2);
-        assert_eq!(config.process, Process::Stp2);
-        assert_eq!(config.library().rules().name, "AIST STP2");
+    fn with_tech_switches_rules_and_process_maps_to_builtin_names() {
+        let config = FlowConfig::default().with_tech(TechSpec::builtin("aist-stp2"));
+        let technology = config.resolve_technology().expect("resolves");
+        assert_eq!(technology.rules().name, "AIST STP2");
+        // The legacy Process values reach the same registry entries.
+        let via_process = FlowConfig::default().with_process(Process::Stp2);
+        assert_eq!(via_process.tech, TechSpec::builtin("aist-stp2"));
         // Builders chain in any order.
         let chained = FlowConfig::fast()
             .with_process(Process::MitLl)
             .with_placer(PlacerKind::GordianBased)
             .with_threads(2);
-        assert_eq!(chained.process, Process::MitLl);
+        assert_eq!(chained.tech, TechSpec::builtin(MIT_LL_SQF5EE));
         assert_eq!(chained.placer, PlacerKind::GordianBased);
         assert_eq!(chained.threads(), 2);
+    }
+
+    #[test]
+    fn unknown_builtin_names_fail_with_the_available_list() {
+        let config = FlowConfig::default().with_tech(TechSpec::builtin("tba-9000"));
+        let err = config.resolve_technology().expect_err("unknown name");
+        let message = err.to_string();
+        assert!(message.contains("tba-9000"), "{message}");
+        assert!(message.contains(MIT_LL_SQF5EE), "lists the available names: {message}");
+    }
+
+    #[test]
+    fn inline_technologies_are_validated_on_resolution() {
+        let mut technology = Technology::mit_ll_sqf5ee();
+        technology.rules.grid = -1.0;
+        let config = FlowConfig::default().with_technology(technology);
+        assert!(matches!(
+            config.resolve_technology(),
+            Err(FlowError::Technology(message)) if message.contains("grid")
+        ));
+    }
+
+    #[test]
+    fn missing_tech_files_fail_loudly() {
+        let config = FlowConfig::default().with_tech(TechSpec::file("/no/such/tech.toml"));
+        let err = config.resolve_technology().expect_err("missing file");
+        assert!(err.to_string().contains("/no/such/tech.toml"), "{err}");
     }
 
     #[test]
@@ -147,9 +292,15 @@ mod tests {
     }
 
     #[test]
-    fn library_matches_process() {
-        let stp2 = FlowConfig { process: Process::Stp2, ..FlowConfig::default() };
-        assert_eq!(stp2.library().rules().name, "AIST STP2");
-        assert_eq!(FlowConfig::default().library().rules().name, "MIT-LL SQF5ee");
+    fn tech_spec_serde_round_trips() {
+        for spec in [
+            TechSpec::builtin("aist-stp2"),
+            TechSpec::file("custom.toml"),
+            TechSpec::Inline(Technology::mit_ll_sqf5ee()),
+        ] {
+            let json = serde_json::to_string(&spec).expect("serializes");
+            let back: TechSpec = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, spec);
+        }
     }
 }

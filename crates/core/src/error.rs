@@ -17,6 +17,17 @@ pub enum FlowError {
     Synthesis(SynthesisError),
     /// A stage-artifact checkpoint could not be serialized or parsed.
     Checkpoint(String),
+    /// The configured technology could not be resolved (unknown registry
+    /// name, unreadable file, parse or validation failure).
+    Technology(String),
+    /// A stage artifact was produced under a different technology than the
+    /// session targets, so resuming it would silently mix process data.
+    TechnologyMismatch {
+        /// Fingerprint of the session's technology.
+        expected: String,
+        /// Fingerprint recorded in the artifact.
+        found: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -26,6 +37,13 @@ impl fmt::Display for FlowError {
             FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
             FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
             FlowError::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
+            FlowError::Technology(message) => write!(f, "technology error: {message}"),
+            FlowError::TechnologyMismatch { expected, found } => write!(
+                f,
+                "technology mismatch: this session targets `{expected}`, but the artifact was \
+                 produced under `{found}`; resume with the original technology or re-run from \
+                 the netlist"
+            ),
         }
     }
 }
@@ -36,7 +54,9 @@ impl Error for FlowError {
             FlowError::Parse(e) => Some(e),
             FlowError::InvalidNetlist(e) => Some(e),
             FlowError::Synthesis(e) => Some(e),
-            FlowError::Checkpoint(_) => None,
+            FlowError::Checkpoint(_)
+            | FlowError::Technology(_)
+            | FlowError::TechnologyMismatch { .. } => None,
         }
     }
 }

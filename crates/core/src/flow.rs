@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_netlist::parsers::{parse_blif, parse_verilog};
 use aqfp_netlist::Netlist;
@@ -20,14 +20,14 @@ use crate::session::FlowSession;
 
 /// The SuperFlow RTL-to-GDS driver (Fig. 3 of the paper).
 ///
-/// A [`Flow`] owns the cell library and the per-stage configuration; every
-/// `run_*` method executes the whole pipeline — synthesis, placement,
-/// routing, layout generation and DRC with automatic violation repair — and
-/// returns a [`FlowReport`]. Each run is a [`FlowSession`] under the hood,
-/// sharing the flow's cell library by `Arc` across stages and sessions.
+/// A [`Flow`] owns the per-stage configuration, including the technology
+/// spec ([`FlowConfig::tech`]); every `run_*` method executes the whole
+/// pipeline — synthesis, placement, routing, layout generation and DRC with
+/// automatic violation repair — and returns a [`FlowReport`]. Each run is a
+/// [`FlowSession`] under the hood, sharing one resolved [`Technology`] by
+/// `Arc` across stages and sessions.
 #[derive(Debug, Clone)]
 pub struct Flow {
-    library: Arc<CellLibrary>,
     config: FlowConfig,
 }
 
@@ -38,13 +38,24 @@ impl Flow {
     }
 
     /// Creates a flow from an explicit configuration.
+    ///
+    /// Construction is infallible: the technology spec is resolved lazily —
+    /// each [`Flow::session`] / `run_*` call resolves it afresh (so a
+    /// `TechSpec::File` is re-read, and edits to the file take effect on
+    /// the next run), and an unresolvable spec (e.g. a missing file) errors
+    /// from those calls rather than here.
     pub fn with_config(config: FlowConfig) -> Self {
-        Self { library: Arc::new(config.library()), config }
+        Self { config }
     }
 
-    /// The cell library the flow targets.
-    pub fn library(&self) -> &CellLibrary {
-        &self.library
+    /// Resolves the technology the flow targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Technology`] when [`FlowConfig::tech`] cannot
+    /// be resolved.
+    pub fn technology(&self) -> Result<Arc<Technology>, FlowError> {
+        self.config.resolve_technology()
     }
 
     /// The flow configuration.
@@ -53,10 +64,15 @@ impl Flow {
     }
 
     /// Opens a staged session over this flow's configuration and shared
-    /// cell library, for callers that want to drive (or stop after, or
+    /// technology, for callers that want to drive (or stop after, or
     /// checkpoint) individual stages.
-    pub fn session(&self) -> FlowSession {
-        FlowSession::with_library(self.config.clone(), Arc::clone(&self.library))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Technology`] when the technology spec cannot be
+    /// resolved.
+    pub fn session(&self) -> Result<FlowSession, FlowError> {
+        Ok(FlowSession::with_technology(self.config.clone(), self.technology()?))
     }
 
     /// Runs the flow on a structural-Verilog module (the RTL entry point of
@@ -99,14 +115,15 @@ impl Flow {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
+    /// Returns [`FlowError::Technology`] if the technology spec cannot be
+    /// resolved, [`FlowError::InvalidNetlist`] if the input fails validation
     /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
     pub fn run(&self, netlist: &Netlist) -> Result<FlowReport, FlowError> {
-        let mut session = self.session();
+        let mut session = self.session()?;
         let synthesized = session.synthesize(netlist)?;
-        let placed = session.place(synthesized);
-        let routed = session.route(placed);
-        let checked = session.check(routed);
+        let placed = session.place(synthesized)?;
+        let routed = session.route(placed)?;
+        let checked = session.check(routed)?;
         Ok(session.finish(checked))
     }
 }
@@ -120,6 +137,7 @@ impl Default for Flow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TechSpec;
     use aqfp_layout::DrcViolationKind;
     use aqfp_place::PlacerKind;
 
@@ -194,5 +212,14 @@ mod tests {
             assert_eq!(report.placement.placer, placer);
             assert!(report.placement.hpwl_um > 0.0);
         }
+    }
+
+    #[test]
+    fn unresolvable_tech_specs_error_at_run_time_not_construction() {
+        let config = FlowConfig::fast().with_tech(TechSpec::file("/no/such/tech.toml"));
+        let flow = Flow::with_config(config); // infallible
+        let err = flow.run_benchmark(Benchmark::Adder8).expect_err("missing tech file");
+        assert!(matches!(err, FlowError::Technology(_)), "{err}");
+        assert!(flow.session().is_err());
     }
 }

@@ -40,6 +40,17 @@
 //! DRC-repair loop is incremental: only the channels whose cells actually
 //! moved are rerouted (see [`session`]).
 //!
+//! # Technologies
+//!
+//! The flow is generic over the fabrication process: every stage consumes
+//! one shared [`Technology`](aqfp_cells::Technology) (cell geometry, design
+//! rules, clock, timing coefficients, GDS layer map), selected through
+//! [`FlowConfig::tech`] as a [`TechSpec`] — a built-in registry name
+//! (`mit-ll-sqf5ee`, `aist-stp2`), a technology file dumped with
+//! `superflow tech dump` and edited by hand, or an inline value. Session
+//! checkpoints embed the technology fingerprint, so resuming an artifact
+//! under a different process fails loudly instead of mixing data.
+//!
 //! The individual stages also remain available through the re-exported
 //! crates for users who want to customize a single step (e.g. swap in their
 //! own placer) while keeping the rest of the flow.
@@ -50,7 +61,7 @@ pub mod flow;
 pub mod report;
 pub mod session;
 
-pub use config::FlowConfig;
+pub use config::{FlowConfig, TechSpec};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use report::{FlowReport, StageTimings};

@@ -15,10 +15,14 @@
 //! fields), **serializable** (`to_json`/`from_json` checkpoints) and
 //! **resumable**: a deserialized artifact continues through the remaining
 //! stages of any session with the same configuration and produces the same
-//! final GDS. Stage options may be edited between stages through
+//! final GDS. Every artifact embeds the fingerprint of the technology it
+//! was produced under, and the stage methods refuse (with
+//! [`FlowError::TechnologyMismatch`]) to resume an artifact into a session
+//! targeting a different technology — a checkpoint can never silently mix
+//! process data. Stage options may be edited between stages through
 //! [`FlowSession::config_mut`].
 //!
-//! The session shares one [`CellLibrary`] across all stages via `Arc`
+//! The session shares one [`Technology`] across all stages via `Arc`
 //! (instead of cloning it per stage) and repairs DRC violations
 //! *incrementally*: legalization and detailed placement report which cells
 //! they displaced, buffer-row insertion returns a structured
@@ -38,15 +42,15 @@
 //! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 //! use superflow::{FlowConfig, FlowSession};
 //!
-//! let mut session = FlowSession::new(FlowConfig::fast());
+//! let mut session = FlowSession::new(FlowConfig::fast())?;
 //! let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8))?;
 //! println!("{} JJs after synthesis", synthesized.stats().jj_count);
 //!
-//! let placed = session.place(synthesized);
+//! let placed = session.place(synthesized)?;
 //! let checkpoint = placed.to_json()?; // resumable JSON snapshot
 //!
-//! let routed = session.route(placed);
-//! let checked = session.check(routed);
+//! let routed = session.route(placed)?;
+//! let checked = session.check(routed)?;
 //! let report = session.finish(checked);
 //! assert!(report.stage_timings.total_s() > 0.0);
 //! # let _ = checkpoint;
@@ -58,12 +62,14 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_layout::{DrcChecker, DrcReport, DrcViolationKind, Layout, LayoutGenerator};
 use aqfp_netlist::{Netlist, NetlistStats};
 use aqfp_place::buffer_rows::repair_buffer_rows;
 use aqfp_place::legalize::legalize;
-use aqfp_place::{NetIncidence, PlacedDesign, PlacementEngine, PlacementResult};
+use aqfp_place::{
+    DetailedPlacementConfig, NetIncidence, PlacedDesign, PlacementEngine, PlacementResult,
+};
 use aqfp_route::{Router, RoutingResult};
 use aqfp_synth::{SynthesizedNetlist, Synthesizer};
 use aqfp_timing::{TimingAnalyzer, TimingBatch};
@@ -170,6 +176,10 @@ fn checkpoint_from_json<T: Deserialize>(text: &str) -> Result<T, FlowError> {
 pub struct Synthesized {
     /// Design name (propagated from the input netlist).
     pub design_name: String,
+    /// Fingerprint of the technology the artifact was produced under
+    /// ([`Technology::fingerprint`]); later stages refuse to consume the
+    /// artifact under a different technology.
+    pub tech_fingerprint: String,
     /// The synthesized (majority-converted, buffered, path-balanced)
     /// netlist.
     pub synthesis: SynthesizedNetlist,
@@ -221,6 +231,11 @@ impl Placed {
         FlowStage::Placement
     }
 
+    /// Fingerprint of the technology the artifact was produced under.
+    pub fn tech_fingerprint(&self) -> &str {
+        &self.synthesized.tech_fingerprint
+    }
+
     /// The placed physical design.
     pub fn design(&self) -> &PlacedDesign {
         &self.placement.design
@@ -270,6 +285,11 @@ impl Routed {
     /// The stage this artifact completes.
     pub fn stage(&self) -> FlowStage {
         FlowStage::Routing
+    }
+
+    /// Fingerprint of the technology the artifact was produced under.
+    pub fn tech_fingerprint(&self) -> &str {
+        self.placed.tech_fingerprint()
     }
 
     /// The placed physical design the wires were routed on.
@@ -342,6 +362,11 @@ impl Checked {
         FlowStage::Check
     }
 
+    /// Fingerprint of the technology the artifact was produced under.
+    pub fn tech_fingerprint(&self) -> &str {
+        self.routed.tech_fingerprint()
+    }
+
     /// Serializes the artifact to a resumable JSON checkpoint.
     ///
     /// # Errors
@@ -362,14 +387,16 @@ impl Checked {
 }
 
 /// A staged RTL-to-GDS run: drives the pipeline one stage at a time, shares
-/// the cell library across stages, notifies observers and collects per-stage
+/// the technology across stages, notifies observers and collects per-stage
 /// timings.
 ///
 /// See the [module documentation](self) for the stage sequence and a full
 /// example; [`Flow`](crate::Flow) wraps a session into the original
 /// push-button API.
 pub struct FlowSession {
-    library: Arc<CellLibrary>,
+    technology: Arc<Technology>,
+    /// Cached [`Technology::fingerprint`], stamped into every artifact.
+    fingerprint: String,
     config: FlowConfig,
     observers: Vec<Box<dyn FlowObserver>>,
     timings: StageTimings,
@@ -386,18 +413,30 @@ impl fmt::Debug for FlowSession {
 }
 
 impl FlowSession {
-    /// Creates a session, building the cell library the configuration
-    /// selects.
-    pub fn new(config: FlowConfig) -> Self {
-        let library = Arc::new(config.library());
-        Self::with_library(config, library)
+    /// Creates a session, resolving the technology the configuration
+    /// selects ([`FlowConfig::tech`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Technology`] when the technology spec cannot be
+    /// resolved (unknown builtin name, unreadable or invalid file).
+    pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
+        let technology = config.resolve_technology()?;
+        Ok(Self::with_technology(config, technology))
     }
 
-    /// Creates a session around an existing shared library (so several
+    /// Creates a session around an existing shared technology (so several
     /// sessions — or a [`Flow`](crate::Flow) and its sessions — reuse one
     /// allocation).
-    pub fn with_library(config: FlowConfig, library: Arc<CellLibrary>) -> Self {
-        Self { library, config, observers: Vec::new(), timings: StageTimings::default() }
+    pub fn with_technology(config: FlowConfig, technology: Arc<Technology>) -> Self {
+        let fingerprint = technology.fingerprint();
+        Self {
+            technology,
+            fingerprint,
+            config,
+            observers: Vec::new(),
+            timings: StageTimings::default(),
+        }
     }
 
     /// The session configuration.
@@ -408,16 +447,43 @@ impl FlowSession {
     /// Mutable access to the configuration, for editing stage options
     /// between stages (the next stage call picks up the changes).
     ///
-    /// Note that [`FlowConfig::process`] is fixed once the session exists —
-    /// the library was built from it — so only the per-stage options are
-    /// meaningful to edit here.
+    /// Note that [`FlowConfig::tech`] is fixed once the session exists —
+    /// the technology was resolved from it — so only the per-stage options
+    /// are meaningful to edit here.
     pub fn config_mut(&mut self) -> &mut FlowConfig {
         &mut self.config
     }
 
-    /// The shared cell library all stages target.
-    pub fn library(&self) -> &Arc<CellLibrary> {
-        &self.library
+    /// The shared technology all stages target.
+    pub fn technology(&self) -> &Arc<Technology> {
+        &self.technology
+    }
+
+    /// Fingerprint of the session's technology — the value stamped into
+    /// every artifact this session produces.
+    pub fn tech_fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The detailed-placement configuration the session's repair loop runs
+    /// with: the configured options with the technology's timing
+    /// coefficients injected, mirroring
+    /// `PlacementEngine::effective_detailed`.
+    fn effective_detailed(&self) -> DetailedPlacementConfig {
+        DetailedPlacementConfig { timing: self.technology.timing, ..self.config.placement.detailed }
+    }
+
+    /// Fails with [`FlowError::TechnologyMismatch`] when an artifact from a
+    /// different technology is resumed into this session.
+    fn ensure_same_technology(&self, found: &str) -> Result<(), FlowError> {
+        if found == self.fingerprint {
+            Ok(())
+        } else {
+            Err(FlowError::TechnologyMismatch {
+                expected: self.fingerprint.clone(),
+                found: found.to_owned(),
+            })
+        }
     }
 
     /// Registers an observer for stage and DRC-repair events.
@@ -455,32 +521,48 @@ impl FlowSession {
         let start = Instant::now();
         netlist.validate()?;
         let synthesizer =
-            Synthesizer::with_options(Arc::clone(&self.library), self.config.synthesis);
+            Synthesizer::with_options(Arc::clone(&self.technology), self.config.synthesis);
         let synthesis = synthesizer.run(netlist)?;
         self.stage_finished(FlowStage::Synthesis, start.elapsed().as_secs_f64());
-        Ok(Synthesized { design_name: netlist.name().to_owned(), synthesis })
+        Ok(Synthesized {
+            design_name: netlist.name().to_owned(),
+            tech_fingerprint: self.fingerprint.clone(),
+            synthesis,
+        })
     }
 
     /// Runs placement (global, legalization, detailed, buffer rows) with the
     /// placer selected by [`FlowConfig::placer`].
-    pub fn place(&mut self, synthesized: Synthesized) -> Placed {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::TechnologyMismatch`] when `synthesized` was
+    /// produced (or checkpointed) under a different technology.
+    pub fn place(&mut self, synthesized: Synthesized) -> Result<Placed, FlowError> {
+        self.ensure_same_technology(&synthesized.tech_fingerprint)?;
         self.stage_started(FlowStage::Placement);
         let start = Instant::now();
         let engine =
-            PlacementEngine::with_options(Arc::clone(&self.library), self.config.placement);
+            PlacementEngine::with_options(Arc::clone(&self.technology), self.config.placement);
         let placement = engine.place(&synthesized.synthesis, self.config.placer);
         self.stage_finished(FlowStage::Placement, start.elapsed().as_secs_f64());
-        Placed { synthesized, placement }
+        Ok(Placed { synthesized, placement })
     }
 
     /// Routes every net of the placed design, channel by channel.
-    pub fn route(&mut self, placed: Placed) -> Routed {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::TechnologyMismatch`] when `placed` was produced
+    /// (or checkpointed) under a different technology.
+    pub fn route(&mut self, placed: Placed) -> Result<Routed, FlowError> {
+        self.ensure_same_technology(placed.tech_fingerprint())?;
         self.stage_started(FlowStage::Routing);
         let start = Instant::now();
-        let router = Router::with_config(Arc::clone(&self.library), self.config.router);
+        let router = Router::with_config(Arc::clone(&self.technology), self.config.router);
         let routing = router.route(&placed.placement.design);
         self.stage_finished(FlowStage::Routing, start.elapsed().as_secs_f64());
-        Routed { placed, routing, dirty_channels: Vec::new() }
+        Ok(Routed { placed, routing, dirty_channels: Vec::new() })
     }
 
     /// Generates the layout and runs DRC, repairing violations in place:
@@ -509,18 +591,23 @@ impl FlowSession {
     /// reflects the *repaired* placement — bit-identical to a from-scratch
     /// scalar analysis of the final design — instead of going stale the
     /// moment the repair loop moves a cell.
-    pub fn check(&mut self, routed: Routed) -> Checked {
+    /// # Errors
+    ///
+    /// Returns [`FlowError::TechnologyMismatch`] when `routed` was produced
+    /// (or checkpointed) under a different technology.
+    pub fn check(&mut self, routed: Routed) -> Result<Checked, FlowError> {
+        self.ensure_same_technology(routed.tech_fingerprint())?;
         self.stage_started(FlowStage::Check);
         let start = Instant::now();
         let Routed { mut placed, mut routing, mut dirty_channels } = routed;
-        let generator = LayoutGenerator::new(Arc::clone(&self.library));
-        let checker = DrcChecker::new(self.library.rules().clone());
-        let router = Router::with_config(Arc::clone(&self.library), self.config.router);
+        let generator = LayoutGenerator::new(Arc::clone(&self.technology));
+        let checker = DrcChecker::for_technology(&self.technology);
+        let router = Router::with_config(Arc::clone(&self.technology), self.config.router);
 
         // The batched timing state survives the whole repair loop: the SoA
         // batch is refreshed in place (incrementally where possible) instead
         // of re-allocating a `Vec<PlacedNet>` per iteration.
-        let analyzer = TimingAnalyzer::new(self.config.placement.timing);
+        let analyzer = TimingAnalyzer::for_technology(&self.technology);
         let mut timing_batch = TimingBatch::with_capacity(placed.placement.design.net_count());
         placed.placement.design.fill_timing_batch(&mut timing_batch);
         let mut incidence = NetIncidence::build(&placed.placement.design);
@@ -559,7 +646,7 @@ impl FlowSession {
                 // moved-cell list covers both follow-up passes, so the
                 // reroute and the timing refresh below stay incremental.
                 let (_, buffer_edit, repair_moved) =
-                    repair_buffer_rows(design, &self.library, &self.config.placement.detailed);
+                    repair_buffer_rows(design, &self.technology, &self.effective_detailed());
                 moved_cells.extend(repair_moved);
                 if !buffer_edit.is_noop() {
                     edit = Some(buffer_edit);
@@ -630,7 +717,12 @@ impl FlowSession {
             analyzer.analyze_batch(&timing_batch, placed.placement.design.layer_width().max(1.0));
 
         self.stage_finished(FlowStage::Check, start.elapsed().as_secs_f64());
-        Checked { routed: Routed { placed, routing, dirty_channels }, layout, drc, drc_iterations }
+        Ok(Checked {
+            routed: Routed { placed, routing, dirty_channels },
+            layout,
+            drc,
+            drc_iterations,
+        })
     }
 
     /// Assembles the final [`FlowReport`] from the check-stage artifact,
@@ -706,17 +798,17 @@ mod tests {
     #[test]
     fn stages_run_in_order_and_notify_observers() {
         let recorder = std::rc::Rc::new(std::cell::RefCell::new(Recorder::default()));
-        let mut session = FlowSession::new(FlowConfig::fast());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
         session.add_observer(Box::new(SharedRecorder(std::rc::Rc::clone(&recorder))));
 
         let netlist = benchmark_circuit(Benchmark::Adder8);
         let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
         assert_eq!(synthesized.stage(), FlowStage::Synthesis);
-        let placed = session.place(synthesized);
+        let placed = session.place(synthesized).expect("placement succeeds");
         assert!(placed.design().cell_count() > 0);
-        let routed = session.route(placed);
+        let routed = session.route(placed).expect("routing succeeds");
         assert!(!routed.is_dirty());
-        let checked = session.check(routed);
+        let checked = session.check(routed).expect("check succeeds");
         assert_eq!(checked.stage(), FlowStage::Check);
         let report = session.finish(checked);
         assert_eq!(report.design_name, "adder8");
@@ -746,11 +838,11 @@ mod tests {
         let push_button =
             crate::Flow::with_config(FlowConfig::fast()).run(&netlist).expect("flow runs");
 
-        let mut session = FlowSession::new(FlowConfig::fast());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
         let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
-        let placed = session.place(synthesized);
-        let routed = session.route(placed);
-        let checked = session.check(routed);
+        let placed = session.place(synthesized).expect("placement succeeds");
+        let routed = session.route(placed).expect("routing succeeds");
+        let checked = session.check(routed).expect("check succeeds");
         let staged = session.finish(checked);
 
         assert_eq!(push_button.layout.to_gds_bytes(), staged.layout.to_gds_bytes());
@@ -761,26 +853,26 @@ mod tests {
 
     #[test]
     fn options_can_change_between_stages() {
-        let mut session = FlowSession::new(FlowConfig::fast());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
         let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
         // Force strictly serial routing from this point on; the routed
         // result must be identical either way.
         session.config_mut().router.threads = 1;
-        let placed = session.place(synthesized);
-        let routed = session.route(placed);
+        let placed = session.place(synthesized).expect("placement succeeds");
+        let routed = session.route(placed).expect("routing succeeds");
         assert_eq!(routed.routing.stats.failed_nets, 0);
     }
 
     #[test]
     fn post_check_timing_matches_a_fresh_scalar_analysis() {
-        let mut session = FlowSession::new(FlowConfig::fast());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
         let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
-        let placed = session.place(synthesized);
-        let routed = session.route(placed);
-        let checked = session.check(routed);
+        let placed = session.place(synthesized).expect("placement succeeds");
+        let routed = session.route(placed).expect("routing succeeds");
+        let checked = session.check(routed).expect("check succeeds");
 
         let design = &checked.routed.placed.placement.design;
-        let analyzer = TimingAnalyzer::new(session.config().placement.timing);
+        let analyzer = TimingAnalyzer::for_technology(session.technology());
         let fresh = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
         let incremental = &checked.routed.placed.placement.timing;
         assert_eq!(
@@ -793,10 +885,10 @@ mod tests {
 
     #[test]
     fn marking_a_moved_cell_dirties_its_two_channels() {
-        let mut session = FlowSession::new(FlowConfig::fast());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
         let synthesized = session.synthesize(&benchmark_circuit(Benchmark::Adder8)).expect("ok");
-        let placed = session.place(synthesized);
-        let mut routed = session.route(placed);
+        let placed = session.place(synthesized).expect("placement succeeds");
+        let mut routed = session.route(placed).expect("routing succeeds");
         let cell = routed.design().rows[3][0];
         routed.mark_cell_moved(cell);
         assert_eq!(routed.dirty_channels, vec![2, 3]);

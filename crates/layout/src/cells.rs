@@ -4,68 +4,57 @@
 //! generates abstract cell views that carry the information the rest of the
 //! flow (and a layout viewer) needs: the cell outline on the boundary layer,
 //! one marker per Josephson junction, the input/output pin shapes and a name
-//! label. The geometry respects the library's cell dimensions, so chip-level
-//! density and spacing checks remain meaningful.
+//! label. The geometry respects the technology's cell dimensions, so
+//! chip-level density and spacing checks remain meaningful.
+//!
+//! The GDS layer numbers come from the technology's
+//! [`LayerMap`](aqfp_cells::LayerMap) — they are process facts, not
+//! constants of this crate.
 
-use aqfp_cells::{AqfpCell, CellKind, CellLibrary, Point};
+use aqfp_cells::{AqfpCell, CellKind, Point, Technology};
 
 use crate::gds::{GdsElement, GdsStructure};
-
-/// GDS layer numbers used by the abstract layouts.
-pub mod layers {
-    /// Cell outline (placement boundary).
-    pub const OUTLINE: i16 = 1;
-    /// Josephson-junction markers.
-    pub const JJ: i16 = 2;
-    /// Pin shapes.
-    pub const PIN: i16 = 3;
-    /// First wiring metal (horizontal segments).
-    pub const METAL1: i16 = 10;
-    /// Second wiring metal (vertical segments).
-    pub const METAL2: i16 = 11;
-    /// Text labels.
-    pub const LABEL: i16 = 63;
-}
 
 /// The GDS structure name used for a cell kind.
 pub fn structure_name(kind: CellKind) -> String {
     format!("AQFP_{kind}")
 }
 
-/// Builds the abstract layout structure for one cell kind.
-pub fn cell_structure(library: &CellLibrary, kind: CellKind) -> GdsStructure {
-    let cell = library.cell(kind);
+/// Builds the abstract layout structure for one cell kind, drawn on the
+/// technology's layer map.
+pub fn cell_structure(technology: &Technology, kind: CellKind) -> GdsStructure {
+    let cell = technology.cell(kind);
+    let layers = technology.layers();
     let mut structure = GdsStructure::new(structure_name(kind));
 
     structure.elements.push(GdsElement::Boundary {
-        layer: layers::OUTLINE,
+        layer: layers.outline,
         points: rectangle(0.0, 0.0, cell.width, cell.height),
     });
-    for (index, center) in jj_positions(cell).into_iter().enumerate() {
+    for center in jj_positions(cell) {
         let half = 2.0;
         structure.elements.push(GdsElement::Boundary {
-            layer: layers::JJ,
+            layer: layers.jj,
             points: rectangle(center.x - half, center.y - half, 2.0 * half, 2.0 * half),
         });
-        let _ = index;
     }
     for pin in cell.input_pins.iter().chain(cell.output_pins.iter()) {
         structure.elements.push(GdsElement::Boundary {
-            layer: layers::PIN,
+            layer: layers.pin,
             points: rectangle(pin.offset.x - 2.0, pin.offset.y - 2.0, 4.0, 4.0),
         });
     }
     structure.elements.push(GdsElement::Text {
-        layer: layers::LABEL,
+        layer: layers.label,
         position: Point::new(cell.width / 2.0, cell.height / 2.0),
         text: kind.to_string(),
     });
     structure
 }
 
-/// Builds the structures for every cell kind in the library.
-pub fn all_cell_structures(library: &CellLibrary) -> Vec<GdsStructure> {
-    CellKind::ALL.iter().map(|&kind| cell_structure(library, kind)).collect()
+/// Builds the structures for every cell kind in the technology.
+pub fn all_cell_structures(technology: &Technology) -> Vec<GdsStructure> {
+    CellKind::ALL.iter().map(|&kind| cell_structure(technology, kind)).collect()
 }
 
 /// Evenly distributes the cell's Josephson junctions inside its outline.
@@ -101,8 +90,8 @@ mod tests {
 
     #[test]
     fn every_cell_kind_gets_a_structure() {
-        let library = CellLibrary::mit_ll();
-        let structures = all_cell_structures(&library);
+        let technology = Technology::mit_ll_sqf5ee();
+        let structures = all_cell_structures(&technology);
         assert_eq!(structures.len(), CellKind::ALL.len());
         let mut names: Vec<&str> = structures.iter().map(|s| s.name.as_str()).collect();
         names.sort();
@@ -112,23 +101,24 @@ mod tests {
 
     #[test]
     fn jj_markers_match_the_cell_cost() {
-        let library = CellLibrary::mit_ll();
+        let technology = Technology::mit_ll_sqf5ee();
+        let jj_layer = technology.layers().jj;
         for kind in [CellKind::Buffer, CellKind::Majority3, CellKind::Splitter4] {
-            let structure = cell_structure(&library, kind);
+            let structure = cell_structure(&technology, kind);
             let jj_markers = structure
                 .elements
                 .iter()
-                .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == layers::JJ))
+                .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == jj_layer))
                 .count();
-            assert_eq!(jj_markers, library.cell(kind).jj_count, "{kind}");
+            assert_eq!(jj_markers, technology.cell(kind).jj_count, "{kind}");
         }
     }
 
     #[test]
     fn jj_markers_stay_inside_the_outline() {
-        let library = CellLibrary::mit_ll();
+        let technology = Technology::mit_ll_sqf5ee();
         for &kind in &CellKind::ALL {
-            let cell = library.cell(kind);
+            let cell = technology.cell(kind);
             for p in jj_positions(cell) {
                 assert!(p.x > 0.0 && p.x < cell.width, "{kind} JJ x inside");
                 assert!(p.y > 0.0 && p.y < cell.height, "{kind} JJ y inside");
@@ -138,13 +128,36 @@ mod tests {
 
     #[test]
     fn pins_get_shapes() {
-        let library = CellLibrary::mit_ll();
-        let structure = cell_structure(&library, CellKind::Majority3);
+        let technology = Technology::mit_ll_sqf5ee();
+        let pin_layer = technology.layers().pin;
+        let structure = cell_structure(&technology, CellKind::Majority3);
         let pin_shapes = structure
             .elements
             .iter()
-            .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == layers::PIN))
+            .filter(|e| matches!(e, GdsElement::Boundary { layer, .. } if *layer == pin_layer))
             .count();
         assert_eq!(pin_shapes, 3 + 1, "three inputs plus one output");
+    }
+
+    /// A technology with a remapped layer table draws every shape on its
+    /// own layers — nothing is hard-coded to the defaults.
+    #[test]
+    fn custom_layer_maps_are_respected() {
+        let mut technology = Technology::mit_ll_sqf5ee();
+        technology.layers.outline = 100;
+        technology.layers.jj = 101;
+        technology.layers.pin = 102;
+        technology.layers.label = 103;
+        technology.validate().expect("remapped layers are valid");
+        let structure = cell_structure(&technology, CellKind::Buffer);
+        for element in &structure.elements {
+            match element {
+                GdsElement::Boundary { layer, .. } => {
+                    assert!([100, 101, 102].contains(layer), "unexpected layer {layer}")
+                }
+                GdsElement::Text { layer, .. } => assert_eq!(*layer, 103),
+                other => panic!("unexpected element {other:?}"),
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! violations are found, re-runs the corresponding physical-design step
 //! (legalization or space expansion) before finalizing the GDS.
 
-use aqfp_cells::ProcessRules;
+use aqfp_cells::{ProcessRules, Technology};
 use aqfp_place::PlacedDesign;
 use aqfp_route::RoutingResult;
 use serde::{Deserialize, Serialize};
@@ -69,6 +69,12 @@ impl DrcChecker {
     /// Creates a checker for the given process rules.
     pub fn new(rules: ProcessRules) -> Self {
         Self { rules }
+    }
+
+    /// Creates a checker for a technology's design rules — the flow's way
+    /// of constructing one.
+    pub fn for_technology(technology: &Technology) -> Self {
+        Self::new(technology.rules().clone())
     }
 
     /// The process rules being checked.
@@ -205,14 +211,14 @@ impl DrcChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_place::{PlacementEngine, PlacerKind};
     use aqfp_route::Router;
     use aqfp_synth::Synthesizer;
 
-    fn routed(benchmark: Benchmark) -> (PlacedDesign, RoutingResult, CellLibrary) {
-        let library = CellLibrary::mit_ll();
+    fn routed(benchmark: Benchmark) -> (PlacedDesign, RoutingResult, Technology) {
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         let placed =

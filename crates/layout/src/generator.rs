@@ -8,12 +8,12 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use aqfp_cells::{CellLibrary, Point};
+use aqfp_cells::{Point, Technology};
 use aqfp_place::PlacedDesign;
 use aqfp_route::RoutingResult;
 use serde::{Deserialize, Serialize};
 
-use crate::cells::{self, layers};
+use crate::cells;
 use crate::gds::{GdsElement, GdsLibrary, GdsStructure};
 
 /// A generated chip layout: the GDSII library plus a few summary numbers.
@@ -44,27 +44,28 @@ impl Layout {
 /// Assembles GDSII layouts from placement and routing results.
 ///
 /// ```
-/// use aqfp_cells::CellLibrary;
+/// use aqfp_cells::Technology;
 /// use aqfp_layout::LayoutGenerator;
-/// let generator = LayoutGenerator::new(CellLibrary::mit_ll());
-/// assert_eq!(generator.library().rules().min_spacing, 10.0);
+/// let generator = LayoutGenerator::new(Technology::mit_ll_sqf5ee());
+/// assert_eq!(generator.technology().rules().min_spacing, 10.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct LayoutGenerator {
-    library: Arc<CellLibrary>,
+    technology: Arc<Technology>,
 }
 
 impl LayoutGenerator {
-    /// Creates a generator for the given cell library. Accepts either an
-    /// owned [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver
-    /// shares one library across all stages).
-    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
-        Self { library: library.into() }
+    /// Creates a generator for the given technology. Accepts either an
+    /// owned [`Technology`] or a shared `Arc<Technology>` (the flow driver
+    /// shares one technology across all stages).
+    pub fn new(technology: impl Into<Arc<Technology>>) -> Self {
+        Self { technology: technology.into() }
     }
 
-    /// The cell library backing the generated layouts.
-    pub fn library(&self) -> &CellLibrary {
-        &self.library
+    /// The technology backing the generated layouts (cell geometry, wire
+    /// width, GDS layer map).
+    pub fn technology(&self) -> &Technology {
+        &self.technology
     }
 
     /// Generates the chip layout for a placed and routed design.
@@ -74,7 +75,7 @@ impl LayoutGenerator {
         // Only emit the cell structures that are actually instantiated.
         let used_kinds: BTreeSet<_> = design.cells.iter().map(|c| c.kind).collect();
         for kind in &used_kinds {
-            gds.add_structure(cells::cell_structure(&self.library, *kind));
+            gds.add_structure(cells::cell_structure(&self.technology, *kind));
         }
 
         let top_name = format!("{}_top", design.name);
@@ -86,22 +87,23 @@ impl LayoutGenerator {
             });
         }
         let mut wire_paths = 0usize;
+        let layers = self.technology.layers();
         for wire in &routing.wires {
             if wire.path.len() < 2 {
                 continue;
             }
             // Split the path into maximal straight segments, alternating the
-            // two wiring metals: horizontal runs on METAL1, vertical runs on
-            // METAL2, mirroring the two-layer channel model of the router.
+            // two wiring metals: horizontal runs on metal1, vertical runs on
+            // metal2, mirroring the two-layer channel model of the router.
             for segment in straight_segments(&wire.path) {
                 let layer = if (segment[0].y - segment[segment.len() - 1].y).abs() < 1e-9 {
-                    layers::METAL1
+                    layers.metal1
                 } else {
-                    layers::METAL2
+                    layers.metal2
                 };
                 top.elements.push(GdsElement::Path {
                     layer,
-                    width: self.library.rules().wire_width,
+                    width: self.technology.rules().wire_width,
                     points: segment,
                 });
                 wire_paths += 1;
@@ -152,21 +154,21 @@ mod tests {
     use aqfp_route::Router;
     use aqfp_synth::Synthesizer;
 
-    fn routed_design() -> (PlacedDesign, RoutingResult, CellLibrary) {
-        let library = CellLibrary::mit_ll();
-        let synthesized = Synthesizer::new(library.clone())
+    fn routed_design() -> (PlacedDesign, RoutingResult, Technology) {
+        let technology = Technology::mit_ll_sqf5ee();
+        let synthesized = Synthesizer::new(technology.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");
         let placed =
-            PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);
-        let routing = Router::new(library.clone()).route(&placed.design);
-        (placed.design, routing, library)
+            PlacementEngine::new(technology.clone()).place(&synthesized, PlacerKind::SuperFlow);
+        let routing = Router::new(technology.clone()).route(&placed.design);
+        (placed.design, routing, technology)
     }
 
     #[test]
     fn layout_references_every_cell_and_wire() {
-        let (design, routing, library) = routed_design();
-        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        let (design, routing, technology) = routed_design();
+        let layout = LayoutGenerator::new(technology).generate(&design, &routing);
         assert_eq!(layout.cell_instances, design.cell_count());
         assert!(layout.wire_paths >= routing.wires.len());
         assert!(layout.width_um > 0.0 && layout.height_um > 0.0);
@@ -178,8 +180,8 @@ mod tests {
 
     #[test]
     fn generated_stream_is_well_formed() {
-        let (design, routing, library) = routed_design();
-        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        let (design, routing, technology) = routed_design();
+        let layout = LayoutGenerator::new(technology).generate(&design, &routing);
         let bytes = layout.to_gds_bytes();
         let records = parse_records(&bytes).expect("parsable GDSII");
         assert_eq!(records.last().and_then(|r| r.tag), Some(RecordTag::EndLib));
@@ -208,8 +210,8 @@ mod tests {
 
     #[test]
     fn only_used_cell_kinds_are_emitted() {
-        let (design, routing, library) = routed_design();
-        let layout = LayoutGenerator::new(library).generate(&design, &routing);
+        let (design, routing, technology) = routed_design();
+        let layout = LayoutGenerator::new(technology).generate(&design, &routing);
         // The design never uses, e.g., a NOR cell after majority conversion of
         // the adder; the library must not contain structures for unused kinds.
         let used: BTreeSet<_> =

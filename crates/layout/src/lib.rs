@@ -20,11 +20,11 @@
 //! # Examples
 //!
 //! ```
-//! use aqfp_cells::{CellKind, CellLibrary};
+//! use aqfp_cells::{CellKind, Technology};
 //! use aqfp_layout::cells::cell_structure;
 //! use aqfp_layout::gds::GdsLibrary;
 //!
-//! let library = CellLibrary::mit_ll();
+//! let library = Technology::mit_ll_sqf5ee();
 //! let mut gds = GdsLibrary::new("toy");
 //! gds.add_structure(cell_structure(&library, CellKind::Buffer));
 //! let bytes = gds.to_bytes();

@@ -105,14 +105,14 @@ pub fn render_svg(design: &PlacedDesign, routing: &RoutingResult, options: &SvgO
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_place::{PlacementEngine, PlacerKind};
     use aqfp_route::Router;
     use aqfp_synth::Synthesizer;
 
     fn routed() -> (PlacedDesign, RoutingResult) {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");

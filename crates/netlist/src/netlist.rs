@@ -1,6 +1,6 @@
 //! The [`Netlist`] container and its validation rules.
 
-use aqfp_cells::{CellKind, CellLibrary};
+use aqfp_cells::{CellKind, Technology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
@@ -234,14 +234,14 @@ impl Netlist {
         self.gates.iter().filter(|g| g.kind == kind).count()
     }
 
-    /// Total Josephson-junction cost of the netlist under `library`.
-    pub fn jj_count(&self, library: &CellLibrary) -> usize {
-        self.gates.iter().map(|g| library.cell(g.kind).jj_count).sum()
+    /// Total Josephson-junction cost of the netlist under `technology`.
+    pub fn jj_count(&self, technology: &Technology) -> usize {
+        self.gates.iter().map(|g| technology.cell(g.kind).jj_count).sum()
     }
 
     /// Summary statistics of the netlist (gate counts by class, JJs, depth).
-    pub fn stats(&self, library: &CellLibrary) -> NetlistStats {
-        NetlistStats::of(self, library)
+    pub fn stats(&self, technology: &Technology) -> NetlistStats {
+        NetlistStats::of(self, technology)
     }
 
     /// Returns a copy of the netlist with every gate that cannot reach a

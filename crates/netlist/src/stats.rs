@@ -1,13 +1,13 @@
 //! Netlist summary statistics (the quantities Table II of the paper reports).
 
-use aqfp_cells::{CellKind, CellLibrary};
+use aqfp_cells::{CellKind, Technology};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::netlist::Netlist;
 use crate::traverse;
 
-/// Summary statistics of a netlist under a given cell library.
+/// Summary statistics of a netlist under a given technology.
 ///
 /// `jj_count`, `net_count` and `delay` correspond to the `#JJs`, `#Nets` and
 /// `#Delay` columns of Table II in the paper.
@@ -36,8 +36,8 @@ pub struct NetlistStats {
 }
 
 impl NetlistStats {
-    /// Computes the statistics of `netlist` under `library`.
-    pub fn of(netlist: &Netlist, library: &CellLibrary) -> Self {
+    /// Computes the statistics of `netlist` under `technology`.
+    pub fn of(netlist: &Netlist, technology: &Technology) -> Self {
         let delay = traverse::depth(netlist).unwrap_or(0);
         let splitter_count = netlist.count_kind(CellKind::Splitter2)
             + netlist.count_kind(CellKind::Splitter3)
@@ -51,7 +51,7 @@ impl NetlistStats {
             splitter_count,
             input_count: netlist.primary_inputs().len(),
             output_count: netlist.primary_outputs().len(),
-            jj_count: netlist.jj_count(library),
+            jj_count: netlist.jj_count(technology),
             net_count: netlist.net_count(),
             delay,
         }
@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn stats_count_cell_classes() {
-        let lib = CellLibrary::mit_ll();
+        let lib = Technology::mit_ll_sqf5ee();
         let mut n = Netlist::new("stats");
         let a = n.add_input("a");
         let b = n.add_input("b");

@@ -50,12 +50,12 @@ pub fn gordian_place(design: &mut PlacedDesign, config: &GordianConfig) -> Legal
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
     fn design_for(benchmark: Benchmark) -> PlacedDesign {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         PlacedDesign::from_synthesized(&synthesized, &library)

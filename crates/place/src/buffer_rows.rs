@@ -7,7 +7,7 @@
 //! number of inserted buffer lines is one of the quality metrics Table III
 //! reports — fewer lines mean less area and fewer JJs.
 
-use aqfp_cells::{CellKind, CellLibrary};
+use aqfp_cells::{CellKind, Technology};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{PhysNet, PlacedCell, PlacedDesign};
@@ -184,7 +184,7 @@ pub fn required_buffer_lines(design: &PlacedDesign) -> usize {
 /// rebuilding from scratch.
 pub fn insert_buffer_rows(
     design: &mut PlacedDesign,
-    library: &CellLibrary,
+    library: &Technology,
 ) -> (BufferRowReport, DesignEdit) {
     let violating = design.max_wirelength_violations();
     if violating.is_empty() {
@@ -309,7 +309,7 @@ pub fn insert_buffer_rows(
 /// iteration the flow executes.
 pub fn repair_buffer_rows(
     design: &mut PlacedDesign,
-    library: &CellLibrary,
+    library: &Technology,
     detailed: &DetailedPlacementConfig,
 ) -> (BufferRowReport, DesignEdit, Vec<usize>) {
     let (report, edit) = insert_buffer_rows(design, library);
@@ -330,12 +330,12 @@ pub fn repair_buffer_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
-    fn design_for(benchmark: Benchmark) -> (PlacedDesign, CellLibrary) {
-        let library = CellLibrary::mit_ll();
+    fn design_for(benchmark: Benchmark) -> (PlacedDesign, Technology) {
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         (PlacedDesign::from_synthesized(&synthesized, &library), library)
@@ -343,7 +343,7 @@ mod tests {
 
     /// A two-cell design whose single net is comfortably within the maximum
     /// wirelength.
-    fn tiny_legal_design(library: &CellLibrary) -> PlacedDesign {
+    fn tiny_legal_design(library: &Technology) -> PlacedDesign {
         let proto = library.cell(CellKind::Buffer);
         let cells = vec![
             PlacedCell {
@@ -377,7 +377,7 @@ mod tests {
 
     #[test]
     fn compact_designs_need_no_buffer_lines() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let design = tiny_legal_design(&library);
         assert!(design.max_wirelength_violations().is_empty());
         assert_eq!(required_buffer_lines(&design), 0);
@@ -417,7 +417,7 @@ mod tests {
 
     #[test]
     fn no_violation_means_no_change() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let mut design = tiny_legal_design(&library);
         let cells_before = design.cell_count();
         let (report, edit) = insert_buffer_rows(&mut design, &library);
@@ -428,13 +428,13 @@ mod tests {
     }
 
     /// Regression: a hand-built design (constructible through the public
-    /// API, like `examples/custom_cell_library.rs` builds its rule sets)
+    /// API, like `examples/custom_technology.rs` builds its rule sets)
     /// whose violating net has its sink at or below the driver row used to
     /// abort on `sink_row - driver_row` underflow; it must be reported and
     /// skipped instead.
     #[test]
     fn non_climbing_violations_are_skipped_not_a_panic() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let mut design = tiny_legal_design(&library);
         // Net 0 goes row 0 -> row 1; add the reverse net plus a same-row
         // net, then stretch everything far past the maximum wirelength.
@@ -474,7 +474,7 @@ mod tests {
     /// the design is untouched and the edit is the identity.
     #[test]
     fn all_skipped_violations_leave_the_design_untouched() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let mut design = tiny_legal_design(&library);
         design.nets[0] = PhysNet { driver: 1, sink: 0 };
         design.cells[1].x = design.rules.max_wirelength * 3.0;

@@ -1,7 +1,7 @@
 //! The physical view of a synthesized AQFP netlist: rows, cells and
 //! point-to-point nets.
 
-use aqfp_cells::{CellKind, CellLibrary, ProcessRules};
+use aqfp_cells::{CellKind, ProcessRules, Technology};
 use aqfp_netlist::GateId;
 use aqfp_synth::SynthesizedNetlist;
 use aqfp_timing::{PlacedNet, TimingBatch};
@@ -130,7 +130,7 @@ impl PlacedDesign {
     /// Every gate becomes a cell in the row given by its clock phase; cells
     /// start evenly packed from the left edge of their row, which is the
     /// starting point for global placement.
-    pub fn from_synthesized(synthesized: &SynthesizedNetlist, library: &CellLibrary) -> Self {
+    pub fn from_synthesized(synthesized: &SynthesizedNetlist, library: &Technology) -> Self {
         let rules = library.rules().clone();
         let netlist = &synthesized.netlist;
         let row_count = synthesized.levels.iter().copied().max().unwrap_or(0) + 1;
@@ -405,12 +405,12 @@ impl PlacedDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
     fn small_design() -> PlacedDesign {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");
@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn construction_covers_every_gate_and_edge() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");
@@ -515,7 +515,7 @@ mod tests {
         use crate::buffer_rows::insert_buffer_rows;
         use crate::legalize::legalize;
 
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");

@@ -62,11 +62,29 @@ pub struct DetailedPlacementConfig {
     /// placers (Fig. 4a).
     pub allow_mixed_size_swaps: bool,
     /// Timing model used to evaluate slack during move acceptance.
+    ///
+    /// Only consulted when `detailed_place` is driven directly (tests,
+    /// benches, custom pipelines). The flow treats delay coefficients as
+    /// process facts: `PlacementEngine` and `FlowSession` *override* this
+    /// field with their technology's `TimingConfig`
+    /// (`PlacementEngine::effective_detailed`), so setting it through
+    /// `FlowConfig::placement` has no effect there — edit the technology
+    /// instead.
     pub timing: TimingConfig,
     /// Worker threads for the parallel row sweeps. `0` uses every available
     /// core; `1` sweeps strictly serially. The placed result is identical
     /// for every thread count.
     pub threads: usize,
+}
+
+impl DetailedPlacementConfig {
+    /// This configuration with the technology's delay coefficients
+    /// injected — the single definition of the "timing is a process fact"
+    /// rule that both `PlacementEngine` and the flow's DRC-repair loop
+    /// apply before running a detailed sweep.
+    pub fn with_technology_timing(self, technology: &aqfp_cells::Technology) -> Self {
+        Self { timing: technology.timing, ..self }
+    }
 }
 
 impl Default for DetailedPlacementConfig {
@@ -1047,12 +1065,12 @@ mod tests {
     use super::*;
     use crate::global::{global_place, GlobalPlacementConfig};
     use crate::legalize::legalize;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
     fn legal_design(benchmark: Benchmark) -> PlacedDesign {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         let mut design = PlacedDesign::from_synthesized(&synthesized, &library);

@@ -3,9 +3,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_synth::SynthesizedNetlist;
-use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig, TimingReport};
+use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingReport};
 use serde::{Deserialize, Serialize};
 
 use crate::baselines::gordian::{gordian_place, GordianConfig};
@@ -51,14 +51,17 @@ impl std::fmt::Display for PlacerKind {
 }
 
 /// Options shared by every placement run.
+///
+/// The timing model is *not* an option: the delay coefficients are process
+/// facts, so the engine reads them from its [`Technology`] (and overrides
+/// [`DetailedPlacementConfig::timing`] with them) instead of carrying a
+/// side-channel copy that could drift from the targeted process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlacementOptions {
     /// Global-placement tuning for the SuperFlow placer.
     pub global: GlobalPlacementConfig,
     /// Detailed-placement tuning for the SuperFlow placer.
     pub detailed: DetailedPlacementConfig,
-    /// Timing model used for the final WNS report.
-    pub timing: TimingConfig,
     /// Whether to insert buffer rows for max-wirelength violations after
     /// placement.
     pub insert_buffer_rows: bool,
@@ -69,7 +72,6 @@ impl Default for PlacementOptions {
         Self {
             global: GlobalPlacementConfig::default(),
             detailed: DetailedPlacementConfig::default(),
-            timing: TimingConfig::paper_default(),
             insert_buffer_rows: true,
         }
     }
@@ -108,12 +110,12 @@ impl PlacementResult {
 /// netlist and runs the selected placement strategy.
 ///
 /// ```
-/// use aqfp_cells::CellLibrary;
+/// use aqfp_cells::Technology;
 /// use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 /// use aqfp_place::{PlacementEngine, PlacerKind};
 /// use aqfp_synth::Synthesizer;
 ///
-/// let library = CellLibrary::mit_ll();
+/// let library = Technology::mit_ll_sqf5ee();
 /// let synthesized = Synthesizer::new(library.clone())
 ///     .run(&benchmark_circuit(Benchmark::Adder8))?;
 /// let result = PlacementEngine::new(library).place(&synthesized, PlacerKind::SuperFlow);
@@ -122,21 +124,21 @@ impl PlacementResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlacementEngine {
-    library: Arc<CellLibrary>,
+    technology: Arc<Technology>,
     options: PlacementOptions,
 }
 
 impl PlacementEngine {
     /// Creates an engine with default options. Accepts either an owned
-    /// [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver shares
-    /// one library across all stages).
-    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
-        Self { library: library.into(), options: PlacementOptions::default() }
+    /// [`Technology`] or a shared `Arc<Technology>` (the flow driver shares
+    /// one technology across all stages).
+    pub fn new(technology: impl Into<Arc<Technology>>) -> Self {
+        Self { technology: technology.into(), options: PlacementOptions::default() }
     }
 
     /// Creates an engine with explicit options.
-    pub fn with_options(library: impl Into<Arc<CellLibrary>>, options: PlacementOptions) -> Self {
-        Self { library: library.into(), options }
+    pub fn with_options(technology: impl Into<Arc<Technology>>, options: PlacementOptions) -> Self {
+        Self { technology: technology.into(), options }
     }
 
     /// The engine's options.
@@ -144,9 +146,23 @@ impl PlacementEngine {
         &self.options
     }
 
+    /// The technology the engine places against.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// The engine's detailed-placement configuration with the technology's
+    /// timing coefficients injected — the configuration every detailed
+    /// sweep of this engine (and of the flow's DRC-repair loop) runs with,
+    /// so the placer's cost model can never drift from the process the
+    /// other stages target.
+    pub fn effective_detailed(&self) -> DetailedPlacementConfig {
+        self.options.detailed.with_technology_timing(&self.technology)
+    }
+
     /// Places a synthesized netlist with the selected strategy.
     pub fn place(&self, synthesized: &SynthesizedNetlist, placer: PlacerKind) -> PlacementResult {
-        self.place_base(PlacedDesign::from_synthesized(synthesized, &self.library), placer)
+        self.place_base(PlacedDesign::from_synthesized(synthesized, &self.technology), placer)
     }
 
     /// Runs the selected strategy on an already-built initial design (so
@@ -158,7 +174,7 @@ impl PlacementEngine {
             PlacerKind::SuperFlow => {
                 global_place(&mut design, &self.options.global);
                 legalize(&mut design);
-                detailed_place(&mut design, &self.options.detailed);
+                detailed_place(&mut design, &self.effective_detailed());
             }
             PlacerKind::GordianBased => {
                 gordian_place(&mut design, &GordianConfig::default());
@@ -169,7 +185,7 @@ impl PlacementEngine {
         }
 
         let buffer_report = if self.options.insert_buffer_rows {
-            let (report, _edit) = insert_buffer_rows(&mut design, &self.library);
+            let (report, _edit) = insert_buffer_rows(&mut design, &self.technology);
             if report.buffer_cells > 0 {
                 // The freshly inserted buffer rows are packed onto legal,
                 // grid-aligned positions; already-legal rows are untouched
@@ -186,7 +202,7 @@ impl PlacementEngine {
             }
         };
 
-        let analyzer = TimingAnalyzer::new(self.options.timing);
+        let analyzer = TimingAnalyzer::for_technology(&self.technology);
         let mut batch = TimingBatch::with_capacity(design.net_count());
         design.fill_timing_batch(&mut batch);
         let timing = analyzer.analyze_batch(&batch, design.layer_width().max(1.0));
@@ -208,7 +224,7 @@ impl PlacementEngine {
     /// order. The initial physical design is built once and cloned per
     /// placer instead of being rebuilt from the netlist three times.
     pub fn place_all(&self, synthesized: &SynthesizedNetlist) -> Vec<PlacementResult> {
-        let base = PlacedDesign::from_synthesized(synthesized, &self.library);
+        let base = PlacedDesign::from_synthesized(synthesized, &self.technology);
         PlacerKind::ALL.iter().map(|&placer| self.place_base(base.clone(), placer)).collect()
     }
 }
@@ -219,8 +235,8 @@ mod tests {
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
-    fn synthesized(benchmark: Benchmark) -> (SynthesizedNetlist, CellLibrary) {
-        let library = CellLibrary::mit_ll();
+    fn synthesized(benchmark: Benchmark) -> (SynthesizedNetlist, Technology) {
+        let library = Technology::mit_ll_sqf5ee();
         let result =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         (result, library)

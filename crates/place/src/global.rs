@@ -282,12 +282,12 @@ fn accumulate_spreading(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
     fn design_for(benchmark: Benchmark) -> PlacedDesign {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         PlacedDesign::from_synthesized(&synthesized, &library)
@@ -327,7 +327,7 @@ mod tests {
 
     #[test]
     fn empty_design_is_a_no_op() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let mut design = PlacedDesign {
             name: "empty".into(),
             cells: vec![],

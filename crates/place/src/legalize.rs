@@ -84,12 +84,12 @@ pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
 mod tests {
     use super::*;
     use crate::global::{global_place, GlobalPlacementConfig};
-    use aqfp_cells::CellLibrary;
+    use aqfp_cells::Technology;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     use aqfp_synth::Synthesizer;
 
     fn placed_design(benchmark: Benchmark) -> PlacedDesign {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn legalized_hpwl_beats_the_initial_packing() {
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone())
             .run(&benchmark_circuit(Benchmark::Adder8))
             .expect("ok");

@@ -30,12 +30,12 @@
 //! # Examples
 //!
 //! ```
-//! use aqfp_cells::CellLibrary;
+//! use aqfp_cells::Technology;
 //! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 //! use aqfp_place::{PlacementEngine, PlacerKind};
 //! use aqfp_synth::Synthesizer;
 //!
-//! let library = CellLibrary::mit_ll();
+//! let library = Technology::mit_ll_sqf5ee();
 //! let synthesized = Synthesizer::new(library.clone())
 //!     .run(&benchmark_circuit(Benchmark::Adder8))?;
 //! let engine = PlacementEngine::new(library);
@@ -55,5 +55,6 @@ pub mod parallel;
 
 pub use buffer_rows::{BufferRowReport, DesignEdit};
 pub use design::{NetIncidence, PhysNet, PlacedCell, PlacedDesign};
+pub use detailed::DetailedPlacementConfig;
 pub use engine::{PlacementEngine, PlacementOptions, PlacementResult, PlacerKind};
 pub use parallel::effective_threads;

@@ -56,13 +56,13 @@
 //! # Examples
 //!
 //! ```
-//! use aqfp_cells::CellLibrary;
+//! use aqfp_cells::Technology;
 //! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 //! use aqfp_place::{PlacementEngine, PlacerKind};
 //! use aqfp_route::Router;
 //! use aqfp_synth::Synthesizer;
 //!
-//! let library = CellLibrary::mit_ll();
+//! let library = Technology::mit_ll_sqf5ee();
 //! let synthesized = Synthesizer::new(library.clone())
 //!     .run(&benchmark_circuit(Benchmark::Adder8))?;
 //! let placed = PlacementEngine::new(library.clone()).place(&synthesized, PlacerKind::SuperFlow);

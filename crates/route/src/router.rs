@@ -27,7 +27,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use aqfp_cells::{CellLibrary, Point};
+use aqfp_cells::{Point, Technology};
 use aqfp_place::parallel::effective_threads;
 use aqfp_place::{DesignEdit, PlacedDesign};
 use serde::{Deserialize, Serialize};
@@ -160,25 +160,30 @@ struct ChannelOutcome {
 /// See the crate-level example for typical usage.
 #[derive(Debug, Clone)]
 pub struct Router {
-    library: Arc<CellLibrary>,
+    technology: Arc<Technology>,
     config: RouterConfig,
 }
 
 impl Router {
-    /// Creates a router with default configuration for the given library.
-    /// Accepts either an owned [`CellLibrary`] or a shared
-    /// `Arc<CellLibrary>` (the flow driver shares one library across all
+    /// Creates a router with default configuration for the given
+    /// technology. Accepts either an owned [`Technology`] or a shared
+    /// `Arc<Technology>` (the flow driver shares one technology across all
     /// stages).
-    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
-        let library = library.into();
+    pub fn new(technology: impl Into<Arc<Technology>>) -> Self {
+        let technology = technology.into();
         let config =
-            RouterConfig { grid_step_um: library.rules().min_spacing, ..Default::default() };
-        Self { library, config }
+            RouterConfig { grid_step_um: technology.rules().min_spacing, ..Default::default() };
+        Self { technology, config }
     }
 
     /// Creates a router with an explicit configuration.
-    pub fn with_config(library: impl Into<Arc<CellLibrary>>, config: RouterConfig) -> Self {
-        Self { library: library.into(), config }
+    pub fn with_config(technology: impl Into<Arc<Technology>>, config: RouterConfig) -> Self {
+        Self { technology: technology.into(), config }
+    }
+
+    /// The technology the router targets.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
     }
 
     /// The router configuration.
@@ -344,7 +349,7 @@ impl Router {
             channel_reports.push(outcome.report);
         }
 
-        let jj_count = design.cells.iter().map(|c| self.library.cell(c.kind).jj_count).sum();
+        let jj_count = design.cells.iter().map(|c| self.technology.cell(c.kind).jj_count).sum();
         RoutingResult { wires, stats, channels: channel_reports, jj_count, grid_columns: columns }
     }
 
@@ -745,8 +750,8 @@ mod tests {
     use aqfp_place::{PlacementEngine, PlacerKind};
     use aqfp_synth::Synthesizer;
 
-    fn placed(benchmark: Benchmark) -> (PlacedDesign, CellLibrary) {
-        let library = CellLibrary::mit_ll();
+    fn placed(benchmark: Benchmark) -> (PlacedDesign, Technology) {
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized =
             Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark)).expect("ok");
         let result =

@@ -16,12 +16,12 @@
 //! # Examples
 //!
 //! ```
-//! use aqfp_cells::CellLibrary;
+//! use aqfp_cells::Technology;
 //! use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 //! use aqfp_synth::Synthesizer;
 //!
 //! let aoi = benchmark_circuit(Benchmark::Adder8);
-//! let synth = Synthesizer::new(CellLibrary::mit_ll());
+//! let synth = Synthesizer::new(Technology::mit_ll_sqf5ee());
 //! let result = synth.run(&aoi)?;
 //! assert!(result.is_path_balanced());
 //! assert!(result.respects_fanout_limit());

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use aqfp_cells::{CellKind, CellLibrary};
+use aqfp_cells::{CellKind, Technology};
 use aqfp_netlist::{traverse, GateId, Netlist};
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +39,7 @@ pub struct MajConversionReport {
 /// more expensive.
 pub fn convert_to_majority(
     netlist: &Netlist,
-    library: &CellLibrary,
+    library: &Technology,
 ) -> (Netlist, MajConversionReport) {
     let mut work = netlist.clone();
     let table = MappingTable::global();
@@ -328,8 +328,8 @@ mod tests {
     use aqfp_netlist::generators::{benchmark_circuit, kogge_stone_adder, Benchmark};
     use aqfp_netlist::simulate;
 
-    fn library() -> CellLibrary {
-        CellLibrary::mit_ll()
+    fn library() -> Technology {
+        Technology::mit_ll_sqf5ee()
     }
 
     /// AND(AND(a, b), c): a classic cone that a single majority cannot

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use aqfp_cells::{CellKind, CellLibrary};
+use aqfp_cells::{CellKind, Technology};
 use aqfp_netlist::{Netlist, NetlistStats};
 use serde::{Deserialize, Serialize};
 
@@ -72,37 +72,37 @@ impl SynthesizedNetlist {
 /// Insertion" boxes of the paper's Fig. 3).
 ///
 /// ```
-/// use aqfp_cells::CellLibrary;
+/// use aqfp_cells::Technology;
 /// use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 /// use aqfp_synth::Synthesizer;
 ///
-/// let synth = Synthesizer::new(CellLibrary::mit_ll());
+/// let synth = Synthesizer::new(Technology::mit_ll_sqf5ee());
 /// let result = synth.run(&benchmark_circuit(Benchmark::Apc32))?;
 /// println!("{}", result.stats);
 /// # Ok::<(), aqfp_synth::SynthesisError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
-    library: Arc<CellLibrary>,
+    technology: Arc<Technology>,
     options: SynthesisOptions,
 }
 
 impl Synthesizer {
     /// Creates a synthesizer with default options. Accepts either an owned
-    /// [`CellLibrary`] or a shared `Arc<CellLibrary>` (the flow driver shares
-    /// one library across all stages).
-    pub fn new(library: impl Into<Arc<CellLibrary>>) -> Self {
-        Self { library: library.into(), options: SynthesisOptions::default() }
+    /// [`Technology`] or a shared `Arc<Technology>` (the flow driver shares
+    /// one technology across all stages).
+    pub fn new(technology: impl Into<Arc<Technology>>) -> Self {
+        Self { technology: technology.into(), options: SynthesisOptions::default() }
     }
 
     /// Creates a synthesizer with explicit options.
-    pub fn with_options(library: impl Into<Arc<CellLibrary>>, options: SynthesisOptions) -> Self {
-        Self { library: library.into(), options }
+    pub fn with_options(technology: impl Into<Arc<Technology>>, options: SynthesisOptions) -> Self {
+        Self { technology: technology.into(), options }
     }
 
-    /// The cell library the synthesizer targets.
-    pub fn library(&self) -> &CellLibrary {
-        &self.library
+    /// The technology the synthesizer targets.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
     }
 
     /// The active options.
@@ -127,11 +127,11 @@ impl Synthesizer {
         }
 
         let maj_report = if self.options.majority_conversion {
-            let (converted, report) = maj::convert_to_majority(&current, &self.library);
+            let (converted, report) = maj::convert_to_majority(&current, &self.technology);
             current = converted;
             report
         } else {
-            let jj = current.jj_count(&self.library);
+            let jj = current.jj_count(&self.technology);
             MajConversionReport { jj_before: jj, jj_after: jj, ..Default::default() }
         };
         current.validate().map_err(SynthesisError::InternalRewrite)?;
@@ -143,7 +143,7 @@ impl Synthesizer {
         let balanced = balance::balance(&split);
         balanced.netlist.validate().map_err(SynthesisError::InternalRewrite)?;
 
-        let stats = balanced.netlist.stats(&self.library);
+        let stats = balanced.netlist.stats(&self.technology);
         Ok(SynthesizedNetlist {
             levels: balanced.levels,
             balance_report: balanced.report,
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn full_synthesis_of_adder8_is_legal() {
         let aoi = benchmark_circuit(Benchmark::Adder8);
-        let synth = Synthesizer::new(CellLibrary::mit_ll());
+        let synth = Synthesizer::new(Technology::mit_ll_sqf5ee());
         let result = synth.run(&aoi).expect("synthesis succeeds");
         assert!(result.is_path_balanced());
         assert!(result.respects_fanout_limit());
@@ -224,7 +224,8 @@ mod tests {
     #[test]
     fn synthesis_reports_buffer_and_splitter_counts() {
         let aoi = benchmark_circuit(Benchmark::Decoder);
-        let result = Synthesizer::new(CellLibrary::mit_ll()).run(&aoi).expect("synthesis succeeds");
+        let result =
+            Synthesizer::new(Technology::mit_ll_sqf5ee()).run(&aoi).expect("synthesis succeeds");
         assert!(result.splitter_report.splitters_inserted > 0, "decoder has heavy fan-out");
         assert!(result.balance_report.buffers_inserted > 0, "decoder paths are skewed");
         assert_eq!(result.stats.buffer_count, result.netlist.count_kind(CellKind::Buffer));
@@ -233,7 +234,7 @@ mod tests {
     #[test]
     fn disabling_majority_conversion_keeps_more_jjs() {
         let aoi = benchmark_circuit(Benchmark::Apc32);
-        let lib = CellLibrary::mit_ll();
+        let lib = Technology::mit_ll_sqf5ee();
         let with = Synthesizer::new(lib.clone()).run(&aoi).expect("ok");
         let without = Synthesizer::with_options(
             lib,
@@ -249,7 +250,7 @@ mod tests {
         let aoi = benchmark_circuit(Benchmark::Adder8);
         let options = SynthesisOptions { decompose_to_aoi: true, ..Default::default() };
         let result =
-            Synthesizer::with_options(CellLibrary::mit_ll(), options).run(&aoi).expect("ok");
+            Synthesizer::with_options(Technology::mit_ll_sqf5ee(), options).run(&aoi).expect("ok");
         assert!(simulate::equivalent_sampled(&aoi, &result.netlist, 64, 5).unwrap());
         assert_eq!(result.netlist.count_kind(CellKind::Xor), 0, "XOR cells are decomposed");
         assert_eq!(result.netlist.count_kind(CellKind::Nand), 0);
@@ -260,14 +261,14 @@ mod tests {
         let mut bad = Netlist::new("bad");
         let a = bad.add_input("a");
         bad.add_gate(CellKind::And, "g", vec![a]);
-        let err = Synthesizer::new(CellLibrary::mit_ll()).run(&bad).unwrap_err();
+        let err = Synthesizer::new(Technology::mit_ll_sqf5ee()).run(&bad).unwrap_err();
         assert!(matches!(err, SynthesisError::InvalidInput(_)));
     }
 
     #[test]
     fn levels_cover_every_gate() {
         let aoi = benchmark_circuit(Benchmark::Apc32);
-        let result = Synthesizer::new(CellLibrary::mit_ll()).run(&aoi).expect("ok");
+        let result = Synthesizer::new(Technology::mit_ll_sqf5ee()).run(&aoi).expect("ok");
         assert_eq!(result.levels.len(), result.netlist.gate_count());
         let max_level = *result.levels.iter().max().unwrap();
         assert!(max_level >= result.depth());

@@ -1,93 +1,23 @@
 //! Delay coefficients of the AQFP timing model.
+//!
+//! [`TimingConfig`] moved into `aqfp_cells` so a loadable
+//! [`Technology`](aqfp_cells::Technology) can bundle the delay coefficients
+//! with the rest of the process data; this module re-exports it so existing
+//! `aqfp_timing::config::TimingConfig` paths keep working.
 
-use aqfp_cells::FourPhaseClock;
-use serde::{Deserialize, Serialize};
-
-/// Coefficients of the AQFP timing model.
-///
-/// The defaults are calibrated so that a typical AQFP connection (a few
-/// hundred micrometers between adjacent rows) fits comfortably inside the
-/// 50 ps phase budget of a 5 GHz clock, while connections near the maximum
-/// wirelength start eating into the margin — the behaviour the paper's WNS
-/// numbers exhibit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TimingConfig {
-    /// Target four-phase clock.
-    pub clock: FourPhaseClock,
-    /// Fixed switching delay of an AQFP gate, in picoseconds.
-    pub gate_delay_ps: f64,
-    /// Signal propagation delay per micrometer of interconnect, in ps/µm.
-    pub wire_delay_ps_per_um: f64,
-    /// Clock arrival skew per micrometer of horizontal offset along the
-    /// clock propagation direction, in ps/µm.
-    pub clock_skew_ps_per_um: f64,
-    /// Exponent of the phase-dependent placement cost (the paper sets α = 2).
-    pub alpha: f64,
-}
-
-impl TimingConfig {
-    /// The configuration used throughout the paper's evaluation: 5 GHz clock
-    /// and MIT-LL-like interconnect delays.
-    pub fn paper_default() -> Self {
-        Self {
-            clock: FourPhaseClock::PAPER_DEFAULT,
-            gate_delay_ps: 8.0,
-            wire_delay_ps_per_um: 0.03,
-            clock_skew_ps_per_um: 0.004,
-            alpha: 2.0,
-        }
-    }
-
-    /// Phase budget in picoseconds (a quarter of the clock period).
-    pub fn phase_budget_ps(&self) -> f64 {
-        self.clock.phase_budget_ps()
-    }
-
-    /// Validates that every coefficient is physically meaningful.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first non-positive coefficient.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.gate_delay_ps < 0.0 {
-            return Err("gate delay must be non-negative".into());
-        }
-        if self.wire_delay_ps_per_um <= 0.0 {
-            return Err("wire delay must be positive".into());
-        }
-        if self.clock_skew_ps_per_um < 0.0 {
-            return Err("clock skew must be non-negative".into());
-        }
-        if self.alpha <= 0.0 {
-            return Err("alpha must be positive".into());
-        }
-        Ok(())
-    }
-}
-
-impl Default for TimingConfig {
-    fn default() -> Self {
-        Self::paper_default()
-    }
-}
+pub use aqfp_cells::timing::TimingConfig;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqfp_cells::Technology;
 
+    /// The coefficients the analyzer consumes are the ones the technology
+    /// carries — no separate copy of the defaults survives in this crate.
     #[test]
-    fn default_budget_is_50ps() {
-        let config = TimingConfig::default();
+    fn config_is_the_technology_field() {
+        let config = TimingConfig::paper_default();
+        assert_eq!(Technology::mit_ll_sqf5ee().timing, config);
         assert!((config.phase_budget_ps() - 50.0).abs() < 1e-9);
-        config.validate().expect("default config is valid");
-    }
-
-    #[test]
-    fn invalid_configs_are_rejected() {
-        let config = TimingConfig { wire_delay_ps_per_um: 0.0, ..TimingConfig::default() };
-        assert!(config.validate().is_err());
-
-        let config = TimingConfig { alpha: -1.0, ..TimingConfig::default() };
-        assert!(config.validate().is_err());
     }
 }

@@ -76,6 +76,13 @@ impl TimingAnalyzer {
         Self { config }
     }
 
+    /// Creates an analyzer using the delay coefficients of a technology —
+    /// the flow's way of constructing one, so the timing model can never
+    /// drift from the process the other stages target.
+    pub fn for_technology(technology: &aqfp_cells::Technology) -> Self {
+        Self::new(technology.timing)
+    }
+
     /// The analyzer's configuration.
     pub fn config(&self) -> &TimingConfig {
         &self.config

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|b| b.name() == requested)
         .ok_or_else(|| format!("unknown circuit `{requested}`"))?;
 
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     println!("synthesizing {benchmark} for the {} process...", library.rules().name);
     let synthesized = Synthesizer::new(library.clone()).run(&benchmark_circuit(benchmark))?;
     println!(

@@ -31,12 +31,14 @@ const FULL_ADDER: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Configure the flow with the builder API: MIT-LL process, SuperFlow
-    //    placer, default knobs — then open a staged session.
+    // 1. Configure the flow with the builder API: the built-in MIT-LL
+    //    technology (any `TechSpec` works here — a registry name, a dumped
+    //    tech file, or an inline `Technology` value), SuperFlow placer,
+    //    default knobs — then open a staged session.
     let config = FlowConfig::paper_default()
-        .with_process(aqfp_cells::Process::MitLl)
+        .with_tech(TechSpec::builtin(aqfp_cells::MIT_LL_SQF5EE))
         .with_placer(aqfp_place::PlacerKind::SuperFlow);
-    let mut session = FlowSession::new(config);
+    let mut session = FlowSession::new(config)?;
 
     // 2. Synthesis: majority conversion, splitters, path balancing
     //    (Table II columns).
@@ -53,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Placement: global + legalization + detailed, then buffer rows
     //    (Table III columns). The artifact could be checkpointed here with
     //    `placed.to_json()` and resumed in a later session.
-    let placed = session.place(synthesized);
+    let placed = session.place(synthesized)?;
     println!("-- placement (Table III columns) --");
     println!("  HPWL          : {:.0} um", placed.placement.hpwl_um);
     println!("  buffer lines  : {}", placed.placement.buffer_lines);
@@ -61,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Routing: layer-wise channel routing with space expansion
     //    (Table IV columns).
-    let routed = session.route(placed);
+    let routed = session.route(placed)?;
     println!("-- routing (Table IV columns) --");
     println!("  routed nets   : {}", routed.routing.stats.nets_routed);
     println!("  routed length : {:.0} um", routed.routing.stats.total_wirelength_um);
@@ -69,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Signoff: layout generation + DRC with incremental violation repair
     //    (only channels whose cells moved are rerouted).
-    let checked = session.check(routed);
+    let checked = session.check(routed)?;
     println!("-- signoff --");
     println!(
         "  DRC           : {} ({} repair iterations)",

@@ -13,7 +13,9 @@
 /// Convenience re-exports of the most frequently used items across the
 /// SuperFlow workspace.
 pub mod prelude {
-    pub use aqfp_cells::{AqfpCell, CellKind, CellLibrary, ProcessRules};
+    pub use aqfp_cells::{
+        AqfpCell, CellKind, CellLibrary, LayerMap, ProcessRules, Technology, TechnologyRegistry,
+    };
     pub use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
     pub use aqfp_netlist::{GateId, Netlist};
     pub use aqfp_place::PlacementEngine;
@@ -22,6 +24,6 @@ pub mod prelude {
     pub use aqfp_timing::TimingAnalyzer;
     pub use superflow::{
         Checked, Flow, FlowConfig, FlowObserver, FlowReport, FlowSession, FlowStage, Placed,
-        RepairScope, Routed, StageTimings, Synthesized,
+        RepairScope, Routed, StageTimings, Synthesized, TechSpec,
     };
 }

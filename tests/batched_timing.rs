@@ -8,7 +8,7 @@
 //! Table II rather than on random designs alone (see `tests/property.rs`
 //! for the property-based versions).
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::Technology;
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
 use aqfp_place::design::{NetIncidence, PlacedDesign};
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
@@ -23,7 +23,7 @@ use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
 /// timing model realistic, non-trivial coordinates without the cost of a
 /// full placement on the larger circuits).
 fn quick_legal_design(benchmark: Benchmark) -> PlacedDesign {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized = Synthesizer::new(library.clone())
         .run(&benchmark_circuit(benchmark))
         .expect("benchmark circuits synthesize");
@@ -59,7 +59,7 @@ fn analyze_batch_is_bit_identical_to_scalar_on_every_benchmark() {
 
 #[test]
 fn incremental_refresh_is_exact_on_a_fully_placed_design() {
-    let library = CellLibrary::mit_ll();
+    let library = Technology::mit_ll_sqf5ee();
     let synthesized =
         Synthesizer::new(library.clone()).run(&benchmark_circuit(Benchmark::Apc32)).expect("ok");
     let mut design =

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use aqfp_cells::CellLibrary;
+use aqfp_cells::{LayerMap, Technology};
 use aqfp_layout::DrcViolationKind;
 use aqfp_netlist::generators::{random_dag, RandomDagConfig};
 use aqfp_netlist::simulate;
@@ -43,7 +43,7 @@ proptest! {
     fn synthesis_invariants_hold_for_random_netlists(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let result = Synthesizer::new(library).run(&netlist).expect("synthesis succeeds");
 
         prop_assert!(result.respects_fanout_limit());
@@ -60,7 +60,7 @@ proptest! {
     fn majority_conversion_never_increases_jj_cost(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
 
         let with = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
         let without = Synthesizer::with_options(
@@ -86,7 +86,7 @@ proptest! {
     fn placement_pipeline_is_always_legal(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
 
         let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
@@ -111,7 +111,7 @@ proptest! {
     fn placed_nets_always_span_adjacent_phases(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
         let design = PlacedDesign::from_synthesized(&synthesized, &library);
         for net in &design.nets {
@@ -125,7 +125,7 @@ proptest! {
     fn batched_sta_matches_scalar_on_random_designs(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
         let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
         global_place(&mut design, &GlobalPlacementConfig { iterations: 40, ..Default::default() });
@@ -149,7 +149,7 @@ proptest! {
         let (config, seed) = input;
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
         let mut design = PlacedDesign::from_synthesized(&synthesized, &library);
 
@@ -192,10 +192,10 @@ proptest! {
         // Give pathological random designs room to converge; typical runs
         // need one or two iterations.
         flow_config.max_drc_iterations = 8;
-        let mut session = FlowSession::new(flow_config);
+        let mut session = FlowSession::new(flow_config).expect("session opens");
         let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
-        let placed = session.place(synthesized);
-        let mut routed = session.route(placed);
+        let placed = session.place(synthesized).expect("placement succeeds");
+        let mut routed = session.route(placed).expect("routing succeeds");
 
         // Stretch a seed-chosen driver far past the maximum wirelength.
         let moved = {
@@ -212,7 +212,7 @@ proptest! {
             "the stretch must create a violation"
         );
 
-        let checked = session.check(routed);
+        let checked = session.check(routed).expect("check succeeds");
         let design = &checked.routed.placed.placement.design;
         prop_assert_eq!(
             checked.drc.count(DrcViolationKind::MaxWirelength),
@@ -233,7 +233,7 @@ proptest! {
     fn detailed_placement_is_thread_count_invariant(config in dag_config()) {
         let netlist = random_dag(&config);
         prop_assume!(netlist.validate().is_ok());
-        let library = CellLibrary::mit_ll();
+        let library = Technology::mit_ll_sqf5ee();
         let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
         let mut base = PlacedDesign::from_synthesized(&synthesized, &library);
         global_place(&mut base, &GlobalPlacementConfig { iterations: 40, ..Default::default() });
@@ -252,5 +252,85 @@ proptest! {
         let serial_bits: Vec<u64> = serial.cells.iter().map(|c| c.x.to_bits()).collect();
         let parallel_bits: Vec<u64> = parallel.cells.iter().map(|c| c.x.to_bits()).collect();
         prop_assert_eq!(serial_bits, parallel_bits);
+    }
+}
+
+/// A randomized — but always valid — technology derived from the MIT-LL
+/// built-in: every scalar field of the rules, timing model and layer map is
+/// perturbed from a seed (the cell table keeps its standard geometry, with
+/// the grid restricted to divisors of 10 µm so the dimensions stay
+/// grid-multiples).
+fn perturbed_technology(seed: u64) -> Technology {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut tech = Technology::mit_ll_sqf5ee();
+    tech.name = format!("prop-tech-{:x}", next() % 0x1000);
+    tech.description = format!("randomized process {:x}", next() % 0x1000);
+
+    tech.rules.name = format!("rules {:x}", next() % 0x1000);
+    tech.rules.min_spacing = (next() % 400 + 1) as f64 / 10.0;
+    tech.rules.zigzag_spacing = (next() % 400 + 1) as f64 / 10.0;
+    tech.rules.max_wirelength = tech.rules.min_spacing + (next() % 8000) as f64 / 10.0;
+    tech.rules.grid = [1.0, 2.0, 5.0, 10.0][(next() % 4) as usize];
+    tech.rules.routing_layers = (next() % 4 + 1) as usize;
+    tech.rules.wire_width = (next() % 50 + 1) as f64 / 10.0;
+    tech.rules.via_size = (next() % 80 + 1) as f64 / 10.0;
+    tech.rules.min_metal_density = (next() % 50) as f64 / 100.0;
+    tech.rules.max_metal_density = tech.rules.min_metal_density + (next() % 50 + 1) as f64 / 100.0;
+    tech.rules.row_pitch = (next() % 30 + 1) as f64 * 10.0;
+
+    tech.timing.clock.frequency_ghz = (next() % 200 + 1) as f64 / 10.0;
+    tech.timing.gate_delay_ps = (next() % 300) as f64 / 10.0;
+    tech.timing.wire_delay_ps_per_um = (next() % 1000 + 1) as f64 / 10000.0;
+    tech.timing.clock_skew_ps_per_um = (next() % 100) as f64 / 10000.0;
+    tech.timing.alpha = (next() % 40 + 1) as f64 / 10.0;
+
+    let base = (next() % 250) as i16;
+    tech.layers = LayerMap {
+        outline: base,
+        jj: (base + 1) % 256,
+        pin: (base + 2) % 256,
+        metal1: (base + 3) % 256,
+        metal2: (base + 4) % 256,
+        label: (base + 5) % 256,
+    };
+    tech
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any technology that survives `validate()` round-trips through its
+    /// TOML (and JSON) file form bit-identically: same struct, same
+    /// fingerprint.
+    #[test]
+    fn valid_technologies_round_trip_through_toml_bit_identically(seed in any::<u64>()) {
+        let tech = perturbed_technology(seed);
+        prop_assert!(tech.validate().is_ok(), "perturbation must stay valid: {:?}", tech.validate());
+
+        let toml = tech.to_toml().expect("serializes to TOML");
+        let from_toml = Technology::from_toml(&toml).expect("TOML loads");
+        prop_assert_eq!(&from_toml, &tech, "TOML round trip must be exact");
+        prop_assert_eq!(from_toml.fingerprint(), tech.fingerprint());
+
+        let json = tech.to_json().expect("serializes to JSON");
+        let from_json = Technology::from_json(&json).expect("JSON loads");
+        prop_assert_eq!(&from_json, &tech, "JSON round trip must be exact");
+
+        // Bit-exactness of the float fields specifically (PartialEq would
+        // also pass for -0.0 vs 0.0; the file form must not even do that).
+        prop_assert_eq!(
+            from_toml.rules.max_wirelength.to_bits(),
+            tech.rules.max_wirelength.to_bits()
+        );
+        prop_assert_eq!(
+            from_toml.timing.wire_delay_ps_per_um.to_bits(),
+            tech.timing.wire_delay_ps_per_um.to_bits()
+        );
     }
 }

@@ -19,25 +19,25 @@ fn every_stage_checkpoint_resumes_to_identical_gds() {
     let netlist = benchmark_circuit(Benchmark::Adder8);
 
     // Uninterrupted reference run, snapshotting every stage artifact.
-    let mut session = FlowSession::new(fast_config());
+    let mut session = FlowSession::new(fast_config()).expect("session opens");
     let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
     let synth_json = synthesized.to_json().expect("serialize synthesized");
-    let placed = session.place(synthesized);
+    let placed = session.place(synthesized).expect("placement succeeds");
     let placed_json = placed.to_json().expect("serialize placed");
-    let routed = session.route(placed);
+    let routed = session.route(placed).expect("routing succeeds");
     let routed_json = routed.to_json().expect("serialize routed");
-    let checked = session.check(routed);
+    let checked = session.check(routed).expect("check succeeds");
     let checked_json = checked.to_json().expect("serialize checked");
     let reference = session.finish(checked);
     let reference_gds = reference.layout.to_gds_bytes();
 
     // Resume from the synthesis checkpoint: place → route → check → finish.
     {
-        let mut resumed = FlowSession::new(fast_config());
+        let mut resumed = FlowSession::new(fast_config()).expect("session opens");
         let synthesized = Synthesized::from_json(&synth_json).expect("checkpoint parses");
-        let placed = resumed.place(synthesized);
-        let routed = resumed.route(placed);
-        let checked = resumed.check(routed);
+        let placed = resumed.place(synthesized).expect("same-technology resume");
+        let routed = resumed.route(placed).expect("same-technology resume");
+        let checked = resumed.check(routed).expect("same-technology resume");
         let report = resumed.finish(checked);
         assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from synthesis");
         // A resumed session only times the stages it actually ran.
@@ -47,26 +47,26 @@ fn every_stage_checkpoint_resumes_to_identical_gds() {
 
     // Resume from the placement checkpoint: route → check → finish.
     {
-        let mut resumed = FlowSession::new(fast_config());
+        let mut resumed = FlowSession::new(fast_config()).expect("session opens");
         let placed = Placed::from_json(&placed_json).expect("checkpoint parses");
-        let routed = resumed.route(placed);
-        let checked = resumed.check(routed);
+        let routed = resumed.route(placed).expect("same-technology resume");
+        let checked = resumed.check(routed).expect("same-technology resume");
         let report = resumed.finish(checked);
         assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from placement");
     }
 
     // Resume from the routing checkpoint: check → finish.
     {
-        let mut resumed = FlowSession::new(fast_config());
+        let mut resumed = FlowSession::new(fast_config()).expect("session opens");
         let routed = Routed::from_json(&routed_json).expect("checkpoint parses");
-        let checked = resumed.check(routed);
+        let checked = resumed.check(routed).expect("same-technology resume");
         let report = resumed.finish(checked);
         assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from routing");
     }
 
     // Resume from the check checkpoint: finish only.
     {
-        let mut resumed = FlowSession::new(fast_config());
+        let mut resumed = FlowSession::new(fast_config()).expect("session opens");
         let checked = Checked::from_json(&checked_json).expect("checkpoint parses");
         let report = resumed.finish(checked);
         assert_eq!(report.layout.to_gds_bytes(), reference_gds, "resume from check");
@@ -124,11 +124,11 @@ fn incremental_repair_is_byte_identical_to_a_from_scratch_reroute() {
     let netlist = aqfp_netlist::parsers::parse_verilog(MAJORITY_VOTE).expect("valid Verilog");
     let iterations = Rc::new(RefCell::new(Vec::new()));
 
-    let mut session = FlowSession::new(fast_config());
+    let mut session = FlowSession::new(fast_config()).expect("session opens");
     session.add_observer(Box::new(RepairWatch(Rc::clone(&iterations))));
     let synthesized = session.synthesize(&netlist).expect("synthesis succeeds");
-    let placed = session.place(synthesized);
-    let mut routed = session.route(placed);
+    let placed = session.place(synthesized).expect("placement succeeds");
+    let mut routed = session.route(placed).expect("routing succeeds");
 
     // Sabotage the placement *after* routing: drop one cell exactly onto its
     // left-hand row neighbour. The overlap is a CellSpacing violation the
@@ -154,7 +154,7 @@ fn incremental_repair_is_byte_identical_to_a_from_scratch_reroute() {
     routed.mark_cell_moved(victim);
     assert!(routed.is_dirty());
 
-    let checked = session.check(routed);
+    let checked = session.check(routed).expect("check succeeds");
 
     // The repair loop must have run at least once, and at least one
     // iteration must have rerouted a bounded dirty set rather than the
@@ -173,7 +173,7 @@ fn incremental_repair_is_byte_identical_to_a_from_scratch_reroute() {
 
     // Byte-identical guarantee: rerouting the repaired design from scratch
     // gives exactly the routing the incremental loop produced.
-    let library = Arc::clone(session.library());
+    let library = Arc::clone(session.technology());
     let router = Router::with_config(library, session.config().router);
     let scratch = router.route(&checked.routed.placed.placement.design);
     assert_eq!(scratch, checked.routed.routing);
@@ -199,20 +199,20 @@ fn buffer_row_repair_is_incremental_and_byte_identical() {
 
     for benchmark in [Benchmark::Adder8, Benchmark::C432, Benchmark::Apc32] {
         let iterations = Rc::new(RefCell::new(Vec::new()));
-        let mut session = FlowSession::new(fast_config());
+        let mut session = FlowSession::new(fast_config()).expect("session opens");
         session.add_observer(Box::new(RepairWatch(Rc::clone(&iterations))));
         let synthesized =
             session.synthesize(&benchmark_circuit(benchmark)).expect("synthesis succeeds");
-        let placed = session.place(synthesized);
+        let placed = session.place(synthesized).expect("placement succeeds");
         let rows_before = placed.design().rows.len();
-        let routed = session.route(placed);
+        let routed = session.route(placed).expect("routing succeeds");
         assert!(
             !routed.design().max_wirelength_violations().is_empty(),
             "{benchmark:?} must reach check with max-wirelength residuals \
              for this test to exercise the buffer-row branch"
         );
 
-        let checked = session.check(routed);
+        let checked = session.check(routed).expect("check succeeds");
 
         // The buffer-row branch ran (rows were inserted) and every repair
         // iteration stayed incremental.
@@ -237,7 +237,7 @@ fn buffer_row_repair_is_incremental_and_byte_identical() {
         );
         // Byte-identical guarantee, end to end: routing, GDS and timing all
         // equal a from-scratch run over the repaired design.
-        let library = Arc::clone(session.library());
+        let library = Arc::clone(session.technology());
         let router = Router::with_config(Arc::clone(&library), session.config().router);
         let scratch_routing = router.route(design);
         assert_eq!(scratch_routing, checked.routed.routing, "{benchmark:?}: routing matches");
@@ -255,7 +255,7 @@ fn buffer_row_repair_is_incremental_and_byte_identical() {
             "{benchmark:?}: GDS bytes match a from-scratch layout generation"
         );
 
-        let analyzer = TimingAnalyzer::new(session.config().placement.timing);
+        let analyzer = TimingAnalyzer::for_technology(session.technology());
         let fresh = analyzer.analyze(&design.to_placed_nets(), design.layer_width().max(1.0));
         let incremental = &checked.routed.placed.placement.timing;
         assert_eq!(
