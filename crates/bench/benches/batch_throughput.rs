@@ -1,0 +1,76 @@
+//! Batch-driver throughput benches, introduced together with the
+//! fault-isolated `superflow batch` runner:
+//!
+//! * `batch_throughput` — a two-design batch (`adder8` + `c432`, fast
+//!   config) at one worker vs two: the speedup measures how well designs
+//!   parallelize across workers once per-design stages are forced serial;
+//! * `batch_resume` — the same single-design batch cold vs over a fully
+//!   populated journal: the `journal_hit` row resumes from the `check`
+//!   checkpoint (4 stages skipped) and bounds the restart cost of a killed
+//!   nightly run.
+//!
+//! Fault injection is off in all rows — these measure the fault *boundary*
+//! overhead-free happy path, not the faults themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use superflow::{BatchConfig, BatchJob, BatchRunner, FlowConfig};
+
+fn two_design_jobs() -> Vec<BatchJob> {
+    vec![BatchJob::from_input("adder8"), BatchJob::from_input("c432")]
+}
+
+fn run(config: BatchConfig, jobs: &[BatchJob]) -> usize {
+    let report = BatchRunner::new(config).run(jobs).expect("benchmark batches run");
+    assert_eq!(report.failed(), 0, "benchmark batches must not fail");
+    report.checkpoint_hits
+}
+
+fn batch_throughput(criterion: &mut Criterion) {
+    let jobs = two_design_jobs();
+    let mut group = criterion.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |bencher, &workers| {
+                bencher.iter(|| {
+                    run(BatchConfig::new(FlowConfig::fast()).with_workers(workers), &jobs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn batch_resume(criterion: &mut Criterion) {
+    let jobs = vec![BatchJob::from_input("adder8")];
+    let journal =
+        std::env::temp_dir().join(format!("superflow_bench_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    let mut group = criterion.benchmark_group("batch_resume");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("cold"), |bencher| {
+        bencher.iter(|| run(BatchConfig::new(FlowConfig::fast()).with_workers(1), &jobs));
+    });
+
+    // Seed the journal once; every resumed iteration rewrites the same
+    // checkpoints, so the journal stays warm across samples.
+    let seeded = BatchConfig::new(FlowConfig::fast()).with_workers(1).with_journal_dir(&journal);
+    assert_eq!(run(seeded.clone(), &jobs), 0, "seeding run starts cold");
+    group.bench_function(BenchmarkId::from_parameter("journal_hit"), |bencher| {
+        bencher.iter(|| {
+            let hits = run(seeded.clone(), &jobs);
+            assert_eq!(hits, 4, "a warm journal skips all four stages");
+            hits
+        });
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+criterion_group!(benches, batch_throughput, batch_resume);
+criterion_main!(benches);

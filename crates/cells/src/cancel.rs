@@ -1,0 +1,178 @@
+//! Cooperative cancellation for long-running engine loops.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle the flow driver threads
+//! into the hot loops of the global/detailed placers, the channel router and
+//! the DRC checker. The engines poll [`CancelToken::is_cancelled`] at their
+//! loop boundaries (once per gradient iteration, per sweep pass, per channel
+//! expansion round, …) and bail out early when it fires, so a per-stage
+//! wall-clock deadline actually aborts work instead of waiting for the stage
+//! to finish on its own.
+//!
+//! Cancellation is *cooperative and advisory*: an engine that observes a
+//! fired token returns whatever partial result it has, and the caller (the
+//! flow session) is responsible for discarding that partial result and
+//! reporting the cancellation. The engines themselves stay infallible.
+//!
+//! The default token ([`CancelToken::none`]) carries no state and its
+//! `is_cancelled` is a constant `false`, so un-instrumented callers pay a
+//! single branch per poll.
+//!
+//! ```
+//! use aqfp_cells::cancel::{CancelReason, CancelToken};
+//! use std::time::Duration;
+//!
+//! let token = CancelToken::new();
+//! assert!(!token.is_cancelled());
+//! token.cancel();
+//! assert_eq!(token.reason(), Some(CancelReason::Cancelled));
+//!
+//! // A zero deadline is already expired when first polled.
+//! let deadline = CancelToken::with_deadline(Duration::ZERO);
+//! assert!(deadline.is_cancelled());
+//! assert_eq!(deadline.reason(), Some(CancelReason::DeadlineExceeded));
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called explicitly.
+    Cancelled,
+    /// The token's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct CancelInner {
+    /// `LIVE`, `CANCELLED` or `DEADLINE`; latches once set so every
+    /// observer sees the same reason.
+    state: AtomicU8,
+    /// Wall-clock deadline, checked lazily on each poll.
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires; polling it is a single branch.
+    pub fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self { inner: Some(Arc::new(CancelInner { state: AtomicU8::new(LIVE), deadline: None })) }
+    }
+
+    /// A token that fires once `budget` of wall-clock time has elapsed (and
+    /// can still be fired earlier via [`CancelToken::cancel`]).
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Some(Arc::new(CancelInner {
+                state: AtomicU8::new(LIVE),
+                deadline: Some(Instant::now() + budget),
+            })),
+        }
+    }
+
+    /// Fires the token explicitly. A token whose deadline already fired
+    /// keeps its deadline reason.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            let _ =
+                inner.state.compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has fired (explicitly or by deadline). The result
+    /// latches: once `true`, it stays `true`.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else { return false };
+        if inner.state.load(Ordering::Relaxed) != LIVE {
+            return true;
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                let _ = inner.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Why the token fired, or `None` while it is still live.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.inner.as_ref()?.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(CancelReason::Cancelled),
+            DEADLINE => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_token_never_fires() {
+        let token = CancelToken::none();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), None);
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_latches_and_is_shared_by_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.reason(), Some(CancelReason::Cancelled));
+        // Latching: stays cancelled.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn a_zero_deadline_is_expired_immediately() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+        // Cancelling afterwards does not overwrite the deadline reason.
+        token.cancel();
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn a_generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), None);
+        // …but an explicit cancel still works on a deadline token.
+        token.cancel();
+        assert_eq!(token.reason(), Some(CancelReason::Cancelled));
+    }
+}

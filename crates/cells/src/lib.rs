@@ -38,6 +38,7 @@
 //! assert_eq!(Technology::from_toml(&dumped).unwrap(), tech);
 //! ```
 
+pub mod cancel;
 pub mod cell;
 pub mod clocking;
 pub mod energy;
@@ -49,6 +50,7 @@ pub mod technology;
 pub mod timing;
 pub mod toml;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use cell::{AqfpCell, CellKind, PinDirection, PinGeometry};
 pub use clocking::{ClockPhase, FourPhaseClock};
 pub use energy::EnergyModel;

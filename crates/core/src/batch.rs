@@ -1,0 +1,1043 @@
+//! Fault-isolated multi-design batch driver.
+//!
+//! [`BatchRunner`] pushes N designs through the full RTL-to-GDS flow on M
+//! worker threads, sharing one resolved [`Technology`] across every design.
+//! What distinguishes it from a shell loop over `superflow <design>` is the
+//! *fault boundary* drawn around each design:
+//!
+//! - **Panic isolation.** Every stage call runs under
+//!   [`std::panic::catch_unwind`], so a placer assertion or an injected
+//!   panic in one design becomes a classified [`DesignStatus::Failed`]
+//!   entry in the [`BatchReport`] while the remaining designs keep running.
+//! - **Deadlines.** An optional per-stage wall-clock budget is enforced
+//!   through the cooperative [`CancelToken`] threaded into the hot loops of
+//!   the placers, the router and the DRC-repair loop — a stage that blows
+//!   its budget actually stops working (at its next loop boundary), rather
+//!   than being abandoned on a zombie thread.
+//! - **Degraded retry.** A failed or timed-out design is re-run once under
+//!   [`FlowConfig::degraded`] (strictly serial stages, doubled DRC-repair
+//!   budget) before it is classified `Failed`; a design rescued this way is
+//!   classified [`DesignStatus::Degraded`].
+//! - **Crash-safe resume.** With a journal directory configured, every
+//!   completed stage checkpoints its artifact JSON atomically
+//!   (write-to-temp, then rename) under `<journal>/<design>/<stage>.json`.
+//!   A killed batch re-run over the same journal resumes each design from
+//!   its newest intact checkpoint, and the flow's determinism makes the
+//!   resumed GDS byte-identical to an uninterrupted run. A checkpoint that
+//!   is truncated, corrupt, or from a different technology fails that
+//!   design loudly ([`FlowError::Checkpoint`] /
+//!   [`FlowError::TechnologyMismatch`] with the file path) instead of
+//!   silently recomputing or — worse — resuming garbage; the degraded
+//!   retry, which always starts from scratch, can still rescue it.
+//!
+//! # Fault model
+//!
+//! The failure modes the boundary is designed around, and how each is
+//! surfaced:
+//!
+//! | fault                        | detection                        | classification |
+//! |------------------------------|----------------------------------|----------------|
+//! | stage panic                  | `catch_unwind` per stage         | `Failed` (stage, panic message) |
+//! | stage over deadline          | `CancelToken` deadline           | `Failed` (stage, deadline error) |
+//! | corrupt / truncated journal  | strict checkpoint validation     | `Failed` (checkpoint stage, path + cause) |
+//! | journal from another PDK     | technology fingerprint check     | `Failed` (`TechnologyMismatch`) |
+//! | unreadable input / bad parse | typed [`crate::input`] errors    | `Failed` (no stage, error chain) |
+//!
+//! Each of these is reproducible on demand through the [`FaultPlan`]
+//! injection hook — `panic:adder8:placement` panics at the placement stage
+//! of `adder8`, `deadline:c432:routing` arms a zero-second deadline, and
+//! `truncate:apc32:synthesis` truncates the synthesis checkpoint after it
+//! is written (so the *next* run over the journal hits a torn file).
+//! Injected faults fire on the first attempt only, which is what makes the
+//! degraded-retry path testable: the retry runs fault-free and rescues the
+//! design.
+//!
+//! ```no_run
+//! use superflow::{BatchConfig, BatchJob, BatchRunner, FlowConfig};
+//!
+//! let config = BatchConfig::new(FlowConfig::fast())
+//!     .with_journal_dir("runs/nightly")
+//!     .with_stage_timeout_s(120.0);
+//! let jobs = [BatchJob::from_input("adder8"), BatchJob::from_input("designs/alu.v")];
+//! let report = BatchRunner::new(config).run(&jobs)?;
+//! println!("{}", report.render());
+//! assert!(report.failed() == 0);
+//! # Ok::<(), superflow::FlowError>(())
+//! ```
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+use aqfp_cells::{CancelToken, Technology};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlowConfig;
+use crate::error::FlowError;
+use crate::input::{design_name, load_netlist};
+use crate::report::FlowReport;
+use crate::session::{Checked, FlowSession, FlowStage, Placed, Routed, Synthesized};
+
+/// One design in a batch: a display name and the input it loads from (a
+/// benchmark name or a netlist file path — see [`crate::input`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Display name; also the journal subdirectory and GDS file stem.
+    pub name: String,
+    /// The input spec passed to [`load_netlist`].
+    pub input: String,
+}
+
+impl BatchJob {
+    /// A job named after its input (`designs/alu.v` → `alu`).
+    pub fn from_input(input: impl Into<String>) -> Self {
+        let input = input.into();
+        BatchJob { name: design_name(&input), input }
+    }
+}
+
+/// What an injected fault does. See the [module docs](self) for the fault
+/// model each kind exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the start of the stage (exercises `catch_unwind`
+    /// isolation).
+    Panic,
+    /// Arm a zero-second deadline for the stage (exercises cooperative
+    /// cancellation; the stage aborts at its first token poll).
+    ZeroDeadline,
+    /// Truncate the stage's checkpoint file to half its bytes after it is
+    /// written (exercises strict resume validation on the *next* run).
+    TruncateCheckpoint,
+}
+
+impl FaultKind {
+    fn parse(text: &str) -> Option<FaultKind> {
+        match text {
+            "panic" => Some(FaultKind::Panic),
+            "deadline" => Some(FaultKind::ZeroDeadline),
+            "truncate" => Some(FaultKind::TruncateCheckpoint),
+            _ => None,
+        }
+    }
+}
+
+/// One deterministic injected fault: `kind` fires at `stage` of the design
+/// named `design`, on the first attempt only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The [`BatchJob::name`] the fault targets.
+    pub design: String,
+    /// The stage the fault fires at.
+    pub stage: FlowStage,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Parses a `kind:design:stage` spec, e.g. `panic:adder8:placement`,
+    /// `deadline:c432:routing`, `truncate:apc32:synthesis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the malformed part.
+    pub fn parse(spec: &str) -> Result<Fault, String> {
+        let mut parts = spec.splitn(3, ':');
+        let (kind, design, stage) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(kind), Some(design), Some(stage)) => (kind, design, stage),
+            _ => {
+                return Err(format!(
+                    "fault spec `{spec}` is not of the form kind:design:stage \
+                     (e.g. panic:adder8:placement)"
+                ))
+            }
+        };
+        let kind = FaultKind::parse(kind).ok_or_else(|| {
+            format!("unknown fault kind `{kind}` in `{spec}`: expected panic, deadline or truncate")
+        })?;
+        let stage = FlowStage::parse(stage).ok_or_else(|| {
+            format!(
+                "unknown stage `{stage}` in `{spec}`: expected {}",
+                FlowStage::ALL.map(|s| s.name()).join(", ")
+            )
+        })?;
+        Ok(Fault { design: design.to_owned(), stage, kind })
+    }
+}
+
+/// A deterministic fault-injection plan: the set of [`Fault`]s a batch run
+/// fires on first attempts. Empty by default (production runs inject
+/// nothing); built from CLI `--fault` specs or directly in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether a fault of `kind` is planned for `stage` of `design`.
+    pub fn matches(&self, design: &str, stage: FlowStage, kind: FaultKind) -> bool {
+        self.faults.iter().any(|f| f.design == design && f.stage == stage && f.kind == kind)
+    }
+}
+
+/// Configuration of a batch run; start from [`BatchConfig::new`] and chain
+/// the builders.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// The per-design flow configuration (technology, placer, stage
+    /// options). When the batch runs more than one worker and this config
+    /// leaves the stage thread count on auto (`0`), each design is forced
+    /// to serial stages so designs parallelize across workers instead of
+    /// oversubscribing every core per design.
+    pub flow: FlowConfig,
+    /// Worker threads pulling designs off the shared queue; `0` uses every
+    /// available core (capped at the job count).
+    pub workers: usize,
+    /// Per-stage wall-clock budget; `None` runs without deadlines.
+    pub stage_timeout: Option<Duration>,
+    /// Re-run a failed design once under [`FlowConfig::degraded`] before
+    /// classifying it [`DesignStatus::Failed`]. On by default.
+    pub retry_degraded: bool,
+    /// Journal directory for per-design stage checkpoints; `None` disables
+    /// journaling (and therefore resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Directory final GDS files are written to (`<name>.gds`); `None`
+    /// keeps the layouts in memory only.
+    pub output_dir: Option<PathBuf>,
+    /// Deterministic fault injection (testing hook); empty in production.
+    pub faults: FaultPlan,
+}
+
+impl BatchConfig {
+    /// A batch configuration around a flow configuration: auto worker
+    /// count, no deadlines, degraded retry on, no journal, no GDS output,
+    /// no faults.
+    pub fn new(flow: FlowConfig) -> Self {
+        BatchConfig {
+            flow,
+            workers: 0,
+            stage_timeout: None,
+            retry_degraded: true,
+            journal_dir: None,
+            output_dir: None,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-stage wall-clock budget in seconds.
+    pub fn with_stage_timeout_s(mut self, seconds: f64) -> Self {
+        self.stage_timeout = Some(Duration::from_secs_f64(seconds.max(0.0)));
+        self
+    }
+
+    /// Enables or disables the degraded retry.
+    pub fn with_retry_degraded(mut self, retry: bool) -> Self {
+        self.retry_degraded = retry;
+        self
+    }
+
+    /// Sets the journal directory for stage checkpoints and resume.
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the directory final GDS files are written to.
+    pub fn with_output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// How one design ended up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DesignStatus {
+    /// The flow completed on the first attempt.
+    Succeeded,
+    /// The first attempt failed, but the degraded retry completed.
+    Degraded,
+    /// Every attempt failed.
+    Failed {
+        /// The failure, rendered with its full `source()` chain. When the
+        /// degraded retry also failed, both failures are included.
+        error: String,
+        /// The [`FlowStage::name`] the failure is attributed to; `None`
+        /// when it struck outside any stage (e.g. loading the input).
+        stage: Option<String>,
+        /// How many attempts were made (1, or 2 with degraded retry).
+        attempts: usize,
+    },
+}
+
+impl DesignStatus {
+    /// Short lowercase label (`succeeded` / `degraded` / `failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignStatus::Succeeded => "succeeded",
+            DesignStatus::Degraded => "degraded",
+            DesignStatus::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// One design's row in the [`BatchReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// The design ([`BatchJob::name`]).
+    pub name: String,
+    /// How it ended up.
+    pub status: DesignStatus,
+    /// Attempts made (1, or 2 when the degraded retry ran).
+    pub attempts: usize,
+    /// Wall-clock seconds spent on this design across all attempts.
+    pub wall_s: f64,
+    /// The [`FlowStage::name`] of the newest journal checkpoint the design
+    /// resumed from; `None` when it ran from the netlist.
+    pub resumed_from: Option<String>,
+    /// Stages skipped thanks to journal checkpoints (0–4).
+    pub checkpoint_hits: usize,
+}
+
+/// The structured result of a batch run. Serde round-trippable
+/// ([`BatchReport::to_json`] / [`BatchReport::from_json`]), so CI and
+/// scripts can assert on classifications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Per-design outcomes, in job order (independent of which worker
+    /// finished first).
+    pub designs: Vec<DesignReport>,
+    /// Worker threads the batch ran with.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// Total stages skipped thanks to journal checkpoints.
+    pub checkpoint_hits: usize,
+}
+
+impl BatchReport {
+    /// Designs that completed on the first attempt.
+    pub fn succeeded(&self) -> usize {
+        self.designs.iter().filter(|d| d.status == DesignStatus::Succeeded).count()
+    }
+
+    /// Designs rescued by the degraded retry.
+    pub fn degraded(&self) -> usize {
+        self.designs.iter().filter(|d| d.status == DesignStatus::Degraded).count()
+    }
+
+    /// Designs that failed every attempt.
+    pub fn failed(&self) -> usize {
+        self.designs.iter().filter(|d| matches!(d.status, DesignStatus::Failed { .. })).count()
+    }
+
+    /// Serializes the report to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String, FlowError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| FlowError::Checkpoint(format!("cannot serialize batch report: {e}")))
+    }
+
+    /// Restores a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] when the text does not parse.
+    pub fn from_json(text: &str) -> Result<Self, FlowError> {
+        serde_json::from_str(text)
+            .map_err(|e| FlowError::Checkpoint(format!("cannot parse batch report: {e}")))
+    }
+
+    /// Renders the report as the human-readable table the CLI prints.
+    pub fn render(&self) -> String {
+        let width = self.designs.iter().map(|d| d.name.len()).max().unwrap_or(4).max(4);
+        let mut out = format!(
+            "batch: {} design(s) on {} worker(s) in {:.1}s — {} succeeded, {} degraded, {} \
+             failed, {} checkpoint hit(s)\n",
+            self.designs.len(),
+            self.workers,
+            self.wall_s,
+            self.succeeded(),
+            self.degraded(),
+            self.failed(),
+            self.checkpoint_hits,
+        );
+        for design in &self.designs {
+            let resumed = match &design.resumed_from {
+                Some(stage) => format!(", resumed from {stage}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:<width$}  {:<9}  {} attempt(s), {:.1}s{resumed}\n",
+                design.name,
+                design.status.label(),
+                design.attempts,
+                design.wall_s,
+            ));
+            if let DesignStatus::Failed { error, stage, .. } = &design.status {
+                let at = match stage {
+                    Some(stage) => format!(" at {stage}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!("  {:<width$}  error{at}: {error}\n", ""));
+            }
+        }
+        out
+    }
+}
+
+/// Renders an error with its full `source()` chain, one `caused by:` hop
+/// per line-less segment. Shared by the batch classifier and the CLI.
+pub fn error_chain(error: &dyn std::error::Error) -> String {
+    let mut out = error.to_string();
+    let mut source = error.source();
+    while let Some(cause) = source {
+        out.push_str(&format!("; caused by: {cause}"));
+        source = cause.source();
+    }
+    out
+}
+
+/// A failure inside one attempt, attributed to a stage when one was
+/// running.
+#[derive(Debug, Clone)]
+struct StageFailure {
+    stage: Option<FlowStage>,
+    error: String,
+}
+
+/// What a successful attempt reports back.
+struct AttemptSuccess {
+    resumed_from: Option<FlowStage>,
+    checkpoint_hits: usize,
+}
+
+/// The newest intact journal checkpoint a design resumes from.
+enum Resume {
+    None,
+    Synthesized(Synthesized),
+    Placed(Placed),
+    Routed(Routed),
+    Checked(Checked),
+}
+
+thread_local! {
+    /// Set while an expected (fault-boundary) `catch_unwind` region runs on
+    /// this worker, so the panic hook stays quiet: the payload is captured
+    /// and classified in the report instead of spamming stderr mid-batch.
+    static SILENT_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for panics the batch fault boundary is about to catch,
+/// chaining to the previous hook for every other panic.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENT_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind`, returning the panic payload as a string.
+fn catch_stage_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_panic_hook();
+    SILENT_PANICS.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SILENT_PANICS.with(|s| s.set(false));
+    result.map_err(|payload| {
+        if let Some(message) = payload.downcast_ref::<&str>() {
+            (*message).to_owned()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    })
+}
+
+/// The checkpoint file name of a stage artifact.
+fn checkpoint_file(stage: FlowStage) -> String {
+    format!("{}.json", stage.name())
+}
+
+/// Writes `text` to `path` atomically: to a temporary sibling first, then
+/// renamed into place, so a crash mid-write can never leave a half-written
+/// checkpoint under the final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FlowError> {
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| FlowError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Executes [`BatchConfig`] over a slice of [`BatchJob`]s; see the
+/// [module docs](self) for the fault boundary it maintains around each
+/// design.
+#[derive(Debug)]
+pub struct BatchRunner {
+    config: BatchConfig,
+}
+
+impl BatchRunner {
+    /// Creates a runner for a batch configuration.
+    pub fn new(config: BatchConfig) -> Self {
+        BatchRunner { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Runs every job to a classification. Designs are pulled off a shared
+    /// work-stealing queue by `workers` threads over one shared resolved
+    /// technology; a design failing (panic, deadline, corrupt checkpoint,
+    /// bad input) never stops the others.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for batch-level problems that make every
+    /// design unrunnable: an unresolvable technology
+    /// ([`FlowError::Technology`]) or an uncreatable journal/output
+    /// directory ([`FlowError::Io`]). Per-design failures are
+    /// classifications in the report, not errors.
+    pub fn run(&self, jobs: &[BatchJob]) -> Result<BatchReport, FlowError> {
+        let start = Instant::now();
+        let technology = self.config.flow.resolve_technology()?;
+        let workers = effective_workers(self.config.workers, jobs.len());
+        for dir in [&self.config.journal_dir, &self.config.output_dir].into_iter().flatten() {
+            std::fs::create_dir_all(dir).map_err(|e| FlowError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        // With several designs in flight, per-design stages run serial by
+        // default: the batch parallelizes across designs, and N workers ×
+        // all-cores stage threads would oversubscribe every core.
+        let flow = if workers > 1 && self.config.flow.threads() == 0 {
+            self.config.flow.clone().with_threads(1)
+        } else {
+            self.config.flow.clone()
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<DesignReport>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let report = self.run_design(job, &flow, &technology);
+                    *slots[index].lock().expect("slot lock") = Some(report);
+                });
+            }
+        });
+        let designs: Vec<DesignReport> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("every job slot is filled"))
+            .collect();
+        let checkpoint_hits = designs.iter().map(|d| d.checkpoint_hits).sum();
+        Ok(BatchReport { designs, workers, wall_s: start.elapsed().as_secs_f64(), checkpoint_hits })
+    }
+
+    /// Runs one design to a classification: attempt 1 (faults armed,
+    /// journal resume), then — if that failed and retry is on — the
+    /// degraded attempt 2 (fault-free, from scratch).
+    fn run_design(
+        &self,
+        job: &BatchJob,
+        flow: &FlowConfig,
+        technology: &Arc<Technology>,
+    ) -> DesignReport {
+        let start = Instant::now();
+        let first = self.run_attempt(job, flow.clone(), technology, 1);
+        let (status, attempts, resumed_from, checkpoint_hits) = match first {
+            Ok(success) => {
+                (DesignStatus::Succeeded, 1, success.resumed_from, success.checkpoint_hits)
+            }
+            Err(failure) if self.config.retry_degraded => {
+                match self.run_attempt(job, flow.clone().degraded(), technology, 2) {
+                    Ok(_) => (DesignStatus::Degraded, 2, None, 0),
+                    Err(retry_failure) => (
+                        DesignStatus::Failed {
+                            error: format!(
+                                "{}; degraded retry also failed: {}",
+                                failure.error, retry_failure.error
+                            ),
+                            stage: failure.stage.map(|s| s.name().to_owned()),
+                            attempts: 2,
+                        },
+                        2,
+                        None,
+                        0,
+                    ),
+                }
+            }
+            Err(failure) => (
+                DesignStatus::Failed {
+                    error: failure.error,
+                    stage: failure.stage.map(|s| s.name().to_owned()),
+                    attempts: 1,
+                },
+                1,
+                None,
+                0,
+            ),
+        };
+        DesignReport {
+            name: job.name.clone(),
+            status,
+            attempts,
+            wall_s: start.elapsed().as_secs_f64(),
+            resumed_from: resumed_from.map(|s| s.name().to_owned()),
+            checkpoint_hits,
+        }
+    }
+
+    /// One attempt at one design: resume from the newest intact journal
+    /// checkpoint (attempt 1 only), run the remaining stages inside the
+    /// fault boundary, checkpoint each, and write the final GDS.
+    fn run_attempt(
+        &self,
+        job: &BatchJob,
+        flow: FlowConfig,
+        technology: &Arc<Technology>,
+        attempt: usize,
+    ) -> Result<AttemptSuccess, StageFailure> {
+        let mut session = FlowSession::with_technology(flow, Arc::clone(technology));
+        let journal = self.config.journal_dir.as_ref().map(|dir| dir.join(&job.name));
+        if let Some(dir) = &journal {
+            std::fs::create_dir_all(dir).map_err(|e| StageFailure {
+                stage: None,
+                error: format!("cannot create journal directory `{}`: {e}", dir.display()),
+            })?;
+        }
+        // The degraded retry diagnoses "did the *flow* fail" — it always
+        // recomputes from scratch rather than resuming the journal that may
+        // itself be the problem (it still refreshes the checkpoints it
+        // passes).
+        let resume = if attempt == 1 {
+            self.load_resume(journal.as_deref(), &session)?
+        } else {
+            Resume::None
+        };
+        let mut resumed_from = None;
+        let mut checkpoint_hits = 0;
+
+        let checked = match resume {
+            Resume::Checked(checked) => {
+                resumed_from = Some(FlowStage::Check);
+                checkpoint_hits = 4;
+                checked
+            }
+            resume => {
+                let routed = match resume {
+                    Resume::Routed(routed) => {
+                        resumed_from = Some(FlowStage::Routing);
+                        checkpoint_hits = 3;
+                        routed
+                    }
+                    resume => {
+                        let placed = match resume {
+                            Resume::Placed(placed) => {
+                                resumed_from = Some(FlowStage::Placement);
+                                checkpoint_hits = 2;
+                                placed
+                            }
+                            resume => {
+                                let synthesized = match resume {
+                                    Resume::Synthesized(synthesized) => {
+                                        resumed_from = Some(FlowStage::Synthesis);
+                                        checkpoint_hits = 1;
+                                        synthesized
+                                    }
+                                    _ => {
+                                        let netlist = load_netlist(&job.input).map_err(|e| {
+                                            StageFailure { stage: None, error: error_chain(&e) }
+                                        })?;
+                                        let synthesized = self.run_stage(
+                                            &mut session,
+                                            &job.name,
+                                            FlowStage::Synthesis,
+                                            attempt,
+                                            |session| session.synthesize(&netlist),
+                                        )?;
+                                        self.write_checkpoint(
+                                            journal.as_deref(),
+                                            &job.name,
+                                            FlowStage::Synthesis,
+                                            attempt,
+                                            synthesized.to_json(),
+                                        )?;
+                                        synthesized
+                                    }
+                                };
+                                let placed = self.run_stage(
+                                    &mut session,
+                                    &job.name,
+                                    FlowStage::Placement,
+                                    attempt,
+                                    |session| session.place(synthesized),
+                                )?;
+                                self.write_checkpoint(
+                                    journal.as_deref(),
+                                    &job.name,
+                                    FlowStage::Placement,
+                                    attempt,
+                                    placed.to_json(),
+                                )?;
+                                placed
+                            }
+                        };
+                        let routed = self.run_stage(
+                            &mut session,
+                            &job.name,
+                            FlowStage::Routing,
+                            attempt,
+                            |session| session.route(placed),
+                        )?;
+                        self.write_checkpoint(
+                            journal.as_deref(),
+                            &job.name,
+                            FlowStage::Routing,
+                            attempt,
+                            routed.to_json(),
+                        )?;
+                        routed
+                    }
+                };
+                let checked = self.run_stage(
+                    &mut session,
+                    &job.name,
+                    FlowStage::Check,
+                    attempt,
+                    |session| session.check(routed),
+                )?;
+                self.write_checkpoint(
+                    journal.as_deref(),
+                    &job.name,
+                    FlowStage::Check,
+                    attempt,
+                    checked.to_json(),
+                )?;
+                checked
+            }
+        };
+        session.set_cancel_token(CancelToken::none());
+        let report = session.finish(checked);
+        self.write_gds(&job.name, &report)?;
+        Ok(AttemptSuccess { resumed_from, checkpoint_hits })
+    }
+
+    /// The cancellation token a stage runs under: an injected zero
+    /// deadline, the configured stage budget, or none.
+    fn stage_token(&self, design: &str, stage: FlowStage, attempt: usize) -> CancelToken {
+        if attempt == 1 && self.config.faults.matches(design, stage, FaultKind::ZeroDeadline) {
+            return CancelToken::with_deadline(Duration::ZERO);
+        }
+        match self.config.stage_timeout {
+            Some(budget) => CancelToken::with_deadline(budget),
+            None => CancelToken::none(),
+        }
+    }
+
+    /// Runs one stage inside the fault boundary: deadline armed, injected
+    /// panic fired, and any unwind caught and attributed to the stage.
+    fn run_stage<T>(
+        &self,
+        session: &mut FlowSession,
+        design: &str,
+        stage: FlowStage,
+        attempt: usize,
+        body: impl FnOnce(&mut FlowSession) -> Result<T, FlowError>,
+    ) -> Result<T, StageFailure> {
+        session.set_cancel_token(self.stage_token(design, stage, attempt));
+        let inject_panic =
+            attempt == 1 && self.config.faults.matches(design, stage, FaultKind::Panic);
+        let result = catch_stage_panic(move || {
+            if inject_panic {
+                panic!("injected fault: panic at the {stage} stage");
+            }
+            body(session)
+        });
+        match result {
+            Ok(Ok(artifact)) => Ok(artifact),
+            Ok(Err(error)) => Err(StageFailure { stage: Some(stage), error: error_chain(&error) }),
+            Err(panic_message) => Err(StageFailure {
+                stage: Some(stage),
+                error: format!("stage panicked: {panic_message}"),
+            }),
+        }
+    }
+
+    /// Journals a stage artifact (atomically), applying the truncation
+    /// fault when one is planned.
+    fn write_checkpoint(
+        &self,
+        journal: Option<&Path>,
+        design: &str,
+        stage: FlowStage,
+        attempt: usize,
+        json: Result<String, FlowError>,
+    ) -> Result<(), StageFailure> {
+        let Some(dir) = journal else { return Ok(()) };
+        let attribute = |error: String| StageFailure { stage: Some(stage), error };
+        let json = json.map_err(|e| attribute(error_chain(&e)))?;
+        let path = dir.join(checkpoint_file(stage));
+        write_atomic(&path, json.as_bytes()).map_err(|e| attribute(error_chain(&e)))?;
+        if attempt == 1 && self.config.faults.matches(design, stage, FaultKind::TruncateCheckpoint)
+        {
+            // Simulate a torn write (the atomic rename protocol prevents
+            // real ones): the *next* run over this journal must detect the
+            // damage instead of resuming garbage.
+            let half = json.len() / 2;
+            write_atomic(&path, &json.as_bytes()[..half])
+                .map_err(|e| attribute(error_chain(&e)))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the final GDS to the output directory (atomically), when one
+    /// is configured.
+    fn write_gds(&self, design: &str, report: &FlowReport) -> Result<(), StageFailure> {
+        let Some(dir) = &self.config.output_dir else { return Ok(()) };
+        let path = dir.join(format!("{design}.gds"));
+        write_atomic(&path, &report.layout.to_gds_bytes())
+            .map_err(|e| StageFailure { stage: None, error: error_chain(&e) })
+    }
+
+    /// Finds the newest intact checkpoint in a design's journal. A
+    /// checkpoint that exists but fails to read, parse, validate, or match
+    /// the session's technology fails the attempt — resuming a damaged
+    /// journal silently would defeat the byte-identity guarantee.
+    fn load_resume(
+        &self,
+        journal: Option<&Path>,
+        session: &FlowSession,
+    ) -> Result<Resume, StageFailure> {
+        let Some(dir) = journal else { return Ok(Resume::None) };
+        for stage in
+            [FlowStage::Check, FlowStage::Routing, FlowStage::Placement, FlowStage::Synthesis]
+        {
+            let path = dir.join(checkpoint_file(stage));
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    return Err(StageFailure {
+                        stage: Some(stage),
+                        error: format!("cannot read checkpoint `{}`: {e}", path.display()),
+                    })
+                }
+            };
+            let located = |e: FlowError| StageFailure {
+                stage: Some(stage),
+                error: format!("`{}`: {}", path.display(), error_chain(&e)),
+            };
+            let resume = match stage {
+                FlowStage::Synthesis => {
+                    Resume::Synthesized(Synthesized::from_json(&text).map_err(located)?)
+                }
+                FlowStage::Placement => Resume::Placed(Placed::from_json(&text).map_err(located)?),
+                FlowStage::Routing => Resume::Routed(Routed::from_json(&text).map_err(located)?),
+                FlowStage::Check => {
+                    let checked = Checked::from_json(&text).map_err(located)?;
+                    // Later stages verify fingerprints themselves when they
+                    // consume an artifact; a check-stage resume runs no
+                    // further stage, so the mismatch must be caught here.
+                    if checked.tech_fingerprint() != session.tech_fingerprint() {
+                        return Err(located(FlowError::TechnologyMismatch {
+                            expected: session.tech_fingerprint().to_owned(),
+                            found: checked.tech_fingerprint().to_owned(),
+                        }));
+                    }
+                    Resume::Checked(checked)
+                }
+            };
+            return Ok(resume);
+        }
+        Ok(Resume::None)
+    }
+}
+
+/// The worker count a batch actually runs with: the request (or every
+/// available core for `0`), capped at the job count, floor 1.
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let requested = if requested == 0 { auto } else { requested };
+    requested.clamp(1, jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_specs_parse_and_reject_malformed_input() {
+        let fault = Fault::parse("panic:adder8:placement").expect("valid spec");
+        assert_eq!(
+            fault,
+            Fault {
+                design: "adder8".to_owned(),
+                stage: FlowStage::Placement,
+                kind: FaultKind::Panic
+            }
+        );
+        assert_eq!(
+            Fault::parse("deadline:c432:routing").expect("valid").kind,
+            FaultKind::ZeroDeadline
+        );
+        assert_eq!(
+            Fault::parse("truncate:apc32:synthesis").expect("valid").kind,
+            FaultKind::TruncateCheckpoint
+        );
+        assert!(Fault::parse("panic:adder8").expect_err("missing stage").contains("kind:design"));
+        assert!(Fault::parse("explode:adder8:check").expect_err("bad kind").contains("explode"));
+        assert!(Fault::parse("panic:adder8:teardown").expect_err("bad stage").contains("teardown"));
+    }
+
+    #[test]
+    fn fault_plans_match_exactly() {
+        let plan = FaultPlan::none().with(Fault::parse("panic:adder8:placement").unwrap());
+        assert!(plan.matches("adder8", FlowStage::Placement, FaultKind::Panic));
+        assert!(!plan.matches("adder8", FlowStage::Placement, FaultKind::ZeroDeadline));
+        assert!(!plan.matches("adder8", FlowStage::Routing, FaultKind::Panic));
+        assert!(!plan.matches("c432", FlowStage::Placement, FaultKind::Panic));
+    }
+
+    #[test]
+    fn jobs_take_their_name_from_the_input() {
+        assert_eq!(BatchJob::from_input("adder8").name, "adder8");
+        assert_eq!(BatchJob::from_input("designs/alu.v").name, "alu");
+    }
+
+    #[test]
+    fn batch_reports_round_trip_through_json() {
+        let report = BatchReport {
+            designs: vec![
+                DesignReport {
+                    name: "adder8".to_owned(),
+                    status: DesignStatus::Succeeded,
+                    attempts: 1,
+                    wall_s: 1.25,
+                    resumed_from: Some("routing".to_owned()),
+                    checkpoint_hits: 3,
+                },
+                DesignReport {
+                    name: "c432".to_owned(),
+                    status: DesignStatus::Degraded,
+                    attempts: 2,
+                    wall_s: 4.0,
+                    resumed_from: None,
+                    checkpoint_hits: 0,
+                },
+                DesignReport {
+                    name: "apc32".to_owned(),
+                    status: DesignStatus::Failed {
+                        error: "stage panicked: injected".to_owned(),
+                        stage: Some("placement".to_owned()),
+                        attempts: 1,
+                    },
+                    attempts: 1,
+                    wall_s: 0.5,
+                    resumed_from: None,
+                    checkpoint_hits: 0,
+                },
+            ],
+            workers: 2,
+            wall_s: 5.75,
+            checkpoint_hits: 3,
+        };
+        let json = report.to_json().expect("serializes");
+        let back = BatchReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.succeeded(), 1);
+        assert_eq!(back.degraded(), 1);
+        assert_eq!(back.failed(), 1);
+        assert!(BatchReport::from_json("{\"designs\": [").is_err());
+    }
+
+    #[test]
+    fn reports_render_failures_with_their_stage() {
+        let report = BatchReport {
+            designs: vec![DesignReport {
+                name: "apc32".to_owned(),
+                status: DesignStatus::Failed {
+                    error: "stage panicked: injected".to_owned(),
+                    stage: Some("placement".to_owned()),
+                    attempts: 1,
+                },
+                attempts: 1,
+                wall_s: 0.5,
+                resumed_from: None,
+                checkpoint_hits: 0,
+            }],
+            workers: 1,
+            wall_s: 0.5,
+            checkpoint_hits: 0,
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("apc32"), "{rendered}");
+        assert!(rendered.contains("failed"), "{rendered}");
+        assert!(rendered.contains("at placement"), "{rendered}");
+        assert!(rendered.contains("1 failed"), "{rendered}");
+    }
+
+    #[test]
+    fn error_chains_render_every_source_hop() {
+        let error = FlowError::from(aqfp_netlist::parsers::ParseNetlistError {
+            line: 7,
+            message: "bad token".to_owned(),
+        });
+        let chain = error_chain(&error);
+        assert!(chain.contains("failed to parse"), "{chain}");
+        assert!(chain.contains("caused by:"), "{chain}");
+        assert!(chain.contains("bad token"), "{chain}");
+    }
+
+    #[test]
+    fn worker_counts_are_clamped_to_the_job_count() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 3), 2);
+        assert_eq!(effective_workers(1, 0), 1);
+        assert!(effective_workers(0, 64) >= 1);
+    }
+}

@@ -30,6 +30,25 @@
 //!   --fast                  use the reduced-effort placement configuration
 //!   --quiet                 print only the one-line summary
 //!
+//! superflow batch [OPTIONS] <input>...
+//!
+//!   runs many designs through the flow on a pool of worker threads with a
+//!   fault boundary around each design (panic isolation, per-stage
+//!   deadlines, degraded retry, crash-safe journaling — see the
+//!   superflow::batch module docs).
+//!
+//!   --workers <n>           designs in flight at once; 0 = all cores [0]
+//!   --stage-timeout <s>     per-stage wall-clock budget in seconds
+//!   --no-retry              skip the degraded retry of failed designs
+//!   --journal <dir>         stage-checkpoint directory; re-running with the
+//!                           same journal resumes each design from its last
+//!                           completed stage
+//!   --output-dir <dir>      write each design's final GDS here
+//!   --report <file.json>    write the structured batch report as JSON
+//!   --fault <k:d:s>         inject a deterministic fault (testing):
+//!                           panic|deadline|truncate : design : stage
+//!   plus --placer/--tech/--process/--threads/--fast/--quiet as above
+//!
 //! superflow tech list [--quiet]     list known technologies (--quiet:
 //!                                   names only, one per line)
 //! superflow tech show <name|file>   validate a technology and print its
@@ -38,16 +57,26 @@
 //!                                   write a built-in technology as an
 //!                                   editable TOML file (stdout by default)
 //! ```
+//!
+//! Exit codes: 0 success, 1 flow error, 2 usage error, 3 partial batch
+//! failure (the batch completed, but at least one design failed).
 
 use std::process::ExitCode;
 
 use aqfp_cells::{EnergyModel, Technology, TechnologyRegistry};
 use aqfp_layout::{render_svg, DrcReport, SvgOptions};
-use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
-use aqfp_netlist::parsers::{parse_blif, parse_verilog};
 use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
-use superflow::{Flow, FlowConfig, FlowObserver, FlowReport, FlowStage, RepairScope, TechSpec};
+use superflow::{
+    error_chain, BatchConfig, BatchJob, BatchRunner, Fault, FaultPlan, Flow, FlowConfig,
+    FlowObserver, FlowReport, FlowStage, RepairScope, TechSpec,
+};
+
+/// Exit code for usage errors (bad flags, malformed specs).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for a batch that completed but classified at least one design
+/// as failed.
+const EXIT_PARTIAL_FAILURE: u8 = 3;
 
 #[derive(Debug)]
 struct CliOptions {
@@ -161,6 +190,9 @@ fn usage() -> &'static str {
      [--stop-after synthesis|placement|routing|check] [--report out.json] \
      [--output out.gds] [--svg out.svg] [--fast] [--quiet] \
      <input.v|input.sv|input.blif|benchmark>\n\
+     \x20      superflow batch [--workers n] [--stage-timeout seconds] [--no-retry] \
+     [--journal dir] [--output-dir dir] [--report out.json] \
+     [--fault panic|deadline|truncate:design:stage] [flow options] <input>...\n\
      \x20      superflow tech list [--quiet]\n\
      \x20      superflow tech show <name|file>\n\
      \x20      superflow tech dump <name> [--output file.toml]"
@@ -199,31 +231,11 @@ fn build_config(options: &CliOptions) -> FlowConfig {
     }
 }
 
-/// Loads the input netlist: benchmark names resolve to generated circuits,
-/// file paths dispatch on their extension.
+/// Loads the input netlist through the shared [`superflow::input`] loader
+/// (benchmark names resolve to generated circuits, file paths dispatch on
+/// their extension), rendering errors with their full source chain.
 fn load_netlist(input: &str) -> Result<Netlist, String> {
-    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
-        return Ok(benchmark_circuit(benchmark));
-    }
-    let extension = std::path::Path::new(input)
-        .extension()
-        .and_then(|extension| extension.to_str())
-        .unwrap_or("");
-    let parse: fn(&str) -> Result<Netlist, aqfp_netlist::parsers::ParseNetlistError> =
-        match extension {
-            "v" | "sv" => parse_verilog,
-            "blif" => parse_blif,
-            _ => {
-                return Err(format!(
-                    "cannot tell the format of `{input}` from its extension: expected a .v/.sv \
-                     (structural Verilog) or .blif file, or one of the benchmark names ({})",
-                    Benchmark::ALL.map(|b| b.name()).join(", ")
-                ))
-            }
-        };
-    let source =
-        std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
-    parse(&source).map_err(|e| e.to_string())
+    superflow::load_netlist(input).map_err(|e| error_chain(&e))
 }
 
 /// Prints stage progress unless `--quiet` is given.
@@ -255,7 +267,7 @@ enum Outcome {
 fn run(options: &CliOptions) -> Result<Outcome, String> {
     let netlist = load_netlist(&options.input)?;
     let flow = Flow::with_config(build_config(options));
-    let mut session = flow.session().map_err(|e| e.to_string())?;
+    let mut session = flow.session().map_err(|e| error_chain(&e))?;
     if !options.quiet {
         println!(
             "[{:<9}] technology {} ({})",
@@ -267,9 +279,9 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
     }
     let want_checkpoint = options.report.is_some();
     let checkpoint_of =
-        |json: Result<String, superflow::FlowError>| json.map_err(|e| e.to_string()).map(Some);
+        |json: Result<String, superflow::FlowError>| json.map_err(|e| error_chain(&e)).map(Some);
 
-    let synthesized = session.synthesize(&netlist).map_err(|e| e.to_string())?;
+    let synthesized = session.synthesize(&netlist).map_err(|e| error_chain(&e))?;
     if options.stop_after == Some(FlowStage::Synthesis) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Synthesis,
@@ -284,7 +296,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let placed = session.place(synthesized).map_err(|e| e.to_string())?;
+    let placed = session.place(synthesized).map_err(|e| error_chain(&e))?;
     if options.stop_after == Some(FlowStage::Placement) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Placement,
@@ -299,7 +311,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let routed = session.route(placed).map_err(|e| e.to_string())?;
+    let routed = session.route(placed).map_err(|e| error_chain(&e))?;
     if options.stop_after == Some(FlowStage::Routing) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Routing,
@@ -314,7 +326,7 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
         });
     }
 
-    let checked = session.check(routed).map_err(|e| e.to_string())?;
+    let checked = session.check(routed).map_err(|e| error_chain(&e))?;
     if options.stop_after == Some(FlowStage::Check) {
         return Ok(Outcome::Stopped {
             stage: FlowStage::Check,
@@ -333,6 +345,219 @@ fn run(options: &CliOptions) -> Result<Outcome, String> {
     }
 
     Ok(Outcome::Complete(Box::new(session.finish(checked))))
+}
+
+// ---------------------------------------------------------------------------
+// `superflow batch` subcommand
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct BatchCliOptions {
+    inputs: Vec<String>,
+    placer: PlacerKind,
+    tech: Option<String>,
+    threads: Option<usize>,
+    workers: usize,
+    stage_timeout_s: Option<f64>,
+    retry: bool,
+    journal: Option<String>,
+    output_dir: Option<String>,
+    report: Option<String>,
+    faults: Vec<Fault>,
+    fast: bool,
+    quiet: bool,
+}
+
+fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
+    let mut options = BatchCliOptions {
+        inputs: Vec::new(),
+        placer: PlacerKind::SuperFlow,
+        tech: None,
+        threads: None,
+        workers: 0,
+        stage_timeout_s: None,
+        retry: true,
+        journal: None,
+        output_dir: None,
+        report: None,
+        faults: Vec::new(),
+        fast: false,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--placer" => {
+                let value = iter.next().ok_or("--placer needs a value")?;
+                options.placer = match value.as_str() {
+                    "superflow" => PlacerKind::SuperFlow,
+                    "gordian" => PlacerKind::GordianBased,
+                    "taas" => PlacerKind::Taas,
+                    other => return Err(format!("unknown placer `{other}`")),
+                };
+            }
+            "--tech" => {
+                let value = iter.next().ok_or("--tech needs a value")?;
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(value.clone());
+            }
+            "--process" => {
+                let value = iter.next().ok_or("--process needs a value")?;
+                let name = match value.as_str() {
+                    "mit-ll" | "mitll" => aqfp_cells::MIT_LL_SQF5EE,
+                    "stp2" => aqfp_cells::AIST_STP2,
+                    other => return Err(format!("unknown process `{other}`")),
+                };
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(name.to_owned());
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--threads needs a number, got `{value}`"))?,
+                );
+            }
+            "--workers" => {
+                let value = iter.next().ok_or("--workers needs a value")?;
+                options.workers = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers needs a number, got `{value}`"))?;
+            }
+            "--stage-timeout" => {
+                let value = iter.next().ok_or("--stage-timeout needs a value")?;
+                let seconds = value.parse::<f64>().map_err(|_| {
+                    format!("--stage-timeout needs a number of seconds, got `{value}`")
+                })?;
+                if !seconds.is_finite() || seconds < 0.0 {
+                    return Err(format!(
+                        "--stage-timeout needs a non-negative finite number, got `{value}`"
+                    ));
+                }
+                options.stage_timeout_s = Some(seconds);
+            }
+            "--no-retry" => options.retry = false,
+            "--journal" => {
+                options.journal = Some(iter.next().ok_or("--journal needs a value")?.clone())
+            }
+            "--output-dir" => {
+                options.output_dir = Some(iter.next().ok_or("--output-dir needs a value")?.clone())
+            }
+            "--report" => {
+                options.report = Some(iter.next().ok_or("--report needs a value")?.clone())
+            }
+            "--fault" => {
+                let value = iter.next().ok_or("--fault needs a value")?;
+                options.faults.push(Fault::parse(value)?);
+            }
+            "--fast" => options.fast = true,
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown batch option `{other}`"))
+            }
+            other => options.inputs.push(other.to_owned()),
+        }
+    }
+    if options.inputs.is_empty() {
+        return Err("batch needs at least one input".to_owned());
+    }
+    let mut names: Vec<String> = Vec::new();
+    for input in &options.inputs {
+        let name = BatchJob::from_input(input).name;
+        if names.contains(&name) {
+            return Err(format!(
+                "two batch inputs reduce to the design name `{name}`; journals and GDS outputs \
+                 are keyed by name, so each design needs a distinct one"
+            ));
+        }
+        names.push(name);
+    }
+    Ok(options)
+}
+
+/// The batch configuration a `superflow batch` command line selects.
+fn build_batch_config(options: &BatchCliOptions) -> BatchConfig {
+    let flow = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
+    let flow = match &options.tech {
+        Some(value) => flow.with_tech(tech_spec(value)),
+        None => flow,
+    };
+    let flow = flow.with_placer(options.placer);
+    let flow = match options.threads {
+        Some(threads) => flow.with_threads(threads),
+        None => flow,
+    };
+    let mut config = BatchConfig::new(flow)
+        .with_workers(options.workers)
+        .with_retry_degraded(options.retry)
+        .with_faults(FaultPlan { faults: options.faults.clone() });
+    if let Some(seconds) = options.stage_timeout_s {
+        config = config.with_stage_timeout_s(seconds);
+    }
+    if let Some(dir) = &options.journal {
+        config = config.with_journal_dir(dir);
+    }
+    if let Some(dir) = &options.output_dir {
+        config = config.with_output_dir(dir);
+    }
+    config
+}
+
+fn run_batch_cli(args: &[String]) -> ExitCode {
+    let options = match parse_batch_args(args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let jobs: Vec<BatchJob> =
+        options.inputs.iter().map(BatchJob::from_input).collect();
+    let runner = BatchRunner::new(build_batch_config(&options));
+    let report = match runner.run(&jobs) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {}", error_chain(&e));
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.quiet {
+        // First line of the render is the one-line summary.
+        println!("{}", report.render().lines().next().unwrap_or_default());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = &options.report {
+        let json = match report.to_json() {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: {}", error_chain(&e));
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !options.quiet {
+            println!("batch report written to {path}");
+        }
+    }
+    if report.failed() > 0 {
+        ExitCode::from(EXIT_PARTIAL_FAILURE)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +686,10 @@ fn run_tech_command(args: &[String]) -> Result<String, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch_cli(&args[1..]);
+    }
+
     if args.first().map(String::as_str) == Some("tech") {
         return match run_tech_command(&args[1..]) {
             Ok(output) => {
@@ -482,7 +711,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             eprintln!("error: {message}\n{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -696,7 +925,57 @@ mod tests {
         // A supported extension on a missing file reports the I/O problem,
         // not a parse failure.
         let missing = load_netlist("no_such_file.v").expect_err("missing file");
-        assert!(missing.contains("cannot read"), "unhelpful message: {missing}");
+        assert!(missing.contains("io error"), "unhelpful message: {missing}");
+        assert!(missing.contains("no_such_file.v"), "names the path: {missing}");
+    }
+
+    #[test]
+    fn batch_args_parse_into_a_batch_config() {
+        let options = parse_batch_args(&args(&[
+            "--workers",
+            "2",
+            "--stage-timeout",
+            "30",
+            "--no-retry",
+            "--journal",
+            "runs/j",
+            "--output-dir",
+            "runs/gds",
+            "--report",
+            "batch.json",
+            "--fault",
+            "panic:adder8:placement",
+            "--fast",
+            "adder8",
+            "c432",
+        ]))
+        .expect("parses");
+        assert_eq!(options.inputs, vec!["adder8".to_owned(), "c432".to_owned()]);
+        let config = build_batch_config(&options);
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.stage_timeout, Some(std::time::Duration::from_secs(30)));
+        assert!(!config.retry_degraded);
+        assert_eq!(config.journal_dir.as_deref(), Some(std::path::Path::new("runs/j")));
+        assert_eq!(config.output_dir.as_deref(), Some(std::path::Path::new("runs/gds")));
+        assert!(config.faults.matches("adder8", FlowStage::Placement, superflow::FaultKind::Panic));
+        // --fast flows through to the per-design flow configuration.
+        assert!(
+            config.flow.placement.global.iterations
+                < FlowConfig::paper_default().placement.global.iterations
+        );
+    }
+
+    #[test]
+    fn batch_args_reject_bad_input() {
+        assert!(parse_batch_args(&args(&[])).is_err());
+        assert!(parse_batch_args(&args(&["--workers", "two", "adder8"])).is_err());
+        assert!(parse_batch_args(&args(&["--stage-timeout", "-5", "adder8"])).is_err());
+        assert!(parse_batch_args(&args(&["--fault", "panic:adder8", "adder8"])).is_err());
+        assert!(parse_batch_args(&args(&["--frobnicate", "adder8"])).is_err());
+        // Two inputs reducing to one design name would share a journal.
+        let error =
+            parse_batch_args(&args(&["adder8", "designs/adder8.v"])).expect_err("colliding names");
+        assert!(error.contains("adder8"), "{error}");
     }
 
     #[test]

@@ -15,8 +15,32 @@ pub enum FlowError {
     InvalidNetlist(NetlistError),
     /// The synthesis stage failed.
     Synthesis(SynthesisError),
-    /// A stage-artifact checkpoint could not be serialized or parsed.
+    /// A stage-artifact checkpoint could not be serialized, parsed or
+    /// validated. The message carries context: what was being loaded (and
+    /// the file path, when the checkpoint came from disk) plus the cause.
     Checkpoint(String),
+    /// The flow input could not be identified (e.g. an unrecognized file
+    /// extension that is neither a netlist format nor a benchmark name).
+    Input(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A stage was cancelled cooperatively before it completed; any partial
+    /// work was discarded.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        stage: crate::session::FlowStage,
+    },
+    /// A stage's wall-clock deadline fired before it completed; any partial
+    /// work was discarded.
+    DeadlineExceeded {
+        /// The stage that ran out of budget.
+        stage: crate::session::FlowStage,
+    },
     /// The configured technology could not be resolved (unknown registry
     /// name, unreadable file, parse or validation failure).
     Technology(String),
@@ -37,6 +61,12 @@ impl fmt::Display for FlowError {
             FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
             FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
             FlowError::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
+            FlowError::Input(message) => write!(f, "input error: {message}"),
+            FlowError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+            FlowError::Cancelled { stage } => write!(f, "the {stage} stage was cancelled"),
+            FlowError::DeadlineExceeded { stage } => {
+                write!(f, "the {stage} stage exceeded its wall-clock deadline")
+            }
             FlowError::Technology(message) => write!(f, "technology error: {message}"),
             FlowError::TechnologyMismatch { expected, found } => write!(
                 f,
@@ -55,6 +85,10 @@ impl Error for FlowError {
             FlowError::InvalidNetlist(e) => Some(e),
             FlowError::Synthesis(e) => Some(e),
             FlowError::Checkpoint(_)
+            | FlowError::Input(_)
+            | FlowError::Io { .. }
+            | FlowError::Cancelled { .. }
+            | FlowError::DeadlineExceeded { .. }
             | FlowError::Technology(_)
             | FlowError::TechnologyMismatch { .. } => None,
         }

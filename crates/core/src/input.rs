@@ -1,0 +1,91 @@
+//! Shared flow-input loading.
+//!
+//! The CLI's single-design mode and the batch driver accept the same input
+//! spellings: a built-in benchmark name (`adder8`, `c432`, …) resolving to a
+//! generated circuit, or a netlist file dispatched on its extension
+//! (`.v`/`.sv` structural Verilog, `.blif`). This module is the one place
+//! that mapping lives, so both front ends agree — and both produce typed
+//! [`FlowError`]s (with the failing path and the parser's line number)
+//! instead of stringly-typed messages.
+
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_netlist::parsers::{parse_blif, parse_verilog, ParseNetlistError};
+use aqfp_netlist::Netlist;
+
+use crate::error::FlowError;
+
+/// Loads a flow input: benchmark names resolve to generated circuits, file
+/// paths dispatch on their extension.
+///
+/// # Errors
+///
+/// - [`FlowError::Input`] when the input is neither a benchmark name nor a
+///   file with a recognized extension.
+/// - [`FlowError::Io`] when the file cannot be read.
+/// - [`FlowError::Parse`] when the netlist text does not parse.
+pub fn load_netlist(input: &str) -> Result<Netlist, FlowError> {
+    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
+        return Ok(benchmark_circuit(benchmark));
+    }
+    let extension = std::path::Path::new(input)
+        .extension()
+        .and_then(|extension| extension.to_str())
+        .unwrap_or("");
+    let parse: fn(&str) -> Result<Netlist, ParseNetlistError> = match extension {
+        "v" | "sv" => parse_verilog,
+        "blif" => parse_blif,
+        _ => {
+            return Err(FlowError::Input(format!(
+                "cannot tell the format of `{input}` from its extension: expected a .v/.sv \
+                 (structural Verilog) or .blif file, or one of the benchmark names ({})",
+                Benchmark::ALL.map(|b| b.name()).join(", ")
+            )))
+        }
+    };
+    let source = std::fs::read_to_string(input)
+        .map_err(|e| FlowError::Io { path: input.to_owned(), message: e.to_string() })?;
+    parse(&source).map_err(FlowError::from)
+}
+
+/// A short display name for an input spec: benchmark names pass through,
+/// file paths reduce to their stem (`designs/alu.v` → `alu`). Used by the
+/// batch driver to label reports and journal directories.
+pub fn design_name(input: &str) -> String {
+    if Benchmark::ALL.into_iter().any(|b| b.name() == input) {
+        return input.to_owned();
+    }
+    std::path::Path::new(input)
+        .file_stem()
+        .and_then(|stem| stem.to_str())
+        .map(str::to_owned)
+        .unwrap_or_else(|| input.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_names_resolve_without_touching_disk() {
+        let netlist = load_netlist("adder8").expect("built-in benchmark");
+        assert!(netlist.gate_count() > 0);
+        assert_eq!(design_name("adder8"), "adder8");
+    }
+
+    #[test]
+    fn errors_are_typed_with_the_failing_path() {
+        assert!(
+            matches!(load_netlist("design.vhdl"), Err(FlowError::Input(m)) if m.contains("vhdl"))
+        );
+        assert!(matches!(
+            load_netlist("no_such_file.v"),
+            Err(FlowError::Io { path, .. }) if path == "no_such_file.v"
+        ));
+    }
+
+    #[test]
+    fn file_paths_reduce_to_their_stem() {
+        assert_eq!(design_name("designs/alu.v"), "alu");
+        assert_eq!(design_name("top.blif"), "top");
+    }
+}

@@ -40,6 +40,16 @@
 //! DRC-repair loop is incremental: only the channels whose cells actually
 //! moved are rerouted (see [`session`]).
 //!
+//! # Batch runs
+//!
+//! [`BatchRunner`] (`superflow batch` on the CLI) drives many designs
+//! through the flow on a pool of worker threads with a fault boundary
+//! around each design: per-stage panic isolation, cooperative wall-clock
+//! deadlines, one degraded retry before a design is classified failed, and
+//! crash-safe journaling of stage checkpoints so a killed batch resumes
+//! from the last completed stage with byte-identical results. See the
+//! [`batch`] module docs for the fault model.
+//!
 //! # Technologies
 //!
 //! The flow is generic over the fabrication process: every stage consumes
@@ -55,15 +65,22 @@
 //! crates for users who want to customize a single step (e.g. swap in their
 //! own placer) while keeping the rest of the flow.
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod flow;
+pub mod input;
 pub mod report;
 pub mod session;
 
+pub use batch::{
+    error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, DesignReport, DesignStatus,
+    Fault, FaultKind, FaultPlan,
+};
 pub use config::{FlowConfig, TechSpec};
 pub use error::FlowError;
 pub use flow::Flow;
+pub use input::load_netlist;
 pub use report::{FlowReport, StageTimings};
 pub use session::{
     Checked, FlowObserver, FlowSession, FlowStage, Placed, RepairScope, Routed, Synthesized,

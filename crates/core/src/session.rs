@@ -62,7 +62,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aqfp_cells::Technology;
+use aqfp_cells::{CancelReason, CancelToken, Technology};
 use aqfp_layout::{DrcChecker, DrcReport, DrcViolationKind, Layout, LayoutGenerator};
 use aqfp_netlist::{Netlist, NetlistStats};
 use aqfp_place::buffer_rows::repair_buffer_rows;
@@ -105,6 +105,12 @@ impl FlowStage {
             FlowStage::Routing => "routing",
             FlowStage::Check => "check",
         }
+    }
+
+    /// Parses a stage from its [`name`](FlowStage::name); the inverse of
+    /// `name`, used by the CLI (`--stop-after`, `--fault` specs).
+    pub fn parse(name: &str) -> Option<FlowStage> {
+        FlowStage::ALL.into_iter().find(|stage| stage.name() == name)
     }
 }
 
@@ -161,14 +167,28 @@ pub trait FlowObserver {
     fn drc_iteration(&mut self, _iteration: usize, _report: &DrcReport, _scope: RepairScope<'_>) {}
 }
 
-/// Serializes a stage artifact to its JSON checkpoint.
-fn checkpoint_to_json<T: Serialize>(artifact: &T) -> Result<String, FlowError> {
-    serde_json::to_string_pretty(artifact).map_err(|e| FlowError::Checkpoint(e.to_string()))
+/// Serializes a stage artifact to its JSON checkpoint; `what` names the
+/// artifact in the error context.
+fn checkpoint_to_json<T: Serialize>(artifact: &T, what: &str) -> Result<String, FlowError> {
+    serde_json::to_string_pretty(artifact)
+        .map_err(|e| FlowError::Checkpoint(format!("cannot serialize {what} artifact: {e}")))
 }
 
-/// Restores a stage artifact from its JSON checkpoint.
-fn checkpoint_from_json<T: Deserialize>(text: &str) -> Result<T, FlowError> {
-    serde_json::from_str(text).map_err(|e| FlowError::Checkpoint(e.to_string()))
+/// Restores a stage artifact from its JSON checkpoint; `what` names the
+/// artifact in the error context. Truncated, corrupt or garbage input is a
+/// typed [`FlowError::Checkpoint`], never a panic.
+fn checkpoint_from_json<T: Deserialize>(text: &str, what: &str) -> Result<T, FlowError> {
+    serde_json::from_str(text)
+        .map_err(|e| FlowError::Checkpoint(format!("cannot parse {what} checkpoint: {e}")))
+}
+
+/// Wraps a [`PlacedDesign::validate_consistent`] failure into the
+/// checkpoint error of artifact `what`. JSON that *parses* but carries
+/// out-of-bounds indices would otherwise panic deep inside the engines.
+fn checkpoint_design_valid(design: &PlacedDesign, what: &str) -> Result<(), FlowError> {
+    design.validate_consistent().map_err(|cause| {
+        FlowError::Checkpoint(format!("{what} checkpoint is inconsistent: {cause}"))
+    })
 }
 
 /// The synthesis-stage artifact: the AQFP-legal netlist and its statistics.
@@ -202,16 +222,28 @@ impl Synthesized {
     ///
     /// Returns [`FlowError::Checkpoint`] if serialization fails.
     pub fn to_json(&self) -> Result<String, FlowError> {
-        checkpoint_to_json(self)
+        checkpoint_to_json(self, "synthesis")
     }
 
     /// Restores an artifact from a JSON checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    /// Returns [`FlowError::Checkpoint`] for malformed (truncated, corrupt
+    /// or semantically inconsistent) checkpoints.
     pub fn from_json(text: &str) -> Result<Self, FlowError> {
-        checkpoint_from_json(text)
+        let artifact: Self = checkpoint_from_json(text, "synthesis")?;
+        artifact.synthesis.netlist.validate().map_err(|e| {
+            FlowError::Checkpoint(format!("synthesis checkpoint is inconsistent: {e}"))
+        })?;
+        if artifact.synthesis.levels.len() != artifact.synthesis.netlist.gate_count() {
+            return Err(FlowError::Checkpoint(format!(
+                "synthesis checkpoint is inconsistent: {} level entries for {} gates",
+                artifact.synthesis.levels.len(),
+                artifact.synthesis.netlist.gate_count()
+            )));
+        }
+        Ok(artifact)
     }
 }
 
@@ -247,16 +279,19 @@ impl Placed {
     ///
     /// Returns [`FlowError::Checkpoint`] if serialization fails.
     pub fn to_json(&self) -> Result<String, FlowError> {
-        checkpoint_to_json(self)
+        checkpoint_to_json(self, "placement")
     }
 
     /// Restores an artifact from a JSON checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    /// Returns [`FlowError::Checkpoint`] for malformed (truncated, corrupt
+    /// or semantically inconsistent) checkpoints.
     pub fn from_json(text: &str) -> Result<Self, FlowError> {
-        checkpoint_from_json(text)
+        let artifact: Self = checkpoint_from_json(text, "placement")?;
+        checkpoint_design_valid(&artifact.placement.design, "placement")?;
+        Ok(artifact)
     }
 }
 
@@ -328,17 +363,45 @@ impl Routed {
     ///
     /// Returns [`FlowError::Checkpoint`] if serialization fails.
     pub fn to_json(&self) -> Result<String, FlowError> {
-        checkpoint_to_json(self)
+        checkpoint_to_json(self, "routing")
     }
 
     /// Restores an artifact from a JSON checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    /// Returns [`FlowError::Checkpoint`] for malformed (truncated, corrupt
+    /// or semantically inconsistent) checkpoints.
     pub fn from_json(text: &str) -> Result<Self, FlowError> {
-        checkpoint_from_json(text)
+        let artifact: Self = checkpoint_from_json(text, "routing")?;
+        validate_routed(&artifact, "routing")?;
+        Ok(artifact)
     }
+}
+
+/// Shared semantic validation of a [`Routed`] artifact (also reused by the
+/// check-stage loader): the embedded design must be consistent and every
+/// wire and dirty-channel entry must reference it in bounds.
+fn validate_routed(routed: &Routed, what: &str) -> Result<(), FlowError> {
+    checkpoint_design_valid(routed.design(), what)?;
+    let nets = routed.design().net_count();
+    for wire in &routed.routing.wires {
+        if wire.net >= nets {
+            return Err(FlowError::Checkpoint(format!(
+                "{what} checkpoint is inconsistent: wire references net {} of {nets}",
+                wire.net
+            )));
+        }
+    }
+    let rows = routed.design().rows.len();
+    for &row in &routed.dirty_channels {
+        if row >= rows {
+            return Err(FlowError::Checkpoint(format!(
+                "{what} checkpoint is inconsistent: dirty channel {row} of {rows} rows"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The check-stage artifact: the (possibly repaired) routed design plus the
@@ -373,16 +436,19 @@ impl Checked {
     ///
     /// Returns [`FlowError::Checkpoint`] if serialization fails.
     pub fn to_json(&self) -> Result<String, FlowError> {
-        checkpoint_to_json(self)
+        checkpoint_to_json(self, "check")
     }
 
     /// Restores an artifact from a JSON checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::Checkpoint`] for malformed checkpoints.
+    /// Returns [`FlowError::Checkpoint`] for malformed (truncated, corrupt
+    /// or semantically inconsistent) checkpoints.
     pub fn from_json(text: &str) -> Result<Self, FlowError> {
-        checkpoint_from_json(text)
+        let artifact: Self = checkpoint_from_json(text, "check")?;
+        validate_routed(&artifact.routed, "check")?;
+        Ok(artifact)
     }
 }
 
@@ -400,6 +466,9 @@ pub struct FlowSession {
     config: FlowConfig,
     observers: Vec<Box<dyn FlowObserver>>,
     timings: StageTimings,
+    /// Cooperative cancellation: threaded into every engine and polled at
+    /// the stage boundaries; see [`FlowSession::set_cancel_token`].
+    cancel: CancelToken,
 }
 
 impl fmt::Debug for FlowSession {
@@ -436,6 +505,38 @@ impl FlowSession {
             config,
             observers: Vec::new(),
             timings: StageTimings::default(),
+            cancel: CancelToken::none(),
+        }
+    }
+
+    /// Installs a cooperative [`CancelToken`] for the *following* stage
+    /// calls. The token is threaded into the hot loops of the placers, the
+    /// router and the DRC checker, and polled at the stage boundaries: when
+    /// it fires, the running stage bails out early, its partial result is
+    /// discarded, and the stage method returns [`FlowError::Cancelled`] or
+    /// [`FlowError::DeadlineExceeded`] depending on the token's reason.
+    ///
+    /// Typical use is one deadline token per stage
+    /// (`session.set_cancel_token(CancelToken::with_deadline(budget))`
+    /// before each stage call); [`BatchRunner`](crate::batch::BatchRunner)
+    /// does exactly that. Passing [`CancelToken::none`] removes the
+    /// deadline.
+    pub fn set_cancel_token(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The session's current cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Maps a fired token to the stage error to report; `Ok(())` while the
+    /// token is live.
+    fn ensure_not_cancelled(&self, stage: FlowStage) -> Result<(), FlowError> {
+        match self.cancel.reason() {
+            None => Ok(()),
+            Some(CancelReason::Cancelled) => Err(FlowError::Cancelled { stage }),
+            Some(CancelReason::DeadlineExceeded) => Err(FlowError::DeadlineExceeded { stage }),
         }
     }
 
@@ -517,12 +618,17 @@ impl FlowSession {
     /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
     /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
     pub fn synthesize(&mut self, netlist: &Netlist) -> Result<Synthesized, FlowError> {
+        self.ensure_not_cancelled(FlowStage::Synthesis)?;
         self.stage_started(FlowStage::Synthesis);
         let start = Instant::now();
         netlist.validate()?;
         let synthesizer =
             Synthesizer::with_options(Arc::clone(&self.technology), self.config.synthesis);
         let synthesis = synthesizer.run(netlist)?;
+        // Synthesis is not internally cancellable (it is the cheapest
+        // stage); a deadline that fired while it ran is still honored here,
+        // discarding the result.
+        self.ensure_not_cancelled(FlowStage::Synthesis)?;
         self.stage_finished(FlowStage::Synthesis, start.elapsed().as_secs_f64());
         Ok(Synthesized {
             design_name: netlist.name().to_owned(),
@@ -540,11 +646,17 @@ impl FlowSession {
     /// produced (or checkpointed) under a different technology.
     pub fn place(&mut self, synthesized: Synthesized) -> Result<Placed, FlowError> {
         self.ensure_same_technology(&synthesized.tech_fingerprint)?;
+        self.ensure_not_cancelled(FlowStage::Placement)?;
         self.stage_started(FlowStage::Placement);
         let start = Instant::now();
         let engine =
-            PlacementEngine::with_options(Arc::clone(&self.technology), self.config.placement);
+            PlacementEngine::with_options(Arc::clone(&self.technology), self.config.placement)
+                .with_cancel(self.cancel.clone());
         let placement = engine.place(&synthesized.synthesis, self.config.placer);
+        // A fired token means `placement` is a partial refinement; discard
+        // it instead of letting a half-optimized design masquerade as a
+        // stage result.
+        self.ensure_not_cancelled(FlowStage::Placement)?;
         self.stage_finished(FlowStage::Placement, start.elapsed().as_secs_f64());
         Ok(Placed { synthesized, placement })
     }
@@ -557,10 +669,13 @@ impl FlowSession {
     /// (or checkpointed) under a different technology.
     pub fn route(&mut self, placed: Placed) -> Result<Routed, FlowError> {
         self.ensure_same_technology(placed.tech_fingerprint())?;
+        self.ensure_not_cancelled(FlowStage::Routing)?;
         self.stage_started(FlowStage::Routing);
         let start = Instant::now();
-        let router = Router::with_config(Arc::clone(&self.technology), self.config.router);
+        let router = Router::with_config(Arc::clone(&self.technology), self.config.router)
+            .with_cancel(self.cancel.clone());
         let routing = router.route(&placed.placement.design);
+        self.ensure_not_cancelled(FlowStage::Routing)?;
         self.stage_finished(FlowStage::Routing, start.elapsed().as_secs_f64());
         Ok(Routed { placed, routing, dirty_channels: Vec::new() })
     }
@@ -597,12 +712,14 @@ impl FlowSession {
     /// (or checkpointed) under a different technology.
     pub fn check(&mut self, routed: Routed) -> Result<Checked, FlowError> {
         self.ensure_same_technology(routed.tech_fingerprint())?;
+        self.ensure_not_cancelled(FlowStage::Check)?;
         self.stage_started(FlowStage::Check);
         let start = Instant::now();
         let Routed { mut placed, mut routing, mut dirty_channels } = routed;
         let generator = LayoutGenerator::new(Arc::clone(&self.technology));
-        let checker = DrcChecker::for_technology(&self.technology);
-        let router = Router::with_config(Arc::clone(&self.technology), self.config.router);
+        let checker = DrcChecker::for_technology(&self.technology).with_cancel(self.cancel.clone());
+        let router = Router::with_config(Arc::clone(&self.technology), self.config.router)
+            .with_cancel(self.cancel.clone());
 
         // The batched timing state survives the whole repair loop: the SoA
         // batch is refreshed in place (incrementally where possible) instead
@@ -625,6 +742,10 @@ impl FlowSession {
         let mut drc = checker.check(&placed.placement.design, &routing);
         let mut drc_iterations = 0;
         while !drc.is_clean() && drc_iterations < self.config.max_drc_iterations {
+            // The repair loop is the flow's classic runaway: each iteration
+            // legalizes, re-places, reroutes and re-checks, so this is where
+            // a deadline must be able to step in between iterations.
+            self.ensure_not_cancelled(FlowStage::Check)?;
             drc_iterations += 1;
             let design = &mut placed.placement.design;
             let mut moved_cells: Vec<usize> = Vec::new();
@@ -716,6 +837,7 @@ impl FlowSession {
         placed.placement.timing =
             analyzer.analyze_batch(&timing_batch, placed.placement.design.layer_width().max(1.0));
 
+        self.ensure_not_cancelled(FlowStage::Check)?;
         self.stage_finished(FlowStage::Check, start.elapsed().as_secs_f64());
         Ok(Checked {
             routed: Routed { placed, routing, dirty_channels },

@@ -8,7 +8,7 @@
 //! violations are found, re-runs the corresponding physical-design step
 //! (legalization or space expansion) before finalizing the GDS.
 
-use aqfp_cells::{ProcessRules, Technology};
+use aqfp_cells::{CancelToken, ProcessRules, Technology};
 use aqfp_place::PlacedDesign;
 use aqfp_route::RoutingResult;
 use serde::{Deserialize, Serialize};
@@ -63,18 +63,28 @@ impl DrcReport {
 #[derive(Debug, Clone)]
 pub struct DrcChecker {
     rules: ProcessRules,
+    cancel: CancelToken,
 }
 
 impl DrcChecker {
     /// Creates a checker for the given process rules.
     pub fn new(rules: ProcessRules) -> Self {
-        Self { rules }
+        Self { rules, cancel: CancelToken::none() }
     }
 
     /// Creates a checker for a technology's design rules — the flow's way
     /// of constructing one.
     pub fn for_technology(technology: &Technology) -> Self {
         Self::new(technology.rules().clone())
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled between the rule
+    /// passes of [`DrcChecker::check`]. A fired token skips the remaining
+    /// passes, so the report may miss violations — the caller is expected
+    /// to discard it.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The process rules being checked.
@@ -85,11 +95,20 @@ impl DrcChecker {
     /// Checks a placed and routed design against all rules.
     pub fn check(&self, design: &PlacedDesign, routing: &RoutingResult) -> DrcReport {
         let mut report = DrcReport::default();
-        self.check_cell_spacing(design, &mut report);
-        self.check_max_wirelength(design, &mut report);
-        self.check_metal_density(design, &mut report);
-        self.check_zigzag_spacing(routing, &mut report);
-        self.check_unrouted(routing, &mut report);
+        type Pass = fn(&DrcChecker, &PlacedDesign, &RoutingResult, &mut DrcReport);
+        let passes: [Pass; 5] = [
+            |c, d, _, r| c.check_cell_spacing(d, r),
+            |c, d, _, r| c.check_max_wirelength(d, r),
+            |c, d, _, r| c.check_metal_density(d, r),
+            |c, _, routing, r| c.check_zigzag_spacing(routing, r),
+            |c, _, routing, r| c.check_unrouted(routing, r),
+        ];
+        for pass in passes {
+            if self.cancel.is_cancelled() {
+                break;
+            }
+            pass(self, design, routing, &mut report);
+        }
         report
     }
 

@@ -29,7 +29,10 @@ use crate::netlist::Netlist;
 pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
     let mut model = String::from("blif");
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut input_lines: HashMap<String, usize> = HashMap::new();
+    // (declaration line, signal)
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut output_lines: HashMap<String, usize> = HashMap::new();
     // (line, kind, ordered input signals, output signal)
     let mut gates: Vec<(usize, CellKind, Vec<String>, String)> = Vec::new();
 
@@ -44,7 +47,12 @@ pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
         if let Some((line, signals)) = pending.take() {
             let kind = names_kind(&signals, cover)
                 .ok_or_else(|| ParseNetlistError::new(line, "unsupported .names cover"))?;
-            let output = signals.last().expect(".names has at least an output").clone();
+            // Guarded at the `.names` directive, but a typed error beats an
+            // unreachable-by-construction panic if that invariant ever slips.
+            let output = signals
+                .last()
+                .ok_or_else(|| ParseNetlistError::new(line, ".names needs at least an output"))?
+                .clone();
             let inputs = signals[..signals.len() - 1].to_vec();
             gates.push((line, kind, inputs, output));
             cover.clear();
@@ -71,8 +79,28 @@ pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
             ".model" => {
                 model = tokens.next().unwrap_or("blif").to_owned();
             }
-            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
-            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".inputs" => {
+                for signal in tokens {
+                    if let Some(previous) = input_lines.insert(signal.to_owned(), line_no) {
+                        return Err(ParseNetlistError::new(
+                            line_no,
+                            format!("input `{signal}` declared twice (first on line {previous})"),
+                        ));
+                    }
+                    inputs.push(signal.to_owned());
+                }
+            }
+            ".outputs" => {
+                for signal in tokens {
+                    if let Some(previous) = output_lines.insert(signal.to_owned(), line_no) {
+                        return Err(ParseNetlistError::new(
+                            line_no,
+                            format!("output `{signal}` declared twice (first on line {previous})"),
+                        ));
+                    }
+                    outputs.push((line_no, signal.to_owned()));
+                }
+            }
             ".gate" => {
                 let cell = tokens
                     .next()
@@ -210,7 +238,7 @@ fn names_kind(signals: &[String], cover: &[String]) -> Option<CellKind> {
 fn build(
     model: &str,
     inputs: &[String],
-    outputs: &[String],
+    outputs: &[(usize, String)],
     gates: &[(usize, CellKind, Vec<String>, String)],
 ) -> Result<Netlist, ParseNetlistError> {
     let mut netlist = Netlist::new(model);
@@ -240,10 +268,10 @@ fn build(
         }
         netlist.gate_mut(id).fanin = fanin;
     }
-    for name in outputs {
-        let src = driver
-            .get(name)
-            .ok_or_else(|| ParseNetlistError::new(0, format!("output `{name}` is never driven")))?;
+    for (line, name) in outputs {
+        let src = driver.get(name).ok_or_else(|| {
+            ParseNetlistError::new(*line, format!("output `{name}` is never driven"))
+        })?;
         netlist.add_output(format!("po_{name}"), *src);
     }
     Ok(netlist)
@@ -316,6 +344,26 @@ mod tests {
     fn rejects_undriven_output() {
         let src = ".model m\n.inputs a\n.outputs y\n.end\n";
         assert!(parse_blif(src).unwrap_err().message.contains("never driven"));
+    }
+
+    #[test]
+    fn duplicate_declarations_carry_both_line_numbers() {
+        let src = ".model m\n.inputs a\n.inputs a\n.outputs y\n.gate BUF a=a O=y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("declared twice"), "{}", err.message);
+        assert!(err.message.contains("line 2"), "{}", err.message);
+        let src = ".model m\n.inputs a\n.outputs y y\n.gate BUF a=a O=y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message.contains("output `y` declared twice"), "{}", err.message);
+    }
+
+    #[test]
+    fn undriven_outputs_report_their_declaration_line() {
+        let src = ".model m\n.inputs a\n.outputs y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("never driven"), "{}", err.message);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::netlist::Netlist;
 pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
     let statements = split_statements(source);
     let mut module_name = String::new();
+    let mut declared_at: HashMap<String, (&'static str, usize)> = HashMap::new();
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut wires: Vec<String> = Vec::new();
@@ -52,16 +53,19 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
             module_name = name.to_owned();
             continue;
         }
-        if let Some(rest) = strip_keyword(stmt, "input") {
-            inputs.extend(parse_signal_list(rest));
-            continue;
-        }
-        if let Some(rest) = strip_keyword(stmt, "output") {
-            outputs.extend(parse_signal_list(rest));
-            continue;
-        }
-        if let Some(rest) = strip_keyword(stmt, "wire") {
-            wires.extend(parse_signal_list(rest));
+        let category = ["input", "output", "wire"]
+            .into_iter()
+            .find_map(|keyword| strip_keyword(stmt, keyword).map(|rest| (keyword, rest)));
+        if let Some((category, rest)) = category {
+            declare(
+                &mut declared_at,
+                category,
+                *line,
+                parse_signal_list(rest),
+                &mut inputs,
+                &mut outputs,
+                &mut wires,
+            )?;
             continue;
         }
         // Gate primitive instantiation: `<prim> <name>(<out>, <in>...)`.
@@ -74,6 +78,10 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
         let close = rest
             .rfind(')')
             .ok_or_else(|| ParseNetlistError::new(*line, "expected `)` in gate instantiation"))?;
+        if close <= open {
+            // `buf g1 )a(` — slicing open+1..close below would panic.
+            return Err(ParseNetlistError::new(*line, "`)` precedes `(` in gate instantiation"));
+        }
         let inst_name = rest[..open].trim().to_owned();
         let ports: Vec<String> =
             rest[open + 1..close].split(',').map(|p| p.trim().to_owned()).collect();
@@ -87,7 +95,54 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
         return Err(ParseNetlistError::new(0, "no module declaration found"));
     }
 
-    build_netlist(&module_name, &inputs, &outputs, &wires, &instances)
+    build_netlist(&module_name, &inputs, &outputs, &wires, &instances, &declared_at)
+}
+
+/// Registers a declaration list, detecting duplicates. Re-declaring a port
+/// as a wire (or a wire as a port) is legal Verilog and collapses to the
+/// port declaration; any other duplicate is an error carrying both lines.
+fn declare(
+    declared_at: &mut HashMap<String, (&'static str, usize)>,
+    category: &'static str,
+    line: usize,
+    names: Vec<String>,
+    inputs: &mut Vec<String>,
+    outputs: &mut Vec<String>,
+    wires: &mut Vec<String>,
+) -> Result<(), ParseNetlistError> {
+    for name in names {
+        if let Some(&(previous, previous_line)) = declared_at.get(name.as_str()) {
+            if (previous == "wire") == (category == "wire") {
+                return Err(ParseNetlistError::new(
+                    line,
+                    format!(
+                        "signal `{name}` declared twice (first as {previous} on line \
+                         {previous_line})"
+                    ),
+                ));
+            }
+            if previous == "wire" {
+                // The port declaration wins: `wire y; output y;` makes `y`
+                // an output.
+                wires.retain(|wire| wire != &name);
+                declared_at.insert(name.clone(), (category, line));
+                if category == "input" {
+                    inputs.push(name);
+                } else {
+                    outputs.push(name);
+                }
+            }
+            // `input a; wire a;` — the wire re-declaration adds nothing.
+            continue;
+        }
+        declared_at.insert(name.clone(), (category, line));
+        match category {
+            "input" => inputs.push(name),
+            "output" => outputs.push(name),
+            _ => wires.push(name),
+        }
+    }
+    Ok(())
 }
 
 fn strip_keyword<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
@@ -152,6 +207,7 @@ fn build_netlist(
     outputs: &[String],
     wires: &[String],
     instances: &[(usize, String, String, Vec<String>)],
+    declared_at: &HashMap<String, (&'static str, usize)>,
 ) -> Result<Netlist, ParseNetlistError> {
     let mut netlist = Netlist::new(module_name);
     // Map from signal name to the gate that drives it.
@@ -213,9 +269,10 @@ fn build_netlist(
     }
 
     for name in outputs {
-        let src = driver
-            .get(name)
-            .ok_or_else(|| ParseNetlistError::new(0, format!("output `{name}` is never driven")))?;
+        let src = driver.get(name).ok_or_else(|| {
+            let line = declared_at.get(name).map_or(0, |&(_, line)| line);
+            ParseNetlistError::new(line, format!("output `{name}` is never driven"))
+        })?;
         netlist.add_output(format!("po_{name}"), *src);
     }
 
@@ -297,6 +354,47 @@ mod tests {
     fn rejects_missing_module() {
         let err = parse_verilog("input a;").unwrap_err();
         assert!(err.message.contains("unrecognised statement") || err.message.contains("module"));
+    }
+
+    #[test]
+    fn reversed_parentheses_are_an_error_not_a_panic() {
+        let src = "module m(a, y); input a; output y; buf g1 )y, a(; endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("precedes"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_declarations_carry_both_line_numbers() {
+        let src = "module m(a, y);\ninput a;\ninput a;\noutput y;\nbuf g1(y, a);\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("declared twice"), "{}", err.message);
+        assert!(err.message.contains("line 2"), "{}", err.message);
+        // A name can't be both an input and an output either.
+        let src = "module m(a); input a; output a; endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("declared twice"), "{}", err.message);
+    }
+
+    #[test]
+    fn port_wire_redeclaration_is_legal_verilog() {
+        // `output y; wire y;` (either order) collapses to the port.
+        for src in [
+            "module m(a, y); input a; output y; wire y; buf g1(y, a); endmodule",
+            "module m(a, y); input a; wire y; output y; buf g1(y, a); endmodule",
+        ] {
+            let n = parse_verilog(src).expect("parses");
+            assert_eq!(n.primary_outputs().len(), 1, "{src}");
+            assert_eq!(simulate::simulate(&n, &[true]).unwrap(), vec![true], "{src}");
+        }
+    }
+
+    #[test]
+    fn undriven_outputs_report_their_declaration_line() {
+        let src = "module m(a, y);\ninput a;\noutput y;\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("never driven"), "{}", err.message);
     }
 
     #[test]

@@ -125,6 +125,55 @@ pub struct PlacedDesign {
 }
 
 impl PlacedDesign {
+    /// Checks the cross-references that every engine indexes by without
+    /// bounds checks: net driver/sink indices, row membership and the cell →
+    /// row back-pointers. A deserialized design that parses as JSON but
+    /// violates these invariants would otherwise panic (or silently corrupt
+    /// results) deep inside placement, routing or timing — checkpoint
+    /// loaders call this instead and turn the message into a typed error.
+    pub fn validate_consistent(&self) -> Result<(), String> {
+        let cells = self.cells.len();
+        for (index, net) in self.nets.iter().enumerate() {
+            if net.driver >= cells || net.sink >= cells {
+                return Err(format!(
+                    "net {index} references cell {} of {cells}",
+                    net.driver.max(net.sink)
+                ));
+            }
+        }
+        let mut listed = vec![false; cells];
+        for (row_index, row) in self.rows.iter().enumerate() {
+            for &cell in row {
+                if cell >= cells {
+                    return Err(format!("row {row_index} references cell {cell} of {cells}"));
+                }
+                if self.cells[cell].row != row_index {
+                    return Err(format!(
+                        "cell {cell} is listed in row {row_index} but points at row {}",
+                        self.cells[cell].row
+                    ));
+                }
+                if std::mem::replace(&mut listed[cell], true) {
+                    return Err(format!("cell {cell} is listed in more than one row slot"));
+                }
+            }
+        }
+        if let Some(cell) = listed.iter().position(|&seen| !seen) {
+            return Err(format!("cell {cell} (row {}) is missing from the row lists", {
+                self.cells[cell].row
+            }));
+        }
+        if !(self.row_pitch.is_finite() && self.row_pitch > 0.0) {
+            return Err(format!("row pitch {} is not a positive finite number", self.row_pitch));
+        }
+        for (index, cell) in self.cells.iter().enumerate() {
+            if !(cell.x.is_finite() && cell.width.is_finite()) {
+                return Err(format!("cell {index} has a non-finite coordinate or width"));
+            }
+        }
+        Ok(())
+    }
+
     /// Builds the initial physical design from a synthesized netlist.
     ///
     /// Every gate becomes a cell in the row given by its clock phase; cells

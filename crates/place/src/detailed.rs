@@ -42,6 +42,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use aqfp_cells::CancelToken;
 use serde::{Deserialize, Serialize};
 
 use aqfp_timing::{signed_phase_distance, PlacedNet, TimingAnalyzer, TimingConfig};
@@ -134,7 +135,20 @@ pub fn detailed_place(
     design: &mut PlacedDesign,
     config: &DetailedPlacementConfig,
 ) -> DetailedPlacementReport {
-    detailed_place_impl(design, config, None)
+    detailed_place_impl(design, config, None, &CancelToken::none())
+}
+
+/// [`detailed_place`] with a cooperative [`CancelToken`]: the token is
+/// polled once per improvement pass, and a fired token ends the sweep early
+/// after the current pass's merge (the design stays legal — each pass
+/// preserves legality — but callers that honor cancellation discard the
+/// partial refinement).
+pub fn detailed_place_cancellable(
+    design: &mut PlacedDesign,
+    config: &DetailedPlacementConfig,
+    cancel: &CancelToken,
+) -> DetailedPlacementReport {
+    detailed_place_impl(design, config, None, cancel)
 }
 
 /// Runs detailed placement restricted to the given rows: only cells in
@@ -158,7 +172,7 @@ pub fn detailed_place_in_rows(
             in_scope[row] = true;
         }
     }
-    detailed_place_impl(design, config, Some(&in_scope))
+    detailed_place_impl(design, config, Some(&in_scope), &CancelToken::none())
 }
 
 /// Shared implementation of [`detailed_place`] (no scope) and
@@ -167,6 +181,7 @@ fn detailed_place_impl(
     design: &mut PlacedDesign,
     config: &DetailedPlacementConfig,
     scope: Option<&[bool]>,
+    cancel: &CancelToken,
 ) -> DetailedPlacementReport {
     let hpwl_before = design.hpwl();
     let mut report = DetailedPlacementReport {
@@ -197,6 +212,9 @@ fn detailed_place_impl(
     let mut previous_layer_width = f64::NAN;
 
     for _ in 0..config.passes {
+        if cancel.is_cancelled() {
+            break;
+        }
         design.sort_rows_by_x();
         let layer_width = design.layer_width().max(1.0);
         let layer_width_changed = layer_width.to_bits() != previous_layer_width.to_bits();

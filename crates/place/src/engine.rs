@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use aqfp_cells::Technology;
+use aqfp_cells::{CancelToken, Technology};
 use aqfp_synth::SynthesizedNetlist;
 use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingReport};
 use serde::{Deserialize, Serialize};
@@ -12,8 +12,8 @@ use crate::baselines::gordian::{gordian_place, GordianConfig};
 use crate::baselines::taas::{taas_place, TaasConfig};
 use crate::buffer_rows::{insert_buffer_rows, BufferRowReport};
 use crate::design::PlacedDesign;
-use crate::detailed::{detailed_place, DetailedPlacementConfig};
-use crate::global::{global_place, GlobalPlacementConfig};
+use crate::detailed::{detailed_place_cancellable, DetailedPlacementConfig};
+use crate::global::{global_place_cancellable, GlobalPlacementConfig};
 use crate::legalize::legalize;
 
 /// Which placement strategy to run.
@@ -126,6 +126,7 @@ impl PlacementResult {
 pub struct PlacementEngine {
     technology: Arc<Technology>,
     options: PlacementOptions,
+    cancel: CancelToken,
 }
 
 impl PlacementEngine {
@@ -133,12 +134,25 @@ impl PlacementEngine {
     /// [`Technology`] or a shared `Arc<Technology>` (the flow driver shares
     /// one technology across all stages).
     pub fn new(technology: impl Into<Arc<Technology>>) -> Self {
-        Self { technology: technology.into(), options: PlacementOptions::default() }
+        Self {
+            technology: technology.into(),
+            options: PlacementOptions::default(),
+            cancel: CancelToken::none(),
+        }
     }
 
     /// Creates an engine with explicit options.
     pub fn with_options(technology: impl Into<Arc<Technology>>, options: PlacementOptions) -> Self {
-        Self { technology: technology.into(), options }
+        Self { technology: technology.into(), options, cancel: CancelToken::none() }
+    }
+
+    /// Attaches a cooperative [`CancelToken`]; the global and detailed
+    /// placers poll it at their loop boundaries and bail out early when it
+    /// fires. The engine then still returns a (partial) result — the caller
+    /// decides whether to keep it.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The engine's options.
@@ -172,9 +186,9 @@ impl PlacementEngine {
 
         match placer {
             PlacerKind::SuperFlow => {
-                global_place(&mut design, &self.options.global);
+                global_place_cancellable(&mut design, &self.options.global, &self.cancel);
                 legalize(&mut design);
-                detailed_place(&mut design, &self.effective_detailed());
+                detailed_place_cancellable(&mut design, &self.effective_detailed(), &self.cancel);
             }
             PlacerKind::GordianBased => {
                 gordian_place(&mut design, &GordianConfig::default());

@@ -18,6 +18,7 @@
 //! uses a CPU gradient-descent optimizer with momentum (Adam-style step
 //! scaling), which is sufficient for the benchmark sizes involved.
 
+use aqfp_cells::CancelToken;
 use serde::{Deserialize, Serialize};
 
 use aqfp_timing::model::{
@@ -88,6 +89,19 @@ pub fn global_place(
     design: &mut PlacedDesign,
     config: &GlobalPlacementConfig,
 ) -> GlobalPlacementReport {
+    global_place_cancellable(design, config, &CancelToken::none())
+}
+
+/// [`global_place`] with a cooperative [`CancelToken`]: the token is polled
+/// once per gradient iteration, and a fired token ends the optimization
+/// early (the report's `iterations` records how many actually ran). The
+/// design is left in whatever intermediate state the last completed
+/// iteration produced — callers that honor cancellation discard it.
+pub fn global_place_cancellable(
+    design: &mut PlacedDesign,
+    config: &GlobalPlacementConfig,
+    cancel: &CancelToken,
+) -> GlobalPlacementReport {
     let hpwl_before = design.hpwl();
     let n = design.cells.len();
     if n == 0 || design.nets.is_empty() {
@@ -119,8 +133,13 @@ pub fn global_place(
     let mut final_objective = 0.0;
     let layer_width = design.layer_width().max(1.0);
     let momentum = 0.7;
+    let mut iterations_run = 0;
 
     for iteration in 0..config.iterations {
+        if cancel.is_cancelled() {
+            break;
+        }
+        iterations_run += 1;
         gradient.fill(0.0);
         final_objective = accumulate_net_terms(design, config, layer_width, &mut gradient);
         // Ramp the spreading force: early iterations let cells cluster near
@@ -149,7 +168,7 @@ pub fn global_place(
         hpwl_before,
         hpwl_after: design.hpwl(),
         final_objective,
-        iterations: config.iterations,
+        iterations: iterations_run,
     }
 }
 
@@ -338,6 +357,16 @@ mod tests {
         };
         let report = global_place(&mut design, &GlobalPlacementConfig::default());
         assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn a_fired_token_stops_the_optimizer_before_the_first_iteration() {
+        let mut design = design_for(Benchmark::Adder8);
+        let token = CancelToken::new();
+        token.cancel();
+        let report =
+            global_place_cancellable(&mut design, &GlobalPlacementConfig::default(), &token);
+        assert_eq!(report.iterations, 0, "no gradient iteration may run after cancellation");
     }
 
     #[test]

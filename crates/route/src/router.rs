@@ -27,7 +27,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use aqfp_cells::{Point, Technology};
+use aqfp_cells::{CancelToken, Point, Technology};
 use aqfp_place::parallel::effective_threads;
 use aqfp_place::{DesignEdit, PlacedDesign};
 use serde::{Deserialize, Serialize};
@@ -162,6 +162,7 @@ struct ChannelOutcome {
 pub struct Router {
     technology: Arc<Technology>,
     config: RouterConfig,
+    cancel: CancelToken,
 }
 
 impl Router {
@@ -173,12 +174,23 @@ impl Router {
         let technology = technology.into();
         let config =
             RouterConfig { grid_step_um: technology.rules().min_spacing, ..Default::default() };
-        Self { technology, config }
+        Self { technology, config, cancel: CancelToken::none() }
     }
 
     /// Creates a router with an explicit configuration.
     pub fn with_config(technology: impl Into<Arc<Technology>>, config: RouterConfig) -> Self {
-        Self { technology: technology.into(), config }
+        Self { technology: technology.into(), config, cancel: CancelToken::none() }
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: it is polled before each
+    /// channel job and once per space-expansion round inside a channel.
+    /// After it fires, the remaining channels produce empty outcomes (their
+    /// nets count as failed), so the router still returns promptly with a
+    /// well-formed — but partial — [`RoutingResult`] the caller is expected
+    /// to discard.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The technology the router targets.
@@ -364,11 +376,15 @@ impl Router {
     ) -> Vec<ChannelOutcome> {
         let workers = effective_threads(self.config.threads, jobs.len());
         let max_expansions = self.config.max_expansions;
+        let cancel = &self.cancel;
         if workers <= 1 {
             let mut scratch = SearchScratch::new();
             return jobs
                 .iter()
                 .map(|job| {
+                    if cancel.is_cancelled() {
+                        return cancelled_outcome(job);
+                    }
                     route_channel(
                         job,
                         columns,
@@ -377,6 +393,7 @@ impl Router {
                         max_expansions,
                         step,
                         &mut scratch,
+                        cancel,
                     )
                 })
                 .collect();
@@ -393,15 +410,20 @@ impl Router {
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
-                        let outcome = route_channel(
-                            job,
-                            columns,
-                            initial_tracks,
-                            auto_tracks,
-                            max_expansions,
-                            step,
-                            &mut scratch,
-                        );
+                        let outcome = if cancel.is_cancelled() {
+                            cancelled_outcome(job)
+                        } else {
+                            route_channel(
+                                job,
+                                columns,
+                                initial_tracks,
+                                auto_tracks,
+                                max_expansions,
+                                step,
+                                &mut scratch,
+                                cancel,
+                            )
+                        };
                         *slots[index].lock().expect("no poisoned channel slot") = Some(outcome);
                     }
                 });
@@ -514,6 +536,24 @@ fn channel_density(nets: &[ChannelNet]) -> i64 {
 /// Routes one channel with incremental space expansion and
 /// rip-up-and-reroute. Purely sequential and deterministic; the parallel
 /// driver calls this per channel.
+/// The outcome of a channel skipped because cancellation fired before it was
+/// routed: no wires, every net counted as failed. Only produced under a
+/// fired [`CancelToken`], whose contract is that the partial result is
+/// discarded by the caller.
+fn cancelled_outcome(job: &ChannelJob) -> ChannelOutcome {
+    ChannelOutcome {
+        report: ChannelReport {
+            row: job.row,
+            nets: job.nets.len(),
+            expansions: 0,
+            tracks: 0,
+            utilization: 0.0,
+        },
+        wires: Vec::new(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn route_channel(
     job: &ChannelJob,
     columns: i64,
@@ -522,6 +562,7 @@ fn route_channel(
     max_expansions: usize,
     step: f64,
     scratch: &mut SearchScratch,
+    cancel: &CancelToken,
 ) -> ChannelOutcome {
     let nets = &job.nets;
     // When the track count is derived (not pinned by the config), start at
@@ -619,6 +660,12 @@ fn route_channel(
         }
 
         if failed.is_empty() || expansions >= max_expansions {
+            break;
+        }
+        // A fired token stops the expansion ladder; whatever routed so far
+        // materializes below and the rest stays failed (the caller discards
+        // cancelled results anyway).
+        if cancel.is_cancelled() {
             break;
         }
 
@@ -1015,6 +1062,18 @@ mod tests {
         let scratch = router.route(&design);
         assert_eq!(scratch, partial);
         assert_eq!(partial.stats.nets_routed + partial.stats.failed_nets, design.net_count());
+    }
+
+    #[test]
+    fn a_fired_token_returns_promptly_with_every_net_failed() {
+        let (design, technology) = placed(Benchmark::Adder8);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = Router::new(technology).with_cancel(token).route(&design);
+        assert_eq!(result.stats.nets_routed, 0, "no channel may route after cancellation");
+        assert_eq!(result.stats.failed_nets, design.net_count());
+        // The result is still well-formed: one report per channel.
+        assert_eq!(result.channels.iter().map(|c| c.nets).sum::<usize>(), design.net_count());
     }
 
     #[test]

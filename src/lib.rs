@@ -23,7 +23,8 @@ pub mod prelude {
     pub use aqfp_synth::Synthesizer;
     pub use aqfp_timing::TimingAnalyzer;
     pub use superflow::{
-        Checked, Flow, FlowConfig, FlowObserver, FlowReport, FlowSession, FlowStage, Placed,
-        RepairScope, Routed, StageTimings, Synthesized, TechSpec,
+        error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, Checked, DesignReport,
+        DesignStatus, Fault, FaultKind, FaultPlan, Flow, FlowConfig, FlowObserver, FlowReport,
+        FlowSession, FlowStage, Placed, RepairScope, Routed, StageTimings, Synthesized, TechSpec,
     };
 }

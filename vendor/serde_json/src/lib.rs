@@ -20,7 +20,7 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Deserializes a value from a JSON string.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     parser.skip_whitespace();
     let value = parser.parse_value()?;
     parser.skip_whitespace();
@@ -130,9 +130,17 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. The parser is recursive,
+/// so without a cap a few kilobytes of `[[[[…` (say, a truncated or
+/// garbage checkpoint file) would overflow the stack and abort the whole
+/// process instead of returning an error. Real flow artifacts nest a
+/// handful of levels deep; 128 is far above anything legitimate.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -164,6 +172,16 @@ impl Parser<'_> {
         }
     }
 
+    /// Records entry into a container, rejecting pathological nesting
+    /// before the recursive descent can overflow the stack.
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!("JSON nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_whitespace();
         match self.peek() {
@@ -173,10 +191,12 @@ impl Parser<'_> {
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b'[') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut items = Vec::new();
                 self.skip_whitespace();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Seq(items));
                 }
                 loop {
@@ -186,6 +206,7 @@ impl Parser<'_> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Seq(items));
                         }
                         _ => return Err(Error::new("expected `,` or `]` in array")),
@@ -194,10 +215,12 @@ impl Parser<'_> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut entries = Vec::new();
                 self.skip_whitespace();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Map(entries));
                 }
                 loop {
@@ -211,6 +234,7 @@ impl Parser<'_> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Map(entries));
                         }
                         _ => return Err(Error::new("expected `,` or `}` in object")),
@@ -315,6 +339,23 @@ mod tests {
         assert_eq!(json, "[1.5,-2,40]");
         let back: Vec<f64> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    fn parse(text: &str) -> Result<Value, Error> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        parser.parse_value()
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).expect_err("rejected");
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Deep-but-sane nesting still parses, and sibling containers do not
+        // accumulate depth.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(matches!(parse(&ok), Ok(Value::Seq(_))));
+        assert!(parse("[[],[],[]]").is_ok());
     }
 
     #[test]
