@@ -42,6 +42,7 @@
 //! | corrupt / truncated journal  | strict checkpoint validation     | `Failed` (checkpoint stage, path + cause) |
 //! | journal from another PDK     | technology fingerprint check     | `Failed` (`TechnologyMismatch`) |
 //! | unreadable input / bad parse | typed [`crate::input`] errors    | `Failed` (no stage, error chain) |
+//! | infeasible design            | pre-flight lint (stage 0)        | `Failed` (stage [`LINT_STAGE`], rule ids); no degraded retry |
 //!
 //! Each of these is reproducible on demand through the [`FaultPlan`]
 //! injection hook — `panic:adder8:placement` panics at the placement stage
@@ -77,7 +78,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::FlowConfig;
 use crate::error::FlowError;
-use crate::input::{design_name, load_netlist};
+use crate::input::{design_name, load_design};
 use crate::report::FlowReport;
 use crate::session::{Checked, FlowSession, FlowStage, Placed, Routed, Synthesized};
 
@@ -87,7 +88,7 @@ use crate::session::{Checked, FlowSession, FlowStage, Placed, Routed, Synthesize
 pub struct BatchJob {
     /// Display name; also the journal subdirectory and GDS file stem.
     pub name: String,
-    /// The input spec passed to [`load_netlist`].
+    /// The input spec passed to [`load_design`].
     pub input: String,
 }
 
@@ -404,7 +405,12 @@ impl BatchReport {
                 design.wall_s,
             ));
             if let DesignStatus::Failed { error, stage, .. } = &design.status {
-                let at = match stage {
+                // Pre-flight lint rejections are called out distinctly from
+                // runtime stage failures: the design never entered the flow,
+                // so there is no partial work, no journal, and no point in a
+                // degraded retry — fix the netlist and resubmit.
+                let at = match stage.as_deref() {
+                    Some(LINT_STAGE) => " (rejected by pre-flight lint, flow not started)".into(),
                     Some(stage) => format!(" at {stage}"),
                     None => String::new(),
                 };
@@ -427,12 +433,32 @@ pub fn error_chain(error: &dyn std::error::Error) -> String {
     out
 }
 
+/// The stage label under which pre-flight lint rejections are classified.
+/// Lint is "stage 0": it runs after the netlist is loaded but before any
+/// stage engine, so a rejected design fails in milliseconds instead of
+/// entering synthesis.
+pub const LINT_STAGE: &str = "lint";
+
 /// A failure inside one attempt, attributed to a stage when one was
-/// running.
+/// running. The stage is a label rather than a [`FlowStage`] because the
+/// pre-flight lint gate ([`LINT_STAGE`]) fails designs before any engine
+/// stage exists.
 #[derive(Debug, Clone)]
 struct StageFailure {
-    stage: Option<FlowStage>,
+    stage: Option<String>,
     error: String,
+}
+
+impl StageFailure {
+    /// A failure attributed to an engine stage.
+    fn at(stage: FlowStage, error: String) -> Self {
+        Self { stage: Some(stage.name().to_owned()), error }
+    }
+
+    /// A failure with no stage attribution (input loading, output writing).
+    fn unattributed(error: String) -> Self {
+        Self { stage: None, error }
+    }
 }
 
 /// What a successful attempt reports back.
@@ -593,7 +619,13 @@ impl BatchRunner {
             Ok(success) => {
                 (DesignStatus::Succeeded, 1, success.resumed_from, success.checkpoint_hits)
             }
-            Err(failure) if self.config.retry_degraded => {
+            // A lint rejection is deterministic — the degraded retry changes
+            // thread counts and repair budgets, not the netlist — so retrying
+            // would waste a full flow attempt on a design that fails the same
+            // pre-flight check again.
+            Err(failure)
+                if self.config.retry_degraded && failure.stage.as_deref() != Some(LINT_STAGE) =>
+            {
                 match self.run_attempt(job, flow.clone().degraded(), technology, 2) {
                     Ok(_) => (DesignStatus::Degraded, 2, None, 0),
                     Err(retry_failure) => (
@@ -602,7 +634,7 @@ impl BatchRunner {
                                 "{}; degraded retry also failed: {}",
                                 failure.error, retry_failure.error
                             ),
-                            stage: failure.stage.map(|s| s.name().to_owned()),
+                            stage: failure.stage,
                             attempts: 2,
                         },
                         2,
@@ -612,11 +644,7 @@ impl BatchRunner {
                 }
             }
             Err(failure) => (
-                DesignStatus::Failed {
-                    error: failure.error,
-                    stage: failure.stage.map(|s| s.name().to_owned()),
-                    attempts: 1,
-                },
+                DesignStatus::Failed { error: failure.error, stage: failure.stage, attempts: 1 },
                 1,
                 None,
                 0,
@@ -645,9 +673,11 @@ impl BatchRunner {
         let mut session = FlowSession::with_technology(flow, Arc::clone(technology));
         let journal = self.config.journal_dir.as_ref().map(|dir| dir.join(&job.name));
         if let Some(dir) = &journal {
-            std::fs::create_dir_all(dir).map_err(|e| StageFailure {
-                stage: None,
-                error: format!("cannot create journal directory `{}`: {e}", dir.display()),
+            std::fs::create_dir_all(dir).map_err(|e| {
+                StageFailure::unattributed(format!(
+                    "cannot create journal directory `{}`: {e}",
+                    dir.display()
+                ))
             })?;
         }
         // The degraded retry diagnoses "did the *flow* fail" — it always
@@ -690,9 +720,21 @@ impl BatchRunner {
                                         synthesized
                                     }
                                     _ => {
-                                        let netlist = load_netlist(&job.input).map_err(|e| {
-                                            StageFailure { stage: None, error: error_chain(&e) }
+                                        let design = load_design(&job.input).map_err(|e| {
+                                            StageFailure::unattributed(error_chain(&e))
                                         })?;
+                                        let netlist = design.netlist;
+                                        // Stage 0: pre-flight lint. An
+                                        // infeasible design is rejected here
+                                        // in milliseconds, before any stage
+                                        // engine runs.
+                                        let lint = session.lint(&netlist);
+                                        if lint.has_errors() {
+                                            return Err(StageFailure {
+                                                stage: Some(LINT_STAGE.to_owned()),
+                                                error: error_chain(&FlowError::Lint(lint)),
+                                            });
+                                        }
                                         let synthesized = self.run_stage(
                                             &mut session,
                                             &job.name,
@@ -800,11 +842,10 @@ impl BatchRunner {
         });
         match result {
             Ok(Ok(artifact)) => Ok(artifact),
-            Ok(Err(error)) => Err(StageFailure { stage: Some(stage), error: error_chain(&error) }),
-            Err(panic_message) => Err(StageFailure {
-                stage: Some(stage),
-                error: format!("stage panicked: {panic_message}"),
-            }),
+            Ok(Err(error)) => Err(StageFailure::at(stage, error_chain(&error))),
+            Err(panic_message) => {
+                Err(StageFailure::at(stage, format!("stage panicked: {panic_message}")))
+            }
         }
     }
 
@@ -819,7 +860,7 @@ impl BatchRunner {
         json: Result<String, FlowError>,
     ) -> Result<(), StageFailure> {
         let Some(dir) = journal else { return Ok(()) };
-        let attribute = |error: String| StageFailure { stage: Some(stage), error };
+        let attribute = |error: String| StageFailure::at(stage, error);
         let json = json.map_err(|e| attribute(error_chain(&e)))?;
         let path = dir.join(checkpoint_file(stage));
         write_atomic(&path, json.as_bytes()).map_err(|e| attribute(error_chain(&e)))?;
@@ -841,7 +882,7 @@ impl BatchRunner {
         let Some(dir) = &self.config.output_dir else { return Ok(()) };
         let path = dir.join(format!("{design}.gds"));
         write_atomic(&path, &report.layout.to_gds_bytes())
-            .map_err(|e| StageFailure { stage: None, error: error_chain(&e) })
+            .map_err(|e| StageFailure::unattributed(error_chain(&e)))
     }
 
     /// Finds the newest intact checkpoint in a design's journal. A
@@ -862,15 +903,14 @@ impl BatchRunner {
                 Ok(text) => text,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
                 Err(e) => {
-                    return Err(StageFailure {
-                        stage: Some(stage),
-                        error: format!("cannot read checkpoint `{}`: {e}", path.display()),
-                    })
+                    return Err(StageFailure::at(
+                        stage,
+                        format!("cannot read checkpoint `{}`: {e}", path.display()),
+                    ))
                 }
             };
-            let located = |e: FlowError| StageFailure {
-                stage: Some(stage),
-                error: format!("`{}`: {}", path.display(), error_chain(&e)),
+            let located = |e: FlowError| {
+                StageFailure::at(stage, format!("`{}`: {}", path.display(), error_chain(&e)))
             };
             let resume = match stage {
                 FlowStage::Synthesis => {
@@ -1025,6 +1065,7 @@ mod tests {
     fn error_chains_render_every_source_hop() {
         let error = FlowError::from(aqfp_netlist::parsers::ParseNetlistError {
             line: 7,
+            column: 0,
             message: "bad token".to_owned(),
         });
         let chain = error_chain(&error);

@@ -49,6 +49,26 @@
 //!                           panic|deadline|truncate : design : stage
 //!   plus --placer/--tech/--process/--threads/--fast/--quiet as above
 //!
+//! superflow lint [OPTIONS] <input>...
+//!
+//!   runs the pre-flight static-analysis rules (the same gate the flow and
+//!   the batch driver apply before any stage engine) over one or more
+//!   designs without running the flow. Inputs parse leniently, so every
+//!   undriven net is reported with its source span instead of failing at
+//!   the first.
+//!
+//!   --tech/--process        technology to lint against, as above
+//!   --format <text|json>    output format                     [text]
+//!   --deny <rule>           treat a rule (or `all`) as an error; repeatable
+//!   --warn <rule>           demote a rule (or `all`) to a warning; repeatable
+//!   --allow <rule>          suppress a rule (or `all`); repeatable
+//!   --fanout-threshold <n>  fan-out above which AQFP-W009 fires
+//!   --rules                 print the rule catalog and exit
+//!
+//!   exits 0 when every design is clean or has only warnings, 1 when any
+//!   design has error-severity findings or fails to load, 2 on usage
+//!   errors.
+//!
 //! superflow tech list [--quiet]     list known technologies (--quiet:
 //!                                   names only, one per line)
 //! superflow tech show <name|file>   validate a technology and print its
@@ -59,7 +79,9 @@
 //! ```
 //!
 //! Exit codes: 0 success, 1 flow error, 2 usage error, 3 partial batch
-//! failure (the batch completed, but at least one design failed).
+//! failure (the batch completed, but at least one design failed — including
+//! designs rejected by the pre-flight lint stage, which the batch report
+//! distinguishes from runtime failures).
 
 use std::process::ExitCode;
 
@@ -69,7 +91,7 @@ use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
 use superflow::{
     error_chain, BatchConfig, BatchJob, BatchRunner, Fault, FaultPlan, Flow, FlowConfig,
-    FlowObserver, FlowReport, FlowStage, RepairScope, TechSpec,
+    FlowObserver, FlowReport, FlowStage, LintConfig, RepairScope, TechSpec,
 };
 
 /// Exit code for usage errors (bad flags, malformed specs).
@@ -193,6 +215,9 @@ fn usage() -> &'static str {
      \x20      superflow batch [--workers n] [--stage-timeout seconds] [--no-retry] \
      [--journal dir] [--output-dir dir] [--report out.json] \
      [--fault panic|deadline|truncate:design:stage] [flow options] <input>...\n\
+     \x20      superflow lint [--tech name|file.toml] [--process mit-ll|stp2] \
+     [--format text|json] [--deny rule] [--warn rule] [--allow rule] \
+     [--fanout-threshold n] [--rules] <input>...\n\
      \x20      superflow tech list [--quiet]\n\
      \x20      superflow tech show <name|file>\n\
      \x20      superflow tech dump <name> [--output file.toml]"
@@ -521,8 +546,7 @@ fn run_batch_cli(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let jobs: Vec<BatchJob> =
-        options.inputs.iter().map(BatchJob::from_input).collect();
+    let jobs: Vec<BatchJob> = options.inputs.iter().map(BatchJob::from_input).collect();
     let runner = BatchRunner::new(build_batch_config(&options));
     let report = match runner.run(&jobs) {
         Ok(report) => report,
@@ -555,6 +579,169 @@ fn run_batch_cli(args: &[String]) -> ExitCode {
     }
     if report.failed() > 0 {
         ExitCode::from(EXIT_PARTIAL_FAILURE)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `superflow lint` subcommand
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct LintCliOptions {
+    inputs: Vec<String>,
+    tech: Option<String>,
+    json: bool,
+    lint: LintConfig,
+    rules: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintCliOptions, String> {
+    let mut options = LintCliOptions {
+        inputs: Vec::new(),
+        tech: None,
+        json: false,
+        lint: LintConfig::default(),
+        rules: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tech" => {
+                let value = iter.next().ok_or("--tech needs a value")?;
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(value.clone());
+            }
+            "--process" => {
+                let value = iter.next().ok_or("--process needs a value")?;
+                let name = match value.as_str() {
+                    "mit-ll" | "mitll" => aqfp_cells::MIT_LL_SQF5EE,
+                    "stp2" => aqfp_cells::AIST_STP2,
+                    other => return Err(format!("unknown process `{other}`")),
+                };
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(name.to_owned());
+            }
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.json = match value.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown lint format `{other}`")),
+                };
+            }
+            "--deny" => {
+                options.lint.deny.push(iter.next().ok_or("--deny needs a rule id")?.clone())
+            }
+            "--warn" => {
+                options.lint.warn.push(iter.next().ok_or("--warn needs a rule id")?.clone())
+            }
+            "--allow" => {
+                options.lint.allow.push(iter.next().ok_or("--allow needs a rule id")?.clone())
+            }
+            "--fanout-threshold" => {
+                let value = iter.next().ok_or("--fanout-threshold needs a value")?;
+                options.lint.fanout_threshold =
+                    Some(value.parse::<usize>().map_err(|_| {
+                        format!("--fanout-threshold needs a number, got `{value}`")
+                    })?);
+            }
+            "--rules" => options.rules = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown lint option `{other}`"))
+            }
+            other => options.inputs.push(other.to_owned()),
+        }
+    }
+    if options.inputs.is_empty() && !options.rules {
+        return Err("lint needs at least one input (or --rules)".to_owned());
+    }
+    Ok(options)
+}
+
+/// The rule catalog table `superflow lint --rules` prints.
+fn render_rule_catalog() -> String {
+    let mut out = String::from("rule       default  summary\n");
+    for info in superflow::lint::catalog() {
+        out.push_str(&format!("{:<10} {:<8} {}\n", info.id, info.severity.keyword(), info.summary));
+    }
+    out.trim_end().to_owned()
+}
+
+fn run_lint_cli(args: &[String]) -> ExitCode {
+    let options = match parse_lint_args(args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if options.rules {
+        println!("{}", render_rule_catalog());
+        return ExitCode::SUCCESS;
+    }
+    let flow = match &options.tech {
+        Some(value) => FlowConfig::paper_default().with_tech(tech_spec(value)),
+        None => FlowConfig::paper_default(),
+    }
+    .with_lint(options.lint);
+    let technology = match flow.resolve_technology() {
+        Ok(technology) => technology,
+        Err(e) => {
+            eprintln!("error: {}", error_chain(&e));
+            return ExitCode::FAILURE;
+        }
+    };
+    let settings = flow.lint_settings();
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for input in &options.inputs {
+        // Lenient loading: undriven nets become AQFP-E002 findings with
+        // their source spans instead of a parse error at the first one.
+        match superflow::load_design(input) {
+            Ok(design) => {
+                let name = superflow::input::design_name(input);
+                let report = superflow::lint::lint(
+                    &name,
+                    &design.netlist,
+                    &technology,
+                    &settings,
+                    &flow.lint,
+                );
+                failed |= report.has_errors();
+                reports.push(report);
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("error: `{input}`: {}", error_chain(&e));
+            }
+        }
+    }
+    if options.json {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize lint reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for report in &reports {
+            print!("{}", report.render());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
@@ -688,6 +875,10 @@ fn main() -> ExitCode {
 
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch_cli(&args[1..]);
+    }
+
+    if args.first().map(String::as_str) == Some("lint") {
+        return run_lint_cli(&args[1..]);
     }
 
     if args.first().map(String::as_str) == Some("tech") {
@@ -1050,6 +1241,80 @@ mod tests {
                 );
             }
             Outcome::Stopped { .. } => panic!("no --stop-after given"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod lint_cli_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_lint_command_line() {
+        let options = parse_lint_args(&args(&[
+            "--tech",
+            "aist-stp2",
+            "--format",
+            "json",
+            "--deny",
+            "AQFP-W009",
+            "--deny",
+            "AQFP-W006",
+            "--warn",
+            "AQFP-E005",
+            "--allow",
+            "AQFP-W007",
+            "--fanout-threshold",
+            "8",
+            "a.v",
+            "b.blif",
+        ]))
+        .expect("parses");
+        assert_eq!(options.inputs, vec!["a.v".to_owned(), "b.blif".to_owned()]);
+        assert_eq!(options.tech.as_deref(), Some("aist-stp2"));
+        assert!(options.json);
+        assert_eq!(options.lint.deny, vec!["AQFP-W009".to_owned(), "AQFP-W006".to_owned()]);
+        assert_eq!(options.lint.warn, vec!["AQFP-E005".to_owned()]);
+        assert_eq!(options.lint.allow, vec!["AQFP-W007".to_owned()]);
+        assert_eq!(options.lint.fanout_threshold, Some(8));
+        assert!(!options.rules);
+    }
+
+    #[test]
+    fn lint_defaults_are_text_format_and_empty_policy() {
+        let options = parse_lint_args(&args(&["adder8"])).expect("parses");
+        assert!(!options.json);
+        assert_eq!(options.lint, LintConfig::default());
+        assert!(options.tech.is_none());
+    }
+
+    #[test]
+    fn lint_usage_errors_are_rejected() {
+        assert!(parse_lint_args(&args(&[])).is_err(), "no input");
+        assert!(parse_lint_args(&args(&["--format", "xml", "a.v"])).is_err(), "bad format");
+        assert!(parse_lint_args(&args(&["--deny"])).is_err(), "missing rule id");
+        assert!(
+            parse_lint_args(&args(&["--fanout-threshold", "lots", "a.v"])).is_err(),
+            "non-numeric threshold"
+        );
+        assert!(parse_lint_args(&args(&["--frobnicate", "a.v"])).is_err(), "unknown flag");
+        assert!(
+            parse_lint_args(&args(&["--tech", "a", "--process", "stp2", "a.v"])).is_err(),
+            "tech and process conflict"
+        );
+    }
+
+    #[test]
+    fn rules_flag_needs_no_input_and_catalog_renders_every_rule() {
+        let options = parse_lint_args(&args(&["--rules"])).expect("parses");
+        assert!(options.rules);
+        let catalog = render_rule_catalog();
+        for info in superflow::lint::catalog() {
+            assert!(catalog.contains(info.id), "{} missing from:\n{catalog}", info.id);
         }
     }
 }

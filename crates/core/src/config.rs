@@ -123,6 +123,11 @@ pub struct FlowConfig {
     /// Maximum number of DRC-fix iterations before the flow gives up and
     /// reports the remaining violations.
     pub max_drc_iterations: usize,
+    /// Pre-flight lint policy: per-rule severity overrides and rule
+    /// parameters. The defaults deny nothing extra and suppress nothing —
+    /// error-severity rules gate the flow, warnings are reported and the
+    /// flow proceeds.
+    pub lint: aqfp_lint::LintConfig,
 }
 
 impl FlowConfig {
@@ -136,6 +141,7 @@ impl FlowConfig {
             placement: PlacementOptions::default(),
             router: RouterConfig::default(),
             max_drc_iterations: 3,
+            lint: aqfp_lint::LintConfig::default(),
         }
     }
 
@@ -189,6 +195,21 @@ impl FlowConfig {
     /// every available core).
     pub fn threads(&self) -> usize {
         self.router.threads
+    }
+
+    /// Returns the same configuration with a different lint policy.
+    pub fn with_lint(mut self, lint: aqfp_lint::LintConfig) -> Self {
+        self.lint = lint;
+        self
+    }
+
+    /// The slice of this configuration the lint config-sanity rules inspect.
+    pub fn lint_settings(&self) -> aqfp_lint::FlowSettings {
+        aqfp_lint::FlowSettings {
+            threads: self.threads(),
+            max_splitter_arity: self.synthesis.max_splitter_arity,
+            max_drc_iterations: self.max_drc_iterations,
+        }
     }
 
     /// The degraded variant of this configuration, used by the batch
@@ -316,6 +337,19 @@ mod tests {
         assert_eq!(degraded.tech, base.tech);
         assert_eq!(degraded.placer, base.placer);
         assert_eq!(degraded.placement.global.iterations, base.placement.global.iterations);
+    }
+
+    #[test]
+    fn lint_settings_mirror_the_flow_configuration() {
+        let config = FlowConfig::fast().with_threads(2);
+        let settings = config.lint_settings();
+        assert_eq!(settings.threads, 2);
+        assert_eq!(settings.max_splitter_arity, config.synthesis.max_splitter_arity);
+        assert_eq!(settings.max_drc_iterations, config.max_drc_iterations);
+        // with_lint swaps the policy wholesale.
+        let strict = config
+            .with_lint(aqfp_lint::LintConfig { deny: vec!["all".into()], ..Default::default() });
+        assert_eq!(strict.lint.deny, vec!["all".to_owned()]);
     }
 
     #[test]

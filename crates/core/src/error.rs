@@ -1,5 +1,6 @@
 //! Flow-level error type.
 
+use aqfp_lint::LintReport;
 use aqfp_netlist::parsers::ParseNetlistError;
 use aqfp_netlist::NetlistError;
 use aqfp_synth::SynthesisError;
@@ -11,6 +12,10 @@ use std::fmt;
 pub enum FlowError {
     /// The RTL/netlist input could not be parsed.
     Parse(ParseNetlistError),
+    /// Pre-flight lint found error-severity defects, so the flow refused to
+    /// start. The full report — rule ids, messages, source spans — is
+    /// carried along for rendering.
+    Lint(LintReport),
     /// The input netlist failed validation.
     InvalidNetlist(NetlistError),
     /// The synthesis stage failed.
@@ -58,6 +63,20 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Parse(e) => write!(f, "failed to parse input: {e}"),
+            FlowError::Lint(report) => {
+                let errors = report.errors().count();
+                let rules: std::collections::BTreeSet<&str> =
+                    report.errors().map(|d| d.rule.as_str()).collect();
+                let rules: Vec<&str> = rules.into_iter().collect();
+                write!(
+                    f,
+                    "design `{}` rejected by pre-flight lint: {errors} error{} ({}); run \
+                     `superflow lint` for the full report",
+                    report.design,
+                    if errors == 1 { "" } else { "s" },
+                    rules.join(", ")
+                )
+            }
             FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
             FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
             FlowError::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
@@ -84,7 +103,8 @@ impl Error for FlowError {
             FlowError::Parse(e) => Some(e),
             FlowError::InvalidNetlist(e) => Some(e),
             FlowError::Synthesis(e) => Some(e),
-            FlowError::Checkpoint(_)
+            FlowError::Lint(_)
+            | FlowError::Checkpoint(_)
             | FlowError::Input(_)
             | FlowError::Io { .. }
             | FlowError::Cancelled { .. }
@@ -113,6 +133,12 @@ impl From<NetlistError> for FlowError {
     }
 }
 
+impl From<LintReport> for FlowError {
+    fn from(value: LintReport) -> Self {
+        FlowError::Lint(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,11 +146,32 @@ mod tests {
 
     #[test]
     fn errors_display_their_stage() {
-        let parse: FlowError =
-            FlowError::Parse(ParseNetlistError { line: 3, message: "bad token".to_owned() });
+        let parse: FlowError = FlowError::Parse(ParseNetlistError {
+            line: 3,
+            column: 0,
+            message: "bad token".to_owned(),
+        });
         assert!(parse.to_string().contains("parse"));
         let invalid: FlowError = NetlistError::Cycle { gate: GateId(0) }.into();
         assert!(invalid.to_string().contains("invalid"));
         assert!(std::error::Error::source(&invalid).is_some());
+    }
+
+    #[test]
+    fn lint_errors_summarize_the_report() {
+        let mut report = LintReport::clean("bad");
+        report.diagnostics.push(aqfp_lint::Diagnostic {
+            rule: "AQFP-E001".to_owned(),
+            severity: aqfp_lint::Severity::Error,
+            message: "combinational loop: g1 -> g2 -> g1".to_owned(),
+            object: Some("g1".to_owned()),
+            line: 4,
+            column: 3,
+        });
+        let error: FlowError = report.into();
+        let text = error.to_string();
+        assert!(text.contains("pre-flight lint"), "{text}");
+        assert!(text.contains("AQFP-E001"), "{text}");
+        assert!(text.contains("1 error"), "{text}");
     }
 }

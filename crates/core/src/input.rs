@@ -7,12 +7,48 @@
 //! that mapping lives, so both front ends agree — and both produce typed
 //! [`FlowError`]s (with the failing path and the parser's line number)
 //! instead of stringly-typed messages.
+//!
+//! Two loaders share the mapping: [`load_netlist`] parses strictly (the
+//! first undriven signal is a parse error), while [`load_design`] parses
+//! leniently through the recovering front-ends, so pre-flight lint can
+//! report *every* undriven net with its source span (`AQFP-E002`) instead
+//! of stopping at the first.
 
 use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
-use aqfp_netlist::parsers::{parse_blif, parse_verilog, ParseNetlistError};
+use aqfp_netlist::parsers::{
+    parse_blif, parse_blif_recovering, parse_verilog, parse_verilog_recovering, ParsedDesign,
+};
 use aqfp_netlist::Netlist;
 
 use crate::error::FlowError;
+
+/// The netlist file formats the flow accepts, detected from the extension.
+enum NetlistFormat {
+    Verilog,
+    Blif,
+}
+
+/// Maps an input path to its format, or explains what the flow accepts.
+fn detect_format(input: &str) -> Result<NetlistFormat, FlowError> {
+    let extension = std::path::Path::new(input)
+        .extension()
+        .and_then(|extension| extension.to_str())
+        .unwrap_or("");
+    match extension {
+        "v" | "sv" => Ok(NetlistFormat::Verilog),
+        "blif" => Ok(NetlistFormat::Blif),
+        _ => Err(FlowError::Input(format!(
+            "cannot tell the format of `{input}` from its extension: expected a .v/.sv \
+             (structural Verilog) or .blif file, or one of the benchmark names ({})",
+            Benchmark::ALL.map(|b| b.name()).join(", ")
+        ))),
+    }
+}
+
+fn read_source(input: &str) -> Result<String, FlowError> {
+    std::fs::read_to_string(input)
+        .map_err(|e| FlowError::Io { path: input.to_owned(), message: e.to_string() })
+}
 
 /// Loads a flow input: benchmark names resolve to generated circuits, file
 /// paths dispatch on their extension.
@@ -27,24 +63,38 @@ pub fn load_netlist(input: &str) -> Result<Netlist, FlowError> {
     if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
         return Ok(benchmark_circuit(benchmark));
     }
-    let extension = std::path::Path::new(input)
-        .extension()
-        .and_then(|extension| extension.to_str())
-        .unwrap_or("");
-    let parse: fn(&str) -> Result<Netlist, ParseNetlistError> = match extension {
-        "v" | "sv" => parse_verilog,
-        "blif" => parse_blif,
-        _ => {
-            return Err(FlowError::Input(format!(
-                "cannot tell the format of `{input}` from its extension: expected a .v/.sv \
-                 (structural Verilog) or .blif file, or one of the benchmark names ({})",
-                Benchmark::ALL.map(|b| b.name()).join(", ")
-            )))
-        }
-    };
-    let source = std::fs::read_to_string(input)
-        .map_err(|e| FlowError::Io { path: input.to_owned(), message: e.to_string() })?;
-    parse(&source).map_err(FlowError::from)
+    let format = detect_format(input)?;
+    let source = read_source(input)?;
+    match format {
+        NetlistFormat::Verilog => parse_verilog(&source),
+        NetlistFormat::Blif => parse_blif(&source),
+    }
+    .map_err(FlowError::from)
+}
+
+/// Loads a flow input leniently, through the recovering parsers: undriven
+/// signals are patched with constant-0 placeholder gates and recorded as
+/// [`RecoveredDefect`](aqfp_netlist::parsers::RecoveredDefect)s instead of
+/// failing the parse. Pre-flight lint reports each placeholder as an
+/// `AQFP-E002` finding with its source span, so one run surfaces every
+/// undriven net. Benchmark names resolve to generated circuits with an
+/// empty defect list.
+///
+/// # Errors
+///
+/// Same as [`load_netlist`], except undriven signals are no longer a
+/// [`FlowError::Parse`] — only unrecoverable syntax errors are.
+pub fn load_design(input: &str) -> Result<ParsedDesign, FlowError> {
+    if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
+        return Ok(ParsedDesign { netlist: benchmark_circuit(benchmark), recovered: Vec::new() });
+    }
+    let format = detect_format(input)?;
+    let source = read_source(input)?;
+    match format {
+        NetlistFormat::Verilog => parse_verilog_recovering(&source),
+        NetlistFormat::Blif => parse_blif_recovering(&source),
+    }
+    .map_err(FlowError::from)
 }
 
 /// A short display name for an input spec: benchmark names pass through,
@@ -70,6 +120,9 @@ mod tests {
         let netlist = load_netlist("adder8").expect("built-in benchmark");
         assert!(netlist.gate_count() > 0);
         assert_eq!(design_name("adder8"), "adder8");
+        let design = load_design("adder8").expect("built-in benchmark");
+        assert!(design.recovered.is_empty());
+        assert_eq!(design.netlist.gate_count(), netlist.gate_count());
     }
 
     #[test]
@@ -81,11 +134,35 @@ mod tests {
             load_netlist("no_such_file.v"),
             Err(FlowError::Io { path, .. }) if path == "no_such_file.v"
         ));
+        // The lenient loader shares the same dispatch and error types.
+        assert!(matches!(load_design("design.vhdl"), Err(FlowError::Input(_))));
+        assert!(matches!(load_design("no_such_file.blif"), Err(FlowError::Io { .. })));
     }
 
     #[test]
     fn file_paths_reduce_to_their_stem() {
         assert_eq!(design_name("designs/alu.v"), "alu");
         assert_eq!(design_name("top.blif"), "top");
+    }
+
+    #[test]
+    fn lenient_loading_recovers_undriven_signals() {
+        let dir = std::env::temp_dir().join("superflow-input-lenient-test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("undriven.v");
+        std::fs::write(
+            &path,
+            "module undriven(a, y);\n  input a;\n  output y;\n  wire ghost;\n  and g(y, a, \
+             ghost);\nendmodule\n",
+        )
+        .expect("write fixture");
+        let input = path.to_str().expect("utf-8 path");
+        // Strict loading fails on the undriven signal ...
+        assert!(matches!(load_netlist(input), Err(FlowError::Parse(_))));
+        // ... while lenient loading patches it and records the defect.
+        let design = load_design(input).expect("recovering parse succeeds");
+        assert_eq!(design.recovered.len(), 1);
+        assert_eq!(design.recovered[0].signal, "ghost");
+        std::fs::remove_file(&path).ok();
     }
 }

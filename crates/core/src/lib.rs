@@ -50,6 +50,19 @@
 //! from the last completed stage with byte-identical results. See the
 //! [`batch`] module docs for the fault model.
 //!
+//! # Pre-flight lint
+//!
+//! Before any stage engine runs, the flow lints its inputs ([`lint`], the
+//! `aqfp-lint` crate): [`FlowSession::new`] checks the resolved technology
+//! and flow configuration, [`FlowSession::synthesize`] checks the netlist
+//! graph (combinational loops, undriven nets, unmappable cell kinds, …),
+//! and the batch driver classifies rejected designs as failed at the
+//! pre-flight "lint" stage without starting the flow. Error-severity
+//! findings surface as [`FlowError::Lint`] carrying the full
+//! [`LintReport`]; the policy (deny/warn/allow per rule) lives in
+//! [`FlowConfig::lint`]. The `superflow lint` CLI subcommand runs the same
+//! rules standalone, with human-readable or JSON output.
+//!
 //! # Technologies
 //!
 //! The flow is generic over the fabrication process: every stage consumes
@@ -75,12 +88,12 @@ pub mod session;
 
 pub use batch::{
     error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, DesignReport, DesignStatus,
-    Fault, FaultKind, FaultPlan,
+    Fault, FaultKind, FaultPlan, LINT_STAGE,
 };
 pub use config::{FlowConfig, TechSpec};
 pub use error::FlowError;
 pub use flow::Flow;
-pub use input::load_netlist;
+pub use input::{load_design, load_netlist};
 pub use report::{FlowReport, StageTimings};
 pub use session::{
     Checked, FlowObserver, FlowSession, FlowStage, Placed, RepairScope, Routed, Synthesized,
@@ -90,6 +103,8 @@ pub use session::{
 // alone.
 pub use aqfp_cells as cells;
 pub use aqfp_layout as layout;
+pub use aqfp_lint as lint;
+pub use aqfp_lint::{LintConfig, LintReport};
 pub use aqfp_netlist as netlist;
 pub use aqfp_place as place;
 pub use aqfp_route as route;

@@ -488,9 +488,17 @@ impl FlowSession {
     /// # Errors
     ///
     /// Returns [`FlowError::Technology`] when the technology spec cannot be
-    /// resolved (unknown builtin name, unreadable or invalid file).
+    /// resolved (unknown builtin name, unreadable or invalid file), and
+    /// [`FlowError::Lint`] when the setup lint rules (technology geometry,
+    /// flow-configuration sanity) find error-severity defects — a bad
+    /// configuration is rejected here, before any design is loaded.
     pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
         let technology = config.resolve_technology()?;
+        let report =
+            aqfp_lint::lint_setup("flow-setup", &technology, &config.lint_settings(), &config.lint);
+        if report.has_errors() {
+            return Err(FlowError::Lint(report));
+        }
         Ok(Self::with_technology(config, technology))
     }
 
@@ -597,6 +605,31 @@ impl FlowSession {
         self.timings
     }
 
+    /// Runs the full pre-flight lint over `netlist` with this session's
+    /// technology and lint policy. This is the same check
+    /// [`FlowSession::synthesize`] gates on; call it directly to inspect
+    /// warnings (the gate only refuses on errors).
+    pub fn lint(&self, netlist: &Netlist) -> aqfp_lint::LintReport {
+        aqfp_lint::lint(
+            netlist.name(),
+            netlist,
+            &self.technology,
+            &self.config.lint_settings(),
+            &self.config.lint,
+        )
+    }
+
+    /// Fails with [`FlowError::Lint`] when pre-flight lint reports
+    /// error-severity findings.
+    fn lint_gate(&self, netlist: &Netlist) -> Result<(), FlowError> {
+        let report = self.lint(netlist);
+        if report.has_errors() {
+            Err(FlowError::Lint(report))
+        } else {
+            Ok(())
+        }
+    }
+
     fn stage_started(&mut self, stage: FlowStage) {
         for observer in &mut self.observers {
             observer.stage_started(stage);
@@ -615,12 +648,16 @@ impl FlowSession {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::InvalidNetlist`] if the input fails validation
-    /// and [`FlowError::Synthesis`] if the synthesis stage rejects it.
+    /// Returns [`FlowError::Lint`] if pre-flight lint finds error-severity
+    /// defects (combinational loops, undriven nets, unmappable cell kinds,
+    /// ...), [`FlowError::InvalidNetlist`] if the input fails the structural
+    /// validation lint does not cover, and [`FlowError::Synthesis`] if the
+    /// synthesis stage rejects it.
     pub fn synthesize(&mut self, netlist: &Netlist) -> Result<Synthesized, FlowError> {
         self.ensure_not_cancelled(FlowStage::Synthesis)?;
         self.stage_started(FlowStage::Synthesis);
         let start = Instant::now();
+        self.lint_gate(netlist)?;
         netlist.validate()?;
         let synthesizer =
             Synthesizer::with_options(Arc::clone(&self.technology), self.config.synthesis);

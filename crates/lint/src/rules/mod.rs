@@ -1,0 +1,91 @@
+//! The rule registry.
+//!
+//! Every lint check implements [`Rule`] and is registered in [`all_rules`].
+//! Rules are grouped by what they inspect:
+//!
+//! * [`graph`] — structural analysis of the parsed netlist (loops, undriven
+//!   nets, dead logic, fan-out pressure);
+//! * [`tech`] — compatibility between the design and the selected
+//!   [`aqfp_cells::Technology`];
+//! * [`flow`] — sanity of the flow configuration itself.
+
+pub mod flow;
+pub mod graph;
+pub mod tech;
+
+use aqfp_netlist::SourceSpan;
+
+use crate::context::LintContext;
+use crate::diagnostics::Severity;
+
+/// One raw finding produced by a rule, before severity policy is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Human-readable description.
+    pub message: String,
+    /// The offending object (instance, net or option name), when one exists.
+    pub object: Option<String>,
+    /// Source location, [`SourceSpan::UNKNOWN`] when none applies.
+    pub span: SourceSpan,
+}
+
+impl Finding {
+    /// A finding with no associated object or location (whole-design issue).
+    pub fn global(message: impl Into<String>) -> Self {
+        Self { message: message.into(), object: None, span: SourceSpan::UNKNOWN }
+    }
+
+    /// A finding anchored to a named object at a source location.
+    pub fn on(object: impl Into<String>, span: SourceSpan, message: impl Into<String>) -> Self {
+        Self { message: message.into(), object: Some(object.into()), span }
+    }
+}
+
+/// A lint check.
+///
+/// Implementations are stateless; everything they inspect comes through the
+/// [`LintContext`]. See the crate-level documentation for a walkthrough of
+/// adding a new rule.
+pub trait Rule {
+    /// Stable identifier, `AQFP-<E|W><nnn>`: `E`/`W` encodes the default
+    /// severity, the number block encodes the group (0xx graph, 1xx
+    /// technology, 2xx configuration). Ids are append-only: never reuse or
+    /// renumber a published id.
+    fn id(&self) -> &'static str;
+
+    /// Default severity, overridable per run via
+    /// [`crate::LintConfig::severity_for`].
+    fn severity(&self) -> Severity;
+
+    /// One-line description for the rule catalog (`superflow lint --rules`).
+    fn summary(&self) -> &'static str;
+
+    /// Whether the rule needs a parsed netlist. Rules that only inspect the
+    /// technology or flow settings return `false` and also run in the
+    /// netlist-free setup pass ([`crate::lint_setup`]).
+    fn needs_netlist(&self) -> bool {
+        true
+    }
+
+    /// Runs the check and returns every finding.
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Finding>;
+}
+
+/// Every registered rule, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(graph::CombinationalLoop),
+        Box::new(graph::UndrivenNet),
+        Box::new(graph::ArityMismatch),
+        Box::new(graph::DuplicateName),
+        Box::new(graph::NoOutputs),
+        Box::new(graph::FloatingInput),
+        Box::new(graph::DeadLogic),
+        Box::new(graph::ConstantOutput),
+        Box::new(graph::ExcessiveFanout),
+        Box::new(tech::UnmappableKind),
+        Box::new(tech::OffGridCell),
+        Box::new(flow::ConfigInvalid),
+        Box::new(flow::ConfigDegenerate),
+    ]
+}

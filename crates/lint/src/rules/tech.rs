@@ -1,0 +1,162 @@
+//! Technology-compatibility rules (`AQFP-E101`, `AQFP-W102`).
+
+use std::collections::BTreeSet;
+
+use aqfp_cells::CellKind;
+
+use crate::context::LintContext;
+use crate::diagnostics::Severity;
+use crate::rules::{Finding, Rule};
+
+/// `AQFP-E101`: the design uses a cell kind the selected technology has no
+/// geometry for. Synthesis would panic the first time it asks for the cell.
+pub struct UnmappableKind;
+
+impl Rule for UnmappableKind {
+    fn id(&self) -> &'static str {
+        "AQFP-E101"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn summary(&self) -> &'static str {
+        "the design uses a cell kind the technology cannot map"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Finding> {
+        let Some(n) = ctx.netlist else { return Vec::new() };
+        let mut reported: BTreeSet<CellKind> = BTreeSet::new();
+        let mut findings = Vec::new();
+        for (id, gate) in n.iter() {
+            if !ctx.technology.cells.contains_key(&gate.kind) && reported.insert(gate.kind) {
+                findings.push(Finding::on(
+                    gate.name.clone(),
+                    n.span(id),
+                    format!(
+                        "cell kind {:?} (first used by `{}`) has no cell in technology `{}`",
+                        gate.kind, gate.name, ctx.technology.name
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}
+
+/// `AQFP-W102`: a technology cell's geometry is off the process grid. The
+/// legalizer snaps positions to the grid, so off-grid cell dimensions or pin
+/// offsets accumulate alignment error across a row.
+pub struct OffGridCell;
+
+fn on_grid(value: f64, grid: f64) -> bool {
+    let steps = (value / grid).round();
+    (value - steps * grid).abs() <= grid * 1e-6
+}
+
+impl Rule for OffGridCell {
+    fn id(&self) -> &'static str {
+        "AQFP-W102"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn summary(&self) -> &'static str {
+        "a technology cell's geometry is off the process grid"
+    }
+
+    fn needs_netlist(&self) -> bool {
+        false
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Finding> {
+        let grid = ctx.technology.rules.grid;
+        if grid <= 0.0 {
+            return vec![Finding::global(format!(
+                "technology `{}` declares a non-positive grid pitch {grid}",
+                ctx.technology.name
+            ))];
+        }
+        let mut findings = Vec::new();
+        for (kind, cell) in &ctx.technology.cells {
+            let mut off = Vec::new();
+            if !on_grid(cell.width, grid) {
+                off.push(format!("width {}", cell.width));
+            }
+            if !on_grid(cell.height, grid) {
+                off.push(format!("height {}", cell.height));
+            }
+            for pin in cell.input_pins.iter().chain(&cell.output_pins) {
+                if !on_grid(pin.offset.x, grid) || !on_grid(pin.offset.y, grid) {
+                    off.push(format!("pin `{}` at ({}, {})", pin.name, pin.offset.x, pin.offset.y));
+                }
+            }
+            if !off.is_empty() {
+                findings.push(Finding {
+                    message: format!("cell {kind:?} is off the {grid} µm grid: {}", off.join(", ")),
+                    object: Some(format!("{kind:?}")),
+                    span: aqfp_netlist::SourceSpan::UNKNOWN,
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use aqfp_cells::{CellKind, Technology};
+    use aqfp_netlist::Netlist;
+
+    use crate::{lint, lint_setup, FlowSettings, LintConfig};
+
+    fn small_design() -> Netlist {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("a");
+        let g = n.add_gate(CellKind::Buffer, "g", vec![a]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn e101_reports_kinds_missing_from_the_technology() {
+        let mut tech = Technology::mit_ll_sqf5ee();
+        tech.cells.remove(&CellKind::Buffer);
+        let report =
+            lint("d", &small_design(), &tech, &FlowSettings::default(), &LintConfig::default());
+        assert!(report.mentions("AQFP-E101"), "{}", report.render());
+        let diagnostic = report.diagnostics.iter().find(|d| d.rule == "AQFP-E101").unwrap();
+        assert!(diagnostic.message.contains("Buffer"), "{}", diagnostic.message);
+
+        let clean = lint(
+            "d",
+            &small_design(),
+            &Technology::mit_ll_sqf5ee(),
+            &FlowSettings::default(),
+            &LintConfig::default(),
+        );
+        assert!(!clean.mentions("AQFP-E101"), "{}", clean.render());
+    }
+
+    #[test]
+    fn w102_reports_off_grid_cells_even_without_a_netlist() {
+        let mut tech = Technology::mit_ll_sqf5ee();
+        if let Some(cell) = tech.cells.get_mut(&CellKind::Buffer) {
+            cell.width += 3.0; // 10 µm grid -> off-grid
+        }
+        let report = lint_setup("d", &tech, &FlowSettings::default(), &LintConfig::default());
+        assert!(report.mentions("AQFP-W102"), "{}", report.render());
+
+        let clean = lint_setup(
+            "d",
+            &Technology::mit_ll_sqf5ee(),
+            &FlowSettings::default(),
+            &LintConfig::default(),
+        );
+        assert!(!clean.mentions("AQFP-W102"), "{}", clean.render());
+    }
+}

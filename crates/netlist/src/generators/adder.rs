@@ -76,6 +76,7 @@ pub fn kogge_stone_adder(width: usize) -> Netlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate::simulate;

@@ -125,6 +125,7 @@ fn half_adder(net: &mut Netlist, a: GateId, b: GateId, uid: &mut usize) -> (Gate
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate::simulate;

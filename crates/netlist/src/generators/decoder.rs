@@ -59,6 +59,7 @@ fn and_tree(net: &mut Netlist, signals: &[GateId], prefix: &str) -> GateId {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate::simulate;

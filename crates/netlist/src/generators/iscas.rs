@@ -32,6 +32,7 @@ pub fn synthetic_iscas(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::traverse;

@@ -120,6 +120,7 @@ pub fn benchmark_circuit(benchmark: Benchmark) -> Netlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

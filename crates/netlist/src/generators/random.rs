@@ -111,6 +111,7 @@ fn pick_driver(rng: &mut StdRng, layers: &[Vec<GateId>], layer_idx: usize, pin: 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::traverse;

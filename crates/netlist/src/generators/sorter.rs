@@ -62,6 +62,7 @@ pub fn bitonic_sorter(n: usize) -> Netlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate::simulate;

@@ -9,7 +9,9 @@
 //! * [`simulate`] — boolean simulation used to verify that synthesis
 //!   transformations preserve functionality;
 //! * [`parsers`] — readers for a structural-Verilog subset and gate-level
-//!   BLIF, standing in for the Yosys front-end of the paper;
+//!   BLIF, standing in for the Yosys front-end of the paper; both record
+//!   [`SourceSpan`]s and offer a recovering mode that patches undriven
+//!   signals so static analysis can report them all at once;
 //! * [`generators`] — programmatic constructions of the paper's benchmark
 //!   circuits (Kogge-Stone adder, approximate parallel counters, decoder,
 //!   sorting network, ISCAS'85-like circuits).
@@ -24,15 +26,19 @@
 //! assert!(adder.validate().is_ok());
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod gate;
 pub mod generators;
 pub mod netlist;
 pub mod parsers;
 pub mod simulate;
+pub mod span;
 pub mod stats;
 pub mod traverse;
 pub mod writers;
 
 pub use gate::{Gate, GateId};
 pub use netlist::{Netlist, NetlistError};
+pub use span::SourceSpan;
 pub use stats::NetlistStats;

@@ -7,6 +7,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::gate::{Gate, GateId};
+use crate::span::SourceSpan;
 use crate::stats::NetlistStats;
 use crate::traverse;
 
@@ -92,6 +93,9 @@ impl Error for NetlistError {}
 pub struct Netlist {
     name: String,
     gates: Vec<Gate>,
+    // Source span per gate, parallel to `gates`; `SourceSpan::UNKNOWN` for
+    // gates built through the API rather than a parser.
+    spans: Vec<SourceSpan>,
     primary_inputs: Vec<GateId>,
     primary_outputs: Vec<GateId>,
 }
@@ -102,6 +106,7 @@ impl Netlist {
         Self {
             name: name.into(),
             gates: Vec::new(),
+            spans: Vec::new(),
             primary_inputs: Vec::new(),
             primary_outputs: Vec::new(),
         }
@@ -144,7 +149,22 @@ impl Netlist {
     fn push(&mut self, gate: Gate) -> GateId {
         let id = GateId(self.gates.len());
         self.gates.push(gate);
+        self.spans.push(SourceSpan::UNKNOWN);
         id
+    }
+
+    /// The source location a gate was declared at, when it came from a
+    /// parser; [`SourceSpan::UNKNOWN`] for API-built gates and out-of-range
+    /// ids.
+    pub fn span(&self, id: GateId) -> SourceSpan {
+        self.spans.get(id.0).copied().unwrap_or(SourceSpan::UNKNOWN)
+    }
+
+    /// Records the source location of a gate. Out-of-range ids are ignored.
+    pub fn set_span(&mut self, id: GateId, span: SourceSpan) {
+        if let Some(slot) = self.spans.get_mut(id.0) {
+            *slot = span;
+        }
     }
 
     /// Number of gates, including virtual I/O terminals.
@@ -279,6 +299,7 @@ impl Netlist {
             let new_id = GateId(pruned.gates.len());
             remap[i] = Some(new_id);
             pruned.gates.push(Gate::new(gate.name.clone(), gate.kind, Vec::new()));
+            pruned.spans.push(self.spans[i]);
             if gate.is_primary_input() {
                 pruned.primary_inputs.push(new_id);
             }
@@ -331,6 +352,7 @@ impl Netlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

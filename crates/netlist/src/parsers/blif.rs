@@ -16,9 +16,10 @@
 use aqfp_cells::CellKind;
 use std::collections::HashMap;
 
-use super::ParseNetlistError;
+use super::{placeholder, ParseNetlistError, ParsedDesign, RecoveredDefect, RecoveredKind};
 use crate::gate::GateId;
 use crate::netlist::Netlist;
+use crate::span::SourceSpan;
 
 /// Parses a gate-level BLIF description into a [`Netlist`].
 ///
@@ -27,93 +28,129 @@ use crate::netlist::Netlist;
 /// Returns a [`ParseNetlistError`] for unknown gate types, undriven signals,
 /// duplicate drivers or malformed records.
 pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
+    super::strictify(parse_blif_recovering(source)?)
+}
+
+/// One `.gate`/`.names` record: the directive's span, the cell kind, the
+/// ordered input signals and the output signal, each with its token span.
+struct GateRecord {
+    span: SourceSpan,
+    kind: CellKind,
+    inputs: Vec<(String, SourceSpan)>,
+    output: (String, SourceSpan),
+}
+
+/// Parses gate-level BLIF, patching undriven signals with constant-0
+/// placeholder gates instead of failing, and recording each patch as a
+/// [`RecoveredDefect`] with its exact source span.
+///
+/// Malformed records (unknown gate types, bad bindings, `.latch`, duplicate
+/// drivers) are still hard errors.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] for the unrecoverable problems above.
+pub fn parse_blif_recovering(source: &str) -> Result<ParsedDesign, ParseNetlistError> {
     let mut model = String::from("blif");
-    let mut inputs: Vec<String> = Vec::new();
-    let mut input_lines: HashMap<String, usize> = HashMap::new();
-    // (declaration line, signal)
-    let mut outputs: Vec<(usize, String)> = Vec::new();
-    let mut output_lines: HashMap<String, usize> = HashMap::new();
-    // (line, kind, ordered input signals, output signal)
-    let mut gates: Vec<(usize, CellKind, Vec<String>, String)> = Vec::new();
+    let mut inputs: Vec<(String, SourceSpan)> = Vec::new();
+    let mut input_spans: HashMap<String, SourceSpan> = HashMap::new();
+    let mut outputs: Vec<(String, SourceSpan)> = Vec::new();
+    let mut output_spans: HashMap<String, SourceSpan> = HashMap::new();
+    let mut gates: Vec<GateRecord> = Vec::new();
 
     let logical_lines = join_continuations(source);
-    let mut pending_names: Option<(usize, Vec<String>)> = None;
+    let mut pending_names: Option<(SourceSpan, Vec<(String, SourceSpan)>)> = None;
     let mut pending_cover: Vec<String> = Vec::new();
 
-    let flush_names = |pending: &mut Option<(usize, Vec<String>)>,
+    let flush_names = |pending: &mut Option<(SourceSpan, Vec<(String, SourceSpan)>)>,
                        cover: &mut Vec<String>,
-                       gates: &mut Vec<(usize, CellKind, Vec<String>, String)>|
+                       gates: &mut Vec<GateRecord>|
      -> Result<(), ParseNetlistError> {
-        if let Some((line, signals)) = pending.take() {
-            let kind = names_kind(&signals, cover)
-                .ok_or_else(|| ParseNetlistError::new(line, "unsupported .names cover"))?;
+        if let Some((span, signals)) = pending.take() {
+            let names: Vec<&str> = signals.iter().map(|(name, _)| name.as_str()).collect();
+            let kind = names_kind(&names, cover)
+                .ok_or_else(|| ParseNetlistError::at(span, "unsupported .names cover"))?;
             // Guarded at the `.names` directive, but a typed error beats an
             // unreachable-by-construction panic if that invariant ever slips.
             let output = signals
                 .last()
-                .ok_or_else(|| ParseNetlistError::new(line, ".names needs at least an output"))?
+                .ok_or_else(|| ParseNetlistError::at(span, ".names needs at least an output"))?
                 .clone();
             let inputs = signals[..signals.len() - 1].to_vec();
-            gates.push((line, kind, inputs, output));
+            gates.push(GateRecord { span, kind, inputs, output });
             cover.clear();
         }
         Ok(())
     };
 
-    for (line_no, line) in logical_lines {
-        let line = line.split('#').next().unwrap_or("").trim().to_owned();
-        if line.is_empty() {
-            continue;
-        }
-        if !line.starts_with('.') {
+    for line in logical_lines {
+        // `#` starts a comment; truncating keeps byte offsets into `text`
+        // aligned with the position table.
+        let text = &line.text[..line.text.find('#').unwrap_or(line.text.len())];
+        let tokens = tokenize(text);
+        let Some(&(first_offset, first)) = tokens.first() else { continue };
+        if !first.starts_with('.') {
             // Part of a .names cover.
             if pending_names.is_some() {
-                pending_cover.push(line);
+                pending_cover.push(text.trim().to_owned());
             }
             continue;
         }
         flush_names(&mut pending_names, &mut pending_cover, &mut gates)?;
-        let mut tokens = line.split_whitespace();
-        let directive = tokens.next().unwrap_or("");
-        match directive {
+        let directive_span = line.span_at(first_offset);
+        let line_no = directive_span.line;
+        let rest = &tokens[1..];
+        match first {
             ".model" => {
-                model = tokens.next().unwrap_or("blif").to_owned();
+                model = rest.first().map_or("blif", |&(_, token)| token).to_owned();
             }
             ".inputs" => {
-                for signal in tokens {
-                    if let Some(previous) = input_lines.insert(signal.to_owned(), line_no) {
-                        return Err(ParseNetlistError::new(
-                            line_no,
-                            format!("input `{signal}` declared twice (first on line {previous})"),
+                for &(offset, signal) in rest {
+                    let span = line.span_at(offset);
+                    if let Some(previous) = input_spans.insert(signal.to_owned(), span) {
+                        return Err(ParseNetlistError::at(
+                            span,
+                            format!(
+                                "input `{signal}` declared twice (first on line {})",
+                                previous.line
+                            ),
                         ));
                     }
-                    inputs.push(signal.to_owned());
+                    inputs.push((signal.to_owned(), span));
                 }
             }
             ".outputs" => {
-                for signal in tokens {
-                    if let Some(previous) = output_lines.insert(signal.to_owned(), line_no) {
-                        return Err(ParseNetlistError::new(
-                            line_no,
-                            format!("output `{signal}` declared twice (first on line {previous})"),
+                for &(offset, signal) in rest {
+                    let span = line.span_at(offset);
+                    if let Some(previous) = output_spans.insert(signal.to_owned(), span) {
+                        return Err(ParseNetlistError::at(
+                            span,
+                            format!(
+                                "output `{signal}` declared twice (first on line {})",
+                                previous.line
+                            ),
                         ));
                     }
-                    outputs.push((line_no, signal.to_owned()));
+                    outputs.push((signal.to_owned(), span));
                 }
             }
             ".gate" => {
-                let cell = tokens
-                    .next()
+                let &(_, cell) = rest
+                    .first()
                     .ok_or_else(|| ParseNetlistError::new(line_no, ".gate missing cell name"))?;
                 let kind = gate_kind(cell).ok_or_else(|| {
-                    ParseNetlistError::new(line_no, format!("unknown gate type `{cell}`"))
+                    ParseNetlistError::at(directive_span, format!("unknown gate type `{cell}`"))
                 })?;
-                let mut pin_map: HashMap<String, String> = HashMap::new();
-                for binding in tokens {
+                let mut pin_map: HashMap<String, (String, SourceSpan)> = HashMap::new();
+                for &(offset, binding) in &rest[1..] {
                     let (pin, signal) = binding.split_once('=').ok_or_else(|| {
-                        ParseNetlistError::new(line_no, format!("malformed binding `{binding}`"))
+                        ParseNetlistError::at(
+                            line.span_at(offset),
+                            format!("malformed binding `{binding}`"),
+                        )
                     })?;
-                    pin_map.insert(pin.to_lowercase(), signal.to_owned());
+                    let signal_span = line.span_at(offset + pin.len() + 1);
+                    pin_map.insert(pin.to_lowercase(), (signal.to_owned(), signal_span));
                 }
                 let output = pin_map
                     .remove("o")
@@ -128,19 +165,22 @@ pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
                     })?;
                     gate_inputs.push(signal);
                 }
-                gates.push((line_no, kind, gate_inputs, output));
+                gates.push(GateRecord { span: directive_span, kind, inputs: gate_inputs, output });
             }
             ".names" => {
-                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                let signals: Vec<(String, SourceSpan)> = rest
+                    .iter()
+                    .map(|&(offset, token)| (token.to_owned(), line.span_at(offset)))
+                    .collect();
                 if signals.is_empty() {
                     return Err(ParseNetlistError::new(line_no, ".names needs at least an output"));
                 }
-                pending_names = Some((line_no, signals));
+                pending_names = Some((directive_span, signals));
             }
             ".end" => break,
             ".latch" => {
-                return Err(ParseNetlistError::new(
-                    line_no,
+                return Err(ParseNetlistError::at(
+                    directive_span,
                     "sequential elements (.latch) are not supported",
                 ))
             }
@@ -154,28 +194,76 @@ pub fn parse_blif(source: &str) -> Result<Netlist, ParseNetlistError> {
     build(&model, &inputs, &outputs, &gates)
 }
 
-/// Joins BLIF continuation lines (trailing `\`) and returns numbered lines.
-fn join_continuations(source: &str) -> Vec<(usize, String)> {
+/// A BLIF logical line (continuations joined) with a `(line, column)`
+/// position recorded per byte of its text.
+struct LogicalLine {
+    text: String,
+    pos: Vec<(usize, usize)>,
+}
+
+impl LogicalLine {
+    fn span_at(&self, offset: usize) -> SourceSpan {
+        self.pos
+            .get(offset)
+            .or_else(|| self.pos.last())
+            .map_or(SourceSpan::UNKNOWN, |&(line, column)| SourceSpan::new(line, column))
+    }
+}
+
+/// Joins BLIF continuation lines (trailing `\`), recording the original
+/// position of every retained character.
+fn join_continuations(source: &str) -> Vec<LogicalLine> {
     let mut lines = Vec::new();
-    let mut buffer = String::new();
-    let mut start = 1;
+    let mut text = String::new();
+    let mut pos: Vec<(usize, usize)> = Vec::new();
     for (i, raw) in source.lines().enumerate() {
         let line_no = i + 1;
-        if buffer.is_empty() {
-            start = line_no;
+        let (content, continued) = match raw.trim_end().strip_suffix('\\') {
+            Some(stripped) => (stripped, true),
+            None => (raw, false),
+        };
+        let mut column = 0;
+        for ch in content.chars() {
+            column += 1;
+            text.push(ch);
+            for _ in 0..ch.len_utf8() {
+                pos.push((line_no, column));
+            }
         }
-        if let Some(stripped) = raw.trim_end().strip_suffix('\\') {
-            buffer.push_str(stripped);
-            buffer.push(' ');
+        if continued {
+            // The backslash becomes a joining space at its own position.
+            text.push(' ');
+            pos.push((line_no, column + 1));
         } else {
-            buffer.push_str(raw);
-            lines.push((start, std::mem::take(&mut buffer)));
+            lines.push(LogicalLine {
+                text: std::mem::take(&mut text),
+                pos: std::mem::take(&mut pos),
+            });
         }
     }
-    if !buffer.is_empty() {
-        lines.push((start, buffer));
+    if !text.is_empty() {
+        lines.push(LogicalLine { text, pos });
     }
     lines
+}
+
+/// Whitespace-tokenizes `text`, returning each token with its byte offset.
+fn tokenize(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in text.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &text[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &text[s..]));
+    }
+    out
 }
 
 fn gate_kind(cell: &str) -> Option<CellKind> {
@@ -198,8 +286,8 @@ fn gate_kind(cell: &str) -> Option<CellKind> {
 
 /// Recognizes the small set of `.names` covers needed for mapped netlists:
 /// constants, buffers, inverters, 2-input AND/OR.
-fn names_kind(signals: &[String], cover: &[String]) -> Option<CellKind> {
-    let n_inputs = signals.len() - 1;
+fn names_kind(signals: &[&str], cover: &[String]) -> Option<CellKind> {
+    let n_inputs = signals.len().checked_sub(1)?;
     match n_inputs {
         0 => {
             if cover.iter().any(|c| c.trim() == "1") {
@@ -237,47 +325,70 @@ fn names_kind(signals: &[String], cover: &[String]) -> Option<CellKind> {
 
 fn build(
     model: &str,
-    inputs: &[String],
-    outputs: &[(usize, String)],
-    gates: &[(usize, CellKind, Vec<String>, String)],
-) -> Result<Netlist, ParseNetlistError> {
+    inputs: &[(String, SourceSpan)],
+    outputs: &[(String, SourceSpan)],
+    gates: &[GateRecord],
+) -> Result<ParsedDesign, ParseNetlistError> {
     let mut netlist = Netlist::new(model);
+    let mut recovered: Vec<RecoveredDefect> = Vec::new();
     let mut driver: HashMap<String, GateId> = HashMap::new();
-    for name in inputs {
+    let mut placeholders: HashMap<String, GateId> = HashMap::new();
+    for (name, span) in inputs {
         let id = netlist.add_input(name.clone());
+        netlist.set_span(id, *span);
         driver.insert(name.clone(), id);
     }
-    let mut pending: Vec<(usize, GateId, Vec<String>)> = Vec::new();
-    for (line, kind, gate_inputs, output) in gates {
-        let id = netlist.add_gate(*kind, format!("u_{output}"), vec![]);
+    let mut pending: Vec<(GateId, &GateRecord)> = Vec::new();
+    for record in gates {
+        let (output, output_span) = &record.output;
+        let id = netlist.add_gate(record.kind, format!("u_{output}"), vec![]);
+        netlist.set_span(id, record.span);
         if driver.insert(output.clone(), id).is_some() {
-            return Err(ParseNetlistError::new(
-                *line,
+            return Err(ParseNetlistError::at(
+                *output_span,
                 format!("signal `{output}` has multiple drivers"),
             ));
         }
-        pending.push((*line, id, gate_inputs.clone()));
+        pending.push((id, record));
     }
-    for (line, id, gate_inputs) in pending {
-        let mut fanin = Vec::with_capacity(gate_inputs.len());
-        for signal in &gate_inputs {
-            let src = driver.get(signal).ok_or_else(|| {
-                ParseNetlistError::new(line, format!("signal `{signal}` is never driven"))
-            })?;
-            fanin.push(*src);
+    for (id, record) in pending {
+        let mut fanin = Vec::with_capacity(record.inputs.len());
+        for (signal, span) in &record.inputs {
+            let src = match driver.get(signal) {
+                Some(src) => *src,
+                None => placeholder(
+                    &mut netlist,
+                    &mut placeholders,
+                    &mut recovered,
+                    signal,
+                    RecoveredKind::UndrivenSignal,
+                    *span,
+                ),
+            };
+            fanin.push(src);
         }
         netlist.gate_mut(id).fanin = fanin;
     }
-    for (line, name) in outputs {
-        let src = driver.get(name).ok_or_else(|| {
-            ParseNetlistError::new(*line, format!("output `{name}` is never driven"))
-        })?;
-        netlist.add_output(format!("po_{name}"), *src);
+    for (name, span) in outputs {
+        let src = match driver.get(name).or_else(|| placeholders.get(name)) {
+            Some(src) => *src,
+            None => placeholder(
+                &mut netlist,
+                &mut placeholders,
+                &mut recovered,
+                name,
+                RecoveredKind::UndrivenOutput,
+                *span,
+            ),
+        };
+        let id = netlist.add_output(format!("po_{name}"), src);
+        netlist.set_span(id, *span);
     }
-    Ok(netlist)
+    Ok(ParsedDesign { netlist, recovered })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate;
@@ -378,5 +489,46 @@ mod tests {
         let src = ".model m\n.inputs a b c\n.outputs y\n.gate MAJ3 a=a b=b c=c O=y\n.end\n";
         let n = parse_blif(src).expect("parses");
         assert_eq!(simulate::simulate(&n, &[true, false, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // The duplicate `a` token sits at line 3, column 9.
+        let src = ".model m\n.inputs a\n.inputs a\n.outputs y\n.gate BUF a=a O=y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert_eq!((err.line, err.column), (3, 9), "{err}");
+
+        // The undriven signal's binding token is pinpointed: `u` in `a=u`.
+        let src = ".model m\n.inputs a\n.outputs y\n.gate BUF a=u O=y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message.contains("signal `u` is never driven"), "{}", err.message);
+        assert_eq!((err.line, err.column), (4, 13), "{err}");
+    }
+
+    #[test]
+    fn parsed_gates_carry_declaration_spans() {
+        let src = ".model m\n.inputs a\n.outputs y\n.gate BUF a=a O=y\n.end\n";
+        let n = parse_blif(src).expect("parses");
+        let a = n.find_by_name("a").unwrap();
+        assert_eq!(n.span(a), SourceSpan::new(2, 9));
+        let gate = n.find_by_name("u_y").unwrap();
+        assert_eq!(n.span(gate), SourceSpan::new(4, 1));
+        let po = n.find_by_name("po_y").unwrap();
+        assert_eq!(n.span(po), SourceSpan::new(3, 10));
+    }
+
+    #[test]
+    fn recovering_parse_patches_undriven_signals() {
+        let src = ".model m\n.inputs a\n.outputs y z\n.gate AND2 a=a b=u O=y\n.end\n";
+        let design = parse_blif_recovering(src).expect("recovers");
+        assert_eq!(design.recovered.len(), 2);
+        assert_eq!(design.recovered[0].signal, "u");
+        assert_eq!(design.recovered[0].kind, RecoveredKind::UndrivenSignal);
+        assert_eq!(design.recovered[0].span, SourceSpan::new(4, 18));
+        assert_eq!(design.recovered[1].signal, "z");
+        assert_eq!(design.recovered[1].kind, RecoveredKind::UndrivenOutput);
+        assert_eq!(design.recovered[1].span, SourceSpan::new(3, 12));
+        design.netlist.validate().expect("patched netlist is valid");
+        assert!(design.netlist.find_by_name("undriven$u").is_some());
     }
 }

@@ -20,9 +20,10 @@
 use aqfp_cells::CellKind;
 use std::collections::HashMap;
 
-use super::ParseNetlistError;
+use super::{placeholder, ParseNetlistError, ParsedDesign, RecoveredDefect, RecoveredKind};
 use crate::gate::GateId;
 use crate::netlist::Netlist;
+use crate::span::SourceSpan;
 
 /// Parses a structural-Verilog module into a [`Netlist`].
 ///
@@ -30,38 +31,53 @@ use crate::netlist::Netlist;
 ///
 /// Returns a [`ParseNetlistError`] when the text is not in the supported
 /// subset: missing module header, unknown primitive, undeclared signal,
-/// wrong pin count, or a signal driven by more than one gate.
+/// wrong pin count, a signal driven by more than one gate, or an undriven
+/// signal/output.
 pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
+    super::strictify(parse_verilog_recovering(source)?)
+}
+
+/// Parses a structural-Verilog module, patching undriven signals with
+/// constant-0 placeholder gates instead of failing, and recording each patch
+/// as a [`RecoveredDefect`] with its exact source span.
+///
+/// Structural problems other than missing drivers (unknown primitives,
+/// undeclared signals, multiple drivers, malformed statements) are still
+/// hard errors.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] for the unrecoverable problems above.
+pub fn parse_verilog_recovering(source: &str) -> Result<ParsedDesign, ParseNetlistError> {
     let statements = split_statements(source);
     let mut module_name = String::new();
-    let mut declared_at: HashMap<String, (&'static str, usize)> = HashMap::new();
+    let mut declared_at: HashMap<String, (&'static str, SourceSpan)> = HashMap::new();
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut wires: Vec<String> = Vec::new();
-    let mut instances: Vec<(usize, String, String, Vec<String>)> = Vec::new();
+    let mut instances: Vec<Instance> = Vec::new();
 
-    for (line, stmt) in &statements {
-        let stmt = stmt.trim();
-        if stmt.is_empty() || stmt == "endmodule" {
+    for stmt in &statements {
+        let text = stmt.text.as_str();
+        if text.is_empty() || text == "endmodule" {
             continue;
         }
-        if let Some(rest) = stmt.strip_prefix("module") {
+        if let Some(rest) = text.strip_prefix("module") {
             let name = rest.split(['(', ';']).next().unwrap_or("").trim();
             if name.is_empty() {
-                return Err(ParseNetlistError::new(*line, "module name missing"));
+                return Err(ParseNetlistError::at(stmt.start(), "module name missing"));
             }
             module_name = name.to_owned();
             continue;
         }
         let category = ["input", "output", "wire"]
             .into_iter()
-            .find_map(|keyword| strip_keyword(stmt, keyword).map(|rest| (keyword, rest)));
-        if let Some((category, rest)) = category {
+            .find_map(|keyword| strip_keyword(text, keyword).map(|_| keyword));
+        if let Some(category) = category {
             declare(
                 &mut declared_at,
                 category,
-                *line,
-                parse_signal_list(rest),
+                split_signals(stmt, category.len()),
                 &mut inputs,
                 &mut outputs,
                 &mut wires,
@@ -69,26 +85,33 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
             continue;
         }
         // Gate primitive instantiation: `<prim> <name>(<out>, <in>...)`.
-        let (prim, rest) = stmt.split_once(char::is_whitespace).ok_or_else(|| {
-            ParseNetlistError::new(*line, format!("unrecognised statement `{stmt}`"))
+        let (prim, after) = text.split_once(char::is_whitespace).ok_or_else(|| {
+            ParseNetlistError::at(stmt.start(), format!("unrecognised statement `{text}`"))
         })?;
-        let open = rest
-            .find('(')
-            .ok_or_else(|| ParseNetlistError::new(*line, "expected `(` in gate instantiation"))?;
-        let close = rest
-            .rfind(')')
-            .ok_or_else(|| ParseNetlistError::new(*line, "expected `)` in gate instantiation"))?;
+        let after_offset = text.len() - after.len();
+        let open = after.find('(').ok_or_else(|| {
+            ParseNetlistError::at(stmt.start(), "expected `(` in gate instantiation")
+        })?;
+        let close = after.rfind(')').ok_or_else(|| {
+            ParseNetlistError::at(stmt.start(), "expected `)` in gate instantiation")
+        })?;
         if close <= open {
             // `buf g1 )a(` — slicing open+1..close below would panic.
-            return Err(ParseNetlistError::new(*line, "`)` precedes `(` in gate instantiation"));
+            return Err(ParseNetlistError::at(
+                stmt.start(),
+                "`)` precedes `(` in gate instantiation",
+            ));
         }
-        let inst_name = rest[..open].trim().to_owned();
-        let ports: Vec<String> =
-            rest[open + 1..close].split(',').map(|p| p.trim().to_owned()).collect();
-        if ports.iter().any(|p| p.is_empty()) {
-            return Err(ParseNetlistError::new(*line, "empty port in gate instantiation"));
+        let ports = split_signals_in(stmt, &after[open + 1..close], after_offset + open + 1);
+        if let Some((_, span)) = ports.iter().find(|(p, _)| p.is_empty()) {
+            return Err(ParseNetlistError::at(*span, "empty port in gate instantiation"));
         }
-        instances.push((*line, prim.trim().to_owned(), inst_name, ports));
+        instances.push(Instance {
+            span: stmt.start(),
+            prim: prim.trim().to_owned(),
+            name: after[..open].trim().to_owned(),
+            ports,
+        });
     }
 
     if module_name.is_empty() {
@@ -98,26 +121,34 @@ pub fn parse_verilog(source: &str) -> Result<Netlist, ParseNetlistError> {
     build_netlist(&module_name, &inputs, &outputs, &wires, &instances, &declared_at)
 }
 
+/// One gate-primitive instantiation, with the statement's source span and a
+/// span per port token.
+struct Instance {
+    span: SourceSpan,
+    prim: String,
+    name: String,
+    ports: Vec<(String, SourceSpan)>,
+}
+
 /// Registers a declaration list, detecting duplicates. Re-declaring a port
 /// as a wire (or a wire as a port) is legal Verilog and collapses to the
 /// port declaration; any other duplicate is an error carrying both lines.
 fn declare(
-    declared_at: &mut HashMap<String, (&'static str, usize)>,
+    declared_at: &mut HashMap<String, (&'static str, SourceSpan)>,
     category: &'static str,
-    line: usize,
-    names: Vec<String>,
+    names: Vec<(String, SourceSpan)>,
     inputs: &mut Vec<String>,
     outputs: &mut Vec<String>,
     wires: &mut Vec<String>,
 ) -> Result<(), ParseNetlistError> {
-    for name in names {
-        if let Some(&(previous, previous_line)) = declared_at.get(name.as_str()) {
+    for (name, span) in names {
+        if let Some(&(previous, previous_span)) = declared_at.get(name.as_str()) {
             if (previous == "wire") == (category == "wire") {
-                return Err(ParseNetlistError::new(
-                    line,
+                return Err(ParseNetlistError::at(
+                    span,
                     format!(
-                        "signal `{name}` declared twice (first as {previous} on line \
-                         {previous_line})"
+                        "signal `{name}` declared twice (first as {previous} on line {})",
+                        previous_span.line
                     ),
                 ));
             }
@@ -125,7 +156,7 @@ fn declare(
                 // The port declaration wins: `wire y; output y;` makes `y`
                 // an output.
                 wires.retain(|wire| wire != &name);
-                declared_at.insert(name.clone(), (category, line));
+                declared_at.insert(name.clone(), (category, span));
                 if category == "input" {
                     inputs.push(name);
                 } else {
@@ -135,7 +166,7 @@ fn declare(
             // `input a; wire a;` — the wire re-declaration adds nothing.
             continue;
         }
-        declared_at.insert(name.clone(), (category, line));
+        declared_at.insert(name.clone(), (category, span));
         match category {
             "input" => inputs.push(name),
             "output" => outputs.push(name),
@@ -154,37 +185,92 @@ fn strip_keyword<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
     }
 }
 
-/// Splits the source into `;`-terminated statements with line numbers,
-/// stripping `//` comments.
-fn split_statements(source: &str) -> Vec<(usize, String)> {
+/// A `;`-terminated statement with a `(line, column)` position recorded for
+/// every byte of its (whitespace-trimmed, comment-stripped) text.
+struct Statement {
+    text: String,
+    pos: Vec<(usize, usize)>,
+}
+
+impl Statement {
+    /// The span of the statement's first character.
+    fn start(&self) -> SourceSpan {
+        self.span_at(0)
+    }
+
+    /// The span of the byte at `offset` into [`Statement::text`], clamped to
+    /// the last recorded position.
+    fn span_at(&self, offset: usize) -> SourceSpan {
+        self.pos
+            .get(offset)
+            .or_else(|| self.pos.last())
+            .map_or(SourceSpan::UNKNOWN, |&(line, column)| SourceSpan::new(line, column))
+    }
+}
+
+/// Splits the source into `;`-terminated statements, stripping `//` comments
+/// and recording the original (line, column) of every retained character.
+fn split_statements(source: &str) -> Vec<Statement> {
+    fn flush(text: &mut String, pos: &mut Vec<(usize, usize)>, out: &mut Vec<Statement>) {
+        let start = text.len() - text.trim_start().len();
+        let end = text.trim_end().len();
+        if end > start {
+            out.push(Statement {
+                text: text[start..end].to_owned(),
+                pos: pos[start..end].to_vec(),
+            });
+        }
+        text.clear();
+        pos.clear();
+    }
+
     let mut statements = Vec::new();
-    let mut current = String::new();
-    let mut start_line = 1;
+    let mut text = String::new();
+    let mut pos: Vec<(usize, usize)> = Vec::new();
     for (i, raw_line) in source.lines().enumerate() {
         let line_no = i + 1;
         let line = raw_line.split("//").next().unwrap_or("");
+        let mut column = 0;
         for ch in line.chars() {
-            if current.trim().is_empty() {
-                start_line = line_no;
-            }
+            column += 1;
             if ch == ';' {
-                statements.push((start_line, current.trim().to_owned()));
-                current.clear();
+                flush(&mut text, &mut pos, &mut statements);
             } else {
-                current.push(ch);
+                text.push(ch);
+                // One position entry per byte keeps `pos` indexable by the
+                // byte offsets string searches produce.
+                for _ in 0..ch.len_utf8() {
+                    pos.push((line_no, column));
+                }
             }
         }
-        current.push(' ');
+        text.push(' ');
+        pos.push((line_no, column + 1));
     }
-    let tail = current.trim();
-    if !tail.is_empty() {
-        statements.push((start_line, tail.to_owned()));
-    }
+    flush(&mut text, &mut pos, &mut statements);
     statements
 }
 
-fn parse_signal_list(rest: &str) -> Vec<String> {
-    rest.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
+/// Splits the comma-separated list starting `offset` bytes into the
+/// statement's text, returning each trimmed piece with the span of its first
+/// character. Empty pieces are dropped.
+fn split_signals(stmt: &Statement, offset: usize) -> Vec<(String, SourceSpan)> {
+    let list = &stmt.text[offset..];
+    split_signals_in(stmt, list, offset).into_iter().filter(|(name, _)| !name.is_empty()).collect()
+}
+
+/// Like [`split_signals`] but keeps empty pieces (so instantiation port
+/// lists can report them), over an explicit `slice` of the statement found
+/// at byte offset `base`.
+fn split_signals_in(stmt: &Statement, slice: &str, base: usize) -> Vec<(String, SourceSpan)> {
+    let mut out = Vec::new();
+    let mut cursor = 0;
+    for piece in slice.split(',') {
+        let lead = piece.len() - piece.trim_start().len();
+        out.push((piece.trim().to_owned(), stmt.span_at(base + cursor + lead)));
+        cursor += piece.len() + 1;
+    }
+    out
 }
 
 fn primitive_kind(prim: &str) -> Option<CellKind> {
@@ -206,14 +292,20 @@ fn build_netlist(
     inputs: &[String],
     outputs: &[String],
     wires: &[String],
-    instances: &[(usize, String, String, Vec<String>)],
-    declared_at: &HashMap<String, (&'static str, usize)>,
-) -> Result<Netlist, ParseNetlistError> {
+    instances: &[Instance],
+    declared_at: &HashMap<String, (&'static str, SourceSpan)>,
+) -> Result<ParsedDesign, ParseNetlistError> {
     let mut netlist = Netlist::new(module_name);
+    let mut recovered: Vec<RecoveredDefect> = Vec::new();
     // Map from signal name to the gate that drives it.
     let mut driver: HashMap<String, GateId> = HashMap::new();
+    // Placeholders injected for undriven signals, one per signal.
+    let mut placeholders: HashMap<String, GateId> = HashMap::new();
     for name in inputs {
         let id = netlist.add_input(name.clone());
+        if let Some(&(_, span)) = declared_at.get(name.as_str()) {
+            netlist.set_span(id, span);
+        }
         driver.insert(name.clone(), id);
     }
 
@@ -222,64 +314,94 @@ fn build_netlist(
 
     // First pass: create the gates so forward references resolve; we place
     // gates in instance order and patch fan-ins in a second pass.
-    let mut pending: Vec<(usize, GateId, Vec<String>)> = Vec::new();
-    for (line, prim, inst_name, ports) in instances {
-        let kind = primitive_kind(prim).ok_or_else(|| {
-            ParseNetlistError::new(*line, format!("unknown gate primitive `{prim}`"))
+    let mut pending: Vec<(GateId, &Instance)> = Vec::new();
+    for instance in instances {
+        let kind = primitive_kind(&instance.prim).ok_or_else(|| {
+            ParseNetlistError::at(
+                instance.span,
+                format!("unknown gate primitive `{}`", instance.prim),
+            )
         })?;
-        if ports.len() != kind.input_count() + 1 {
-            return Err(ParseNetlistError::new(
-                *line,
+        if instance.ports.len() != kind.input_count() + 1 {
+            return Err(ParseNetlistError::at(
+                instance.span,
                 format!(
-                    "primitive `{prim}` expects {} ports, found {}",
+                    "primitive `{}` expects {} ports, found {}",
+                    instance.prim,
                     kind.input_count() + 1,
-                    ports.len()
+                    instance.ports.len()
                 ),
             ));
         }
-        let out_signal = &ports[0];
+        let (out_signal, out_span) = &instance.ports[0];
         if !declared.contains(out_signal.as_str()) {
-            return Err(ParseNetlistError::new(*line, format!("undeclared signal `{out_signal}`")));
+            return Err(ParseNetlistError::at(
+                *out_span,
+                format!("undeclared signal `{out_signal}`"),
+            ));
         }
-        let gate_name =
-            if inst_name.is_empty() { format!("u_{out_signal}") } else { inst_name.clone() };
+        let gate_name = if instance.name.is_empty() {
+            format!("u_{out_signal}")
+        } else {
+            instance.name.clone()
+        };
         let id = netlist.add_gate(kind, gate_name, vec![]);
+        netlist.set_span(id, instance.span);
         if driver.insert(out_signal.clone(), id).is_some() {
-            return Err(ParseNetlistError::new(
-                *line,
+            return Err(ParseNetlistError::at(
+                *out_span,
                 format!("signal `{out_signal}` has multiple drivers"),
             ));
         }
-        pending.push((*line, id, ports[1..].to_vec()));
+        pending.push((id, instance));
     }
 
-    // Second pass: resolve fan-ins now that all drivers are known.
-    for (line, id, input_signals) in pending {
-        let mut fanin = Vec::with_capacity(input_signals.len());
-        for signal in &input_signals {
+    // Second pass: resolve fan-ins now that all drivers are known; missing
+    // drivers are patched with recorded placeholders.
+    for (id, instance) in pending {
+        let mut fanin = Vec::with_capacity(instance.ports.len() - 1);
+        for (signal, span) in &instance.ports[1..] {
             if !declared.contains(signal.as_str()) {
-                return Err(ParseNetlistError::new(line, format!("undeclared signal `{signal}`")));
+                return Err(ParseNetlistError::at(*span, format!("undeclared signal `{signal}`")));
             }
-            let src = driver.get(signal).ok_or_else(|| {
-                ParseNetlistError::new(line, format!("signal `{signal}` is never driven"))
-            })?;
-            fanin.push(*src);
+            let src = match driver.get(signal) {
+                Some(src) => *src,
+                None => placeholder(
+                    &mut netlist,
+                    &mut placeholders,
+                    &mut recovered,
+                    signal,
+                    RecoveredKind::UndrivenSignal,
+                    *span,
+                ),
+            };
+            fanin.push(src);
         }
         netlist.gate_mut(id).fanin = fanin;
     }
 
     for name in outputs {
-        let src = driver.get(name).ok_or_else(|| {
-            let line = declared_at.get(name).map_or(0, |&(_, line)| line);
-            ParseNetlistError::new(line, format!("output `{name}` is never driven"))
-        })?;
-        netlist.add_output(format!("po_{name}"), *src);
+        let declaration = declared_at.get(name).map_or(SourceSpan::UNKNOWN, |&(_, span)| span);
+        let src = match driver.get(name).or_else(|| placeholders.get(name)) {
+            Some(src) => *src,
+            None => placeholder(
+                &mut netlist,
+                &mut placeholders,
+                &mut recovered,
+                name,
+                RecoveredKind::UndrivenOutput,
+                declaration,
+            ),
+        };
+        let id = netlist.add_output(format!("po_{name}"), src);
+        netlist.set_span(id, declaration);
     }
 
-    Ok(netlist)
+    Ok(ParsedDesign { netlist, recovered })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::simulate;
@@ -409,5 +531,61 @@ mod tests {
         let n = parse_verilog(src).expect("parses");
         assert_eq!(simulate::simulate(&n, &[true, true, false]).unwrap(), vec![true]);
         assert_eq!(simulate::simulate(&n, &[true, false, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `b` is declared at line 2, column 10; the duplicate is the error site.
+        let src = "module m(a, y);\ninput a, a;\noutput y;\nbuf g1(y, a);\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!((err.line, err.column), (2, 10), "{err}");
+        assert!(err.to_string().contains("line 2, column 10"), "{err}");
+
+        // The undeclared signal's own token is pinpointed.
+        let src = "module m(a, y);\ninput a;\noutput y;\nand g1(y, a, ghost);\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!((err.line, err.column), (4, 14), "{err}");
+    }
+
+    #[test]
+    fn parsed_gates_carry_declaration_spans() {
+        let src = "module m(a, y);\n  input a;\n  output y;\n  buf g1(y, a);\nendmodule";
+        let n = parse_verilog(src).expect("parses");
+        let a = n.find_by_name("a").unwrap();
+        assert_eq!(n.span(a), SourceSpan::new(2, 9));
+        let g1 = n.find_by_name("g1").unwrap();
+        assert_eq!(n.span(g1), SourceSpan::new(4, 3));
+        let po = n.find_by_name("po_y").unwrap();
+        assert_eq!(n.span(po), SourceSpan::new(3, 10));
+    }
+
+    #[test]
+    fn recovering_parse_patches_undriven_signals() {
+        let src = "module m(a, y, z);\n  input a;\n  output y, z;\n  wire u;\n  \
+                   and g1(y, a, u);\nendmodule";
+        // Strict parse fails on the first defect (the use of `u`).
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("signal `u` is never driven"), "{}", err.message);
+        assert_eq!((err.line, err.column), (5, 16));
+
+        // The recovering parse patches `u` and the undriven output `z`.
+        let design = parse_verilog_recovering(src).expect("recovers");
+        assert_eq!(design.recovered.len(), 2);
+        assert_eq!(design.recovered[0].signal, "u");
+        assert_eq!(design.recovered[0].kind, RecoveredKind::UndrivenSignal);
+        assert_eq!(design.recovered[0].span, SourceSpan::new(5, 16));
+        assert_eq!(design.recovered[1].signal, "z");
+        assert_eq!(design.recovered[1].kind, RecoveredKind::UndrivenOutput);
+        assert_eq!(design.recovered[1].span, SourceSpan::new(3, 13));
+        // The patched netlist is structurally complete and validates.
+        design.netlist.validate().expect("patched netlist is valid");
+        assert!(design.netlist.find_by_name("undriven$u").is_some());
+    }
+
+    #[test]
+    fn recovering_parse_of_clean_source_records_nothing() {
+        let design = parse_verilog_recovering(HALF_ADDER).expect("parses");
+        assert!(design.recovered.is_empty());
+        assert_eq!(design.netlist, parse_verilog(HALF_ADDER).expect("parses"));
     }
 }

@@ -1,0 +1,63 @@
+//! Source-location spans attached to parsed netlist objects.
+//!
+//! The Verilog/BLIF front-ends record where every signal and instance was
+//! declared so downstream diagnostics (parse errors, lint findings) can point
+//! at the offending source location instead of just naming the design.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in a netlist source file: 1-based line and column.
+///
+/// The all-zero value means "no source location" — the natural span of gates
+/// built through the in-memory [`crate::Netlist`] API rather than a parser.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceSpan {
+    /// 1-based line number (0 = unknown).
+    pub line: usize,
+    /// 1-based column number, counted in characters (0 = unknown).
+    pub column: usize,
+}
+
+impl SourceSpan {
+    /// The "no source location" span.
+    pub const UNKNOWN: SourceSpan = SourceSpan { line: 0, column: 0 };
+
+    /// Creates a span at 1-based `line`:`column`.
+    pub const fn new(line: usize, column: usize) -> Self {
+        Self { line, column }
+    }
+
+    /// Whether the span carries a real location.
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.column == 0 {
+            write!(f, "line {}", self.line)
+        } else {
+            write!(f, "line {}, column {}", self.line, self.column)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_is_default_and_not_known() {
+        assert_eq!(SourceSpan::default(), SourceSpan::UNKNOWN);
+        assert!(!SourceSpan::UNKNOWN.is_known());
+        assert!(SourceSpan::new(3, 1).is_known());
+    }
+
+    #[test]
+    fn display_omits_a_zero_column() {
+        assert_eq!(SourceSpan::new(7, 0).to_string(), "line 7");
+        assert_eq!(SourceSpan::new(7, 12).to_string(), "line 7, column 12");
+    }
+}

@@ -76,6 +76,7 @@ impl fmt::Display for NetlistStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::CellKind;

@@ -129,6 +129,7 @@ pub fn is_ancestor(netlist: &Netlist, ancestor: GateId, descendant: GateId) -> b
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::CellKind;

@@ -162,6 +162,7 @@ pub fn to_blif(netlist: &Netlist) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::generators::{benchmark_circuit, Benchmark};

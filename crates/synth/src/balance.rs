@@ -123,6 +123,7 @@ pub fn balance(netlist: &Netlist) -> BalancedNetlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::fanout::{insert_splitters, respects_fanout_limit};

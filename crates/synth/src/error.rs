@@ -41,6 +41,7 @@ impl From<NetlistError> for SynthesisError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::GateId;

@@ -104,6 +104,47 @@ fn build_splitter_tree(
     leaves
 }
 
+/// The number of sink pins a cell of `kind` may drive directly under the
+/// AQFP fan-out discipline: splitters up to their arity, everything else one.
+///
+/// This is the capacity model both splitter insertion and the pre-flight
+/// lint's fan-out rule consult.
+pub fn fanout_capacity(kind: CellKind) -> usize {
+    match kind {
+        CellKind::Splitter2 => 2,
+        CellKind::Splitter3 => 3,
+        CellKind::Splitter4 => 4,
+        _ => 1,
+    }
+}
+
+/// The number of splitter cells [`insert_splitters`] will spend to fan one
+/// signal out to `fanout` sinks with splitters of at most `max_arity` outputs
+/// (0 when no splitting is needed). Mirrors the balanced-tree construction of
+/// [`insert_splitters`] exactly, so static analysis can predict splitter
+/// overhead without building the tree.
+///
+/// # Panics
+///
+/// Panics if `max_arity < 2`.
+pub fn splitter_tree_size(fanout: usize, max_arity: usize) -> usize {
+    assert!(max_arity >= 2, "splitters must have at least two outputs");
+    if fanout <= 1 {
+        return 0;
+    }
+    let arity = fanout.min(max_arity);
+    let base = fanout / arity;
+    let extra = fanout % arity;
+    let mut total = 1;
+    for branch in 0..arity {
+        let branch_fanout = base + usize::from(branch < extra);
+        if branch_fanout > 1 {
+            total += splitter_tree_size(branch_fanout, max_arity);
+        }
+    }
+    total
+}
+
 /// Checks the AQFP fan-out rule on a netlist: non-splitter gates drive at
 /// most one sink pin, splitters at most their arity.
 pub fn respects_fanout_limit(netlist: &Netlist) -> bool {
@@ -113,15 +154,7 @@ pub fn respects_fanout_limit(netlist: &Netlist) -> bool {
             sink_count[driver.index()] += 1;
         }
     }
-    netlist.iter().all(|(id, gate)| {
-        let limit = match gate.kind {
-            CellKind::Splitter2 => 2,
-            CellKind::Splitter3 => 3,
-            CellKind::Splitter4 => 4,
-            _ => 1,
-        };
-        sink_count[id.index()] <= limit
-    })
+    netlist.iter().all(|(id, gate)| sink_count[id.index()] <= fanout_capacity(gate.kind))
 }
 
 #[cfg(test)]
@@ -151,7 +184,7 @@ mod tests {
         assert_eq!(report.split_signals, 1);
         assert_eq!(report.splitters_inserted, 1);
         assert_eq!(split.count_kind(CellKind::Splitter3), 1);
-        assert!(simulate::equivalent(&n, &split).unwrap());
+        assert!(simulate::equivalent(&n, &split).expect("acyclic netlists compare"));
     }
 
     #[test]
@@ -161,7 +194,7 @@ mod tests {
         split.validate().expect("valid");
         assert!(respects_fanout_limit(&split));
         assert!(report.splitters_inserted >= 3, "10 branches need a splitter tree");
-        assert!(simulate::equivalent_sampled(&n, &split, 16, 1).unwrap());
+        assert!(simulate::equivalent_sampled(&n, &split, 16, 1).expect("acyclic netlists compare"));
     }
 
     #[test]
@@ -183,7 +216,9 @@ mod tests {
             let (split, _) = insert_splitters(&n, 4);
             split.validate().expect("valid");
             assert!(respects_fanout_limit(&split), "{b}: fan-out rule must hold after insertion");
-            assert!(simulate::equivalent_sampled(&n, &split, 64, 7).unwrap());
+            assert!(
+                simulate::equivalent_sampled(&n, &split, 64, 7).expect("acyclic netlists compare")
+            );
         }
     }
 
@@ -198,12 +233,35 @@ mod tests {
         split.validate().expect("valid");
         assert!(respects_fanout_limit(&split));
         assert_eq!(report.split_signals, 1);
-        assert!(simulate::equivalent(&n, &split).unwrap());
+        assert!(simulate::equivalent(&n, &split).expect("acyclic netlists compare"));
     }
 
     #[test]
     #[should_panic(expected = "at least two outputs")]
     fn tiny_arity_rejected() {
         insert_splitters(&Netlist::new("x"), 1);
+    }
+
+    #[test]
+    fn capacity_model_matches_insertion() {
+        assert_eq!(fanout_capacity(CellKind::Splitter3), 3);
+        assert_eq!(fanout_capacity(CellKind::And), 1);
+        assert_eq!(splitter_tree_size(1, 4), 0);
+        assert_eq!(splitter_tree_size(4, 4), 1);
+        assert_eq!(splitter_tree_size(5, 4), 2);
+        // The closed form agrees with what insertion actually builds.
+        for fanout in 2..24 {
+            for arity in 2..=4 {
+                // Only the AND gate of `fan_heavy_netlist` has multi-fanout,
+                // so the whole report is one tree.
+                let n = fan_heavy_netlist(fanout);
+                let (_, report) = insert_splitters(&n, arity);
+                assert_eq!(
+                    report.splitters_inserted,
+                    splitter_tree_size(fanout, arity),
+                    "fanout {fanout} arity {arity}"
+                );
+            }
+        }
     }
 }

@@ -28,6 +28,8 @@
 //! # Ok::<(), aqfp_synth::SynthesisError>(())
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod balance;
 pub mod error;
 pub mod fanout;

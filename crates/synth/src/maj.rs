@@ -323,6 +323,7 @@ fn materialize(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::generators::{benchmark_circuit, kogge_stone_adder, Benchmark};

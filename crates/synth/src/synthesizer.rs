@@ -204,6 +204,7 @@ fn decompose_to_aoi(netlist: &Netlist) -> Netlist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};

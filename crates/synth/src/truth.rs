@@ -285,6 +285,7 @@ impl MappingTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,8 @@
+// A clean half adder — the lint smoke test's known-good fixture:
+// `superflow lint designs/half_adder.v` must exit 0 with no findings.
+module half_adder(a, b, sum, carry);
+  input a, b;
+  output sum, carry;
+  xor s(sum, a, b);
+  and c(carry, a, b);
+endmodule

@@ -1,0 +1,42 @@
+// Deliberately defective design for the lint smoke test. It packs three
+// distinct defects so one `superflow lint` run must report all of them:
+//
+//   AQFP-E001  combinational loop through g1 and g2
+//   AQFP-E002  `ghost` is referenced by g3 but never driven
+//   AQFP-W009  input `a` fans out to 17 sinks (over the default threshold
+//              of 16 = max_splitter_arity²)
+//
+// `superflow lint designs/lint_bad.v` must exit 1; `superflow batch` must
+// classify it Failed at the pre-flight lint stage without entering
+// synthesis.
+module lint_bad(a, z0, z1);
+  input a;
+  output z0, z1;
+  wire ghost;
+  wire l1, l2;
+  wire f0, f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11, f12, f13;
+
+  // Combinational loop: g1 -> g2 -> g1.
+  and g1(l1, l2, a);
+  and g2(l2, l1, a);
+
+  // Undriven net feeding a gate.
+  and g3(z0, a, ghost);
+
+  // 17 total sinks on `a`: g1, g2, g3 above plus b0..b13 = 17.
+  buf b0(f0, a);
+  buf b1(f1, a);
+  buf b2(f2, a);
+  buf b3(f3, a);
+  buf b4(f4, a);
+  buf b5(f5, a);
+  buf b6(f6, a);
+  buf b7(f7, a);
+  buf b8(f8, a);
+  buf b9(f9, a);
+  buf b10(f10, a);
+  buf b11(f11, a);
+  buf b12(f12, a);
+  buf b13(f13, a);
+  or g4(z1, f0, f1);
+endmodule

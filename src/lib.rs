@@ -24,7 +24,8 @@ pub mod prelude {
     pub use aqfp_timing::TimingAnalyzer;
     pub use superflow::{
         error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, Checked, DesignReport,
-        DesignStatus, Fault, FaultKind, FaultPlan, Flow, FlowConfig, FlowObserver, FlowReport,
-        FlowSession, FlowStage, Placed, RepairScope, Routed, StageTimings, Synthesized, TechSpec,
+        DesignStatus, Fault, FaultKind, FaultPlan, Flow, FlowConfig, FlowError, FlowObserver,
+        FlowReport, FlowSession, FlowStage, LintConfig, LintReport, Placed, RepairScope, Routed,
+        StageTimings, Synthesized, TechSpec, LINT_STAGE,
     };
 }

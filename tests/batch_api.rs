@@ -250,3 +250,31 @@ fn bad_inputs_fail_outside_any_stage() {
     }
     assert_eq!(status_of(&report, "adder8").status, DesignStatus::Succeeded);
 }
+
+#[test]
+fn lint_rejected_designs_fail_at_stage_zero_without_a_retry() {
+    let config = fast_batch(); // retry_degraded stays on: lint must skip it.
+    let jobs = [BatchJob::from_input("designs/lint_bad.v"), BatchJob::from_input("adder8")];
+    let start = std::time::Instant::now();
+    let report = BatchRunner::new(config).run(&jobs).expect("batch runs");
+
+    match &status_of(&report, "lint_bad").status {
+        DesignStatus::Failed { error, stage, attempts } => {
+            assert_eq!(stage.as_deref(), Some(LINT_STAGE));
+            assert_eq!(*attempts, 1, "lint rejections are deterministic; no degraded retry");
+            assert!(error.contains("AQFP-E001"), "{error}");
+            assert!(error.contains("AQFP-E002"), "{error}");
+        }
+        other => panic!("lint_bad should fail pre-flight, got {other:?}"),
+    }
+    // The rejection is effectively instant — the design never entered
+    // synthesis (the healthy design dominates the batch wall-clock).
+    assert_eq!(status_of(&report, "lint_bad").attempts, 1);
+    assert!(start.elapsed().as_secs_f64() < 60.0);
+
+    // The healthy design is unaffected, and the report calls the lint
+    // rejection out distinctly from runtime stage failures.
+    assert_eq!(status_of(&report, "adder8").status, DesignStatus::Succeeded);
+    let rendered = report.render();
+    assert!(rendered.contains("rejected by pre-flight lint"), "{rendered}");
+}

@@ -227,6 +227,25 @@ proptest! {
         prop_assert!(design.max_wirelength_violations().is_empty());
     }
 
+    /// Pre-flight lint accepts every random DAG the validator accepts (no
+    /// false-positive errors from the graph rules), and the synthesize gate
+    /// agrees with a direct lint run: lint-clean designs enter the flow.
+    /// (The repair-loop property above drives such designs through every
+    /// stage, so "lint-clean completes the flow" is covered end to end.)
+    #[test]
+    fn lint_clean_designs_enter_the_flow(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let mut session = FlowSession::new(FlowConfig::fast()).expect("session opens");
+        let report = session.lint(&netlist);
+        prop_assert!(
+            !report.has_errors(),
+            "validated random DAGs must be lint-error-free:\n{}",
+            report.render()
+        );
+        prop_assert!(session.synthesize(&netlist).is_ok());
+    }
+
     /// Detailed placement is byte-identical for every worker-thread count on
     /// arbitrary random designs.
     #[test]

@@ -271,3 +271,51 @@ fn buffer_row_repair_is_incremental_and_byte_identical() {
         assert_eq!(&fresh, incremental);
     }
 }
+
+#[test]
+fn synthesize_refuses_lint_rejected_netlists_with_the_full_report() {
+    // A two-gate combinational loop: structurally parseable, never legal.
+    let mut netlist = Netlist::new("looped");
+    let a = netlist.add_input("a");
+    let g1 = netlist.add_gate(CellKind::And, "g1", vec![a, a]);
+    let g2 = netlist.add_gate(CellKind::And, "g2", vec![g1, a]);
+    netlist.gate_mut(g1).fanin[1] = g2;
+    netlist.add_output("y", g2);
+
+    let mut session = FlowSession::new(fast_config()).expect("session opens");
+    // The standalone lint entry point sees the loop ...
+    let report = session.lint(&netlist);
+    assert!(report.has_errors());
+    assert!(report.mentions("AQFP-E001"), "{}", report.render());
+
+    // ... and the synthesize gate refuses with the same report, before
+    // `Netlist::validate` gets a say.
+    match session.synthesize(&netlist) {
+        Err(FlowError::Lint(report)) => {
+            assert!(report.mentions("AQFP-E001"), "{}", report.render());
+            let rendered = FlowError::Lint(report).to_string();
+            assert!(rendered.contains("pre-flight lint"), "{rendered}");
+        }
+        other => panic!("expected FlowError::Lint, got {other:?}"),
+    }
+}
+
+#[test]
+fn session_construction_lints_the_flow_configuration() {
+    // max_splitter_arity 1 would panic splitter insertion; the session must
+    // refuse to open (AQFP-E201) instead of failing mid-flow.
+    let mut config = fast_config();
+    config.synthesis.max_splitter_arity = 1;
+    match FlowSession::new(config) {
+        Err(FlowError::Lint(report)) => {
+            assert!(report.mentions("AQFP-E201"), "{}", report.render());
+        }
+        other => panic!("expected FlowError::Lint at session construction, got {other:?}"),
+    }
+
+    // An allow-list waives the gate: the user takes responsibility.
+    let mut waived = fast_config();
+    waived.synthesis.max_splitter_arity = 1;
+    waived.lint.allow.push("AQFP-E201".to_owned());
+    assert!(FlowSession::new(waived).is_ok());
+}
