@@ -1,10 +1,12 @@
 //! Batch-driver throughput benches, introduced together with the
 //! fault-isolated `superflow batch` runner:
 //!
-//! * `batch_throughput` — a two-design batch (`adder8` + `c432`, fast
-//!   config) at one worker vs two: the speedup measures how well designs
-//!   parallelize across workers once per-design stages are forced serial;
-//! * `batch_resume` — the same single-design batch cold vs over a fully
+//! * `batch_throughput` — an eight-design batch (`adder8`, `c432` and six
+//!   seeded `gen:random_dag` designs, fast config) at 1/2/4/8 workers: the
+//!   speedup measures how well designs parallelize across workers now that
+//!   the stage-thread budget is divided among them (each in-flight design
+//!   gets `cores / workers` stage threads instead of being forced serial);
+//! * `batch_resume` — a single-design batch cold vs over a fully
 //!   populated journal: the `journal_hit` row resumes from the `check`
 //!   checkpoint (4 stages skipped) and bounds the restart cost of a killed
 //!   nightly run.
@@ -16,8 +18,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use superflow::{BatchConfig, BatchJob, BatchRunner, FlowConfig};
 
-fn two_design_jobs() -> Vec<BatchJob> {
-    vec![BatchJob::from_input("adder8"), BatchJob::from_input("c432")]
+fn eight_design_jobs() -> Vec<BatchJob> {
+    let mut jobs = vec![BatchJob::from_input("adder8"), BatchJob::from_input("c432")];
+    jobs.extend((1..=6).map(|seed| BatchJob::from_input(format!("gen:random_dag:400:{seed}"))));
+    jobs
 }
 
 fn run(config: BatchConfig, jobs: &[BatchJob]) -> usize {
@@ -27,10 +31,10 @@ fn run(config: BatchConfig, jobs: &[BatchJob]) -> usize {
 }
 
 fn batch_throughput(criterion: &mut Criterion) {
-    let jobs = two_design_jobs();
+    let jobs = eight_design_jobs();
     let mut group = criterion.benchmark_group("batch_throughput");
     group.sample_size(10);
-    for workers in [1usize, 2] {
+    for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("workers", workers),
             &workers,

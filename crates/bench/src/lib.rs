@@ -20,6 +20,7 @@
 
 pub mod baseline;
 pub mod reference;
+pub mod scale;
 pub mod table2;
 pub mod table3;
 pub mod table4;

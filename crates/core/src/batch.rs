@@ -74,6 +74,7 @@ use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use aqfp_cells::{CancelToken, Technology};
+use aqfp_place::ThreadBudget;
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowConfig;
@@ -202,9 +203,10 @@ impl FaultPlan {
 pub struct BatchConfig {
     /// The per-design flow configuration (technology, placer, stage
     /// options). When the batch runs more than one worker and this config
-    /// leaves the stage thread count on auto (`0`), each design is forced
-    /// to serial stages so designs parallelize across workers instead of
-    /// oversubscribing every core per design.
+    /// leaves the stage thread count on auto (`0`), the machine's core
+    /// budget is divided evenly among the workers (8 cores / 4 workers = 2
+    /// stage threads per design) so designs parallelize across workers
+    /// without oversubscribing every core per design.
     pub flow: FlowConfig,
     /// Worker threads pulling designs off the shared queue; `0` uses every
     /// available core (capped at the job count).
@@ -574,11 +576,12 @@ impl BatchRunner {
                 message: e.to_string(),
             })?;
         }
-        // With several designs in flight, per-design stages run serial by
-        // default: the batch parallelizes across designs, and N workers ×
-        // all-cores stage threads would oversubscribe every core.
+        // With several designs in flight and the stage knob on auto, each
+        // design gets an equal slice of the core budget: the batch
+        // parallelizes across designs first, and N workers × all-cores
+        // stage threads would oversubscribe every core.
         let flow = if workers > 1 && self.config.flow.threads() == 0 {
-            self.config.flow.clone().with_threads(1)
+            self.config.flow.clone().with_threads(ThreadBudget::machine().share(workers))
         } else {
             self.config.flow.clone()
         };

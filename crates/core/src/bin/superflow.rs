@@ -69,6 +69,19 @@
 //!   design has error-severity findings or fails to load, 2 on usage
 //!   errors.
 //!
+//! superflow generate <family> [OPTIONS]
+//!
+//!   emits a parameterized large design (tiled_mul, apc_array, random_dag)
+//!   as a netlist file — the same generators the flow reaches directly via
+//!   `gen:<family>:<cells>[:<seed>]` input specs — for scale testing with
+//!   external tools or committed fixtures.
+//!
+//!   --cells <n>             requested gate count (the generator rounds to
+//!                           its tiling)                        [10000]
+//!   --seed <n>              PRNG seed (random_dag only)        [0]
+//!   --output <file>, -o     output path; `.blif` selects BLIF, anything
+//!                           else structural Verilog        [stdout, Verilog]
+//!
 //! superflow tech list [--quiet]     list known technologies (--quiet:
 //!                                   names only, one per line)
 //! superflow tech show <name|file>   validate a technology and print its
@@ -87,6 +100,7 @@ use std::process::ExitCode;
 
 use aqfp_cells::{EnergyModel, Technology, TechnologyRegistry};
 use aqfp_layout::{render_svg, DrcReport, SvgOptions};
+use aqfp_netlist::generators::LargeFamily;
 use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
 use superflow::{
@@ -218,6 +232,8 @@ fn usage() -> &'static str {
      \x20      superflow lint [--tech name|file.toml] [--process mit-ll|stp2] \
      [--format text|json] [--deny rule] [--warn rule] [--allow rule] \
      [--fanout-threshold n] [--rules] <input>...\n\
+     \x20      superflow generate tiled_mul|apc_array|random_dag [--cells n] \
+     [--seed n] [--output file.v|-o file.v]\n\
      \x20      superflow tech list [--quiet]\n\
      \x20      superflow tech show <name|file>\n\
      \x20      superflow tech dump <name> [--output file.toml]"
@@ -810,6 +826,105 @@ fn tech_summary(technology: &Technology) -> String {
     )
 }
 
+#[derive(Debug)]
+struct GenerateCliOptions {
+    family: LargeFamily,
+    cells: usize,
+    seed: u64,
+    output: Option<String>,
+}
+
+fn parse_generate_args(args: &[String]) -> Result<GenerateCliOptions, String> {
+    let mut family = None;
+    let mut cells = 10_000usize;
+    let mut seed = 0u64;
+    let mut output = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cells" => {
+                let value = iter.next().ok_or("--cells needs a value")?;
+                cells = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cells needs a number, got `{value}`"))?;
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs a value")?;
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs a number, got `{value}`"))?;
+            }
+            "--output" | "-o" => {
+                let value = iter.next().ok_or("--output needs a value")?;
+                if output.is_some() {
+                    return Err("--output given more than once".to_owned());
+                }
+                output = Some(value.clone());
+            }
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown generate option `{other}`"))
+            }
+            other => {
+                if family.is_some() {
+                    return Err("generate takes exactly one family".to_owned());
+                }
+                family = Some(LargeFamily::parse(other).ok_or_else(|| {
+                    format!(
+                        "unknown generator family `{other}` (available: {})",
+                        LargeFamily::ALL.map(|f| f.name()).join(", ")
+                    )
+                })?);
+            }
+        }
+    }
+    let family = family.ok_or_else(|| {
+        format!(
+            "generate needs a family (available: {})",
+            LargeFamily::ALL.map(|f| f.name()).join(", ")
+        )
+    })?;
+    Ok(GenerateCliOptions { family, cells, seed, output })
+}
+
+fn run_generate_cli(args: &[String]) -> ExitCode {
+    let options = match parse_generate_args(args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let netlist = options.family.by_cells(options.cells, options.seed);
+    let blif = options.output.as_deref().is_some_and(|path| path.ends_with(".blif"));
+    let text = if blif {
+        aqfp_netlist::writers::to_blif(&netlist)
+    } else {
+        aqfp_netlist::writers::to_verilog(&netlist)
+    };
+    match &options.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "generated {}: {} gates / {} inputs / {} outputs, written to {path}",
+                netlist.name(),
+                netlist.cell_count(),
+                netlist.primary_inputs().len(),
+                netlist.primary_outputs().len(),
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_tech_command(args: &[String]) -> Result<String, String> {
     let command = args.first().map(String::as_str).ok_or_else(|| {
         format!("tech subcommand needs an action: list, show or dump\n{}", usage())
@@ -881,6 +996,10 @@ fn main() -> ExitCode {
         return run_lint_cli(&args[1..]);
     }
 
+    if args.first().map(String::as_str) == Some("generate") {
+        return run_generate_cli(&args[1..]);
+    }
+
     if args.first().map(String::as_str) == Some("tech") {
         return match run_tech_command(&args[1..]) {
             Ok(output) => {
@@ -943,7 +1062,13 @@ fn main() -> ExitCode {
     }
 
     let gds_path = options.output.clone().unwrap_or_else(|| format!("{}.gds", report.design_name));
-    if let Err(e) = std::fs::write(&gds_path, report.layout.to_gds_bytes()) {
+    // Stream record by record through a BufWriter instead of materializing
+    // the byte image — at a million cells the image alone is tens of MB.
+    if let Err(e) = std::fs::File::create(&gds_path).and_then(|file| {
+        let mut out = std::io::BufWriter::new(file);
+        report.layout.gds.write_to(&mut out)?;
+        std::io::Write::flush(&mut out)
+    }) {
         eprintln!("error: cannot write `{gds_path}`: {e}");
         return ExitCode::FAILURE;
     }
@@ -1306,6 +1431,40 @@ mod lint_cli_tests {
             parse_lint_args(&args(&["--tech", "a", "--process", "stp2", "a.v"])).is_err(),
             "tech and process conflict"
         );
+    }
+
+    #[test]
+    fn generate_args_parse_with_defaults_and_overrides() {
+        let options = parse_generate_args(&args(&["random_dag"])).expect("parses");
+        assert_eq!(options.family, LargeFamily::RandomDag);
+        assert_eq!(options.cells, 10_000);
+        assert_eq!(options.seed, 0);
+        assert!(options.output.is_none());
+
+        let options = parse_generate_args(&args(&[
+            "tiled-mul",
+            "--cells",
+            "50000",
+            "--seed",
+            "9",
+            "-o",
+            "big.v",
+        ]))
+        .expect("parses");
+        assert_eq!(options.family, LargeFamily::TiledMultiplier);
+        assert_eq!(options.cells, 50_000);
+        assert_eq!(options.seed, 9);
+        assert_eq!(options.output.as_deref(), Some("big.v"));
+    }
+
+    #[test]
+    fn generate_usage_errors_are_rejected() {
+        assert!(parse_generate_args(&args(&[])).is_err(), "no family");
+        assert!(parse_generate_args(&args(&["no_such_family"])).is_err(), "unknown family");
+        assert!(parse_generate_args(&args(&["random_dag", "apc_array"])).is_err(), "two families");
+        assert!(parse_generate_args(&args(&["random_dag", "--cells", "lots"])).is_err());
+        assert!(parse_generate_args(&args(&["random_dag", "--seed"])).is_err(), "missing value");
+        assert!(parse_generate_args(&args(&["random_dag", "--frobnicate"])).is_err());
     }
 
     #[test]

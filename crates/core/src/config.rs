@@ -181,13 +181,14 @@ impl FlowConfig {
     }
 
     /// Returns the same configuration with an explicit worker-thread count
-    /// for the parallel flow stages: channel routing and the detailed
-    /// placer's row sweeps. `0` uses every available core, `1` forces
-    /// strictly serial execution; the flow result is identical for every
-    /// setting.
+    /// for the parallel flow stages: channel routing, the detailed
+    /// placer's row sweeps and the global placer's shards. `0` uses every
+    /// available core, `1` forces strictly serial execution; the flow
+    /// result is identical for every setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.router.threads = threads;
         self.placement.detailed.threads = threads;
+        self.placement.global.threads = threads;
         self
     }
 
@@ -321,9 +322,11 @@ mod tests {
         assert_eq!(config.threads(), 3);
         assert_eq!(config.router.threads, 3);
         assert_eq!(config.placement.detailed.threads, 3);
+        assert_eq!(config.placement.global.threads, 3);
         // Default is auto (0): use every available core.
         assert_eq!(FlowConfig::default().threads(), 0);
         assert_eq!(FlowConfig::default().placement.detailed.threads, 0);
+        assert_eq!(FlowConfig::default().placement.global.threads, 0);
     }
 
     #[test]

@@ -13,8 +13,14 @@
 //! leniently through the recovering front-ends, so pre-flight lint can
 //! report *every* undriven net with its source span (`AQFP-E002`) instead
 //! of stopping at the first.
+//!
+//! A third spelling, `gen:<family>:<cells>[:<seed>]`, resolves to the
+//! large-design generators of `aqfp_netlist::generators::large` — e.g.
+//! `gen:random_dag:100000:7` — so scale runs need no netlist file on disk.
+//! `superflow generate` uses the same families to dump such designs as
+//! files.
 
-use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
+use aqfp_netlist::generators::{benchmark_circuit, Benchmark, LargeFamily};
 use aqfp_netlist::parsers::{
     parse_blif, parse_blif_recovering, parse_verilog, parse_verilog_recovering, ParsedDesign,
 };
@@ -50,6 +56,44 @@ fn read_source(input: &str) -> Result<String, FlowError> {
         .map_err(|e| FlowError::Io { path: input.to_owned(), message: e.to_string() })
 }
 
+/// Parses a `gen:<family>:<cells>[:<seed>]` generated-design spec. Returns
+/// `None` when `input` does not start with `gen:` (it is a name or path),
+/// `Some(Err(_))` when it does but the family or numbers are malformed.
+fn parse_generator_spec(input: &str) -> Option<Result<(LargeFamily, usize, u64), FlowError>> {
+    let spec = input.strip_prefix("gen:")?;
+    let mut parts = spec.split(':');
+    let family_name = parts.next().unwrap_or("");
+    let families = || LargeFamily::ALL.map(|f| f.name()).join(", ");
+    let Some(family) = LargeFamily::parse(family_name) else {
+        return Some(Err(FlowError::Input(format!(
+            "unknown generator family `{family_name}` in `{input}`: expected one of {}",
+            families()
+        ))));
+    };
+    let Some(Ok(cells)) = parts.next().map(str::parse::<usize>) else {
+        return Some(Err(FlowError::Input(format!(
+            "bad cell count in `{input}`: expected gen:<family>:<cells>[:<seed>]"
+        ))));
+    };
+    let seed = match parts.next() {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                return Some(Err(FlowError::Input(format!(
+                    "bad seed in `{input}`: expected gen:<family>:<cells>[:<seed>]"
+                ))))
+            }
+        },
+    };
+    if parts.next().is_some() {
+        return Some(Err(FlowError::Input(format!(
+            "too many fields in `{input}`: expected gen:<family>:<cells>[:<seed>]"
+        ))));
+    }
+    Some(Ok((family, cells, seed)))
+}
+
 /// Loads a flow input: benchmark names resolve to generated circuits, file
 /// paths dispatch on their extension.
 ///
@@ -62,6 +106,10 @@ fn read_source(input: &str) -> Result<String, FlowError> {
 pub fn load_netlist(input: &str) -> Result<Netlist, FlowError> {
     if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
         return Ok(benchmark_circuit(benchmark));
+    }
+    if let Some(spec) = parse_generator_spec(input) {
+        let (family, cells, seed) = spec?;
+        return Ok(family.by_cells(cells, seed));
     }
     let format = detect_format(input)?;
     let source = read_source(input)?;
@@ -88,6 +136,10 @@ pub fn load_design(input: &str) -> Result<ParsedDesign, FlowError> {
     if let Some(benchmark) = Benchmark::ALL.into_iter().find(|b| b.name() == input) {
         return Ok(ParsedDesign { netlist: benchmark_circuit(benchmark), recovered: Vec::new() });
     }
+    if let Some(spec) = parse_generator_spec(input) {
+        let (family, cells, seed) = spec?;
+        return Ok(ParsedDesign { netlist: family.by_cells(cells, seed), recovered: Vec::new() });
+    }
     let format = detect_format(input)?;
     let source = read_source(input)?;
     match format {
@@ -103,6 +155,14 @@ pub fn load_design(input: &str) -> Result<ParsedDesign, FlowError> {
 pub fn design_name(input: &str) -> String {
     if Benchmark::ALL.into_iter().any(|b| b.name() == input) {
         return input.to_owned();
+    }
+    if let Some(Ok((family, cells, seed))) = parse_generator_spec(input) {
+        // Mirrors the generators' own netlist names, minus sizing details
+        // the generator derives itself.
+        return match family {
+            LargeFamily::RandomDag => format!("{}_{cells}_s{seed}", family.name()),
+            _ => format!("{}_{cells}", family.name()),
+        };
     }
     std::path::Path::new(input)
         .file_stem()
@@ -143,6 +203,46 @@ mod tests {
     fn file_paths_reduce_to_their_stem() {
         assert_eq!(design_name("designs/alu.v"), "alu");
         assert_eq!(design_name("top.blif"), "top");
+    }
+
+    #[test]
+    fn generator_specs_resolve_without_touching_disk() {
+        let netlist = load_netlist("gen:random_dag:500:7").expect("generated design");
+        assert!(netlist.validate().is_ok());
+        let cells = netlist.cell_count();
+        assert!((350..=650).contains(&cells), "got {cells} cells");
+        // Same spec, same circuit — and the seed is part of the identity.
+        let again = load_netlist("gen:random_dag:500:7").expect("generated design");
+        assert_eq!(again.cell_count(), cells);
+        // The seed defaults to 0 when omitted; hyphens are accepted.
+        assert!(load_netlist("gen:tiled-mul:100").is_ok());
+        let design = load_design("gen:apc_array:200").expect("generated design");
+        assert!(design.recovered.is_empty());
+    }
+
+    #[test]
+    fn generator_names_are_filesystem_safe() {
+        // Journal directories and output GDS files are named after the
+        // design, so the colons of the spec must not leak through.
+        assert_eq!(design_name("gen:random_dag:100000:7"), "random_dag_100000_s7");
+        assert_eq!(design_name("gen:tiled_mul:5000"), "tiled_mul_5000");
+        assert_eq!(design_name("gen:apc-array:200"), "apc_array_200");
+    }
+
+    #[test]
+    fn malformed_generator_specs_are_input_errors() {
+        for bad in [
+            "gen:no_such_family:100",
+            "gen:random_dag",
+            "gen:random_dag:lots",
+            "gen:random_dag:100:abc",
+            "gen:random_dag:100:7:extra",
+        ] {
+            assert!(
+                matches!(load_netlist(bad), Err(FlowError::Input(_))),
+                "`{bad}` should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! `ENDSTR` block per structure containing `BOUNDARY`, `PATH`, `SREF` and
 //! `TEXT` elements, and the closing `ENDLIB`. Coordinates are written in
 //! database units of 1 nm with a user unit of 1 µm, the common convention.
+//!
+//! Serialization is record-streaming: [`GdsStreamWriter`] pushes each record
+//! straight into any [`io::Write`] sink, so a million-cell chip can be
+//! written through a `BufWriter` without ever materializing the byte image
+//! in memory. [`GdsLibrary::to_bytes`] is a thin wrapper that streams into a
+//! `Vec<u8>`, which makes the two paths byte-identical by construction.
 
-use bytes::{BufMut, BytesMut};
+use std::io::{self, Write};
+
 use serde::{Deserialize, Serialize};
 
 use aqfp_cells::Point;
@@ -163,14 +170,19 @@ pub struct GdsLibrary {
     pub structures: Vec<GdsStructure>,
 }
 
+/// Default database unit: 1 nm, expressed in meters.
+pub const DEFAULT_DATABASE_UNIT_M: f64 = 1e-9;
+/// Default user unit: 1 µm, expressed in database units.
+pub const DEFAULT_USER_UNIT_DB: f64 = 1e-3;
+
 impl GdsLibrary {
     /// Creates an empty library with 1 nm database units and 1 µm user
     /// units.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            database_unit_m: 1e-9,
-            user_unit_db: 1e-3,
+            database_unit_m: DEFAULT_DATABASE_UNIT_M,
+            user_unit_db: DEFAULT_USER_UNIT_DB,
             structures: Vec::new(),
         }
     }
@@ -185,114 +197,202 @@ impl GdsLibrary {
         self.structures.iter().find(|s| s.name == name)
     }
 
+    /// Streams the library as GDSII stream-format records into `out`.
+    ///
+    /// Identical bytes to [`to_bytes`](Self::to_bytes) — the in-memory path
+    /// is implemented on top of this one — but never buffers more than one
+    /// record, so it pairs with a `BufWriter` for large chips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from `out`.
+    pub fn write_to<W: Write>(&self, out: W) -> io::Result<()> {
+        let mut writer = GdsStreamWriter::new(out);
+        writer.begin_library(&self.name, self.user_unit_db, self.database_unit_m)?;
+        for structure in &self.structures {
+            writer.begin_structure(&structure.name)?;
+            for element in &structure.elements {
+                writer.element(element)?;
+            }
+            writer.end_structure()?;
+        }
+        writer.end_library()?;
+        Ok(())
+    }
+
     /// Serializes the library to GDSII stream-format bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = BytesMut::new();
-        write_record_i16(&mut out, RecordTag::Header, &[600]);
-        write_record_i16(&mut out, RecordTag::BgnLib, &[0; 12]);
-        write_record_str(&mut out, RecordTag::LibName, &self.name);
-        write_units(&mut out, self.user_unit_db, self.database_unit_m);
-
-        for structure in &self.structures {
-            write_record_i16(&mut out, RecordTag::BgnStr, &[0; 12]);
-            write_record_str(&mut out, RecordTag::StrName, &structure.name);
-            for element in &structure.elements {
-                write_element(&mut out, element);
-            }
-            write_record_empty(&mut out, RecordTag::EndStr);
-        }
-
-        write_record_empty(&mut out, RecordTag::EndLib);
-        out.to_vec()
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("writing to a Vec cannot fail");
+        out
     }
 }
 
 const DB_PER_UM: f64 = 1000.0;
 
-fn write_element(out: &mut BytesMut, element: &GdsElement) {
-    match element {
-        GdsElement::Boundary { layer, points } => {
-            write_record_empty(out, RecordTag::Boundary);
-            write_record_i16(out, RecordTag::Layer, &[*layer]);
-            write_record_i16(out, RecordTag::DataType, &[0]);
-            // Boundaries are closed by repeating the first vertex.
-            let mut xy = points.clone();
-            if let Some(first) = points.first() {
-                xy.push(*first);
+/// Streams GDSII records one at a time into any [`io::Write`] sink.
+///
+/// The caller drives the file grammar directly — [`begin_library`]
+/// (exactly once, first), then for each structure [`begin_structure`], its
+/// [`element`]s, [`end_structure`], and finally [`end_library`] — which is
+/// what lets chip-scale layouts stream to disk without an in-memory byte
+/// image. The writer performs no grammar checking; [`GdsLibrary::write_to`]
+/// and `LayoutGenerator::stream_layout` are the two callers and both emit
+/// well-formed sequences (pinned by the round-trip tests).
+///
+/// [`begin_library`]: Self::begin_library
+/// [`begin_structure`]: Self::begin_structure
+/// [`element`]: Self::element
+/// [`end_structure`]: Self::end_structure
+/// [`end_library`]: Self::end_library
+#[derive(Debug)]
+pub struct GdsStreamWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> GdsStreamWriter<W> {
+    /// Wraps a sink. Hand a `BufWriter` in when `out` is a raw `File` —
+    /// GDSII records are tiny (tens of bytes) and unbuffered writes would
+    /// syscall per record.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Writes the library prologue: `HEADER`, `BGNLIB`, `LIBNAME`, `UNITS`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the sink.
+    pub fn begin_library(
+        &mut self,
+        name: &str,
+        user_unit_db: f64,
+        database_unit_m: f64,
+    ) -> io::Result<()> {
+        self.record_i16(RecordTag::Header, &[600])?;
+        self.record_i16(RecordTag::BgnLib, &[0; 12])?;
+        self.record_str(RecordTag::LibName, name)?;
+        self.header(RecordTag::Units, 16)?;
+        self.out.write_all(&gds_real(user_unit_db))?;
+        self.out.write_all(&gds_real(database_unit_m))
+    }
+
+    /// Opens a structure: `BGNSTR` + `STRNAME`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the sink.
+    pub fn begin_structure(&mut self, name: &str) -> io::Result<()> {
+        self.record_i16(RecordTag::BgnStr, &[0; 12])?;
+        self.record_str(RecordTag::StrName, name)
+    }
+
+    /// Writes one element of the currently open structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the sink.
+    pub fn element(&mut self, element: &GdsElement) -> io::Result<()> {
+        match element {
+            GdsElement::Boundary { layer, points } => {
+                self.record_empty(RecordTag::Boundary)?;
+                self.record_i16(RecordTag::Layer, &[*layer])?;
+                self.record_i16(RecordTag::DataType, &[0])?;
+                // Boundaries are closed by repeating the first vertex.
+                self.record_xy(points, true)?;
+                self.record_empty(RecordTag::EndEl)
             }
-            write_record_xy(out, &xy);
-            write_record_empty(out, RecordTag::EndEl);
-        }
-        GdsElement::Path { layer, width, points } => {
-            write_record_empty(out, RecordTag::Path);
-            write_record_i16(out, RecordTag::Layer, &[*layer]);
-            write_record_i16(out, RecordTag::DataType, &[0]);
-            write_record_i32(out, RecordTag::Width, &[(width * DB_PER_UM) as i32]);
-            write_record_xy(out, points);
-            write_record_empty(out, RecordTag::EndEl);
-        }
-        GdsElement::Sref { name, origin } => {
-            write_record_empty(out, RecordTag::Sref);
-            write_record_str(out, RecordTag::SName, name);
-            write_record_xy(out, std::slice::from_ref(origin));
-            write_record_empty(out, RecordTag::EndEl);
-        }
-        GdsElement::Text { layer, position, text } => {
-            write_record_empty(out, RecordTag::Text);
-            write_record_i16(out, RecordTag::Layer, &[*layer]);
-            write_record_i16(out, RecordTag::TextType, &[0]);
-            write_record_xy(out, std::slice::from_ref(position));
-            write_record_str(out, RecordTag::String, text);
-            write_record_empty(out, RecordTag::EndEl);
+            GdsElement::Path { layer, width, points } => {
+                self.record_empty(RecordTag::Path)?;
+                self.record_i16(RecordTag::Layer, &[*layer])?;
+                self.record_i16(RecordTag::DataType, &[0])?;
+                self.record_i32(RecordTag::Width, &[(width * DB_PER_UM) as i32])?;
+                self.record_xy(points, false)?;
+                self.record_empty(RecordTag::EndEl)
+            }
+            GdsElement::Sref { name, origin } => {
+                self.record_empty(RecordTag::Sref)?;
+                self.record_str(RecordTag::SName, name)?;
+                self.record_xy(std::slice::from_ref(origin), false)?;
+                self.record_empty(RecordTag::EndEl)
+            }
+            GdsElement::Text { layer, position, text } => {
+                self.record_empty(RecordTag::Text)?;
+                self.record_i16(RecordTag::Layer, &[*layer])?;
+                self.record_i16(RecordTag::TextType, &[0])?;
+                self.record_xy(std::slice::from_ref(position), false)?;
+                self.record_str(RecordTag::String, text)?;
+                self.record_empty(RecordTag::EndEl)
+            }
         }
     }
-}
 
-fn write_header(out: &mut BytesMut, tag: RecordTag, payload_len: usize) {
-    let total = payload_len + 4;
-    out.put_u16(total as u16);
-    out.put_slice(&tag.code());
-}
-
-fn write_record_empty(out: &mut BytesMut, tag: RecordTag) {
-    write_header(out, tag, 0);
-}
-
-fn write_record_i16(out: &mut BytesMut, tag: RecordTag, values: &[i16]) {
-    write_header(out, tag, values.len() * 2);
-    for v in values {
-        out.put_i16(*v);
+    /// Closes the currently open structure with `ENDSTR`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the sink.
+    pub fn end_structure(&mut self) -> io::Result<()> {
+        self.record_empty(RecordTag::EndStr)
     }
-}
 
-fn write_record_i32(out: &mut BytesMut, tag: RecordTag, values: &[i32]) {
-    write_header(out, tag, values.len() * 4);
-    for v in values {
-        out.put_i32(*v);
+    /// Writes the closing `ENDLIB` and returns the sink (so callers can
+    /// flush or inspect it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the sink.
+    pub fn end_library(mut self) -> io::Result<W> {
+        self.record_empty(RecordTag::EndLib)?;
+        Ok(self.out)
     }
-}
 
-fn write_record_str(out: &mut BytesMut, tag: RecordTag, value: &str) {
-    let mut bytes = value.as_bytes().to_vec();
-    if bytes.len() % 2 == 1 {
-        bytes.push(0); // GDSII strings are padded to even length.
+    fn header(&mut self, tag: RecordTag, payload_len: usize) -> io::Result<()> {
+        let total = (payload_len + 4) as u16;
+        self.out.write_all(&total.to_be_bytes())?;
+        self.out.write_all(&tag.code())
     }
-    write_header(out, tag, bytes.len());
-    out.put_slice(&bytes);
-}
 
-fn write_record_xy(out: &mut BytesMut, points: &[Point]) {
-    write_header(out, RecordTag::Xy, points.len() * 8);
-    for p in points {
-        out.put_i32((p.x * DB_PER_UM).round() as i32);
-        out.put_i32((p.y * DB_PER_UM).round() as i32);
+    fn record_empty(&mut self, tag: RecordTag) -> io::Result<()> {
+        self.header(tag, 0)
     }
-}
 
-fn write_units(out: &mut BytesMut, user_unit_db: f64, database_unit_m: f64) {
-    write_header(out, RecordTag::Units, 16);
-    out.put_slice(&gds_real(user_unit_db));
-    out.put_slice(&gds_real(database_unit_m));
+    fn record_i16(&mut self, tag: RecordTag, values: &[i16]) -> io::Result<()> {
+        self.header(tag, values.len() * 2)?;
+        for v in values {
+            self.out.write_all(&v.to_be_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn record_i32(&mut self, tag: RecordTag, values: &[i32]) -> io::Result<()> {
+        self.header(tag, values.len() * 4)?;
+        for v in values {
+            self.out.write_all(&v.to_be_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn record_str(&mut self, tag: RecordTag, value: &str) -> io::Result<()> {
+        let bytes = value.as_bytes();
+        let padded = bytes.len() + bytes.len() % 2; // GDSII strings are padded to even length.
+        self.header(tag, padded)?;
+        self.out.write_all(bytes)?;
+        if padded > bytes.len() {
+            self.out.write_all(&[0])?;
+        }
+        Ok(())
+    }
+
+    fn record_xy(&mut self, points: &[Point], close: bool) -> io::Result<()> {
+        let closing = if close { points.first() } else { None };
+        self.header(RecordTag::Xy, (points.len() + closing.iter().count()) * 8)?;
+        for p in points.iter().chain(closing) {
+            self.out.write_all(&((p.x * DB_PER_UM).round() as i32).to_be_bytes())?;
+            self.out.write_all(&((p.y * DB_PER_UM).round() as i32).to_be_bytes())?;
+        }
+        Ok(())
+    }
 }
 
 /// Encodes an `f64` as the 8-byte excess-64 base-16 floating-point format
@@ -483,5 +583,31 @@ mod tests {
         let library = toy_library();
         assert!(library.structure("BUF").is_some());
         assert!(library.structure("NOPE").is_none());
+    }
+
+    #[test]
+    fn manually_driven_stream_writer_matches_the_library_serializer() {
+        let library = toy_library();
+        let mut writer = GdsStreamWriter::new(Vec::new());
+        writer
+            .begin_library("toy", DEFAULT_USER_UNIT_DB, DEFAULT_DATABASE_UNIT_M)
+            .expect("vec sink");
+        for structure in &library.structures {
+            writer.begin_structure(&structure.name).expect("vec sink");
+            for element in &structure.elements {
+                writer.element(element).expect("vec sink");
+            }
+            writer.end_structure().expect("vec sink");
+        }
+        let streamed = writer.end_library().expect("vec sink");
+        assert_eq!(streamed, library.to_bytes());
+    }
+
+    #[test]
+    fn write_to_works_through_a_buf_writer() {
+        let library = toy_library();
+        let mut sink = Vec::new();
+        library.write_to(std::io::BufWriter::new(&mut sink)).expect("vec sink");
+        assert_eq!(sink, library.to_bytes());
     }
 }

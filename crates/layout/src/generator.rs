@@ -6,6 +6,7 @@
 //! path per wire, alternating the two wiring metals segment by segment.
 
 use std::collections::BTreeSet;
+use std::io::{self, Write};
 use std::sync::Arc;
 
 use aqfp_cells::{Point, Technology};
@@ -14,7 +15,10 @@ use aqfp_route::RoutingResult;
 use serde::{Deserialize, Serialize};
 
 use crate::cells;
-use crate::gds::{GdsElement, GdsLibrary, GdsStructure};
+use crate::gds::{
+    GdsElement, GdsLibrary, GdsStreamWriter, GdsStructure, DEFAULT_DATABASE_UNIT_M,
+    DEFAULT_USER_UNIT_DB,
+};
 
 /// A generated chip layout: the GDSII library plus a few summary numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +43,35 @@ impl Layout {
     pub fn to_gds_bytes(&self) -> Vec<u8> {
         self.gds.to_bytes()
     }
+
+    /// The summary numbers of this layout, as
+    /// [`stream_layout`](LayoutGenerator::stream_layout) would report them.
+    pub fn summary(&self) -> LayoutSummary {
+        LayoutSummary {
+            top_name: self.top_name.clone(),
+            cell_instances: self.cell_instances,
+            wire_paths: self.wire_paths,
+            width_um: self.width_um,
+            height_um: self.height_um,
+        }
+    }
+}
+
+/// The summary numbers of a streamed layout: everything [`Layout`] carries
+/// except the in-memory GDSII library, which a streamed emission never
+/// builds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutSummary {
+    /// Name of the top-level structure.
+    pub top_name: String,
+    /// Number of cell instances referenced by the top structure.
+    pub cell_instances: usize,
+    /// Number of routed wire paths in the top structure.
+    pub wire_paths: usize,
+    /// Chip bounding-box width in µm.
+    pub width_um: f64,
+    /// Chip bounding-box height in µm.
+    pub height_um: f64,
 }
 
 /// Assembles GDSII layouts from placement and routing results.
@@ -120,6 +153,79 @@ impl LayoutGenerator {
             width_um: design.layer_width(),
             height_um: design.rows.len() as f64 * design.row_pitch,
         }
+    }
+
+    /// Streams the chip layout for a placed and routed design straight into
+    /// `out`, without building the in-memory [`GdsLibrary`].
+    ///
+    /// Emits exactly the same structures, elements and bytes as
+    /// [`generate`](Self::generate) followed by
+    /// [`Layout::to_gds_bytes`] — same cell-structure order (used kinds,
+    /// sorted), same top-structure element order (cell references in
+    /// placement order, then wire segments in routing order) — but its peak
+    /// memory is one GDSII record, which is what makes million-cell GDS
+    /// emission feasible. Wrap file sinks in a `BufWriter`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from `out`.
+    pub fn stream_layout<W: Write>(
+        &self,
+        design: &PlacedDesign,
+        routing: &RoutingResult,
+        out: W,
+    ) -> io::Result<LayoutSummary> {
+        let mut writer = GdsStreamWriter::new(out);
+        writer.begin_library(&design.name, DEFAULT_USER_UNIT_DB, DEFAULT_DATABASE_UNIT_M)?;
+
+        let used_kinds: BTreeSet<_> = design.cells.iter().map(|c| c.kind).collect();
+        for kind in &used_kinds {
+            let structure = cells::cell_structure(&self.technology, *kind);
+            writer.begin_structure(&structure.name)?;
+            for element in &structure.elements {
+                writer.element(element)?;
+            }
+            writer.end_structure()?;
+        }
+
+        let top_name = format!("{}_top", design.name);
+        writer.begin_structure(&top_name)?;
+        for cell in &design.cells {
+            writer.element(&GdsElement::Sref {
+                name: cells::structure_name(cell.kind),
+                origin: Point::new(cell.x, design.row_y(cell.row)),
+            })?;
+        }
+        let mut wire_paths = 0usize;
+        let layers = self.technology.layers();
+        for wire in &routing.wires {
+            if wire.path.len() < 2 {
+                continue;
+            }
+            for segment in straight_segments(&wire.path) {
+                let layer = if (segment[0].y - segment[segment.len() - 1].y).abs() < 1e-9 {
+                    layers.metal1
+                } else {
+                    layers.metal2
+                };
+                writer.element(&GdsElement::Path {
+                    layer,
+                    width: self.technology.rules().wire_width,
+                    points: segment,
+                })?;
+                wire_paths += 1;
+            }
+        }
+        writer.end_structure()?;
+        writer.end_library()?;
+
+        Ok(LayoutSummary {
+            top_name,
+            cell_instances: design.cells.len(),
+            wire_paths,
+            width_um: design.layer_width(),
+            height_um: design.rows.len() as f64 * design.row_pitch,
+        })
     }
 }
 
@@ -206,6 +312,19 @@ mod tests {
         assert_eq!(segments[1].len(), 2);
         assert_eq!(segments[2].len(), 2);
         assert!(straight_segments(&[Point::new(0.0, 0.0)]).is_empty());
+    }
+
+    #[test]
+    fn streaming_emission_matches_the_in_memory_library() {
+        let (design, routing, technology) = routed_design();
+        let generator = LayoutGenerator::new(technology);
+        let layout = generator.generate(&design, &routing);
+        let mut streamed = Vec::new();
+        let summary = generator
+            .stream_layout(&design, &routing, std::io::BufWriter::new(&mut streamed))
+            .expect("vec sink");
+        assert_eq!(streamed, layout.to_gds_bytes(), "streamed bytes must match to_bytes");
+        assert_eq!(summary, layout.summary());
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod generator;
 pub mod svg;
 
 pub use drc::{DrcChecker, DrcReport, DrcViolation, DrcViolationKind};
-pub use gds::{GdsElement, GdsLibrary, GdsStructure};
-pub use generator::{Layout, LayoutGenerator};
+pub use gds::{GdsElement, GdsLibrary, GdsStreamWriter, GdsStructure};
+pub use generator::{Layout, LayoutGenerator, LayoutSummary};
 pub use svg::{render_svg, SvgOptions};

@@ -15,6 +15,7 @@ pub mod adder;
 pub mod apc;
 pub mod decoder;
 pub mod iscas;
+pub mod large;
 pub mod random;
 pub mod sorter;
 
@@ -22,6 +23,7 @@ pub use adder::kogge_stone_adder;
 pub use apc::approximate_parallel_counter;
 pub use decoder::binary_decoder;
 pub use iscas::synthetic_iscas;
+pub use large::LargeFamily;
 pub use random::{random_dag, RandomDagConfig};
 pub use sorter::bitonic_sorter;
 

@@ -28,6 +28,7 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod csr;
 pub mod gate;
 pub mod generators;
 pub mod netlist;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod traverse;
 pub mod writers;
 
+pub use csr::FanoutCsr;
 pub use gate::{Gate, GateId};
 pub use netlist::{Netlist, NetlistError};
 pub use span::SourceSpan;

@@ -238,10 +238,8 @@ impl Netlist {
     /// Number of logical nets: every non-output gate whose output is consumed
     /// by at least one sink (or that feeds a primary output) drives one net.
     pub fn net_count(&self) -> usize {
-        let fanouts = self.fanouts();
-        self.iter()
-            .filter(|(id, gate)| !gate.is_primary_output() && !fanouts[id.0].is_empty())
-            .count()
+        let degrees = crate::csr::out_degrees(self);
+        self.iter().filter(|(id, gate)| !gate.is_primary_output() && degrees[id.0] > 0).count()
     }
 
     /// Total number of point-to-point pin connections (sum of fan-in sizes).

@@ -9,11 +9,11 @@ use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingReport};
 use serde::{Deserialize, Serialize};
 
 use crate::baselines::gordian::{gordian_place, GordianConfig};
-use crate::baselines::taas::{taas_place, TaasConfig};
+use crate::baselines::taas::{taas_place_with_scratch, TaasConfig};
 use crate::buffer_rows::{insert_buffer_rows, BufferRowReport};
 use crate::design::PlacedDesign;
 use crate::detailed::{detailed_place_cancellable, DetailedPlacementConfig};
-use crate::global::{global_place_cancellable, GlobalPlacementConfig};
+use crate::global::{global_place_with_scratch, GlobalPlaceScratch, GlobalPlacementConfig};
 use crate::legalize::legalize;
 
 /// Which placement strategy to run.
@@ -176,17 +176,29 @@ impl PlacementEngine {
 
     /// Places a synthesized netlist with the selected strategy.
     pub fn place(&self, synthesized: &SynthesizedNetlist, placer: PlacerKind) -> PlacementResult {
-        self.place_base(PlacedDesign::from_synthesized(synthesized, &self.technology), placer)
+        let mut scratch = GlobalPlaceScratch::new();
+        self.place_base(
+            PlacedDesign::from_synthesized(synthesized, &self.technology),
+            placer,
+            &mut scratch,
+        )
     }
 
     /// Runs the selected strategy on an already-built initial design (so
     /// comparison runs over several placers build the physical view once).
-    fn place_base(&self, mut design: PlacedDesign, placer: PlacerKind) -> PlacementResult {
+    /// The global-placement scratch is caller-provided so comparison runs
+    /// reuse one set of hot-loop buffers across all placers.
+    fn place_base(
+        &self,
+        mut design: PlacedDesign,
+        placer: PlacerKind,
+        scratch: &mut GlobalPlaceScratch,
+    ) -> PlacementResult {
         let start = Instant::now();
 
         match placer {
             PlacerKind::SuperFlow => {
-                global_place_cancellable(&mut design, &self.options.global, &self.cancel);
+                global_place_with_scratch(&mut design, &self.options.global, &self.cancel, scratch);
                 legalize(&mut design);
                 detailed_place_cancellable(&mut design, &self.effective_detailed(), &self.cancel);
             }
@@ -194,7 +206,7 @@ impl PlacementEngine {
                 gordian_place(&mut design, &GordianConfig::default());
             }
             PlacerKind::Taas => {
-                taas_place(&mut design, &TaasConfig::default());
+                taas_place_with_scratch(&mut design, &TaasConfig::default(), scratch);
             }
         }
 
@@ -239,7 +251,11 @@ impl PlacementEngine {
     /// placer instead of being rebuilt from the netlist three times.
     pub fn place_all(&self, synthesized: &SynthesizedNetlist) -> Vec<PlacementResult> {
         let base = PlacedDesign::from_synthesized(synthesized, &self.technology);
-        PlacerKind::ALL.iter().map(|&placer| self.place_base(base.clone(), placer)).collect()
+        let mut scratch = GlobalPlaceScratch::new();
+        PlacerKind::ALL
+            .iter()
+            .map(|&placer| self.place_base(base.clone(), placer, &mut scratch))
+            .collect()
     }
 }
 

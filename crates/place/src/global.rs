@@ -17,6 +17,45 @@
 //! The paper uses DREAMPlace as the optimization engine; this reproduction
 //! uses a CPU gradient-descent optimizer with momentum (Adam-style step
 //! scaling), which is sufficient for the benchmark sizes involved.
+//!
+//! # Sharded execution and the halo-exchange invariant
+//!
+//! At 10⁵–10⁶ cells one gradient iteration dominates the flow's wall
+//! clock, so the optimizer shards the design: rows are grouped into at
+//! most [`MAX_SHARDS`] contiguous shards balanced by cell count, and a
+//! `std::thread::scope` pool (sized by
+//! [`crate::parallel::effective_threads`] from
+//! [`GlobalPlacementConfig::threads`]) owns a contiguous block of shards
+//! per worker. Each iteration runs three phases:
+//!
+//! 1. **gather** — every worker computes the net-term gradient of its own
+//!    cells by *gathering* over a per-cell incidence list (CSR), reading
+//!    the positions of cells in other shards ("the halo") but writing only
+//!    its own gradient slots;
+//! 2. **spread** — the intra-row overlap force; rows never span shards, so
+//!    this phase is entirely shard-local;
+//! 3. **update** — the momentum step writes the new positions of the
+//!    worker's own cells.
+//!
+//! Positions are exchanged across shards only at the iteration barrier
+//! between *update* and the next *gather* — that barrier is the halo
+//! exchange, and it is the invariant that makes the result independent of
+//! the worker count: shard boundaries depend only on the design (never on
+//! the machine or the thread knob), every gradient slot is written by
+//! exactly one worker from inputs that are frozen for the whole phase, and
+//! per-shard objective partial sums are reduced in shard order. The gather
+//! replays, per cell, the exact floating-point addition sequence of the
+//! serial net-order scatter (per incident net, in net order: wirelength,
+//! then timing, then max-wirelength term), so sharded and serial runs are
+//! **byte-identical at any thread count** — the same contract the detailed
+//! placer and router already keep, pinned by the golden-GDS tests and
+//! randomized cross-thread-count tests in `tests/property.rs`.
+//!
+//! [`global_place_reference`] keeps the original single-threaded net-order
+//! scatter implementation as the oracle those tests compare against.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
 
 use aqfp_cells::CancelToken;
 use serde::{Deserialize, Serialize};
@@ -26,6 +65,22 @@ use aqfp_timing::model::{
 };
 
 use crate::design::PlacedDesign;
+use crate::parallel::effective_threads;
+
+/// Upper bound on the number of placement shards. Shard boundaries are a
+/// pure function of the design (rows grouped by cumulative cell count), so
+/// the objective's reduction order — and therefore every reported number —
+/// is identical on a laptop and a 128-core server.
+pub const MAX_SHARDS: usize = 32;
+
+/// Designs below this cell count never spawn workers when the thread knob
+/// is `0` (auto): the per-iteration barrier overhead exceeds the gradient
+/// work. An explicit thread count is always honored, which is how the
+/// byte-identity tests drive the parallel path on small designs.
+const PARALLEL_MIN_CELLS: usize = 2048;
+
+/// Momentum coefficient of the gradient-descent optimizer.
+const MOMENTUM: f64 = 0.7;
 
 /// Tuning parameters of the global placer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +99,11 @@ pub struct GlobalPlacementConfig {
     pub iterations: usize,
     /// Initial learning rate, in µm per unit gradient.
     pub learning_rate: f64,
+    /// Worker threads for the sharded optimizer: `0` resolves to every
+    /// available core (small designs still run serially), any other value
+    /// is used as-is. The result is byte-identical at every setting — see
+    /// the [module docs](self) for the invariant.
+    pub threads: usize,
 }
 
 impl Default for GlobalPlacementConfig {
@@ -56,6 +116,7 @@ impl Default for GlobalPlacementConfig {
             alpha: 2.0,
             iterations: 500,
             learning_rate: 1.0,
+            threads: 0,
         }
     }
 }
@@ -102,6 +163,195 @@ pub fn global_place_cancellable(
     config: &GlobalPlacementConfig,
     cancel: &CancelToken,
 ) -> GlobalPlacementReport {
+    global_place_with_scratch(design, config, cancel, &mut GlobalPlaceScratch::default())
+}
+
+/// Reusable working memory of the global placer: the warm-start adjacency,
+/// the row-major permutation, the CSR incidence lists and every hot-loop
+/// buffer. A [`crate::PlacementEngine`] comparison run (`place_all`) and
+/// the batch driver place many designs back to back; passing one scratch
+/// to [`global_place_with_scratch`] re-fills these buffers in place instead
+/// of re-allocating ~10 arrays of n elements per call.
+#[derive(Debug, Default)]
+pub struct GlobalPlaceScratch {
+    /// CSR offsets of the cell-space neighbour lists (warm start).
+    adj_offsets: Vec<u32>,
+    /// CSR payload: neighbour cell indices, per cell in net order.
+    adj: Vec<u32>,
+    /// Row-major permutation: slot `j` holds cell index `perm[j]`.
+    perm: Vec<u32>,
+    /// Slot of each cell: `inv_perm[cell] = j`.
+    inv_perm: Vec<u32>,
+    /// Slot range of row `r`: `row_start[r]..row_start[r + 1]`.
+    row_start: Vec<u32>,
+    /// Cell widths by slot.
+    width: Vec<f64>,
+    /// Driver slot of each net.
+    net_dj: Vec<u32>,
+    /// Sink slot of each net.
+    net_sj: Vec<u32>,
+    /// Clock phase (driver row) of each net.
+    net_phase: Vec<u32>,
+    /// CSR offsets of the per-slot incident-net lists.
+    inc_offsets: Vec<u32>,
+    /// CSR payload: incident net indices, per slot in net order.
+    inc: Vec<u32>,
+    /// Shard boundaries as row indices, `shard_count + 1` entries.
+    shard_rows: Vec<u32>,
+    /// Cell x positions by slot, as `f64` bits. Atomic because the gather
+    /// phase reads halo positions while no one writes, and the update
+    /// phase writes owned slots while no one reads — the iteration
+    /// barriers provide the happens-before edges, so `Relaxed` suffices.
+    xs: Vec<AtomicU64>,
+    /// Objective gradient by slot.
+    gradient: Vec<f64>,
+    /// Momentum velocity by slot.
+    velocity: Vec<f64>,
+    /// Per-row order index (slots), re-sorted in place every iteration.
+    sorted: Vec<u32>,
+    /// Net-term objective partial sum per shard.
+    obj_net: Vec<f64>,
+    /// Spreading-penalty partial sum per shard.
+    obj_spread: Vec<f64>,
+    /// CSR fill cursors, reused by both CSR builds.
+    cursor: Vec<u32>,
+}
+
+impl GlobalPlaceScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds every derived structure for `design`, reusing allocations.
+    fn prepare(&mut self, design: &PlacedDesign) {
+        let n = design.cells.len();
+        let net_count = design.nets.len();
+
+        // Cell-space neighbour CSR for the warm start. Entries land in net
+        // order per cell (driver's entry appended before the sink's for
+        // each net), matching the push order of the Vec<Vec> adjacency the
+        // reference implementation builds.
+        self.adj_offsets.clear();
+        self.adj_offsets.resize(n + 1, 0);
+        for net in &design.nets {
+            self.adj_offsets[net.driver + 1] += 1;
+            self.adj_offsets[net.sink + 1] += 1;
+        }
+        for i in 0..n {
+            self.adj_offsets[i + 1] += self.adj_offsets[i];
+        }
+        self.adj.clear();
+        self.adj.resize(2 * net_count, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.adj_offsets[..n]);
+        for net in &design.nets {
+            self.adj[self.cursor[net.driver] as usize] = net.sink as u32;
+            self.cursor[net.driver] += 1;
+            self.adj[self.cursor[net.sink] as usize] = net.driver as u32;
+            self.cursor[net.sink] += 1;
+        }
+
+        // Row-major permutation: each row's cells occupy one contiguous
+        // slot range, so shards (unions of whole rows) are contiguous too.
+        self.perm.clear();
+        self.row_start.clear();
+        self.row_start.push(0);
+        for row in &design.rows {
+            for &cell in row {
+                self.perm.push(cell as u32);
+            }
+            self.row_start.push(self.perm.len() as u32);
+        }
+        debug_assert_eq!(self.perm.len(), n, "rows must partition the cells");
+        self.inv_perm.clear();
+        self.inv_perm.resize(n, 0);
+        for (j, &cell) in self.perm.iter().enumerate() {
+            self.inv_perm[cell as usize] = j as u32;
+        }
+        self.width.clear();
+        self.width.extend(self.perm.iter().map(|&cell| design.cells[cell as usize].width));
+
+        // Nets with permuted endpoints, plus the per-slot incidence CSR
+        // (per slot in ascending net order — the order the gather relies
+        // on to replay the serial scatter's addition sequence).
+        self.net_dj.clear();
+        self.net_sj.clear();
+        self.net_phase.clear();
+        for net in &design.nets {
+            self.net_dj.push(self.inv_perm[net.driver]);
+            self.net_sj.push(self.inv_perm[net.sink]);
+            self.net_phase.push(design.cells[net.driver].row as u32);
+        }
+        self.inc_offsets.clear();
+        self.inc_offsets.resize(n + 1, 0);
+        for k in 0..net_count {
+            self.inc_offsets[self.net_dj[k] as usize + 1] += 1;
+            self.inc_offsets[self.net_sj[k] as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.inc_offsets[i + 1] += self.inc_offsets[i];
+        }
+        self.inc.clear();
+        self.inc.resize(2 * net_count, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.inc_offsets[..n]);
+        for k in 0..net_count {
+            let dj = self.net_dj[k] as usize;
+            let sj = self.net_sj[k] as usize;
+            self.inc[self.cursor[dj] as usize] = k as u32;
+            self.cursor[dj] += 1;
+            self.inc[self.cursor[sj] as usize] = k as u32;
+            self.cursor[sj] += 1;
+        }
+
+        // Shard boundaries: rows grouped by cumulative cell count. A pure
+        // function of the design — never of the thread knob or machine.
+        let shard_count = design.rows.len().clamp(1, MAX_SHARDS);
+        self.shard_rows.clear();
+        self.shard_rows.push(0);
+        let mut cells_so_far = 0usize;
+        let mut next_shard = 1usize;
+        for (r, row) in design.rows.iter().enumerate() {
+            cells_so_far += row.len();
+            while next_shard < shard_count && cells_so_far * shard_count >= n * next_shard {
+                self.shard_rows.push((r + 1) as u32);
+                next_shard += 1;
+            }
+        }
+        while next_shard < shard_count {
+            self.shard_rows.push(design.rows.len() as u32);
+            next_shard += 1;
+        }
+        self.shard_rows.push(design.rows.len() as u32);
+
+        // Hot-loop buffers. The order index starts as the identity over
+        // slots — exactly the rows' own cell order, like the reference's
+        // `design.rows.clone()` — and persists across iterations so the
+        // adaptive sort runs near O(n) on almost-sorted data.
+        self.xs.clear();
+        self.xs.resize_with(n, || AtomicU64::new(0));
+        self.gradient.clear();
+        self.gradient.resize(n, 0.0);
+        self.velocity.clear();
+        self.velocity.resize(n, 0.0);
+        self.sorted.clear();
+        self.sorted.extend(0..n as u32);
+        self.obj_net.clear();
+        self.obj_net.resize(shard_count, 0.0);
+        self.obj_spread.clear();
+        self.obj_spread.resize(shard_count, 0.0);
+    }
+}
+
+/// [`global_place_cancellable`] with caller-provided working memory, for
+/// hot paths that place many designs (see [`GlobalPlaceScratch`]).
+pub fn global_place_with_scratch(
+    design: &mut PlacedDesign,
+    config: &GlobalPlacementConfig,
+    cancel: &CancelToken,
+    scratch: &mut GlobalPlaceScratch,
+) -> GlobalPlacementReport {
     let hpwl_before = design.hpwl();
     let n = design.cells.len();
     if n == 0 || design.nets.is_empty() {
@@ -113,39 +363,386 @@ pub fn global_place_cancellable(
         };
     }
 
-    // The neighbour adjacency is shared by the warm start and (potentially)
-    // later analysis; build it exactly once per run.
-    let neighbours = build_adjacency(design);
+    scratch.prepare(design);
 
     // Warm start: a few Gauss-Seidel "average of neighbours" sweeps give the
     // quadratic wirelength optimum as the starting point, so the gradient
     // refinement only has to trade wirelength against the timing and
     // max-wirelength terms instead of dragging cells across the whole row.
+    warm_start_csr(design, 40, &scratch.adj_offsets, &scratch.adj);
+    let layer_width = design.layer_width().max(1.0);
+    for (j, &cell) in scratch.perm.iter().enumerate() {
+        scratch.xs[j].store(design.cells[cell as usize].x.to_bits(), Ordering::Relaxed);
+    }
+
+    let shard_count = scratch.shard_rows.len() - 1;
+    let threads = if config.threads == 0 && n < PARALLEL_MIN_CELLS {
+        1
+    } else {
+        effective_threads(config.threads, shard_count)
+    };
+
+    let shared = SharedState {
+        config,
+        layer_width,
+        row_pitch: design.row_pitch,
+        max_wirelength: design.rules.max_wirelength,
+        width: &scratch.width,
+        net_dj: &scratch.net_dj,
+        net_sj: &scratch.net_sj,
+        net_phase: &scratch.net_phase,
+        inc_offsets: &scratch.inc_offsets,
+        inc: &scratch.inc,
+        row_start: &scratch.row_start,
+        shard_rows: &scratch.shard_rows,
+        xs: &scratch.xs,
+        barrier: Barrier::new(threads),
+        stop: AtomicBool::new(false),
+        iterations_run: AtomicUsize::new(0),
+        cancel,
+    };
+
+    // Per-worker chunks: a contiguous block of shards, hence a contiguous
+    // slot range, so every mutable buffer splits without locks.
+    let mut chunks = Vec::with_capacity(threads);
+    {
+        let mut gradient = scratch.gradient.as_mut_slice();
+        let mut velocity = scratch.velocity.as_mut_slice();
+        let mut sorted = scratch.sorted.as_mut_slice();
+        let mut obj_net = scratch.obj_net.as_mut_slice();
+        let mut obj_spread = scratch.obj_spread.as_mut_slice();
+        let mut s0 = 0usize;
+        let mut j0 = 0usize;
+        for t in 0..threads {
+            let s1 = ((t + 1) * shard_count) / threads;
+            let j1 = shared.row_start[shared.shard_rows[s1] as usize] as usize;
+            let (g, g_rest) = gradient.split_at_mut(j1 - j0);
+            let (v, v_rest) = velocity.split_at_mut(j1 - j0);
+            let (so, so_rest) = sorted.split_at_mut(j1 - j0);
+            let (on, on_rest) = obj_net.split_at_mut(s1 - s0);
+            let (os, os_rest) = obj_spread.split_at_mut(s1 - s0);
+            gradient = g_rest;
+            velocity = v_rest;
+            sorted = so_rest;
+            obj_net = on_rest;
+            obj_spread = os_rest;
+            chunks.push(ShardChunk {
+                s0,
+                s1,
+                j0,
+                gradient: g,
+                velocity: v,
+                sorted: so,
+                obj_net: on,
+                obj_spread: os,
+            });
+            s0 = s1;
+            j0 = j1;
+        }
+    }
+
+    if threads == 1 {
+        let chunk = chunks.into_iter().next().expect("one chunk");
+        shard_worker(true, &shared, chunk);
+    } else {
+        std::thread::scope(|scope| {
+            for (t, chunk) in chunks.into_iter().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || shard_worker(t == 0, shared, chunk));
+            }
+        });
+    }
+
+    let iterations_run = shared.iterations_run.load(Ordering::Relaxed);
+    for (j, &cell) in scratch.perm.iter().enumerate() {
+        design.cells[cell as usize].x = f64::from_bits(scratch.xs[j].load(Ordering::Relaxed));
+    }
+    design.sort_rows_by_x();
+    let final_objective =
+        scratch.obj_net.iter().sum::<f64>() + scratch.obj_spread.iter().sum::<f64>();
+    GlobalPlacementReport {
+        hpwl_before,
+        hpwl_after: design.hpwl(),
+        final_objective,
+        iterations: iterations_run,
+    }
+}
+
+/// Read-shared state of one optimization run.
+struct SharedState<'a> {
+    config: &'a GlobalPlacementConfig,
+    layer_width: f64,
+    row_pitch: f64,
+    max_wirelength: f64,
+    width: &'a [f64],
+    net_dj: &'a [u32],
+    net_sj: &'a [u32],
+    net_phase: &'a [u32],
+    inc_offsets: &'a [u32],
+    inc: &'a [u32],
+    row_start: &'a [u32],
+    shard_rows: &'a [u32],
+    xs: &'a [AtomicU64],
+    barrier: Barrier,
+    /// Set by the leader before the iteration barrier so every worker
+    /// takes the same break decision — workers never poll the cancel
+    /// token themselves, which would race the barrier and deadlock.
+    stop: AtomicBool,
+    iterations_run: AtomicUsize,
+    cancel: &'a CancelToken,
+}
+
+/// One worker's exclusively-owned buffer slices.
+struct ShardChunk<'a> {
+    /// Owned shard range `s0..s1`.
+    s0: usize,
+    s1: usize,
+    /// First owned slot; chunk slices index from here.
+    j0: usize,
+    gradient: &'a mut [f64],
+    velocity: &'a mut [f64],
+    sorted: &'a mut [u32],
+    obj_net: &'a mut [f64],
+    obj_spread: &'a mut [f64],
+}
+
+#[inline]
+fn load_x(xs: &[AtomicU64], j: usize) -> f64 {
+    f64::from_bits(xs[j].load(Ordering::Relaxed))
+}
+
+/// The per-worker iteration loop; with one worker this runs inline on the
+/// caller's thread (the barrier is then a no-op), so serial and parallel
+/// runs execute literally the same code.
+fn shard_worker(leader: bool, shared: &SharedState<'_>, mut chunk: ShardChunk<'_>) {
+    for iteration in 0..shared.config.iterations {
+        if leader {
+            if shared.cancel.is_cancelled() {
+                shared.stop.store(true, Ordering::Relaxed);
+            } else {
+                shared.iterations_run.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // This barrier both publishes the leader's stop decision and is
+        // the halo exchange: it orders the previous iteration's position
+        // writes before this iteration's gather reads.
+        shared.barrier.wait();
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+
+        // Ramp the spreading force: early iterations let cells cluster near
+        // their wirelength optimum, late iterations push them apart so the
+        // hand-off to Tetris legalization displaces cells as little as
+        // possible.
+        let progress = iteration as f64 / shared.config.iterations.max(1) as f64;
+        let spreading_weight = shared.config.spreading_weight * (0.2 + 3.0 * progress);
+        for s in chunk.s0..chunk.s1 {
+            let net_obj = gather_net_terms(shared, &mut chunk, s);
+            let spread_obj = spread_row_terms(shared, &mut chunk, s, spreading_weight);
+            chunk.obj_net[s - chunk.s0] = net_obj;
+            chunk.obj_spread[s - chunk.s0] = spread_obj;
+        }
+
+        // All gradients must be final before anyone moves a cell: the
+        // gather above reads halo positions.
+        shared.barrier.wait();
+
+        // Momentum update with a learning rate that decays over the run so
+        // late iterations refine rather than oscillate.
+        let rate = shared.config.learning_rate * (1.0 - 0.9 * progress);
+        for i in 0..chunk.gradient.len() {
+            chunk.velocity[i] =
+                MOMENTUM * chunk.velocity[i] - rate * chunk.gradient[i].clamp(-50.0, 50.0);
+            let x = load_x(shared.xs, chunk.j0 + i);
+            shared.xs[chunk.j0 + i]
+                .store((x + chunk.velocity[i]).max(0.0).to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Gather phase of one shard: writes the net-term gradient of every owned
+/// slot and returns the shard's objective partial sum (each net's objective
+/// is attributed to its driver so it is counted exactly once).
+///
+/// Per slot, incident nets are visited in net order and each contributes
+/// its wirelength, timing and max-wirelength terms in that order — the
+/// exact addition sequence the serial net-order scatter produces, which is
+/// what makes the sharded result bit-identical to the reference.
+fn gather_net_terms(shared: &SharedState<'_>, chunk: &mut ShardChunk<'_>, s: usize) -> f64 {
+    let cfg = shared.config;
+    let j_first = shared.row_start[shared.shard_rows[s] as usize] as usize;
+    let j_last = shared.row_start[shared.shard_rows[s + 1] as usize] as usize;
+    let mut objective = 0.0;
+    for j in j_first..j_last {
+        let mut acc = 0.0f64;
+        let k_first = shared.inc_offsets[j] as usize;
+        let k_last = shared.inc_offsets[j + 1] as usize;
+        for &k in &shared.inc[k_first..k_last] {
+            let k = k as usize;
+            let dj = shared.net_dj[k] as usize;
+            let sj = shared.net_sj[k] as usize;
+            let driver_center = load_x(shared.xs, dj) + shared.width[dj] / 2.0;
+            let sink_center = load_x(shared.xs, sj) + shared.width[sj] / 2.0;
+            let dx = sink_center - driver_center;
+            let smooth = (dx * dx + cfg.smoothing_um * cfg.smoothing_um).sqrt();
+            // d smooth / d sink.x = dx / smooth ; driver gets the opposite sign.
+            let wl_grad = dx / smooth;
+            let is_driver = j == dj;
+            if is_driver {
+                objective += smooth;
+                acc -= wl_grad;
+            } else {
+                acc += wl_grad;
+            }
+
+            if cfg.timing_weight > 0.0 {
+                let phase = shared.net_phase[k] as usize;
+                // Normalize by the layer width so the timing term stays a
+                // tie-breaker relative to the O(1) wirelength gradient
+                // instead of overwhelming it on wide designs (the quadratic
+                // grows as Ŵ²).
+                let scale = cfg.timing_weight / shared.layer_width;
+                if is_driver {
+                    objective += scale
+                        * phase_timing_cost(
+                            phase,
+                            driver_center,
+                            sink_center,
+                            shared.layer_width,
+                            cfg.alpha,
+                        );
+                    acc += scale
+                        * phase_timing_cost_grad_start(
+                            phase,
+                            driver_center,
+                            sink_center,
+                            shared.layer_width,
+                            cfg.alpha,
+                        );
+                } else {
+                    acc += scale
+                        * phase_timing_cost_grad_end(
+                            phase,
+                            driver_center,
+                            sink_center,
+                            shared.layer_width,
+                            cfg.alpha,
+                        );
+                }
+            }
+
+            if cfg.max_wirelength_weight > 0.0 {
+                let length = dx.abs() + shared.row_pitch;
+                let excess = length - shared.max_wirelength;
+                if excess > 0.0 {
+                    let d_len = if dx >= 0.0 { 1.0 } else { -1.0 };
+                    let g = 2.0 * cfg.max_wirelength_weight * excess * d_len;
+                    if is_driver {
+                        objective += cfg.max_wirelength_weight * excess * excess;
+                        acc -= g;
+                    } else {
+                        acc += g;
+                    }
+                }
+            }
+        }
+        chunk.gradient[j - chunk.j0] = acc;
+    }
+    objective
+}
+
+/// Spread phase of one shard: the pairwise overlap force between sorted
+/// neighbours in each owned row. Rows never span shards, so every read and
+/// write is shard-local. Returns the shard's penalty partial sum.
+fn spread_row_terms(
+    shared: &SharedState<'_>,
+    chunk: &mut ShardChunk<'_>,
+    s: usize,
+    spreading_weight: f64,
+) -> f64 {
+    if spreading_weight <= 0.0 {
+        return 0.0;
+    }
+    let mut penalty = 0.0;
+    for r in shared.shard_rows[s] as usize..shared.shard_rows[s + 1] as usize {
+        let r_first = shared.row_start[r] as usize;
+        let r_last = shared.row_start[r + 1] as usize;
+        let seg = &mut chunk.sorted[r_first - chunk.j0..r_last - chunk.j0];
+        seg.sort_by(|&a, &b| {
+            load_x(shared.xs, a as usize)
+                .partial_cmp(&load_x(shared.xs, b as usize))
+                .expect("finite coordinates")
+        });
+        for pair in seg.windows(2) {
+            let a = pair[0] as usize;
+            let b = pair[1] as usize;
+            let overlap = load_x(shared.xs, a) + shared.width[a] - load_x(shared.xs, b);
+            if overlap > 0.0 {
+                penalty += spreading_weight * overlap * overlap;
+                let g = 2.0 * spreading_weight * overlap;
+                chunk.gradient[a - chunk.j0] += g;
+                chunk.gradient[b - chunk.j0] -= g;
+            }
+        }
+    }
+    penalty
+}
+
+/// CSR form of the warm start: identical arithmetic to the reference's
+/// `Vec<Vec<usize>>` version (per-cell neighbour order is the same), but
+/// without the per-cell allocations that dominate peak RSS at 10⁶ cells.
+fn warm_start_csr(design: &mut PlacedDesign, sweeps: usize, offsets: &[u32], adj: &[u32]) {
+    for _ in 0..sweeps {
+        for index in 0..design.cells.len() {
+            let adjacent = &adj[offsets[index] as usize..offsets[index + 1] as usize];
+            if adjacent.is_empty() {
+                continue;
+            }
+            let sum: f64 = adjacent.iter().map(|&n| design.cells[n as usize].center_x()).sum();
+            let target_center = sum / adjacent.len() as f64;
+            design.cells[index].x = (target_center - design.cells[index].width / 2.0).max(0.0);
+        }
+    }
+}
+
+/// The original single-threaded, net-order-scatter implementation, kept as
+/// the oracle the byte-identity tests and benches compare the sharded
+/// optimizer against.
+///
+/// Cell positions (and therefore HPWL and iteration counts) are
+/// bit-identical to [`global_place`]; only `final_objective` may differ in
+/// the last few ulps, because the sharded optimizer reduces the objective
+/// per shard instead of in global net order.
+pub fn global_place_reference(
+    design: &mut PlacedDesign,
+    config: &GlobalPlacementConfig,
+) -> GlobalPlacementReport {
+    let hpwl_before = design.hpwl();
+    let n = design.cells.len();
+    if n == 0 || design.nets.is_empty() {
+        return GlobalPlacementReport {
+            hpwl_before,
+            hpwl_after: hpwl_before,
+            final_objective: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let neighbours = build_adjacency(design);
     warm_start(design, 40, &neighbours);
 
-    // Hot-loop buffers, allocated once for the whole run: the gradient is
-    // zeroed in place each iteration, and the per-row order index is
-    // re-sorted in place (cells barely move between iterations, so the
-    // adaptive sort runs near O(n) on the almost-sorted data).
     let mut gradient = vec![0.0f64; n];
     let mut velocity = vec![0.0f64; n];
     let mut sorted_rows: Vec<Vec<usize>> = design.rows.clone();
     let mut final_objective = 0.0;
     let layer_width = design.layer_width().max(1.0);
-    let momentum = 0.7;
     let mut iterations_run = 0;
 
     for iteration in 0..config.iterations {
-        if cancel.is_cancelled() {
-            break;
-        }
         iterations_run += 1;
         gradient.fill(0.0);
         final_objective = accumulate_net_terms(design, config, layer_width, &mut gradient);
-        // Ramp the spreading force: early iterations let cells cluster near
-        // their wirelength optimum, late iterations push them apart so the
-        // hand-off to Tetris legalization displaces cells as little as
-        // possible.
         let progress = iteration as f64 / config.iterations.max(1) as f64;
         let spreading = GlobalPlacementConfig {
             spreading_weight: config.spreading_weight * (0.2 + 3.0 * progress),
@@ -154,11 +751,9 @@ pub fn global_place_cancellable(
         final_objective +=
             accumulate_spreading(design, &spreading, &mut sorted_rows, &mut gradient);
 
-        // Momentum update with a learning rate that decays over the run so
-        // late iterations refine rather than oscillate.
         let rate = config.learning_rate * (1.0 - 0.9 * progress);
         for (i, cell) in design.cells.iter_mut().enumerate() {
-            velocity[i] = momentum * velocity[i] - rate * gradient[i].clamp(-50.0, 50.0);
+            velocity[i] = MOMENTUM * velocity[i] - rate * gradient[i].clamp(-50.0, 50.0);
             cell.x = (cell.x + velocity[i]).max(0.0);
         }
     }
@@ -213,16 +808,12 @@ fn accumulate_net_terms(
         let dx = sink.center_x() - driver.center_x();
         let smooth = (dx * dx + config.smoothing_um * config.smoothing_um).sqrt();
         objective += smooth;
-        // d smooth / d sink.x = dx / smooth ; driver gets the opposite sign.
         let wl_grad = dx / smooth;
         gradient[net.sink] += wl_grad;
         gradient[net.driver] -= wl_grad;
 
         if config.timing_weight > 0.0 {
             let phase = driver.row;
-            // Normalize by the layer width so the timing term stays a
-            // tie-breaker relative to the O(1) wirelength gradient instead of
-            // overwhelming it on wide designs (the quadratic grows as Ŵ²).
             let scale = config.timing_weight / layer_width;
             objective += scale
                 * phase_timing_cost(
@@ -379,5 +970,69 @@ mod tests {
         let r_long = global_place(&mut long, &more);
         assert!(r_short.hpwl_after < r_short.hpwl_before);
         assert!(r_long.hpwl_after < r_long.hpwl_before);
+    }
+
+    #[test]
+    fn sharded_placement_is_bit_identical_to_the_reference_at_every_thread_count() {
+        let base = design_for(Benchmark::Adder8);
+        let mut reference = base.clone();
+        let reference_report =
+            global_place_reference(&mut reference, &GlobalPlacementConfig::default());
+        // An explicit thread count bypasses the small-design serial
+        // shortcut, so 2 and 4 genuinely exercise the worker pool.
+        for threads in [1usize, 2, 4, 0] {
+            let config = GlobalPlacementConfig { threads, ..Default::default() };
+            let mut sharded = base.clone();
+            let report = global_place(&mut sharded, &config);
+            for (r, c) in reference.cells.iter().zip(&sharded.cells) {
+                assert_eq!(
+                    r.x.to_bits(),
+                    c.x.to_bits(),
+                    "cell position diverged at {threads} threads"
+                );
+            }
+            assert_eq!(reference.rows, sharded.rows, "row order diverged at {threads} threads");
+            assert_eq!(report.hpwl_after.to_bits(), reference_report.hpwl_after.to_bits());
+            assert_eq!(report.iterations, reference_report.iterations);
+        }
+    }
+
+    #[test]
+    fn reports_are_identical_across_thread_counts() {
+        let base = design_for(Benchmark::Apc32);
+        let mut first_report = None;
+        for threads in [1usize, 2, 3, 4] {
+            let config = GlobalPlacementConfig { threads, ..Default::default() };
+            let mut design = base.clone();
+            let report = global_place(&mut design, &config);
+            match &first_report {
+                None => first_report = Some(report),
+                Some(expected) => assert_eq!(
+                    report, *expected,
+                    "full report (incl. final_objective) must not depend on the thread count"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn a_reused_scratch_produces_bit_identical_results() {
+        let mut scratch = GlobalPlaceScratch::new();
+        let config = GlobalPlacementConfig::default();
+        // Warm the scratch on a different design first, then check the
+        // second run against a fresh-scratch run.
+        let mut warmup = design_for(Benchmark::Apc32);
+        global_place_with_scratch(&mut warmup, &config, &CancelToken::none(), &mut scratch);
+
+        let base = design_for(Benchmark::Adder8);
+        let mut fresh = base.clone();
+        let fresh_report = global_place(&mut fresh, &config);
+        let mut reused = base.clone();
+        let reused_report =
+            global_place_with_scratch(&mut reused, &config, &CancelToken::none(), &mut scratch);
+        assert_eq!(fresh_report, reused_report);
+        for (a, b) in fresh.cells.iter().zip(&reused.cells) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+        }
     }
 }

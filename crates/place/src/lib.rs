@@ -57,4 +57,5 @@ pub use buffer_rows::{BufferRowReport, DesignEdit};
 pub use design::{NetIncidence, PhysNet, PlacedCell, PlacedDesign};
 pub use detailed::DetailedPlacementConfig;
 pub use engine::{PlacementEngine, PlacementOptions, PlacementResult, PlacerKind};
-pub use parallel::effective_threads;
+pub use global::{GlobalPlaceScratch, GlobalPlacementConfig, GlobalPlacementReport};
+pub use parallel::{effective_threads, ThreadBudget};

@@ -1,22 +1,66 @@
 //! Shared worker-pool helpers for the flow's parallel stages.
 //!
-//! Both the channel router (`aqfp-route`) and the detailed placer
-//! ([`crate::detailed`]) distribute independent jobs (channels, rows) over a
+//! The channel router (`aqfp-route`), the detailed placer
+//! ([`crate::detailed`]) and the sharded global placer ([`crate::global`])
+//! distribute independent jobs (channels, rows, shard blocks) over a
 //! `std::thread::scope` pool and merge the results in job order, so serial
-//! and parallel runs are byte-identical. This module hosts the one policy
-//! decision they share: how a configured thread knob resolves to an actual
-//! worker count.
+//! and parallel runs are byte-identical. This module hosts the two policy
+//! decisions they share: how a configured thread knob resolves to an actual
+//! worker count ([`effective_threads`]), and how one machine's cores are
+//! divided among several flow instances running at once ([`ThreadBudget`]).
+
+/// A pool of cores to divide among concurrent flow instances.
+///
+/// The batch driver runs `W` designs at once, and each design's stages can
+/// themselves run multi-threaded; without coordination, `W` workers × an
+/// all-cores stage pool oversubscribes every core. A `ThreadBudget` makes
+/// the division explicit: [`share`](Self::share) hands each instance an
+/// equal slice of the total, never less than one thread.
+///
+/// ```
+/// use aqfp_place::parallel::ThreadBudget;
+/// let budget = ThreadBudget::new(8);
+/// assert_eq!(budget.share(4), 2); // 4 designs in flight → 2 threads each
+/// assert_eq!(budget.share(16), 1); // more instances than cores → serial
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBudget {
+    total: usize,
+}
+
+impl ThreadBudget {
+    /// A budget of exactly `total` threads; `0` resolves to the machine's
+    /// available parallelism (like a thread knob on auto).
+    pub fn new(total: usize) -> Self {
+        if total == 0 {
+            Self::machine()
+        } else {
+            Self { total }
+        }
+    }
+
+    /// The whole machine: one thread per available core.
+    pub fn machine() -> Self {
+        Self { total: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }
+    }
+
+    /// The total number of threads in the budget.
+    pub fn total(self) -> usize {
+        self.total
+    }
+
+    /// The per-instance slice when `instances` run concurrently: an equal
+    /// split of the total, at least one thread each.
+    pub fn share(self, instances: usize) -> usize {
+        (self.total / instances.max(1)).max(1)
+    }
+}
 
 /// Resolves a configured worker count against a job count: `0` means every
 /// available core, and there is never a reason to spawn more workers than
 /// jobs (nor fewer than one).
 pub fn effective_threads(configured: usize, jobs: usize) -> usize {
-    let threads = if configured == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        configured
-    };
-    threads.min(jobs).max(1)
+    ThreadBudget::new(configured).total().min(jobs).max(1)
 }
 
 #[cfg(test)]
@@ -34,11 +78,24 @@ mod tests {
     fn zero_resolves_to_available_cores() {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         assert_eq!(effective_threads(0, usize::MAX), cores);
+        assert_eq!(ThreadBudget::new(0), ThreadBudget::machine());
+        assert_eq!(ThreadBudget::machine().total(), cores);
     }
 
     #[test]
     fn worker_count_is_at_least_one() {
         assert_eq!(effective_threads(0, 0), 1);
         assert_eq!(effective_threads(5, 0), 1);
+    }
+
+    #[test]
+    fn budget_shares_divide_evenly_and_never_starve() {
+        let budget = ThreadBudget::new(8);
+        assert_eq!(budget.share(1), 8);
+        assert_eq!(budget.share(2), 4);
+        assert_eq!(budget.share(3), 2); // floor division
+        assert_eq!(budget.share(8), 1);
+        assert_eq!(budget.share(100), 1);
+        assert_eq!(budget.share(0), 8); // zero instances is treated as one
     }
 }

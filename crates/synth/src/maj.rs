@@ -115,7 +115,9 @@ struct Cone {
 }
 
 fn count_fanouts(netlist: &Netlist) -> Vec<usize> {
-    netlist.fanouts().iter().map(Vec::len).collect()
+    // Degrees only — materializing the full Vec<Vec> adjacency here made
+    // every conversion pass pay one allocation per gate.
+    aqfp_netlist::csr::out_degrees(netlist)
 }
 
 /// Grows a cone rooted at `root` following the paper's search: start from the

@@ -7,6 +7,7 @@
 //! paper-default configuration, `decoder.gds` and `apc32.gds` with the
 //! `--fast` configuration — all on the built-in `mit-ll-sqf5ee` technology.
 
+use aqfp_layout::LayoutGenerator;
 use superflow_suite::prelude::*;
 
 fn golden_bytes(name: &str) -> Vec<u8> {
@@ -26,6 +27,20 @@ fn assert_matches_golden(config: FlowConfig, benchmark: Benchmark, golden: &str)
         expected.len()
     );
     assert!(produced == expected, "{golden}: GDS bytes diverged from the committed golden");
+
+    // The streaming writer must emit the exact same record stream without
+    // ever materializing the in-memory `GdsLibrary`: re-derive the layout
+    // record by record from the final (post-repair) placement and routing.
+    let mut streamed = Vec::new();
+    let summary = LayoutGenerator::new(Technology::mit_ll_sqf5ee())
+        .stream_layout(&report.placement.design, &report.routing, &mut streamed)
+        .expect("writing to a Vec cannot fail");
+    assert!(
+        streamed == expected,
+        "{golden}: streamed GDS bytes diverged from the committed golden"
+    );
+    assert_eq!(summary.cell_instances, report.layout.cell_instances);
+    assert_eq!(summary.wire_paths, report.layout.wire_paths);
 }
 
 #[test]

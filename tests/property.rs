@@ -14,7 +14,7 @@ use aqfp_netlist::simulate;
 use aqfp_place::buffer_rows::required_buffer_lines;
 use aqfp_place::design::{NetIncidence, PlacedDesign};
 use aqfp_place::detailed::{detailed_place, DetailedPlacementConfig};
-use aqfp_place::global::{global_place, GlobalPlacementConfig};
+use aqfp_place::global::{global_place, global_place_reference, GlobalPlacementConfig};
 use aqfp_place::legalize::legalize;
 use aqfp_synth::{SynthesisOptions, Synthesizer};
 use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
@@ -271,6 +271,38 @@ proptest! {
         let serial_bits: Vec<u64> = serial.cells.iter().map(|c| c.x.to_bits()).collect();
         let parallel_bits: Vec<u64> = parallel.cells.iter().map(|c| c.x.to_bits()).collect();
         prop_assert_eq!(serial_bits, parallel_bits);
+    }
+
+    /// Sharded global placement is bit-identical to the single-threaded
+    /// reference implementation at every thread count (including the
+    /// auto-detect `0`) on arbitrary random designs.
+    #[test]
+    fn sharded_global_placement_matches_the_reference(config in dag_config()) {
+        let netlist = random_dag(&config);
+        prop_assume!(netlist.validate().is_ok());
+        let library = Technology::mit_ll_sqf5ee();
+        let synthesized = Synthesizer::new(library.clone()).run(&netlist).expect("ok");
+        let base = PlacedDesign::from_synthesized(&synthesized, &library);
+
+        let mut oracle = base.clone();
+        let oracle_report = global_place_reference(
+            &mut oracle,
+            &GlobalPlacementConfig { iterations: 40, ..Default::default() },
+        );
+        let oracle_bits: Vec<u64> = oracle.cells.iter().map(|c| c.x.to_bits()).collect();
+
+        for threads in [1usize, 2, 4, 0] {
+            let mut sharded = base.clone();
+            let report = global_place(
+                &mut sharded,
+                &GlobalPlacementConfig { iterations: 40, threads, ..Default::default() },
+            );
+            let sharded_bits: Vec<u64> =
+                sharded.cells.iter().map(|c| c.x.to_bits()).collect();
+            prop_assert_eq!(&sharded_bits, &oracle_bits, "threads = {}", threads);
+            prop_assert_eq!(report.iterations, oracle_report.iterations);
+            prop_assert_eq!(report.hpwl_after.to_bits(), oracle_report.hpwl_after.to_bits());
+        }
     }
 }
 
