@@ -43,15 +43,26 @@
 //! | journal from another PDK     | technology fingerprint check     | `Failed` (`TechnologyMismatch`) |
 //! | unreadable input / bad parse | typed [`crate::input`] errors    | `Failed` (no stage, error chain) |
 //! | infeasible design            | pre-flight lint (stage 0)        | `Failed` (stage [`LINT_STAGE`], rule ids); no degraded retry |
+//! | corrupt stage artifact       | post-stage verification          | `Failed` (stage [`VERIFY_STAGE`], rule ids); no degraded retry |
 //!
 //! Each of these is reproducible on demand through the [`FaultPlan`]
 //! injection hook — `panic:adder8:placement` panics at the placement stage
-//! of `adder8`, `deadline:c432:routing` arms a zero-second deadline, and
+//! of `adder8`, `deadline:c432:routing` arms a zero-second deadline,
 //! `truncate:apc32:synthesis` truncates the synthesis checkpoint after it
-//! is written (so the *next* run over the journal hits a torn file).
-//! Injected faults fire on the first attempt only, which is what makes the
-//! degraded-retry path testable: the retry runs fault-free and rescues the
-//! design.
+//! is written (so the *next* run over the journal hits a torn file), and
+//! `corrupt:adder8:routing` damages the routing artifact *after* the stage
+//! completed so the post-stage verifier — not the stage's own gate — must
+//! catch it. Injected faults fire on the first attempt only, which is what
+//! makes the degraded-retry path testable: the retry runs fault-free and
+//! rescues the design.
+//!
+//! With [`FlowConfig::verify`] enabled, every stage boundary additionally
+//! re-verifies its artifact (LEC, phase-legality, LVS-lite — the
+//! `aqfp-verify` crate); findings classify the design as failed at the
+//! [`VERIFY_STAGE`] with the rule ids in the error. Verification failures
+//! are deterministic — retrying with fewer threads cannot fix a
+//! non-equivalent netlist — so, like lint rejections, they skip the
+//! degraded retry.
 //!
 //! ```no_run
 //! use superflow::{BatchConfig, BatchJob, BatchRunner, FlowConfig};
@@ -114,6 +125,11 @@ pub enum FaultKind {
     /// Truncate the stage's checkpoint file to half its bytes after it is
     /// written (exercises strict resume validation on the *next* run).
     TruncateCheckpoint,
+    /// Corrupt the stage's in-memory artifact *after* the stage (and its
+    /// own verification gate) completed, then re-verify it (exercises the
+    /// post-stage verifiers: the damage must be classified at
+    /// [`VERIFY_STAGE`], not slip into the next stage).
+    CorruptArtifact,
 }
 
 impl FaultKind {
@@ -122,6 +138,7 @@ impl FaultKind {
             "panic" => Some(FaultKind::Panic),
             "deadline" => Some(FaultKind::ZeroDeadline),
             "truncate" => Some(FaultKind::TruncateCheckpoint),
+            "corrupt" => Some(FaultKind::CorruptArtifact),
             _ => None,
         }
     }
@@ -158,7 +175,10 @@ impl Fault {
             }
         };
         let kind = FaultKind::parse(kind).ok_or_else(|| {
-            format!("unknown fault kind `{kind}` in `{spec}`: expected panic, deadline or truncate")
+            format!(
+                "unknown fault kind `{kind}` in `{spec}`: expected panic, deadline, truncate or \
+                 corrupt"
+            )
         })?;
         let stage = FlowStage::parse(stage).ok_or_else(|| {
             format!(
@@ -413,6 +433,9 @@ impl BatchReport {
                 // degraded retry — fix the netlist and resubmit.
                 let at = match stage.as_deref() {
                     Some(LINT_STAGE) => " (rejected by pre-flight lint, flow not started)".into(),
+                    Some(VERIFY_STAGE) => {
+                        " (stage artifact rejected by post-stage verification)".into()
+                    }
                     Some(stage) => format!(" at {stage}"),
                     None => String::new(),
                 };
@@ -440,6 +463,12 @@ pub fn error_chain(error: &dyn std::error::Error) -> String {
 /// stage engine, so a rejected design fails in milliseconds instead of
 /// entering synthesis.
 pub const LINT_STAGE: &str = "lint";
+
+/// The stage label under which post-stage verification failures are
+/// classified: a stage engine completed, but its artifact failed LEC,
+/// phase-legality or LVS-lite re-verification. Like [`LINT_STAGE`]
+/// failures, these are deterministic and skip the degraded retry.
+pub const VERIFY_STAGE: &str = "verify";
 
 /// A failure inside one attempt, attributed to a stage when one was
 /// running. The stage is a label rather than a [`FlowStage`] because the
@@ -622,12 +651,15 @@ impl BatchRunner {
             Ok(success) => {
                 (DesignStatus::Succeeded, 1, success.resumed_from, success.checkpoint_hits)
             }
-            // A lint rejection is deterministic — the degraded retry changes
-            // thread counts and repair budgets, not the netlist — so retrying
-            // would waste a full flow attempt on a design that fails the same
-            // pre-flight check again.
+            // Lint rejections and verification failures are deterministic —
+            // the degraded retry changes thread counts and repair budgets,
+            // not the netlist or the verifier's verdict — so retrying would
+            // waste a full flow attempt on a design that fails the same
+            // check again.
             Err(failure)
-                if self.config.retry_degraded && failure.stage.as_deref() != Some(LINT_STAGE) =>
+                if self.config.retry_degraded
+                    && failure.stage.as_deref() != Some(LINT_STAGE)
+                    && failure.stage.as_deref() != Some(VERIFY_STAGE) =>
             {
                 match self.run_attempt(job, flow.clone().degraded(), technology, 2) {
                     Ok(_) => (DesignStatus::Degraded, 2, None, 0),
@@ -738,13 +770,26 @@ impl BatchRunner {
                                                 error: error_chain(&FlowError::Lint(lint)),
                                             });
                                         }
-                                        let synthesized = self.run_stage(
+                                        let mut synthesized = self.run_stage(
                                             &mut session,
                                             &job.name,
                                             FlowStage::Synthesis,
                                             attempt,
                                             |session| session.synthesize(&netlist),
                                         )?;
+                                        if self.corrupt_fault_armed(
+                                            &job.name,
+                                            FlowStage::Synthesis,
+                                            attempt,
+                                        ) {
+                                            aqfp_verify::mutate::corrupt_netlist_gate(
+                                                &mut synthesized.synthesis.netlist,
+                                            );
+                                            self.corrupt_gate(
+                                                FlowStage::Synthesis,
+                                                session.verify_synthesized(&netlist, &synthesized),
+                                            )?;
+                                        }
                                         self.write_checkpoint(
                                             journal.as_deref(),
                                             &job.name,
@@ -755,13 +800,26 @@ impl BatchRunner {
                                         synthesized
                                     }
                                 };
-                                let placed = self.run_stage(
+                                let mut placed = self.run_stage(
                                     &mut session,
                                     &job.name,
                                     FlowStage::Placement,
                                     attempt,
                                     |session| session.place(synthesized),
                                 )?;
+                                if self.corrupt_fault_armed(
+                                    &job.name,
+                                    FlowStage::Placement,
+                                    attempt,
+                                ) {
+                                    aqfp_verify::mutate::corrupt_design_phase(
+                                        &mut placed.placement.design,
+                                    );
+                                    self.corrupt_gate(
+                                        FlowStage::Placement,
+                                        session.verify_placed(&placed),
+                                    )?;
+                                }
                                 self.write_checkpoint(
                                     journal.as_deref(),
                                     &job.name,
@@ -772,13 +830,17 @@ impl BatchRunner {
                                 placed
                             }
                         };
-                        let routed = self.run_stage(
+                        let mut routed = self.run_stage(
                             &mut session,
                             &job.name,
                             FlowStage::Routing,
                             attempt,
                             |session| session.route(placed),
                         )?;
+                        if self.corrupt_fault_armed(&job.name, FlowStage::Routing, attempt) {
+                            aqfp_verify::mutate::corrupt_routing(&mut routed.routing);
+                            self.corrupt_gate(FlowStage::Routing, session.verify_routed(&routed))?;
+                        }
                         self.write_checkpoint(
                             journal.as_deref(),
                             &job.name,
@@ -789,13 +851,17 @@ impl BatchRunner {
                         routed
                     }
                 };
-                let checked = self.run_stage(
+                let mut checked = self.run_stage(
                     &mut session,
                     &job.name,
                     FlowStage::Check,
                     attempt,
                     |session| session.check(routed),
                 )?;
+                if self.corrupt_fault_armed(&job.name, FlowStage::Check, attempt) {
+                    aqfp_verify::mutate::corrupt_layout(&mut checked.layout);
+                    self.corrupt_gate(FlowStage::Check, session.verify_checked(&checked))?;
+                }
                 self.write_checkpoint(
                     journal.as_deref(),
                     &job.name,
@@ -845,10 +911,47 @@ impl BatchRunner {
         });
         match result {
             Ok(Ok(artifact)) => Ok(artifact),
+            // The stage engine finished; it was the artifact that failed
+            // re-verification. Classify at the verify stage so the report
+            // (and the retry policy) can tell "the placer crashed" apart
+            // from "the placer produced an illegal design".
+            Ok(Err(error @ FlowError::Verify(_))) => Err(StageFailure {
+                stage: Some(VERIFY_STAGE.to_owned()),
+                error: error_chain(&error),
+            }),
             Ok(Err(error)) => Err(StageFailure::at(stage, error_chain(&error))),
             Err(panic_message) => {
                 Err(StageFailure::at(stage, format!("stage panicked: {panic_message}")))
             }
+        }
+    }
+
+    /// Whether an artifact-corruption fault is planned here.
+    fn corrupt_fault_armed(&self, design: &str, stage: FlowStage, attempt: usize) -> bool {
+        attempt == 1 && self.config.faults.matches(design, stage, FaultKind::CorruptArtifact)
+    }
+
+    /// Fails at [`VERIFY_STAGE`] when a post-corruption verification report
+    /// carries errors. An injected corruption the verifier *misses* is also
+    /// a failure — a corrupt fault exists to prove the verifier catches it.
+    fn corrupt_gate(
+        &self,
+        stage: FlowStage,
+        report: aqfp_verify::VerifyReport,
+    ) -> Result<(), StageFailure> {
+        if report.has_errors() {
+            Err(StageFailure {
+                stage: Some(VERIFY_STAGE.to_owned()),
+                error: error_chain(&FlowError::Verify(report)),
+            })
+        } else {
+            Err(StageFailure {
+                stage: Some(VERIFY_STAGE.to_owned()),
+                error: format!(
+                    "injected corrupt fault at the {stage} stage was not detected by \
+                     post-stage verification"
+                ),
+            })
         }
     }
 
@@ -950,6 +1053,7 @@ fn effective_workers(requested: usize, jobs: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -971,6 +1075,10 @@ mod tests {
         assert_eq!(
             Fault::parse("truncate:apc32:synthesis").expect("valid").kind,
             FaultKind::TruncateCheckpoint
+        );
+        assert_eq!(
+            Fault::parse("corrupt:adder8:routing").expect("valid").kind,
+            FaultKind::CorruptArtifact
         );
         assert!(Fault::parse("panic:adder8").expect_err("missing stage").contains("kind:design"));
         assert!(Fault::parse("explode:adder8:check").expect_err("bad kind").contains("explode"));

@@ -28,6 +28,8 @@
 //!   --output <file.gds>     GDSII output path                 [<design>.gds]
 //!   --svg <file.svg>        also write an SVG rendering
 //!   --fast                  use the reduced-effort placement configuration
+//!   --verify                gate every stage boundary with the post-stage
+//!                           verifiers (LEC, phase-legality, LVS-lite)
 //!   --quiet                 print only the one-line summary
 //!
 //! superflow batch [OPTIONS] <input>...
@@ -46,8 +48,9 @@
 //!   --output-dir <dir>      write each design's final GDS here
 //!   --report <file.json>    write the structured batch report as JSON
 //!   --fault <k:d:s>         inject a deterministic fault (testing):
-//!                           panic|deadline|truncate : design : stage
-//!   plus --placer/--tech/--process/--threads/--fast/--quiet as above
+//!                           panic|deadline|truncate|corrupt : design : stage
+//!   plus --placer/--tech/--process/--threads/--fast/--verify/--quiet as
+//!   above
 //!
 //! superflow lint [OPTIONS] <input>...
 //!
@@ -68,6 +71,33 @@
 //!   exits 0 when every design is clean or has only warnings, 1 when any
 //!   design has error-severity findings or fails to load, 2 on usage
 //!   errors.
+//!
+//! superflow verify [OPTIONS] <artifact>...
+//!
+//!   re-checks finished flow outputs from first principles: logic
+//!   equivalence between input and synthesized netlists (LEC),
+//!   phase-legality of the placed/routed design, and LVS-lite extraction
+//!   of the GDS byte stream against the routed netlist. Each artifact is
+//!   either a `.gds` layout (the flow is re-run on the matching input and
+//!   the committed bytes are checked against the re-derived design) or a
+//!   `.json` stage checkpoint written by `--stop-after`/`--journal` (the
+//!   verifiers applicable to that stage run directly on it).
+//!
+//!   --tech/--process        technology to verify under, as above
+//!   --fast                  re-derive with the reduced-effort placement
+//!                           configuration (must match how the artifact
+//!                           was produced)
+//!   --threads <n>           worker threads for the re-derivation     [0]
+//!   --against <input>       the original design input (file, benchmark
+//!                           name or gen: spec) for LEC; defaults to the
+//!                           artifact's design name / file stem
+//!   --format <text|json>    output format                         [text]
+//!   --inject-defect <kind>  corrupt one wire | cell | phase before
+//!                           verifying, to prove the defect is caught
+//!   --rules                 print the verification rule catalog and exit
+//!
+//!   exits 0 when every artifact verifies clean, 1 when any artifact has
+//!   findings or fails to load, 2 on usage errors.
 //!
 //! superflow generate <family> [OPTIONS]
 //!
@@ -96,6 +126,8 @@
 //! designs rejected by the pre-flight lint stage, which the batch report
 //! distinguishes from runtime failures).
 
+#![warn(clippy::unwrap_used)]
+
 use std::process::ExitCode;
 
 use aqfp_cells::{EnergyModel, Technology, TechnologyRegistry};
@@ -103,9 +135,11 @@ use aqfp_layout::{render_svg, DrcReport, SvgOptions};
 use aqfp_netlist::generators::LargeFamily;
 use aqfp_netlist::Netlist;
 use aqfp_place::PlacerKind;
+use superflow::verify::{mutate, Defect};
 use superflow::{
-    error_chain, BatchConfig, BatchJob, BatchRunner, Fault, FaultPlan, Flow, FlowConfig,
-    FlowObserver, FlowReport, FlowStage, LintConfig, RepairScope, TechSpec,
+    error_chain, BatchConfig, BatchJob, BatchRunner, Checked, Fault, FaultPlan, Flow, FlowConfig,
+    FlowObserver, FlowReport, FlowSession, FlowStage, LintConfig, Placed, RepairScope, Routed,
+    Synthesized, TechSpec, VerifyConfig, VerifyReport,
 };
 
 /// Exit code for usage errors (bad flags, malformed specs).
@@ -125,6 +159,7 @@ struct CliOptions {
     output: Option<String>,
     svg: Option<String>,
     fast: bool,
+    verify: bool,
     quiet: bool,
 }
 
@@ -139,6 +174,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         output: None,
         svg: None,
         fast: false,
+        verify: false,
         quiet: false,
     };
     let mut iter = args.iter().peekable();
@@ -198,6 +234,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--svg" => options.svg = Some(iter.next().ok_or("--svg needs a value")?.clone()),
             "--fast" => options.fast = true,
+            "--verify" => options.verify = true,
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err("help".to_owned()),
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
@@ -224,14 +261,17 @@ fn usage() -> &'static str {
     "usage: superflow [--placer superflow|gordian|taas] [--tech name|file.toml] \
      [--process mit-ll|stp2] [--threads n] \
      [--stop-after synthesis|placement|routing|check] [--report out.json] \
-     [--output out.gds] [--svg out.svg] [--fast] [--quiet] \
+     [--output out.gds] [--svg out.svg] [--fast] [--verify] [--quiet] \
      <input.v|input.sv|input.blif|benchmark>\n\
      \x20      superflow batch [--workers n] [--stage-timeout seconds] [--no-retry] \
      [--journal dir] [--output-dir dir] [--report out.json] \
-     [--fault panic|deadline|truncate:design:stage] [flow options] <input>...\n\
+     [--fault panic|deadline|truncate|corrupt:design:stage] [flow options] <input>...\n\
      \x20      superflow lint [--tech name|file.toml] [--process mit-ll|stp2] \
      [--format text|json] [--deny rule] [--warn rule] [--allow rule] \
      [--fanout-threshold n] [--rules] <input>...\n\
+     \x20      superflow verify [--tech name|file.toml] [--process mit-ll|stp2] \
+     [--fast] [--threads n] [--against input] [--format text|json] \
+     [--inject-defect wire|cell|phase] [--rules] <artifact.gds|checkpoint.json>...\n\
      \x20      superflow generate tiled_mul|apc_array|random_dag [--cells n] \
      [--seed n] [--output file.v|-o file.v]\n\
      \x20      superflow tech list [--quiet]\n\
@@ -266,9 +306,14 @@ fn build_config(options: &CliOptions) -> FlowConfig {
         None => config,
     };
     let config = config.with_placer(options.placer);
-    match options.threads {
+    let config = match options.threads {
         Some(threads) => config.with_threads(threads),
         None => config,
+    };
+    if options.verify {
+        config.with_verify(VerifyConfig { enabled: true, ..VerifyConfig::default() })
+    } else {
+        config
     }
 }
 
@@ -406,6 +451,7 @@ struct BatchCliOptions {
     report: Option<String>,
     faults: Vec<Fault>,
     fast: bool,
+    verify: bool,
     quiet: bool,
 }
 
@@ -423,6 +469,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         report: None,
         faults: Vec::new(),
         fast: false,
+        verify: false,
         quiet: false,
     };
     let mut iter = args.iter();
@@ -497,6 +544,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
                 options.faults.push(Fault::parse(value)?);
             }
             "--fast" => options.fast = true,
+            "--verify" => options.verify = true,
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err("help".to_owned()),
             other if other.starts_with("--") => {
@@ -533,6 +581,11 @@ fn build_batch_config(options: &BatchCliOptions) -> BatchConfig {
     let flow = match options.threads {
         Some(threads) => flow.with_threads(threads),
         None => flow,
+    };
+    let flow = if options.verify {
+        flow.with_verify(VerifyConfig { enabled: true, ..VerifyConfig::default() })
+    } else {
+        flow
     };
     let mut config = BatchConfig::new(flow)
         .with_workers(options.workers)
@@ -748,6 +801,373 @@ fn run_lint_cli(args: &[String]) -> ExitCode {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("error: cannot serialize lint reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for report in &reports {
+            print!("{}", report.render());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `superflow verify` subcommand
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct VerifyCliOptions {
+    inputs: Vec<String>,
+    tech: Option<String>,
+    threads: Option<usize>,
+    fast: bool,
+    json: bool,
+    against: Option<String>,
+    inject: Option<Defect>,
+    rules: bool,
+}
+
+fn parse_verify_args(args: &[String]) -> Result<VerifyCliOptions, String> {
+    let mut options = VerifyCliOptions {
+        inputs: Vec::new(),
+        tech: None,
+        threads: None,
+        fast: false,
+        json: false,
+        against: None,
+        inject: None,
+        rules: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tech" => {
+                let value = iter.next().ok_or("--tech needs a value")?;
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(value.clone());
+            }
+            "--process" => {
+                let value = iter.next().ok_or("--process needs a value")?;
+                let name = match value.as_str() {
+                    "mit-ll" | "mitll" => aqfp_cells::MIT_LL_SQF5EE,
+                    "stp2" => aqfp_cells::AIST_STP2,
+                    other => return Err(format!("unknown process `{other}`")),
+                };
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(name.to_owned());
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--threads needs a number, got `{value}`"))?,
+                );
+            }
+            "--fast" => options.fast = true,
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.json = match value.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown verify format `{other}`")),
+                };
+            }
+            "--against" => {
+                let value = iter.next().ok_or("--against needs a value")?;
+                if options.against.is_some() {
+                    return Err("--against given more than once".to_owned());
+                }
+                options.against = Some(value.clone());
+            }
+            "--inject-defect" => {
+                let value = iter.next().ok_or("--inject-defect needs a value")?;
+                options.inject = Some(Defect::parse(value).ok_or_else(|| {
+                    format!("unknown defect `{value}` (available: wire, cell, phase)")
+                })?);
+            }
+            "--rules" => options.rules = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown verify option `{other}`"))
+            }
+            other => options.inputs.push(other.to_owned()),
+        }
+    }
+    if options.inputs.is_empty() && !options.rules {
+        return Err("verify needs at least one artifact (or --rules)".to_owned());
+    }
+    Ok(options)
+}
+
+/// The rule catalog table `superflow verify --rules` prints.
+fn render_verify_rule_catalog() -> String {
+    let mut out = String::from("rule       default  summary\n");
+    for info in superflow::verify::catalog() {
+        out.push_str(&format!("{:<10} {:<8} {}\n", info.id, info.severity.keyword(), info.summary));
+    }
+    out.trim_end().to_owned()
+}
+
+/// The flow configuration a `superflow verify` command line re-derives
+/// artifacts under. The per-stage verify gates stay off: the subcommand
+/// runs the verifiers itself, on the final artifacts.
+fn build_verify_config(options: &VerifyCliOptions) -> FlowConfig {
+    let config = if options.fast { FlowConfig::fast() } else { FlowConfig::paper_default() };
+    let config = match &options.tech {
+        Some(value) => config.with_tech(tech_spec(value)),
+        None => config,
+    };
+    match options.threads {
+        Some(threads) => config.with_threads(threads),
+        None => config,
+    }
+}
+
+/// Fails verification up front when an artifact was produced under a
+/// different technology than the session targets — comparing across
+/// processes would produce nonsense findings, not a useful report.
+fn ensure_artifact_technology(
+    session: &FlowSession,
+    found: &str,
+    input: &str,
+) -> Result<(), String> {
+    if session.tech_fingerprint() == found {
+        Ok(())
+    } else {
+        Err(format!(
+            "technology mismatch: the session targets `{}`, but `{input}` was produced under \
+             `{found}`; pass the matching --tech/--process",
+            session.tech_fingerprint()
+        ))
+    }
+}
+
+/// Injects one deliberate defect into a routed (or later) artifact, so a
+/// subsequent verification run must report it. Returns a human-readable
+/// description of what was damaged.
+fn inject_routed_defect(defect: Defect, routed: &mut Routed) -> Result<String, String> {
+    let note = match defect {
+        Defect::Phase => mutate::corrupt_design_phase(&mut routed.placed.placement.design)
+            .map(|net| format!("repointed a sink of net n{net} two phases past its driver")),
+        Defect::Cell => mutate::corrupt_design_cell(&mut routed.placed.placement.design)
+            .map(|cell| format!("nudged cell `{cell}` half a micron off its placement site")),
+        Defect::Wire => mutate::corrupt_routing(&mut routed.routing)
+            .map(|net| format!("dropped one routed segment of net n{net}")),
+    };
+    note.ok_or_else(|| format!("the design is too small to inject a {} defect", defect.name()))
+}
+
+/// Resolves the original input netlist for LEC: `--against` when given,
+/// otherwise the design name (which resolves for benchmark circuits but not
+/// for generated or file-based designs). `required` turns an unresolvable
+/// input into an error instead of a skipped check.
+fn lec_input(
+    options: &VerifyCliOptions,
+    design_name: &str,
+    required: bool,
+) -> Result<Option<Netlist>, String> {
+    match &options.against {
+        Some(spec) => load_netlist(spec).map(Some).map_err(|e| format!("--against `{spec}`: {e}")),
+        None => match superflow::load_netlist(design_name) {
+            Ok(netlist) => Ok(Some(netlist)),
+            Err(_) if !required => Ok(None),
+            Err(_) => Err(format!(
+                "cannot resolve the original input for `{design_name}` to run logic \
+                 equivalence; pass --against <input>"
+            )),
+        },
+    }
+}
+
+/// Verifies a committed `.gds` layout: re-runs the flow on the matching
+/// input, then checks logic equivalence, phase-legality and an LVS-lite
+/// comparison of the committed bytes against the re-derived design.
+fn verify_gds_input(
+    input: &str,
+    options: &VerifyCliOptions,
+    config: &FlowConfig,
+) -> Result<VerifyReport, String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let spec = match &options.against {
+        Some(spec) => spec.clone(),
+        None => std::path::Path::new(input)
+            .file_stem()
+            .and_then(|stem| stem.to_str())
+            .map(str::to_owned)
+            .ok_or_else(|| format!("cannot infer a design name from `{input}`"))?,
+    };
+    let netlist = load_netlist(&spec)?;
+    let flow = Flow::with_config(config.clone());
+    let mut session = flow.session().map_err(|e| error_chain(&e))?;
+    let synthesized = session.synthesize(&netlist).map_err(|e| error_chain(&e))?;
+    let placed = session.place(synthesized).map_err(|e| error_chain(&e))?;
+    let routed = session.route(placed).map_err(|e| error_chain(&e))?;
+    let mut checked = session.check(routed).map_err(|e| error_chain(&e))?;
+    if let Some(defect) = options.inject {
+        let note = inject_routed_defect(defect, &mut checked.routed)?;
+        eprintln!("note: injected {} defect into `{input}`: {note}", defect.name());
+    }
+    let mut report = session.verify_synthesized(&netlist, &checked.routed.placed.synthesized);
+    report.merge(session.verify_routed(&checked.routed));
+    report.record_check("lvs");
+    report.extend(superflow::verify::check_gds(
+        &bytes,
+        &checked.routed.placed.placement.design,
+        &checked.routed.routing,
+        session.technology().as_ref(),
+    ));
+    report.normalize();
+    Ok(report)
+}
+
+/// Verifies a `.json` stage checkpoint with the verifiers applicable to its
+/// stage: LEC for synthesis artifacts (and any later stage whose input
+/// resolves), phase-legality from placement on, LVS-lite for checked
+/// artifacts (which embed their layout).
+fn verify_checkpoint_input(
+    input: &str,
+    options: &VerifyCliOptions,
+    config: &FlowConfig,
+) -> Result<VerifyReport, String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let flow = Flow::with_config(config.clone());
+    let session = flow.session().map_err(|e| error_chain(&e))?;
+
+    if let Ok(mut checked) = Checked::from_json(&text) {
+        ensure_artifact_technology(&session, checked.tech_fingerprint(), input)?;
+        if let Some(defect) = options.inject {
+            let note = inject_routed_defect(defect, &mut checked.routed)?;
+            eprintln!("note: injected {} defect into `{input}`: {note}", defect.name());
+        }
+        let mut report = session.verify_checked(&checked);
+        let name = checked.routed.placed.synthesized.design_name.clone();
+        if let Some(netlist) = lec_input(options, &name, false)? {
+            report.merge(session.verify_synthesized(&netlist, &checked.routed.placed.synthesized));
+        }
+        report.normalize();
+        return Ok(report);
+    }
+    if let Ok(mut routed) = Routed::from_json(&text) {
+        ensure_artifact_technology(&session, routed.tech_fingerprint(), input)?;
+        if let Some(defect) = options.inject {
+            let note = inject_routed_defect(defect, &mut routed)?;
+            eprintln!("note: injected {} defect into `{input}`: {note}", defect.name());
+        }
+        let mut report = session.verify_routed(&routed);
+        if let Some(netlist) = lec_input(options, &routed.placed.synthesized.design_name, false)? {
+            report.merge(session.verify_synthesized(&netlist, &routed.placed.synthesized));
+        }
+        report.normalize();
+        return Ok(report);
+    }
+    if let Ok(mut placed) = Placed::from_json(&text) {
+        ensure_artifact_technology(&session, placed.tech_fingerprint(), input)?;
+        if let Some(defect) = options.inject {
+            let note = match defect {
+                Defect::Phase => mutate::corrupt_design_phase(&mut placed.placement.design)
+                    .map(|net| format!("repointed a sink of net n{net} two phases past its driver"))
+                    .ok_or_else(|| "the design is too small to inject a phase defect".to_owned())?,
+                other => {
+                    return Err(format!(
+                        "--inject-defect {} needs a routed artifact; `{input}` stops at placement",
+                        other.name()
+                    ))
+                }
+            };
+            eprintln!("note: injected {} defect into `{input}`: {note}", defect.name());
+        }
+        let mut report = session.verify_placed(&placed);
+        if let Some(netlist) = lec_input(options, &placed.synthesized.design_name, false)? {
+            report.merge(session.verify_synthesized(&netlist, &placed.synthesized));
+        }
+        report.normalize();
+        return Ok(report);
+    }
+    if let Ok(synthesized) = Synthesized::from_json(&text) {
+        ensure_artifact_technology(&session, &synthesized.tech_fingerprint, input)?;
+        if let Some(defect) = options.inject {
+            return Err(format!(
+                "--inject-defect {} needs a placed artifact; `{input}` stops at synthesis",
+                defect.name()
+            ));
+        }
+        // LEC is the only verifier that applies at this stage, so an
+        // unresolvable input is an error: a report with no checks run
+        // would read as a pass.
+        let Some(netlist) = lec_input(options, &synthesized.design_name, true)? else {
+            unreachable!("required lec_input returns Some or errors")
+        };
+        let mut report = session.verify_synthesized(&netlist, &synthesized);
+        report.normalize();
+        return Ok(report);
+    }
+    Err(format!(
+        "`{input}` is not a stage checkpoint this version can read (expected the JSON written \
+         by --stop-after/--journal for the synthesis, placement, routing or check stage)"
+    ))
+}
+
+/// Dispatches one verify input on its extension.
+fn verify_one(
+    input: &str,
+    options: &VerifyCliOptions,
+    config: &FlowConfig,
+) -> Result<VerifyReport, String> {
+    if input.ends_with(".gds") {
+        verify_gds_input(input, options, config)
+    } else if input.ends_with(".json") {
+        verify_checkpoint_input(input, options, config)
+    } else {
+        Err(format!("verify inputs are .gds layouts or .json stage checkpoints, got `{input}`"))
+    }
+}
+
+fn run_verify_cli(args: &[String]) -> ExitCode {
+    let options = match parse_verify_args(args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if options.rules {
+        println!("{}", render_verify_rule_catalog());
+        return ExitCode::SUCCESS;
+    }
+    let config = build_verify_config(&options);
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for input in &options.inputs {
+        match verify_one(input, &options, &config) {
+            Ok(report) => {
+                failed |= report.has_errors();
+                reports.push(report);
+            }
+            Err(message) => {
+                failed = true;
+                eprintln!("error: `{input}`: {message}");
+            }
+        }
+    }
+    if options.json {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize verify reports: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -996,6 +1416,10 @@ fn main() -> ExitCode {
         return run_lint_cli(&args[1..]);
     }
 
+    if args.first().map(String::as_str) == Some("verify") {
+        return run_verify_cli(&args[1..]);
+    }
+
     if args.first().map(String::as_str) == Some("generate") {
         return run_generate_cli(&args[1..]);
     }
@@ -1108,6 +1532,7 @@ fn main() -> ExitCode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::{AIST_STP2, MIT_LL_SQF5EE};
@@ -1371,6 +1796,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod lint_cli_tests {
     use super::*;
 
@@ -1475,5 +1901,158 @@ mod lint_cli_tests {
         for info in superflow::lint::catalog() {
             assert!(catalog.contains(info.id), "{} missing from:\n{catalog}", info.id);
         }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod verify_cli_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_verify_command_line() {
+        let options = parse_verify_args(&args(&[
+            "--tech",
+            "aist-stp2",
+            "--fast",
+            "--threads",
+            "2",
+            "--against",
+            "gen:random_dag:1000:7",
+            "--format",
+            "json",
+            "--inject-defect",
+            "phase",
+            "a.gds",
+            "b.json",
+        ]))
+        .expect("parses");
+        assert_eq!(options.inputs, vec!["a.gds".to_owned(), "b.json".to_owned()]);
+        assert_eq!(options.tech.as_deref(), Some("aist-stp2"));
+        assert_eq!(options.threads, Some(2));
+        assert!(options.fast && options.json);
+        assert_eq!(options.against.as_deref(), Some("gen:random_dag:1000:7"));
+        assert_eq!(options.inject, Some(Defect::Phase));
+        assert!(!options.rules);
+        // The re-derivation config reflects the flags.
+        let config = build_verify_config(&options);
+        assert_eq!(config.tech, TechSpec::builtin(aqfp_cells::AIST_STP2));
+        assert_eq!(config.threads(), 2);
+        // The subcommand drives the verifiers itself; the per-stage gates
+        // stay off so the re-derivation cannot double-report.
+        assert!(!config.verify.enabled);
+    }
+
+    #[test]
+    fn verify_usage_errors_are_rejected() {
+        assert!(parse_verify_args(&args(&[])).is_err(), "no input");
+        assert!(parse_verify_args(&args(&["--format", "xml", "a.gds"])).is_err(), "bad format");
+        assert!(
+            parse_verify_args(&args(&["--inject-defect", "bitflip", "a.gds"])).is_err(),
+            "unknown defect"
+        );
+        assert!(parse_verify_args(&args(&["--against", "a", "--against", "b", "x.gds"])).is_err());
+        assert!(parse_verify_args(&args(&["--frobnicate", "a.gds"])).is_err(), "unknown flag");
+        assert!(
+            parse_verify_args(&args(&["--tech", "a", "--process", "stp2", "a.gds"])).is_err(),
+            "tech and process conflict"
+        );
+        // Inputs that are neither GDS nor checkpoints are rejected at
+        // dispatch, with the supported kinds named.
+        let options = parse_verify_args(&args(&["design.v"])).expect("parses");
+        let error = verify_one("design.v", &options, &build_verify_config(&options))
+            .expect_err("not an artifact");
+        assert!(error.contains(".gds") && error.contains(".json"), "{error}");
+    }
+
+    #[test]
+    fn verify_rules_catalog_names_every_verify_rule() {
+        let options = parse_verify_args(&args(&["--rules"])).expect("parses");
+        assert!(options.rules);
+        let catalog = render_verify_rule_catalog();
+        for info in superflow::verify::catalog() {
+            assert!(catalog.contains(info.id), "{} missing from:\n{catalog}", info.id);
+        }
+    }
+
+    #[test]
+    fn verify_flag_gates_the_flow_and_batch_configs() {
+        let options = parse_args(&args(&["--verify", "--fast", "adder8"])).expect("parses");
+        assert!(build_config(&options).verify.enabled);
+        let plain = parse_args(&args(&["adder8"])).expect("parses");
+        assert!(!build_config(&plain).verify.enabled);
+        let batch = parse_batch_args(&args(&["--verify", "adder8"])).expect("parses");
+        assert!(build_batch_config(&batch).flow.verify.enabled);
+    }
+
+    /// The acceptance path: write a GDS with the flow, verify it clean,
+    /// then prove an injected defect is caught with its catalogued rule.
+    #[test]
+    fn a_fresh_gds_verifies_clean_and_an_injected_defect_is_caught() {
+        let dir = std::env::temp_dir().join("superflow_cli_verify_gds");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("adder8.gds");
+        let flow = Flow::with_config(FlowConfig::fast());
+        let report =
+            flow.run_benchmark(aqfp_netlist::generators::Benchmark::Adder8).expect("flow runs");
+        std::fs::write(&path, report.layout.to_gds_bytes()).expect("writes");
+        let path = path.to_str().expect("utf-8 path");
+
+        let options = parse_verify_args(&args(&["--fast", path])).expect("parses");
+        let config = build_verify_config(&options);
+        let clean = verify_one(path, &options, &config).expect("verifies");
+        assert!(clean.ran("lec") && clean.ran("phase") && clean.ran("lvs"), "{:?}", clean.checks);
+        assert!(!clean.has_errors(), "{}", clean.render());
+
+        for defect in [Defect::Wire, Defect::Cell, Defect::Phase] {
+            let injected =
+                parse_verify_args(&args(&["--fast", "--inject-defect", defect.name(), path]))
+                    .expect("parses");
+            let report = verify_one(path, &injected, &config).expect("verifies");
+            assert!(
+                report.mentions(defect.expected_rule()),
+                "{} defect must trip {}:\n{}",
+                defect.name(),
+                defect.expected_rule(),
+                report.render()
+            );
+            assert!(report.has_errors());
+        }
+    }
+
+    /// Stage checkpoints verify with the checks applicable to their stage.
+    #[test]
+    fn a_placement_checkpoint_verifies_with_phase_and_lec() {
+        let dir = std::env::temp_dir().join("superflow_cli_verify_ckpt");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("adder8_placed.json");
+        let options = parse_args(&args(&[
+            "--fast",
+            "--quiet",
+            "--stop-after",
+            "place",
+            "--report",
+            "unused.json",
+            "adder8",
+        ]))
+        .expect("parses");
+        let Outcome::Stopped { checkpoint: Some(json), .. } = run(&options).expect("flow runs")
+        else {
+            panic!("--stop-after placement must yield a checkpoint")
+        };
+        std::fs::write(&path, json).expect("writes");
+        let path = path.to_str().expect("utf-8 path");
+
+        let options =
+            parse_verify_args(&args(&["--fast", "--against", "adder8", path])).expect("parses");
+        let config = build_verify_config(&options);
+        let report = verify_one(path, &options, &config).expect("verifies");
+        assert!(report.ran("phase") && report.ran("lec"), "{:?}", report.checks);
+        assert!(!report.ran("lvs"), "no layout exists before the check stage");
+        assert!(!report.has_errors(), "{}", report.render());
     }
 }

@@ -128,6 +128,13 @@ pub struct FlowConfig {
     /// error-severity rules gate the flow, warnings are reported and the
     /// flow proceeds.
     pub lint: aqfp_lint::LintConfig,
+    /// Post-stage verification policy. When
+    /// [`enabled`](aqfp_verify::VerifyConfig::enabled) is set, every stage
+    /// boundary re-verifies its artifact (LEC after synthesis,
+    /// phase-legality after placement and routing, LVS-lite after layout)
+    /// and fails the stage with [`FlowError::Verify`] on findings. Off by
+    /// default.
+    pub verify: aqfp_verify::VerifyConfig,
 }
 
 impl FlowConfig {
@@ -142,6 +149,7 @@ impl FlowConfig {
             router: RouterConfig::default(),
             max_drc_iterations: 3,
             lint: aqfp_lint::LintConfig::default(),
+            verify: aqfp_verify::VerifyConfig::default(),
         }
     }
 
@@ -204,6 +212,14 @@ impl FlowConfig {
         self
     }
 
+    /// Returns the same configuration with a different post-stage
+    /// verification policy. `with_verify(VerifyConfig { enabled: true,
+    /// ..Default::default() })` turns on the stage-boundary gates.
+    pub fn with_verify(mut self, verify: aqfp_verify::VerifyConfig) -> Self {
+        self.verify = verify;
+        self
+    }
+
     /// The slice of this configuration the lint config-sanity rules inspect.
     pub fn lint_settings(&self) -> aqfp_lint::FlowSettings {
         aqfp_lint::FlowSettings {
@@ -245,6 +261,7 @@ impl Default for FlowConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::MIT_LL_SQF5EE;
@@ -353,6 +370,15 @@ mod tests {
         let strict = config
             .with_lint(aqfp_lint::LintConfig { deny: vec!["all".into()], ..Default::default() });
         assert_eq!(strict.lint.deny, vec!["all".to_owned()]);
+    }
+
+    #[test]
+    fn verification_is_off_by_default_and_togglable() {
+        assert!(!FlowConfig::default().verify.enabled);
+        let config = FlowConfig::fast()
+            .with_verify(aqfp_verify::VerifyConfig { enabled: true, ..Default::default() });
+        assert!(config.verify.enabled);
+        assert!(config.verify.lec_rounds > 0);
     }
 
     #[test]

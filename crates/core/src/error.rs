@@ -4,6 +4,7 @@ use aqfp_lint::LintReport;
 use aqfp_netlist::parsers::ParseNetlistError;
 use aqfp_netlist::NetlistError;
 use aqfp_synth::SynthesisError;
+use aqfp_verify::VerifyReport;
 use std::error::Error;
 use std::fmt;
 
@@ -16,6 +17,11 @@ pub enum FlowError {
     /// start. The full report — rule ids, messages, source spans — is
     /// carried along for rendering.
     Lint(LintReport),
+    /// Post-stage verification found error-severity defects in a stage
+    /// artifact, so the flow stopped at that stage boundary. The full
+    /// report — rule ids, messages, offending objects — is carried along
+    /// for rendering.
+    Verify(VerifyReport),
     /// The input netlist failed validation.
     InvalidNetlist(NetlistError),
     /// The synthesis stage failed.
@@ -77,6 +83,20 @@ impl fmt::Display for FlowError {
                     rules.join(", ")
                 )
             }
+            FlowError::Verify(report) => {
+                let errors = report.errors().count();
+                let rules: std::collections::BTreeSet<&str> =
+                    report.errors().map(|d| d.rule.as_str()).collect();
+                let rules: Vec<&str> = rules.into_iter().collect();
+                write!(
+                    f,
+                    "design `{}` rejected by post-stage verification: {errors} error{} ({}); \
+                     run `superflow verify` for the full report",
+                    report.design,
+                    if errors == 1 { "" } else { "s" },
+                    rules.join(", ")
+                )
+            }
             FlowError::InvalidNetlist(e) => write!(f, "input netlist is invalid: {e}"),
             FlowError::Synthesis(e) => write!(f, "logic synthesis failed: {e}"),
             FlowError::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
@@ -104,6 +124,7 @@ impl Error for FlowError {
             FlowError::InvalidNetlist(e) => Some(e),
             FlowError::Synthesis(e) => Some(e),
             FlowError::Lint(_)
+            | FlowError::Verify(_)
             | FlowError::Checkpoint(_)
             | FlowError::Input(_)
             | FlowError::Io { .. }
@@ -139,7 +160,14 @@ impl From<LintReport> for FlowError {
     }
 }
 
+impl From<VerifyReport> for FlowError {
+    fn from(value: VerifyReport) -> Self {
+        FlowError::Verify(value)
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::GateId;
@@ -173,5 +201,24 @@ mod tests {
         assert!(text.contains("pre-flight lint"), "{text}");
         assert!(text.contains("AQFP-E001"), "{text}");
         assert!(text.contains("1 error"), "{text}");
+    }
+
+    #[test]
+    fn verify_errors_summarize_the_report() {
+        let mut report = VerifyReport::clean("bad");
+        report.record_check("phase");
+        report.diagnostics.push(aqfp_lint::Diagnostic {
+            rule: "AQFP-V010".to_owned(),
+            severity: aqfp_lint::Severity::Error,
+            message: "net n3 advances 2 phases".to_owned(),
+            object: Some("u7".to_owned()),
+            line: 0,
+            column: 0,
+        });
+        let error: FlowError = report.into();
+        let text = error.to_string();
+        assert!(text.contains("post-stage verification"), "{text}");
+        assert!(text.contains("AQFP-V010"), "{text}");
+        assert!(text.contains("superflow verify"), "{text}");
     }
 }

@@ -135,6 +135,7 @@ impl Default for Flow {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::TechSpec;

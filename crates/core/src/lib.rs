@@ -63,6 +63,20 @@
 //! [`FlowConfig::lint`]. The `superflow lint` CLI subcommand runs the same
 //! rules standalone, with human-readable or JSON output.
 //!
+//! # Post-stage verification
+//!
+//! Where lint checks the *inputs*, the verification layer ([`verify`], the
+//! `aqfp-verify` crate) re-checks the flow's *outputs* from first
+//! principles: logic equivalence between the input and synthesized
+//! netlists (bit-parallel random plus exhaustive cone simulation),
+//! AQFP phase-legality of placed and routed designs, and LVS-lite
+//! extraction of the emitted GDS byte stream against the routed netlist.
+//! Enable it per stage boundary with [`FlowConfig::verify`] (findings
+//! surface as [`FlowError::Verify`] carrying the full [`VerifyReport`]
+//! with stable `AQFP-V0xx` rule ids), run it standalone with
+//! `superflow verify`, or let the batch driver classify failures at its
+//! [`VERIFY_STAGE`].
+//!
 //! # Technologies
 //!
 //! The flow is generic over the fabrication process: every stage consumes
@@ -78,6 +92,8 @@
 //! crates for users who want to customize a single step (e.g. swap in their
 //! own placer) while keeping the rest of the flow.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod batch;
 pub mod config;
 pub mod error;
@@ -88,7 +104,7 @@ pub mod session;
 
 pub use batch::{
     error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, DesignReport, DesignStatus,
-    Fault, FaultKind, FaultPlan, LINT_STAGE,
+    Fault, FaultKind, FaultPlan, LINT_STAGE, VERIFY_STAGE,
 };
 pub use config::{FlowConfig, TechSpec};
 pub use error::FlowError;
@@ -110,3 +126,5 @@ pub use aqfp_place as place;
 pub use aqfp_route as route;
 pub use aqfp_synth as synth;
 pub use aqfp_timing as timing;
+pub use aqfp_verify as verify;
+pub use aqfp_verify::{VerifyConfig, VerifyReport};

@@ -73,6 +73,7 @@ use aqfp_place::{
 use aqfp_route::{Router, RoutingResult};
 use aqfp_synth::{SynthesizedNetlist, Synthesizer};
 use aqfp_timing::{TimingAnalyzer, TimingBatch};
+use aqfp_verify::VerifyReport;
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlowConfig;
@@ -630,6 +631,75 @@ impl FlowSession {
         }
     }
 
+    /// Runs logic equivalence checking between the flow's input netlist and
+    /// a synthesis artifact. This is the check the synthesis stage gates on
+    /// when [`FlowConfig::verify`] is enabled; call it directly to verify a
+    /// checkpoint against its original input.
+    pub fn verify_synthesized(&self, input: &Netlist, synthesized: &Synthesized) -> VerifyReport {
+        let mut report = VerifyReport::clean(synthesized.design_name.clone());
+        report.record_check("lec");
+        report.extend(aqfp_verify::check_equivalence(
+            input,
+            &synthesized.synthesis.netlist,
+            &self.config.verify,
+        ));
+        report.normalize();
+        report
+    }
+
+    /// Re-verifies AQFP phase legality (clocking, fan-out, net coverage) of
+    /// a placement artifact from the raw cell/net data.
+    pub fn verify_placed(&self, placed: &Placed) -> VerifyReport {
+        let mut report = VerifyReport::clean(placed.synthesized.design_name.clone());
+        report.record_check("phase");
+        report.extend(aqfp_verify::check_placed(
+            placed.design(),
+            self.config.synthesis.max_splitter_arity,
+        ));
+        report.normalize();
+        report
+    }
+
+    /// Re-verifies phase legality plus wire coverage and geometry of a
+    /// routing artifact.
+    pub fn verify_routed(&self, routed: &Routed) -> VerifyReport {
+        let mut report = self.verify_placed(&routed.placed);
+        report.extend(aqfp_verify::check_routed(
+            routed.design(),
+            &routed.routing,
+            self.config.router.grid_step_um,
+        ));
+        report.normalize();
+        report
+    }
+
+    /// Full post-layout verification of a check artifact: phase legality of
+    /// the repaired design and routing, then LVS-lite extraction of the
+    /// emitted GDS byte stream against them.
+    pub fn verify_checked(&self, checked: &Checked) -> VerifyReport {
+        let mut report = self.verify_routed(&checked.routed);
+        report.record_check("lvs");
+        report.extend(aqfp_verify::check_gds(
+            &checked.layout.to_gds_bytes(),
+            checked.routed.design(),
+            &checked.routed.routing,
+            &self.technology,
+        ));
+        report.normalize();
+        report
+    }
+
+    /// Fails with [`FlowError::Verify`] when a stage-boundary verification
+    /// report carries errors; a no-op when verification is disabled (the
+    /// caller checks `enabled` before producing the report).
+    fn verify_gate(&self, report: VerifyReport) -> Result<(), FlowError> {
+        if report.has_errors() {
+            Err(FlowError::Verify(report))
+        } else {
+            Ok(())
+        }
+    }
+
     fn stage_started(&mut self, stage: FlowStage) {
         for observer in &mut self.observers {
             observer.stage_started(stage);
@@ -667,11 +737,15 @@ impl FlowSession {
         // discarding the result.
         self.ensure_not_cancelled(FlowStage::Synthesis)?;
         self.stage_finished(FlowStage::Synthesis, start.elapsed().as_secs_f64());
-        Ok(Synthesized {
+        let synthesized = Synthesized {
             design_name: netlist.name().to_owned(),
             tech_fingerprint: self.fingerprint.clone(),
             synthesis,
-        })
+        };
+        if self.config.verify.enabled {
+            self.verify_gate(self.verify_synthesized(netlist, &synthesized))?;
+        }
+        Ok(synthesized)
     }
 
     /// Runs placement (global, legalization, detailed, buffer rows) with the
@@ -695,7 +769,11 @@ impl FlowSession {
         // stage result.
         self.ensure_not_cancelled(FlowStage::Placement)?;
         self.stage_finished(FlowStage::Placement, start.elapsed().as_secs_f64());
-        Ok(Placed { synthesized, placement })
+        let placed = Placed { synthesized, placement };
+        if self.config.verify.enabled {
+            self.verify_gate(self.verify_placed(&placed))?;
+        }
+        Ok(placed)
     }
 
     /// Routes every net of the placed design, channel by channel.
@@ -714,7 +792,11 @@ impl FlowSession {
         let routing = router.route(&placed.placement.design);
         self.ensure_not_cancelled(FlowStage::Routing)?;
         self.stage_finished(FlowStage::Routing, start.elapsed().as_secs_f64());
-        Ok(Routed { placed, routing, dirty_channels: Vec::new() })
+        let routed = Routed { placed, routing, dirty_channels: Vec::new() };
+        if self.config.verify.enabled {
+            self.verify_gate(self.verify_routed(&routed))?;
+        }
+        Ok(routed)
     }
 
     /// Generates the layout and runs DRC, repairing violations in place:
@@ -876,12 +958,16 @@ impl FlowSession {
 
         self.ensure_not_cancelled(FlowStage::Check)?;
         self.stage_finished(FlowStage::Check, start.elapsed().as_secs_f64());
-        Ok(Checked {
+        let checked = Checked {
             routed: Routed { placed, routing, dirty_channels },
             layout,
             drc,
             drc_iterations,
-        })
+        };
+        if self.config.verify.enabled {
+            self.verify_gate(self.verify_checked(&checked))?;
+        }
+        Ok(checked)
     }
 
     /// Assembles the final [`FlowReport`] from the check-stage artifact,
@@ -912,6 +998,7 @@ impl FlowSession {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};
@@ -1040,6 +1127,50 @@ mod tests {
             "incrementally maintained timing must be bit-identical to a rebuild"
         );
         assert_eq!(&fresh, incremental);
+    }
+
+    #[test]
+    fn a_verified_session_passes_every_stage_gate() {
+        let config = FlowConfig::fast()
+            .with_verify(aqfp_verify::VerifyConfig { enabled: true, ..Default::default() });
+        let mut session = FlowSession::new(config).expect("session opens");
+        let netlist = benchmark_circuit(Benchmark::Adder8);
+        let synthesized = session.synthesize(&netlist).expect("synthesis verifies");
+        let placed = session.place(synthesized).expect("placement verifies");
+        let routed = session.route(placed).expect("routing verifies");
+        let checked = session.check(routed).expect("check verifies");
+        // The public verify methods agree with the gates.
+        let report = session.verify_checked(&checked);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(report.ran("phase") && report.ran("lvs"));
+    }
+
+    #[test]
+    fn a_corrupted_artifact_fails_its_stage_gate_with_verify() {
+        let config = FlowConfig::fast()
+            .with_verify(aqfp_verify::VerifyConfig { enabled: true, ..Default::default() });
+        let mut session = FlowSession::new(config).expect("session opens");
+        let netlist = benchmark_circuit(Benchmark::Adder8);
+        let synthesized = session.synthesize(&netlist).expect("synthesis verifies");
+        let mut placed = session.place(synthesized).expect("placement verifies");
+        let corrupted = aqfp_verify::mutate::corrupt_design_phase(&mut placed.placement.design)
+            .expect("adder has a net to corrupt");
+        let error = session.route(placed).expect_err("phase defect must fail routing gate");
+        match error {
+            FlowError::Verify(report) => {
+                assert!(
+                    report.mentions(aqfp_verify::phase::RULE_PHASE_SKEW),
+                    "{}",
+                    report.render()
+                );
+                assert!(
+                    report.diagnostics.iter().any(|d| d.message.contains(&format!("n{corrupted}"))),
+                    "finding names the corrupted net: {}",
+                    report.render()
+                );
+            }
+            other => panic!("expected FlowError::Verify, got {other:?}"),
+        }
     }
 
     #[test]

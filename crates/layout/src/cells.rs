@@ -85,6 +85,7 @@ fn rectangle(x: f64, y: f64, width: f64, height: f64) -> Vec<Point> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -228,6 +228,7 @@ impl DrcChecker {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

@@ -475,6 +475,7 @@ pub fn parse_records(bytes: &[u8]) -> Result<Vec<RawRecord>, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

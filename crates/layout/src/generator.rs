@@ -252,6 +252,7 @@ fn straight_segments(path: &[Point]) -> Vec<Vec<Point>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::gds::{parse_records, RecordTag};

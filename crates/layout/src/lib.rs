@@ -31,6 +31,8 @@
 //! assert!(bytes.len() > 64);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod cells;
 pub mod drc;
 pub mod gds;

@@ -103,6 +103,7 @@ pub fn render_svg(design: &PlacedDesign, routing: &RoutingResult, options: &SvgO
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

@@ -48,6 +48,7 @@ pub fn gordian_place(design: &mut PlacedDesign, config: &GordianConfig) -> Legal
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

@@ -60,6 +60,7 @@ pub fn taas_place_with_scratch(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

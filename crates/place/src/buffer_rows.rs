@@ -328,6 +328,7 @@ pub fn repair_buffer_rows(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

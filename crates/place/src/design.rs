@@ -452,6 +452,7 @@ impl PlacedDesign {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

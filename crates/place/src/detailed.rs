@@ -1079,6 +1079,7 @@ fn reference_try_slide(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::global::{global_place, GlobalPlacementConfig};

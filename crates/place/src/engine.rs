@@ -260,6 +260,7 @@ impl PlacementEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};

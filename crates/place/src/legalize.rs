@@ -81,6 +81,7 @@ pub fn legalize(design: &mut PlacedDesign) -> LegalizationReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::global::{global_place, GlobalPlacementConfig};

@@ -44,6 +44,8 @@
 //! # Ok::<(), aqfp_synth::SynthesisError>(())
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod baselines;
 pub mod buffer_rows;
 pub mod design;

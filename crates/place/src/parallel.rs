@@ -64,6 +64,7 @@ pub fn effective_threads(configured: usize, jobs: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -396,6 +396,7 @@ impl ChannelGrid {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -71,6 +71,8 @@
 //! # Ok::<(), aqfp_synth::SynthesisError>(())
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod grid;
 pub mod router;
 

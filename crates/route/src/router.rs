@@ -791,6 +791,7 @@ fn materialize_wire(net: usize, path: &[GridPoint], step: f64, y_base: f64) -> R
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_netlist::generators::{benchmark_circuit, Benchmark};

@@ -276,6 +276,7 @@ impl TimingAnalyzer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::TimingConfig;

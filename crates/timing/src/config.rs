@@ -8,6 +8,7 @@
 pub use aqfp_cells::timing::TimingConfig;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use aqfp_cells::Technology;

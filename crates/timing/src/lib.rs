@@ -29,6 +29,8 @@
 //! assert_eq!(report.net_count, 1);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod batch;
 pub mod config;
 pub mod model;

@@ -83,6 +83,7 @@ pub fn phase_timing_cost_grad_end(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -140,6 +140,7 @@ impl Default for TimingAnalyzer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

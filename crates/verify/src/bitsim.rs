@@ -1,0 +1,202 @@
+//! 64-way bit-parallel netlist simulation.
+//!
+//! Each gate value is a `u64` holding 64 independent simulation lanes, so
+//! one topological sweep evaluates 64 input vectors at once. The evaluator
+//! re-derives gate semantics from [`CellKind`] directly — it deliberately
+//! does not call the netlist crate's scalar `eval_kind`, so the equivalence
+//! checker compares two independent implementations of the cell library's
+//! truth tables.
+
+use aqfp_cells::CellKind;
+use aqfp_netlist::{traverse, GateId, Netlist};
+
+/// Lane masks for exhaustive truth-table enumeration: variable `v < 6`
+/// toggles within a 64-lane chunk with period `2^(v+1)`; variables `v >= 6`
+/// are constant per chunk (all lanes set when bit `v - 6` of the chunk
+/// index is set).
+pub const TRUTH_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// The lane value of exhaustive-enumeration variable `var` in chunk `chunk`.
+pub fn truth_lanes(var: usize, chunk: u64) -> u64 {
+    if var < TRUTH_MASKS.len() {
+        TRUTH_MASKS[var]
+    } else if (chunk >> (var - TRUTH_MASKS.len())) & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Evaluates one gate over 64 lanes. `inputs` are the fan-in values in
+/// fan-in order; terminals and constants ignore them.
+pub fn eval_kind64(kind: CellKind, inputs: &[u64]) -> u64 {
+    let get = |i: usize| inputs.get(i).copied().unwrap_or(0);
+    match kind {
+        CellKind::Buffer
+        | CellKind::Splitter2
+        | CellKind::Splitter3
+        | CellKind::Splitter4
+        | CellKind::Output => get(0),
+        CellKind::Inverter => !get(0),
+        CellKind::Constant0 | CellKind::Input => 0,
+        CellKind::Constant1 => !0,
+        CellKind::And => get(0) & get(1),
+        CellKind::Or => get(0) | get(1),
+        CellKind::Nand => !(get(0) & get(1)),
+        CellKind::Nor => !(get(0) | get(1)),
+        CellKind::Xor => get(0) ^ get(1),
+        CellKind::Majority3 => {
+            let (a, b, c) = (get(0), get(1), get(2));
+            (a & b) | (a & c) | (b & c)
+        }
+    }
+}
+
+/// A reusable 64-lane simulator over one netlist.
+///
+/// Construction computes the topological order once; every
+/// [`run`](Self::run) re-sweeps the (optionally cone-restricted) order with
+/// fresh primary-input lanes without reallocating.
+#[derive(Debug)]
+pub struct BitSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    /// Position of each primary input in `netlist.primary_inputs()` order,
+    /// indexed by gate id (`usize::MAX` for non-inputs).
+    input_slot: Vec<usize>,
+    values: Vec<u64>,
+}
+
+impl<'a> BitSimulator<'a> {
+    /// Builds a simulator. Fails when the netlist has no topological order
+    /// (a combinational cycle).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, String> {
+        let order = traverse::topological_order(netlist).map_err(|e| e.to_string())?;
+        let mut input_slot = vec![usize::MAX; netlist.gate_count()];
+        for (slot, &id) in netlist.primary_inputs().iter().enumerate() {
+            input_slot[id.index()] = slot;
+        }
+        let values = vec![0u64; netlist.gate_count()];
+        Ok(Self { netlist, order, input_slot, values })
+    }
+
+    /// The netlist's primary inputs, in the order `run` consumes lane
+    /// values.
+    pub fn primary_inputs(&self) -> &[GateId] {
+        self.netlist.primary_inputs()
+    }
+
+    /// Simulates the whole netlist with the given primary-input lanes
+    /// (indexed like [`primary_inputs`](Self::primary_inputs); missing
+    /// entries read as 0).
+    pub fn run(&mut self, input_lanes: &[u64]) {
+        self.run_cone(input_lanes, None);
+    }
+
+    /// Simulates only the gates with `cone[id.index()]` set (all gates when
+    /// `cone` is `None`). Values of gates outside the cone are left at their
+    /// previous state and must not be read.
+    pub fn run_cone(&mut self, input_lanes: &[u64], cone: Option<&[bool]>) {
+        let mut scratch = Vec::with_capacity(3);
+        for &id in &self.order {
+            if let Some(active) = cone {
+                if !active[id.index()] {
+                    continue;
+                }
+            }
+            let gate = self.netlist.gate(id);
+            let value = if gate.kind == CellKind::Input {
+                let slot = self.input_slot[id.index()];
+                input_lanes.get(slot).copied().unwrap_or(0)
+            } else {
+                scratch.clear();
+                scratch.extend(gate.fanin.iter().map(|f| self.values[f.index()]));
+                eval_kind64(gate.kind, &scratch)
+            };
+            self.values[id.index()] = value;
+        }
+    }
+
+    /// The 64-lane value of a gate after the last `run`.
+    pub fn value(&self, id: GateId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Marks the fan-in cone of `root` in a bool-per-gate map (reused across
+    /// outputs by clearing first).
+    pub fn cone_mask(&self, root: GateId, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(self.netlist.gate_count(), false);
+        for id in traverse::fanin_cone(self.netlist, root) {
+            mask[id.index()] = true;
+        }
+        mask[root.index()] = true;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use aqfp_netlist::simulate;
+
+    #[test]
+    fn lane_evaluation_matches_the_scalar_simulator() {
+        let netlist = aqfp_netlist::generators::benchmark_circuit(
+            aqfp_netlist::generators::Benchmark::Adder8,
+        );
+        let mut sim = BitSimulator::new(&netlist).unwrap();
+        let inputs = netlist.primary_inputs().len();
+        // Lane 0: all zeros; lane 1: all ones; lanes 2..: a counter pattern.
+        let lanes: Vec<u64> =
+            (0..inputs).map(|i| 0xFFFF_FFFF_FFFF_FFFEu64.rotate_left(i as u32)).collect();
+        sim.run(&lanes);
+        for lane in [0usize, 1, 7, 63] {
+            let scalar_inputs: Vec<bool> = lanes.iter().map(|&v| (v >> lane) & 1 == 1).collect();
+            let scalar = simulate::simulate(&netlist, &scalar_inputs).unwrap();
+            for (slot, &po) in netlist.primary_outputs().iter().enumerate() {
+                let expect = scalar[slot];
+                let got = (sim.value(po) >> lane) & 1 == 1;
+                assert_eq!(got, expect, "lane {lane}, output {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_lanes_enumerate_every_assignment_once() {
+        // 8 variables -> 256 assignments over 4 chunks of 64 lanes.
+        let vars = 8usize;
+        let chunks = 1u64 << (vars - 6);
+        let mut seen = vec![false; 1 << vars];
+        for chunk in 0..chunks {
+            for lane in 0..64 {
+                let mut assignment = 0usize;
+                for var in 0..vars {
+                    if (truth_lanes(var, chunk) >> lane) & 1 == 1 {
+                        assignment |= 1 << var;
+                    }
+                }
+                assert!(!seen[assignment], "assignment {assignment:#x} repeated");
+                seen[assignment] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn majority_and_inverter_semantics() {
+        // Per lane: majority(1,1,1)=1, majority(1,0,0)=0, majority(0,1,0)=0,
+        // majority(0,0,1)=0.
+        assert_eq!(eval_kind64(CellKind::Majority3, &[0b1100, 0b1010, 0b1001]), 0b1000);
+        assert_eq!(eval_kind64(CellKind::Inverter, &[0]), !0);
+        assert_eq!(eval_kind64(CellKind::Constant1, &[]), !0);
+        assert_eq!(eval_kind64(CellKind::Buffer, &[42]), 42);
+    }
+}

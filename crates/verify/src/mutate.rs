@@ -1,0 +1,127 @@
+//! Deliberate single-defect injection for negative testing.
+//!
+//! Each function corrupts exactly one structural fact in an otherwise valid
+//! artifact, chosen so a specific verifier rule must fire. The CLI's
+//! `--inject-defect` flag and the mutation test-suite both drive these, so
+//! the "a broken artifact is actually caught" check exercises the same code
+//! path everywhere.
+
+use aqfp_cells::CellKind;
+use aqfp_layout::{GdsElement, Layout};
+use aqfp_netlist::Netlist;
+use aqfp_place::PlacedDesign;
+use aqfp_route::RoutingResult;
+
+/// A class of single-point defect to inject before verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// Drop one routed wire (caught by phase-legality coverage, AQFP-V013).
+    Wire,
+    /// Displace one cell instance in the layout (caught by LVS, AQFP-V022).
+    Cell,
+    /// Repoint one net across two rows (caught by phase-legality, AQFP-V010).
+    Phase,
+}
+
+impl Defect {
+    /// Parses a CLI spelling (`wire`, `cell`, `phase`).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "wire" => Some(Defect::Wire),
+            "cell" => Some(Defect::Cell),
+            "phase" => Some(Defect::Phase),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Defect::Wire => "wire",
+            Defect::Cell => "cell",
+            Defect::Phase => "phase",
+        }
+    }
+
+    /// The rule id this defect must trip.
+    pub fn expected_rule(self) -> &'static str {
+        match self {
+            Defect::Wire => crate::phase::RULE_COVERAGE,
+            Defect::Cell => crate::lvs::RULE_INSTANCE,
+            Defect::Phase => crate::phase::RULE_PHASE_SKEW,
+        }
+    }
+}
+
+/// Flips the first buffer in the netlist to an inverter, changing the logic
+/// function without touching the structure. Returns the flipped gate's name,
+/// or `None` when the netlist has no buffer.
+pub fn corrupt_netlist_gate(netlist: &mut Netlist) -> Option<String> {
+    let id = netlist.ids().find(|&id| netlist.gate(id).kind == CellKind::Buffer)?;
+    let gate = netlist.gate_mut(id);
+    gate.kind = CellKind::Inverter;
+    Some(gate.name.clone())
+}
+
+/// Repoints the first net's sink two rows past its driver, breaking the
+/// one-phase-per-edge clocking invariant. Returns the corrupted net's index,
+/// or `None` when no net has a row two levels further down.
+pub fn corrupt_design_phase(design: &mut PlacedDesign) -> Option<usize> {
+    for index in 0..design.nets.len() {
+        let skip_row = design.cells[design.nets[index].driver].row + 2;
+        if let Some(&target) = design.rows.get(skip_row).and_then(|row| row.first()) {
+            design.nets[index].sink = target;
+            return Some(index);
+        }
+    }
+    None
+}
+
+/// Nudges the first placed cell half a micron in x, so its layout instance
+/// no longer sits where the design says. Returns the moved cell's name.
+pub fn corrupt_design_cell(design: &mut PlacedDesign) -> Option<String> {
+    let cell = design.cells.first_mut()?;
+    cell.x += 0.5;
+    Some(cell.name.clone())
+}
+
+/// Drops the last routed wire, leaving its net uncovered. Returns the
+/// dropped wire's net index.
+pub fn corrupt_routing(routing: &mut RoutingResult) -> Option<usize> {
+    routing.wires.pop().map(|wire| wire.net)
+}
+
+/// Shifts the first cell reference in the layout's top structure by one
+/// micron. Returns the displaced structure's name.
+pub fn corrupt_layout(layout: &mut Layout) -> Option<String> {
+    let top_name = layout.top_name.clone();
+    let top = layout.gds.structures.iter_mut().find(|s| s.name == top_name)?;
+    for element in &mut top.elements {
+        if let GdsElement::Sref { name, origin } = element {
+            origin.x += 1.0;
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defect_spellings_round_trip() {
+        for defect in [Defect::Wire, Defect::Cell, Defect::Phase] {
+            assert_eq!(Defect::parse(defect.name()), Some(defect));
+        }
+        assert_eq!(Defect::parse("bitflip"), None);
+    }
+
+    #[test]
+    fn each_defect_names_a_verify_rule() {
+        assert_eq!(Defect::Wire.expected_rule(), "AQFP-V013");
+        assert_eq!(Defect::Cell.expected_rule(), "AQFP-V022");
+        assert_eq!(Defect::Phase.expected_rule(), "AQFP-V010");
+    }
+}

@@ -26,6 +26,6 @@ pub mod prelude {
         error_chain, BatchConfig, BatchJob, BatchReport, BatchRunner, Checked, DesignReport,
         DesignStatus, Fault, FaultKind, FaultPlan, Flow, FlowConfig, FlowError, FlowObserver,
         FlowReport, FlowSession, FlowStage, LintConfig, LintReport, Placed, RepairScope, Routed,
-        StageTimings, Synthesized, TechSpec, LINT_STAGE,
+        StageTimings, Synthesized, TechSpec, VerifyConfig, VerifyReport, LINT_STAGE, VERIFY_STAGE,
     };
 }

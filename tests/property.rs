@@ -18,7 +18,7 @@ use aqfp_place::global::{global_place, global_place_reference, GlobalPlacementCo
 use aqfp_place::legalize::legalize;
 use aqfp_synth::{SynthesisOptions, Synthesizer};
 use aqfp_timing::{TimingAnalyzer, TimingBatch, TimingConfig};
-use superflow::{FlowConfig, FlowSession};
+use superflow::{Flow, FlowConfig, FlowSession, VerifyConfig};
 
 /// A strategy over small random netlist configurations.
 fn dag_config() -> impl Strategy<Value = RandomDagConfig> {
@@ -302,6 +302,42 @@ proptest! {
             prop_assert_eq!(&sharded_bits, &oracle_bits, "threads = {}", threads);
             prop_assert_eq!(report.iterations, oracle_report.iterations);
             prop_assert_eq!(report.hpwl_after.to_bits(), oracle_report.hpwl_after.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Random `gen:random_dag` designs run the full flow with the
+    /// per-stage verification gates enabled, at every worker count
+    /// (including the auto-detect `0`): the LEC, phase-legality and
+    /// LVS-lite verifiers all come back clean, independent of threading.
+    #[test]
+    fn generated_designs_verify_clean_at_every_thread_count(
+        params in (60usize..240, any::<u64>())
+    ) {
+        let (cells, seed) = params;
+        let spec = format!("gen:random_dag:{cells}:{seed}");
+        let netlist = superflow::load_netlist(&spec).expect("gen spec resolves");
+        for threads in [1usize, 2, 4, 0] {
+            let config = FlowConfig::fast()
+                .with_threads(threads)
+                .with_verify(VerifyConfig { enabled: true, ..VerifyConfig::default() });
+            let mut session = Flow::with_config(config).session().expect("session starts");
+            // Each stage gate rejects its artifact on verifier findings,
+            // so reaching the end means every gate passed.
+            let synthesized = session.synthesize(&netlist).expect("synthesis + LEC gate");
+            let placed = session.place(synthesized).expect("placement + phase gate");
+            let routed = session.route(placed).expect("routing + phase gate");
+            let checked = session.check(routed).expect("check + LVS gate");
+            let mut report = session.verify_checked(&checked);
+            report.merge(session.verify_synthesized(&netlist, &checked.routed.placed.synthesized));
+            prop_assert!(
+                report.ran("lec") && report.ran("phase") && report.ran("lvs"),
+                "checks that ran: {:?}", report.checks
+            );
+            prop_assert!(!report.has_errors(), "threads = {}:\n{}", threads, report.render());
         }
     }
 }
