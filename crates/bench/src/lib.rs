@@ -18,6 +18,8 @@
 //! subset. Paper reference values are bundled in [`mod@reference`] so the
 //! binaries can print a side-by-side comparison.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod baseline;
 pub mod reference;
 pub mod scale;

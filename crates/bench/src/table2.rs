@@ -63,6 +63,7 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -103,6 +103,7 @@ pub fn format_table4(rows: &[Table4Row]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

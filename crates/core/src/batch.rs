@@ -13,7 +13,22 @@
 //!   through the cooperative [`CancelToken`] threaded into the hot loops of
 //!   the placers, the router and the DRC-repair loop — a stage that blows
 //!   its budget actually stops working (at its next loop boundary), rather
-//!   than being abandoned on a zombie thread.
+//!   than being abandoned on a zombie thread. With prediction enabled (the
+//!   default), `--stage-timeout` is a *ceiling*, not a flat budget: each
+//!   stage's deadline is its predicted wall-clock times a safety margin,
+//!   clamped between a tenth of the configured timeout (the floor) and the
+//!   timeout itself — so a 5-minute ceiling does not let a design predicted
+//!   to place in 2 s burn 5 minutes in a pathological placer loop.
+//! - **Prediction-driven scheduling.** Before any worker starts, the
+//!   predictive feasibility analysis ([`aqfp_predict`]) runs over every
+//!   design (static bounds only — no stage engines), and the work queue is
+//!   ordered longest-predicted-first so the slowest design starts first and
+//!   the batch's wall-clock approaches `max` rather than `sum` shape. The
+//!   per-design forecast and the measured reality land side by side in the
+//!   report ([`DesignReport::predicted_stage_s`] /
+//!   [`DesignReport::actual_stage_s`]), making the cost model auditable
+//!   from CI. `--no-predict` (or [`BatchConfig::predict`] = false) restores
+//!   flat deadlines and submission order.
 //! - **Degraded retry.** A failed or timed-out design is re-run once under
 //!   [`FlowConfig::degraded`] (strictly serial stages, doubled DRC-repair
 //!   budget) before it is classified `Failed`; a design rescued this way is
@@ -91,7 +106,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::input::{design_name, load_design};
-use crate::report::FlowReport;
+use crate::report::{FlowReport, StageTimings};
 use crate::session::{Checked, FlowSession, FlowStage, Placed, Routed, Synthesized};
 
 /// One design in a batch: a display name and the input it loads from (a
@@ -244,6 +259,12 @@ pub struct BatchConfig {
     pub output_dir: Option<PathBuf>,
     /// Deterministic fault injection (testing hook); empty in production.
     pub faults: FaultPlan,
+    /// Run the predictive feasibility analysis over every design before the
+    /// workers start, order the queue longest-predicted-first, and scale
+    /// each stage's deadline from its predicted cost (see the
+    /// [module docs](self)). On by default; `false` restores submission
+    /// order and flat per-stage deadlines.
+    pub predict: bool,
 }
 
 impl BatchConfig {
@@ -259,6 +280,7 @@ impl BatchConfig {
             journal_dir: None,
             output_dir: None,
             faults: FaultPlan::none(),
+            predict: true,
         }
     }
 
@@ -295,6 +317,12 @@ impl BatchConfig {
     /// Sets the fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables or disables the predictive scheduling pass.
+    pub fn with_predict(mut self, predict: bool) -> Self {
+        self.predict = predict;
         self
     }
 }
@@ -346,6 +374,14 @@ pub struct DesignReport {
     pub resumed_from: Option<String>,
     /// Stages skipped thanks to journal checkpoints (0–4).
     pub checkpoint_hits: usize,
+    /// Per-stage wall-clock the predictive analysis forecast before any
+    /// engine ran; `None` when prediction was disabled or the design could
+    /// not be analysed (e.g. it failed to load).
+    pub predicted_stage_s: Option<StageTimings>,
+    /// Per-stage wall-clock the design actually took on its successful
+    /// attempt (stages resumed from the journal contribute 0); `None` when
+    /// every attempt failed.
+    pub actual_stage_s: Option<StageTimings>,
 }
 
 /// The structured result of a batch run. Serde round-trippable
@@ -419,8 +455,19 @@ impl BatchReport {
                 Some(stage) => format!(", resumed from {stage}"),
                 None => String::new(),
             };
+            let forecast = match (&design.predicted_stage_s, &design.actual_stage_s) {
+                (Some(predicted), Some(actual)) => {
+                    format!(
+                        ", predicted {:.1}s / measured {:.1}s",
+                        predicted.total_s(),
+                        actual.total_s()
+                    )
+                }
+                (Some(predicted), None) => format!(", predicted {:.1}s", predicted.total_s()),
+                _ => String::new(),
+            };
             out.push_str(&format!(
-                "  {:<width$}  {:<9}  {} attempt(s), {:.1}s{resumed}\n",
+                "  {:<width$}  {:<9}  {} attempt(s), {:.1}s{resumed}{forecast}\n",
                 design.name,
                 design.status.label(),
                 design.attempts,
@@ -496,6 +543,9 @@ impl StageFailure {
 struct AttemptSuccess {
     resumed_from: Option<FlowStage>,
     checkpoint_hits: usize,
+    /// Measured per-stage wall-clock of this attempt, from the session's
+    /// accumulators (stages resumed from the journal contribute 0).
+    timings: StageTimings,
 }
 
 /// The newest intact journal checkpoint a design resumes from.
@@ -615,15 +665,27 @@ impl BatchRunner {
             self.config.flow.clone()
         };
 
+        // Predictive pass: static bounds only — no stage engine runs — so
+        // it costs O(gates) per design. A design that fails to load or
+        // analyse stays unpredicted (`None`); its own attempt will classify
+        // the error.
+        let predictions: Vec<Option<StageTimings>> = if self.config.predict {
+            jobs.iter().map(|job| predict_stages(job, &flow, &technology)).collect()
+        } else {
+            vec![None; jobs.len()]
+        };
+        let order = schedule_order(&predictions);
+
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<DesignReport>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    let report = self.run_design(job, &flow, &technology);
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = order.get(next) else { break };
+                    let report =
+                        self.run_design(&jobs[index], &flow, &technology, predictions[index]);
                     *slots[index].lock().expect("slot lock") = Some(report);
                 });
             }
@@ -644,13 +706,18 @@ impl BatchRunner {
         job: &BatchJob,
         flow: &FlowConfig,
         technology: &Arc<Technology>,
+        predicted: Option<StageTimings>,
     ) -> DesignReport {
         let start = Instant::now();
-        let first = self.run_attempt(job, flow.clone(), technology, 1);
-        let (status, attempts, resumed_from, checkpoint_hits) = match first {
-            Ok(success) => {
-                (DesignStatus::Succeeded, 1, success.resumed_from, success.checkpoint_hits)
-            }
+        let first = self.run_attempt(job, flow.clone(), technology, 1, predicted.as_ref());
+        let (status, attempts, resumed_from, checkpoint_hits, actual) = match first {
+            Ok(success) => (
+                DesignStatus::Succeeded,
+                1,
+                success.resumed_from,
+                success.checkpoint_hits,
+                Some(success.timings),
+            ),
             // Lint rejections and verification failures are deterministic —
             // the degraded retry changes thread counts and repair budgets,
             // not the netlist or the verifier's verdict — so retrying would
@@ -661,8 +728,14 @@ impl BatchRunner {
                     && failure.stage.as_deref() != Some(LINT_STAGE)
                     && failure.stage.as_deref() != Some(VERIFY_STAGE) =>
             {
-                match self.run_attempt(job, flow.clone().degraded(), technology, 2) {
-                    Ok(_) => (DesignStatus::Degraded, 2, None, 0),
+                match self.run_attempt(
+                    job,
+                    flow.clone().degraded(),
+                    technology,
+                    2,
+                    predicted.as_ref(),
+                ) {
+                    Ok(success) => (DesignStatus::Degraded, 2, None, 0, Some(success.timings)),
                     Err(retry_failure) => (
                         DesignStatus::Failed {
                             error: format!(
@@ -675,6 +748,7 @@ impl BatchRunner {
                         2,
                         None,
                         0,
+                        None,
                     ),
                 }
             }
@@ -683,6 +757,7 @@ impl BatchRunner {
                 1,
                 None,
                 0,
+                None,
             ),
         };
         DesignReport {
@@ -692,6 +767,8 @@ impl BatchRunner {
             wall_s: start.elapsed().as_secs_f64(),
             resumed_from: resumed_from.map(|s| s.name().to_owned()),
             checkpoint_hits,
+            predicted_stage_s: predicted,
+            actual_stage_s: actual,
         }
     }
 
@@ -704,6 +781,7 @@ impl BatchRunner {
         flow: FlowConfig,
         technology: &Arc<Technology>,
         attempt: usize,
+        predicted: Option<&StageTimings>,
     ) -> Result<AttemptSuccess, StageFailure> {
         let mut session = FlowSession::with_technology(flow, Arc::clone(technology));
         let journal = self.config.journal_dir.as_ref().map(|dir| dir.join(&job.name));
@@ -775,6 +853,7 @@ impl BatchRunner {
                                             &job.name,
                                             FlowStage::Synthesis,
                                             attempt,
+                                            predicted,
                                             |session| session.synthesize(&netlist),
                                         )?;
                                         if self.corrupt_fault_armed(
@@ -805,6 +884,7 @@ impl BatchRunner {
                                     &job.name,
                                     FlowStage::Placement,
                                     attempt,
+                                    predicted,
                                     |session| session.place(synthesized),
                                 )?;
                                 if self.corrupt_fault_armed(
@@ -835,6 +915,7 @@ impl BatchRunner {
                             &job.name,
                             FlowStage::Routing,
                             attempt,
+                            predicted,
                             |session| session.route(placed),
                         )?;
                         if self.corrupt_fault_armed(&job.name, FlowStage::Routing, attempt) {
@@ -856,6 +937,7 @@ impl BatchRunner {
                     &job.name,
                     FlowStage::Check,
                     attempt,
+                    predicted,
                     |session| session.check(routed),
                 )?;
                 if self.corrupt_fault_armed(&job.name, FlowStage::Check, attempt) {
@@ -875,17 +957,31 @@ impl BatchRunner {
         session.set_cancel_token(CancelToken::none());
         let report = session.finish(checked);
         self.write_gds(&job.name, &report)?;
-        Ok(AttemptSuccess { resumed_from, checkpoint_hits })
+        Ok(AttemptSuccess { resumed_from, checkpoint_hits, timings: report.stage_timings })
     }
 
     /// The cancellation token a stage runs under: an injected zero
-    /// deadline, the configured stage budget, or none.
-    fn stage_token(&self, design: &str, stage: FlowStage, attempt: usize) -> CancelToken {
+    /// deadline, the prediction-scaled slice of the configured stage
+    /// budget, the flat budget when there is no forecast, or none. Without
+    /// a configured `stage_timeout` a prediction never introduces a
+    /// deadline on its own.
+    fn stage_token(
+        &self,
+        design: &str,
+        stage: FlowStage,
+        attempt: usize,
+        predicted: Option<&StageTimings>,
+    ) -> CancelToken {
         if attempt == 1 && self.config.faults.matches(design, stage, FaultKind::ZeroDeadline) {
             return CancelToken::with_deadline(Duration::ZERO);
         }
         match self.config.stage_timeout {
-            Some(budget) => CancelToken::with_deadline(budget),
+            Some(ceiling) => match predicted {
+                Some(timings) => {
+                    CancelToken::with_deadline(scaled_budget(ceiling, timings.get(stage)))
+                }
+                None => CancelToken::with_deadline(ceiling),
+            },
             None => CancelToken::none(),
         }
     }
@@ -898,9 +994,10 @@ impl BatchRunner {
         design: &str,
         stage: FlowStage,
         attempt: usize,
+        predicted: Option<&StageTimings>,
         body: impl FnOnce(&mut FlowSession) -> Result<T, FlowError>,
     ) -> Result<T, StageFailure> {
-        session.set_cancel_token(self.stage_token(design, stage, attempt));
+        session.set_cancel_token(self.stage_token(design, stage, attempt, predicted));
         let inject_panic =
             attempt == 1 && self.config.faults.matches(design, stage, FaultKind::Panic);
         let result = catch_stage_panic(move || {
@@ -1044,6 +1141,66 @@ impl BatchRunner {
     }
 }
 
+/// Safety margin a predicted stage time is multiplied by to become that
+/// stage's deadline: the forecast is a power-law estimate, and host load,
+/// shared-core worker splits and DRC-repair iterations all stretch the
+/// real run past it.
+const BUDGET_MARGIN: f64 = 8.0;
+
+/// Constant slack added on top of the margined prediction, so sub-second
+/// forecasts still leave room for journaling and thread spin-up.
+const BUDGET_SLACK_S: f64 = 2.0;
+
+/// A prediction-scaled deadline never drops below this fraction of the
+/// configured `--stage-timeout` ceiling, bounding the damage of a forecast
+/// that is badly low.
+const BUDGET_FLOOR: f64 = 0.1;
+
+/// The prediction-scaled deadline for one stage: the forecast times
+/// [`BUDGET_MARGIN`] plus [`BUDGET_SLACK_S`], clamped between
+/// [`BUDGET_FLOOR`] of the configured ceiling and the ceiling itself — the
+/// configured `--stage-timeout` remains a hard upper bound in every case.
+fn scaled_budget(ceiling: Duration, predicted_s: f64) -> Duration {
+    let ceiling_s = ceiling.as_secs_f64();
+    let raw = predicted_s.max(0.0) * BUDGET_MARGIN + BUDGET_SLACK_S;
+    Duration::from_secs_f64(raw.clamp(ceiling_s * BUDGET_FLOOR, ceiling_s))
+}
+
+/// The per-stage wall-clock forecast for one job: loads the design (a
+/// parse, no engine) and maps the predictor's calibrated cost model onto
+/// [`StageTimings`]. Any failure — unreadable input, cyclic netlist —
+/// yields `None`, leaving the design unscheduled-by-cost; its own attempt
+/// will classify the error.
+fn predict_stages(
+    job: &BatchJob,
+    flow: &FlowConfig,
+    technology: &Technology,
+) -> Option<StageTimings> {
+    let design = load_design(&job.input).ok()?;
+    let report =
+        aqfp_predict::predict(&job.name, &design.netlist, technology, &flow.predict_options());
+    let cost = &report.bounds.as_ref()?.cost;
+    Some(StageTimings {
+        synthesis_s: cost.synthesis_s,
+        placement_s: cost.placement_s,
+        routing_s: cost.routing_s,
+        check_s: cost.check_s,
+    })
+}
+
+/// The order workers pull jobs in: indices sorted longest-predicted-first.
+/// The sort is stable, so designs with equal forecasts keep submission
+/// order and unpredicted designs run last, also in submission order.
+fn schedule_order(predictions: &[Option<StageTimings>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..predictions.len()).collect();
+    order.sort_by(|&a, &b| {
+        let total =
+            |i: usize| predictions[i].as_ref().map(|t| t.total_s()).unwrap_or(f64::NEG_INFINITY);
+        total(b).partial_cmp(&total(a)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
 /// The worker count a batch actually runs with: the request (or every
 /// available core for `0`), capped at the job count, floor 1.
 fn effective_workers(requested: usize, jobs: usize) -> usize {
@@ -1111,6 +1268,18 @@ mod tests {
                     wall_s: 1.25,
                     resumed_from: Some("routing".to_owned()),
                     checkpoint_hits: 3,
+                    predicted_stage_s: Some(StageTimings {
+                        synthesis_s: 0.05,
+                        placement_s: 0.4,
+                        routing_s: 0.2,
+                        check_s: 0.1,
+                    }),
+                    actual_stage_s: Some(StageTimings {
+                        synthesis_s: 0.04,
+                        placement_s: 0.6,
+                        routing_s: 0.3,
+                        check_s: 0.05,
+                    }),
                 },
                 DesignReport {
                     name: "c432".to_owned(),
@@ -1119,6 +1288,8 @@ mod tests {
                     wall_s: 4.0,
                     resumed_from: None,
                     checkpoint_hits: 0,
+                    predicted_stage_s: None,
+                    actual_stage_s: Some(StageTimings::default()),
                 },
                 DesignReport {
                     name: "apc32".to_owned(),
@@ -1131,6 +1302,13 @@ mod tests {
                     wall_s: 0.5,
                     resumed_from: None,
                     checkpoint_hits: 0,
+                    predicted_stage_s: Some(StageTimings {
+                        synthesis_s: 0.1,
+                        placement_s: 1.0,
+                        routing_s: 0.5,
+                        check_s: 0.2,
+                    }),
+                    actual_stage_s: None,
                 },
             ],
             workers: 2,
@@ -1143,7 +1321,78 @@ mod tests {
         assert_eq!(back.succeeded(), 1);
         assert_eq!(back.degraded(), 1);
         assert_eq!(back.failed(), 1);
+        // The predicted-vs-actual pair survives the round trip.
+        let first = &back.designs[0];
+        assert_eq!(first.predicted_stage_s.map(|t| t.total_s()), Some(0.75));
+        assert_eq!(first.actual_stage_s.map(|t| t.placement_s), Some(0.6));
         assert!(BatchReport::from_json("{\"designs\": [").is_err());
+    }
+
+    #[test]
+    fn scaled_budgets_clamp_between_floor_and_ceiling() {
+        let ceiling = Duration::from_secs(100);
+        // A tiny forecast gets the floor (a tenth of the ceiling), not the
+        // raw 2-second slack.
+        assert_eq!(scaled_budget(ceiling, 0.0), Duration::from_secs(10));
+        // A mid-range forecast gets margin × prediction + slack.
+        assert_eq!(scaled_budget(ceiling, 5.0), Duration::from_secs(42));
+        // A huge forecast is capped at the configured ceiling.
+        assert_eq!(scaled_budget(ceiling, 50.0), ceiling);
+        // A zero ceiling stays a zero deadline (the ZeroDeadline fault
+        // semantics are preserved under scaling).
+        assert_eq!(scaled_budget(Duration::ZERO, 5.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn schedule_orders_longest_predicted_first_with_unpredicted_last() {
+        let stage = |s: f64| StageTimings { synthesis_s: s, ..StageTimings::default() };
+        let predictions = vec![
+            Some(stage(1.0)),  // 0
+            None,              // 1 — unpredicted, must run last
+            Some(stage(10.0)), // 2 — longest, must run first
+            Some(stage(1.0)),  // 3 — tie with 0, submission order preserved
+            None,              // 4 — unpredicted, after 1
+        ];
+        assert_eq!(schedule_order(&predictions), vec![2, 0, 3, 1, 4]);
+        // Without predictions the queue is submission order.
+        assert_eq!(schedule_order(&[None, None, None]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn predict_stages_maps_the_cost_forecast_onto_stage_timings() {
+        let flow = FlowConfig::fast();
+        let technology = flow.resolve_technology().expect("resolves");
+        let job = BatchJob::from_input("adder8");
+        let predicted = predict_stages(&job, &flow, &technology).expect("benchmark predicts");
+        assert!(predicted.total_s() > 0.0);
+        assert!(predicted.placement_s > 0.0);
+        // An unloadable input yields no forecast instead of an error.
+        let missing = BatchJob::from_input("/no/such/design.v");
+        assert!(predict_stages(&missing, &flow, &technology).is_none());
+    }
+
+    #[test]
+    fn reports_render_the_predicted_vs_measured_pair() {
+        let report = BatchReport {
+            designs: vec![DesignReport {
+                name: "adder8".to_owned(),
+                status: DesignStatus::Succeeded,
+                attempts: 1,
+                wall_s: 1.0,
+                resumed_from: None,
+                checkpoint_hits: 0,
+                predicted_stage_s: Some(StageTimings {
+                    synthesis_s: 0.5,
+                    ..StageTimings::default()
+                }),
+                actual_stage_s: Some(StageTimings { placement_s: 0.25, ..StageTimings::default() }),
+            }],
+            workers: 1,
+            wall_s: 1.0,
+            checkpoint_hits: 0,
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("predicted 0.5s / measured 0.2s"), "{rendered}");
     }
 
     #[test]
@@ -1160,6 +1409,8 @@ mod tests {
                 wall_s: 0.5,
                 resumed_from: None,
                 checkpoint_hits: 0,
+                predicted_stage_s: None,
+                actual_stage_s: None,
             }],
             workers: 1,
             wall_s: 0.5,

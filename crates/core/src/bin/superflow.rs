@@ -30,6 +30,8 @@
 //!   --fast                  use the reduced-effort placement configuration
 //!   --verify                gate every stage boundary with the post-stage
 //!                           verifiers (LEC, phase-legality, LVS-lite)
+//!   --fanout-threshold <n>  fan-out above which the pre-flight lint rule
+//!                           AQFP-W009 fires
 //!   --quiet                 print only the one-line summary
 //!
 //! superflow batch [OPTIONS] <input>...
@@ -40,7 +42,14 @@
 //!   superflow::batch module docs).
 //!
 //!   --workers <n>           designs in flight at once; 0 = all cores [0]
-//!   --stage-timeout <s>     per-stage wall-clock budget in seconds
+//!   --stage-timeout <s>     per-stage wall-clock ceiling in seconds. When
+//!                           the predictive cost model has a forecast for a
+//!                           design, each stage's deadline is scaled from
+//!                           its predicted cost, clamped between 10% of
+//!                           this value (floor) and this value (ceiling);
+//!                           designs without a forecast get the flat value
+//!   --no-predict            skip the predictive pass: submission order and
+//!                           flat per-stage deadlines
 //!   --no-retry              skip the degraded retry of failed designs
 //!   --journal <dir>         stage-checkpoint directory; re-running with the
 //!                           same journal resumes each design from its last
@@ -49,8 +58,8 @@
 //!   --report <file.json>    write the structured batch report as JSON
 //!   --fault <k:d:s>         inject a deterministic fault (testing):
 //!                           panic|deadline|truncate|corrupt : design : stage
-//!   plus --placer/--tech/--process/--threads/--fast/--verify/--quiet as
-//!   above
+//!   plus --placer/--tech/--process/--threads/--fast/--verify/
+//!   --fanout-threshold/--quiet as above
 //!
 //! superflow lint [OPTIONS] <input>...
 //!
@@ -71,6 +80,27 @@
 //!   exits 0 when every design is clean or has only warnings, 1 when any
 //!   design has error-severity findings or fails to load, 2 on usage
 //!   errors.
+//!
+//! superflow predict [OPTIONS] <input>...
+//!
+//!   runs the predictive feasibility analysis over one or more designs
+//!   without running any stage engine: phase-depth intervals, splitter and
+//!   buffer bounds, a die-size and row estimate, a channel-congestion
+//!   forecast and a calibrated per-stage cost model. Findings carry stable
+//!   AQFP-P0xx rule ids and also fire inside `superflow lint` and the
+//!   flow/batch pre-flight gate.
+//!
+//!   --tech/--process        technology to predict against, as above
+//!   --format <text|json>    output format; json includes the numeric
+//!                           bounds and the cost forecast         [text]
+//!   --deny <rule>           treat a rule (or `all`) as an error; repeatable
+//!   --warn <rule>           demote a rule (or `all`) to a warning; repeatable
+//!   --allow <rule>          suppress a rule (or `all`); repeatable
+//!   --rules                 print the prediction rule catalog and exit
+//!
+//!   exits 0 when every design is predicted feasible (warnings allowed),
+//!   1 when any design has error-severity findings or fails to load, 2 on
+//!   usage errors.
 //!
 //! superflow verify [OPTIONS] <artifact>...
 //!
@@ -160,6 +190,7 @@ struct CliOptions {
     svg: Option<String>,
     fast: bool,
     verify: bool,
+    fanout_threshold: Option<usize>,
     quiet: bool,
 }
 
@@ -175,6 +206,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         svg: None,
         fast: false,
         verify: false,
+        fanout_threshold: None,
         quiet: false,
     };
     let mut iter = args.iter().peekable();
@@ -235,6 +267,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--svg" => options.svg = Some(iter.next().ok_or("--svg needs a value")?.clone()),
             "--fast" => options.fast = true,
             "--verify" => options.verify = true,
+            "--fanout-threshold" => {
+                let value = iter.next().ok_or("--fanout-threshold needs a value")?;
+                options.fanout_threshold =
+                    Some(value.parse::<usize>().map_err(|_| {
+                        format!("--fanout-threshold needs a number, got `{value}`")
+                    })?);
+            }
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err("help".to_owned()),
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
@@ -261,14 +300,18 @@ fn usage() -> &'static str {
     "usage: superflow [--placer superflow|gordian|taas] [--tech name|file.toml] \
      [--process mit-ll|stp2] [--threads n] \
      [--stop-after synthesis|placement|routing|check] [--report out.json] \
-     [--output out.gds] [--svg out.svg] [--fast] [--verify] [--quiet] \
+     [--output out.gds] [--svg out.svg] [--fast] [--verify] \
+     [--fanout-threshold n] [--quiet] \
      <input.v|input.sv|input.blif|benchmark>\n\
-     \x20      superflow batch [--workers n] [--stage-timeout seconds] [--no-retry] \
-     [--journal dir] [--output-dir dir] [--report out.json] \
+     \x20      superflow batch [--workers n] [--stage-timeout seconds] [--no-predict] \
+     [--no-retry] [--journal dir] [--output-dir dir] [--report out.json] \
      [--fault panic|deadline|truncate|corrupt:design:stage] [flow options] <input>...\n\
      \x20      superflow lint [--tech name|file.toml] [--process mit-ll|stp2] \
      [--format text|json] [--deny rule] [--warn rule] [--allow rule] \
      [--fanout-threshold n] [--rules] <input>...\n\
+     \x20      superflow predict [--tech name|file.toml] [--process mit-ll|stp2] \
+     [--format text|json] [--deny rule] [--warn rule] [--allow rule] \
+     [--rules] <input>...\n\
      \x20      superflow verify [--tech name|file.toml] [--process mit-ll|stp2] \
      [--fast] [--threads n] [--against input] [--format text|json] \
      [--inject-defect wire|cell|phase] [--rules] <artifact.gds|checkpoint.json>...\n\
@@ -310,11 +353,15 @@ fn build_config(options: &CliOptions) -> FlowConfig {
         Some(threads) => config.with_threads(threads),
         None => config,
     };
-    if options.verify {
+    let mut config = if options.verify {
         config.with_verify(VerifyConfig { enabled: true, ..VerifyConfig::default() })
     } else {
         config
+    };
+    if let Some(threshold) = options.fanout_threshold {
+        config.lint.fanout_threshold = Some(threshold);
     }
+    config
 }
 
 /// Loads the input netlist through the shared [`superflow::input`] loader
@@ -445,6 +492,7 @@ struct BatchCliOptions {
     threads: Option<usize>,
     workers: usize,
     stage_timeout_s: Option<f64>,
+    predict: bool,
     retry: bool,
     journal: Option<String>,
     output_dir: Option<String>,
@@ -452,6 +500,7 @@ struct BatchCliOptions {
     faults: Vec<Fault>,
     fast: bool,
     verify: bool,
+    fanout_threshold: Option<usize>,
     quiet: bool,
 }
 
@@ -463,6 +512,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         threads: None,
         workers: 0,
         stage_timeout_s: None,
+        predict: true,
         retry: true,
         journal: None,
         output_dir: None,
@@ -470,6 +520,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         faults: Vec::new(),
         fast: false,
         verify: false,
+        fanout_threshold: None,
         quiet: false,
     };
     let mut iter = args.iter();
@@ -529,6 +580,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
                 }
                 options.stage_timeout_s = Some(seconds);
             }
+            "--no-predict" => options.predict = false,
             "--no-retry" => options.retry = false,
             "--journal" => {
                 options.journal = Some(iter.next().ok_or("--journal needs a value")?.clone())
@@ -545,6 +597,13 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
             }
             "--fast" => options.fast = true,
             "--verify" => options.verify = true,
+            "--fanout-threshold" => {
+                let value = iter.next().ok_or("--fanout-threshold needs a value")?;
+                options.fanout_threshold =
+                    Some(value.parse::<usize>().map_err(|_| {
+                        format!("--fanout-threshold needs a number, got `{value}`")
+                    })?);
+            }
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err("help".to_owned()),
             other if other.starts_with("--") => {
@@ -582,14 +641,18 @@ fn build_batch_config(options: &BatchCliOptions) -> BatchConfig {
         Some(threads) => flow.with_threads(threads),
         None => flow,
     };
-    let flow = if options.verify {
+    let mut flow = if options.verify {
         flow.with_verify(VerifyConfig { enabled: true, ..VerifyConfig::default() })
     } else {
         flow
     };
+    if let Some(threshold) = options.fanout_threshold {
+        flow.lint.fanout_threshold = Some(threshold);
+    }
     let mut config = BatchConfig::new(flow)
         .with_workers(options.workers)
         .with_retry_degraded(options.retry)
+        .with_predict(options.predict)
         .with_faults(FaultPlan { faults: options.faults.clone() });
     if let Some(seconds) = options.stage_timeout_s {
         config = config.with_stage_timeout_s(seconds);
@@ -771,7 +834,6 @@ fn run_lint_cli(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let settings = flow.lint_settings();
     let mut reports = Vec::new();
     let mut failed = false;
     for input in &options.inputs {
@@ -780,13 +842,9 @@ fn run_lint_cli(args: &[String]) -> ExitCode {
         match superflow::load_design(input) {
             Ok(design) => {
                 let name = superflow::input::design_name(input);
-                let report = superflow::lint::lint(
-                    &name,
-                    &design.netlist,
-                    &technology,
-                    &settings,
-                    &flow.lint,
-                );
+                // The shared pre-flight gate: structural lint rules plus
+                // the predictive AQFP-P0xx feasibility rules.
+                let report = superflow::lint_design(&name, &design.netlist, &technology, &flow);
                 failed |= report.has_errors();
                 reports.push(report);
             }
@@ -801,6 +859,164 @@ fn run_lint_cli(args: &[String]) -> ExitCode {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("error: cannot serialize lint reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for report in &reports {
+            print!("{}", report.render());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `superflow predict` subcommand
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct PredictCliOptions {
+    inputs: Vec<String>,
+    tech: Option<String>,
+    json: bool,
+    lint: LintConfig,
+    rules: bool,
+}
+
+fn parse_predict_args(args: &[String]) -> Result<PredictCliOptions, String> {
+    let mut options = PredictCliOptions {
+        inputs: Vec::new(),
+        tech: None,
+        json: false,
+        lint: LintConfig::default(),
+        rules: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tech" => {
+                let value = iter.next().ok_or("--tech needs a value")?;
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(value.clone());
+            }
+            "--process" => {
+                let value = iter.next().ok_or("--process needs a value")?;
+                let name = match value.as_str() {
+                    "mit-ll" | "mitll" => aqfp_cells::MIT_LL_SQF5EE,
+                    "stp2" => aqfp_cells::AIST_STP2,
+                    other => return Err(format!("unknown process `{other}`")),
+                };
+                if options.tech.is_some() {
+                    return Err("--tech/--process given more than once".to_owned());
+                }
+                options.tech = Some(name.to_owned());
+            }
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.json = match value.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown predict format `{other}`")),
+                };
+            }
+            "--deny" => {
+                options.lint.deny.push(iter.next().ok_or("--deny needs a rule id")?.clone())
+            }
+            "--warn" => {
+                options.lint.warn.push(iter.next().ok_or("--warn needs a rule id")?.clone())
+            }
+            "--allow" => {
+                options.lint.allow.push(iter.next().ok_or("--allow needs a rule id")?.clone())
+            }
+            "--rules" => options.rules = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown predict option `{other}`"))
+            }
+            other => options.inputs.push(other.to_owned()),
+        }
+    }
+    if options.inputs.is_empty() && !options.rules {
+        return Err("predict needs at least one input (or --rules)".to_owned());
+    }
+    Ok(options)
+}
+
+/// The rule catalog table `superflow predict --rules` prints.
+fn render_predict_rule_catalog() -> String {
+    let mut out = String::from("rule       default  summary\n");
+    for info in superflow::predict::catalog() {
+        out.push_str(&format!("{:<10} {:<8} {}\n", info.id, info.severity.keyword(), info.summary));
+    }
+    out.trim_end().to_owned()
+}
+
+/// Runs the predictive analysis on one input: the design loads leniently
+/// (so a netlist with undriven nets still gets its feasibility forecast),
+/// and the prediction itself never runs a stage engine.
+fn predict_one(
+    input: &str,
+    technology: &Technology,
+    flow: &FlowConfig,
+) -> Result<superflow::PredictReport, String> {
+    let design = superflow::load_design(input).map_err(|e| error_chain(&e))?;
+    let name = superflow::input::design_name(input);
+    Ok(superflow::predict::predict(&name, &design.netlist, technology, &flow.predict_options()))
+}
+
+fn run_predict_cli(args: &[String]) -> ExitCode {
+    let options = match parse_predict_args(args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message == "help" {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if options.rules {
+        println!("{}", render_predict_rule_catalog());
+        return ExitCode::SUCCESS;
+    }
+    let flow = match &options.tech {
+        Some(value) => FlowConfig::paper_default().with_tech(tech_spec(value)),
+        None => FlowConfig::paper_default(),
+    }
+    .with_lint(options.lint);
+    let technology = match flow.resolve_technology() {
+        Ok(technology) => technology,
+        Err(e) => {
+            eprintln!("error: {}", error_chain(&e));
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for input in &options.inputs {
+        match predict_one(input, &technology, &flow) {
+            Ok(report) => {
+                failed |= report.has_errors();
+                reports.push(report);
+            }
+            Err(message) => {
+                failed = true;
+                eprintln!("error: `{input}`: {message}");
+            }
+        }
+    }
+    if options.json {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize predict reports: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -1416,6 +1632,10 @@ fn main() -> ExitCode {
         return run_lint_cli(&args[1..]);
     }
 
+    if args.first().map(String::as_str) == Some("predict") {
+        return run_predict_cli(&args[1..]);
+    }
+
     if args.first().map(String::as_str) == Some("verify") {
         return run_verify_cli(&args[1..]);
     }
@@ -1901,6 +2121,106 @@ mod lint_cli_tests {
         for info in superflow::lint::catalog() {
             assert!(catalog.contains(info.id), "{} missing from:\n{catalog}", info.id);
         }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod predict_cli_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_predict_command_line() {
+        let options = parse_predict_args(&args(&[
+            "--tech",
+            "aist-stp2",
+            "--format",
+            "json",
+            "--deny",
+            "AQFP-P002",
+            "--warn",
+            "AQFP-P001",
+            "--allow",
+            "AQFP-P005",
+            "a.v",
+            "b.blif",
+        ]))
+        .expect("parses");
+        assert_eq!(options.inputs, vec!["a.v".to_owned(), "b.blif".to_owned()]);
+        assert_eq!(options.tech.as_deref(), Some("aist-stp2"));
+        assert!(options.json);
+        assert_eq!(options.lint.deny, vec!["AQFP-P002".to_owned()]);
+        assert_eq!(options.lint.warn, vec!["AQFP-P001".to_owned()]);
+        assert_eq!(options.lint.allow, vec!["AQFP-P005".to_owned()]);
+        assert!(!options.rules);
+    }
+
+    #[test]
+    fn predict_usage_errors_are_rejected() {
+        assert!(parse_predict_args(&args(&[])).is_err(), "no input");
+        assert!(parse_predict_args(&args(&["--format", "xml", "a.v"])).is_err(), "bad format");
+        assert!(parse_predict_args(&args(&["--deny"])).is_err(), "missing rule id");
+        assert!(parse_predict_args(&args(&["--frobnicate", "a.v"])).is_err(), "unknown flag");
+        assert!(
+            parse_predict_args(&args(&["--tech", "a", "--process", "stp2", "a.v"])).is_err(),
+            "tech and process conflict"
+        );
+    }
+
+    #[test]
+    fn predict_rules_catalog_names_every_predict_rule() {
+        let options = parse_predict_args(&args(&["--rules"])).expect("parses");
+        assert!(options.rules);
+        let catalog = render_predict_rule_catalog();
+        for info in superflow::predict::catalog() {
+            assert!(catalog.contains(info.id), "{} missing from:\n{catalog}", info.id);
+        }
+    }
+
+    /// The acceptance path: a committed benchmark predicts feasible, with
+    /// numeric bounds, without running any stage engine.
+    #[test]
+    fn a_benchmark_predicts_feasible_with_bounds() {
+        let flow = FlowConfig::paper_default();
+        let technology = flow.resolve_technology().expect("resolves");
+        let report = predict_one("adder8", &technology, &flow).expect("predicts");
+        assert_eq!(report.design, "adder8");
+        assert!(!report.has_errors(), "{}", report.render());
+        let bounds = report.bounds.as_ref().expect("a clean benchmark has bounds");
+        assert!(bounds.structure.cells.min >= 1);
+        assert!(bounds.cost.total_s() > 0.0);
+    }
+
+    /// `--fanout-threshold` reaches the lint gate through `FlowConfig` on
+    /// both the main command and the batch driver (the lint subcommand
+    /// already wires it through `LintConfig`).
+    #[test]
+    fn fanout_threshold_flows_into_the_flow_and_batch_configs() {
+        let options =
+            parse_args(&args(&["--fanout-threshold", "5", "--fast", "adder8"])).expect("parses");
+        assert_eq!(build_config(&options).lint.fanout_threshold, Some(5));
+        let plain = parse_args(&args(&["adder8"])).expect("parses");
+        assert_eq!(build_config(&plain).lint.fanout_threshold, None);
+
+        let batch =
+            parse_batch_args(&args(&["--fanout-threshold", "7", "adder8"])).expect("parses");
+        assert_eq!(build_batch_config(&batch).flow.lint.fanout_threshold, Some(7));
+        assert!(parse_args(&args(&["--fanout-threshold", "lots", "adder8"])).is_err());
+        assert!(parse_batch_args(&args(&["--fanout-threshold", "lots", "adder8"])).is_err());
+    }
+
+    /// `--no-predict` turns the batch prediction pass off; it is on by
+    /// default.
+    #[test]
+    fn no_predict_disables_the_batch_prediction_pass() {
+        let default = parse_batch_args(&args(&["adder8"])).expect("parses");
+        assert!(build_batch_config(&default).predict);
+        let off = parse_batch_args(&args(&["--no-predict", "adder8"])).expect("parses");
+        assert!(!build_batch_config(&off).predict);
     }
 }
 

@@ -229,6 +229,19 @@ impl FlowConfig {
         }
     }
 
+    /// The slice of this configuration the predictive feasibility analysis
+    /// ([`aqfp_predict::predict`]) runs under: the lint-visible flow
+    /// settings, the severity policy (shared with lint, so `--deny
+    /// AQFP-P004` works the same way as `--deny AQFP-W009`), and the router
+    /// configuration the congestion forecast mirrors.
+    pub fn predict_options(&self) -> aqfp_predict::PredictOptions {
+        aqfp_predict::PredictOptions {
+            settings: self.lint_settings(),
+            lint: self.lint.clone(),
+            router: self.router,
+        }
+    }
+
     /// The degraded variant of this configuration, used by the batch
     /// driver's retry policy after a design fails or times out: strictly
     /// serial stage execution (no parallel row sweeps or channel workers
@@ -370,6 +383,17 @@ mod tests {
         let strict = config
             .with_lint(aqfp_lint::LintConfig { deny: vec!["all".into()], ..Default::default() });
         assert_eq!(strict.lint.deny, vec!["all".to_owned()]);
+    }
+
+    #[test]
+    fn predict_options_mirror_the_flow_configuration() {
+        let mut config = FlowConfig::fast().with_threads(2);
+        config.lint.deny.push("AQFP-P002".to_owned());
+        config.router.initial_tracks = 7;
+        let options = config.predict_options();
+        assert_eq!(options.settings, config.lint_settings());
+        assert_eq!(options.lint.deny, vec!["AQFP-P002".to_owned()]);
+        assert_eq!(options.router.initial_tracks, 7);
     }
 
     #[test]

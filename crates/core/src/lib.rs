@@ -63,6 +63,20 @@
 //! [`FlowConfig::lint`]. The `superflow lint` CLI subcommand runs the same
 //! rules standalone, with human-readable or JSON output.
 //!
+//! # Predictive analysis
+//!
+//! Between "what the netlist is" (lint) and "what the flow did" (verify)
+//! sits "what the flow *will* do": the predictive feasibility analysis
+//! ([`predict`], the `aqfp-predict` crate) derives phase-depth intervals,
+//! cell-count and die-size bounds, a channel-congestion forecast and a
+//! calibrated stage cost model from the parsed netlist alone — no stage
+//! engine runs. Its `AQFP-P0xx` findings fold into the same pre-flight
+//! report as the lint rules ([`lint_design`], [`FlowSession::lint`]), so a
+//! provably-infeasible design is rejected before synthesis; the batch
+//! driver additionally uses the per-stage cost forecast to schedule
+//! longest-predicted-first and to scale its per-stage deadlines (see
+//! [`batch`]). Run it standalone with `superflow predict`.
+//!
 //! # Post-stage verification
 //!
 //! Where lint checks the *inputs*, the verification layer ([`verify`], the
@@ -112,7 +126,8 @@ pub use flow::Flow;
 pub use input::{load_design, load_netlist};
 pub use report::{FlowReport, StageTimings};
 pub use session::{
-    Checked, FlowObserver, FlowSession, FlowStage, Placed, RepairScope, Routed, Synthesized,
+    lint_design, Checked, FlowObserver, FlowSession, FlowStage, Placed, RepairScope, Routed,
+    Synthesized,
 };
 
 // Re-export the stage crates so downstream users can depend on `superflow`
@@ -123,6 +138,8 @@ pub use aqfp_lint as lint;
 pub use aqfp_lint::{LintConfig, LintReport};
 pub use aqfp_netlist as netlist;
 pub use aqfp_place as place;
+pub use aqfp_predict as predict;
+pub use aqfp_predict::{PredictOptions, PredictReport};
 pub use aqfp_route as route;
 pub use aqfp_synth as synth;
 pub use aqfp_timing as timing;

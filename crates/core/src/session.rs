@@ -115,6 +115,26 @@ impl FlowStage {
     }
 }
 
+/// Runs the full pre-flight static analysis for one design: the lint rules
+/// over the netlist plus the predictive feasibility rules (`AQFP-P0xx`) over
+/// the bounds [`aqfp_predict::predict`] derives, merged into one
+/// severity-ordered report under the shared policy in
+/// [`FlowConfig::lint`]. This is the report [`FlowSession::lint`] returns
+/// and the `superflow lint` CLI prints.
+pub fn lint_design(
+    design: &str,
+    netlist: &Netlist,
+    technology: &Technology,
+    config: &FlowConfig,
+) -> aqfp_lint::LintReport {
+    let mut report =
+        aqfp_lint::lint(design, netlist, technology, &config.lint_settings(), &config.lint);
+    let prediction = aqfp_predict::predict(design, netlist, technology, &config.predict_options());
+    report.diagnostics.extend(prediction.diagnostics);
+    report.normalize();
+    report
+}
+
 impl fmt::Display for FlowStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -606,18 +626,13 @@ impl FlowSession {
         self.timings
     }
 
-    /// Runs the full pre-flight lint over `netlist` with this session's
-    /// technology and lint policy. This is the same check
-    /// [`FlowSession::synthesize`] gates on; call it directly to inspect
-    /// warnings (the gate only refuses on errors).
+    /// Runs the full pre-flight static analysis over `netlist` with this
+    /// session's technology and policy: the lint rules plus the predictive
+    /// feasibility rules (`AQFP-P0xx`), merged into one report. This is the
+    /// same check [`FlowSession::synthesize`] gates on; call it directly to
+    /// inspect warnings (the gate only refuses on errors).
     pub fn lint(&self, netlist: &Netlist) -> aqfp_lint::LintReport {
-        aqfp_lint::lint(
-            netlist.name(),
-            netlist,
-            &self.technology,
-            &self.config.lint_settings(),
-            &self.config.lint,
-        )
+        lint_design(netlist.name(), netlist, &self.technology, &self.config)
     }
 
     /// Fails with [`FlowError::Lint`] when pre-flight lint reports

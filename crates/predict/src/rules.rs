@@ -1,0 +1,304 @@
+//! The predictive rule catalog (`AQFP-P0xx`).
+//!
+//! Predictive rules fire on *derived bounds*, not on netlist structure —
+//! they answer "what will the flow do", complementing lint's "what is the
+//! netlist". Ids are append-only: never reuse or renumber a published id.
+//! Severity policy (deny/warn/allow, with the `all` wildcard) reuses
+//! [`LintConfig`] exactly as lint does, so `superflow predict --deny ...`
+//! and flow-level overrides behave identically across both tools.
+
+use aqfp_lint::{Diagnostic, LintConfig, RuleInfo, Severity};
+
+use crate::report::PredictBounds;
+
+/// GDS stream coordinates are signed 32-bit database units (1 nm here), so
+/// any die dimension beyond ~2.1 m of silicon cannot be streamed out.
+const GDS_COORD_LIMIT_UM: f64 = 2_000_000.0;
+
+/// A net routed through a channel occupies at least this many grid cells
+/// (two vertical-layer cells for the drops plus one horizontal-layer cell).
+const MIN_CELLS_PER_NET: usize = 3;
+
+/// `AQFP-P004` fires when the sound minimum buffer count exceeds this
+/// multiple of the estimated logic+splitter cells: the design is
+/// overwhelmingly phase-alignment padding, which the flow would spend almost
+/// all of its time placing and routing.
+const BUFFER_BLOWUP_RATIO: usize = 10;
+
+/// ...and only above this absolute count, so small designs never trip it.
+const BUFFER_BLOWUP_FLOOR: usize = 256;
+
+/// Predicted wall-clock above which `AQFP-P005` flags the design.
+const COST_WALL_LIMIT_S: f64 = 3_600.0;
+
+/// Predicted peak RSS (KiB) above which `AQFP-P005` flags the design.
+const COST_RSS_LIMIT_KB: f64 = 16.0 * 1_048_576.0;
+
+/// Every predictive rule, in catalog order.
+pub fn catalog() -> Vec<RuleInfo> {
+    vec![
+        RuleInfo {
+            id: "AQFP-P001",
+            severity: Severity::Error,
+            summary: "predicted die size exceeds the GDS coordinate range",
+        },
+        RuleInfo {
+            id: "AQFP-P002",
+            severity: Severity::Warn,
+            summary: "a channel's predicted routing demand exceeds its initial capacity",
+        },
+        RuleInfo {
+            id: "AQFP-P003",
+            severity: Severity::Error,
+            summary: "routing demand provably exceeds channel capacity after full expansion",
+        },
+        RuleInfo {
+            id: "AQFP-P004",
+            severity: Severity::Error,
+            summary: "phase balancing provably dominates the design (buffer blow-up)",
+        },
+        RuleInfo {
+            id: "AQFP-P005",
+            severity: Severity::Warn,
+            summary: "predicted flow cost exceeds the batch-scale budget",
+        },
+    ]
+}
+
+/// One raw predictive finding before severity policy.
+struct PredictFinding {
+    rule: &'static str,
+    message: String,
+}
+
+/// Evaluates every rule against the derived bounds and applies the severity
+/// policy. Findings carry no source span: they describe the whole design.
+pub(crate) fn evaluate(bounds: &PredictBounds, policy: &LintConfig) -> Vec<Diagnostic> {
+    let mut findings: Vec<PredictFinding> = Vec::new();
+
+    let die = &bounds.die;
+    if die.layer_width_um > GDS_COORD_LIMIT_UM || die.height_um > GDS_COORD_LIMIT_UM {
+        findings.push(PredictFinding {
+            rule: "AQFP-P001",
+            message: format!(
+                "predicted die {:.0} x {:.0} um exceeds the {:.0} um GDS coordinate range",
+                die.layer_width_um, die.height_um, GDS_COORD_LIMIT_UM
+            ),
+        });
+    }
+
+    let congestion = &bounds.congestion;
+    if congestion.max_utilization > 1.0 {
+        let worst = congestion.worst.first();
+        let detail = worst
+            .map(|c| format!("channel {} ({} nets)", c.row, c.nets))
+            .unwrap_or_else(|| "a channel".to_owned());
+        findings.push(PredictFinding {
+            rule: "AQFP-P002",
+            message: format!(
+                "{detail} predicts utilization {:.2} over {} initial tracks; routing will need \
+                 space expansion",
+                congestion.max_utilization, congestion.initial_tracks
+            ),
+        });
+    }
+
+    // Pigeonhole: at least `min_nets` nets spread over at most
+    // `rows.max - 1` channels, each net occupying MIN_CELLS_PER_NET grid
+    // cells of the (two-layer) channel capacity even after every expansion.
+    let max_channels = bounds.structure.rows.max.saturating_sub(1).max(1);
+    let dense_channel_nets = congestion.min_nets.div_ceil(max_channels);
+    let channel_capacity_cells = congestion.max_tracks * congestion.columns * 2;
+    if dense_channel_nets * MIN_CELLS_PER_NET > channel_capacity_cells {
+        findings.push(PredictFinding {
+            rule: "AQFP-P003",
+            message: format!(
+                "some channel must carry {dense_channel_nets} nets but full expansion caps \
+                 capacity at {channel_capacity_cells} grid cells; routing cannot succeed"
+            ),
+        });
+    }
+
+    let structure = &bounds.structure;
+    let working_cells = (structure.logic_cells.est + structure.splitters.est).max(1);
+    if structure.buffers.min > BUFFER_BLOWUP_FLOOR
+        && structure.buffers.min > BUFFER_BLOWUP_RATIO * working_cells
+    {
+        findings.push(PredictFinding {
+            rule: "AQFP-P004",
+            message: format!(
+                "phase balancing provably inserts >= {} buffers against ~{} working cells \
+                 (> {}x); rebalance the output taps before running the flow",
+                structure.buffers.min, working_cells, BUFFER_BLOWUP_RATIO
+            ),
+        });
+    }
+
+    let cost = &bounds.cost;
+    if cost.total_s() > COST_WALL_LIMIT_S || cost.peak_rss_kb > COST_RSS_LIMIT_KB {
+        findings.push(PredictFinding {
+            rule: "AQFP-P005",
+            message: format!(
+                "predicted cost {:.0} s / {:.0} MiB peak RSS exceeds the batch-scale budget \
+                 ({:.0} s / {:.0} MiB)",
+                cost.total_s(),
+                cost.peak_rss_kb / 1024.0,
+                COST_WALL_LIMIT_S,
+                COST_RSS_LIMIT_KB / 1024.0
+            ),
+        });
+    }
+
+    let defaults: Vec<RuleInfo> = catalog();
+    let mut diagnostics = Vec::new();
+    for finding in findings {
+        let default = defaults
+            .iter()
+            .find(|info| info.id == finding.rule)
+            .map(|info| info.severity)
+            .unwrap_or(Severity::Warn);
+        let Some(severity) = policy.severity_for(finding.rule, default) else {
+            continue;
+        };
+        diagnostics.push(Diagnostic {
+            rule: finding.rule.to_owned(),
+            severity,
+            message: finding.message,
+            object: None,
+            line: 0,
+            column: 0,
+        });
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::report::{
+        ChannelForecast, CongestionForecast, CostForecast, DieEstimate, Interval, PredictBounds,
+        StructureBounds,
+    };
+
+    /// Same append-only discipline as the lint catalog, with the `P` letter.
+    #[test]
+    fn catalog_ids_are_unique_sorted_and_well_formed() {
+        let infos = catalog();
+        let mut seen = Vec::new();
+        for info in &infos {
+            let rest = info.id.strip_prefix("AQFP-P").unwrap_or_else(|| {
+                panic!("rule id `{}` must start with AQFP-P", info.id);
+            });
+            assert_eq!(rest.len(), 3, "rule id `{}` must have a 3-digit number", info.id);
+            assert!(rest.chars().all(|c| c.is_ascii_digit()), "{}", info.id);
+            assert!(!info.summary.is_empty());
+            seen.push(info.id);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seen, sorted, "catalog must be unique and sorted");
+    }
+
+    fn feasible_bounds() -> PredictBounds {
+        PredictBounds {
+            structure: StructureBounds {
+                inputs: 2,
+                outputs: 1,
+                logic_cells: Interval::new(1, 1, 2),
+                splitters: Interval::new(0, 0, 2),
+                buffers: Interval::new(0, 0, 4),
+                cells: Interval::new(4, 4, 11),
+                rows: Interval::new(3, 3, 8),
+                po_depths: Vec::new(),
+                po_depths_truncated: false,
+            },
+            die: DieEstimate { layer_width_um: 200.0, height_um: 300.0, area_um2: 60_000.0 },
+            congestion: CongestionForecast {
+                channels: 2,
+                columns: 22,
+                initial_tracks: 10,
+                max_tracks: 74,
+                min_nets: 2,
+                mean_utilization: 0.1,
+                max_utilization: 0.2,
+                worst: vec![ChannelForecast {
+                    row: 0,
+                    nets: 2,
+                    demand_tracks: 2.0,
+                    utilization: 0.2,
+                }],
+            },
+            cost: CostForecast {
+                synthesis_s: 0.01,
+                placement_s: 0.02,
+                routing_s: 0.01,
+                check_s: 0.01,
+                gds_bytes: 4096.0,
+                peak_rss_kb: 9000.0,
+            },
+        }
+    }
+
+    #[test]
+    fn feasible_bounds_produce_no_findings() {
+        assert!(evaluate(&feasible_bounds(), &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn oversized_die_trips_p001() {
+        let mut bounds = feasible_bounds();
+        bounds.die.height_um = 3_000_000.0;
+        let diagnostics = evaluate(&bounds, &LintConfig::default());
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].rule, "AQFP-P001");
+        assert_eq!(diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn congested_channel_trips_p002_as_a_warning() {
+        let mut bounds = feasible_bounds();
+        bounds.congestion.max_utilization = 1.4;
+        let diagnostics = evaluate(&bounds, &LintConfig::default());
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].rule, "AQFP-P002");
+        assert_eq!(diagnostics[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn provable_overcapacity_trips_p003() {
+        let mut bounds = feasible_bounds();
+        bounds.structure.rows.max = 3; // two channels at most
+        bounds.congestion.min_nets = 2_000_000;
+        bounds.congestion.columns = 10;
+        let diagnostics = evaluate(&bounds, &LintConfig::default());
+        assert!(diagnostics.iter().any(|d| d.rule == "AQFP-P003"), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn buffer_blowup_trips_p004() {
+        let mut bounds = feasible_bounds();
+        bounds.structure.buffers = Interval::new(5_000, 5_000, 6_000);
+        let diagnostics = evaluate(&bounds, &LintConfig::default());
+        assert!(diagnostics.iter().any(|d| d.rule == "AQFP-P004"), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn runaway_cost_trips_p005() {
+        let mut bounds = feasible_bounds();
+        bounds.cost.routing_s = 7_200.0;
+        let diagnostics = evaluate(&bounds, &LintConfig::default());
+        assert!(diagnostics.iter().any(|d| d.rule == "AQFP-P005"), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn severity_policy_applies_to_predictive_rules() {
+        let mut bounds = feasible_bounds();
+        bounds.congestion.max_utilization = 1.4;
+        let deny = LintConfig { deny: vec!["AQFP-P002".into()], ..LintConfig::default() };
+        assert_eq!(evaluate(&bounds, &deny)[0].severity, Severity::Error);
+        let allow = LintConfig { allow: vec!["all".into()], ..LintConfig::default() };
+        assert!(evaluate(&bounds, &allow).is_empty());
+    }
+}

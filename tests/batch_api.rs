@@ -278,3 +278,41 @@ fn lint_rejected_designs_fail_at_stage_zero_without_a_retry() {
     let rendered = report.render();
     assert!(rendered.contains("rejected by pre-flight lint"), "{rendered}");
 }
+
+#[test]
+fn a_real_batch_records_predicted_and_actual_stage_costs() {
+    // With prediction enabled (the default), every design that completes
+    // carries both sides of the forecast ledger: the pre-flight prediction
+    // and the measured stage timings. Both survive the serde round-trip.
+    let jobs = [BatchJob::from_input("adder8"), BatchJob::from_input("designs/half_adder.v")];
+    let report = BatchRunner::new(fast_batch()).run(&jobs).expect("batch runs");
+    assert_eq!(report.succeeded(), 2);
+
+    for design in &report.designs {
+        let predicted = design
+            .predicted_stage_s
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: prediction missing", design.name));
+        let actual = design
+            .actual_stage_s
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: measurement missing", design.name));
+        assert!(predicted.total_s() > 0.0, "{}: empty forecast", design.name);
+        assert!(actual.total_s() >= 0.0, "{}: negative measurement", design.name);
+    }
+
+    // The rendered report shows the predicted-vs-measured comparison, and
+    // the ledger survives serialization.
+    let rendered = report.render();
+    assert!(rendered.contains("predicted"), "{rendered}");
+    let back = BatchReport::from_json(&report.to_json().expect("serializes")).expect("parses");
+    assert_eq!(back, report);
+
+    // Disabling prediction drops the forecast but keeps the measurement.
+    let config = fast_batch().with_predict(false);
+    let report = BatchRunner::new(config).run(&jobs).expect("batch runs");
+    for design in &report.designs {
+        assert!(design.predicted_stage_s.is_none(), "{}: unexpected forecast", design.name);
+        assert!(design.actual_stage_s.is_some(), "{}: measurement missing", design.name);
+    }
+}
